@@ -1,0 +1,89 @@
+// Bank-teller workload: the motivating scenario for lock independent code
+// motion. Tellers apply deposits under a global bank lock but also keep
+// per-teller statistics inside the critical section; LICM evicts the
+// bookkeeping, and the interleaving interpreter quantifies how much
+// shorter the lock is held.
+//
+//   $ ./bank_accounts [tellers] [ops-per-teller]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/driver/pipeline.h"
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/opt/optimize.h"
+#include "src/workload/generator.h"
+
+using namespace cssame;
+
+namespace {
+
+struct Measurement {
+  std::uint64_t holdSteps = 0;
+  std::uint64_t totalSteps = 0;
+  long long balanceSum = 0;
+};
+
+Measurement measure(const ir::Program& prog, std::uint64_t seeds) {
+  Measurement m;
+  for (const interp::RunResult& r : interp::runManySeeds(prog, seeds)) {
+    if (!r.completed || r.deadlocked || r.lockError) {
+      std::fprintf(stderr, "execution failed!\n");
+      std::exit(1);
+    }
+    m.holdSteps += r.totalHoldSteps();
+    m.totalSteps += r.steps;
+    for (long long v : r.output) m.balanceSum += v;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int tellers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int ops = argc > 2 ? std::atoi(argv[2]) : 6;
+  const std::uint64_t kSeeds = 10;
+
+  ir::Program prog = workload::makeBank(/*accounts=*/3, tellers, ops,
+                                        /*seed=*/42);
+  std::printf("=== Bank workload: %d tellers x %d deposits ===\n\n", tellers,
+              ops);
+
+  const Measurement before = measure(prog, kSeeds);
+
+  // How much of each critical section is lock independent?
+  driver::Compilation c = driver::analyze(prog);
+  std::printf("mutex bodies: %zu,  pi terms: %zu (CSSAME)\n",
+              c.mutexes().bodies().size(), c.ssa().countLivePis());
+
+  opt::OptimizeReport report = opt::optimizeProgram(prog);
+  std::printf("LICM: %zu statements hoisted, %zu sunk, %zu empty bodies "
+              "removed\n\n",
+              report.lockMotion.hoisted, report.lockMotion.sunk,
+              report.lockMotion.bodiesRemoved);
+
+  const Measurement after = measure(prog, kSeeds);
+  if (before.balanceSum != after.balanceSum) {
+    std::fprintf(stderr, "optimization changed program results!\n");
+    return 1;
+  }
+
+  std::printf("lock-held steps (sum over %llu interleavings):\n",
+              static_cast<unsigned long long>(kSeeds));
+  std::printf("  before LICM: %8llu  (of %llu total)\n",
+              static_cast<unsigned long long>(before.holdSteps),
+              static_cast<unsigned long long>(before.totalSteps));
+  std::printf("  after  LICM: %8llu  (of %llu total)\n",
+              static_cast<unsigned long long>(after.holdSteps),
+              static_cast<unsigned long long>(after.totalSteps));
+  const double shrink =
+      before.holdSteps == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(after.holdSteps) /
+                               static_cast<double>(before.holdSteps));
+  std::printf("  critical sections shrank by %.1f%%\n", shrink);
+  std::printf("  account balances identical before/after: sum = %lld\n",
+              after.balanceSum);
+  return 0;
+}

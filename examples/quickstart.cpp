@@ -1,0 +1,94 @@
+// Quickstart: the paper's Figure 1 program, built with the programmatic
+// IR builder, analyzed end to end, optimized, and executed.
+//
+//   $ ./quickstart
+//
+// Walks through every layer of the library:
+//   1. build an explicitly parallel program (cobegin + lock/unlock),
+//   2. run the analysis pipeline (PFG → mutex structures → CSSAME),
+//   3. inspect how mutual exclusion shrinks the π terms,
+//   4. optimize (CSCC + PDCE + LICM),
+//   5. execute under the interleaving interpreter.
+#include <cstdio>
+
+#include "src/cssa/form_printer.h"
+#include "src/driver/pipeline.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/opt/optimize.h"
+
+using namespace cssame;
+
+int main() {
+  // --- 1. Build Figure 1: two threads sharing `a` and `b` under lock L.
+  ir::ProgramBuilder b;
+  const SymbolId a = b.var("a");
+  const SymbolId bb = b.var("b");
+  const SymbolId L = b.lock("L");
+  const SymbolId f = b.func("f");
+  const SymbolId g = b.func("g");
+
+  b.assign(a, b.lit(1));
+  b.assign(bb, b.lit(2));
+  b.cobegin({
+      [&] {  // T0
+        b.lockStmt(L);
+        b.assign(a, b.add(b.ref(a), b.ref(bb)));
+        b.unlockStmt(L);
+      },
+      [&] {  // T1
+        b.callStmt(f, {});
+        b.lockStmt(L);
+        b.assign(a, b.lit(3));  // kills T0's assignment for the next use
+        b.assign(bb, b.add(b.ref(bb), b.call(g, b.ref(a))));
+        b.unlockStmt(L);
+      },
+  });
+  b.print(b.ref(a));
+  b.print(b.ref(bb));
+  ir::Program prog = b.take();
+
+  std::printf("=== Source ===\n%s\n", ir::printProgram(prog).c_str());
+
+  // --- 2./3. Analyze twice: plain CSSA vs CSSAME.
+  {
+    driver::Compilation cssaOnly =
+        driver::analyze(prog, {.enableCssame = false});
+    driver::Compilation cssame = driver::analyze(prog);
+    std::printf("=== Analysis ===\n");
+    std::printf("mutex bodies found:       %zu\n",
+                cssame.mutexes().bodies().size());
+    std::printf("pi terms under CSSA:      %zu (%zu conflict args)\n",
+                cssaOnly.ssa().countLivePis(),
+                cssaOnly.ssa().countPiConflictArgs());
+    std::printf("pi terms under CSSAME:    %zu (%zu conflict args)\n",
+                cssame.ssa().countLivePis(),
+                cssame.ssa().countPiConflictArgs());
+    std::printf("pi args removed by A.3:   %zu\n\n",
+                cssame.rewriteStats().argsRemoved);
+    std::printf("=== CSSAME form ===\n%s\n",
+                cssa::printForm(cssame.graph(), cssame.ssa()).c_str());
+  }
+
+  // --- 4. Optimize: constants propagate through the lock-killed uses.
+  opt::OptimizeReport report = opt::optimizeProgram(prog);
+  std::printf("=== Optimized (%d iterations) ===\n%s\n", report.iterations,
+              ir::printProgram(prog).c_str());
+  std::printf("pass stats: %zu uses folded, %zu dead stmts removed, "
+              "%zu stmts sunk past unlock\n\n",
+              report.constProp.usesReplaced, report.deadCode.stmtsRemoved,
+              report.lockMotion.sunk);
+
+  // --- 5. Execute a few interleavings.
+  std::printf("=== Execution (3 seeds) ===\n");
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    interp::RunResult r = interp::run(prog, {.seed = seed});
+    std::printf("seed %llu:", static_cast<unsigned long long>(seed));
+    for (long long v : r.output) std::printf(" %lld", v);
+    std::printf("  (%llu steps, %llu lock-held steps)\n",
+                static_cast<unsigned long long>(r.steps),
+                static_cast<unsigned long long>(r.totalHoldSteps()));
+  }
+  return 0;
+}

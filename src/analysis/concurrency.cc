@@ -1,0 +1,247 @@
+#include "src/analysis/concurrency.h"
+
+#include <algorithm>
+
+namespace cssame::analysis {
+
+Mhp::Mhp(const pfg::Graph& graph, const Dominators& dom)
+    : graph_(graph), dom_(dom) {
+  for (const pfg::Node& n : graph.nodes()) {
+    if (n.kind == pfg::NodeKind::Set) {
+      setNodes_[n.syncStmt->sync].push_back(n.id);
+    } else if (n.kind == pfg::NodeKind::Wait) {
+      waitNodes_[n.syncStmt->sync].push_back(n.id);
+    } else if (n.kind == pfg::NodeKind::Barrier) {
+      // A barrier belongs to the arm of its *innermost* cobegin.
+      if (n.threadPath.empty()) continue;  // top level: no partners
+      const pfg::ThreadPathEntry& arm = n.threadPath.back();
+      armBarriers_[ArmKey{arm.cobegin, arm.threadIndex}].push_back(n.id);
+      // A barrier on a control cycle (inside a loop) may fire repeatedly;
+      // the phase-counting argument then breaks — disable the cobegin.
+      const DynBitset& reach = reachableFrom(n.id);
+      if (reach.test(n.id.index())) barrierDisabled_.insert(arm.cobegin);
+    }
+  }
+}
+
+const DynBitset& Mhp::reachableFrom(NodeId from) const {
+  auto it = reachCache_.find(from);
+  if (it != reachCache_.end()) return it->second;
+  DynBitset reach(graph_.size());
+  std::vector<NodeId> work;
+  for (NodeId s : graph_.node(from).succs) {
+    if (!reach.test(s.index())) {
+      reach.set(s.index());
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId cur = work.back();
+    work.pop_back();
+    for (NodeId s : graph_.node(cur).succs) {
+      if (!reach.test(s.index())) {
+        reach.set(s.index());
+        work.push_back(s);
+      }
+    }
+  }
+  return reachCache_.emplace(from, std::move(reach)).first->second;
+}
+
+bool Mhp::divergence(NodeId a, NodeId b, StmtId* cobegin,
+                     std::uint32_t* armA, std::uint32_t* armB) const {
+  const pfg::ThreadPath& pa = graph_.node(a).threadPath;
+  const pfg::ThreadPath& pb = graph_.node(b).threadPath;
+  const std::size_t common = std::min(pa.size(), pb.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (pa[i].cobegin != pb[i].cobegin) return false;
+    if (pa[i].threadIndex != pb[i].threadIndex) {
+      *cobegin = pa[i].cobegin;
+      *armA = pa[i].threadIndex;
+      *armB = pb[i].threadIndex;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Mhp::separatedByBarrier(NodeId a, NodeId b, StmtId cobegin,
+                             std::uint32_t armA, std::uint32_t armB) const {
+  if (barrierDisabled_.contains(cobegin)) return false;
+
+  auto barriersDominating = [&](NodeId n, std::uint32_t arm) {
+    std::size_t count = 0;
+    auto it = armBarriers_.find(ArmKey{cobegin, arm});
+    if (it == armBarriers_.end()) return count;
+    for (NodeId bar : it->second)
+      if (dom_.dominates(bar, n)) ++count;
+    return count;
+  };
+  auto barriersReaching = [&](NodeId n, std::uint32_t arm) {
+    std::size_t count = 0;
+    auto it = armBarriers_.find(ArmKey{cobegin, arm});
+    if (it == armBarriers_.end()) return count;
+    for (NodeId bar : it->second)
+      if (reachableFrom(bar).test(n.index())) ++count;
+    return count;
+  };
+
+  if (barriersDominating(a, armA) > barriersReaching(b, armB)) return true;
+  if (barriersDominating(b, armB) > barriersReaching(a, armA)) return true;
+  return false;
+}
+
+bool Mhp::inConcurrentThreads(NodeId a, NodeId b) const {
+  const pfg::ThreadPath& pa = graph_.node(a).threadPath;
+  const pfg::ThreadPath& pb = graph_.node(b).threadPath;
+  const std::size_t common = std::min(pa.size(), pb.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (pa[i].cobegin != pb[i].cobegin) return false;  // unrelated forks
+    if (pa[i].threadIndex != pb[i].threadIndex) return true;  // siblings
+  }
+  // One path is a prefix of the other: same thread lineage, sequential.
+  return false;
+}
+
+bool Mhp::orderedBefore(NodeId a, NodeId b) const {
+  for (const auto& [event, sets] : setNodes_) {
+    auto waitsIt = waitNodes_.find(event);
+    if (waitsIt == waitNodes_.end()) continue;
+    bool aBeforeSet = false;
+    for (NodeId s : sets) {
+      if (dom_.dominates(a, s)) {
+        aBeforeSet = true;
+        break;
+      }
+    }
+    if (!aBeforeSet) continue;
+    for (NodeId w : waitsIt->second) {
+      if (dom_.dominates(w, b)) return true;
+    }
+  }
+  return false;
+}
+
+bool Mhp::mayHappenInParallel(NodeId a, NodeId b) const {
+  if (a == b) return false;  // a node does not conflict with itself
+  StmtId cobegin;
+  std::uint32_t armA = 0, armB = 0;
+  if (!divergence(a, b, &cobegin, &armA, &armB)) return false;
+  if (orderedBefore(a, b) || orderedBefore(b, a)) return false;
+  if (separatedByBarrier(a, b, cobegin, armA, armB)) return false;
+  return true;
+}
+
+namespace {
+
+/// Variables defined / used by the statements of one node (shared only).
+struct NodeAccess {
+  std::vector<SymbolId> defs;
+  std::vector<SymbolId> uses;
+};
+
+void addUnique(std::vector<SymbolId>& v, SymbolId s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+
+void collectExprUses(const ir::Expr& e, const ir::SymbolTable& syms,
+                     std::vector<SymbolId>& uses) {
+  ir::forEachExpr(e, [&](const ir::Expr& sub) {
+    if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var))
+      addUnique(uses, sub.var);
+  });
+}
+
+NodeAccess accessOf(const pfg::Node& n, const ir::SymbolTable& syms) {
+  NodeAccess acc;
+  for (const ir::Stmt* s : n.stmts) {
+    if (s->expr) collectExprUses(*s->expr, syms, acc.uses);
+    if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs))
+      addUnique(acc.defs, s->lhs);
+  }
+  if (n.terminator != nullptr && n.terminator->expr)
+    collectExprUses(*n.terminator->expr, syms, acc.uses);
+  return acc;
+}
+
+}  // namespace
+
+void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp) {
+  graph.conflicts.clear();
+  graph.mutexEdges.clear();
+  graph.dsyncEdges.clear();
+
+  const ir::SymbolTable& syms = graph.program().symbols;
+
+  // Per-node shared accesses.
+  std::vector<NodeAccess> access(graph.size());
+  for (const pfg::Node& n : graph.nodes())
+    if (n.kind == pfg::NodeKind::Block) access[n.id.index()] = accessOf(n, syms);
+
+  // Ecf: def -> concurrent use (DU) or concurrent def (DD).
+  for (const pfg::Node& d : graph.nodes()) {
+    for (SymbolId v : access[d.id.index()].defs) {
+      for (const pfg::Node& u : graph.nodes()) {
+        if (!mhp.conflicting(d.id, u.id)) continue;
+        const NodeAccess& ua = access[u.id.index()];
+        const bool usesV =
+            std::find(ua.uses.begin(), ua.uses.end(), v) != ua.uses.end();
+        const bool defsV =
+            std::find(ua.defs.begin(), ua.defs.end(), v) != ua.defs.end();
+        if (usesV)
+          graph.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, false});
+        if (defsV)
+          graph.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, true});
+      }
+    }
+  }
+
+  // Emutex: Lock(L) <-> Unlock(L) in concurrent threads.
+  for (const pfg::Node& a : graph.nodes()) {
+    if (a.kind != pfg::NodeKind::Lock) continue;
+    for (const pfg::Node& b : graph.nodes()) {
+      if (b.kind != pfg::NodeKind::Unlock) continue;
+      if (a.syncStmt->sync != b.syncStmt->sync) continue;
+      if (!mhp.mayHappenInParallel(a.id, b.id)) continue;
+      graph.mutexEdges.push_back(
+          pfg::MutexEdge{a.id, b.id, a.syncStmt->sync});
+    }
+  }
+
+  // Edsync: Set(e) -> Wait(e) in concurrent threads.
+  for (const pfg::Node& a : graph.nodes()) {
+    if (a.kind != pfg::NodeKind::Set) continue;
+    for (const pfg::Node& b : graph.nodes()) {
+      if (b.kind != pfg::NodeKind::Wait) continue;
+      if (a.syncStmt->sync != b.syncStmt->sync) continue;
+      if (!mhp.inConcurrentThreads(a.id, b.id)) continue;
+      graph.dsyncEdges.push_back(
+          pfg::DsyncEdge{a.id, b.id, a.syncStmt->sync});
+    }
+  }
+}
+
+AccessSites collectAccessSites(const pfg::Graph& graph) {
+  AccessSites sites;
+  const ir::SymbolTable& syms = graph.program().symbols;
+
+  auto collectUses = [&](const ir::Expr& e, ir::Stmt* stmt, NodeId node) {
+    ir::forEachExpr(e, [&](const ir::Expr& sub) {
+      if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var))
+        sites.uses[sub.var].push_back(AccessSites::Use{&sub, stmt, node});
+    });
+  };
+
+  for (const pfg::Node& n : graph.nodes()) {
+    for (ir::Stmt* s : n.stmts) {
+      if (s->expr) collectUses(*s->expr, s, n.id);
+      if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs))
+        sites.defs[s->lhs].push_back(AccessSites::Def{s, n.id});
+    }
+    if (n.terminator != nullptr && n.terminator->expr)
+      collectUses(*n.terminator->expr, n.terminator, n.id);
+  }
+  return sites;
+}
+
+}  // namespace cssame::analysis

@@ -1,0 +1,134 @@
+// May-happen-in-parallel (MHP) analysis.
+//
+// Base relation: two nodes may execute concurrently when their thread
+// paths first diverge at a common cobegin with different thread indices
+// (cobegin forks all threads; coend joins them, so nodes sequentially
+// before/after a cobegin never overlap with its threads).
+//
+// Refinement (Edsync): a guaranteed ordering u ≺ v is established by an
+// event e when some Set(e) node s satisfies u DOM s and some Wait(e) node
+// w satisfies w DOM v. Then v executes only after w proceeds, which
+// requires s to have executed, which requires u to have executed first.
+// (If s never executes, w blocks and v never executes, so the ordering
+// holds vacuously.) This is a conservative subset of Lee et al.'s
+// guaranteed-ordering computation; it only ever *removes* MHP pairs, so
+// any imprecision keeps the analysis sound.
+//
+// Refinement (barriers — extension; the paper lists barrier support as
+// future work): a barrier rendezvouses all threads of its enclosing
+// cobegin. For sibling arms i and j, node u (arm i) and node v (arm j)
+// cannot overlap when the number of arm-i barriers *dominating* u
+// exceeds the number of arm-j barriers from which v is *reachable*: u
+// runs only after its thread passed k barriers, which requires v's
+// thread to have arrived at (and therefore executed everything before)
+// its own k-th barrier — but fewer than k barriers can precede v on any
+// path, so v has already completed. The refinement is disabled for a
+// cobegin whenever one of its barriers sits on a control cycle (a
+// barrier inside a loop executes repeatedly, which breaks the "distinct
+// barriers reaching v" counting argument).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/dominance.h"
+#include "src/pfg/graph.h"
+#include "src/support/bitset.h"
+
+namespace cssame::analysis {
+
+class Mhp {
+ public:
+  /// `dom` must be the forward dominator tree of `graph`.
+  Mhp(const pfg::Graph& graph, const Dominators& dom);
+
+  /// True if the two nodes may execute concurrently.
+  [[nodiscard]] bool mayHappenInParallel(NodeId a, NodeId b) const;
+
+  /// Conflict relation used for Ecf edges and π placement: thread
+  /// divergence WITHOUT the set/wait refinement. A definition in a thread
+  /// ordered *before* a use still reaches that use (the ordering makes
+  /// the data flow deterministic, it does not remove it), so π arguments
+  /// must be kept; dropping them would let constant propagation wrongly
+  /// fold the use to the value on the sequential control path. The
+  /// ordering-refined mayHappenInParallel remains sound for LICM legality
+  /// and data-race reports, where "cannot overlap" is what matters.
+  [[nodiscard]] bool conflicting(NodeId a, NodeId b) const {
+    return a != b && inConcurrentThreads(a, b);
+  }
+
+  /// True if a guaranteed ordering a ≺ b is established by set/wait.
+  [[nodiscard]] bool orderedBefore(NodeId a, NodeId b) const;
+
+  /// True if the thread paths of a and b diverge at a common cobegin
+  /// (ignoring set/wait ordering).
+  [[nodiscard]] bool inConcurrentThreads(NodeId a, NodeId b) const;
+
+  /// True if a barrier phase separation proves the two nodes (already
+  /// known to be in concurrent arms of `cobegin`) cannot overlap.
+  [[nodiscard]] bool separatedByBarrier(NodeId a, NodeId b,
+                                        StmtId cobegin,
+                                        std::uint32_t armA,
+                                        std::uint32_t armB) const;
+
+ private:
+  struct ArmKey {
+    StmtId cobegin;
+    std::uint32_t arm;
+    bool operator==(const ArmKey&) const = default;
+  };
+  struct ArmKeyHash {
+    std::size_t operator()(const ArmKey& k) const {
+      return std::hash<StmtId>{}(k.cobegin) * 31 + k.arm;
+    }
+  };
+
+  /// Finds the first divergence point of the two thread paths. Returns
+  /// false when the nodes are in the same thread lineage (sequential).
+  [[nodiscard]] bool divergence(NodeId a, NodeId b, StmtId* cobegin,
+                                std::uint32_t* armA,
+                                std::uint32_t* armB) const;
+
+  /// Nodes reachable from `from` along control edges (cached).
+  [[nodiscard]] const DynBitset& reachableFrom(NodeId from) const;
+
+  const pfg::Graph& graph_;
+  const Dominators& dom_;
+  // Per event variable: its Set nodes and Wait nodes.
+  std::unordered_map<SymbolId, std::vector<NodeId>> setNodes_;
+  std::unordered_map<SymbolId, std::vector<NodeId>> waitNodes_;
+  // Barrier nodes directly in each cobegin arm.
+  std::unordered_map<ArmKey, std::vector<NodeId>, ArmKeyHash> armBarriers_;
+  // Cobegins whose barrier refinement is disabled (barrier on a cycle).
+  std::unordered_set<StmtId> barrierDisabled_;
+  mutable std::unordered_map<NodeId, DynBitset> reachCache_;
+};
+
+/// Populates graph.conflicts (Ecf), graph.mutexEdges (Emutex) and
+/// graph.dsyncEdges (Edsync) from the MHP relation, completing the PFG of
+/// Definition 1. Conflict edges run from every node defining a shared
+/// variable to every concurrent node using (DU) or defining (DD) it.
+void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp);
+
+/// Definition and use sites of shared variables at statement granularity;
+/// the CSSA π-placement consumes these (one π argument per concurrent
+/// definition site).
+struct AccessSites {
+  struct Def {
+    ir::Stmt* stmt;  ///< the Assign statement
+    NodeId node;
+  };
+  struct Use {
+    const ir::Expr* ref;  ///< the VarRef expression
+    ir::Stmt* stmt;       ///< statement containing the use
+    NodeId node;
+  };
+  std::unordered_map<SymbolId, std::vector<Def>> defs;
+  std::unordered_map<SymbolId, std::vector<Use>> uses;
+};
+
+/// Collects per-shared-variable access sites over the whole graph.
+[[nodiscard]] AccessSites collectAccessSites(const pfg::Graph& graph);
+
+}  // namespace cssame::analysis

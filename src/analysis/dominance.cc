@@ -1,0 +1,125 @@
+#include "src/analysis/dominance.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cssame::analysis {
+
+namespace {
+constexpr std::uint32_t kUnvisited = 0xffffffffu;
+}
+
+// Cooper–Harvey–Kennedy iterative dominators over reverse post-order.
+Dominators::Dominators(const pfg::Graph& graph, Direction dir) : dir_(dir) {
+  const std::size_t n = graph.size();
+  root_ = dir == Direction::Forward ? graph.entry : graph.exit;
+  idom_.assign(n, NodeId{});
+  children_.assign(n, {});
+  frontier_.assign(n, {});
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+
+  // Depth-first post-order from the root along succsOf.
+  std::vector<std::uint32_t> postIndex(n, kUnvisited);
+  std::vector<NodeId> postOrder;
+  postOrder.reserve(n);
+  {
+    std::vector<std::pair<NodeId, std::size_t>> stack;
+    std::vector<bool> onStackOrDone(n, false);
+    stack.emplace_back(root_, 0);
+    onStackOrDone[root_.index()] = true;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& succs = succsOf(graph.node(node));
+      if (next < succs.size()) {
+        const NodeId s = succs[next++];
+        if (!onStackOrDone[s.index()]) {
+          onStackOrDone[s.index()] = true;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        postIndex[node.index()] =
+            static_cast<std::uint32_t>(postOrder.size());
+        postOrder.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+
+  rpo_.assign(postOrder.rbegin(), postOrder.rend());
+
+  auto intersect = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      while (postIndex[a.index()] < postIndex[b.index()])
+        a = idom_[a.index()];
+      while (postIndex[b.index()] < postIndex[a.index()])
+        b = idom_[b.index()];
+    }
+    return a;
+  };
+
+  idom_[root_.index()] = root_;  // temporarily self, cleared below
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId b : rpo_) {
+      if (b == root_) continue;
+      NodeId newIdom{};
+      for (NodeId p : predsOf(graph.node(b))) {
+        if (postIndex[p.index()] == kUnvisited) continue;  // unreachable
+        if (!idom_[p.index()].valid()) continue;           // not processed yet
+        newIdom = newIdom.valid() ? intersect(p, newIdom) : p;
+      }
+      if (newIdom.valid() && idom_[b.index()] != newIdom) {
+        idom_[b.index()] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  idom_[root_.index()] = NodeId{};  // the root has no idom
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id{static_cast<NodeId::value_type>(i)};
+    if (idom_[i].valid()) children_[idom_[i].index()].push_back(id);
+  }
+
+  // Euler intervals for O(1) dominates().
+  std::uint32_t timer = 1;
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(root_, 0);
+  tin_[root_.index()] = timer++;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const auto& kids = children_[node.index()];
+    if (next < kids.size()) {
+      const NodeId k = kids[next++];
+      tin_[k.index()] = timer++;
+      stack.emplace_back(k, 0);
+    } else {
+      tout_[node.index()] = timer++;
+      stack.pop_back();
+    }
+  }
+
+  computeFrontiers(graph);
+}
+
+void Dominators::computeFrontiers(const pfg::Graph& graph) {
+  // Cytron et al.'s two-pass formulation, using the CHK "walk up from each
+  // join predecessor" variant.
+  for (NodeId b : rpo_) {
+    const auto& preds = predsOf(graph.node(b));
+    if (preds.size() < 2) continue;
+    for (NodeId p : preds) {
+      if (!reachable(p)) continue;
+      NodeId runner = p;
+      while (runner.valid() && runner != idom_[b.index()]) {
+        auto& fr = frontier_[runner.index()];
+        if (std::find(fr.begin(), fr.end(), b) == fr.end()) fr.push_back(b);
+        runner = idom_[runner.index()];
+      }
+    }
+  }
+}
+
+}  // namespace cssame::analysis

@@ -1,0 +1,41 @@
+#include "src/cssa/cssa.h"
+
+namespace cssame::cssa {
+
+PiPlacementStats placePiTerms(pfg::Graph& graph, ssa::SsaForm& form,
+                              const analysis::Mhp& mhp) {
+  PiPlacementStats stats;
+  const ir::SymbolTable& syms = graph.program().symbols;
+  const analysis::AccessSites sites = analysis::collectAccessSites(graph);
+
+  for (const auto& [var, uses] : sites.uses) {
+    auto defsIt = sites.defs.find(var);
+    for (const analysis::AccessSites::Use& u : uses) {
+      // Concurrent real definitions that may reach this use.
+      std::vector<ssa::PiConflictArg> args;
+      if (defsIt != sites.defs.end()) {
+        for (const analysis::AccessSites::Def& d : defsIt->second) {
+          if (!mhp.conflicting(d.node, u.node)) continue;
+          args.push_back(ssa::PiConflictArg{form.assignDef.at(d.stmt),
+                                            d.node, d.stmt});
+        }
+      }
+      if (args.empty()) continue;
+
+      const SsaNameId pi = form.newDef(ssa::DefKind::Pi, var, u.node);
+      ssa::Definition& p = form.def(pi);
+      p.piUse = u.ref;
+      p.piUseStmt = u.stmt;
+      p.piControlArg = form.useDef.at(u.ref);
+      p.piConflictArgs = std::move(args);
+      form.useDef[u.ref] = pi;
+
+      ++stats.pisPlaced;
+      stats.conflictArgs += p.piConflictArgs.size();
+    }
+  }
+  (void)syms;
+  return stats;
+}
+
+}  // namespace cssame::cssa

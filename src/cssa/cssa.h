@@ -1,0 +1,27 @@
+// CSSA construction: π-term placement (Lee, Midkiff, Padua).
+//
+// In CSSA, concurrent modifications of a shared variable are modelled by π
+// terms at parallel join points. We attach one π to each *use* of a shared
+// variable that can be reached by definitions in concurrent threads: the π
+// has the sequential reaching definition as its control argument plus one
+// argument per concurrent real definition site (Figure 3a: every use of
+// `a` in T0 gets `π(a_ctrl, a4)`; the use of `a` feeding y0 in T1 gets
+// `π(a4, a1, a2)`).
+#pragma once
+
+#include "src/analysis/concurrency.h"
+#include "src/ssa/ssa.h"
+
+namespace cssame::cssa {
+
+struct PiPlacementStats {
+  std::size_t pisPlaced = 0;
+  std::size_t conflictArgs = 0;
+};
+
+/// Extends a sequential SsaForm into CSSA by inserting π terms. Must run
+/// after buildSequentialSsa and before rewritePiTerms.
+PiPlacementStats placePiTerms(pfg::Graph& graph, ssa::SsaForm& form,
+                              const analysis::Mhp& mhp);
+
+}  // namespace cssame::cssa

@@ -1,0 +1,22 @@
+// Textual rendering of a program's CSSA/CSSAME form, node by node —
+// the library's equivalent of the paper's Figure 3 listings.
+#pragma once
+
+#include <string>
+
+#include "src/ssa/ssa.h"
+
+namespace cssame::cssa {
+
+/// Renders every PFG node in reverse post-order with its φ terms, π terms
+/// and SSA-renamed statements, e.g.
+///
+///   node 4 (block) [thread T0]:
+///     a1 = 5
+///     a5 = pi(a1, a4)
+///     b1 = a5 + 3
+///     branch b1 > 4
+[[nodiscard]] std::string printForm(const pfg::Graph& graph,
+                                    const ssa::SsaForm& form);
+
+}  // namespace cssame::cssa

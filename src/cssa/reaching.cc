@@ -1,0 +1,68 @@
+#include "src/cssa/reaching.h"
+
+#include <deque>
+
+namespace cssame::cssa {
+
+ReachingInfo computeParallelReachingDefs(const pfg::Graph& graph,
+                                         const ssa::SsaForm& form) {
+  ReachingInfo info;
+
+  auto followChain = [&](const ir::Expr* use, SsaNameId start) {
+    // A.4's marked() memoization, realized as a per-use visited set.
+    std::vector<bool> visited(form.defs.size(), false);
+    std::deque<SsaNameId> work{start};
+    visited[start.index()] = true;
+    auto& defs = info.defsOf[use];
+    while (!work.empty()) {
+      const SsaNameId id = work.front();
+      work.pop_front();
+      const ssa::Definition& d = form.def(id);
+      switch (d.kind) {
+        case ssa::DefKind::Entry:
+        case ssa::DefKind::Assign:
+          defs.push_back(id);
+          info.usesOf[id].push_back(use);
+          break;
+        case ssa::DefKind::Phi:
+          for (const ssa::PhiArg& a : d.phiArgs) {
+            if (!visited[a.def.index()]) {
+              visited[a.def.index()] = true;
+              work.push_back(a.def);
+            }
+          }
+          break;
+        case ssa::DefKind::Pi:
+          if (!visited[d.piControlArg.index()]) {
+            visited[d.piControlArg.index()] = true;
+            work.push_back(d.piControlArg);
+          }
+          for (const ssa::PiConflictArg& a : d.piConflictArgs) {
+            if (!visited[a.def.index()]) {
+              visited[a.def.index()] = true;
+              work.push_back(a.def);
+            }
+          }
+          break;
+      }
+    }
+  };
+
+  auto followAllUses = [&](const ir::Expr& root) {
+    ir::forEachExpr(root, [&](const ir::Expr& sub) {
+      if (sub.kind != ir::ExprKind::VarRef) return;
+      auto it = form.useDef.find(&sub);
+      if (it != form.useDef.end()) followChain(&sub, it->second);
+    });
+  };
+
+  for (const pfg::Node& n : graph.nodes()) {
+    for (const ir::Stmt* s : n.stmts)
+      if (s->expr) followAllUses(*s->expr);
+    if (n.terminator != nullptr && n.terminator->expr)
+      followAllUses(*n.terminator->expr);
+  }
+  return info;
+}
+
+}  // namespace cssame::cssa

@@ -1,0 +1,34 @@
+// Parallel reaching definitions over FUD chains (paper Algorithm A.4).
+//
+// For every use of a variable, follows its factored use-def chain,
+// expanding φ and π terms transitively, down to the *real* definitions
+// (Assign statements and the Entry value). Also produces the inverse
+// def-use links required by the constant propagation and dead code
+// elimination passes.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ssa/ssa.h"
+
+namespace cssame::cssa {
+
+struct ReachingInfo {
+  /// defs(u): real definitions that may reach each VarRef.
+  std::unordered_map<const ir::Expr*, std::vector<SsaNameId>> defsOf;
+  /// uses(d): VarRefs each real definition may reach.
+  std::unordered_map<SsaNameId, std::vector<const ir::Expr*>> usesOf;
+
+  /// Reaching definitions of one use (empty if the use is unknown).
+  [[nodiscard]] const std::vector<SsaNameId>& defs(const ir::Expr* use) const {
+    static const std::vector<SsaNameId> kEmpty;
+    auto it = defsOf.find(use);
+    return it == defsOf.end() ? kEmpty : it->second;
+  }
+};
+
+[[nodiscard]] ReachingInfo computeParallelReachingDefs(
+    const pfg::Graph& graph, const ssa::SsaForm& form);
+
+}  // namespace cssame::cssa

@@ -1,0 +1,150 @@
+#include "src/cssa/rewrite.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cssame::cssa {
+
+namespace {
+
+/// True if the block node contains a real definition of `var`.
+bool nodeDefines(const pfg::Node& n, SymbolId var) {
+  for (const ir::Stmt* s : n.stmts)
+    if (s->kind == ir::StmtKind::Assign && s->lhs == var) return true;
+  return false;
+}
+
+}  // namespace
+
+bool isUpwardExposedFromBody(const pfg::Graph& graph,
+                             const mutex::MutexBody& b, SymbolId var,
+                             const ir::Expr* ref, const ir::Stmt* useStmt,
+                             NodeId node) {
+  (void)ref;
+  const pfg::Node& start = graph.node(node);
+
+  // A real definition before the use in the same node kills the exposure.
+  // When the use sits in the terminator condition, every statement of the
+  // node precedes it.
+  for (const ir::Stmt* s : start.stmts) {
+    if (s == useStmt) break;
+    if (s->kind == ir::StmtKind::Assign && s->lhs == var) return false;
+  }
+
+  // Backward search restricted to the body (plus its lock node): exposed
+  // iff some definition-free control path reaches the lock node.
+  std::deque<NodeId> work;
+  std::vector<bool> visited(graph.size(), false);
+  auto enqueuePreds = [&](NodeId id) {
+    for (NodeId p : graph.node(id).preds) {
+      if (p != b.lockNode && !b.members.test(p.index())) continue;
+      if (!visited[p.index()]) {
+        visited[p.index()] = true;
+        work.push_back(p);
+      }
+    }
+  };
+  enqueuePreds(node);
+  while (!work.empty()) {
+    const NodeId cur = work.front();
+    work.pop_front();
+    if (cur == b.lockNode) return true;  // reached n with no kill
+    if (nodeDefines(graph.node(cur), var)) continue;  // path killed
+    enqueuePreds(cur);
+  }
+  return false;
+}
+
+bool defReachesBodyExit(const pfg::Graph& graph, const mutex::MutexBody& b,
+                        SymbolId var, const ir::Stmt* defStmt, NodeId node) {
+  const pfg::Node& start = graph.node(node);
+
+  // A later definition in the same node kills this one.
+  bool seenDef = false;
+  for (const ir::Stmt* s : start.stmts) {
+    if (s == defStmt) {
+      seenDef = true;
+      continue;
+    }
+    if (seenDef && s->kind == ir::StmtKind::Assign && s->lhs == var)
+      return false;
+  }
+
+  if (node == b.unlockNode) return true;
+
+  // Forward search restricted to the body: reaches iff some control path
+  // arrives at the unlock node without passing another definition.
+  std::deque<NodeId> work;
+  std::vector<bool> visited(graph.size(), false);
+  auto enqueueSuccs = [&](NodeId id) {
+    for (NodeId s : graph.node(id).succs) {
+      if (!b.members.test(s.index())) continue;  // unlock node is a member
+      if (!visited[s.index()]) {
+        visited[s.index()] = true;
+        work.push_back(s);
+      }
+    }
+  };
+  enqueueSuccs(node);
+  while (!work.empty()) {
+    const NodeId cur = work.front();
+    work.pop_front();
+    if (cur == b.unlockNode) return true;
+    if (nodeDefines(graph.node(cur), var)) continue;  // path killed
+    enqueueSuccs(cur);
+  }
+  return false;
+}
+
+RewriteStats rewritePiTerms(pfg::Graph& graph, ssa::SsaForm& form,
+                            const mutex::MutexStructures& structures) {
+  RewriteStats stats;
+
+  for (ssa::Definition& p : form.defs) {
+    if (p.kind != ssa::DefKind::Pi || p.removed) continue;
+    const SymbolId v = p.var;
+    const NodeId useNode = p.node;
+
+    // For every lock whose well-formed body contains the use, try to
+    // remove conflict arguments coming from other bodies of the same
+    // mutex structure (Algorithm A.3 lines 14–20).
+    for (SymbolId lockVar : structures.lockVars()) {
+      const MutexBodyId bId =
+          structures.wellFormedBodyContaining(useNode, lockVar);
+      if (!bId.valid()) continue;
+      const mutex::MutexBody& b = structures.body(bId);
+
+      const bool exposed = isUpwardExposedFromBody(graph, b, v, p.piUse,
+                                                   p.piUseStmt, useNode);
+
+      auto& args = p.piConflictArgs;
+      const std::size_t before = args.size();
+      args.erase(
+          std::remove_if(
+              args.begin(), args.end(),
+              [&](const ssa::PiConflictArg& a) {
+                const MutexBodyId bpId = structures.wellFormedBodyContaining(
+                    a.fromNode, lockVar);
+                if (!bpId.valid() || bpId == bId) return false;
+                const mutex::MutexBody& bp = structures.body(bpId);
+                if (!exposed) return true;  // Theorem 2
+                if (!defReachesBodyExit(graph, bp, v, a.defStmt, a.fromNode))
+                  return true;  // Theorem 1
+                return false;
+              }),
+          args.end());
+      stats.argsRemoved += before - args.size();
+    }
+
+    // Lines 21–25: a π with only the control argument left is deleted and
+    // its use rewired to the sequential reaching definition.
+    if (p.piConflictArgs.empty()) {
+      form.useDef[p.piUse] = p.piControlArg;
+      p.removed = true;
+      ++stats.pisRemoved;
+    }
+  }
+  return stats;
+}
+
+}  // namespace cssame::cssa

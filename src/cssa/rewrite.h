@@ -1,0 +1,49 @@
+// CSSAME π-term rewriting (paper Section 4, Theorems 1–2, Algorithm A.3).
+//
+// For a π term attached to a use u of shared variable v inside a
+// well-formed mutex body b = B_L(n,x), a conflict argument d coming from
+// another well-formed body b' of the same mutex structure M_L may be
+// removed when either
+//   Theorem 1: d does not reach the exit node x' of b'  (it is always
+//              killed inside b' before the unlock), or
+//   Theorem 2: u is not upward-exposed from b  (every path from the lock
+//              node n to u passes a real definition of v inside b).
+// A π left with only its control argument is folded away.
+//
+// Both predicates are computed over control paths restricted to the body's
+// members; only *real* definitions kill (φ terms are merges, not stores).
+#pragma once
+
+#include "src/analysis/dominance.h"
+#include "src/mutex/mutex_structures.h"
+#include "src/ssa/ssa.h"
+
+namespace cssame::cssa {
+
+struct RewriteStats {
+  std::size_t argsRemoved = 0;
+  std::size_t pisRemoved = 0;
+};
+
+RewriteStats rewritePiTerms(pfg::Graph& graph, ssa::SsaForm& form,
+                            const mutex::MutexStructures& structures);
+
+/// Predicate of Theorem 2: is the use (ref inside stmt, located in `node`)
+/// upward-exposed from mutex body `b`? Exposed means some control path
+/// from the body's lock node reaches the use without passing a real
+/// definition of `var`. Exported for direct unit testing.
+[[nodiscard]] bool isUpwardExposedFromBody(const pfg::Graph& graph,
+                                           const mutex::MutexBody& b,
+                                           SymbolId var,
+                                           const ir::Expr* ref,
+                                           const ir::Stmt* useStmt,
+                                           NodeId node);
+
+/// Predicate of Theorem 1: does the definition (an Assign in `node`)
+/// reach the body's unlock node along some control path inside the body?
+[[nodiscard]] bool defReachesBodyExit(const pfg::Graph& graph,
+                                      const mutex::MutexBody& b,
+                                      SymbolId var, const ir::Stmt* defStmt,
+                                      NodeId node);
+
+}  // namespace cssame::cssa

@@ -1,0 +1,23 @@
+#include "src/driver/pipeline.h"
+
+namespace cssame::driver {
+
+Compilation::Compilation(ir::Program& program, PipelineOptions opts)
+    : program_(&program) {
+  graph_ = std::make_unique<pfg::Graph>(pfg::buildPfg(program));
+  dom_ = std::make_unique<analysis::Dominators>(
+      *graph_, analysis::Dominators::Direction::Forward);
+  pdom_ = std::make_unique<analysis::Dominators>(
+      *graph_, analysis::Dominators::Direction::Reverse);
+  mhp_ = std::make_unique<analysis::Mhp>(*graph_, *dom_);
+  analysis::computeSyncAndConflictEdges(*graph_, *mhp_);
+  mutexes_ = std::make_unique<mutex::MutexStructures>(
+      *graph_, *dom_, *pdom_, opts.warnings ? &diag_ : nullptr);
+  ssa_ = std::make_unique<ssa::SsaForm>(
+      ssa::buildSequentialSsa(*graph_, *dom_));
+  piStats_ = cssa::placePiTerms(*graph_, *ssa_, *mhp_);
+  if (opts.enableCssame)
+    rewriteStats_ = cssa::rewritePiTerms(*graph_, *ssa_, *mutexes_);
+}
+
+}  // namespace cssame::driver

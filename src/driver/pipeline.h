@@ -1,0 +1,80 @@
+// End-to-end analysis pipeline (paper Algorithm A.2).
+//
+// Bundles the full chain
+//   IR → PFG → DOM/PDOM → MHP → Ecf/Emutex/Edsync → mutex structures
+//      → sequential SSA → CSSA (π placement) → CSSAME (π rewriting)
+// into one object the optimization passes and tools consume. Passes that
+// mutate the IR invalidate the Compilation; re-run analyze() afterwards.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "src/analysis/concurrency.h"
+#include "src/analysis/dominance.h"
+#include "src/cssa/cssa.h"
+#include "src/cssa/rewrite.h"
+#include "src/mutex/mutex_structures.h"
+#include "src/parser/parser.h"
+#include "src/pfg/build.h"
+#include "src/ssa/ssa.h"
+
+namespace cssame::driver {
+
+struct PipelineOptions {
+  /// Apply the CSSAME π rewriting (Algorithm A.3). Disable to obtain the
+  /// plain CSSA form of Lee et al. — the paper's baseline.
+  bool enableCssame = true;
+  /// Emit Section 6 synchronization warnings (unmatched locks etc.).
+  bool warnings = true;
+};
+
+/// The result of analyzing one program. Holds non-owning access to the
+/// ir::Program, which must outlive the Compilation.
+class Compilation {
+ public:
+  Compilation(ir::Program& program, PipelineOptions opts);
+
+  ir::Program& program() { return *program_; }
+  [[nodiscard]] const ir::Program& program() const { return *program_; }
+
+  pfg::Graph& graph() { return *graph_; }
+  [[nodiscard]] const pfg::Graph& graph() const { return *graph_; }
+  [[nodiscard]] const analysis::Dominators& dom() const { return *dom_; }
+  [[nodiscard]] const analysis::Dominators& pdom() const { return *pdom_; }
+  [[nodiscard]] const analysis::Mhp& mhp() const { return *mhp_; }
+  [[nodiscard]] const mutex::MutexStructures& mutexes() const {
+    return *mutexes_;
+  }
+  ssa::SsaForm& ssa() { return *ssa_; }
+  [[nodiscard]] const ssa::SsaForm& ssa() const { return *ssa_; }
+
+  [[nodiscard]] const cssa::PiPlacementStats& piStats() const {
+    return piStats_;
+  }
+  [[nodiscard]] const cssa::RewriteStats& rewriteStats() const {
+    return rewriteStats_;
+  }
+
+  DiagEngine& diag() { return diag_; }
+
+ private:
+  ir::Program* program_;
+  std::unique_ptr<pfg::Graph> graph_;
+  std::unique_ptr<analysis::Dominators> dom_;
+  std::unique_ptr<analysis::Dominators> pdom_;
+  std::unique_ptr<analysis::Mhp> mhp_;
+  std::unique_ptr<mutex::MutexStructures> mutexes_;
+  std::unique_ptr<ssa::SsaForm> ssa_;
+  cssa::PiPlacementStats piStats_;
+  cssa::RewriteStats rewriteStats_;
+  DiagEngine diag_;
+};
+
+/// Analyzes a program already owned by the caller.
+[[nodiscard]] inline Compilation analyze(ir::Program& program,
+                                         PipelineOptions opts = {}) {
+  return Compilation(program, opts);
+}
+
+}  // namespace cssame::driver

@@ -1,0 +1,76 @@
+#include "src/interp/explore.h"
+
+#include <unordered_set>
+
+#include "src/interp/machine.h"
+
+namespace cssame::interp {
+
+namespace {
+
+class Explorer {
+ public:
+  Explorer(const ir::Program& prog, ExploreOptions opts)
+      : prog_(prog), opts_(opts) {}
+
+  ExploreResult run() {
+    dfs(Machine(prog_), 0);
+    return std::move(result_);
+  }
+
+ private:
+  void dfs(Machine machine, std::uint64_t depth) {
+    while (true) {
+      if (stepsUsed_ >= opts_.maxSteps || depth >= opts_.maxDepthPerRun) {
+        result_.complete = false;
+        return;
+      }
+      if (!machine.anyAlive()) {
+        result_.outputs.insert(machine.result().output);
+        result_.anyLockError |= machine.result().lockError;
+        return;
+      }
+      const std::vector<std::size_t> ready = machine.readyThreads();
+      if (ready.empty()) {
+        result_.anyDeadlock = true;
+        result_.outputs.insert(machine.result().output);
+        return;
+      }
+      // Deduplicate: if this exact dynamic state (including produced
+      // output) was explored before, every continuation was too.
+      if (!visited_.insert(machine.stateHash()).second) return;
+      ++result_.statesExplored;
+
+      // Fork on every choice but the first; continue the first in place
+      // (avoids one copy per level on the leftmost path).
+      for (std::size_t i = 1; i < ready.size(); ++i) {
+        Machine fork = machine;
+        fork.stepThread(ready[i]);
+        ++stepsUsed_;
+        dfs(std::move(fork), depth + 1);
+        if (stepsUsed_ >= opts_.maxSteps) {
+          result_.complete = false;
+          return;
+        }
+      }
+      machine.stepThread(ready[0]);
+      ++stepsUsed_;
+      ++depth;
+    }
+  }
+
+  const ir::Program& prog_;
+  ExploreOptions opts_;
+  ExploreResult result_;
+  std::unordered_set<std::uint64_t> visited_;
+  std::uint64_t stepsUsed_ = 0;
+};
+
+}  // namespace
+
+ExploreResult exploreAllSchedules(const ir::Program& program,
+                                  ExploreOptions opts) {
+  return Explorer(program, opts).run();
+}
+
+}  // namespace cssame::interp

@@ -1,0 +1,49 @@
+// Exhaustive schedule exploration — a bounded model checker for the
+// interleaving semantics.
+//
+// Enumerates every scheduler decision sequence of a program by forking
+// the (copyable) Machine at each choice point, deduplicating identical
+// dynamic states. The result is the *set of all possible outputs*, which
+// gives the strongest possible validation of an optimization pass:
+//
+//     outputs(optimized) ⊆ outputs(original)
+//
+// must hold for any correct transformation of a racy program (an
+// optimizer may reduce nondeterminism, never introduce new behaviors),
+// and outputs must be preserved exactly for determinate programs.
+//
+// State-space size is exponential in the interleaving depth; the
+// explorer is intended for the small adversarial programs in the test
+// suite (budgets default to ~2M machine steps).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/ir/program.h"
+
+namespace cssame::interp {
+
+struct ExploreOptions {
+  std::uint64_t maxSteps = 1u << 21;    ///< total step budget (all branches)
+  std::uint64_t maxDepthPerRun = 4096;  ///< per-schedule step bound
+};
+
+struct ExploreResult {
+  /// Every distinct output sequence over all schedules.
+  std::set<std::vector<long long>> outputs;
+  bool complete = true;       ///< false if a budget was exhausted
+  bool anyDeadlock = false;   ///< some schedule deadlocks
+  bool anyLockError = false;  ///< some schedule unlocks without holding
+  std::uint64_t statesExplored = 0;
+
+  /// Convenience: the outputs as a sorted vector (stable for EXPECT_EQ).
+  [[nodiscard]] std::vector<std::vector<long long>> outputList() const {
+    return {outputs.begin(), outputs.end()};
+  }
+};
+
+[[nodiscard]] ExploreResult exploreAllSchedules(const ir::Program& program,
+                                                ExploreOptions opts = {});
+
+}  // namespace cssame::interp

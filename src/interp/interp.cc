@@ -1,0 +1,39 @@
+#include "src/interp/interp.h"
+
+#include <random>
+
+#include "src/interp/machine.h"
+
+namespace cssame::interp {
+
+RunResult run(const ir::Program& program, InterpOptions opts) {
+  Machine machine(program);
+  std::mt19937_64 rng(opts.seed);
+  while (machine.result().steps < opts.maxSteps) {
+    if (!machine.anyAlive()) {
+      machine.markCompleted();
+      break;
+    }
+    const std::vector<std::size_t> ready = machine.readyThreads();
+    if (ready.empty()) {
+      machine.markDeadlocked();
+      break;
+    }
+    const std::size_t pick = ready[std::uniform_int_distribution<std::size_t>(
+        0, ready.size() - 1)(rng)];
+    machine.stepThread(pick);
+  }
+  return std::move(machine).takeResult();
+}
+
+std::vector<RunResult> runManySeeds(const ir::Program& program,
+                                    std::uint64_t seeds,
+                                    std::uint64_t maxSteps) {
+  std::vector<RunResult> out;
+  out.reserve(seeds);
+  for (std::uint64_t s = 1; s <= seeds; ++s)
+    out.push_back(run(program, InterpOptions{s, maxSteps}));
+  return out;
+}
+
+}  // namespace cssame::interp

@@ -1,0 +1,69 @@
+// Interleaving-semantics interpreter for explicitly parallel programs.
+//
+// Models the paper's execution model (Section 2): threads share one
+// address space, updates are immediately visible, and execution is an
+// arbitrary interleaving of statement-granular steps. A seeded scheduler
+// picks a random ready thread each step, so running with many seeds
+// explores many interleavings — the library's optimization passes are
+// validated by comparing outputs before/after a pass on determinate
+// programs across seeds.
+//
+// The interpreter also accounts per-lock hold time (scheduler steps
+// executed while holding the lock), which the LICM benchmarks use to
+// measure how much a critical section shrank.
+//
+// Semantics:
+//   - all variables start at 0,
+//   - division/modulo by zero yields 0 (matching constant folding),
+//   - external functions are pure, deterministic hashes of their
+//     arguments (the compiler treats them as opaque/side-effecting; the
+//     interpreter only needs them reproducible),
+//   - Wait(e) blocks until Set(e) has executed (events latch; no Clear),
+//   - Lock/Unlock block/release; unlocking a lock the thread does not
+//     hold is reported as a runtime error.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/program.h"
+
+namespace cssame::interp {
+
+struct InterpOptions {
+  std::uint64_t seed = 1;           ///< scheduler seed (deterministic)
+  std::uint64_t maxSteps = 1u << 22;  ///< fuel; exceeding marks !completed
+};
+
+struct LockStats {
+  std::uint64_t holdSteps = 0;     ///< steps executed while held
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contendedAcquires = 0;  ///< acquisitions that had to wait
+};
+
+struct RunResult {
+  std::vector<long long> output;   ///< print values in emission order
+  bool completed = false;          ///< ran to the end
+  bool deadlocked = false;         ///< no thread could make progress
+  bool lockError = false;          ///< unlock without holding
+  std::uint64_t steps = 0;
+  std::unordered_map<SymbolId, LockStats> lockStats;
+
+  [[nodiscard]] std::uint64_t totalHoldSteps() const {
+    std::uint64_t total = 0;
+    for (const auto& [sym, ls] : lockStats) total += ls.holdSteps;
+    return total;
+  }
+};
+
+[[nodiscard]] RunResult run(const ir::Program& program,
+                            InterpOptions opts = {});
+
+/// Runs with `seeds` different scheduler seeds and returns all results.
+[[nodiscard]] std::vector<RunResult> runManySeeds(const ir::Program& program,
+                                                  std::uint64_t seeds,
+                                                  std::uint64_t maxSteps =
+                                                      1u << 22);
+
+}  // namespace cssame::interp

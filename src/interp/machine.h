@@ -1,0 +1,349 @@
+// The interpreter's execution engine, factored out of the seeded runner
+// so the exhaustive schedule explorer (explore.h) can drive it too.
+//
+// A Machine holds the complete dynamic state of one execution: shared
+// memory, thread frame stacks, lock owners, event flags, barrier epochs
+// and the observable output. It is *copyable*, which is what enables
+// depth-first exploration of all schedules — the explorer forks the
+// machine at every scheduling choice.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/ir/program.h"
+
+namespace cssame::interp {
+
+/// Pure deterministic stand-in for external functions: an FNV-1a style
+/// mix of the callee id and arguments, truncated to friendly ranges.
+[[nodiscard]] inline long long externalCall(
+    SymbolId callee, const std::vector<long long>& args) {
+  std::uint64_t h = 1469598103934665603ull ^ (callee.value() * 0x9e3779b9ull);
+  for (long long a : args) {
+    h ^= static_cast<std::uint64_t>(a);
+    h *= 1099511628211ull;
+  }
+  return static_cast<long long>(h & 0xffffffull);
+}
+
+class Machine {
+ public:
+  explicit Machine(const ir::Program& prog) {
+    vars_.assign(prog.symbols.size(), 0);
+    eventSet_.assign(prog.symbols.size(), false);
+    lockHolder_.assign(prog.symbols.size(), kNoHolder);
+    Thread main;
+    main.frames.push_back(Frame{&prog.body, 0, nullptr});
+    threads_.push_back(std::move(main));
+  }
+
+  /// True while at least one thread has not finished.
+  [[nodiscard]] bool anyAlive() const {
+    for (const Thread& t : threads_)
+      if (t.status != Status::Done) return true;
+    return false;
+  }
+
+  /// Indices of threads that can take a step right now. Empty while
+  /// anyAlive() means deadlock.
+  [[nodiscard]] std::vector<std::size_t> readyThreads() const {
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+      if (threads_[i].status != Status::Done && canProgress(i))
+        ready.push_back(i);
+    return ready;
+  }
+
+  /// Executes one step of the given (ready) thread, with lock-hold
+  /// accounting.
+  void stepThread(std::size_t ti) {
+    step(ti);
+    ++result_.steps;
+    for (SymbolId l : threads_[ti].heldLocks)
+      ++result_.lockStats[l].holdSteps;
+  }
+
+  [[nodiscard]] const RunResult& result() const { return result_; }
+  [[nodiscard]] RunResult takeResult() && { return std::move(result_); }
+  void markCompleted() { result_.completed = true; }
+  void markDeadlocked() { result_.deadlocked = true; }
+
+  /// Hash of the full dynamic state (memory, control, sync, output) for
+  /// explored-state deduplication. Output is included: two states that
+  /// differ only in what they already printed must not be merged.
+  [[nodiscard]] std::uint64_t stateHash() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    for (long long v : vars_) mix(static_cast<std::uint64_t>(v));
+    for (bool b : eventSet_) mix(b);
+    for (std::size_t l : lockHolder_) mix(l);
+    for (const Thread& t : threads_) {
+      mix(static_cast<std::uint64_t>(t.status));
+      mix(t.waitSym.valid() ? t.waitSym.value() : 0xffffu);
+      mix(t.barrierEpoch);
+      for (const Frame& f : t.frames) {
+        mix(reinterpret_cast<std::uintptr_t>(f.list));
+        mix(f.idx);
+        mix(reinterpret_cast<std::uintptr_t>(f.loop));
+      }
+      mix(0x5eedu);
+    }
+    for (long long v : result_.output) mix(static_cast<std::uint64_t>(v));
+    return h;
+  }
+
+ private:
+  static constexpr std::size_t kNoHolder = static_cast<std::size_t>(-1);
+
+  struct Frame {
+    const ir::StmtList* list = nullptr;
+    std::size_t idx = 0;
+    /// When this frame is a while-loop body, the loop statement;
+    /// reaching the end of the list re-evaluates its condition.
+    const ir::Stmt* loop = nullptr;
+  };
+
+  enum class Status : std::uint8_t {
+    Runnable,
+    WaitLock,
+    WaitEvent,
+    BarrierWait,
+    Joining,
+    Done,
+  };
+
+  struct Thread {
+    std::vector<Frame> frames;
+    Status status = Status::Runnable;
+    SymbolId waitSym;                   ///< lock/event blocked on
+    std::vector<std::size_t> children;  ///< indices of spawned threads
+    std::vector<SymbolId> heldLocks;
+    /// Spawn group (all children of the same cobegin, this thread
+    /// included); barrier statements rendezvous within it.
+    std::vector<std::size_t> siblings;
+    /// Number of barrier episodes this thread has passed.
+    std::uint64_t barrierEpoch = 0;
+  };
+
+  [[nodiscard]] bool canProgress(std::size_t ti) const {
+    const Thread& t = threads_[ti];
+    switch (t.status) {
+      case Status::Runnable:
+        return true;
+      case Status::WaitLock:
+        return lockHolder_[t.waitSym.index()] == kNoHolder;
+      case Status::WaitEvent:
+        return eventSet_[t.waitSym.index()];
+      case Status::BarrierWait: {
+        // Released once every sibling has arrived at this episode's
+        // barrier, already passed it, or finished.
+        for (std::size_t s : t.siblings) {
+          if (s == ti) continue;
+          const Thread& sib = threads_[s];
+          if (sib.status == Status::Done) continue;
+          if (sib.barrierEpoch > t.barrierEpoch) continue;
+          if (sib.status == Status::BarrierWait &&
+              sib.barrierEpoch == t.barrierEpoch)
+            continue;
+          return false;
+        }
+        return true;
+      }
+      case Status::Joining: {
+        for (std::size_t c : t.children)
+          if (threads_[c].status != Status::Done) return false;
+        return true;
+      }
+      case Status::Done:
+        return false;
+    }
+    return false;
+  }
+
+  long long eval(const ir::Expr& e) {
+    switch (e.kind) {
+      case ir::ExprKind::IntConst:
+        return e.intValue;
+      case ir::ExprKind::VarRef:
+        return vars_[e.var.index()];
+      case ir::ExprKind::Unary:
+        return ir::evalUnOp(e.unop, eval(*e.operands[0]));
+      case ir::ExprKind::Binary:
+        return ir::evalBinOp(e.binop, eval(*e.operands[0]),
+                             eval(*e.operands[1]));
+      case ir::ExprKind::Call: {
+        std::vector<long long> args;
+        args.reserve(e.operands.size());
+        for (const auto& a : e.operands) args.push_back(eval(*a));
+        return externalCall(e.callee, args);
+      }
+    }
+    return 0;
+  }
+
+  /// Advances past the current statement, unwinding completed frames and
+  /// re-evaluating while-loop conditions.
+  void advance(Thread& t) {
+    ++t.frames.back().idx;
+    unwind(t);
+  }
+
+  void unwind(Thread& t) {
+    while (!t.frames.empty()) {
+      Frame& f = t.frames.back();
+      if (f.idx < f.list->size()) return;
+      if (f.loop != nullptr && eval(*f.loop->expr) != 0) {
+        f.idx = 0;  // next iteration (loop bodies are never empty here)
+        return;
+      }
+      t.frames.pop_back();
+      if (!t.frames.empty()) ++t.frames.back().idx;
+    }
+    if (t.frames.empty()) t.status = Status::Done;
+  }
+
+  void step(std::size_t ti) {
+    Thread& t = threads_[ti];
+
+    // Resolve a blocked state first: the blocking operation completes
+    // now.
+    if (t.status == Status::WaitLock) {
+      assert(lockHolder_[t.waitSym.index()] == kNoHolder);
+      lockHolder_[t.waitSym.index()] = ti;
+      t.heldLocks.push_back(t.waitSym);
+      auto& ls = result_.lockStats[t.waitSym];
+      ++ls.acquisitions;
+      ++ls.contendedAcquires;
+      t.status = Status::Runnable;
+      advance(t);
+      return;
+    }
+    if (t.status == Status::WaitEvent) {
+      t.status = Status::Runnable;
+      advance(t);
+      return;
+    }
+    if (t.status == Status::BarrierWait) {
+      ++t.barrierEpoch;
+      t.status = Status::Runnable;
+      advance(t);
+      return;
+    }
+    if (t.status == Status::Joining) {
+      t.status = Status::Runnable;
+      advance(t);
+      return;
+    }
+
+    assert(!t.frames.empty());
+    Frame& f = t.frames.back();
+    const ir::Stmt& s = *(*f.list)[f.idx];
+
+    switch (s.kind) {
+      case ir::StmtKind::Assign:
+        vars_[s.lhs.index()] = eval(*s.expr);
+        advance(t);
+        return;
+      case ir::StmtKind::CallStmt:
+        (void)eval(*s.expr);
+        advance(t);
+        return;
+      case ir::StmtKind::Print:
+        result_.output.push_back(eval(*s.expr));
+        advance(t);
+        return;
+      case ir::StmtKind::Lock: {
+        if (lockHolder_[s.sync.index()] == kNoHolder) {
+          lockHolder_[s.sync.index()] = ti;
+          t.heldLocks.push_back(s.sync);
+          ++result_.lockStats[s.sync].acquisitions;
+          advance(t);
+        } else {
+          t.status = Status::WaitLock;
+          t.waitSym = s.sync;
+        }
+        return;
+      }
+      case ir::StmtKind::Unlock: {
+        if (lockHolder_[s.sync.index()] != ti) {
+          result_.lockError = true;
+        } else {
+          lockHolder_[s.sync.index()] = kNoHolder;
+          std::erase(t.heldLocks, s.sync);
+        }
+        advance(t);
+        return;
+      }
+      case ir::StmtKind::Set:
+        eventSet_[s.sync.index()] = true;
+        advance(t);
+        return;
+      case ir::StmtKind::Wait:
+        if (eventSet_[s.sync.index()]) {
+          advance(t);
+        } else {
+          t.status = Status::WaitEvent;
+          t.waitSym = s.sync;
+        }
+        return;
+      case ir::StmtKind::Barrier:
+        if (t.siblings.size() <= 1) {
+          advance(t);  // no partners: a barrier alone is a no-op
+        } else {
+          t.status = Status::BarrierWait;
+        }
+        return;
+      case ir::StmtKind::If: {
+        const bool taken = eval(*s.expr) != 0;
+        const ir::StmtList& body = taken ? s.thenBody : s.elseBody;
+        if (body.empty()) {
+          advance(t);
+        } else {
+          t.frames.push_back(Frame{&body, 0, nullptr});
+        }
+        return;
+      }
+      case ir::StmtKind::While: {
+        if (eval(*s.expr) != 0) {
+          if (!s.thenBody.empty())
+            t.frames.push_back(Frame{&s.thenBody, 0, &s});
+          // Empty body + true condition: stay put and re-evaluate — a
+          // spin-wait burns fuel instead of being skipped.
+        } else {
+          advance(t);
+        }
+        return;
+      }
+      case ir::StmtKind::Cobegin: {
+        // threads_.push_back below may reallocate; never touch `t` (a
+        // reference into threads_) after the first spawn.
+        std::vector<std::size_t> children;
+        for (const ir::ThreadBody& tb : s.threads) {
+          Thread child;
+          if (!tb.body.empty())
+            child.frames.push_back(Frame{&tb.body, 0, nullptr});
+          else
+            child.status = Status::Done;
+          children.push_back(threads_.size());
+          threads_.push_back(std::move(child));
+        }
+        for (std::size_t c : children) threads_[c].siblings = children;
+        threads_[ti].children = std::move(children);
+        threads_[ti].status = Status::Joining;
+        return;
+      }
+    }
+  }
+
+  std::vector<long long> vars_;
+  std::vector<bool> eventSet_;
+  std::vector<std::size_t> lockHolder_;
+  std::vector<Thread> threads_;
+  RunResult result_;
+};
+
+}  // namespace cssame::interp

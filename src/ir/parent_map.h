@@ -1,0 +1,60 @@
+// Structural parent links, used by transformation passes (PDCE, LICM) to
+// splice statements out of / into their owning statement lists.
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+
+#include "src/ir/program.h"
+
+namespace cssame::ir {
+
+struct ParentInfo {
+  StmtList* list = nullptr;   ///< list that owns the statement
+  Stmt* parent = nullptr;     ///< enclosing structured statement, or null
+};
+
+/// Maps each statement to its owning list. Invalidated by any structural
+/// edit; rebuild after mutating the tree.
+class ParentMap {
+ public:
+  explicit ParentMap(Program& prog) { build(prog.body, nullptr); }
+
+  [[nodiscard]] const ParentInfo& info(const Stmt* s) const {
+    auto it = map_.find(s);
+    assert(it != map_.end() && "statement not in program");
+    return it->second;
+  }
+
+  /// Index of `s` within its owning list.
+  [[nodiscard]] std::size_t indexOf(const Stmt* s) const {
+    const ParentInfo& pi = info(s);
+    for (std::size_t i = 0; i < pi.list->size(); ++i)
+      if ((*pi.list)[i].get() == s) return i;
+    assert(false && "statement not in its parent list");
+    return 0;
+  }
+
+  /// Removes `s` from its owning list and returns ownership.
+  [[nodiscard]] StmtPtr extract(Stmt* s) {
+    const ParentInfo& pi = info(s);
+    const std::size_t idx = indexOf(s);
+    StmtPtr owned = std::move((*pi.list)[idx]);
+    pi.list->erase(pi.list->begin() + static_cast<std::ptrdiff_t>(idx));
+    return owned;
+  }
+
+ private:
+  void build(StmtList& list, Stmt* parent) {
+    for (auto& sp : list) {
+      map_[sp.get()] = ParentInfo{&list, parent};
+      build(sp->thenBody, sp.get());
+      build(sp->elseBody, sp.get());
+      for (auto& t : sp->threads) build(t.body, sp.get());
+    }
+  }
+
+  std::unordered_map<const Stmt*, ParentInfo> map_;
+};
+
+}  // namespace cssame::ir

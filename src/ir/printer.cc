@@ -1,0 +1,304 @@
+#include "src/ir/printer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cssame::ir {
+
+namespace {
+
+/// Operator precedence for minimal parenthesization (higher binds tighter).
+int precedenceOf(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntConst:
+    case ExprKind::VarRef:
+    case ExprKind::Call:
+      return 100;
+    case ExprKind::Unary:
+      return 90;
+    case ExprKind::Binary:
+      switch (e.binop) {
+        case BinOp::Mul: case BinOp::Div: case BinOp::Mod: return 80;
+        case BinOp::Add: case BinOp::Sub: return 70;
+        case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+          return 60;
+        case BinOp::Eq: case BinOp::Ne: return 50;
+        case BinOp::And: return 40;
+        case BinOp::Or: return 30;
+      }
+  }
+  return 0;
+}
+
+class Printer {
+ public:
+  explicit Printer(const Program& prog) : prog_(prog) { assignNames(); }
+
+  std::string run() {
+    printTopDecls();
+    printList(prog_.body, 0);
+    return std::move(out_);
+  }
+
+  std::string exprText(const Expr& e) {
+    std::string saved = std::move(out_);
+    out_.clear();
+    expr(e, 0);
+    std::string result = std::move(out_);
+    out_ = std::move(saved);
+    return result;
+  }
+
+ private:
+  // Symbol names may collide after scoping (two `int t;` in sibling
+  // blocks); give every symbol a unique printed name.
+  void assignNames() {
+    std::unordered_set<std::string> used;
+    for (const auto& sym : prog_.symbols.all()) {
+      std::string name = sym.name.empty() ? "_v" : sym.name;
+      if (used.contains(name)) {
+        int suffix = 2;
+        while (used.contains(name + "_" + std::to_string(suffix))) ++suffix;
+        name += "_" + std::to_string(suffix);
+      }
+      used.insert(name);
+      names_[sym.id] = std::move(name);
+    }
+  }
+
+  const std::string& nameOf(SymbolId id) { return names_.at(id); }
+
+  void printTopDecls() {
+    // Shared variables, locks and events are declared at the top; private
+    // variables are declared at the top of the thread body that uses them
+    // (see printList for Cobegin).
+    for (const auto& sym : prog_.symbols.all()) {
+      switch (sym.kind) {
+        case SymbolKind::Var:
+          if (sym.shared) out_ += "int " + nameOf(sym.id) + ";\n";
+          break;
+        case SymbolKind::Lock:
+          out_ += "lock " + nameOf(sym.id) + ";\n";
+          break;
+        case SymbolKind::Event:
+          out_ += "event " + nameOf(sym.id) + ";\n";
+          break;
+        case SymbolKind::Function:
+          break;  // functions are implicitly declared by use
+      }
+    }
+  }
+
+  void indent(int depth) { out_.append(static_cast<std::size_t>(depth) * 2, ' '); }
+
+  void printList(const StmtList& list, int depth) {
+    for (const auto& s : list) stmt(*s, depth);
+  }
+
+  /// Private variables referenced in `list` that have not been declared yet.
+  void printPrivateDecls(const StmtList& list, int depth) {
+    std::vector<SymbolId> decls;
+    forEachStmt(list, [&](const Stmt& s) {
+      auto consider = [&](SymbolId v) {
+        if (!v.valid()) return;
+        const Symbol& sym = prog_.symbols[v];
+        if (sym.kind == SymbolKind::Var && !sym.shared &&
+            !declaredPrivate_.contains(v)) {
+          declaredPrivate_.insert(v);
+          decls.push_back(v);
+        }
+      };
+      consider(s.lhs);
+      if (s.expr)
+        forEachExpr(*s.expr, [&](const Expr& e) {
+          if (e.kind == ExprKind::VarRef) consider(e.var);
+        });
+    });
+    for (SymbolId v : decls) {
+      indent(depth);
+      // `int` inside a thread body declares a thread-private variable.
+      out_ += "int " + nameOf(v) + ";\n";
+    }
+  }
+
+  void stmt(const Stmt& s, int depth) {
+    indent(depth);
+    switch (s.kind) {
+      case StmtKind::Assign:
+        out_ += nameOf(s.lhs) + " = ";
+        expr(*s.expr, 0);
+        out_ += ";\n";
+        break;
+      case StmtKind::CallStmt:
+        expr(*s.expr, 0);
+        out_ += ";\n";
+        break;
+      case StmtKind::Print:
+        out_ += "print(";
+        expr(*s.expr, 0);
+        out_ += ");\n";
+        break;
+      case StmtKind::Lock:
+        out_ += "lock(" + nameOf(s.sync) + ");\n";
+        break;
+      case StmtKind::Unlock:
+        out_ += "unlock(" + nameOf(s.sync) + ");\n";
+        break;
+      case StmtKind::Set:
+        out_ += "set(" + nameOf(s.sync) + ");\n";
+        break;
+      case StmtKind::Wait:
+        out_ += "wait(" + nameOf(s.sync) + ");\n";
+        break;
+      case StmtKind::Barrier:
+        out_ += "barrier;\n";
+        break;
+      case StmtKind::If:
+        out_ += "if (";
+        expr(*s.expr, 0);
+        out_ += ") {\n";
+        printList(s.thenBody, depth + 1);
+        indent(depth);
+        out_ += "}";
+        if (!s.elseBody.empty()) {
+          out_ += " else {\n";
+          printList(s.elseBody, depth + 1);
+          indent(depth);
+          out_ += "}";
+        }
+        out_ += "\n";
+        break;
+      case StmtKind::While:
+        out_ += "while (";
+        expr(*s.expr, 0);
+        out_ += ") {\n";
+        printList(s.thenBody, depth + 1);
+        indent(depth);
+        out_ += "}\n";
+        break;
+      case StmtKind::Cobegin:
+        out_ += "cobegin {\n";
+        for (const auto& t : s.threads) {
+          indent(depth + 1);
+          out_ += "thread";
+          if (!t.name.empty()) out_ += " " + t.name;
+          out_ += " {\n";
+          printPrivateDecls(t.body, depth + 2);
+          printList(t.body, depth + 2);
+          indent(depth + 1);
+          out_ += "}\n";
+        }
+        indent(depth);
+        out_ += "}\n";
+        break;
+    }
+  }
+
+  void expr(const Expr& e, int parentPrec) {
+    const int prec = precedenceOf(e);
+    const bool paren = prec < parentPrec;
+    if (paren) out_ += "(";
+    switch (e.kind) {
+      case ExprKind::IntConst:
+        out_ += std::to_string(e.intValue);
+        break;
+      case ExprKind::VarRef:
+        out_ += nameOf(e.var);
+        break;
+      case ExprKind::Unary:
+        out_ += unOpName(e.unop);
+        expr(*e.operands[0], prec + 1);
+        break;
+      case ExprKind::Binary:
+        expr(*e.operands[0], prec);
+        out_ += " ";
+        out_ += binOpName(e.binop);
+        out_ += " ";
+        // +1 on the right keeps non-associative chains (a - b - c)
+        // parenthesized correctly when re-parsed left-associatively.
+        expr(*e.operands[1], prec + 1);
+        break;
+      case ExprKind::Call:
+        out_ += nameOf(e.callee) + "(";
+        for (std::size_t i = 0; i < e.operands.size(); ++i) {
+          if (i > 0) out_ += ", ";
+          expr(*e.operands[i], 0);
+        }
+        out_ += ")";
+        break;
+    }
+    if (paren) out_ += ")";
+  }
+
+  const Program& prog_;
+  std::string out_;
+  std::unordered_map<SymbolId, std::string> names_;
+  std::unordered_set<SymbolId> declaredPrivate_;
+};
+
+}  // namespace
+
+std::string printProgram(const Program& prog) { return Printer(prog).run(); }
+
+std::string printExpr(const Expr& e, const SymbolTable& symbols) {
+  // Build a throwaway printer around a program that shares the names.
+  // printExpr is used for diagnostics only; duplicate names are rendered
+  // as-is rather than uniqued.
+  std::string out;
+  struct Simple {
+    const SymbolTable& syms;
+    std::string render(const Expr& e) {
+      switch (e.kind) {
+        case ExprKind::IntConst: return std::to_string(e.intValue);
+        case ExprKind::VarRef: return syms.nameOf(e.var);
+        case ExprKind::Unary:
+          return std::string(unOpName(e.unop)) + "(" +
+                 render(*e.operands[0]) + ")";
+        case ExprKind::Binary:
+          return "(" + render(*e.operands[0]) + " " + binOpName(e.binop) +
+                 " " + render(*e.operands[1]) + ")";
+        case ExprKind::Call: {
+          std::string s = syms.nameOf(e.callee) + "(";
+          for (std::size_t i = 0; i < e.operands.size(); ++i) {
+            if (i > 0) s += ", ";
+            s += render(*e.operands[i]);
+          }
+          return s + ")";
+        }
+      }
+      return "?";
+    }
+  } simple{symbols};
+  out = simple.render(e);
+  return out;
+}
+
+std::string printStmtBrief(const Stmt& s, const SymbolTable& symbols) {
+  switch (s.kind) {
+    case StmtKind::Assign:
+      return symbols.nameOf(s.lhs) + " = " + printExpr(*s.expr, symbols);
+    case StmtKind::CallStmt:
+      return printExpr(*s.expr, symbols);
+    case StmtKind::Print:
+      return "print(" + printExpr(*s.expr, symbols) + ")";
+    case StmtKind::Lock:
+      return "lock(" + symbols.nameOf(s.sync) + ")";
+    case StmtKind::Unlock:
+      return "unlock(" + symbols.nameOf(s.sync) + ")";
+    case StmtKind::Set:
+      return "set(" + symbols.nameOf(s.sync) + ")";
+    case StmtKind::Wait:
+      return "wait(" + symbols.nameOf(s.sync) + ")";
+    case StmtKind::If:
+      return "if (" + printExpr(*s.expr, symbols) + ") ...";
+    case StmtKind::While:
+      return "while (" + printExpr(*s.expr, symbols) + ") ...";
+    case StmtKind::Cobegin:
+      return "cobegin (" + std::to_string(s.threads.size()) + " threads)";
+    case StmtKind::Barrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+}  // namespace cssame::ir

@@ -1,0 +1,21 @@
+// Unparses IR back to the concrete syntax accepted by src/parser.
+#pragma once
+
+#include <string>
+
+#include "src/ir/program.h"
+
+namespace cssame::ir {
+
+/// Renders the whole program as parseable source text. Variable names are
+/// uniqued if scoping produced duplicate symbol names.
+[[nodiscard]] std::string printProgram(const Program& prog);
+
+/// Renders one expression (for diagnostics and tests).
+[[nodiscard]] std::string printExpr(const Expr& e, const SymbolTable& symbols);
+
+/// Renders one statement on a single line (nested bodies summarized).
+[[nodiscard]] std::string printStmtBrief(const Stmt& s,
+                                         const SymbolTable& symbols);
+
+}  // namespace cssame::ir

@@ -1,0 +1,49 @@
+// A whole explicitly parallel program: symbol table + top-level body.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/ir/stmt.h"
+#include "src/ir/symbol.h"
+
+namespace cssame::ir {
+
+/// Owns the symbols and the statement tree of one program, and is the
+/// factory for statements (so StmtIds stay dense and unique per program).
+class Program {
+ public:
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  SymbolTable symbols;
+  StmtList body;
+
+  /// Creates a statement of the given kind with a fresh id. The caller
+  /// fills in the kind-specific fields and moves it into a statement list.
+  [[nodiscard]] StmtPtr newStmt(StmtKind kind, SourceLoc loc = {}) {
+    auto s = std::make_unique<Stmt>();
+    s->id = StmtId{nextStmtId_++};
+    s->kind = kind;
+    s->loc = loc;
+    return s;
+  }
+
+  /// Upper bound (exclusive) on StmtId values; use to size dense maps.
+  [[nodiscard]] std::size_t numStmtIds() const { return nextStmtId_; }
+
+  /// Deep copy preserving statement ids (so before/after comparisons can
+  /// match statements across the copy).
+  [[nodiscard]] Program clone() const;
+
+  /// Total statement count, including nested bodies.
+  [[nodiscard]] std::size_t size() const { return countStmts(body); }
+
+ private:
+  StmtId::value_type nextStmtId_ = 0;
+};
+
+}  // namespace cssame::ir

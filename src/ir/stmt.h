@@ -1,0 +1,90 @@
+// Statements of the explicitly parallel language.
+//
+// A single tagged struct (rather than a class hierarchy) keeps traversal
+// and transformation code uniform: passes switch on `kind` and only touch
+// the fields that kind uses. Statements are uniquely owned by their parent
+// statement list and carry a dense StmtId for side tables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/expr.h"
+#include "src/support/ids.h"
+#include "src/support/source_loc.h"
+
+namespace cssame::ir {
+
+enum class StmtKind : std::uint8_t {
+  Assign,    ///< lhs = rhs
+  CallStmt,  ///< f(args)  — expression statement, may have side effects
+  If,        ///< if (cond) thenBody [else elseBody]
+  While,     ///< while (cond) thenBody
+  Cobegin,   ///< cobegin { thread {..} thread {..} }  (paper Figure 1)
+  Lock,      ///< Lock(L)
+  Unlock,    ///< Unlock(L)
+  Set,       ///< Set(e)   — event post
+  Wait,      ///< Wait(e)  — event wait
+  Print,     ///< print(expr) — the observable output of a program
+  Barrier,   ///< barrier — all threads of the enclosing cobegin rendezvous
+             ///< (extension; the paper lists barriers as future work)
+};
+
+[[nodiscard]] const char* stmtKindName(StmtKind k);
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// One arm of a cobegin construct.
+struct ThreadBody {
+  std::string name;  ///< optional label ("T0"); may be empty
+  StmtList body;
+};
+
+struct Stmt {
+  StmtId id;
+  StmtKind kind = StmtKind::Assign;
+  SourceLoc loc;
+
+  // Assign: target variable.
+  SymbolId lhs;
+  // Assign: value; CallStmt: the Call expression; If/While: condition;
+  // Print: printed value.
+  ExprPtr expr;
+  // If: then branch; While: loop body.
+  StmtList thenBody;
+  // If: else branch (possibly empty).
+  StmtList elseBody;
+  // Cobegin: the concurrent threads.
+  std::vector<ThreadBody> threads;
+  // Lock/Unlock: the lock variable; Set/Wait: the event variable.
+  SymbolId sync;
+};
+
+/// Pre-order traversal of a statement list, recursing into nested bodies.
+template <typename Fn>
+void forEachStmt(const StmtList& list, Fn&& fn) {
+  for (const auto& s : list) {
+    fn(*s);
+    forEachStmt(s->thenBody, fn);
+    forEachStmt(s->elseBody, fn);
+    for (const auto& t : s->threads) forEachStmt(t.body, fn);
+  }
+}
+
+template <typename Fn>
+void forEachStmt(StmtList& list, Fn&& fn) {
+  for (auto& s : list) {
+    fn(*s);
+    forEachStmt(s->thenBody, fn);
+    forEachStmt(s->elseBody, fn);
+    for (auto& t : s->threads) forEachStmt(t.body, fn);
+  }
+}
+
+/// Number of statements in the list including all nested bodies.
+[[nodiscard]] std::size_t countStmts(const StmtList& list);
+
+}  // namespace cssame::ir

@@ -1,0 +1,93 @@
+// Symbols and the symbol table for the explicitly parallel toy language.
+//
+// The language model follows the paper (Section 2): scalar integer
+// variables in a shared address space with interleaving semantics, lock
+// variables for mutual exclusion, event variables for set/wait ordering,
+// and opaque external functions (`f(a)` in Figure 1).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/ids.h"
+#include "src/support/source_loc.h"
+
+namespace cssame::ir {
+
+enum class SymbolKind : std::uint8_t {
+  Var,       ///< integer scalar variable
+  Lock,      ///< mutual exclusion lock (paper: Lock/Unlock)
+  Event,     ///< event for set/wait ordering synchronization
+  Function,  ///< opaque external function (may have side effects)
+};
+
+[[nodiscard]] constexpr const char* symbolKindName(SymbolKind k) {
+  switch (k) {
+    case SymbolKind::Var: return "var";
+    case SymbolKind::Lock: return "lock";
+    case SymbolKind::Event: return "event";
+    case SymbolKind::Function: return "function";
+  }
+  return "?";
+}
+
+struct Symbol {
+  SymbolId id;
+  std::string name;
+  SymbolKind kind = SymbolKind::Var;
+  /// For Var: true when declared outside any thread body. Only shared
+  /// variables participate in conflict edges; thread-private variables are
+  /// never concurrently modified (paper Section 5.3).
+  bool shared = true;
+  SourceLoc loc;
+};
+
+/// Flat table of all symbols in one program. Names need not be unique
+/// (lexical scoping in the parser resolves shadowing to distinct symbols);
+/// `lookup` returns the most recently created symbol with a given name,
+/// which is what tests and programmatic builders want.
+class SymbolTable {
+ public:
+  SymbolId create(std::string name, SymbolKind kind, bool shared = true,
+                  SourceLoc loc = {}) {
+    const SymbolId id{static_cast<SymbolId::value_type>(symbols_.size())};
+    symbols_.push_back(Symbol{id, std::move(name), kind, shared, loc});
+    byName_[symbols_.back().name] = id;
+    return id;
+  }
+
+  [[nodiscard]] const Symbol& operator[](SymbolId id) const {
+    assert(id.valid() && id.index() < symbols_.size());
+    return symbols_[id.index()];
+  }
+  [[nodiscard]] Symbol& operator[](SymbolId id) {
+    assert(id.valid() && id.index() < symbols_.size());
+    return symbols_[id.index()];
+  }
+
+  /// Most recently created symbol with this name, or an invalid id.
+  [[nodiscard]] SymbolId lookup(std::string_view name) const {
+    auto it = byName_.find(std::string(name));
+    return it == byName_.end() ? SymbolId{} : it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return symbols_.size(); }
+  [[nodiscard]] const std::vector<Symbol>& all() const { return symbols_; }
+
+  [[nodiscard]] const std::string& nameOf(SymbolId id) const {
+    return (*this)[id].name;
+  }
+  [[nodiscard]] bool isSharedVar(SymbolId id) const {
+    const Symbol& s = (*this)[id];
+    return s.kind == SymbolKind::Var && s.shared;
+  }
+
+ private:
+  std::vector<Symbol> symbols_;
+  std::unordered_map<std::string, SymbolId> byName_;
+};
+
+}  // namespace cssame::ir

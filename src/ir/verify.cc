@@ -1,0 +1,120 @@
+#include "src/ir/verify.h"
+
+#include <unordered_set>
+
+namespace cssame::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Program& prog) : prog_(prog) {}
+
+  std::vector<std::string> run() {
+    checkList(prog_.body);
+    return std::move(problems_);
+  }
+
+ private:
+  void problem(const Stmt& s, const std::string& what) {
+    problems_.push_back("stmt #" + std::to_string(s.id.value()) + " (" +
+                        stmtKindName(s.kind) + "): " + what);
+  }
+
+  bool validSymbol(SymbolId id, SymbolKind kind) {
+    return id.valid() && id.index() < prog_.symbols.size() &&
+           prog_.symbols[id].kind == kind;
+  }
+
+  void checkExpr(const Stmt& s, const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntConst:
+        if (!e.operands.empty()) problem(s, "IntConst with operands");
+        break;
+      case ExprKind::VarRef:
+        if (!validSymbol(e.var, SymbolKind::Var))
+          problem(s, "VarRef to non-variable symbol");
+        if (!e.operands.empty()) problem(s, "VarRef with operands");
+        break;
+      case ExprKind::Unary:
+        if (e.operands.size() != 1) problem(s, "Unary without 1 operand");
+        break;
+      case ExprKind::Binary:
+        if (e.operands.size() != 2) problem(s, "Binary without 2 operands");
+        break;
+      case ExprKind::Call:
+        if (!validSymbol(e.callee, SymbolKind::Function))
+          problem(s, "Call to non-function symbol");
+        break;
+    }
+    for (const auto& op : e.operands) checkExpr(s, *op);
+  }
+
+  void checkList(const StmtList& list) {
+    for (const auto& sp : list) {
+      const Stmt& s = *sp;
+      if (!s.id.valid() || s.id.index() >= prog_.numStmtIds())
+        problem(s, "statement id out of range");
+      if (!seen_.insert(s.id).second) problem(s, "duplicate statement id");
+
+      switch (s.kind) {
+        case StmtKind::Assign:
+          if (!validSymbol(s.lhs, SymbolKind::Var))
+            problem(s, "assignment to non-variable");
+          if (!s.expr) problem(s, "assignment without value");
+          break;
+        case StmtKind::CallStmt:
+          if (!s.expr || s.expr->kind != ExprKind::Call)
+            problem(s, "call statement without Call expression");
+          break;
+        case StmtKind::Print:
+          if (!s.expr) problem(s, "print without value");
+          break;
+        case StmtKind::If:
+        case StmtKind::While:
+          if (!s.expr) problem(s, "branch without condition");
+          break;
+        case StmtKind::Lock:
+        case StmtKind::Unlock:
+          if (!validSymbol(s.sync, SymbolKind::Lock))
+            problem(s, "lock operation on non-lock symbol");
+          break;
+        case StmtKind::Set:
+        case StmtKind::Wait:
+          if (!validSymbol(s.sync, SymbolKind::Event))
+            problem(s, "event operation on non-event symbol");
+          break;
+        case StmtKind::Cobegin:
+          if (s.threads.empty()) problem(s, "cobegin with no threads");
+          break;
+        case StmtKind::Barrier:
+          if (s.expr || s.sync.valid()) problem(s, "barrier with operands");
+          break;
+      }
+      if (s.expr) checkExpr(s, *s.expr);
+      if (s.kind != StmtKind::If && s.kind != StmtKind::While &&
+          !s.thenBody.empty())
+        problem(s, "unexpected nested body");
+      if (s.kind != StmtKind::If && !s.elseBody.empty())
+        problem(s, "unexpected else body");
+      if (s.kind != StmtKind::Cobegin && !s.threads.empty())
+        problem(s, "unexpected threads");
+
+      checkList(s.thenBody);
+      checkList(s.elseBody);
+      for (const auto& t : s.threads) checkList(t.body);
+    }
+  }
+
+  const Program& prog_;
+  std::vector<std::string> problems_;
+  std::unordered_set<StmtId> seen_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Program& prog) {
+  return Verifier(prog).run();
+}
+
+}  // namespace cssame::ir

@@ -1,0 +1,16 @@
+// Structural IR invariants checked after construction and after every
+// transformation pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/program.h"
+
+namespace cssame::ir {
+
+/// Returns a list of human-readable violations; empty means the program is
+/// structurally well formed.
+[[nodiscard]] std::vector<std::string> verify(const Program& prog);
+
+}  // namespace cssame::ir

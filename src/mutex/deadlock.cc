@@ -1,0 +1,95 @@
+#include "src/mutex/deadlock.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cssame::mutex {
+
+namespace {
+
+/// One nested acquisition: a Lock(inner) node inside a body of `outer`.
+struct Acquisition {
+  SymbolId outer;
+  SymbolId inner;
+  NodeId site;  ///< the inner Lock node
+};
+
+}  // namespace
+
+DeadlockReport detectDeadlocks(const pfg::Graph& graph,
+                               const analysis::Mhp& mhp,
+                               const MutexStructures& structures,
+                               DiagEngine& diag) {
+  DeadlockReport report;
+  const ir::SymbolTable& syms = graph.program().symbols;
+
+  // Collect nested acquisitions from well-formed bodies.
+  std::vector<Acquisition> acquisitions;
+  for (const pfg::Node& n : graph.nodes()) {
+    if (n.kind != pfg::NodeKind::Lock) continue;
+    const SymbolId inner = n.syncStmt->sync;
+    for (const MutexBody& b : structures.bodies()) {
+      if (!b.wellFormed || b.lockVar == inner) continue;
+      if (b.members.test(n.id.index()))
+        acquisitions.push_back(Acquisition{b.lockVar, inner, n.id});
+    }
+  }
+
+  // ABBA: opposite orders at sites that may run concurrently.
+  std::set<std::pair<SymbolId, SymbolId>> reported;
+  for (const Acquisition& ab : acquisitions) {
+    for (const Acquisition& ba : acquisitions) {
+      if (ab.outer != ba.inner || ab.inner != ba.outer) continue;
+      if (!mhp.mayHappenInParallel(ab.site, ba.site)) continue;
+      const auto key = std::minmax(ab.outer, ab.inner);
+      if (!reported.insert({key.first, key.second}).second) continue;
+      ++report.abbaPairs;
+      diag.warn(DiagCode::PotentialDeadlock,
+                graph.node(ab.site).syncStmt->loc,
+                "potential deadlock: locks '" + syms.nameOf(ab.outer) +
+                    "' and '" + syms.nameOf(ab.inner) +
+                    "' are acquired in opposite orders by concurrent "
+                    "threads");
+    }
+  }
+
+  // Longer cycles in the lock-order digraph (conservative: no pairwise
+  // concurrency check). DFS over unique edges.
+  std::map<SymbolId, std::set<SymbolId>> order;
+  for (const Acquisition& a : acquisitions) order[a.outer].insert(a.inner);
+
+  std::set<SymbolId> visiting, done;
+  std::size_t cycles = 0;
+  auto dfs = [&](SymbolId v, auto&& self) -> void {
+    visiting.insert(v);
+    auto it = order.find(v);
+    if (it != order.end()) {
+      for (SymbolId next : it->second) {
+        if (visiting.contains(next)) {
+          ++cycles;
+          continue;
+        }
+        if (!done.contains(next)) self(next, self);
+      }
+    }
+    visiting.erase(v);
+    done.insert(v);
+  };
+  for (const auto& [v, _] : order)
+    if (!done.contains(v)) dfs(v, dfs);
+
+  // Every ABBA pair is also a 2-cycle; report only the surplus.
+  report.orderCycles = cycles > report.abbaPairs
+                           ? cycles - report.abbaPairs
+                           : 0;
+  if (report.orderCycles > 0) {
+    diag.warn(DiagCode::PotentialDeadlock, {},
+              "lock-order graph contains " +
+                  std::to_string(report.orderCycles) +
+                  " additional cycle(s) through three or more locks");
+  }
+  return report;
+}
+
+}  // namespace cssame::mutex

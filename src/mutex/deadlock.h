@@ -1,0 +1,30 @@
+// Static deadlock warnings from lock acquisition ordering.
+//
+// The mutex-structure machinery descends from Masticola & Ryder's
+// non-concurrency analysis, whose original purpose was deadlock
+// detection; this module closes that loop. A nested acquisition —
+// a Lock(B) node inside a well-formed mutex body of A — contributes an
+// edge A→B to the lock-order graph. Two concurrent sites acquiring in
+// opposite orders (A→B in one thread may-happen-in-parallel with B→A in
+// another) are the classic ABBA deadlock and are reported; longer cycles
+// through three or more locks are reported at lower confidence (the
+// pairwise concurrency of every edge is not checked).
+#pragma once
+
+#include "src/analysis/concurrency.h"
+#include "src/mutex/mutex_structures.h"
+#include "src/support/diag.h"
+
+namespace cssame::mutex {
+
+struct DeadlockReport {
+  std::size_t abbaPairs = 0;    ///< confirmed-concurrent opposite orders
+  std::size_t orderCycles = 0;  ///< longer cycles in the lock-order graph
+};
+
+DeadlockReport detectDeadlocks(const pfg::Graph& graph,
+                               const analysis::Mhp& mhp,
+                               const MutexStructures& structures,
+                               DiagEngine& diag);
+
+}  // namespace cssame::mutex

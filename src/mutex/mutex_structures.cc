@@ -1,0 +1,119 @@
+#include "src/mutex/mutex_structures.h"
+
+#include <algorithm>
+
+namespace cssame::mutex {
+
+MutexStructures::MutexStructures(const pfg::Graph& graph,
+                                 const analysis::Dominators& dom,
+                                 const analysis::Dominators& pdom,
+                                 DiagEngine* diag) {
+  // Lines 1–5: collect plock_i / punlock_i per lock variable.
+  std::unordered_map<SymbolId, std::vector<NodeId>> locks, unlocks;
+  for (const pfg::Node& n : graph.nodes()) {
+    if (n.kind == pfg::NodeKind::Lock)
+      locks[n.syncStmt->sync].push_back(n.id);
+    else if (n.kind == pfg::NodeKind::Unlock)
+      unlocks[n.syncStmt->sync].push_back(n.id);
+  }
+
+  std::vector<SymbolId> allLockVars;
+  for (const auto& [l, _] : locks) allLockVars.push_back(l);
+  for (const auto& [l, _] : unlocks)
+    if (!locks.contains(l)) allLockVars.push_back(l);
+  std::sort(allLockVars.begin(), allLockVars.end());
+
+  // Lines 9–18: candidate bodies (n, x) with n DOM x and x PDOM n.
+  for (SymbolId l : allLockVars) {
+    std::vector<MutexBodyId> structure;
+    for (NodeId n : locks[l]) {
+      for (NodeId x : unlocks[l]) {
+        if (!dom.dominates(n, x) || !pdom.dominates(x, n)) continue;
+        MutexBody body;
+        body.id = MutexBodyId{static_cast<MutexBodyId::value_type>(
+            bodies_.size())};
+        body.lockVar = l;
+        body.lockNode = n;
+        body.unlockNode = x;
+        body.members.resize(graph.size());
+        for (const pfg::Node& a : graph.nodes()) {
+          if (dom.strictlyDominates(n, a.id) && pdom.dominates(x, a.id))
+            body.members.set(a.id.index());
+        }
+        // Lines 19–26: a candidate containing another Lock(L)/Unlock(L)
+        // node (other than its own delimiters) is ill-formed.
+        for (NodeId m : locks[l]) {
+          if (m != n && m != x && body.members.test(m.index()))
+            body.wellFormed = false;
+        }
+        for (NodeId m : unlocks[l]) {
+          if (m != n && m != x && body.members.test(m.index()))
+            body.wellFormed = false;
+        }
+        if (!body.wellFormed && diag != nullptr) {
+          diag->warn(DiagCode::IllFormedMutexBody,
+                     graph.node(n).syncStmt->loc,
+                     "mutex body for lock '" +
+                         graph.program().symbols.nameOf(l) +
+                         "' contains nested lock/unlock of the same lock; "
+                         "it will not be used to reduce dependencies");
+        }
+        structure.push_back(body.id);
+        bodies_.push_back(std::move(body));
+      }
+    }
+    if (!structure.empty()) {
+      structures_[l] = std::move(structure);
+      lockVars_.push_back(l);
+    }
+  }
+
+  // Section 6: every Lock/Unlock node that delimits no well-formed body is
+  // reported as a potentially unsafe synchronization structure.
+  if (diag != nullptr) {
+    for (const pfg::Node& n : graph.nodes()) {
+      if (n.kind != pfg::NodeKind::Lock && n.kind != pfg::NodeKind::Unlock)
+        continue;
+      const bool isLock = n.kind == pfg::NodeKind::Lock;
+      bool matched = false;
+      for (const MutexBody& b : bodies_) {
+        if (!b.wellFormed) continue;
+        if ((isLock && b.lockNode == n.id) ||
+            (!isLock && b.unlockNode == n.id)) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        const std::string name =
+            graph.program().symbols.nameOf(n.syncStmt->sync);
+        diag->warn(isLock ? DiagCode::UnmatchedLock : DiagCode::UnmatchedUnlock,
+                   n.syncStmt->loc,
+                   std::string(isLock ? "lock(" : "unlock(") + name +
+                       ") is not part of any well-formed mutex body");
+      }
+    }
+  }
+}
+
+MutexBodyId MutexStructures::wellFormedBodyContaining(NodeId node,
+                                                      SymbolId lockVar) const {
+  auto it = structures_.find(lockVar);
+  if (it == structures_.end()) return MutexBodyId{};
+  for (MutexBodyId id : it->second) {
+    const MutexBody& b = bodies_[id.index()];
+    if (b.wellFormed && b.members.test(node.index())) return id;
+  }
+  return MutexBodyId{};
+}
+
+std::vector<MutexBodyId> MutexStructures::bodiesContaining(
+    NodeId node) const {
+  std::vector<MutexBodyId> out;
+  for (const MutexBody& b : bodies_) {
+    if (b.wellFormed && b.members.test(node.index())) out.push_back(b.id);
+  }
+  return out;
+}
+
+}  // namespace cssame::mutex

@@ -1,0 +1,77 @@
+// Mutex bodies and mutex structures (paper Section 3.2, Algorithm A.1).
+//
+// A mutex body B_L(n,x) is the single-entry/single-exit region delimited
+// by a Lock(L) node n and an Unlock(L) node x with n DOM x and x PDOM n,
+// containing all nodes strictly dominated by n and post-dominated by x
+// (x itself is a member, n is not — Definition 3). A candidate containing
+// another Lock(L)/Unlock(L) node is *ill-formed*; unlike Masticola's
+// strict intervals, ill-formed bodies do not invalidate the whole mutex
+// structure — they are simply never used to reduce data dependencies
+// (paper Section 3.2, point 3).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/dominance.h"
+#include "src/pfg/graph.h"
+#include "src/support/bitset.h"
+#include "src/support/diag.h"
+
+namespace cssame::mutex {
+
+struct MutexBody {
+  MutexBodyId id;
+  SymbolId lockVar;
+  NodeId lockNode;    ///< n  = Lock(L)
+  NodeId unlockNode;  ///< x  = Unlock(L)
+  DynBitset members;  ///< node-id bitset of B_L(n,x); excludes n, includes x
+  bool wellFormed = true;
+};
+
+/// The mutex structure M_L of a lock variable is the set of its mutex
+/// bodies (Definition 4). This class holds all structures of a program.
+class MutexStructures {
+ public:
+  /// Runs Algorithm A.1. `dom`/`pdom` are the forward and reverse trees of
+  /// `graph`. When `diag` is non-null, unmatched Lock/Unlock nodes and
+  /// ill-formed bodies are reported as warnings (paper Section 6).
+  MutexStructures(const pfg::Graph& graph, const analysis::Dominators& dom,
+                  const analysis::Dominators& pdom, DiagEngine* diag);
+
+  [[nodiscard]] const std::vector<MutexBody>& bodies() const {
+    return bodies_;
+  }
+  [[nodiscard]] const MutexBody& body(MutexBodyId id) const {
+    return bodies_[id.index()];
+  }
+
+  /// Bodies of the mutex structure M_L (well- and ill-formed).
+  [[nodiscard]] const std::vector<MutexBodyId>& structureOf(
+      SymbolId lockVar) const {
+    static const std::vector<MutexBodyId> kEmpty;
+    auto it = structures_.find(lockVar);
+    return it == structures_.end() ? kEmpty : it->second;
+  }
+
+  /// All lock variables that own at least one body.
+  [[nodiscard]] const std::vector<SymbolId>& lockVars() const {
+    return lockVars_;
+  }
+
+  /// The well-formed body of lock L containing node `node`, if any.
+  /// Well-formed bodies of one lock never overlap, so this is unique.
+  [[nodiscard]] MutexBodyId wellFormedBodyContaining(NodeId node,
+                                                     SymbolId lockVar) const;
+
+  /// All well-formed bodies (of any lock) containing `node` — the node's
+  /// lockset, used by the data-race warnings.
+  [[nodiscard]] std::vector<MutexBodyId> bodiesContaining(NodeId node) const;
+
+ private:
+  std::vector<MutexBody> bodies_;
+  std::unordered_map<SymbolId, std::vector<MutexBodyId>> structures_;
+  std::vector<SymbolId> lockVars_;
+};
+
+}  // namespace cssame::mutex

@@ -1,0 +1,99 @@
+#include "src/mutex/races.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cssame::mutex {
+
+namespace {
+
+/// Locks (lock variables) whose well-formed bodies contain `node`.
+std::set<SymbolId> locksetOf(NodeId node, const MutexStructures& structures) {
+  std::set<SymbolId> out;
+  for (MutexBodyId id : structures.bodiesContaining(node))
+    out.insert(structures.body(id).lockVar);
+  return out;
+}
+
+bool disjoint(const std::set<SymbolId>& a, const std::set<SymbolId>& b) {
+  for (SymbolId x : a)
+    if (b.contains(x)) return false;
+  return true;
+}
+
+}  // namespace
+
+RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
+                       const MutexStructures& structures, DiagEngine& diag) {
+  RaceReport report;
+  const ir::SymbolTable& syms = graph.program().symbols;
+  const analysis::AccessSites sites = analysis::collectAccessSites(graph);
+
+  // Gather, per shared variable, the locksets of its definition sites.
+  for (const auto& [var, defs] : sites.defs) {
+    if (defs.size() < 2 && !sites.uses.contains(var)) continue;
+
+    std::vector<std::set<SymbolId>> defLocksets;
+    defLocksets.reserve(defs.size());
+    for (const auto& d : defs)
+      defLocksets.push_back(locksetOf(d.node, structures));
+
+    // InconsistentLocking: some write protected by a lock, another write
+    // not protected by that lock. Only meaningful if the variable is ever
+    // accessed concurrently (otherwise locks are irrelevant to it).
+    // Conflict edges are computed without the set/wait refinement (they
+    // drive dataflow); for race reporting, accesses with a guaranteed
+    // ordering cannot overlap and are excluded here.
+    bool concurrentlyAccessed = false;
+    for (const pfg::ConflictEdge& e : graph.conflicts)
+      if (e.var == var && mhp.mayHappenInParallel(e.from, e.to)) {
+        concurrentlyAccessed = true;
+        break;
+      }
+    if (!concurrentlyAccessed) continue;
+
+    std::set<SymbolId> intersection;
+    bool first = true;
+    for (const auto& ls : defLocksets) {
+      if (first) {
+        intersection = ls;
+        first = false;
+      } else {
+        std::set<SymbolId> tmp;
+        std::set_intersection(intersection.begin(), intersection.end(),
+                              ls.begin(), ls.end(),
+                              std::inserter(tmp, tmp.begin()));
+        intersection = std::move(tmp);
+      }
+    }
+    bool anyProtected = false;
+    for (const auto& ls : defLocksets) anyProtected |= !ls.empty();
+    if (anyProtected && intersection.empty() && defs.size() > 1) {
+      ++report.inconsistentLocking;
+      diag.warn(DiagCode::InconsistentLocking, defs.front().stmt->loc,
+                "writes to shared variable '" + syms.nameOf(var) +
+                    "' are not consistently protected by the same lock");
+    }
+
+    // PotentialDataRace: concurrent def/def or def/use with disjoint
+    // locksets. One warning per variable keeps output readable.
+    bool raced = false;
+    for (const pfg::ConflictEdge& e : graph.conflicts) {
+      if (e.var != var || raced) continue;
+      if (!mhp.mayHappenInParallel(e.from, e.to)) continue;
+      const std::set<SymbolId> fromLs = locksetOf(e.from, structures);
+      const std::set<SymbolId> toLs = locksetOf(e.to, structures);
+      if (disjoint(fromLs, toLs)) {
+        ++report.potentialRaces;
+        raced = true;
+        diag.warn(DiagCode::PotentialDataRace, defs.front().stmt->loc,
+                  "potential data race on shared variable '" +
+                      syms.nameOf(var) +
+                      "': concurrent accesses share no common lock");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cssame::mutex

@@ -1,0 +1,28 @@
+// Lock-consistency data race warnings (paper Section 6).
+//
+// The prototype compiler described in the paper warns about inconsistent
+// use of locks to protect shared variables: "if modifications to a
+// variable are not always protected by the same lock, the compiler will
+// warn the user about a potential data race". This implements that check
+// as a lockset analysis over mutex structures:
+//   - InconsistentLocking: writes to a shared variable occur under
+//     differing locksets (some writes protected by L, others not);
+//   - PotentialDataRace: two concurrent conflicting accesses (at least one
+//     a write) share no common lock.
+#pragma once
+
+#include "src/analysis/concurrency.h"
+#include "src/mutex/mutex_structures.h"
+#include "src/support/diag.h"
+
+namespace cssame::mutex {
+
+struct RaceReport {
+  std::size_t inconsistentLocking = 0;
+  std::size_t potentialRaces = 0;
+};
+
+RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
+                       const MutexStructures& structures, DiagEngine& diag);
+
+}  // namespace cssame::mutex

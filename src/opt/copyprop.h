@@ -1,0 +1,29 @@
+// Copy propagation over the CSSAME form.
+//
+// A use of x fed (through its FUD chain, with no π in between) by a copy
+// `x = y` is replaced by y when the replacement provably reads the same
+// value:
+//   - y has exactly one real definition in the program, and it dominates
+//     the use (so it is y's unique reaching definition there), and
+//   - y has no concurrent definitions (its value cannot change under the
+//     feet of either the copy or the use), and
+//   - the use itself is not guarded by a π term (concurrent definitions
+//     of x may intervene; the copy is then not the only producer).
+//
+// Deliberately conservative — the profitable cases are compiler-generated
+// copies (e.g. the temporaries introduced by expression hoisting) and
+// manual staging like `t = rate; ... use t ...`.
+#pragma once
+
+#include "src/driver/pipeline.h"
+
+namespace cssame::opt {
+
+struct CopyPropStats {
+  std::size_t usesRewritten = 0;
+  [[nodiscard]] bool changedIr() const { return usesRewritten > 0; }
+};
+
+CopyPropStats propagateCopies(driver::Compilation& comp);
+
+}  // namespace cssame::opt

@@ -1,0 +1,47 @@
+// LICM — Lock Independent Code Motion (paper Section 5.3, Theorem 3,
+// Algorithm A.5).
+//
+// A statement inside a mutex body is *lock independent* when no variable
+// it defines or uses can be accessed concurrently (Definition 5): it
+// computes the same value whether or not the lock is held. Such
+// statements are moved to the body's landing pads — the pre-mutex node
+// (immediately before the Lock) or the post-mutex node (immediately after
+// the Unlock) — shrinking the critical section. Mutex bodies left empty
+// have their Lock/Unlock pair deleted (A.5 lines 43–45).
+//
+// Implementation notes (documented deviations from the A.5 pseudocode,
+// both strict strengthenings required for soundness):
+//  - In addition to A.5's Definers(s)/Users(s) checks, a moved statement
+//    must commute with every statement it crosses: its definitions must
+//    not be re-defined or used, and its uses not re-defined, by the
+//    statements left behind. (A.5 alone would let `v = 1; v = 2` sink the
+//    first write past the second.)
+//  - Motion never crosses event synchronization (Set/Wait): lock
+//    independence is judged under the MHP orderings those events create,
+//    so hoisting across them could invalidate its own premise.
+//  - Matching the paper's Figure 5b, sinking to the post-mutex node is
+//    attempted before hoisting to the pre-mutex node.
+//  - Whole `if`/`while` subtrees move as a unit when every contained
+//    statement is lock independent (the paper's "unless the whole loop is
+//    lock independent" rule).
+#pragma once
+
+#include "src/driver/pipeline.h"
+
+namespace cssame::opt {
+
+struct LicmStats {
+  std::size_t hoisted = 0;        ///< statements moved to pre-mutex pads
+  std::size_t sunk = 0;           ///< statements moved to post-mutex pads
+  std::size_t bodiesRemoved = 0;  ///< emptied Lock/Unlock pairs deleted
+  [[nodiscard]] bool changedIr() const {
+    return hoisted + sunk + bodiesRemoved > 0;
+  }
+};
+
+/// Moves lock independent code out of every well-formed mutex body whose
+/// Lock and Unlock statements are siblings in the same statement list.
+/// The Compilation is stale afterwards whenever `changedIr()`.
+LicmStats moveLockIndependentCode(driver::Compilation& comp);
+
+}  // namespace cssame::opt

@@ -1,0 +1,37 @@
+// Lock-independent expression hoisting — the natural extension of LICM
+// when a statement as a whole must stay inside the mutex body (its
+// target conflicts) but parts of its computation do not depend on the
+// lock. For example, in
+//
+//     lock(L);  s = s + p * q;  unlock(L);       // s conflicts, p/q private
+//
+// the product p * q is lock independent: it is evaluated into a fresh
+// private temporary at the pre-mutex node, shrinking the critical
+// section to a single addition:
+//
+//     li0 = p * q;  lock(L);  s = s + li0;  unlock(L);
+//
+// Legality: the hoisted expression must be call-free, none of its
+// variables may be concurrently defined (Definition 5 restricted to
+// reads), and none may be redefined between the pre-mutex node and the
+// original evaluation point (for loop/branch conditions: nor anywhere
+// inside the compound statement, since the condition re-evaluates).
+// Speculative evaluation is safe — expressions are pure and total.
+//
+// (Novillo's follow-up work on CSSAME describes this family of
+// transformations; the ICPP'98 paper itself only moves statements.)
+#pragma once
+
+#include "src/driver/pipeline.h"
+
+namespace cssame::opt {
+
+struct ExprHoistStats {
+  std::size_t exprsHoisted = 0;   ///< temporaries introduced
+  std::size_t opsHoisted = 0;     ///< operators moved out of the lock
+  [[nodiscard]] bool changedIr() const { return exprsHoisted > 0; }
+};
+
+ExprHoistStats hoistLockIndependentExpressions(driver::Compilation& comp);
+
+}  // namespace cssame::opt

@@ -1,0 +1,116 @@
+#include "src/opt/lock_independence.h"
+
+namespace cssame::opt {
+
+namespace {
+
+void summarizeExpr(const ir::Expr& e, AccessSummary& out) {
+  ir::forEachExpr(e, [&](const ir::Expr& sub) {
+    if (sub.kind == ir::ExprKind::VarRef) out.uses.insert(sub.var);
+    if (sub.kind == ir::ExprKind::Call) out.movable = false;
+  });
+}
+
+}  // namespace
+
+void addStmtAccesses(const ir::Stmt& s, AccessSummary& out) {
+  switch (s.kind) {
+    case ir::StmtKind::Assign:
+      out.defs.insert(s.lhs);
+      summarizeExpr(*s.expr, out);
+      break;
+    case ir::StmtKind::Print:
+    case ir::StmtKind::If:
+    case ir::StmtKind::While:
+      summarizeExpr(*s.expr, out);
+      break;
+    case ir::StmtKind::CallStmt:
+    case ir::StmtKind::Lock:
+    case ir::StmtKind::Unlock:
+    case ir::StmtKind::Set:
+    case ir::StmtKind::Wait:
+    case ir::StmtKind::Barrier:
+    case ir::StmtKind::Cobegin:
+      out.movable = false;
+      break;
+  }
+}
+
+AccessSummary summarizeSubtree(const ir::Stmt& s) {
+  AccessSummary out;
+  out.stmts.push_back(&s);
+  addStmtAccesses(s, out);
+  auto rec = [&](const ir::StmtList& list, auto&& self) -> void {
+    for (const auto& c : list) {
+      out.stmts.push_back(c.get());
+      addStmtAccesses(*c, out);
+      self(c->thenBody, self);
+      self(c->elseBody, self);
+      for (const auto& t : c->threads) self(t.body, self);
+    }
+  };
+  rec(s.thenBody, rec);
+  rec(s.elseBody, rec);
+  for (const auto& t : s.threads) rec(t.body, rec);
+  return out;
+}
+
+bool setsIntersect(const VarSet& a, const VarSet& b) {
+  for (SymbolId v : a)
+    if (b.contains(v)) return true;
+  return false;
+}
+
+bool LockIndependence::varFreeOfConcurrentDefs(SymbolId v,
+                                               NodeId site) const {
+  if (!comp_.program().symbols.isSharedVar(v)) return true;
+  auto it = sites_.defs.find(v);
+  if (it == sites_.defs.end()) return true;
+  for (const auto& d : it->second)
+    if (comp_.mhp().mayHappenInParallel(d.node, site)) return false;
+  return true;
+}
+
+bool LockIndependence::varFreeOfConcurrentAccess(SymbolId v,
+                                                 NodeId site) const {
+  if (!varFreeOfConcurrentDefs(v, site)) return false;
+  if (!comp_.program().symbols.isSharedVar(v)) return true;
+  auto it = sites_.uses.find(v);
+  if (it == sites_.uses.end()) return true;
+  for (const auto& u : it->second)
+    if (comp_.mhp().mayHappenInParallel(u.node, site)) return false;
+  return true;
+}
+
+bool LockIndependence::isLockIndependent(const ir::Stmt& s) const {
+  const AccessSummary sum = summarizeSubtree(s);
+  if (!sum.movable) return false;
+  for (const ir::Stmt* stmt : sum.stmts) {
+    const NodeId site = comp_.graph().nodeOf(stmt);
+    if (!site.valid()) return false;
+    AccessSummary one;
+    addStmtAccesses(*stmt, one);
+    if (!one.movable) return false;
+    // Uses need protection from concurrent writes; definitions also from
+    // concurrent reads (Theorem 3: a moved write must not become visible
+    // to a concurrent reader at a different time).
+    for (SymbolId v : one.uses)
+      if (!varFreeOfConcurrentDefs(v, site)) return false;
+    for (SymbolId v : one.defs)
+      if (!varFreeOfConcurrentAccess(v, site)) return false;
+  }
+  return true;
+}
+
+bool LockIndependence::isExprLockIndependent(const ir::Expr& e,
+                                             NodeId site) const {
+  if (ir::containsCall(e)) return false;
+  bool independent = true;
+  ir::forEachExpr(e, [&](const ir::Expr& sub) {
+    if (sub.kind == ir::ExprKind::VarRef)
+      independent &= varFreeOfConcurrentDefs(sub.var, site);
+  });
+  return independent;
+}
+
+}  // namespace cssame::opt

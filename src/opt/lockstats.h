@@ -1,0 +1,38 @@
+// Critical-section composition report: how much of each mutex body is
+// lock independent — i.e., how much LICM could (or did) evict. This is
+// the measurement backing the paper's Section 5.3 motivation ("minimize
+// the time spent inside mutex bodies").
+#pragma once
+
+#include <vector>
+
+#include "src/driver/pipeline.h"
+
+namespace cssame::opt {
+
+struct BodyReport {
+  MutexBodyId body;
+  SymbolId lockVar;
+  std::size_t interiorStmts = 0;        ///< statements between lock/unlock
+  std::size_t lockIndependent = 0;      ///< per Definition 5
+};
+
+struct CriticalSectionReport {
+  std::vector<BodyReport> bodies;
+  std::size_t totalInterior = 0;
+  std::size_t totalIndependent = 0;
+
+  /// Fraction of locked statements that do not need the lock.
+  [[nodiscard]] double independentFraction() const {
+    return totalInterior == 0
+               ? 0.0
+               : static_cast<double>(totalIndependent) /
+                     static_cast<double>(totalInterior);
+  }
+};
+
+/// Analyzes every well-formed mutex body of the compilation.
+[[nodiscard]] CriticalSectionReport analyzeCriticalSections(
+    const driver::Compilation& comp);
+
+}  // namespace cssame::opt

@@ -1,0 +1,77 @@
+#include "src/opt/optimize.h"
+
+namespace cssame::opt {
+
+namespace {
+
+void accumulate(ConstPropStats& total, const ConstPropStats& step) {
+  total.constantDefs += step.constantDefs;
+  total.usesReplaced += step.usesReplaced;
+  total.branchesResolved += step.branchesResolved;
+  total.unreachableRemoved += step.unreachableRemoved;
+}
+
+void accumulate(DceStats& total, const DceStats& step) {
+  total.stmtsRemoved += step.stmtsRemoved;
+  total.cobeginsSerialized += step.cobeginsSerialized;
+}
+
+void accumulate(LicmStats& total, const LicmStats& step) {
+  total.hoisted += step.hoisted;
+  total.sunk += step.sunk;
+  total.bodiesRemoved += step.bodiesRemoved;
+}
+
+}  // namespace
+
+OptimizeReport optimizeProgram(ir::Program& program, OptimizeOptions opts) {
+  OptimizeReport report;
+  const driver::PipelineOptions pipeOpts{.enableCssame = opts.cssame,
+                                         .warnings = false};
+
+  for (int iter = 0; iter < opts.maxIterations; ++iter) {
+    ++report.iterations;
+    bool changed = false;
+
+    if (opts.simplify) {
+      const SimplifyStats step = simplifyExpressions(program);
+      report.simplify.rewrites += step.rewrites;
+      changed |= step.changedIr();
+    }
+    if (opts.constProp) {
+      driver::Compilation c = driver::analyze(program, pipeOpts);
+      const ConstPropStats step = propagateConstants(c);
+      accumulate(report.constProp, step);
+      changed |= step.changedIr();
+    }
+    if (opts.copyProp) {
+      driver::Compilation c = driver::analyze(program, pipeOpts);
+      const CopyPropStats step = propagateCopies(c);
+      report.copyProp.usesRewritten += step.usesRewritten;
+      changed |= step.changedIr();
+    }
+    if (opts.deadCode) {
+      driver::Compilation c = driver::analyze(program, pipeOpts);
+      const DceStats step = eliminateDeadCode(c);
+      accumulate(report.deadCode, step);
+      changed |= step.changedIr();
+    }
+    if (opts.lockMotion) {
+      driver::Compilation c = driver::analyze(program, pipeOpts);
+      const LicmStats step = moveLockIndependentCode(c);
+      accumulate(report.lockMotion, step);
+      changed |= step.changedIr();
+    }
+    if (opts.exprMotion) {
+      driver::Compilation c = driver::analyze(program, pipeOpts);
+      const ExprHoistStats step = hoistLockIndependentExpressions(c);
+      report.exprMotion.exprsHoisted += step.exprsHoisted;
+      report.exprMotion.opsHoisted += step.opsHoisted;
+      changed |= step.changedIr();
+    }
+    if (!changed) break;
+  }
+  return report;
+}
+
+}  // namespace cssame::opt

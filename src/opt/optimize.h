@@ -1,0 +1,41 @@
+// The combined optimization pipeline: CSCC → PDCE → LICM, iterated to a
+// fixpoint (each pass can expose opportunities for the others, exactly as
+// in the paper's Figure 4 → 5a → 5b progression).
+#pragma once
+
+#include "src/opt/copyprop.h"
+#include "src/opt/cscc.h"
+#include "src/opt/licm.h"
+#include "src/opt/licm_expr.h"
+#include "src/opt/pdce.h"
+#include "src/opt/simplify.h"
+
+namespace cssame::opt {
+
+struct OptimizeOptions {
+  bool simplify = true;
+  bool constProp = true;
+  bool copyProp = true;
+  bool deadCode = true;
+  bool lockMotion = true;
+  bool exprMotion = true;  ///< lock-independent expression hoisting
+  /// Use CSSAME (π rewriting). Disable for the CSSA-only ablation.
+  bool cssame = true;
+  int maxIterations = 8;
+};
+
+struct OptimizeReport {
+  SimplifyStats simplify;    ///< accumulated over all iterations
+  ConstPropStats constProp;
+  CopyPropStats copyProp;
+  DceStats deadCode;
+  LicmStats lockMotion;
+  ExprHoistStats exprMotion;
+  int iterations = 0;
+};
+
+/// Optimizes the program in place and returns accumulated statistics.
+OptimizeReport optimizeProgram(ir::Program& program,
+                               OptimizeOptions opts = {});
+
+}  // namespace cssame::opt

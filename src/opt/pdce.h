@@ -1,0 +1,36 @@
+// PDCE — Parallel Dead Code Elimination (paper Section 5.2).
+//
+// Extends Cytron et al.'s SSA dead code elimination to explicitly
+// parallel programs:
+//   1. reaching-definition information follows both φ and π terms
+//      (Algorithm A.4), so a definition in one thread that feeds a live
+//      use in a concurrent thread is correctly kept (Figure 5a keeps
+//      `b = 8` in T0 because T1 reads `b`), and
+//   2. a cobegin is live iff one of its threads contains a live
+//      statement; a cobegin left with exactly one live thread is
+//      serialized into straight-line code.
+//
+// Seeds: statements assumed to affect program output — print, calls to
+// external functions (may have side effects), and synchronization
+// operations (their removal is LICM's job, not DCE's). Liveness then
+// propagates backwards through reaching definitions and control
+// dependence (reverse dominance frontier).
+#pragma once
+
+#include "src/driver/pipeline.h"
+
+namespace cssame::opt {
+
+struct DceStats {
+  std::size_t stmtsRemoved = 0;
+  std::size_t cobeginsSerialized = 0;
+  [[nodiscard]] bool changedIr() const {
+    return stmtsRemoved + cobeginsSerialized > 0;
+  }
+};
+
+/// Removes dead statements in place. The Compilation is stale afterwards
+/// whenever `changedIr()`.
+DceStats eliminateDeadCode(driver::Compilation& comp);
+
+}  // namespace cssame::opt

@@ -1,0 +1,131 @@
+#include "src/opt/simplify.h"
+
+namespace cssame::opt {
+
+namespace {
+
+bool isConst(const ir::Expr& e, long long v) {
+  return e.kind == ir::ExprKind::IntConst && e.intValue == v;
+}
+
+void makeConst(ir::Expr& e, long long v) {
+  e.kind = ir::ExprKind::IntConst;
+  e.intValue = v;
+  e.operands.clear();
+}
+
+/// Replaces `e` by its operand at `idx` (steals the subtree).
+void promoteOperand(ir::Expr& e, std::size_t idx) {
+  ir::ExprPtr kept = std::move(e.operands[idx]);
+  e = std::move(*kept);
+}
+
+/// One bottom-up pass; returns number of rewrites applied.
+std::size_t simplifyExpr(ir::Expr& e) {
+  std::size_t n = 0;
+  for (auto& op : e.operands) n += simplifyExpr(*op);
+
+  if (e.kind == ir::ExprKind::Unary) {
+    ir::Expr& a = *e.operands[0];
+    // --x → x ;  !(!x) is NOT x (it normalizes to 0/1), but !!(!x) = !x.
+    if (e.unop == ir::UnOp::Neg && a.kind == ir::ExprKind::Unary &&
+        a.unop == ir::UnOp::Neg) {
+      ir::ExprPtr inner = std::move(a.operands[0]);
+      e = std::move(*inner);
+      return n + 1;
+    }
+    return n;
+  }
+
+  if (e.kind != ir::ExprKind::Binary) return n;
+  ir::Expr& l = *e.operands[0];
+  ir::Expr& r = *e.operands[1];
+  const bool lPure = !ir::containsCall(l);
+  const bool rPure = !ir::containsCall(r);
+
+  switch (e.binop) {
+    case ir::BinOp::Add:
+      if (isConst(r, 0)) { promoteOperand(e, 0); return n + 1; }
+      if (isConst(l, 0)) { promoteOperand(e, 1); return n + 1; }
+      break;
+    case ir::BinOp::Sub:
+      if (isConst(r, 0)) { promoteOperand(e, 0); return n + 1; }
+      if (lPure && rPure && ir::exprEquals(l, r)) {
+        makeConst(e, 0);
+        return n + 1;
+      }
+      break;
+    case ir::BinOp::Mul:
+      if (isConst(r, 1)) { promoteOperand(e, 0); return n + 1; }
+      if (isConst(l, 1)) { promoteOperand(e, 1); return n + 1; }
+      if (isConst(r, 0) && lPure) { makeConst(e, 0); return n + 1; }
+      if (isConst(l, 0) && rPure) { makeConst(e, 0); return n + 1; }
+      break;
+    case ir::BinOp::Div:
+      if (isConst(r, 1)) { promoteOperand(e, 0); return n + 1; }
+      if (isConst(l, 0) && rPure) { makeConst(e, 0); return n + 1; }
+      break;
+    case ir::BinOp::Mod:
+      if (isConst(r, 1) && lPure) { makeConst(e, 0); return n + 1; }
+      if (lPure && rPure && ir::exprEquals(l, r)) {
+        makeConst(e, 0);  // x % x == 0, including x == 0 (total semantics)
+        return n + 1;
+      }
+      break;
+    case ir::BinOp::And:
+      if ((isConst(l, 0) && rPure) || (isConst(r, 0) && lPure)) {
+        makeConst(e, 0);
+        return n + 1;
+      }
+      break;
+    case ir::BinOp::Or:
+      // Any nonzero constant forces 1 (the other side is a pure read).
+      if ((l.kind == ir::ExprKind::IntConst && l.intValue != 0 && rPure) ||
+          (r.kind == ir::ExprKind::IntConst && r.intValue != 0 && lPure)) {
+        makeConst(e, 1);
+        return n + 1;
+      }
+      break;
+    case ir::BinOp::Eq:
+      if (lPure && rPure && ir::exprEquals(l, r)) {
+        makeConst(e, 1);
+        return n + 1;
+      }
+      break;
+    case ir::BinOp::Ne:
+    case ir::BinOp::Lt:
+    case ir::BinOp::Gt:
+      if (lPure && rPure && ir::exprEquals(l, r)) {
+        makeConst(e, 0);
+        return n + 1;
+      }
+      break;
+    case ir::BinOp::Le:
+    case ir::BinOp::Ge:
+      if (lPure && rPure && ir::exprEquals(l, r)) {
+        makeConst(e, 1);
+        return n + 1;
+      }
+      break;
+  }
+  return n;
+}
+
+}  // namespace
+
+SimplifyStats simplifyExpressions(ir::Program& program) {
+  SimplifyStats stats;
+  ir::forEachStmt(program.body, [&](ir::Stmt& s) {
+    if (!s.expr) return;
+    // Iterate to a local fixpoint: promoting an operand can expose a new
+    // redex at the same node.
+    std::size_t pass;
+    do {
+      pass = simplifyExpr(*s.expr);
+      stats.rewrites += pass;
+    } while (pass > 0);
+  });
+  return stats;
+}
+
+}  // namespace cssame::opt

@@ -1,0 +1,32 @@
+// Algebraic simplification: local, semantics-preserving expression
+// rewrites that expose more work to CSCC/PDCE (e.g. `x * 0` folds to 0
+// even when x is unknown, which can then constant-fold a branch).
+//
+// Rules (integer semantics; reads are pure, so dropping an operand is
+// safe unless it contains a call):
+//   x + 0, 0 + x, x - 0        → x
+//   x * 1, 1 * x, x / 1        → x
+//   x * 0, 0 * x, 0 / x, x % 1 → 0
+//   x - x, x % x               → 0   (x call-free)
+//   x && 0, 0 && x             → 0   (x call-free; && is non-shortcut)
+//   x || 1, 1 || x             → 1   (x call-free)
+//   x && 1, 1 && x             → x != 0 when x is boolean-valued, else kept
+//   --x, !!x (boolean context) → simplified where exact
+#pragma once
+
+#include "src/ir/program.h"
+
+namespace cssame::opt {
+
+struct SimplifyStats {
+  std::size_t rewrites = 0;
+  [[nodiscard]] bool changedIr() const { return rewrites > 0; }
+};
+
+/// Applies the rules bottom-up over every expression in the program.
+/// Purely local: needs no analysis results and never invalidates them
+/// structurally (expressions are rewritten in place), but SSA use-def
+/// side tables keyed on replaced sub-expressions become stale.
+SimplifyStats simplifyExpressions(ir::Program& program);
+
+}  // namespace cssame::opt

@@ -1,0 +1,197 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+#include <limits>
+#include <unordered_map>
+
+namespace cssame::parser {
+
+const char* tokKindName(TokKind k) {
+  switch (k) {
+    case TokKind::End: return "<eof>";
+    case TokKind::Ident: return "identifier";
+    case TokKind::IntLit: return "integer";
+    case TokKind::KwInt: return "'int'";
+    case TokKind::KwLock: return "'lock'";
+    case TokKind::KwEvent: return "'event'";
+    case TokKind::KwIf: return "'if'";
+    case TokKind::KwElse: return "'else'";
+    case TokKind::KwWhile: return "'while'";
+    case TokKind::KwCobegin: return "'cobegin'";
+    case TokKind::KwThread: return "'thread'";
+    case TokKind::KwUnlock: return "'unlock'";
+    case TokKind::KwSet: return "'set'";
+    case TokKind::KwWait: return "'wait'";
+    case TokKind::KwPrint: return "'print'";
+    case TokKind::KwBarrier: return "'barrier'";
+    case TokKind::KwDoall: return "'doall'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Comma: return "','";
+    case TokKind::Assign: return "'='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+    case TokKind::Lt: return "'<'";
+    case TokKind::Le: return "'<='";
+    case TokKind::Gt: return "'>'";
+    case TokKind::Ge: return "'>='";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::Ne: return "'!='";
+    case TokKind::AndAnd: return "'&&'";
+    case TokKind::OrOr: return "'||'";
+    case TokKind::Bang: return "'!'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokKind> kw = {
+      {"int", TokKind::KwInt},         {"lock", TokKind::KwLock},
+      {"event", TokKind::KwEvent},     {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"cobegin", TokKind::KwCobegin}, {"thread", TokKind::KwThread},
+      {"unlock", TokKind::KwUnlock},   {"set", TokKind::KwSet},
+      {"wait", TokKind::KwWait},       {"print", TokKind::KwPrint},
+      {"barrier", TokKind::KwBarrier}, {"doall", TokKind::KwDoall},
+  };
+  return kw;
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult result;
+  std::uint32_t line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto loc = [&]() { return SourceLoc{line, col}; };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto push = [&](TokKind kind, SourceLoc l, std::string text = {},
+                  long long v = 0) {
+    result.tokens.push_back(Token{kind, std::move(text), v, l});
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments: // line and /* block */.
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = loc();
+      advance(2);
+      while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= src.size())
+        result.errors.emplace_back(start, "unterminated block comment");
+      else
+        advance(2);
+      continue;
+    }
+    const SourceLoc l = loc();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        advance();
+      std::string_view word = src.substr(start, i - start);
+      auto it = keywords().find(word);
+      if (it != keywords().end())
+        push(it->second, l);
+      else
+        push(TokKind::Ident, l, std::string(word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      long long v = 0;
+      bool overflow = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        const long long digit = peek() - '0';
+        if (v > (std::numeric_limits<long long>::max() - digit) / 10)
+          overflow = true;
+        else
+          v = v * 10 + digit;
+        advance();
+      }
+      if (overflow) result.errors.emplace_back(l, "integer literal overflow");
+      push(TokKind::IntLit, l, {}, v);
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokKind::LParen, l); advance(); break;
+      case ')': push(TokKind::RParen, l); advance(); break;
+      case '{': push(TokKind::LBrace, l); advance(); break;
+      case '}': push(TokKind::RBrace, l); advance(); break;
+      case ';': push(TokKind::Semi, l); advance(); break;
+      case ',': push(TokKind::Comma, l); advance(); break;
+      case '+': push(TokKind::Plus, l); advance(); break;
+      case '-': push(TokKind::Minus, l); advance(); break;
+      case '*': push(TokKind::Star, l); advance(); break;
+      case '/': push(TokKind::Slash, l); advance(); break;
+      case '%': push(TokKind::Percent, l); advance(); break;
+      case '<':
+        if (peek(1) == '=') { push(TokKind::Le, l); advance(2); }
+        else { push(TokKind::Lt, l); advance(); }
+        break;
+      case '>':
+        if (peek(1) == '=') { push(TokKind::Ge, l); advance(2); }
+        else { push(TokKind::Gt, l); advance(); }
+        break;
+      case '=':
+        if (peek(1) == '=') { push(TokKind::EqEq, l); advance(2); }
+        else { push(TokKind::Assign, l); advance(); }
+        break;
+      case '!':
+        if (peek(1) == '=') { push(TokKind::Ne, l); advance(2); }
+        else { push(TokKind::Bang, l); advance(); }
+        break;
+      case '&':
+        if (peek(1) == '&') { push(TokKind::AndAnd, l); advance(2); }
+        else {
+          result.errors.emplace_back(l, "unexpected character '&'");
+          advance();
+        }
+        break;
+      case '|':
+        if (peek(1) == '|') { push(TokKind::OrOr, l); advance(2); }
+        else {
+          result.errors.emplace_back(l, "unexpected character '|'");
+          advance();
+        }
+        break;
+      default:
+        result.errors.emplace_back(
+            l, std::string("unexpected character '") + c + "'");
+        advance();
+        break;
+    }
+  }
+  result.tokens.push_back(Token{TokKind::End, {}, 0, loc()});
+  return result;
+}
+
+}  // namespace cssame::parser

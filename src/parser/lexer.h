@@ -1,0 +1,46 @@
+// Lexer for the explicitly parallel toy language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/source_loc.h"
+
+namespace cssame::parser {
+
+enum class TokKind : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwInt, KwLock, KwEvent, KwIf, KwElse, KwWhile, KwCobegin, KwThread,
+  KwUnlock, KwSet, KwWait, KwPrint, KwBarrier, KwDoall,
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, Semi, Comma,
+  Assign,          // =
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  AndAnd, OrOr, Bang,
+};
+
+[[nodiscard]] const char* tokKindName(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;       ///< identifier spelling
+  long long intValue = 0; ///< for IntLit
+  SourceLoc loc;
+};
+
+/// Tokenizes the whole input. Unknown characters become diagnostics via the
+/// returned error list (the lexer itself has no DiagEngine dependency so it
+/// can be tested standalone).
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<std::pair<SourceLoc, std::string>> errors;
+};
+
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace cssame::parser

@@ -1,0 +1,43 @@
+// Recursive-descent parser producing ir::Program.
+//
+// Grammar (see README for the full language reference):
+//
+//   program := item*
+//   item    := decl | stmt
+//   decl    := 'int' init (',' init)* ';'        // private when inside thread
+//            | 'lock' ident (',' ident)* ';'
+//            | 'event' ident (',' ident)* ';'
+//   init    := ident ('=' expr)?
+//   stmt    := ident '=' expr ';' | ident '(' args? ')' ';'
+//            | 'if' '(' expr ')' block ('else' block)?
+//            | 'while' '(' expr ')' block
+//            | 'cobegin' '{' ('thread' ident? block)+ '}'
+//            | 'lock' '(' ident ')' ';' | 'unlock' '(' ident ')' ';'
+//            | 'set' '(' ident ')' ';'  | 'wait' '(' ident ')' ';'
+//            | 'print' '(' expr ')' ';' | block
+//   block   := '{' item* '}'
+//
+// Lexical scoping: a block introduces a scope; `int` inside a thread body
+// declares a thread-private variable, everywhere else a shared one.
+// Identifiers used in call position are implicitly declared as external
+// functions.
+#pragma once
+
+#include <string_view>
+
+#include "src/ir/program.h"
+#include "src/support/diag.h"
+
+namespace cssame::parser {
+
+/// Parses source text. On syntax errors, diagnostics are reported to
+/// `diag` and a best-effort partial program is returned; callers should
+/// check `diag.hasErrors()`.
+[[nodiscard]] ir::Program parseProgram(std::string_view source,
+                                       DiagEngine& diag);
+
+/// Test/example helper: parses and aborts with the diagnostics printed if
+/// the source does not parse cleanly.
+[[nodiscard]] ir::Program parseOrDie(std::string_view source);
+
+}  // namespace cssame::parser

@@ -1,0 +1,161 @@
+#include "src/pfg/build.h"
+
+namespace cssame::pfg {
+
+const char* nodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::Entry: return "entry";
+    case NodeKind::Exit: return "exit";
+    case NodeKind::Block: return "block";
+    case NodeKind::Cobegin: return "cobegin";
+    case NodeKind::Coend: return "coend";
+    case NodeKind::Lock: return "lock";
+    case NodeKind::Unlock: return "unlock";
+    case NodeKind::Set: return "set";
+    case NodeKind::Wait: return "wait";
+    case NodeKind::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(ir::Program& prog) : graph_(prog) {}
+
+  Graph run() {
+    graph_.entry = graph_.newNode(NodeKind::Entry);
+    graph_.exit = graph_.newNode(NodeKind::Exit);
+    NodeId cur = newBlock();
+    graph_.addEdge(graph_.entry, cur);
+    cur = lowerList(graph_.program().body, cur);
+    graph_.addEdge(cur, graph_.exit);
+    return std::move(graph_);
+  }
+
+ private:
+  NodeId newBlock() { return graph_.newNode(NodeKind::Block, path_); }
+
+  /// Returns a Block node new statements can be appended to: `cur` itself
+  /// if it is an unterminated Block, otherwise a fresh successor Block.
+  NodeId ensureBlock(NodeId cur) {
+    Node& n = graph_.node(cur);
+    if (n.kind == NodeKind::Block && n.terminator == nullptr) return cur;
+    const NodeId b = newBlock();
+    graph_.addEdge(cur, b);
+    return b;
+  }
+
+  NodeId lowerSyncNode(NodeId cur, NodeKind kind, ir::Stmt* s) {
+    const NodeId n = graph_.newNode(kind, path_);
+    graph_.node(n).syncStmt = s;
+    graph_.mapStmt(s, n);
+    graph_.addEdge(cur, n);
+    return n;
+  }
+
+  NodeId lowerList(ir::StmtList& list, NodeId cur) {
+    for (auto& sp : list) cur = lowerStmt(sp.get(), cur);
+    return cur;
+  }
+
+  NodeId lowerStmt(ir::Stmt* s, NodeId cur) {
+    using ir::StmtKind;
+    switch (s->kind) {
+      case StmtKind::Assign:
+      case StmtKind::CallStmt:
+      case StmtKind::Print: {
+        cur = ensureBlock(cur);
+        graph_.node(cur).stmts.push_back(s);
+        graph_.mapStmt(s, cur);
+        return cur;
+      }
+      case StmtKind::Lock:
+        return lowerSyncNode(cur, NodeKind::Lock, s);
+      case StmtKind::Unlock:
+        return lowerSyncNode(cur, NodeKind::Unlock, s);
+      case StmtKind::Set:
+        return lowerSyncNode(cur, NodeKind::Set, s);
+      case StmtKind::Wait:
+        return lowerSyncNode(cur, NodeKind::Wait, s);
+      case StmtKind::Barrier:
+        return lowerSyncNode(cur, NodeKind::Barrier, s);
+      case StmtKind::If: {
+        cur = ensureBlock(cur);
+        graph_.node(cur).terminator = s;
+        graph_.mapStmt(s, cur);
+        // succs[0] = then entry, succs[1] = else entry / join.
+        const NodeId thenEntry = newBlock();
+        graph_.addEdge(cur, thenEntry);
+        const NodeId thenExit = lowerList(s->thenBody, thenEntry);
+        const NodeId join = newBlock();
+        if (s->elseBody.empty()) {
+          graph_.addEdge(cur, join);
+        } else {
+          const NodeId elseEntry = newBlock();
+          graph_.addEdge(cur, elseEntry);
+          const NodeId elseExit = lowerList(s->elseBody, elseEntry);
+          graph_.addEdge(elseExit, join);
+        }
+        graph_.addEdge(thenExit, join);
+        return join;
+      }
+      case StmtKind::While: {
+        // Header evaluates the condition: succs[0] = body, succs[1] = exit.
+        const NodeId header = newBlock();
+        graph_.addEdge(cur, header);
+        graph_.node(header).terminator = s;
+        graph_.mapStmt(s, header);
+        const NodeId bodyEntry = newBlock();
+        graph_.addEdge(header, bodyEntry);
+        const NodeId bodyExit = lowerList(s->thenBody, bodyEntry);
+        graph_.addEdge(bodyExit, header);
+        const NodeId exitB = newBlock();
+        graph_.addEdge(header, exitB);
+        return exitB;
+      }
+      case StmtKind::Cobegin: {
+        const NodeId fork = graph_.newNode(NodeKind::Cobegin, path_);
+        graph_.node(fork).syncStmt = s;
+        graph_.mapStmt(s, fork);
+        graph_.addEdge(cur, fork);
+        const NodeId join = graph_.newNode(NodeKind::Coend, path_);
+        graph_.node(join).syncStmt = s;
+        for (std::uint32_t ti = 0; ti < s->threads.size(); ++ti) {
+          path_.push_back(ThreadPathEntry{s->id, ti});
+          const NodeId tEntry = newBlock();
+          graph_.addEdge(fork, tEntry);
+          const NodeId tExit = lowerList(s->threads[ti].body, tEntry);
+          graph_.addEdge(tExit, join);
+          path_.pop_back();
+        }
+        return join;
+      }
+    }
+    return cur;
+  }
+
+  Graph graph_;
+  ThreadPath path_;
+};
+
+}  // namespace
+
+Graph buildPfg(ir::Program& program) { return Lowerer(program).run(); }
+
+std::string Graph::describe(NodeId id) const {
+  const Node& n = node(id);
+  std::string out = "#" + std::to_string(id.value()) + " " +
+                    nodeKindName(n.kind);
+  const ir::SymbolTable& syms = program_->symbols;
+  if (n.isSync() && n.syncStmt != nullptr)
+    out += "(" + syms.nameOf(n.syncStmt->sync) + ")";
+  if (n.kind == NodeKind::Block) {
+    out += " [" + std::to_string(n.stmts.size()) + " stmts" +
+           (n.terminator != nullptr ? ", branch" : "") + "]";
+  }
+  return out;
+}
+
+}  // namespace cssame::pfg

@@ -1,0 +1,19 @@
+// DOT (Graphviz) export of a PFG, standing in for the paper's VCG output.
+#pragma once
+
+#include <string>
+
+#include "src/pfg/graph.h"
+
+namespace cssame::pfg {
+
+struct DotOptions {
+  bool showConflictEdges = true;  ///< dashed (paper Figure 2 legend)
+  bool showMutexEdges = true;     ///< dotted
+  bool showDsyncEdges = true;     ///< bold
+  bool showStmts = true;          ///< statement text inside block nodes
+};
+
+[[nodiscard]] std::string toDot(const Graph& graph, DotOptions opts = {});
+
+}  // namespace cssame::pfg

@@ -1,0 +1,159 @@
+// The Parallel Flow Graph (paper Definition 1).
+//
+// A PFG is a control flow graph over *parallel basic blocks* where
+//   - Lock/Unlock (and Set/Wait) operations get their own nodes,
+//   - cobegin/coend are explicit fork/join nodes,
+//   - E = Ect ∪ Esync ∪ Ecf:
+//       Ect    control flow edges (stored as succ/pred adjacency),
+//       Esync  = Emutex (undirected lock↔unlock) ∪ Edsync (set→wait),
+//       Ecf    directed conflict edges between concurrent blocks that
+//              access the same shared variable, labelled def/use.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "src/ir/program.h"
+#include "src/support/ids.h"
+
+namespace cssame::pfg {
+
+enum class NodeKind : std::uint8_t {
+  Entry,    ///< unique EntryG
+  Exit,     ///< unique ExitG
+  Block,    ///< straight-line parallel basic block
+  Cobegin,  ///< fork node
+  Coend,    ///< join node
+  Lock,     ///< Lock(L) — own node per Definition 1.3
+  Unlock,   ///< Unlock(L)
+  Set,      ///< Set(e)
+  Wait,     ///< Wait(e)
+  Barrier,  ///< barrier rendezvous of the enclosing cobegin's threads
+};
+
+[[nodiscard]] const char* nodeKindName(NodeKind k);
+
+/// Identifies the thread context of a node: the stack of (cobegin stmt,
+/// thread index) pairs enclosing it. Two nodes whose paths first differ at
+/// the same cobegin with different thread indices belong to concurrent
+/// threads (see analysis::Mhp).
+struct ThreadPathEntry {
+  StmtId cobegin;
+  std::uint32_t threadIndex = 0;
+
+  friend bool operator==(const ThreadPathEntry& a, const ThreadPathEntry& b) {
+    return a.cobegin == b.cobegin && a.threadIndex == b.threadIndex;
+  }
+};
+using ThreadPath = std::vector<ThreadPathEntry>;
+
+struct Node {
+  NodeId id;
+  NodeKind kind = NodeKind::Block;
+
+  /// Block only: simple statements (Assign / CallStmt / Print), in order.
+  std::vector<ir::Stmt*> stmts;
+  /// Block only: If/While statement whose condition is evaluated at the end
+  /// of this node. With a terminator: succs[0] = taken (then/body),
+  /// succs[1] = not taken (else/exit).
+  ir::Stmt* terminator = nullptr;
+  /// Lock/Unlock/Set/Wait: the sync statement. Cobegin/Coend: the cobegin
+  /// statement they delimit.
+  ir::Stmt* syncStmt = nullptr;
+
+  std::vector<NodeId> succs;  ///< Ect out-edges
+  std::vector<NodeId> preds;  ///< Ect in-edges
+
+  ThreadPath threadPath;
+
+  [[nodiscard]] bool isSync() const {
+    return kind == NodeKind::Lock || kind == NodeKind::Unlock ||
+           kind == NodeKind::Set || kind == NodeKind::Wait;
+  }
+};
+
+/// A directed conflict edge (Ecf). The paper labels each end def (D) or
+/// use (U); we record the edge def-site → access-site with the access kind.
+struct ConflictEdge {
+  NodeId from;       ///< defining node
+  NodeId to;         ///< node with the conflicting use or def
+  SymbolId var;      ///< the shared variable
+  bool toIsDef = false;  ///< DD edge when true, DU edge otherwise
+};
+
+/// An undirected mutex synchronization edge between a Lock and an Unlock
+/// node of the same lock variable in concurrent threads (Emutex).
+struct MutexEdge {
+  NodeId lockNode;
+  NodeId unlockNode;
+  SymbolId lockVar;
+};
+
+/// A directed event synchronization edge Set(e) → Wait(e) (Edsync).
+struct DsyncEdge {
+  NodeId setNode;
+  NodeId waitNode;
+  SymbolId eventVar;
+};
+
+class Graph {
+ public:
+  explicit Graph(ir::Program& program) : program_(&program) {}
+
+  [[nodiscard]] ir::Program& program() const { return *program_; }
+
+  NodeId newNode(NodeKind kind, ThreadPath path = {}) {
+    const NodeId id{static_cast<NodeId::value_type>(nodes_.size())};
+    Node n;
+    n.id = id;
+    n.kind = kind;
+    n.threadPath = std::move(path);
+    nodes_.push_back(std::move(n));
+    return id;
+  }
+
+  void addEdge(NodeId from, NodeId to) {
+    node(from).succs.push_back(to);
+    node(to).preds.push_back(from);
+  }
+
+  [[nodiscard]] Node& node(NodeId id) {
+    assert(id.valid() && id.index() < nodes_.size());
+    return nodes_[id.index()];
+  }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    assert(id.valid() && id.index() < nodes_.size());
+    return nodes_[id.index()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] std::vector<Node>& nodes() { return nodes_; }
+
+  NodeId entry;
+  NodeId exit;
+
+  std::vector<ConflictEdge> conflicts;
+  std::vector<MutexEdge> mutexEdges;
+  std::vector<DsyncEdge> dsyncEdges;
+
+  /// Node that evaluates/executes the given statement. Simple statements
+  /// map to their Block, If/While to the block they terminate, sync
+  /// statements to their own node, Cobegin to the fork node.
+  [[nodiscard]] NodeId nodeOf(const ir::Stmt* s) const {
+    auto it = stmtNode_.find(s);
+    return it == stmtNode_.end() ? NodeId{} : it->second;
+  }
+  void mapStmt(const ir::Stmt* s, NodeId n) { stmtNode_[s] = n; }
+
+  /// Human-readable one-line description of a node, for DOT labels/tests.
+  [[nodiscard]] std::string describe(NodeId id) const;
+
+ private:
+  ir::Program* program_;
+  std::vector<Node> nodes_;
+  std::unordered_map<const ir::Stmt*, NodeId> stmtNode_;
+};
+
+}  // namespace cssame::pfg

@@ -1,0 +1,24 @@
+// Structural PFG invariants, checked in tests after construction and
+// whenever the graph is rebuilt following a transformation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/pfg/graph.h"
+
+namespace cssame::pfg {
+
+/// Returns human-readable violations; empty means the graph is well
+/// formed:
+///  - unique Entry (no preds) and Exit (no succs), edges mirrored,
+///  - Block nodes hold only simple statements; terminators are If/While
+///    and imply exactly two successors (taken / not taken),
+///  - Lock/Unlock/Set/Wait/Barrier nodes carry their statement and have
+///    exactly one successor,
+///  - Cobegin fans out to one entry per thread; Coend joins them,
+///  - every statement in a node maps back to it via nodeOf(),
+///  - conflict edges connect distinct nodes over shared variables.
+[[nodiscard]] std::vector<std::string> verifyGraph(const Graph& graph);
+
+}  // namespace cssame::pfg

@@ -1,0 +1,320 @@
+#include "src/ssa/ssa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace cssame::ssa {
+
+const char* defKindName(DefKind k) {
+  switch (k) {
+    case DefKind::Entry: return "entry";
+    case DefKind::Assign: return "assign";
+    case DefKind::Phi: return "phi";
+    case DefKind::Pi: return "pi";
+  }
+  return "?";
+}
+
+SsaNameId SsaForm::newDef(DefKind kind, SymbolId var, NodeId node) {
+  Definition d;
+  d.name = SsaNameId{static_cast<SsaNameId::value_type>(defs.size())};
+  d.kind = kind;
+  d.var = var;
+  d.version = versionCounter_[var]++;
+  d.node = node;
+  defs.push_back(std::move(d));
+  return defs.back().name;
+}
+
+std::vector<SsaNameId> SsaForm::livePis() const {
+  std::vector<SsaNameId> out;
+  for (const Definition& d : defs)
+    if (d.kind == DefKind::Pi && !d.removed) out.push_back(d.name);
+  return out;
+}
+
+std::size_t SsaForm::countLivePis() const { return livePis().size(); }
+
+std::size_t SsaForm::countLivePhis() const {
+  std::size_t n = 0;
+  for (const Definition& d : defs)
+    if (d.kind == DefKind::Phi && !d.removed) ++n;
+  return n;
+}
+
+std::size_t SsaForm::countPiConflictArgs() const {
+  std::size_t n = 0;
+  for (const Definition& d : defs)
+    if (d.kind == DefKind::Pi && !d.removed) n += d.piConflictArgs.size();
+  return n;
+}
+
+std::string SsaForm::nameOf(SsaNameId n, const ir::SymbolTable& syms) const {
+  const Definition& d = def(n);
+  return syms.nameOf(d.var) + std::to_string(d.version);
+}
+
+namespace {
+
+class Builder {
+ public:
+  Builder(pfg::Graph& graph, const analysis::Dominators& dom)
+      : graph_(graph), dom_(dom), syms_(graph.program().symbols) {}
+
+  SsaForm run() {
+    form_.phisAt.assign(graph_.size(), {});
+    createEntryDefs();
+    placePhis();
+    rename();
+    pruneCoendPhis();
+    return std::move(form_);
+  }
+
+ private:
+  void createEntryDefs() {
+    form_.entryDef.assign(graph_.program().symbols.size(), SsaNameId{});
+    for (const ir::Symbol& sym : syms_.all()) {
+      if (sym.kind != ir::SymbolKind::Var) continue;
+      form_.entryDef[sym.id.index()] =
+          form_.newDef(DefKind::Entry, sym.id, graph_.entry);
+    }
+  }
+
+  // Minimal SSA φ placement: iterated dominance frontier of each
+  // variable's definition nodes (the entry node counts as a definition
+  // site — the entry value merges with conditional definitions).
+  void placePhis() {
+    std::unordered_map<SymbolId, std::vector<NodeId>> defNodes;
+    for (const pfg::Node& n : graph_.nodes()) {
+      for (const ir::Stmt* s : n.stmts)
+        if (s->kind == ir::StmtKind::Assign) defNodes[s->lhs].push_back(n.id);
+    }
+
+    for (auto& [var, nodes] : defNodes) {
+      std::vector<bool> hasPhi(graph_.size(), false);
+      std::vector<bool> inWork(graph_.size(), false);
+      std::vector<NodeId> work = nodes;
+      work.push_back(graph_.entry);  // the Entry definition's site
+      for (NodeId n : work) inWork[n.index()] = true;
+      while (!work.empty()) {
+        const NodeId n = work.back();
+        work.pop_back();
+        if (!dom_.reachable(n)) continue;
+        for (NodeId f : dom_.frontier(n)) {
+          if (hasPhi[f.index()]) continue;
+          hasPhi[f.index()] = true;
+          const SsaNameId phi = form_.newDef(DefKind::Phi, var, f);
+          form_.phisAt[f.index()].push_back(phi);
+          if (!inWork[f.index()]) {
+            inWork[f.index()] = true;
+            work.push_back(f);
+          }
+        }
+      }
+    }
+  }
+
+  // Dominator-tree renaming with per-variable definition stacks. Builds
+  // the factored use-def chains: useDef for every VarRef, φ arguments per
+  // incoming control edge.
+  void rename() {
+    stacks_.assign(syms_.size(), {});
+    for (const ir::Symbol& sym : syms_.all())
+      if (sym.kind == ir::SymbolKind::Var)
+        stacks_[sym.id.index()].push_back(form_.entryDef[sym.id.index()]);
+    renameNode(dom_.root());
+  }
+
+  SsaNameId top(SymbolId var) const {
+    const auto& st = stacks_[var.index()];
+    assert(!st.empty());
+    return st.back();
+  }
+
+  void resolveUses(const ir::Expr& e) {
+    ir::forEachExpr(e, [&](const ir::Expr& sub) {
+      if (sub.kind == ir::ExprKind::VarRef) form_.useDef[&sub] = top(sub.var);
+    });
+  }
+
+  void renameNode(NodeId id) {
+    const pfg::Node& n = graph_.node(id);
+    std::vector<std::pair<SymbolId, std::size_t>> pushed;
+
+    auto push = [&](SymbolId var, SsaNameId def) {
+      stacks_[var.index()].push_back(def);
+      pushed.emplace_back(var, 1);
+    };
+
+    for (SsaNameId phi : form_.phisAt[id.index()])
+      push(form_.def(phi).var, phi);
+
+    for (ir::Stmt* s : n.stmts) {
+      if (s->expr) resolveUses(*s->expr);
+      if (s->kind == ir::StmtKind::Assign) {
+        const SsaNameId d = form_.newDef(DefKind::Assign, s->lhs, id);
+        form_.def(d).stmt = s;
+        form_.assignDef[s] = d;
+        push(s->lhs, d);
+      }
+    }
+    if (n.terminator != nullptr && n.terminator->expr)
+      resolveUses(*n.terminator->expr);
+
+    // Fill φ arguments of control successors for the edge (id → succ).
+    for (NodeId succ : n.succs) {
+      for (SsaNameId phi : form_.phisAt[succ.index()]) {
+        Definition& p = form_.def(phi);
+        p.phiArgs.push_back(PhiArg{id, top(p.var)});
+      }
+    }
+
+    for (NodeId child : dom_.children(id)) renameNode(child);
+
+    for (auto it = pushed.rbegin(); it != pushed.rend(); ++it)
+      stacks_[it->first.index()].pop_back();
+  }
+
+  // coend φ pruning: keep only arguments from threads that define the
+  // variable; fold single-argument φs into copies (see ssa.h header).
+  void pruneCoendPhis() {
+    // (cobegin stmt id, thread index) → does it define var v? Encoded as a
+    // set of (cobegin, thread, var) triples via nested maps.
+    struct Key {
+      StmtId cobegin;
+      std::uint32_t thread;
+      SymbolId var;
+      bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+      std::size_t operator()(const Key& k) const {
+        std::size_t h = std::hash<StmtId>{}(k.cobegin);
+        h = h * 31 + k.thread;
+        h = h * 31 + std::hash<SymbolId>{}(k.var);
+        return h;
+      }
+    };
+    std::unordered_set<Key, KeyHash> threadDefines;
+    for (const Definition& d : form_.defs) {
+      if (d.kind != DefKind::Assign) continue;
+      for (const pfg::ThreadPathEntry& e : graph_.node(d.node).threadPath)
+        threadDefines.insert(Key{e.cobegin, e.threadIndex, d.var});
+    }
+
+    auto threadIndexOf = [&](NodeId pred, StmtId cobegin) -> std::int64_t {
+      for (const pfg::ThreadPathEntry& e : graph_.node(pred).threadPath)
+        if (e.cobegin == cobegin) return e.threadIndex;
+      return -1;
+    };
+
+    for (const pfg::Node& n : graph_.nodes()) {
+      if (n.kind != pfg::NodeKind::Coend) continue;
+      const StmtId cobegin = n.syncStmt->id;
+      auto& phis = form_.phisAt[n.id.index()];
+      for (auto it = phis.begin(); it != phis.end();) {
+        Definition& p = form_.def(*it);
+        auto& args = p.phiArgs;
+        args.erase(std::remove_if(args.begin(), args.end(),
+                                  [&](const PhiArg& a) {
+                                    const std::int64_t ti =
+                                        threadIndexOf(a.pred, cobegin);
+                                    if (ti < 0) return false;  // not a thread edge
+                                    return !threadDefines.contains(
+                                        Key{cobegin,
+                                            static_cast<std::uint32_t>(ti),
+                                            p.var});
+                                  }),
+                   args.end());
+        if (args.size() == 1) {
+          replaceAllUses(p.name, args.front().def);
+          p.removed = true;
+          it = phis.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  void replaceAllUses(SsaNameId oldName, SsaNameId newName) {
+    for (auto& [use, def] : form_.useDef)
+      if (def == oldName) def = newName;
+    for (Definition& d : form_.defs) {
+      for (PhiArg& a : d.phiArgs)
+        if (a.def == oldName) a.def = newName;
+      if (d.kind == DefKind::Pi) {
+        if (d.piControlArg == oldName) d.piControlArg = newName;
+        for (PiConflictArg& a : d.piConflictArgs)
+          if (a.def == oldName) a.def = newName;
+      }
+    }
+  }
+
+  pfg::Graph& graph_;
+  const analysis::Dominators& dom_;
+  const ir::SymbolTable& syms_;
+  SsaForm form_;
+  std::vector<std::vector<SsaNameId>> stacks_;
+};
+
+}  // namespace
+
+SsaForm buildSequentialSsa(pfg::Graph& graph,
+                           const analysis::Dominators& dom) {
+  return Builder(graph, dom).run();
+}
+
+std::vector<std::string> SsaForm::verify(const pfg::Graph& graph) const {
+  std::vector<std::string> problems;
+  const ir::SymbolTable& syms = graph.program().symbols;
+
+  auto checkUse = [&](const ir::Expr& e) {
+    ir::forEachExpr(e, [&](const ir::Expr& sub) {
+      if (sub.kind != ir::ExprKind::VarRef) return;
+      auto it = useDef.find(&sub);
+      if (it == useDef.end()) {
+        problems.push_back("use of '" + syms.nameOf(sub.var) +
+                           "' has no use-def link");
+        return;
+      }
+      const Definition& d = def(it->second);
+      if (d.removed)
+        problems.push_back("use of '" + syms.nameOf(sub.var) +
+                           "' points at a removed definition");
+      if (d.var != sub.var)
+        problems.push_back("use-def link for '" + syms.nameOf(sub.var) +
+                           "' points at a definition of another variable");
+    });
+  };
+
+  for (const pfg::Node& n : graph.nodes()) {
+    for (const ir::Stmt* s : n.stmts) {
+      if (s->expr) checkUse(*s->expr);
+      if (s->kind == ir::StmtKind::Assign && !assignDef.contains(s))
+        problems.push_back("assignment without SSA definition");
+    }
+    if (n.terminator != nullptr && n.terminator->expr)
+      checkUse(*n.terminator->expr);
+  }
+
+  for (const Definition& d : defs) {
+    if (d.removed) continue;
+    for (const PhiArg& a : d.phiArgs) {
+      if (def(a.def).removed)
+        problems.push_back("phi argument references a removed definition");
+      if (def(a.def).var != d.var)
+        problems.push_back("phi argument of a different variable");
+    }
+    if (d.kind == DefKind::Pi) {
+      if (def(d.piControlArg).removed)
+        problems.push_back("pi control argument removed");
+      for (const PiConflictArg& a : d.piConflictArgs)
+        if (def(a.def).removed)
+          problems.push_back("pi conflict argument removed");
+    }
+  }
+  return problems;
+}
+
+}  // namespace cssame::ssa

@@ -1,0 +1,127 @@
+// A resizable bitset with the set-algebra operations data-flow solvers need.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cssame {
+
+/// Dense dynamic bitset. All binary operations require equal sizes.
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kBits - 1) / kBits, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.resize((nbits + kBits - 1) / kBits, 0);
+    clearSlack();
+  }
+
+  void set(std::size_t i) {
+    assert(i < nbits_);
+    words_[i / kBits] |= Word{1} << (i % kBits);
+  }
+  void reset(std::size_t i) {
+    assert(i < nbits_);
+    words_[i / kBits] &= ~(Word{1} << (i % kBits));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    assert(i < nbits_);
+    return (words_[i / kBits] >> (i % kBits)) & 1;
+  }
+
+  void setAll() {
+    for (auto& w : words_) w = ~Word{0};
+    clearSlack();
+  }
+  void resetAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  [[nodiscard]] bool none() const { return !any(); }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// In-place union. Returns true if this set changed.
+  bool unionWith(const DynBitset& o) {
+    assert(nbits_ == o.nbits_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      Word nw = words_[i] | o.words_[i];
+      changed |= nw != words_[i];
+      words_[i] = nw;
+    }
+    return changed;
+  }
+
+  /// In-place intersection. Returns true if this set changed.
+  bool intersectWith(const DynBitset& o) {
+    assert(nbits_ == o.nbits_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      Word nw = words_[i] & o.words_[i];
+      changed |= nw != words_[i];
+      words_[i] = nw;
+    }
+    return changed;
+  }
+
+  /// In-place difference (this \ o). Returns true if this set changed.
+  bool subtract(const DynBitset& o) {
+    assert(nbits_ == o.nbits_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      Word nw = words_[i] & ~o.words_[i];
+      changed |= nw != words_[i];
+      words_[i] = nw;
+    }
+    return changed;
+  }
+
+  friend bool operator==(const DynBitset& a, const DynBitset& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+  /// Calls `fn(index)` for every set bit, in increasing order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      Word w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * kBits + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kBits = 64;
+
+  // Bits past nbits_ in the last word must stay zero so count()/any() work.
+  void clearSlack() {
+    if (nbits_ % kBits != 0 && !words_.empty())
+      words_.back() &= (Word{1} << (nbits_ % kBits)) - 1;
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace cssame

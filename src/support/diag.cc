@@ -1,0 +1,46 @@
+#include "src/support/diag.h"
+
+namespace cssame {
+
+const char* diagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::SyntaxError: return "syntax-error";
+    case DiagCode::UndeclaredIdentifier: return "undeclared-identifier";
+    case DiagCode::Redeclaration: return "redeclaration";
+    case DiagCode::WrongSymbolKind: return "wrong-symbol-kind";
+    case DiagCode::UnmatchedLock: return "unmatched-lock";
+    case DiagCode::UnmatchedUnlock: return "unmatched-unlock";
+    case DiagCode::IllFormedMutexBody: return "ill-formed-mutex-body";
+    case DiagCode::InconsistentLocking: return "inconsistent-locking";
+    case DiagCode::PotentialDataRace: return "potential-data-race";
+    case DiagCode::PotentialDeadlock: return "potential-deadlock";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string out;
+  switch (severity) {
+    case DiagSeverity::Note: out = "note"; break;
+    case DiagSeverity::Warning: out = "warning"; break;
+    case DiagSeverity::Error: out = "error"; break;
+  }
+  out += " [";
+  out += diagCodeName(code);
+  out += "] ";
+  if (loc.valid()) {
+    out += loc.str();
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+std::size_t DiagEngine::countOf(DiagCode code) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.code == code) ++n;
+  return n;
+}
+
+}  // namespace cssame

@@ -1,0 +1,80 @@
+// Diagnostics engine.
+//
+// Both the front end (syntax/semantic errors) and the synchronization
+// analyses (unmatched locks, lock-consistency data races; paper Section 6)
+// report through this engine, so callers get one ordered stream of
+// warnings/errors per compilation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/source_loc.h"
+
+namespace cssame {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// Stable identifiers for programmatically checking which diagnostics fired.
+enum class DiagCode {
+  // Front end.
+  SyntaxError,
+  UndeclaredIdentifier,
+  Redeclaration,
+  WrongSymbolKind,
+  // Synchronization structure (paper Section 6).
+  UnmatchedLock,       // Lock(L) not part of any mutex body
+  UnmatchedUnlock,     // Unlock(L) not part of any mutex body
+  IllFormedMutexBody,  // candidate body discarded (nested lock of same var)
+  InconsistentLocking, // shared var written under different/absent locks
+  PotentialDataRace,   // conflicting unsynchronized accesses
+  PotentialDeadlock,   // opposite lock acquisition orders / order cycles
+};
+
+[[nodiscard]] const char* diagCodeName(DiagCode code);
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::Warning;
+  DiagCode code = DiagCode::SyntaxError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics in emission order.
+class DiagEngine {
+ public:
+  void report(DiagSeverity sev, DiagCode code, SourceLoc loc,
+              std::string message) {
+    diags_.push_back({sev, code, loc, std::move(message)});
+    if (sev == DiagSeverity::Error) ++errors_;
+  }
+
+  void error(DiagCode code, SourceLoc loc, std::string msg) {
+    report(DiagSeverity::Error, code, loc, std::move(msg));
+  }
+  void warn(DiagCode code, SourceLoc loc, std::string msg) {
+    report(DiagSeverity::Warning, code, loc, std::move(msg));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] bool hasErrors() const { return errors_ > 0; }
+  [[nodiscard]] std::size_t errorCount() const { return errors_; }
+
+  /// Number of diagnostics with the given code.
+  [[nodiscard]] std::size_t countOf(DiagCode code) const;
+
+  void clear() {
+    diags_.clear();
+    errors_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace cssame

@@ -1,0 +1,26 @@
+// Source positions for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cssame {
+
+/// A 1-based line/column position in the program source. Line 0 means
+/// "no location" (e.g. for IR built programmatically).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(SourceLoc a, SourceLoc b) {
+    return a.line == b.line && a.column == b.column;
+  }
+};
+
+}  // namespace cssame

@@ -1,0 +1,60 @@
+// Synthetic explicitly-parallel program generation.
+//
+// The paper evaluates on hand-written kernels (Figures 1–5); a production
+// library also needs parameterized workloads to characterize compile-time
+// cost and optimization effectiveness at scale, and randomized programs
+// for property testing. Three families:
+//
+//   generateRandom      — arbitrary structured programs (branches, loops,
+//                         nested cobegins, locks, optional events). In
+//                         `determinate` mode every shared write is a
+//                         commutative update under a per-variable lock
+//                         and all reads happen after the coend, so the
+//                         program output is interleaving-independent —
+//                         the property the semantic-preservation tests
+//                         rely on.
+//   makeLockStructured  — T threads × R lock regions with a tunable
+//                         fraction of shared accesses inside mutex
+//                         bodies; drives the π-reduction sweeps.
+//   makeBank            — account-transfer workload with per-bank lock
+//                         and thread-local bookkeeping, the motivating
+//                         mutex-heavy shape for the LICM experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ir/program.h"
+
+namespace cssame::workload {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  int threads = 4;           ///< threads in the top-level cobegin
+  int sharedVars = 6;
+  int locks = 2;
+  int stmtsPerThread = 20;
+  int maxDepth = 3;          ///< nesting depth for if/while
+  double branchProb = 0.2;
+  double loopProb = 0.1;
+  double lockedFraction = 0.7;  ///< shared accesses inside mutex bodies
+  bool useEvents = false;       ///< sprinkle set/wait pairs across threads
+  bool determinate = true;      ///< interleaving-independent output
+};
+
+[[nodiscard]] ir::Program generateRandom(const GeneratorConfig& config);
+
+/// T threads, each performing `regions` lock/unlock regions of
+/// `stmtsPerRegion` statements; a `lockedFraction` of all shared-variable
+/// accesses land inside the regions, the rest between them.
+[[nodiscard]] ir::Program makeLockStructured(int threads, int regions,
+                                             int stmtsPerRegion,
+                                             double lockedFraction,
+                                             std::uint64_t seed);
+
+/// Bank workload: `threads` tellers each apply `opsPerThread` deposits to
+/// `accounts` accounts under one bank lock, with thread-local statistics
+/// computed inside the critical section (LICM's prey).
+[[nodiscard]] ir::Program makeBank(int accounts, int threads,
+                                   int opsPerThread, std::uint64_t seed);
+
+}  // namespace cssame::workload

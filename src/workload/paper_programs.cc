@@ -1,0 +1,81 @@
+#include "src/workload/paper_programs.h"
+
+namespace cssame::workload {
+
+const char* figure1Source() {
+  return R"(
+int a, b;
+lock L;
+a = 1;
+b = 2;
+cobegin {
+  thread T0 {
+    lock(L);
+    a = a + b;
+    unlock(L);
+  }
+  thread T1 {
+    f(a);
+    lock(L);
+    a = 3;
+    b = b + g(a);
+    unlock(L);
+  }
+}
+print(a);
+print(b);
+)";
+}
+
+const char* figure2Source() {
+  return R"(
+int a, b, x, y;
+lock L;
+a = 0;
+b = 0;
+cobegin {
+  thread T0 {
+    lock(L);
+    a = 5;
+    b = a + 3;
+    if (b > 4) { a = a + b; }
+    x = a;
+    unlock(L);
+  }
+  thread T1 {
+    lock(L);
+    a = b + 6;
+    y = a;
+    unlock(L);
+  }
+}
+print(x);
+print(y);
+)";
+}
+
+const char* figure5aSource() {
+  return R"(
+int a, b, x, y;
+lock L;
+b = 0;
+cobegin {
+  thread T0 {
+    lock(L);
+    b = 8;
+    x = 13;
+    unlock(L);
+  }
+  thread T1 {
+    lock(L);
+    a = b + 6;
+    y = a;
+    unlock(L);
+  }
+}
+print(x);
+print(y);
+)";
+}
+
+}  // namespace cssame::workload

@@ -1,0 +1,19 @@
+// The paper's example programs (Figures 1, 2 and 5a) as source text, in
+// one place for tests, benchmarks and examples.
+#pragma once
+
+namespace cssame::workload {
+
+/// Figure 1: mutual exclusion kills T0's definition of `a` for the second
+/// use in T1 (`g(a)` always sees a == 3).
+[[nodiscard]] const char* figure1Source();
+
+/// Figure 2: the running example whose CSSA/CSSAME forms are Figure 3 and
+/// whose optimization is Figures 4–5.
+[[nodiscard]] const char* figure2Source();
+
+/// Figure 5a: the program as it stands after the paper's CSCC + PDCE,
+/// the input LICM transforms into Figure 5b.
+[[nodiscard]] const char* figure5aSource();
+
+}  // namespace cssame::workload

@@ -1,0 +1,201 @@
+// Unit tests for CSCC constant propagation: lattice behavior, branch
+// resolution, unreachable-code removal, π/φ meets, and IR rewriting.
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/opt/cscc.h"
+#include "src/parser/parser.h"
+
+namespace cssame::opt {
+namespace {
+
+std::string optimize(const char* src, ConstPropStats* statsOut = nullptr,
+                     bool cssame = true) {
+  ir::Program prog = parser::parseOrDie(src);
+  driver::Compilation c =
+      driver::analyze(prog, {.enableCssame = cssame, .warnings = false});
+  ConstPropStats stats = propagateConstants(c);
+  if (statsOut != nullptr) *statsOut = stats;
+  EXPECT_TRUE(ir::verify(prog).empty());
+  return ir::printProgram(prog);
+}
+
+TEST(Cscc, SimpleFolding) {
+  const std::string text = optimize("int a, b; a = 2; b = a * 3 + 1;");
+  EXPECT_NE(text.find("b = 7"), std::string::npos) << text;
+}
+
+TEST(Cscc, EntryValueIsZero) {
+  const std::string text = optimize("int a, b; b = a + 5;");
+  EXPECT_NE(text.find("b = 5"), std::string::npos) << text;
+}
+
+TEST(Cscc, ConstantIfFlattened) {
+  ConstPropStats stats;
+  const std::string text = optimize(
+      "int a, b; a = 1; if (a > 0) { b = 10; } else { b = 20; } print(b);",
+      &stats);
+  EXPECT_EQ(stats.branchesResolved, 1u);
+  EXPECT_NE(text.find("b = 10"), std::string::npos) << text;
+  EXPECT_EQ(text.find("b = 20"), std::string::npos) << text;
+  EXPECT_EQ(text.find("if"), std::string::npos) << text;
+}
+
+TEST(Cscc, ConstantIfFalseTakesElse) {
+  const std::string text = optimize(
+      "int a, b; a = 0; if (a > 0) { b = 10; } else { b = 20; } print(b);");
+  EXPECT_NE(text.find("b = 20"), std::string::npos);
+  EXPECT_EQ(text.find("b = 10"), std::string::npos);
+}
+
+TEST(Cscc, WhileFalseRemoved) {
+  ConstPropStats stats;
+  const std::string text =
+      optimize("int a, b; a = 0; while (a > 0) { b = 1; } print(b);", &stats);
+  EXPECT_EQ(text.find("while"), std::string::npos) << text;
+  EXPECT_GE(stats.unreachableRemoved, 1u);
+}
+
+TEST(Cscc, WhileWithUnknownBoundKept) {
+  const std::string text =
+      optimize("int a, b; b = f(0); while (b > 0) { b = b - 1; } print(b);");
+  EXPECT_NE(text.find("while"), std::string::npos);
+}
+
+TEST(Cscc, LoopVariantValueNotFolded) {
+  const std::string text = optimize(
+      "int i; i = 0; while (i < 5) { i = i + 1; } print(i);");
+  // i merges 0 and i+1 at the header: not constant.
+  EXPECT_NE(text.find("i = i + 1"), std::string::npos) << text;
+}
+
+TEST(Cscc, CallIsBottom) {
+  const std::string text = optimize("int a, b; a = f(1); b = a + 1;");
+  EXPECT_NE(text.find("b = a + 1"), std::string::npos);
+}
+
+TEST(Cscc, CallArgumentsStillFolded) {
+  const std::string text = optimize("int a, b; a = 3; b = f(a + 1);");
+  EXPECT_NE(text.find("b = f(4)"), std::string::npos) << text;
+}
+
+TEST(Cscc, DivisionByZeroFoldsToZero) {
+  const std::string text = optimize("int a, b; a = 0; b = 7 / a; print(b);");
+  EXPECT_NE(text.find("b = 0"), std::string::npos) << text;
+}
+
+TEST(Cscc, NestedConstantBranches) {
+  const std::string text = optimize(R"(
+    int a, b;
+    a = 1;
+    if (a > 0) {
+      if (a > 2) { b = 1; } else { b = 2; }
+    }
+    print(b);
+  )");
+  EXPECT_NE(text.find("b = 2"), std::string::npos) << text;
+  EXPECT_EQ(text.find("b = 1"), std::string::npos);
+  EXPECT_EQ(text.find("if"), std::string::npos);
+}
+
+TEST(Cscc, PhiOfEqualConstantsFolds) {
+  const std::string text = optimize(R"(
+    int a, b, c;
+    c = f(0);
+    if (c > 0) { a = 7; } else { a = 7; }
+    b = a + 1;
+  )");
+  EXPECT_NE(text.find("b = 8"), std::string::npos) << text;
+}
+
+TEST(Cscc, PhiOfDifferentConstantsIsBottom) {
+  const std::string text = optimize(R"(
+    int a, b, c;
+    c = f(0);
+    if (c > 0) { a = 7; } else { a = 8; }
+    b = a + 1;
+  )");
+  EXPECT_NE(text.find("b = a + 1"), std::string::npos) << text;
+}
+
+TEST(Cscc, PiMeetAcrossThreads) {
+  // Concurrent equal writes: the π meets 5 with 5 — still constant.
+  const std::string text = optimize(R"(
+    int a, b;
+    a = 5;
+    cobegin {
+      thread { b = a + 1; }
+      thread { a = 5; }
+    }
+    print(b);
+  )");
+  EXPECT_NE(text.find("b = 6"), std::string::npos) << text;
+}
+
+TEST(Cscc, PiMeetDifferentValuesBottom) {
+  const std::string text = optimize(R"(
+    int a, b;
+    a = 5;
+    cobegin {
+      thread { b = a + 1; }
+      thread { a = 9; }
+    }
+    print(b);
+  )");
+  EXPECT_NE(text.find("b = a + 1"), std::string::npos) << text;
+}
+
+TEST(Cscc, UnreachableThreadCodeBehindConstFalse) {
+  ConstPropStats stats;
+  const std::string text = optimize(R"(
+    int a, b;
+    cobegin {
+      thread { if (0 > 1) { a = 1; } }
+      thread { b = 2; }
+    }
+    print(b);
+  )", &stats);
+  EXPECT_EQ(text.find("a = 1"), std::string::npos) << text;
+}
+
+TEST(Cscc, CssameUnlocksLockedRegionFolding) {
+  const char* src = R"(
+    int a, b; lock L;
+    cobegin {
+      thread { lock(L); a = 4; b = a + 1; unlock(L); print(b); }
+      thread { lock(L); a = 9; unlock(L); }
+    }
+  )";
+  ConstPropStats with, without;
+  const std::string textWith = optimize(src, &with, true);
+  const std::string textWithout = optimize(src, &without, false);
+  EXPECT_NE(textWith.find("b = 5"), std::string::npos) << textWith;
+  EXPECT_NE(textWithout.find("b = a + 1"), std::string::npos) << textWithout;
+  EXPECT_GT(with.usesReplaced, without.usesReplaced);
+}
+
+TEST(Cscc, AnalyzeOnlyDoesNotMutate) {
+  ir::Program prog = parser::parseOrDie("int a, b; a = 1; b = a + 1;");
+  const std::string before = ir::printProgram(prog);
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  ConstPropStats stats = analyzeConstants(c);
+  EXPECT_EQ(ir::printProgram(prog), before);
+  EXPECT_EQ(stats.constantDefs, 2u);
+  EXPECT_GE(stats.usesReplaced, 1u);  // counted, not applied
+}
+
+TEST(Cscc, ComparisonChainsFold) {
+  const std::string text = optimize(
+      "int a, b; a = 3; b = (a > 1) + (a == 3) * 10 + (a != 3) * 100;");
+  EXPECT_NE(text.find("b = 11"), std::string::npos) << text;
+}
+
+TEST(Cscc, NegativeNumbersAndUnary) {
+  const std::string text = optimize("int a, b; a = -3; b = -a + !a;");
+  EXPECT_NE(text.find("b = 3"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace cssame::opt

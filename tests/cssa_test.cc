@@ -1,0 +1,160 @@
+// Unit tests for CSSA π-term placement: which uses get π terms, their
+// control and conflict arguments.
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/parser/parser.h"
+
+namespace cssame::cssa {
+namespace {
+
+struct Fixture {
+  ir::Program prog;
+  driver::Compilation comp;
+
+  explicit Fixture(const char* src, bool cssame = false)
+      : prog(parser::parseOrDie(src)),
+        comp(driver::analyze(prog,
+                             {.enableCssame = cssame, .warnings = false})) {}
+
+  /// π definitions for variable `var`, by name.
+  std::vector<const ssa::Definition*> pisOn(const std::string& var) {
+    std::vector<const ssa::Definition*> out;
+    for (SsaNameId id : comp.ssa().livePis()) {
+      const ssa::Definition& d = comp.ssa().def(id);
+      if (prog.symbols.nameOf(d.var) == var) out.push_back(&d);
+    }
+    return out;
+  }
+};
+
+TEST(PiPlacement, ConcurrentDefCreatesPi) {
+  Fixture f(R"(
+    int a, b;
+    cobegin {
+      thread { b = a; }
+      thread { a = 1; }
+    }
+  )");
+  auto pis = f.pisOn("a");
+  ASSERT_EQ(pis.size(), 1u);
+  EXPECT_EQ(pis[0]->piConflictArgs.size(), 1u);
+  // Control argument is the sequential reaching def (entry).
+  EXPECT_EQ(f.comp.ssa().def(pis[0]->piControlArg).kind,
+            ssa::DefKind::Entry);
+}
+
+TEST(PiPlacement, NoPiWithoutConcurrency) {
+  Fixture f("int a, b; a = 1; b = a;");
+  EXPECT_EQ(f.comp.ssa().countLivePis(), 0u);
+}
+
+TEST(PiPlacement, PrivateVarsNeverGetPis) {
+  Fixture f(R"(
+    int s;
+    cobegin {
+      thread { int p; p = 1; p = p + 1; s = p; }
+      thread { s = 2; }
+    }
+  )");
+  EXPECT_TRUE(f.pisOn("p").empty());
+}
+
+TEST(PiPlacement, OneArgPerConcurrentDefSite) {
+  Fixture f(R"(
+    int a, b;
+    cobegin {
+      thread { b = a; }
+      thread { a = 1; a = 2; }
+      thread { a = 3; }
+    }
+  )");
+  auto pis = f.pisOn("a");
+  ASSERT_EQ(pis.size(), 1u);
+  EXPECT_EQ(pis[0]->piConflictArgs.size(), 3u);
+}
+
+TEST(PiPlacement, EachUseGetsItsOwnPi) {
+  Fixture f(R"(
+    int a, b, c;
+    cobegin {
+      thread { b = a; c = a; }
+      thread { a = 1; }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a").size(), 2u);
+}
+
+TEST(PiPlacement, ConditionUsesGetPis) {
+  Fixture f(R"(
+    int a, b;
+    cobegin {
+      thread { if (a > 0) { b = 1; } while (a < 9) { b = 2; } }
+      thread { a = 1; }
+    }
+  )");
+  // One π for the if condition, one for the while condition.
+  EXPECT_EQ(f.pisOn("a").size(), 2u);
+}
+
+TEST(PiPlacement, UseAfterCoendHasNoPi) {
+  Fixture f(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; }
+      thread { a = 2; }
+    }
+    b = a;
+  )");
+  // The read is sequential (after the join): coend φ, not π.
+  EXPECT_TRUE(f.pisOn("a").empty());
+}
+
+TEST(PiPlacement, SameBlockDefStillGetsPi) {
+  // Interleaving is statement-granular: even a use immediately after a
+  // same-thread def can observe a concurrent write (Figure 3a: ta1).
+  Fixture f(R"(
+    int a, b;
+    cobegin {
+      thread { a = 5; b = a; }
+      thread { a = 6; }
+    }
+  )");
+  auto pis = f.pisOn("a");
+  ASSERT_EQ(pis.size(), 1u);
+  // Control arg is the same-block def a=5.
+  const ssa::Definition& ctrl = f.comp.ssa().def(pis[0]->piControlArg);
+  ASSERT_EQ(ctrl.kind, ssa::DefKind::Assign);
+  EXPECT_EQ(ctrl.stmt->expr->intValue, 5);
+}
+
+TEST(PiPlacement, OrderedThreadsStillConflict) {
+  // set/wait ordering must NOT remove π terms (the definition still
+  // flows to the use; see analysis::Mhp::conflicting).
+  Fixture f(R"(
+    int a, b; event e;
+    cobegin {
+      thread { a = 1; set(e); }
+      thread { wait(e); b = a; }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a").size(), 1u);
+}
+
+TEST(PiPlacement, StatsMatchForm) {
+  Fixture f(R"(
+    int a, b;
+    cobegin {
+      thread { b = a; b = a + a; }
+      thread { a = 1; }
+    }
+  )");
+  EXPECT_EQ(f.comp.piStats().pisPlaced, f.comp.ssa().countLivePis());
+  EXPECT_EQ(f.comp.piStats().conflictArgs,
+            f.comp.ssa().countPiConflictArgs());
+  // b = a + a has two uses → two πs; b = a one more.
+  EXPECT_EQ(f.comp.ssa().countLivePis(), 3u);
+}
+
+}  // namespace
+}  // namespace cssame::cssa

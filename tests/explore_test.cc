@@ -1,0 +1,225 @@
+// Tests for the exhaustive schedule explorer, and explorer-backed
+// verification of every optimization pass: an optimizer may shrink the
+// set of possible outputs of a racy program, never grow it.
+#include <gtest/gtest.h>
+
+#include "src/interp/explore.h"
+#include "src/interp/interp.h"
+#include "src/opt/optimize.h"
+#include "src/parser/parser.h"
+
+namespace cssame::interp {
+namespace {
+
+ExploreResult explore(const char* src) {
+  ir::Program prog = parser::parseOrDie(src);
+  ExploreResult r = exploreAllSchedules(prog);
+  EXPECT_TRUE(r.complete) << "state budget exhausted";
+  return r;
+}
+
+TEST(Explore, SequentialProgramHasOneOutput) {
+  ExploreResult r = explore("int a; a = 2; a = a * 3; print(a);");
+  EXPECT_EQ(r.outputList(),
+            (std::vector<std::vector<long long>>{{6}}));
+  EXPECT_FALSE(r.anyDeadlock);
+}
+
+TEST(Explore, RacyStoresYieldBothOutcomes) {
+  ExploreResult r = explore(R"(
+    int a;
+    cobegin {
+      thread { a = 1; }
+      thread { a = 2; }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.outputList(),
+            (std::vector<std::vector<long long>>{{1}, {2}}));
+}
+
+TEST(Explore, LostUpdateEnumerated) {
+  ExploreResult r = explore(R"(
+    int a;
+    cobegin {
+      thread { int t; t = a; a = t + 1; }
+      thread { int u; u = a; a = u + 1; }
+    }
+    print(a);
+  )");
+  // Both the serialized (2) and the lost-update (1) results exist.
+  EXPECT_EQ(r.outputList(),
+            (std::vector<std::vector<long long>>{{1}, {2}}));
+}
+
+TEST(Explore, LocksSerializeToOneOutcome) {
+  ExploreResult r = explore(R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); int t; t = a; a = t + 1; unlock(L); }
+      thread { lock(L); int u; u = a; a = u + 1; unlock(L); }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.outputList(),
+            (std::vector<std::vector<long long>>{{2}}));
+}
+
+TEST(Explore, OutputInterleavingsEnumerated) {
+  ExploreResult r = explore(R"(
+    cobegin {
+      thread { print(1); }
+      thread { print(2); }
+    }
+  )");
+  EXPECT_EQ(r.outputList(),
+            (std::vector<std::vector<long long>>{{1, 2}, {2, 1}}));
+}
+
+TEST(Explore, DeadlockDetectedAlongSomeSchedule) {
+  ExploreResult r = explore(R"(
+    int a; lock L, M;
+    cobegin {
+      thread { lock(L); lock(M); unlock(M); unlock(L); }
+      thread { lock(M); lock(L); unlock(L); unlock(M); }
+    }
+    print(a);
+  )");
+  EXPECT_TRUE(r.anyDeadlock);
+  // The non-deadlocking schedules still print 0.
+  EXPECT_TRUE(r.outputs.contains(std::vector<long long>{0}));
+}
+
+TEST(Explore, Figure2OutputsExactly) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a, b, x, y; lock L;
+    a = 0; b = 0;
+    cobegin {
+      thread { lock(L); a = 5; b = a + 3; if (b > 4) { a = a + b; } x = a; unlock(L); }
+      thread { lock(L); a = b + 6; y = a; unlock(L); }
+    }
+    print(x);
+    print(y);
+  )");
+  ExploreResult r = exploreAllSchedules(prog);
+  ASSERT_TRUE(r.complete);
+  // The paper's semantics: x is always 13; y is 6 (T1 first) or 14.
+  EXPECT_EQ(r.outputList(),
+            (std::vector<std::vector<long long>>{{13, 6}, {13, 14}}));
+}
+
+TEST(Explore, BarrierRestrictsOutcomes) {
+  ExploreResult without = explore(R"(
+    int a;
+    cobegin {
+      thread { a = 1; }
+      thread { print(a); }
+    }
+  )");
+  EXPECT_EQ(without.outputList(),
+            (std::vector<std::vector<long long>>{{0}, {1}}));
+
+  ExploreResult with = explore(R"(
+    int a;
+    cobegin {
+      thread { a = 1; barrier; }
+      thread { barrier; print(a); }
+    }
+  )");
+  EXPECT_EQ(with.outputList(),
+            (std::vector<std::vector<long long>>{{1}}));
+}
+
+// --- Explorer-backed optimization verification ------------------------------
+
+/// Asserts outputs(optimized) ⊆ outputs(original).
+void expectRefinement(const char* src) {
+  ir::Program original = parser::parseOrDie(src);
+  ExploreResult before = exploreAllSchedules(original);
+  ASSERT_TRUE(before.complete) << src;
+
+  ir::Program optimized = parser::parseOrDie(src);
+  opt::optimizeProgram(optimized);
+  ExploreResult after = exploreAllSchedules(optimized);
+  ASSERT_TRUE(after.complete) << src;
+
+  EXPECT_FALSE(after.outputs.empty());
+  for (const auto& out : after.outputs) {
+    EXPECT_TRUE(before.outputs.contains(out))
+        << "optimization introduced a new behavior";
+  }
+}
+
+TEST(ExploreVerify, Figure2FullPipeline) {
+  expectRefinement(R"(
+    int a, b, x, y; lock L;
+    a = 0; b = 0;
+    cobegin {
+      thread { lock(L); a = 5; b = a + 3; if (b > 4) { a = a + b; } x = a; unlock(L); }
+      thread { lock(L); a = b + 6; y = a; unlock(L); }
+    }
+    print(x);
+    print(y);
+  )");
+}
+
+TEST(ExploreVerify, RacyProgram) {
+  expectRefinement(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; b = a + 1; }
+      thread { a = 2; }
+    }
+    print(a);
+    print(b);
+  )");
+}
+
+TEST(ExploreVerify, LicmOnPaperFigure5a) {
+  expectRefinement(R"(
+    int a, b, x, y; lock L;
+    b = 0;
+    cobegin {
+      thread { lock(L); b = 8; x = 13; unlock(L); }
+      thread { lock(L); a = b + 6; y = a; unlock(L); }
+    }
+    print(x);
+    print(y);
+  )");
+}
+
+TEST(ExploreVerify, EventOrderedProgram) {
+  expectRefinement(R"(
+    int data, out; event ready;
+    cobegin {
+      thread { data = 42; set(ready); }
+      thread { wait(ready); out = data; }
+    }
+    print(out);
+  )");
+}
+
+TEST(ExploreVerify, BarrierPhases) {
+  expectRefinement(R"(
+    int a, b, ra, rb;
+    cobegin {
+      thread { a = 1; barrier; rb = b; }
+      thread { b = 2; barrier; ra = a; }
+    }
+    print(ra + rb);
+  )");
+}
+
+TEST(ExploreVerify, ExpressionHoisting) {
+  expectRefinement(R"(
+    int s; lock L;
+    cobegin {
+      thread { int p; p = f(3); lock(L); s = s + p * p; unlock(L); }
+      thread { lock(L); s = s + 1; unlock(L); }
+    }
+    print(s);
+  )");
+}
+
+}  // namespace
+}  // namespace cssame::interp

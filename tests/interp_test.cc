@@ -1,0 +1,303 @@
+// Unit tests for the interleaving interpreter: sequential semantics,
+// control flow, lock blocking and accounting, events, deadlock and fuel.
+#include <gtest/gtest.h>
+
+#include "src/interp/interp.h"
+#include "src/parser/parser.h"
+
+namespace cssame::interp {
+namespace {
+
+RunResult runSrc(const char* src, std::uint64_t seed = 1,
+                 std::uint64_t maxSteps = 1u << 20) {
+  ir::Program prog = parser::parseOrDie(src);
+  return run(prog, {seed, maxSteps});
+}
+
+TEST(Interp, Arithmetic) {
+  RunResult r = runSrc(R"(
+    int a, b;
+    a = 6;
+    b = a * 7 - 2;
+    print(b);
+    print(b % 5);
+    print(b / 4);
+    print(-b);
+  )");
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.output, (std::vector<long long>{40, 0, 10, -40}));
+}
+
+TEST(Interp, VariablesStartAtZero) {
+  RunResult r = runSrc("int a; print(a);");
+  EXPECT_EQ(r.output, (std::vector<long long>{0}));
+}
+
+TEST(Interp, DivisionByZeroYieldsZero) {
+  RunResult r = runSrc("int a; print(7 / a); print(7 % a);");
+  EXPECT_EQ(r.output, (std::vector<long long>{0, 0}));
+}
+
+TEST(Interp, IfElse) {
+  RunResult r = runSrc(R"(
+    int a;
+    a = 5;
+    if (a > 3) { print(1); } else { print(2); }
+    if (a > 9) { print(3); } else { print(4); }
+    if (a == 5) { print(5); }
+    if (a != 5) { print(6); }
+  )");
+  EXPECT_EQ(r.output, (std::vector<long long>{1, 4, 5}));
+}
+
+TEST(Interp, WhileLoop) {
+  RunResult r = runSrc(R"(
+    int i, s;
+    i = 1;
+    while (i <= 5) { s = s + i; i = i + 1; }
+    print(s);
+  )");
+  EXPECT_EQ(r.output, (std::vector<long long>{15}));
+}
+
+TEST(Interp, NestedLoops) {
+  RunResult r = runSrc(R"(
+    int i, j, c;
+    i = 0;
+    while (i < 3) {
+      j = 0;
+      while (j < 4) { c = c + 1; j = j + 1; }
+      i = i + 1;
+    }
+    print(c);
+  )");
+  EXPECT_EQ(r.output, (std::vector<long long>{12}));
+}
+
+TEST(Interp, LogicalOperators) {
+  RunResult r = runSrc(R"(
+    int a; a = 3;
+    print(a > 1 && a < 5);
+    print(a > 4 || a == 3);
+    print(!a);
+    print(!(a - 3));
+  )");
+  EXPECT_EQ(r.output, (std::vector<long long>{1, 1, 0, 1}));
+}
+
+TEST(Interp, ExternalCallsAreDeterministic) {
+  RunResult a = runSrc("print(f(1)); print(f(1)); print(f(2));", 1);
+  RunResult b = runSrc("print(f(1)); print(f(1)); print(f(2));", 99);
+  EXPECT_EQ(a.output[0], a.output[1]);
+  EXPECT_NE(a.output[0], a.output[2]);
+  EXPECT_EQ(a.output, b.output);  // schedule-independent
+}
+
+TEST(Interp, CobeginJoinsBeforeContinuing) {
+  RunResult r = runSrc(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; }
+      thread { b = 2; }
+    }
+    print(a + b);
+  )");
+  EXPECT_EQ(r.output, (std::vector<long long>{3}));
+}
+
+TEST(Interp, LocksMakeUpdatesAtomic) {
+  // Without the lock the += could lose updates under some interleaving;
+  // with it, the total is always exact.
+  const char* src = R"(
+    int a; lock L;
+    cobegin {
+      thread { int i; i = 0; while (i < 10) { lock(L); a = a + 1; unlock(L); i = i + 1; } }
+      thread { int j; j = 0; while (j < 10) { lock(L); a = a + 1; unlock(L); j = j + 1; } }
+    }
+    print(a);
+  )";
+  ir::Program prog = parser::parseOrDie(src);
+  for (const RunResult& r : runManySeeds(prog, 20)) {
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.output, (std::vector<long long>{20}));
+  }
+}
+
+TEST(Interp, RacyIncrementsCanLoseUpdates) {
+  // Statement-granular interleaving of a = a + 1 is atomic per
+  // statement in our model, so single-statement increments don't lose
+  // updates — but a read/modify split across statements does.
+  const char* src = R"(
+    int a;
+    cobegin {
+      thread { int t; t = a; t = t + 1; a = t; }
+      thread { int u; u = a; u = u + 1; a = u; }
+    }
+    print(a);
+  )";
+  ir::Program prog = parser::parseOrDie(src);
+  bool sawOne = false, sawTwo = false;
+  for (const RunResult& r : runManySeeds(prog, 40)) {
+    ASSERT_EQ(r.output.size(), 1u);
+    sawOne |= r.output[0] == 1;
+    sawTwo |= r.output[0] == 2;
+  }
+  EXPECT_TRUE(sawTwo);
+  EXPECT_TRUE(sawOne);  // the lost-update interleaving must be reachable
+}
+
+TEST(Interp, LockStatsAccounting) {
+  RunResult r = runSrc(R"(
+    int a; lock L;
+    lock(L);
+    a = 1;
+    a = 2;
+    unlock(L);
+  )");
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.lockStats.size(), 1u);
+  const LockStats& ls = r.lockStats.begin()->second;
+  EXPECT_EQ(ls.acquisitions, 1u);
+  EXPECT_EQ(ls.contendedAcquires, 0u);
+  // Holding across a=1, a=2, unlock: 3 accounted steps.
+  EXPECT_EQ(ls.holdSteps, 3u);
+}
+
+TEST(Interp, ContentionCounted) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); a = a + 1; unlock(L); }
+      thread { lock(L); a = a + 1; unlock(L); }
+    }
+  )");
+  bool sawContention = false;
+  for (const RunResult& r : runManySeeds(prog, 30)) {
+    for (const auto& [sym, ls] : r.lockStats)
+      sawContention |= ls.contendedAcquires > 0;
+  }
+  EXPECT_TRUE(sawContention);
+}
+
+TEST(Interp, SelfDeadlockDetected) {
+  RunResult r = runSrc(R"(
+    lock L;
+    lock(L);
+    lock(L);
+  )");
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(Interp, AbbaDeadlockReachable) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a; lock L, M;
+    cobegin {
+      thread { lock(L); a = a + 1; lock(M); unlock(M); unlock(L); }
+      thread { lock(M); a = a + 1; lock(L); unlock(L); unlock(M); }
+    }
+  )");
+  bool sawDeadlock = false, sawCompletion = false;
+  for (const RunResult& r : runManySeeds(prog, 50)) {
+    sawDeadlock |= r.deadlocked;
+    sawCompletion |= r.completed;
+  }
+  EXPECT_TRUE(sawDeadlock);
+  EXPECT_TRUE(sawCompletion);
+}
+
+TEST(Interp, UnlockWithoutHoldingIsError) {
+  RunResult r = runSrc("lock L; unlock(L);");
+  EXPECT_TRUE(r.lockError);
+}
+
+TEST(Interp, EventOrdering) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a; event go;
+    cobegin {
+      thread { a = 41; set(go); }
+      thread { wait(go); print(a + 1); }
+    }
+  )");
+  for (const RunResult& r : runManySeeds(prog, 20)) {
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.output, (std::vector<long long>{42}));
+  }
+}
+
+TEST(Interp, WaitWithoutSetDeadlocks) {
+  RunResult r = runSrc("event e; wait(e);");
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(Interp, SpinLoopExhaustsFuel) {
+  RunResult r = runSrc("int a; while (a == 0) { } print(1);", 1, 1000);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.steps, 1000u);
+}
+
+TEST(Interp, SpinWaitOnOtherThreadEventuallyPasses) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int flag, v;
+    cobegin {
+      thread { v = 7; flag = 1; }
+      thread { while (flag == 0) { } print(v); }
+    }
+  )");
+  // The random scheduler always eventually runs thread 0.
+  for (const RunResult& r : runManySeeds(prog, 10)) {
+    ASSERT_TRUE(r.completed) << "spin should terminate";
+    // v=7 is set before flag; but the spin-reader may read v... flag=1
+    // happens after v=7 in program order, so print sees 7.
+    EXPECT_EQ(r.output, (std::vector<long long>{7}));
+  }
+}
+
+TEST(Interp, SameSeedIsDeterministic) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a;
+    cobegin {
+      thread { a = 1; print(a); }
+      thread { a = 2; print(a); }
+    }
+  )");
+  RunResult r1 = run(prog, {.seed = 7});
+  RunResult r2 = run(prog, {.seed = 7});
+  EXPECT_EQ(r1.output, r2.output);
+  EXPECT_EQ(r1.steps, r2.steps);
+}
+
+TEST(Interp, EmptyThreadBodies) {
+  RunResult r = runSrc(R"(
+    cobegin {
+      thread { }
+      thread { print(1); }
+    }
+    print(2);
+  )");
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.output, (std::vector<long long>{1, 2}));
+}
+
+TEST(Interp, NestedCobegin) {
+  RunResult r = runSrc(R"(
+    int a, b, c;
+    cobegin {
+      thread {
+        cobegin {
+          thread { a = 1; }
+          thread { b = 2; }
+        }
+        c = a + b;
+      }
+      thread { print(0); }
+    }
+    print(c);
+  )");
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.output.back(), 3);
+}
+
+}  // namespace
+}  // namespace cssame::interp

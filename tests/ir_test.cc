@@ -1,0 +1,286 @@
+// Unit tests for the IR layer: expressions, statements, the builder,
+// cloning, the verifier, the parent map and the printer.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/parent_map.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/parser/parser.h"
+
+namespace cssame::ir {
+namespace {
+
+TEST(Expr, Factories) {
+  ExprPtr i = makeInt(42);
+  EXPECT_EQ(i->kind, ExprKind::IntConst);
+  EXPECT_EQ(i->intValue, 42);
+
+  ExprPtr v = makeVar(SymbolId{3});
+  EXPECT_EQ(v->kind, ExprKind::VarRef);
+  EXPECT_EQ(v->var, SymbolId{3});
+
+  ExprPtr b = makeBinary(BinOp::Add, makeInt(1), makeInt(2));
+  ASSERT_EQ(b->operands.size(), 2u);
+  EXPECT_EQ(b->binop, BinOp::Add);
+
+  ExprPtr u = makeUnary(UnOp::Neg, makeInt(5));
+  ASSERT_EQ(u->operands.size(), 1u);
+}
+
+TEST(Expr, EvalBinOpTotality) {
+  // Division and modulo by zero are total (yield 0) by design, so the
+  // interpreter and constant folder agree.
+  EXPECT_EQ(evalBinOp(BinOp::Div, 7, 0), 0);
+  EXPECT_EQ(evalBinOp(BinOp::Mod, 7, 0), 0);
+  EXPECT_EQ(evalBinOp(BinOp::Div, 7, 2), 3);
+  EXPECT_EQ(evalBinOp(BinOp::Mod, 7, 2), 1);
+}
+
+TEST(Expr, EvalComparisons) {
+  EXPECT_EQ(evalBinOp(BinOp::Lt, 1, 2), 1);
+  EXPECT_EQ(evalBinOp(BinOp::Ge, 1, 2), 0);
+  EXPECT_EQ(evalBinOp(BinOp::Eq, 5, 5), 1);
+  EXPECT_EQ(evalBinOp(BinOp::Ne, 5, 5), 0);
+  EXPECT_EQ(evalBinOp(BinOp::And, 2, 0), 0);
+  EXPECT_EQ(evalBinOp(BinOp::Or, 0, 3), 1);
+  EXPECT_EQ(evalUnOp(UnOp::Not, 0), 1);
+  EXPECT_EQ(evalUnOp(UnOp::Neg, 5), -5);
+}
+
+TEST(Expr, EvalOverflowWraps) {
+  // Signed overflow is defined (wraps via unsigned) — no UB in folding.
+  const long long big = std::numeric_limits<long long>::max();
+  EXPECT_EQ(evalBinOp(BinOp::Add, big, 1),
+            std::numeric_limits<long long>::min());
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  ExprPtr e = makeBinary(BinOp::Mul, makeVar(SymbolId{1}),
+                         makeBinary(BinOp::Add, makeInt(2), makeInt(3)));
+  ExprPtr c = cloneExpr(*e);
+  EXPECT_TRUE(exprEquals(*e, *c));
+  EXPECT_NE(e.get(), c.get());
+  EXPECT_NE(e->operands[1].get(), c->operands[1].get());
+  c->operands[1]->operands[0]->intValue = 99;
+  EXPECT_FALSE(exprEquals(*e, *c));
+  EXPECT_EQ(e->operands[1]->operands[0]->intValue, 2);
+}
+
+TEST(Expr, ContainsCall) {
+  ExprPtr noCall = makeBinary(BinOp::Add, makeInt(1), makeVar(SymbolId{0}));
+  EXPECT_FALSE(containsCall(*noCall));
+  std::vector<ExprPtr> args;
+  args.push_back(makeInt(1));
+  ExprPtr withCall =
+      makeBinary(BinOp::Add, makeCall(SymbolId{2}, std::move(args)),
+                 makeInt(0));
+  EXPECT_TRUE(containsCall(*withCall));
+}
+
+TEST(Builder, BuildsNestedStructure) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  b.assign(x, b.lit(0));
+  b.if_(b.gt(b.ref(x), b.lit(1)), [&] { b.assign(x, b.lit(2)); },
+        [&] { b.assign(x, b.lit(3)); });
+  b.while_(b.lt(b.ref(x), b.lit(10)),
+           [&] { b.assign(x, b.add(b.ref(x), b.lit(1))); });
+  b.cobegin({[&] { b.print(b.ref(x)); }, [&] { b.print(b.lit(1)); }});
+  Program p = b.take();
+
+  EXPECT_TRUE(verify(p).empty());
+  ASSERT_EQ(p.body.size(), 4u);
+  EXPECT_EQ(p.body[1]->kind, StmtKind::If);
+  EXPECT_EQ(p.body[1]->thenBody.size(), 1u);
+  EXPECT_EQ(p.body[1]->elseBody.size(), 1u);
+  EXPECT_EQ(p.body[2]->kind, StmtKind::While);
+  EXPECT_EQ(p.body[3]->threads.size(), 2u);
+}
+
+TEST(Builder, StmtIdsAreUniqueAndDense) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  for (int i = 0; i < 10; ++i) b.assign(x, b.lit(i));
+  Program p = b.take();
+  EXPECT_EQ(p.numStmtIds(), 10u);
+  for (std::size_t i = 0; i < p.body.size(); ++i)
+    EXPECT_EQ(p.body[i]->id, StmtId{static_cast<StmtId::value_type>(i)});
+}
+
+TEST(Program, CloneDeepCopies) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  b.assign(x, b.lit(1));
+  b.cobegin({[&] { b.assign(x, b.lit(2)); }});
+  Program p = b.take();
+  Program q = p.clone();
+  ASSERT_EQ(q.size(), p.size());
+  // Same statement ids, different objects.
+  EXPECT_EQ(q.body[0]->id, p.body[0]->id);
+  EXPECT_NE(q.body[0].get(), p.body[0].get());
+  q.body[0]->expr->intValue = 99;
+  EXPECT_EQ(p.body[0]->expr->intValue, 1);
+}
+
+TEST(Program, CountStmtsRecurses) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  b.if_(b.lit(1), [&] {
+    b.assign(x, b.lit(1));
+    b.assign(x, b.lit(2));
+  });
+  Program p = b.take();
+  EXPECT_EQ(p.size(), 3u);  // if + 2 assigns
+}
+
+TEST(Verify, CatchesBadSyncSymbol) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  Program p = b.take();
+  auto s = p.newStmt(StmtKind::Lock);
+  s->sync = x;  // a variable, not a lock
+  p.body.push_back(std::move(s));
+  const auto problems = verify(p);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("non-lock"), std::string::npos);
+}
+
+TEST(Verify, CatchesMissingExpr) {
+  ProgramBuilder b;
+  b.var("x");
+  Program p = b.take();
+  p.body.push_back(p.newStmt(StmtKind::Print));  // no expr
+  EXPECT_FALSE(verify(p).empty());
+}
+
+TEST(Verify, CatchesDuplicateIds) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  b.assign(x, b.lit(1));
+  Program p = b.take();
+  auto dup = std::make_unique<Stmt>();
+  dup->id = p.body[0]->id;
+  dup->kind = StmtKind::Assign;
+  dup->lhs = x;
+  dup->expr = makeInt(2);
+  p.body.push_back(std::move(dup));
+  const auto problems = verify(p);
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(Verify, CatchesEmptyCobegin) {
+  ProgramBuilder b;
+  b.var("x");
+  Program p = b.take();
+  p.body.push_back(p.newStmt(StmtKind::Cobegin));
+  EXPECT_FALSE(verify(p).empty());
+}
+
+TEST(ParentMap, FindsOwningLists) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  Stmt* outer = b.if_(b.lit(1), [&] { b.assign(x, b.lit(2)); });
+  Program p = b.take();
+  ParentMap map(p);
+  Stmt* inner = p.body[0]->thenBody[0].get();
+  EXPECT_EQ(map.info(inner).parent, outer);
+  EXPECT_EQ(map.info(inner).list, &p.body[0]->thenBody);
+  EXPECT_EQ(map.info(outer).parent, nullptr);
+  EXPECT_EQ(map.indexOf(outer), 0u);
+}
+
+TEST(ParentMap, ExtractRemoves) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  b.assign(x, b.lit(1));
+  Stmt* second = b.assign(x, b.lit(2));
+  Program p = b.take();
+  ParentMap map(p);
+  StmtPtr owned = map.extract(second);
+  EXPECT_EQ(owned.get(), second);
+  EXPECT_EQ(p.body.size(), 1u);
+}
+
+TEST(Printer, MinimalParens) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  // x = (1 + 2) * 3 needs parens; x = 1 + 2 * 3 must not add them.
+  b.assign(x, b.mul(b.add(b.lit(1), b.lit(2)), b.lit(3)));
+  b.assign(x, b.add(b.lit(1), b.mul(b.lit(2), b.lit(3))));
+  Program p = b.take();
+  const std::string text = printProgram(p);
+  EXPECT_NE(text.find("x = (1 + 2) * 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("x = 1 + 2 * 3"), std::string::npos) << text;
+}
+
+TEST(Printer, NonAssociativeChains) {
+  // 10 - (4 - 3) must keep its parens when re-parsed left-associatively.
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  b.assign(x, b.sub(b.lit(10), b.sub(b.lit(4), b.lit(3))));
+  Program p = b.take();
+  const std::string text = printProgram(p);
+  EXPECT_NE(text.find("x = 10 - (4 - 3)"), std::string::npos) << text;
+}
+
+TEST(Printer, UniquesDuplicateNames) {
+  ProgramBuilder b;
+  const SymbolId a1 = b.var("dup");
+  const SymbolId a2 = b.var("dup");
+  b.assign(a1, b.lit(1));
+  b.assign(a2, b.lit(2));
+  Program p = b.take();
+  const std::string text = printProgram(p);
+  EXPECT_NE(text.find("int dup;"), std::string::npos);
+  EXPECT_NE(text.find("int dup_2;"), std::string::npos);
+  EXPECT_NE(text.find("dup_2 = 2"), std::string::npos);
+}
+
+TEST(Printer, RoundTripPreservesStructure) {
+  const char* source = R"(
+    int a, b;
+    lock L;
+    event e;
+    a = 1;
+    cobegin {
+      thread T0 {
+        int t;
+        t = a * 2;
+        lock(L);
+        a = a + t;
+        unlock(L);
+        set(e);
+      }
+      thread T1 {
+        wait(e);
+        if (a > 3) { b = f(a, 1); } else { b = 0; }
+        while (b < 10) { b = b + 1; }
+      }
+    }
+    print(a);
+    print(b);
+  )";
+  Program p1 = parser::parseOrDie(source);
+  const std::string text1 = printProgram(p1);
+  Program p2 = parser::parseOrDie(text1);
+  const std::string text2 = printProgram(p2);
+  EXPECT_EQ(text1, text2);
+  EXPECT_EQ(p1.size(), p2.size());
+}
+
+TEST(Printer, BriefForms) {
+  ProgramBuilder b;
+  const SymbolId x = b.var("x");
+  const SymbolId L = b.lock("L");
+  Stmt* s1 = b.assign(x, b.lit(7));
+  Stmt* s2 = b.lockStmt(L);
+  Stmt* s3 = b.print(b.ref(x));
+  Program p = b.take();
+  EXPECT_EQ(printStmtBrief(*s1, p.symbols), "x = 7");
+  EXPECT_EQ(printStmtBrief(*s2, p.symbols), "lock(L)");
+  EXPECT_EQ(printStmtBrief(*s3, p.symbols), "print(x)");
+}
+
+}  // namespace
+}  // namespace cssame::ir

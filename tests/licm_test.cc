@@ -1,0 +1,306 @@
+// Unit tests for lock independent code motion: Definition 5 legality,
+// Theorem 3 landing pads, dependency barriers, compound statements,
+// event-sync barriers and empty-body removal.
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/opt/licm.h"
+#include "src/parser/parser.h"
+
+namespace cssame::opt {
+namespace {
+
+std::string moveCode(const char* src, LicmStats* statsOut = nullptr) {
+  ir::Program prog = parser::parseOrDie(src);
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  LicmStats stats = moveLockIndependentCode(c);
+  if (statsOut != nullptr) *statsOut = stats;
+  EXPECT_TRUE(ir::verify(prog).empty());
+  return ir::printProgram(prog);
+}
+
+TEST(Licm, SinksIndependentTrailingStore) {
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int a, x; lock L;
+    cobegin {
+      thread { lock(L); a = a + 1; x = 13; unlock(L); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(x);
+  )", &stats);
+  EXPECT_EQ(stats.sunk, 1u);
+  EXPECT_NE(text.find("unlock(L);\n    x = 13;"), std::string::npos) << text;
+}
+
+TEST(Licm, HoistsIndependentLeadingStore) {
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int a, x; lock L;
+    cobegin {
+      thread { lock(L); x = 13; a = a + x; unlock(L); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(x);
+  )", &stats);
+  // x = 13 cannot sink (a = a + x reads it) but can hoist.
+  EXPECT_EQ(stats.hoisted, 1u);
+  EXPECT_NE(text.find("x = 13;\n    lock(L);"), std::string::npos) << text;
+}
+
+TEST(Licm, ConflictingAccessStays) {
+  LicmStats stats;
+  moveCode(R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); a = a + 1; unlock(L); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(a);
+  )", &stats);
+  EXPECT_EQ(stats.hoisted + stats.sunk, 0u);
+  EXPECT_EQ(stats.bodiesRemoved, 0u);
+}
+
+TEST(Licm, PrivateComputationMoves) {
+  LicmStats stats;
+  moveCode(R"(
+    int a; lock L;
+    cobegin {
+      thread { int p; p = f(0); lock(L); a = a + 1; p = p * 2; unlock(L); print(p); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+  )", &stats);
+  EXPECT_EQ(stats.sunk, 1u);
+}
+
+TEST(Licm, DependentConsumerMaySinkPastUnlock) {
+  // x = a conflicts (reads concurrently-written a) and must stay; its
+  // consumer y = x may still sink below the unlock because x = a remains
+  // ABOVE it — program order between them is preserved.
+  ir::Program prog = parser::parseOrDie(R"(
+    int a, x, y; lock L;
+    cobegin {
+      thread { lock(L); x = a; y = x; unlock(L); print(y); }
+      thread { lock(L); a = 1; unlock(L); }
+    }
+  )");
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  LicmStats stats = moveLockIndependentCode(c);
+  EXPECT_EQ(stats.sunk, 1u);
+  EXPECT_EQ(stats.hoisted, 0u);
+  const std::string text = ir::printProgram(prog);
+  // x = a stays inside; y = x lands after the unlock.
+  EXPECT_NE(text.find("lock(L);\n    x = a;"), std::string::npos) << text;
+  EXPECT_NE(text.find("unlock(L);\n    y = x;"), std::string::npos) << text;
+  for (const interp::RunResult& r : interp::runManySeeds(prog, 10)) {
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_TRUE(r.output[0] == 0 || r.output[0] == 1) << r.output[0];
+  }
+}
+
+TEST(Licm, HoistBlockedByEarlierDependency) {
+  // y = x cannot HOIST above x = a (its producer); the barrier check
+  // must stop upward motion through a def of a used variable.
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int a, x, y; lock L;
+    cobegin {
+      thread { lock(L); x = a; y = x; a = a + y; unlock(L); print(y); }
+      thread { lock(L); a = 1; unlock(L); }
+    }
+  )", &stats);
+  // a = a + y pins y = x from below (sink blocked: its def y is used);
+  // x = a pins it from above (hoist blocked: its use x is defined).
+  EXPECT_EQ(stats.hoisted + stats.sunk, 0u);
+  EXPECT_NE(text.find("x = a;\n    y = x;"), std::string::npos) << text;
+}
+
+TEST(Licm, RedefinitionBlocksSink) {
+  // v = 1 cannot sink past v = 2 (order matters for the final value);
+  // the strengthened legality check must catch this even though v = 1
+  // has no "reached uses" in the body (A.5's condition alone would move
+  // it).
+  ir::Program prog = parser::parseOrDie(R"(
+    int a, v; lock L;
+    cobegin {
+      thread { lock(L); v = 1; a = a + 1; v = 2; unlock(L); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(v);
+  )");
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  moveLockIndependentCode(c);
+  for (const interp::RunResult& r : interp::runManySeeds(prog, 10)) {
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_EQ(r.output[0], 2);  // v must still end at 2
+  }
+}
+
+TEST(Licm, EventSyncBlocksMotion) {
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int a, x; lock L; event e;
+    cobegin {
+      thread { lock(L); x = 1; set(e); x = 2; unlock(L); print(x); }
+      thread { lock(L); a = a + 1; unlock(L); wait(e); }
+    }
+  )", &stats);
+  // Nothing may cross the set(e); motion in T0 stops there (backward
+  // scan from unlock reaches x = 2 first — movable — then set stops it;
+  // forward scan hits x = 1 then set).
+  EXPECT_NE(text.find("set(e)"), std::string::npos);
+  // x = 2 may sink (after the set), x = 1 may hoist (before it) — but
+  // x = 1 would then pass x's... actually x=1 is before the set and
+  // x=2's motion crossed nothing: allow what the implementation does,
+  // but the set itself must never move:
+  const std::string inside = text.substr(text.find("lock(L);"));
+  EXPECT_LT(inside.find("set(e)"), inside.find("unlock(L)"));
+}
+
+TEST(Licm, CompoundIfMovesWhenFullyIndependent) {
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int a; lock L;
+    cobegin {
+      thread {
+        int p; p = f(0);
+        lock(L);
+        a = a + 1;
+        if (p > 0) { p = p + 1; } else { p = p - 1; }
+        unlock(L);
+        print(p);
+      }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+  )", &stats);
+  EXPECT_EQ(stats.sunk, 1u);  // the whole if moves as one unit
+  EXPECT_NE(text.find("unlock(L);\n    if (p > 0)"), std::string::npos)
+      << text;
+}
+
+TEST(Licm, CompoundWhileWithSharedUseStays) {
+  LicmStats stats;
+  moveCode(R"(
+    int a; lock L;
+    cobegin {
+      thread {
+        int p; p = 3;
+        lock(L);
+        while (p > 0) { a = a + p; p = p - 1; }
+        unlock(L);
+      }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(a);
+  )", &stats);
+  EXPECT_EQ(stats.hoisted + stats.sunk, 0u);
+}
+
+TEST(Licm, EmptyBodyRemoved) {
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int x, y; lock L;
+    cobegin {
+      thread { lock(L); x = 1; unlock(L); }
+      thread { lock(L); y = 2; unlock(L); }
+    }
+    print(x + y);
+  )", &stats);
+  // x and y are not concurrently accessed: both bodies empty out and the
+  // lock/unlock pairs disappear.
+  EXPECT_EQ(stats.bodiesRemoved, 2u);
+  EXPECT_EQ(text.find("lock("), std::string::npos) << text;
+}
+
+TEST(Licm, CallsNeverMove) {
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); f(1); a = a + 2; unlock(L); }
+      thread { lock(L); a = a + 1; unlock(L); }
+    }
+    print(a);
+  )", &stats);
+  // The call may have arbitrary side effects: it must stay put even
+  // though nothing else in the body depends on it.
+  EXPECT_EQ(stats.hoisted + stats.sunk, 0u);
+  EXPECT_NE(text.find("lock(L);\n    f(1);"), std::string::npos) << text;
+}
+
+TEST(Licm, IllFormedBodySkipped) {
+  LicmStats stats;
+  const std::string text = moveCode(R"(
+    int a, x; lock L;
+    cobegin {
+      thread { lock(L); lock(L); x = 1; unlock(L); unlock(L); }
+      thread { lock(L); a = 1; unlock(L); }
+    }
+    print(x);
+  )", &stats);
+  // Only the inner T0 pair and T1's pair are well-formed; x = 1 and
+  // a = 1 (nothing conflicts with either) move out, emptying both. The
+  // ill-formed outer lock/unlock pair must remain untouched.
+  EXPECT_EQ(stats.bodiesRemoved, 2u);
+  EXPECT_NE(text.find("lock(L)"), std::string::npos) << text;
+  EXPECT_NE(text.find("unlock(L)"), std::string::npos) << text;
+}
+
+TEST(Licm, MultipleBodiesProcessed) {
+  LicmStats stats;
+  moveCode(R"(
+    int a, x, y; lock L;
+    cobegin {
+      thread {
+        lock(L); a = a + 1; x = 10; unlock(L);
+        lock(L); a = a + 2; y = 20; unlock(L);
+      }
+      thread { lock(L); a = a + 3; unlock(L); }
+    }
+    print(x + y);
+  )", &stats);
+  EXPECT_EQ(stats.sunk, 2u);
+}
+
+TEST(Licm, OrderOfSunkStatementsPreserved) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a, x; lock L;
+    cobegin {
+      thread { lock(L); a = a + 1; x = 1; x = x + 1; unlock(L); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(x);
+  )");
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  LicmStats stats = moveLockIndependentCode(c);
+  EXPECT_EQ(stats.sunk, 2u);
+  for (const interp::RunResult& r : interp::runManySeeds(prog, 10)) {
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_EQ(r.output[0], 2);  // x=1 then x=x+1, in that order
+  }
+}
+
+TEST(Licm, LockHoldTimeShrinks) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a; lock L;
+    cobegin {
+      thread { int p; p = f(0); lock(L); a = a + 1; p = p * 2; p = p + 3; unlock(L); print(p); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+  )");
+  std::uint64_t before = 0, after = 0;
+  for (const interp::RunResult& r : interp::runManySeeds(prog, 10))
+    before += r.totalHoldSteps();
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  moveLockIndependentCode(c);
+  for (const interp::RunResult& r : interp::runManySeeds(prog, 10))
+    after += r.totalHoldSteps();
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace cssame::opt

@@ -1,0 +1,211 @@
+// End-to-end checks of the paper's optimization figures (4, 5a, 5b):
+// constant propagation, parallel dead code elimination, and lock
+// independent code motion on the Figure 2 program, with semantics
+// validated by the interleaving interpreter across many scheduler seeds.
+#include <gtest/gtest.h>
+
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/opt/optimize.h"
+
+namespace cssame {
+namespace {
+
+const char* kFigure2 = R"(
+int a, b, x, y;
+lock L;
+a = 0;
+b = 0;
+cobegin {
+  thread T0 {
+    lock(L);
+    a = 5;
+    b = a + 3;
+    if (b > 4) { a = a + b; }
+    x = a;
+    unlock(L);
+  }
+  thread T1 {
+    lock(L);
+    a = b + 6;
+    y = a;
+    unlock(L);
+  }
+}
+print(x);
+print(y);
+)";
+
+// Outputs of Figure 2: x is always 13 (T0's locked region is atomic).
+// y depends on the interleaving: T1 before T0 reads b = 0 → y = 6;
+// T1 after T0 reads b = 8 → y = 14.
+void expectFigure2Outputs(const ir::Program& prog, const char* what) {
+  for (const interp::RunResult& r : interp::runManySeeds(prog, 25)) {
+    ASSERT_TRUE(r.completed) << what;
+    ASSERT_FALSE(r.deadlocked) << what;
+    ASSERT_FALSE(r.lockError) << what;
+    ASSERT_EQ(r.output.size(), 2u) << what;
+    EXPECT_EQ(r.output[0], 13) << what;
+    EXPECT_TRUE(r.output[1] == 6 || r.output[1] == 14)
+        << what << " y=" << r.output[1];
+  }
+}
+
+TEST(Figure4, ConstantPropagationWithCssame) {
+  ir::Program prog = parser::parseOrDie(kFigure2);
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  opt::ConstPropStats stats = opt::propagateConstants(c);
+
+  // Figure 4b: inside T0 everything folds — a1=5, b1=8, a2=13, x0=13 are
+  // constant assignments; the branch b1 > 4 resolves to taken.
+  EXPECT_GE(stats.constantDefs, 4u) << ir::printProgram(prog);
+  EXPECT_EQ(stats.branchesResolved, 1u);
+  EXPECT_TRUE(ir::verify(prog).empty());
+
+  // x = 13 must appear literally; T1's a = b + 6 must NOT fold (the π on
+  // b legitimately merges b0 = 0 and b1 = 8).
+  const std::string text = ir::printProgram(prog);
+  EXPECT_NE(text.find("x = 13"), std::string::npos) << text;
+  EXPECT_NE(text.find("a = b + 6"), std::string::npos) << text;
+
+  expectFigure2Outputs(prog, "after CSCC");
+}
+
+TEST(Figure4, ConstantPropagationWithPlainCssaFindsNothingInT0) {
+  ir::Program prog = parser::parseOrDie(kFigure2);
+  driver::Compilation c =
+      driver::analyze(prog, {.enableCssame = false, .warnings = false});
+  opt::ConstPropStats stats = opt::analyzeConstants(c);
+  // Figure 4a: only the top-level a=0 / b=0 and the trivial a=5 stay
+  // constant; nothing downstream of a π folds, so no branch resolves and
+  // (in particular) x never becomes a known constant.
+  EXPECT_EQ(stats.branchesResolved, 0u);
+  EXPECT_LE(stats.constantDefs, 3u);
+
+  ir::Program prog2 = parser::parseOrDie(kFigure2);
+  driver::Compilation c2 =
+      driver::analyze(prog2, {.enableCssame = false, .warnings = false});
+  opt::ConstPropStats applied = opt::propagateConstants(c2);
+  const std::string text = ir::printProgram(prog2);
+  EXPECT_EQ(text.find("x = 13"), std::string::npos) << text;
+  (void)applied;
+  expectFigure2Outputs(prog2, "after CSCC/CSSA");
+}
+
+TEST(Figure5a, ParallelDeadCodeElimination) {
+  ir::Program prog = parser::parseOrDie(kFigure2);
+  {
+    driver::Compilation c = driver::analyze(prog, {.warnings = false});
+    opt::propagateConstants(c);
+  }
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  opt::DceStats stats = opt::eliminateDeadCode(c);
+
+  // Figure 5a: all assignments to `a` in T0 are dead (a=5, a=13 — the
+  // a=a+b chain collapsed during CSCC), plus the top-level a=0; `b = 8`
+  // stays because T1 reads b through the π. Our CSCC is one step stronger
+  // than the paper's Figure 4b: x0=13 also propagates into print(x), so
+  // the x=13 store is dead too and gets removed here (the paper keeps it
+  // and lets LICM move it — see Figure5b.PaperInput below).
+  EXPECT_GE(stats.stmtsRemoved, 3u) << ir::printProgram(prog);
+  EXPECT_EQ(stats.cobeginsSerialized, 0u);
+
+  const std::string text = ir::printProgram(prog);
+  EXPECT_NE(text.find("b = 8"), std::string::npos) << text;
+  EXPECT_NE(text.find("print(13)"), std::string::npos) << text;
+  EXPECT_EQ(text.find("a = 5"), std::string::npos) << text;
+  EXPECT_EQ(text.find("x ="), std::string::npos) << text;
+  EXPECT_TRUE(ir::verify(prog).empty());
+
+  expectFigure2Outputs(prog, "after PDCE");
+}
+
+TEST(Figure5b, LockIndependentCodeMotion) {
+  ir::Program prog = parser::parseOrDie(kFigure2);
+  {
+    driver::Compilation c = driver::analyze(prog, {.warnings = false});
+    opt::propagateConstants(c);
+  }
+  {
+    driver::Compilation c = driver::analyze(prog, {.warnings = false});
+    opt::eliminateDeadCode(c);
+  }
+  const std::uint64_t holdBefore =
+      interp::run(prog, {.seed = 7}).totalHoldSteps();
+
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  opt::LicmStats stats = opt::moveLockIndependentCode(c);
+
+  // After our (stronger) CSCC+PDCE, T0's body holds only the conflicting
+  // b = 8; T1's y = a sinks to the post-mutex node as in Figure 5b.
+  EXPECT_EQ(stats.sunk, 1u) << ir::printProgram(prog);
+  EXPECT_EQ(stats.bodiesRemoved, 0u);
+  EXPECT_TRUE(ir::verify(prog).empty());
+
+  const std::uint64_t holdAfter =
+      interp::run(prog, {.seed = 7}).totalHoldSteps();
+  EXPECT_LT(holdAfter, holdBefore);
+
+  expectFigure2Outputs(prog, "after LICM");
+}
+
+TEST(Figure5b, PaperInput) {
+  // LICM applied to the *literal* Figure 5a program, exactly as printed
+  // in the paper: x = 13 (T0) and y = a (T1) both move to the post-mutex
+  // nodes; b = 8 and a = b + 6 must stay locked.
+  ir::Program prog = parser::parseOrDie(R"(
+    int a, b, x, y;
+    lock L;
+    b = 0;
+    cobegin {
+      thread T0 {
+        lock(L);
+        b = 8;
+        x = 13;
+        unlock(L);
+      }
+      thread T1 {
+        lock(L);
+        a = b + 6;
+        y = a;
+        unlock(L);
+      }
+    }
+    print(x);
+    print(y);
+  )");
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  opt::LicmStats stats = opt::moveLockIndependentCode(c);
+  EXPECT_EQ(stats.sunk, 2u) << ir::printProgram(prog);
+  EXPECT_EQ(stats.hoisted, 0u);
+  EXPECT_EQ(stats.bodiesRemoved, 0u);
+
+  // Figure 5b's exact shape: the stores appear right after each unlock.
+  const std::string text = ir::printProgram(prog);
+  EXPECT_NE(text.find("unlock(L);\n    x = 13;"), std::string::npos) << text;
+  EXPECT_NE(text.find("unlock(L);\n    y = a;"), std::string::npos) << text;
+  expectFigure2Outputs(prog, "LICM on the paper's Figure 5a");
+}
+
+TEST(FullPipeline, Figure2EndToEnd) {
+  ir::Program prog = parser::parseOrDie(kFigure2);
+  opt::OptimizeReport report = opt::optimizeProgram(prog);
+  EXPECT_GE(report.deadCode.stmtsRemoved, 3u);
+  EXPECT_GE(report.lockMotion.sunk, 1u);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  expectFigure2Outputs(prog, "full pipeline");
+}
+
+TEST(FullPipeline, CssaAblationKeepsLockBodiesFat) {
+  // With CSSAME disabled the pipeline must still be correct, just weaker.
+  ir::Program prog = parser::parseOrDie(kFigure2);
+  opt::OptimizeReport report =
+      opt::optimizeProgram(prog, {.cssame = false});
+  EXPECT_TRUE(ir::verify(prog).empty());
+  expectFigure2Outputs(prog, "full pipeline (CSSA only)");
+  (void)report;
+}
+
+}  // namespace
+}  // namespace cssame

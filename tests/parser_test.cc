@@ -1,0 +1,288 @@
+// Unit tests for the lexer and parser: tokens, precedence, scoping,
+// declarations, error reporting and recovery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/parser/lexer.h"
+#include "src/parser/parser.h"
+
+namespace cssame::parser {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  LexResult r = lex("int x = 42; if (x <= 3) {}");
+  ASSERT_TRUE(r.errors.empty());
+  std::vector<TokKind> kinds;
+  for (const Token& t : r.tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokKind::KwInt);
+  EXPECT_EQ(kinds.back(), TokKind::End);
+  // int x = 42 ; if ( x <= 3 ) { } <eof>
+  EXPECT_EQ(kinds.size(), 14u);
+  EXPECT_EQ(r.tokens[3].intValue, 42);
+  EXPECT_EQ(r.tokens[1].text, "x");
+}
+
+TEST(Lexer, OperatorsAndComments) {
+  LexResult r = lex("a == b != c && d || !e // comment\n/* block\n*/ a <= b >= c");
+  ASSERT_TRUE(r.errors.empty());
+  std::vector<TokKind> kinds;
+  for (const Token& t : r.tokens) kinds.push_back(t.kind);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::EqEq), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::Ne), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::AndAnd), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::OrOr), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::Bang), kinds.end());
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  LexResult r = lex("a\n  b");
+  EXPECT_EQ(r.tokens[0].loc.line, 1u);
+  EXPECT_EQ(r.tokens[0].loc.column, 1u);
+  EXPECT_EQ(r.tokens[1].loc.line, 2u);
+  EXPECT_EQ(r.tokens[1].loc.column, 3u);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  LexResult r = lex("a @ b & c");
+  EXPECT_EQ(r.errors.size(), 2u);  // '@' and single '&'
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  LexResult r = lex("a /* never closed");
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].second.find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, IntegerOverflowDiagnosed) {
+  LexResult r = lex("x = 999999999999999999999999;");
+  EXPECT_EQ(r.errors.size(), 1u);
+}
+
+TEST(Parser, Precedence) {
+  ir::Program p = parseOrDie("int x; x = 1 + 2 * 3 - 4 / 2;");
+  // ((1 + (2*3)) - (4/2))
+  const ir::Expr& e = *p.body[0]->expr;
+  ASSERT_EQ(e.kind, ir::ExprKind::Binary);
+  EXPECT_EQ(e.binop, ir::BinOp::Sub);
+  EXPECT_EQ(e.operands[0]->binop, ir::BinOp::Add);
+  EXPECT_EQ(e.operands[0]->operands[1]->binop, ir::BinOp::Mul);
+  EXPECT_EQ(e.operands[1]->binop, ir::BinOp::Div);
+}
+
+TEST(Parser, LeftAssociativity) {
+  ir::Program p = parseOrDie("int x; x = 10 - 4 - 3;");
+  const ir::Expr& e = *p.body[0]->expr;
+  // (10 - 4) - 3
+  EXPECT_EQ(e.operands[0]->kind, ir::ExprKind::Binary);
+  EXPECT_EQ(e.operands[1]->kind, ir::ExprKind::IntConst);
+  EXPECT_EQ(e.operands[1]->intValue, 3);
+}
+
+TEST(Parser, LogicalPrecedence) {
+  ir::Program p = parseOrDie("int x; x = 1 < 2 && 3 == 3 || 0;");
+  const ir::Expr& e = *p.body[0]->expr;
+  EXPECT_EQ(e.binop, ir::BinOp::Or);
+  EXPECT_EQ(e.operands[0]->binop, ir::BinOp::And);
+}
+
+TEST(Parser, UnaryOperators) {
+  ir::Program p = parseOrDie("int x; x = --3; x = !(x > 1);");
+  EXPECT_EQ(p.body[0]->expr->kind, ir::ExprKind::Unary);
+  EXPECT_EQ(p.body[0]->expr->operands[0]->kind, ir::ExprKind::Unary);
+  EXPECT_EQ(p.body[1]->expr->unop, ir::UnOp::Not);
+}
+
+TEST(Parser, DeclarationsWithInitializers) {
+  ir::Program p = parseOrDie("int a = 1, b, c = 3;");
+  // Two Assign statements (a and c); b gets no initializer.
+  EXPECT_EQ(p.body.size(), 2u);
+  EXPECT_EQ(p.symbols.size(), 3u);
+}
+
+TEST(Parser, LockDeclVsLockStmt) {
+  ir::Program p = parseOrDie("lock L; lock(L); unlock(L);");
+  ASSERT_EQ(p.body.size(), 2u);
+  EXPECT_EQ(p.body[0]->kind, ir::StmtKind::Lock);
+  EXPECT_EQ(p.body[1]->kind, ir::StmtKind::Unlock);
+  EXPECT_EQ(p.symbols[p.symbols.lookup("L")].kind, ir::SymbolKind::Lock);
+}
+
+TEST(Parser, SharedVsPrivateVariables) {
+  ir::Program p = parseOrDie(R"(
+    int shared_one;
+    cobegin {
+      thread { int priv; priv = 1; shared_one = priv; }
+    }
+  )");
+  EXPECT_TRUE(p.symbols[p.symbols.lookup("shared_one")].shared);
+  EXPECT_FALSE(p.symbols[p.symbols.lookup("priv")].shared);
+}
+
+TEST(Parser, ScopingAllowsShadowing) {
+  ir::Program p = parseOrDie(R"(
+    int x;
+    x = 1;
+    { int x; x = 2; }
+    x = 3;
+  )");
+  // Two distinct symbols named x; outer assignments bind to the outer one.
+  EXPECT_TRUE(ir::verify(p).empty());
+  ASSERT_EQ(p.body.size(), 3u);
+  EXPECT_EQ(p.body[0]->lhs, p.body[2]->lhs);
+  EXPECT_NE(p.body[0]->lhs, p.body[1]->lhs);
+}
+
+TEST(Parser, FunctionsImplicitlyDeclared) {
+  ir::Program p = parseOrDie("int x; x = f(1) + f(2); g(x);");
+  EXPECT_EQ(p.symbols[p.symbols.lookup("f")].kind, ir::SymbolKind::Function);
+  EXPECT_EQ(p.symbols[p.symbols.lookup("g")].kind, ir::SymbolKind::Function);
+  // f used twice resolves to one symbol.
+  std::size_t fCount = 0;
+  for (const auto& s : p.symbols.all())
+    if (s.name == "f") ++fCount;
+  EXPECT_EQ(fCount, 1u);
+}
+
+TEST(Parser, CobeginThreadsNamedAndAnonymous) {
+  ir::Program p = parseOrDie(R"(
+    cobegin {
+      thread producer { int a; a = 1; }
+      thread { int b; b = 2; }
+    }
+  )");
+  ASSERT_EQ(p.body.size(), 1u);
+  ASSERT_EQ(p.body[0]->threads.size(), 2u);
+  EXPECT_EQ(p.body[0]->threads[0].name, "producer");
+  EXPECT_TRUE(p.body[0]->threads[1].name.empty());
+}
+
+TEST(ParserErrors, UndeclaredIdentifier) {
+  DiagEngine diag;
+  ir::Program p = parseProgram("x = 1;", diag);
+  EXPECT_TRUE(diag.hasErrors());
+  EXPECT_EQ(diag.countOf(DiagCode::UndeclaredIdentifier), 1u);
+  (void)p;
+}
+
+TEST(ParserErrors, WrongSymbolKind) {
+  DiagEngine diag;
+  ir::Program p = parseProgram("lock L; L = 3;", diag);
+  EXPECT_GE(diag.countOf(DiagCode::WrongSymbolKind), 1u);
+  (void)p;
+}
+
+TEST(ParserErrors, RedeclarationInSameScope) {
+  DiagEngine diag;
+  ir::Program p = parseProgram("int a; int a;", diag);
+  EXPECT_EQ(diag.countOf(DiagCode::Redeclaration), 1u);
+  (void)p;
+}
+
+TEST(ParserErrors, RecoversAndContinues) {
+  DiagEngine diag;
+  ir::Program p = parseProgram("int a; a = ; a = 2; b = 3; a = 4;", diag);
+  EXPECT_TRUE(diag.hasErrors());
+  // Recovery must still see the later good statement a = 4.
+  bool sawFour = false;
+  ir::forEachStmt(p.body, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.expr &&
+        s.expr->kind == ir::ExprKind::IntConst && s.expr->intValue == 4)
+      sawFour = true;
+  });
+  EXPECT_TRUE(sawFour);
+}
+
+TEST(ParserErrors, CobeginWithoutThreads) {
+  DiagEngine diag;
+  (void)parseProgram("cobegin { }", diag);
+  EXPECT_TRUE(diag.hasErrors());
+}
+
+TEST(Parser, BarrierStatement) {
+  ir::Program p = parseOrDie("barrier;");
+  ASSERT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(p.body[0]->kind, ir::StmtKind::Barrier);
+  EXPECT_TRUE(ir::verify(p).empty());
+}
+
+TEST(Parser, DoallDesugarsToCobegin) {
+  ir::Program p = parseOrDie(R"(
+    int s; lock L;
+    doall i = 0, 3 {
+      lock(L);
+      s = s + i;
+      unlock(L);
+    }
+    print(s);
+  )");
+  EXPECT_TRUE(ir::verify(p).empty());
+  const ir::Stmt* co = nullptr;
+  for (const auto& s : p.body)
+    if (s->kind == ir::StmtKind::Cobegin) co = s.get();
+  ASSERT_NE(co, nullptr);
+  ASSERT_EQ(co->threads.size(), 4u);
+  // Each iteration: private index initialized to its value, then body.
+  for (std::size_t t = 0; t < 4; ++t) {
+    const ir::StmtList& body = co->threads[t].body;
+    ASSERT_GE(body.size(), 2u);
+    EXPECT_EQ(body[0]->kind, ir::StmtKind::Assign);
+    EXPECT_EQ(body[0]->expr->intValue, static_cast<long long>(t));
+    EXPECT_FALSE(p.symbols[body[0]->lhs].shared);
+  }
+  // Four distinct private index symbols.
+  std::set<SymbolId> idxSyms;
+  for (std::size_t t = 0; t < 4; ++t)
+    idxSyms.insert(co->threads[t].body[0]->lhs);
+  EXPECT_EQ(idxSyms.size(), 4u);
+}
+
+TEST(Parser, DoallNegativeBounds) {
+  ir::Program p = parseOrDie("int s; doall i = -1, 1 { s = i; }");
+  const ir::Stmt* co = p.body[0].get();
+  ASSERT_EQ(co->threads.size(), 3u);
+  EXPECT_EQ(co->threads[0].body[0]->expr->intValue, -1);
+}
+
+TEST(ParserErrors, DoallNonLiteralBounds) {
+  DiagEngine diag;
+  (void)parseProgram("int n, s; doall i = 0, n { s = i; }", diag);
+  EXPECT_TRUE(diag.hasErrors());
+}
+
+TEST(ParserErrors, DoallHugeTripCount) {
+  DiagEngine diag;
+  (void)parseProgram("int s; doall i = 0, 1000 { s = i; }", diag);
+  EXPECT_TRUE(diag.hasErrors());
+}
+
+TEST(ParserErrors, DoallBodyErrorReportedOnce) {
+  DiagEngine diag;
+  (void)parseProgram("int s; doall i = 0, 9 { s = ; }", diag);
+  EXPECT_TRUE(diag.hasErrors());
+  EXPECT_LE(diag.errorCount(), 2u);  // not once per iteration
+}
+
+TEST(ParserErrors, CallOfVariable) {
+  DiagEngine diag;
+  (void)parseProgram("int a; a(1);", diag);
+  EXPECT_GE(diag.countOf(DiagCode::WrongSymbolKind), 1u);
+}
+
+TEST(Parser, EmptyProgram) {
+  ir::Program p = parseOrDie("");
+  EXPECT_TRUE(p.body.empty());
+  EXPECT_TRUE(ir::verify(p).empty());
+}
+
+TEST(Parser, SetWaitEvents) {
+  ir::Program p = parseOrDie("event e; set(e); wait(e);");
+  ASSERT_EQ(p.body.size(), 2u);
+  EXPECT_EQ(p.body[0]->kind, ir::StmtKind::Set);
+  EXPECT_EQ(p.body[1]->kind, ir::StmtKind::Wait);
+}
+
+}  // namespace
+}  // namespace cssame::parser

@@ -1,0 +1,207 @@
+// Unit tests for parallel dead code elimination: seeds, liveness through
+// φ/π reaching definitions, control dependence, cobegin serialization.
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/opt/pdce.h"
+#include "src/parser/parser.h"
+
+namespace cssame::opt {
+namespace {
+
+std::string eliminate(const char* src, DceStats* statsOut = nullptr) {
+  ir::Program prog = parser::parseOrDie(src);
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  DceStats stats = eliminateDeadCode(c);
+  if (statsOut != nullptr) *statsOut = stats;
+  EXPECT_TRUE(ir::verify(prog).empty());
+  return ir::printProgram(prog);
+}
+
+TEST(Pdce, RemovesUnusedAssignment) {
+  DceStats stats;
+  const std::string text =
+      eliminate("int a, b; a = 1; b = 2; print(b);", &stats);
+  EXPECT_EQ(text.find("a = 1"), std::string::npos);
+  EXPECT_NE(text.find("b = 2"), std::string::npos);
+  EXPECT_EQ(stats.stmtsRemoved, 1u);
+}
+
+TEST(Pdce, KeepsTransitiveChain) {
+  const std::string text =
+      eliminate("int a, b, c; a = 1; b = a + 1; c = b + 1; print(c);");
+  EXPECT_NE(text.find("a = 1"), std::string::npos);
+  EXPECT_NE(text.find("b = a + 1"), std::string::npos);
+}
+
+TEST(Pdce, RemovesDeadChain) {
+  DceStats stats;
+  const std::string text = eliminate(
+      "int a, b, c; a = 1; b = a + 1; c = b + 1; print(1);", &stats);
+  EXPECT_EQ(stats.stmtsRemoved, 3u);
+  EXPECT_EQ(text.find("a = 1"), std::string::npos);
+}
+
+TEST(Pdce, KeepsKilledButObservableDefs) {
+  // a = 1 is killed by a = 2 before the print: dead.
+  const std::string text =
+      eliminate("int a; a = 1; a = 2; print(a);");
+  EXPECT_EQ(text.find("a = 1"), std::string::npos);
+  EXPECT_NE(text.find("a = 2"), std::string::npos);
+}
+
+TEST(Pdce, CallsAreLiveSeeds) {
+  const std::string text = eliminate("int a; a = 1; f(a);");
+  EXPECT_NE(text.find("a = 1"), std::string::npos);
+  EXPECT_NE(text.find("f(a)"), std::string::npos);
+}
+
+TEST(Pdce, CallInRhsKeepsAssignment) {
+  // The call may have side effects even if the result is unused.
+  const std::string text = eliminate("int a; a = f(1);");
+  EXPECT_NE(text.find("a = f(1)"), std::string::npos);
+}
+
+TEST(Pdce, SyncOpsAreKept) {
+  const std::string text = eliminate(R"(
+    lock L; event e;
+    cobegin {
+      thread { lock(L); unlock(L); }
+      thread { set(e); }
+      thread { wait(e); }
+    }
+  )");
+  EXPECT_NE(text.find("lock(L)"), std::string::npos);
+  EXPECT_NE(text.find("set(e)"), std::string::npos);
+  EXPECT_NE(text.find("wait(e)"), std::string::npos);
+}
+
+TEST(Pdce, BranchKeptWhenBodyLive) {
+  const std::string text = eliminate(R"(
+    int a, c;
+    c = f(0);
+    if (c > 0) { a = 1; }
+    print(a);
+  )");
+  EXPECT_NE(text.find("if (c > 0)"), std::string::npos);
+  EXPECT_NE(text.find("c = f(0)"), std::string::npos);
+}
+
+TEST(Pdce, BranchRemovedWhenBodyDead) {
+  DceStats stats;
+  const std::string text = eliminate(R"(
+    int a, b, c;
+    c = 1;
+    if (c > 0) { a = 1; }
+    print(b);
+  )", &stats);
+  EXPECT_EQ(text.find("if"), std::string::npos) << text;
+  // c = 1 also dies once the branch is gone... c's liveness came only
+  // from the branch condition.
+  EXPECT_EQ(text.find("a = 1"), std::string::npos);
+}
+
+TEST(Pdce, WhileKeptWhenBodyLive) {
+  const std::string text = eliminate(R"(
+    int i, s;
+    i = 0;
+    while (i < 5) { s = s + i; i = i + 1; }
+    print(s);
+  )");
+  EXPECT_NE(text.find("while (i < 5)"), std::string::npos);
+  EXPECT_NE(text.find("i = i + 1"), std::string::npos);
+}
+
+TEST(Pdce, CrossThreadLiveness) {
+  // The paper's key case: b = 8 in T0 looks dead sequentially but is
+  // read by T1 through a π.
+  const std::string text = eliminate(R"(
+    int a, b; lock L;
+    cobegin {
+      thread { lock(L); b = 8; unlock(L); }
+      thread { lock(L); a = b + 6; unlock(L); print(a); }
+    }
+  )");
+  EXPECT_NE(text.find("b = 8"), std::string::npos) << text;
+}
+
+TEST(Pdce, DeadInBothThreadsRemoved) {
+  DceStats stats;
+  const std::string text = eliminate(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; print(b); }
+      thread { b = 2; }
+    }
+  )", &stats);
+  EXPECT_EQ(text.find("a = 1"), std::string::npos);
+  EXPECT_NE(text.find("b = 2"), std::string::npos);
+}
+
+TEST(Pdce, SerializesSingleLiveThread) {
+  DceStats stats;
+  const std::string text = eliminate(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; }
+      thread { b = 2; }
+    }
+    print(b);
+  )", &stats);
+  EXPECT_EQ(stats.cobeginsSerialized, 1u);
+  EXPECT_EQ(text.find("cobegin"), std::string::npos) << text;
+  EXPECT_NE(text.find("b = 2"), std::string::npos);
+}
+
+TEST(Pdce, RemovesFullyDeadCobegin) {
+  DceStats stats;
+  const std::string text = eliminate(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; }
+      thread { b = 2; }
+    }
+    print(3);
+  )", &stats);
+  EXPECT_EQ(text.find("cobegin"), std::string::npos);
+  EXPECT_EQ(stats.stmtsRemoved, 3u);  // two assigns + the cobegin
+}
+
+TEST(Pdce, KeepsMultiThreadLiveCobegin) {
+  const std::string text = eliminate(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; }
+      thread { b = 2; }
+    }
+    print(a + b);
+  )");
+  EXPECT_NE(text.find("cobegin"), std::string::npos);
+}
+
+TEST(Pdce, SemanticsPreservedOnFigure2) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a, b, x, y; lock L;
+    a = 0; b = 0;
+    cobegin {
+      thread { lock(L); a = 5; b = a + 3; if (b > 4) { a = a + b; } x = a; unlock(L); }
+      thread { lock(L); a = b + 6; y = a; unlock(L); }
+    }
+    print(x);
+    print(y);
+  )");
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  eliminateDeadCode(c);
+  for (const interp::RunResult& r : interp::runManySeeds(prog, 15)) {
+    ASSERT_TRUE(r.completed);
+    ASSERT_EQ(r.output.size(), 2u);
+    EXPECT_EQ(r.output[0], 13);
+    EXPECT_TRUE(r.output[1] == 6 || r.output[1] == 14);
+  }
+}
+
+}  // namespace
+}  // namespace cssame::opt

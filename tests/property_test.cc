@@ -1,0 +1,136 @@
+// Property-based tests: randomized programs swept over seeds with
+// parameterized gtest. Invariants checked on every program:
+//   P1  the SSA form verifies after the full pipeline (CSSA and CSSAME),
+//   P2  CSSAME only ever removes π terms/arguments relative to CSSA,
+//   P3  optimizing a determinate program preserves its (unique) output,
+//   P4  optimization never increases program size on these workloads,
+//   P5  re-analysis of an optimized program still verifies,
+//   P6  printing and re-parsing an optimized program is a fixpoint.
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/opt/optimize.h"
+#include "src/parser/parser.h"
+#include "src/workload/generator.h"
+
+namespace cssame {
+namespace {
+
+workload::GeneratorConfig configFor(std::uint64_t seed) {
+  workload::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.threads = 2 + static_cast<int>(seed % 4);
+  cfg.locks = 1 + static_cast<int>(seed % 3);
+  cfg.sharedVars = 3 + static_cast<int>(seed % 5);
+  cfg.stmtsPerThread = 10 + static_cast<int>(seed % 20);
+  cfg.useEvents = seed % 3 == 0;
+  cfg.determinate = true;
+  return cfg;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, SsaVerifiesUnderCssaAndCssame) {
+  ir::Program prog = workload::generateRandom(configFor(GetParam()));
+  {
+    driver::Compilation c =
+        driver::analyze(prog, {.enableCssame = false, .warnings = false});
+    EXPECT_TRUE(c.ssa().verify(c.graph()).empty());
+  }
+  {
+    driver::Compilation c = driver::analyze(prog, {.warnings = false});
+    EXPECT_TRUE(c.ssa().verify(c.graph()).empty());
+  }
+}
+
+TEST_P(PipelineProperty, CssameOnlyRemoves) {
+  ir::Program p1 = workload::generateRandom(configFor(GetParam()));
+  ir::Program p2 = workload::generateRandom(configFor(GetParam()));
+  driver::Compilation cssa =
+      driver::analyze(p1, {.enableCssame = false, .warnings = false});
+  driver::Compilation cssame = driver::analyze(p2, {.warnings = false});
+  EXPECT_LE(cssame.ssa().countLivePis(), cssa.ssa().countLivePis());
+  EXPECT_LE(cssame.ssa().countPiConflictArgs(),
+            cssa.ssa().countPiConflictArgs());
+  EXPECT_EQ(cssame.ssa().countLivePhis(), cssa.ssa().countLivePhis());
+}
+
+TEST_P(PipelineProperty, OptimizationPreservesDeterminateOutput) {
+  ir::Program prog = workload::generateRandom(configFor(GetParam()));
+  const interp::RunResult before = interp::run(prog, {.seed = 123});
+  ASSERT_TRUE(before.completed);
+
+  opt::optimizeProgram(prog);
+  EXPECT_TRUE(ir::verify(prog).empty());
+
+  // Determinate programs: one canonical output across all schedules.
+  for (const interp::RunResult& after : interp::runManySeeds(prog, 6)) {
+    ASSERT_TRUE(after.completed);
+    EXPECT_EQ(after.output, before.output) << "generator seed "
+                                           << GetParam();
+  }
+}
+
+TEST_P(PipelineProperty, OptimizationGrowsOnlyByHoistedTemps) {
+  ir::Program prog = workload::generateRandom(configFor(GetParam()));
+  const std::size_t before = prog.size();
+  opt::OptimizeReport report = opt::optimizeProgram(prog);
+  // Expression hoisting introduces one temporary per hoist; everything
+  // else only removes statements.
+  EXPECT_LE(prog.size(), before + report.exprMotion.exprsHoisted);
+}
+
+TEST_P(PipelineProperty, OptimizedProgramReanalyzes) {
+  ir::Program prog = workload::generateRandom(configFor(GetParam()));
+  opt::optimizeProgram(prog);
+  driver::Compilation c = driver::analyze(prog, {.warnings = false});
+  EXPECT_TRUE(c.ssa().verify(c.graph()).empty());
+}
+
+TEST_P(PipelineProperty, PrintParseFixpoint) {
+  ir::Program prog = workload::generateRandom(configFor(GetParam()));
+  opt::optimizeProgram(prog);
+  const std::string text1 = ir::printProgram(prog);
+  ir::Program reparsed = parser::parseOrDie(text1);
+  EXPECT_EQ(ir::printProgram(reparsed), text1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Same sweep over the structured lock workload: not determinate (races
+// by construction at low locked fractions), so only the structural
+// invariants are checked — plus CSCC/PDCE monotonicity under CSSAME.
+class LockWorkloadProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockWorkloadProperty, AnalysisInvariants) {
+  const std::uint64_t seed = GetParam();
+  const double frac = static_cast<double>(seed % 5) / 4.0;
+  ir::Program p1 = workload::makeLockStructured(3, 4, 4, frac, seed);
+  ir::Program p2 = workload::makeLockStructured(3, 4, 4, frac, seed);
+  driver::Compilation cssa =
+      driver::analyze(p1, {.enableCssame = false, .warnings = false});
+  driver::Compilation cssame = driver::analyze(p2, {.warnings = false});
+  EXPECT_TRUE(cssa.ssa().verify(cssa.graph()).empty());
+  EXPECT_TRUE(cssame.ssa().verify(cssame.graph()).empty());
+  EXPECT_LE(cssame.ssa().countPiConflictArgs(),
+            cssa.ssa().countPiConflictArgs());
+}
+
+TEST_P(LockWorkloadProperty, OptimizerTerminatesAndVerifies) {
+  ir::Program prog =
+      workload::makeLockStructured(3, 4, 4, 0.75, GetParam());
+  opt::OptimizeReport report = opt::optimizeProgram(prog);
+  EXPECT_LE(report.iterations, 8);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockWorkloadProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cssame

@@ -1,0 +1,142 @@
+// Unit tests for the lock-consistency data race warnings (Section 6).
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/mutex/races.h"
+#include "src/parser/parser.h"
+
+namespace cssame::mutex {
+namespace {
+
+RaceReport analyzeRaces(const char* src, DiagEngine* diagOut = nullptr) {
+  ir::Program p = parser::parseOrDie(src);
+  driver::Compilation c = driver::analyze(p, {.warnings = false});
+  DiagEngine diag;
+  RaceReport r = detectRaces(c.graph(), c.mhp(), c.mutexes(), diag);
+  if (diagOut != nullptr) *diagOut = diag;
+  return r;
+}
+
+TEST(Races, CleanLockedProgram) {
+  RaceReport r = analyzeRaces(R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); a = a + 1; unlock(L); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.potentialRaces, 0u);
+  EXPECT_EQ(r.inconsistentLocking, 0u);
+}
+
+TEST(Races, UnprotectedWriteWrite) {
+  RaceReport r = analyzeRaces(R"(
+    int a;
+    cobegin {
+      thread { a = 1; }
+      thread { a = 2; }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.potentialRaces, 1u);
+}
+
+TEST(Races, UnprotectedWriteRead) {
+  RaceReport r = analyzeRaces(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; }
+      thread { b = a; }
+    }
+    print(b);
+  )");
+  EXPECT_EQ(r.potentialRaces, 1u);
+}
+
+TEST(Races, DifferentLocksAreInconsistent) {
+  DiagEngine diag;
+  RaceReport r = analyzeRaces(R"(
+    int a; lock L1, L2;
+    cobegin {
+      thread { lock(L1); a = a + 1; unlock(L1); }
+      thread { lock(L2); a = a + 2; unlock(L2); }
+    }
+    print(a);
+  )", &diag);
+  EXPECT_EQ(r.inconsistentLocking, 1u);
+  EXPECT_EQ(r.potentialRaces, 1u);
+  EXPECT_EQ(diag.countOf(DiagCode::InconsistentLocking), 1u);
+}
+
+TEST(Races, HalfProtectedWrite) {
+  RaceReport r = analyzeRaces(R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); a = a + 1; unlock(L); }
+      thread { a = 2; }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.inconsistentLocking, 1u);
+  EXPECT_EQ(r.potentialRaces, 1u);
+}
+
+TEST(Races, OrderedBySetWaitIsNoRace) {
+  RaceReport r = analyzeRaces(R"(
+    int a; event e;
+    cobegin {
+      thread { a = 1; set(e); }
+      thread { wait(e); print(a); }
+    }
+  )");
+  EXPECT_EQ(r.potentialRaces, 0u);
+}
+
+TEST(Races, SequentialAccessesNoWarning) {
+  RaceReport r = analyzeRaces(R"(
+    int a;
+    a = 1;
+    a = 2;
+    cobegin {
+      thread { int p; p = 1; }
+      thread { int q; q = 2; }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.potentialRaces, 0u);
+  EXPECT_EQ(r.inconsistentLocking, 0u);
+}
+
+TEST(Races, TwoCommonLocksNoRace) {
+  RaceReport r = analyzeRaces(R"(
+    int a; lock L, M;
+    cobegin {
+      thread { lock(L); lock(M); a = a + 1; unlock(M); unlock(L); }
+      thread { lock(L); lock(M); a = a + 2; unlock(M); unlock(L); }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.potentialRaces, 0u);
+  EXPECT_EQ(r.inconsistentLocking, 0u);
+}
+
+TEST(Races, RaceInNestedCobegin) {
+  RaceReport r = analyzeRaces(R"(
+    int a;
+    cobegin {
+      thread {
+        cobegin {
+          thread { a = 1; }
+          thread { a = 2; }
+        }
+      }
+      thread { int p; p = 3; }
+    }
+    print(a);
+  )");
+  EXPECT_EQ(r.potentialRaces, 1u);
+}
+
+}  // namespace
+}  // namespace cssame::mutex

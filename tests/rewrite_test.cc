@@ -1,0 +1,248 @@
+// Unit tests for the CSSAME π rewriting (Algorithm A.3) and its two
+// predicates (Theorems 1 and 2), exercised on crafted mutex bodies.
+#include <gtest/gtest.h>
+
+#include "src/cssa/rewrite.h"
+#include "src/driver/pipeline.h"
+#include "src/parser/parser.h"
+
+namespace cssame::cssa {
+namespace {
+
+struct Fixture {
+  ir::Program prog;
+  driver::Compilation comp;
+
+  explicit Fixture(const char* src, bool cssame = true)
+      : prog(parser::parseOrDie(src)),
+        comp(driver::analyze(prog,
+                             {.enableCssame = cssame, .warnings = false})) {}
+
+  std::size_t pisOn(const std::string& var) {
+    std::size_t n = 0;
+    for (SsaNameId id : comp.ssa().livePis())
+      if (prog.symbols.nameOf(comp.ssa().def(id).var) == var) ++n;
+    return n;
+  }
+};
+
+TEST(Theorem2, KilledUseLosesArg) {
+  // The use of a in `b = a` follows a kill (a = 1) inside the body: not
+  // upward-exposed, so T1's def cannot reach it.
+  Fixture f(R"(
+    int a, b; lock L;
+    cobegin {
+      thread { lock(L); a = 1; b = a; unlock(L); }
+      thread { lock(L); a = 2; unlock(L); }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a"), 0u);
+  EXPECT_GE(f.comp.rewriteStats().pisRemoved, 1u);
+}
+
+TEST(Theorem2, UpwardExposedUseKeepsArg) {
+  Fixture f(R"(
+    int a, b; lock L;
+    cobegin {
+      thread { lock(L); b = a; a = 1; unlock(L); }
+      thread { lock(L); a = 2; unlock(L); }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a"), 1u);
+}
+
+TEST(Theorem2, KillOnOnePathOnlyStaysExposed) {
+  // The kill is conditional: a path from the lock reaches the use
+  // without passing a definition, so the use remains upward-exposed.
+  Fixture f(R"(
+    int a, b, c; lock L;
+    cobegin {
+      thread { lock(L); if (c > 0) { a = 1; } b = a; unlock(L); }
+      thread { lock(L); a = 2; unlock(L); }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a"), 1u);
+}
+
+TEST(Theorem2, KillOnBothPathsRemovesArg) {
+  Fixture f(R"(
+    int a, b, c; lock L;
+    cobegin {
+      thread { lock(L); if (c > 0) { a = 1; } else { a = 3; } b = a; unlock(L); }
+      thread { lock(L); a = 2; unlock(L); }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a"), 0u);
+}
+
+TEST(Theorem1, DefKilledBeforeExitRemoved) {
+  // T1's a = 2 never reaches its unlock (killed by a = 3), so it cannot
+  // reach T0's upward-exposed use.
+  Fixture f(R"(
+    int a, b, x; lock L;
+    cobegin {
+      thread { lock(L); b = a; unlock(L); }
+      thread { lock(L); a = 2; x = a; a = 3; x = a; unlock(L); }
+    }
+  )");
+  // T0's use keeps only the arg for a = 3.
+  ASSERT_EQ(f.pisOn("a"), 1u);
+  for (SsaNameId id : f.comp.ssa().livePis()) {
+    const ssa::Definition& d = f.comp.ssa().def(id);
+    if (f.prog.symbols.nameOf(d.var) != "a") continue;
+    ASSERT_EQ(d.piConflictArgs.size(), 1u);
+    EXPECT_EQ(d.piConflictArgs[0].defStmt->expr->intValue, 3);
+  }
+}
+
+TEST(Theorem1, DefReachingExitKept) {
+  Fixture f(R"(
+    int a, b; lock L;
+    cobegin {
+      thread { lock(L); b = a; unlock(L); }
+      thread { lock(L); a = 2; unlock(L); }
+    }
+  )");
+  ASSERT_EQ(f.pisOn("a"), 1u);
+}
+
+TEST(Rewrite, DifferentLocksDoNotInteract) {
+  // The bodies belong to different mutex structures: no reduction.
+  Fixture f(R"(
+    int a, b; lock L, M;
+    cobegin {
+      thread { lock(L); a = 1; b = a; unlock(L); }
+      thread { lock(M); a = 2; unlock(M); }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a"), 1u);
+}
+
+TEST(Rewrite, UnlockedDefKeepsArg) {
+  // T1's definition is outside any body: Theorems 1/2 do not apply.
+  Fixture f(R"(
+    int a, b; lock L;
+    cobegin {
+      thread { lock(L); a = 1; b = a; unlock(L); }
+      thread { a = 2; }
+    }
+  )");
+  EXPECT_EQ(f.pisOn("a"), 1u);
+}
+
+TEST(Rewrite, IllFormedBodyNotUsed) {
+  // T0's body is ill-formed (nested same-lock lock): it must not be used
+  // to remove dependencies, so the π stays despite the kill.
+  Fixture f(R"(
+    int a, b; lock L;
+    cobegin {
+      thread { lock(L); lock(L); a = 1; b = a; unlock(L); unlock(L); }
+      thread { a = 2; }
+    }
+  )");
+  EXPECT_GE(f.pisOn("a"), 1u);
+}
+
+TEST(Rewrite, CobeginInsideBodySameBodyArgsKept) {
+  // Both access sites live in the SAME mutex body (the lock wraps a
+  // nested cobegin): A.3's "another mutex body" condition fails and the
+  // π argument survives — the accesses genuinely race inside the lock.
+  Fixture f(R"(
+    int a, b; lock L;
+    lock(L);
+    cobegin {
+      thread { a = 1; }
+      thread { b = a; }
+    }
+    unlock(L);
+  )");
+  EXPECT_EQ(f.pisOn("a"), 1u);
+}
+
+TEST(Rewrite, LoopInsideBodyHandled) {
+  // The kill inside the loop body does not kill the loop-entry path:
+  // upward exposure must walk the loop correctly.
+  Fixture f(R"(
+    int a, b, n; lock L;
+    cobegin {
+      thread { lock(L); while (n > 0) { b = a; a = 1; n = n - 1; } unlock(L); }
+      thread { lock(L); a = 2; unlock(L); }
+    }
+  )");
+  // First iteration's use of a is upward-exposed (no def before it on
+  // the path lock → while → body): the π must survive.
+  EXPECT_EQ(f.pisOn("a"), 1u);
+}
+
+TEST(Rewrite, OnlyRemovesNeverAdds) {
+  const char* src = R"(
+    int a, b, c; lock L;
+    cobegin {
+      thread { lock(L); a = 1; b = a + c; unlock(L); }
+      thread { lock(L); a = 2; c = 3; unlock(L); }
+    }
+  )";
+  Fixture cssa(src, false);
+  Fixture cssame(src, true);
+  EXPECT_LE(cssame.comp.ssa().countLivePis(), cssa.comp.ssa().countLivePis());
+  EXPECT_LE(cssame.comp.ssa().countPiConflictArgs(),
+            cssa.comp.ssa().countPiConflictArgs());
+  // a's π folds (kill), c's survives (upward-exposed use, def reaches
+  // T1's exit).
+  EXPECT_EQ(cssame.pisOn("a"), 0u);
+  EXPECT_EQ(cssame.pisOn("c"), 1u);
+}
+
+TEST(Predicates, DirectUpwardExposure) {
+  Fixture f(R"(
+    int a, b; lock L;
+    lock(L);
+    b = a;
+    a = 1;
+    b = a;
+    unlock(L);
+  )");
+  const mutex::MutexBody& body = f.comp.mutexes().bodies()[0];
+  ASSERT_TRUE(body.wellFormed);
+  const SymbolId a = f.prog.symbols.lookup("a");
+
+  // Collect the two uses of a in order.
+  std::vector<std::pair<const ir::Expr*, const ir::Stmt*>> uses;
+  ir::forEachStmt(f.prog.body, [&](const ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::Assign || !s.expr) return;
+    ir::forEachExpr(*s.expr, [&](const ir::Expr& e) {
+      if (e.kind == ir::ExprKind::VarRef && e.var == a)
+        uses.emplace_back(&e, &s);
+    });
+  });
+  ASSERT_EQ(uses.size(), 2u);
+  const NodeId n0 = f.comp.graph().nodeOf(uses[0].second);
+  const NodeId n1 = f.comp.graph().nodeOf(uses[1].second);
+  EXPECT_TRUE(isUpwardExposedFromBody(f.comp.graph(), body, a, uses[0].first,
+                                      uses[0].second, n0));
+  EXPECT_FALSE(isUpwardExposedFromBody(f.comp.graph(), body, a,
+                                       uses[1].first, uses[1].second, n1));
+}
+
+TEST(Predicates, DirectDefReachesExit) {
+  Fixture f(R"(
+    int a; lock L;
+    lock(L);
+    a = 1;
+    a = 2;
+    unlock(L);
+  )");
+  const mutex::MutexBody& body = f.comp.mutexes().bodies()[0];
+  const SymbolId a = f.prog.symbols.lookup("a");
+  std::vector<const ir::Stmt*> defs;
+  ir::forEachStmt(f.prog.body, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.lhs == a) defs.push_back(&s);
+  });
+  ASSERT_EQ(defs.size(), 2u);
+  const NodeId n = f.comp.graph().nodeOf(defs[0]);
+  EXPECT_FALSE(defReachesBodyExit(f.comp.graph(), body, a, defs[0], n));
+  EXPECT_TRUE(defReachesBodyExit(f.comp.graph(), body, a, defs[1], n));
+}
+
+}  // namespace
+}  // namespace cssame::cssa

@@ -1,0 +1,143 @@
+// Unit tests for the algebraic simplification pass.
+#include <gtest/gtest.h>
+
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/opt/optimize.h"
+#include "src/opt/simplify.h"
+#include "src/parser/parser.h"
+
+namespace cssame::opt {
+namespace {
+
+std::string simplify(const char* src, std::size_t* rewrites = nullptr) {
+  ir::Program prog = parser::parseOrDie(src);
+  SimplifyStats stats = simplifyExpressions(prog);
+  if (rewrites != nullptr) *rewrites = stats.rewrites;
+  EXPECT_TRUE(ir::verify(prog).empty());
+  return ir::printProgram(prog);
+}
+
+TEST(Simplify, AdditiveIdentities) {
+  EXPECT_NE(simplify("int x, y; y = x + 0;").find("y = x;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = 0 + x;").find("y = x;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x - 0;").find("y = x;"),
+            std::string::npos);
+}
+
+TEST(Simplify, MultiplicativeIdentities) {
+  EXPECT_NE(simplify("int x, y; y = x * 1;").find("y = x;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = 1 * x;").find("y = x;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x / 1;").find("y = x;"),
+            std::string::npos);
+}
+
+TEST(Simplify, Annihilators) {
+  EXPECT_NE(simplify("int x, y; y = x * 0;").find("y = 0;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = 0 / x;").find("y = 0;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x % 1;").find("y = 0;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x && 0;").find("y = 0;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = 1 || x;").find("y = 1;"),
+            std::string::npos);
+}
+
+TEST(Simplify, SelfComparisons) {
+  // Statement evaluation is atomic in our model, so both reads of x in
+  // one expression see the same value even under concurrency.
+  EXPECT_NE(simplify("int x, y; y = x - x;").find("y = 0;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x == x;").find("y = 1;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x <= x;").find("y = 1;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x < x;").find("y = 0;"),
+            std::string::npos);
+  EXPECT_NE(simplify("int x, y; y = x % x;").find("y = 0;"),
+            std::string::npos);
+}
+
+TEST(Simplify, DoubleNegation) {
+  EXPECT_NE(simplify("int x, y; y = --x;").find("y = x;"),
+            std::string::npos);
+}
+
+TEST(Simplify, CallsBlockOperandDropping) {
+  // f(x) may have side effects: x * 0 with x = f(...) must NOT fold.
+  std::size_t rewrites = 0;
+  const std::string text =
+      simplify("int y; y = f(1) * 0;", &rewrites);
+  EXPECT_NE(text.find("y = f(1) * 0;"), std::string::npos) << text;
+  EXPECT_EQ(rewrites, 0u);
+  // But identities that KEEP the call are fine.
+  EXPECT_NE(simplify("int y; y = f(1) + 0;").find("y = f(1);"),
+            std::string::npos);
+}
+
+TEST(Simplify, CascadesToFixpoint) {
+  std::size_t rewrites = 0;
+  const std::string text =
+      simplify("int x, y; y = (x * 1 + 0) - (x + 0);", &rewrites);
+  EXPECT_NE(text.find("y = 0;"), std::string::npos) << text;
+  EXPECT_GE(rewrites, 3u);
+}
+
+TEST(Simplify, ConditionSimplificationEnablesCscc) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int x, a, b;
+    x = f(0);
+    if (x != x) { a = 1; } else { a = 2; }
+    print(a);
+  )");
+  opt::optimizeProgram(prog);
+  const std::string text = ir::printProgram(prog);
+  EXPECT_EQ(text.find("if"), std::string::npos) << text;
+  EXPECT_NE(text.find("print(2)"), std::string::npos) << text;
+}
+
+TEST(Simplify, SemanticsPreserved) {
+  const char* src = R"(
+    int x, y, z;
+    x = 7;
+    y = (x + 0) * 1 - (x - x) + x % x + (x == x);
+    z = y * 0 + y / 1;
+    print(y);
+    print(z);
+  )";
+  ir::Program a = parser::parseOrDie(src);
+  ir::Program b = parser::parseOrDie(src);
+  simplifyExpressions(b);
+  EXPECT_EQ(interp::run(a).output, interp::run(b).output);
+}
+
+TEST(Simplify, IdempotentOnFixpoint) {
+  ir::Program prog = parser::parseOrDie("int x, y; y = x + 0;");
+  simplifyExpressions(prog);
+  SimplifyStats second = simplifyExpressions(prog);
+  EXPECT_EQ(second.rewrites, 0u);
+}
+
+TEST(Simplify, NestedExpressionsInAllStatementKinds) {
+  const std::string text = simplify(R"(
+    int x, y;
+    if (x * 1 > 0) { y = 1; }
+    while (y - 0 < 3) { y = y + 1; }
+    print(x + 0);
+    f(y * 1);
+  )");
+  EXPECT_NE(text.find("if (x > 0)"), std::string::npos) << text;
+  EXPECT_NE(text.find("while (y < 3)"), std::string::npos) << text;
+  EXPECT_NE(text.find("print(x)"), std::string::npos) << text;
+  EXPECT_NE(text.find("f(y)"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace cssame::opt

@@ -1,0 +1,235 @@
+// Unit tests for sequential SSA construction with FUD chains: φ
+// placement, renaming, coend pruning, and the structural verifier.
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/parser/parser.h"
+#include "src/pfg/build.h"
+#include "src/ssa/ssa.h"
+
+namespace cssame::ssa {
+namespace {
+
+struct Fixture {
+  ir::Program prog;
+  pfg::Graph graph;
+  analysis::Dominators dom;
+  SsaForm form;
+
+  explicit Fixture(const char* src)
+      : prog(parser::parseOrDie(src)),
+        graph(pfg::buildPfg(prog)),
+        dom(graph, analysis::Dominators::Direction::Forward),
+        form(buildSequentialSsa(graph, dom)) {}
+
+  /// The SSA definition feeding the FIRST VarRef of `var` inside the
+  /// statement assigning constant `tag` to some variable.
+  SsaNameId useIn(long long tag, const std::string& var) {
+    SsaNameId result;
+    ir::forEachStmt(prog.body, [&](const ir::Stmt& s) {
+      if (s.kind != ir::StmtKind::Assign && s.kind != ir::StmtKind::Print)
+        return;
+      bool tagged = false;
+      ir::forEachExpr(*s.expr, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::IntConst && e.intValue == tag)
+          tagged = true;
+      });
+      if (!tagged) return;
+      ir::forEachExpr(*s.expr, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::VarRef && !result.valid() &&
+            prog.symbols.nameOf(e.var) == var)
+          result = form.useDef.at(&e);
+      });
+    });
+    return result;
+  }
+};
+
+TEST(Ssa, StraightLineChains) {
+  Fixture f(R"(
+    int a, b;
+    a = 1;
+    b = a + 100;
+    a = 2;
+    b = a + 200;
+  )");
+  // The use in "b = a + 100" must see the def from "a = 1".
+  const SsaNameId u1 = f.useIn(100, "a");
+  ASSERT_TRUE(u1.valid());
+  EXPECT_EQ(f.form.def(u1).kind, DefKind::Assign);
+  EXPECT_EQ(f.form.def(u1).stmt->expr->intValue, 1);
+  const SsaNameId u2 = f.useIn(200, "a");
+  EXPECT_EQ(f.form.def(u2).stmt->expr->intValue, 2);
+  EXPECT_TRUE(f.form.verify(f.graph).empty());
+}
+
+TEST(Ssa, UseBeforeDefSeesEntry) {
+  Fixture f("int a, b; b = a + 100;");
+  const SsaNameId u = f.useIn(100, "a");
+  ASSERT_TRUE(u.valid());
+  EXPECT_EQ(f.form.def(u).kind, DefKind::Entry);
+}
+
+TEST(Ssa, RhsResolvedBeforeLhsPush) {
+  Fixture f("int a; a = 1; a = a + 100;");
+  // In a = a + 100, the rhs `a` is the PREVIOUS def.
+  const SsaNameId u = f.useIn(100, "a");
+  EXPECT_EQ(f.form.def(u).stmt->expr->intValue, 1);
+}
+
+TEST(Ssa, PhiAtIfJoin) {
+  Fixture f(R"(
+    int a, b;
+    if (b > 0) { a = 1; } else { a = 2; }
+    b = a + 100;
+  )");
+  const SsaNameId u = f.useIn(100, "a");
+  ASSERT_TRUE(u.valid());
+  const Definition& d = f.form.def(u);
+  EXPECT_EQ(d.kind, DefKind::Phi);
+  ASSERT_EQ(d.phiArgs.size(), 2u);
+  // Both args are the real defs 1 and 2.
+  std::vector<long long> vals;
+  for (const PhiArg& a : d.phiArgs)
+    vals.push_back(f.form.def(a.def).stmt->expr->intValue);
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<long long>{1, 2}));
+}
+
+TEST(Ssa, PhiMergesEntryOnHalfDiamond) {
+  Fixture f(R"(
+    int a, b;
+    if (b > 0) { a = 1; }
+    b = a + 100;
+  )");
+  const SsaNameId u = f.useIn(100, "a");
+  const Definition& d = f.form.def(u);
+  ASSERT_EQ(d.kind, DefKind::Phi);
+  ASSERT_EQ(d.phiArgs.size(), 2u);
+  std::vector<DefKind> kinds;
+  for (const PhiArg& a : d.phiArgs) kinds.push_back(f.form.def(a.def).kind);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), DefKind::Entry),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), DefKind::Assign),
+            kinds.end());
+}
+
+TEST(Ssa, LoopPhiAtHeader) {
+  Fixture f(R"(
+    int i;
+    i = 0;
+    while (i < 5) { i = i + 100; }
+    print(i + 200);
+  )");
+  // The condition use of i sees a φ merging init and back edge.
+  const SsaNameId inLoop = f.useIn(100, "i");
+  ASSERT_TRUE(inLoop.valid());
+  EXPECT_EQ(f.form.def(inLoop).kind, DefKind::Phi);
+  const SsaNameId after = f.useIn(200, "i");
+  EXPECT_EQ(f.form.def(after).kind, DefKind::Phi);
+  EXPECT_TRUE(f.form.verify(f.graph).empty());
+}
+
+TEST(Ssa, VersionsAreUniquePerVariable) {
+  Fixture f(R"(
+    int a;
+    a = 1;
+    if (a > 0) { a = 2; } else { a = 3; }
+    while (a < 9) { a = a + 1; }
+  )");
+  std::map<std::pair<SymbolId, std::uint32_t>, int> seen;
+  for (const Definition& d : f.form.defs) ++seen[{d.var, d.version}];
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(SsaCoend, SingleDefiningThreadFoldsPhi) {
+  Fixture f(R"(
+    int a, b;
+    a = 1;
+    cobegin {
+      thread { a = 2; }
+      thread { b = 3; }
+    }
+    print(a + 100);
+  )");
+  // Only T0 defines a: the coend φ is pruned to a copy and folded — the
+  // use after the cobegin sees T0's def directly (shared memory: T0
+  // definitely executed).
+  const SsaNameId u = f.useIn(100, "a");
+  ASSERT_TRUE(u.valid());
+  const Definition& d = f.form.def(u);
+  EXPECT_EQ(d.kind, DefKind::Assign);
+  EXPECT_EQ(d.stmt->expr->intValue, 2);
+}
+
+TEST(SsaCoend, TwoDefiningThreadsKeepPhi) {
+  Fixture f(R"(
+    int a;
+    a = 1;
+    cobegin {
+      thread { a = 2; }
+      thread { a = 3; }
+    }
+    print(a + 100);
+  )");
+  const SsaNameId u = f.useIn(100, "a");
+  const Definition& d = f.form.def(u);
+  ASSERT_EQ(d.kind, DefKind::Phi);
+  // Exactly the two thread-final defs; the pre-cobegin a=1 is pruned.
+  ASSERT_EQ(d.phiArgs.size(), 2u);
+  std::vector<long long> vals;
+  for (const PhiArg& a : d.phiArgs)
+    vals.push_back(f.form.def(a.def).stmt->expr->intValue);
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<long long>{2, 3}));
+}
+
+TEST(SsaCoend, ConditionalThreadDefKeepsMergedPhi) {
+  Fixture f(R"(
+    int a, c;
+    a = 1;
+    cobegin {
+      thread { if (c > 0) { a = 2; } }
+      thread { c = 3; }
+    }
+    print(a + 100);
+  )");
+  // T0 defines a conditionally: the thread-exit def is a φ(a=2, a=1)
+  // which survives the fold as the single coend argument.
+  const SsaNameId u = f.useIn(100, "a");
+  const Definition& d = f.form.def(u);
+  EXPECT_EQ(d.kind, DefKind::Phi);
+}
+
+TEST(Ssa, EntryDefsForAllVariables) {
+  Fixture f("int a, b, c; a = 1;");
+  for (const ir::Symbol& sym : f.prog.symbols.all()) {
+    if (sym.kind != ir::SymbolKind::Var) continue;
+    const SsaNameId e = f.form.entryDef[sym.id.index()];
+    ASSERT_TRUE(e.valid());
+    EXPECT_EQ(f.form.def(e).kind, DefKind::Entry);
+  }
+}
+
+TEST(Ssa, AssignDefsRecorded) {
+  Fixture f("int a; a = 1; a = 2;");
+  std::size_t count = 0;
+  ir::forEachStmt(f.prog.body, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign) {
+      EXPECT_TRUE(f.form.assignDef.contains(&s));
+      ++count;
+    }
+  });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Ssa, VerifyCatchesDanglingUse) {
+  Fixture f("int a; a = 1; print(a);");
+  // Sabotage: drop one use-def link.
+  ASSERT_FALSE(f.form.useDef.empty());
+  f.form.useDef.erase(f.form.useDef.begin());
+  EXPECT_FALSE(f.form.verify(f.graph).empty());
+}
+
+}  // namespace
+}  // namespace cssame::ssa

@@ -1,0 +1,153 @@
+// Unit tests for the support layer: typed ids, dynamic bitsets,
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/support/bitset.h"
+#include "src/support/diag.h"
+#include "src/support/ids.h"
+
+namespace cssame {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  SymbolId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, SymbolId{});
+}
+
+TEST(Ids, ValueRoundTrip) {
+  NodeId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(StmtId{1}, StmtId{2});
+  EXPECT_NE(StmtId{1}, StmtId{2});
+  EXPECT_EQ(StmtId{7}, StmtId{7});
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<SsaNameId> set;
+  set.insert(SsaNameId{1});
+  set.insert(SsaNameId{2});
+  set.insert(SsaNameId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Bitset, SetResetTest) {
+  DynBitset b(100);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, SetAllRespectsSize) {
+  DynBitset b(70);
+  b.setAll();
+  EXPECT_EQ(b.count(), 70u);
+  b.resetAll();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, UnionIntersectSubtract) {
+  DynBitset a(10), b(10);
+  a.set(1);
+  a.set(3);
+  b.set(3);
+  b.set(5);
+
+  DynBitset u = a;
+  EXPECT_TRUE(u.unionWith(b));
+  EXPECT_EQ(u.count(), 3u);
+  EXPECT_FALSE(u.unionWith(b));  // no change the second time
+
+  DynBitset i = a;
+  EXPECT_TRUE(i.intersectWith(b));
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(3));
+
+  DynBitset d = a;
+  EXPECT_TRUE(d.subtract(b));
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(Bitset, ForEachInOrder) {
+  DynBitset b(130);
+  b.set(2);
+  b.set(64);
+  b.set(129);
+  std::vector<std::size_t> seen;
+  b.forEach([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{2, 64, 129}));
+}
+
+TEST(Bitset, Equality) {
+  DynBitset a(20), b(20);
+  a.set(7);
+  b.set(7);
+  EXPECT_EQ(a, b);
+  b.set(8);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Bitset, ResizeKeepsBits) {
+  DynBitset b(10);
+  b.set(9);
+  b.resize(200);
+  EXPECT_TRUE(b.test(9));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Diag, CollectsInOrder) {
+  DiagEngine diag;
+  diag.warn(DiagCode::UnmatchedLock, {1, 2}, "first");
+  diag.error(DiagCode::SyntaxError, {3, 4}, "second");
+  ASSERT_EQ(diag.diagnostics().size(), 2u);
+  EXPECT_EQ(diag.diagnostics()[0].message, "first");
+  EXPECT_TRUE(diag.hasErrors());
+  EXPECT_EQ(diag.errorCount(), 1u);
+}
+
+TEST(Diag, CountOf) {
+  DiagEngine diag;
+  diag.warn(DiagCode::PotentialDataRace, {}, "a");
+  diag.warn(DiagCode::PotentialDataRace, {}, "b");
+  diag.warn(DiagCode::UnmatchedLock, {}, "c");
+  EXPECT_EQ(diag.countOf(DiagCode::PotentialDataRace), 2u);
+  EXPECT_EQ(diag.countOf(DiagCode::UnmatchedUnlock), 0u);
+}
+
+TEST(Diag, Formatting) {
+  Diagnostic d{DiagSeverity::Warning, DiagCode::InconsistentLocking,
+               {12, 3}, "msg"};
+  EXPECT_EQ(d.str(), "warning [inconsistent-locking] 12:3: msg");
+  Diagnostic noLoc{DiagSeverity::Error, DiagCode::SyntaxError, {}, "bad"};
+  EXPECT_EQ(noLoc.str(), "error [syntax-error] bad");
+}
+
+TEST(Diag, ClearResets) {
+  DiagEngine diag;
+  diag.error(DiagCode::SyntaxError, {}, "x");
+  diag.clear();
+  EXPECT_FALSE(diag.hasErrors());
+  EXPECT_TRUE(diag.diagnostics().empty());
+}
+
+}  // namespace
+}  // namespace cssame

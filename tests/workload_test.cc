@@ -1,0 +1,103 @@
+// Unit tests for the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/parser/parser.h"
+#include "src/workload/generator.h"
+#include "src/workload/paper_programs.h"
+
+namespace cssame::workload {
+namespace {
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorConfig cfg;
+  cfg.seed = 5;
+  ir::Program a = generateRandom(cfg);
+  ir::Program b = generateRandom(cfg);
+  EXPECT_EQ(ir::printProgram(a), ir::printProgram(b));
+  cfg.seed = 6;
+  ir::Program c = generateRandom(cfg);
+  EXPECT_NE(ir::printProgram(a), ir::printProgram(c));
+}
+
+TEST(Generator, ProducesValidIr) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.useEvents = seed % 2 == 0;
+    ir::Program p = generateRandom(cfg);
+    EXPECT_TRUE(ir::verify(p).empty()) << "seed " << seed;
+    EXPECT_GT(p.size(), 10u);
+  }
+}
+
+TEST(Generator, DeterminateModeIsScheduleIndependent) {
+  GeneratorConfig cfg;
+  cfg.seed = 9;
+  cfg.determinate = true;
+  ir::Program p = generateRandom(cfg);
+  std::vector<long long> first;
+  for (const interp::RunResult& r : interp::runManySeeds(p, 12)) {
+    ASSERT_TRUE(r.completed);
+    ASSERT_FALSE(r.deadlocked);
+    if (first.empty()) first = r.output;
+    EXPECT_EQ(r.output, first);
+  }
+}
+
+TEST(Generator, RoundTripsThroughParser) {
+  GeneratorConfig cfg;
+  cfg.seed = 3;
+  ir::Program p = generateRandom(cfg);
+  const std::string text = ir::printProgram(p);
+  ir::Program q = parser::parseOrDie(text);
+  EXPECT_EQ(ir::printProgram(q), text);
+}
+
+TEST(LockStructured, RespectsShape) {
+  ir::Program p = makeLockStructured(3, 4, 5, 0.8, 1);
+  EXPECT_TRUE(ir::verify(p).empty());
+  std::size_t locks = 0, threads = 0;
+  ir::forEachStmt(p.body, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Lock) ++locks;
+    if (s.kind == ir::StmtKind::Cobegin) threads = s.threads.size();
+  });
+  EXPECT_EQ(locks, 3u * 4u);
+  EXPECT_EQ(threads, 3u);
+}
+
+TEST(LockStructured, RunsToCompletion) {
+  ir::Program p = makeLockStructured(4, 3, 4, 0.5, 2);
+  for (const interp::RunResult& r : interp::runManySeeds(p, 5)) {
+    EXPECT_TRUE(r.completed);
+    EXPECT_FALSE(r.lockError);
+  }
+}
+
+TEST(Bank, BalancesAreConserved) {
+  ir::Program p = makeBank(3, 3, 4, 7);
+  // Deposits are additive under one lock: the account total is the same
+  // in every interleaving.
+  long long firstTotal = -1;
+  for (const interp::RunResult& r : interp::runManySeeds(p, 10)) {
+    ASSERT_TRUE(r.completed);
+    // Last 3 outputs are the account balances.
+    ASSERT_GE(r.output.size(), 3u);
+    long long total = 0;
+    for (std::size_t i = r.output.size() - 3; i < r.output.size(); ++i)
+      total += r.output[i];
+    if (firstTotal < 0) firstTotal = total;
+    EXPECT_EQ(total, firstTotal);
+  }
+}
+
+TEST(PaperPrograms, AllParse) {
+  EXPECT_TRUE(ir::verify(parser::parseOrDie(figure1Source())).empty());
+  EXPECT_TRUE(ir::verify(parser::parseOrDie(figure2Source())).empty());
+  EXPECT_TRUE(ir::verify(parser::parseOrDie(figure5aSource())).empty());
+}
+
+}  // namespace
+}  // namespace cssame::workload
