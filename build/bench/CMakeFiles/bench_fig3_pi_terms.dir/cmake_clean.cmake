@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pi_terms.dir/bench_fig3_pi_terms.cc.o"
+  "CMakeFiles/bench_fig3_pi_terms.dir/bench_fig3_pi_terms.cc.o.d"
+  "bench_fig3_pi_terms"
+  "bench_fig3_pi_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pi_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

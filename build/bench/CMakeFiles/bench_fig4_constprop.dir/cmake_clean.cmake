@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_constprop.dir/bench_fig4_constprop.cc.o"
+  "CMakeFiles/bench_fig4_constprop.dir/bench_fig4_constprop.cc.o.d"
+  "bench_fig4_constprop"
+  "bench_fig4_constprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_constprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

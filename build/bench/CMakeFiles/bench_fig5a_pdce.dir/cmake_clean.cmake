@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_pdce.dir/bench_fig5a_pdce.cc.o"
+  "CMakeFiles/bench_fig5a_pdce.dir/bench_fig5a_pdce.cc.o.d"
+  "bench_fig5a_pdce"
+  "bench_fig5a_pdce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_pdce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_licm.dir/bench_fig5b_licm.cc.o"
+  "CMakeFiles/bench_fig5b_licm.dir/bench_fig5b_licm.cc.o.d"
+  "bench_fig5b_licm"
+  "bench_fig5b_licm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_licm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

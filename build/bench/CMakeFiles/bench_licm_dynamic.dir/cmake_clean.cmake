@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_licm_dynamic.dir/bench_licm_dynamic.cc.o"
+  "CMakeFiles/bench_licm_dynamic.dir/bench_licm_dynamic.cc.o.d"
+  "bench_licm_dynamic"
+  "bench_licm_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_licm_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_composition.dir/bench_lock_composition.cc.o"
+  "CMakeFiles/bench_lock_composition.dir/bench_lock_composition.cc.o.d"
+  "bench_lock_composition"
+  "bench_lock_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_pipeline.dir/bench_scale_pipeline.cc.o"
+  "CMakeFiles/bench_scale_pipeline.dir/bench_scale_pipeline.cc.o.d"
+  "bench_scale_pipeline"
+  "bench_scale_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

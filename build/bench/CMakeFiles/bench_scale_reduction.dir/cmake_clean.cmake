@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_reduction.dir/bench_scale_reduction.cc.o"
+  "CMakeFiles/bench_scale_reduction.dir/bench_scale_reduction.cc.o.d"
+  "bench_scale_reduction"
+  "bench_scale_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

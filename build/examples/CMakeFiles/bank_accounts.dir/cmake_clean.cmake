@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_accounts.dir/bank_accounts.cpp.o"
+  "CMakeFiles/bank_accounts.dir/bank_accounts.cpp.o.d"
+  "bank_accounts"
+  "bank_accounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_accounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

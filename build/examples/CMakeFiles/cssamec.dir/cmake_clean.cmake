@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cssamec.dir/cssamec.cpp.o"
+  "CMakeFiles/cssamec.dir/cssamec.cpp.o.d"
+  "cssamec"
+  "cssamec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cssamec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

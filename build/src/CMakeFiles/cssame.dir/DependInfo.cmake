@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/concurrency.cc" "src/CMakeFiles/cssame.dir/analysis/concurrency.cc.o" "gcc" "src/CMakeFiles/cssame.dir/analysis/concurrency.cc.o.d"
+  "/root/repo/src/analysis/dominance.cc" "src/CMakeFiles/cssame.dir/analysis/dominance.cc.o" "gcc" "src/CMakeFiles/cssame.dir/analysis/dominance.cc.o.d"
+  "/root/repo/src/cssa/cssa.cc" "src/CMakeFiles/cssame.dir/cssa/cssa.cc.o" "gcc" "src/CMakeFiles/cssame.dir/cssa/cssa.cc.o.d"
+  "/root/repo/src/cssa/form_printer.cc" "src/CMakeFiles/cssame.dir/cssa/form_printer.cc.o" "gcc" "src/CMakeFiles/cssame.dir/cssa/form_printer.cc.o.d"
+  "/root/repo/src/cssa/reaching.cc" "src/CMakeFiles/cssame.dir/cssa/reaching.cc.o" "gcc" "src/CMakeFiles/cssame.dir/cssa/reaching.cc.o.d"
+  "/root/repo/src/cssa/rewrite.cc" "src/CMakeFiles/cssame.dir/cssa/rewrite.cc.o" "gcc" "src/CMakeFiles/cssame.dir/cssa/rewrite.cc.o.d"
+  "/root/repo/src/driver/pipeline.cc" "src/CMakeFiles/cssame.dir/driver/pipeline.cc.o" "gcc" "src/CMakeFiles/cssame.dir/driver/pipeline.cc.o.d"
+  "/root/repo/src/interp/explore.cc" "src/CMakeFiles/cssame.dir/interp/explore.cc.o" "gcc" "src/CMakeFiles/cssame.dir/interp/explore.cc.o.d"
+  "/root/repo/src/interp/interp.cc" "src/CMakeFiles/cssame.dir/interp/interp.cc.o" "gcc" "src/CMakeFiles/cssame.dir/interp/interp.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/CMakeFiles/cssame.dir/ir/expr.cc.o" "gcc" "src/CMakeFiles/cssame.dir/ir/expr.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/cssame.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/cssame.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/CMakeFiles/cssame.dir/ir/program.cc.o" "gcc" "src/CMakeFiles/cssame.dir/ir/program.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/CMakeFiles/cssame.dir/ir/verify.cc.o" "gcc" "src/CMakeFiles/cssame.dir/ir/verify.cc.o.d"
+  "/root/repo/src/mutex/deadlock.cc" "src/CMakeFiles/cssame.dir/mutex/deadlock.cc.o" "gcc" "src/CMakeFiles/cssame.dir/mutex/deadlock.cc.o.d"
+  "/root/repo/src/mutex/mutex_structures.cc" "src/CMakeFiles/cssame.dir/mutex/mutex_structures.cc.o" "gcc" "src/CMakeFiles/cssame.dir/mutex/mutex_structures.cc.o.d"
+  "/root/repo/src/mutex/races.cc" "src/CMakeFiles/cssame.dir/mutex/races.cc.o" "gcc" "src/CMakeFiles/cssame.dir/mutex/races.cc.o.d"
+  "/root/repo/src/opt/copyprop.cc" "src/CMakeFiles/cssame.dir/opt/copyprop.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/copyprop.cc.o.d"
+  "/root/repo/src/opt/cscc.cc" "src/CMakeFiles/cssame.dir/opt/cscc.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/cscc.cc.o.d"
+  "/root/repo/src/opt/licm.cc" "src/CMakeFiles/cssame.dir/opt/licm.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/licm.cc.o.d"
+  "/root/repo/src/opt/licm_expr.cc" "src/CMakeFiles/cssame.dir/opt/licm_expr.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/licm_expr.cc.o.d"
+  "/root/repo/src/opt/lock_independence.cc" "src/CMakeFiles/cssame.dir/opt/lock_independence.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/lock_independence.cc.o.d"
+  "/root/repo/src/opt/lockstats.cc" "src/CMakeFiles/cssame.dir/opt/lockstats.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/lockstats.cc.o.d"
+  "/root/repo/src/opt/optimize.cc" "src/CMakeFiles/cssame.dir/opt/optimize.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/optimize.cc.o.d"
+  "/root/repo/src/opt/pdce.cc" "src/CMakeFiles/cssame.dir/opt/pdce.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/pdce.cc.o.d"
+  "/root/repo/src/opt/simplify.cc" "src/CMakeFiles/cssame.dir/opt/simplify.cc.o" "gcc" "src/CMakeFiles/cssame.dir/opt/simplify.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/cssame.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/cssame.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/cssame.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/cssame.dir/parser/parser.cc.o.d"
+  "/root/repo/src/pfg/build.cc" "src/CMakeFiles/cssame.dir/pfg/build.cc.o" "gcc" "src/CMakeFiles/cssame.dir/pfg/build.cc.o.d"
+  "/root/repo/src/pfg/dot.cc" "src/CMakeFiles/cssame.dir/pfg/dot.cc.o" "gcc" "src/CMakeFiles/cssame.dir/pfg/dot.cc.o.d"
+  "/root/repo/src/pfg/verify.cc" "src/CMakeFiles/cssame.dir/pfg/verify.cc.o" "gcc" "src/CMakeFiles/cssame.dir/pfg/verify.cc.o.d"
+  "/root/repo/src/ssa/ssa.cc" "src/CMakeFiles/cssame.dir/ssa/ssa.cc.o" "gcc" "src/CMakeFiles/cssame.dir/ssa/ssa.cc.o.d"
+  "/root/repo/src/support/diag.cc" "src/CMakeFiles/cssame.dir/support/diag.cc.o" "gcc" "src/CMakeFiles/cssame.dir/support/diag.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/cssame.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/cssame.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/paper_programs.cc" "src/CMakeFiles/cssame.dir/workload/paper_programs.cc.o" "gcc" "src/CMakeFiles/cssame.dir/workload/paper_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

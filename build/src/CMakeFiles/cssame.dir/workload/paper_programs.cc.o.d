@@ -1,0 +1,3 @@
+src/CMakeFiles/cssame.dir/workload/paper_programs.cc.o: \
+ /root/repo/src/workload/paper_programs.cc /usr/include/stdc-predef.h \
+ /root/repo/src/../src/workload/paper_programs.h

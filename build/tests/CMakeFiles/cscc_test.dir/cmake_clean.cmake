@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cscc_test.dir/cscc_test.cc.o"
+  "CMakeFiles/cscc_test.dir/cscc_test.cc.o.d"
+  "cscc_test"
+  "cscc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cscc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

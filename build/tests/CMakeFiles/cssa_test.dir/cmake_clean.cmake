@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cssa_test.dir/cssa_test.cc.o"
+  "CMakeFiles/cssa_test.dir/cssa_test.cc.o.d"
+  "cssa_test"
+  "cssa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cssa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

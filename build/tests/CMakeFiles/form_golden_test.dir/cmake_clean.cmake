@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/form_golden_test.dir/form_golden_test.cc.o"
+  "CMakeFiles/form_golden_test.dir/form_golden_test.cc.o.d"
+  "form_golden_test"
+  "form_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/form_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_expr_test.dir/licm_expr_test.cc.o"
+  "CMakeFiles/licm_expr_test.dir/licm_expr_test.cc.o.d"
+  "licm_expr_test"
+  "licm_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm_test.dir/licm_test.cc.o"
+  "CMakeFiles/licm_test.dir/licm_test.cc.o.d"
+  "licm_test"
+  "licm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

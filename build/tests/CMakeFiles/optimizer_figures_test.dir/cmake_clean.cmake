@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_figures_test.dir/optimizer_figures_test.cc.o"
+  "CMakeFiles/optimizer_figures_test.dir/optimizer_figures_test.cc.o.d"
+  "optimizer_figures_test"
+  "optimizer_figures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdce_test.dir/pdce_test.cc.o"
+  "CMakeFiles/pdce_test.dir/pdce_test.cc.o.d"
+  "pdce_test"
+  "pdce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/races_test.dir/races_test.cc.o"
+  "CMakeFiles/races_test.dir/races_test.cc.o.d"
+  "races_test"
+  "races_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/races_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

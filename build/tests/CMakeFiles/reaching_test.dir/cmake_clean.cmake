@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaching_test.dir/reaching_test.cc.o"
+  "CMakeFiles/reaching_test.dir/reaching_test.cc.o.d"
+  "reaching_test"
+  "reaching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_property_test.dir/refinement_property_test.cc.o"
+  "CMakeFiles/refinement_property_test.dir/refinement_property_test.cc.o.d"
+  "refinement_property_test"
+  "refinement_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
