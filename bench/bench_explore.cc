@@ -5,6 +5,7 @@
 #include "bench/bench_util.h"
 #include "src/interp/explore.h"
 #include "src/ir/builder.h"
+#include "src/support/budget.h"
 
 namespace {
 
@@ -55,6 +56,25 @@ void BM_Explore_Locked(benchmark::State& state) {
 }
 BENCHMARK(BM_Explore_Locked)->Arg(2)->Arg(3)->Arg(4);
 
+// Budget-bounded exploration: the cost of giving up gracefully. A state
+// cap turns the exponential search into a fixed-size prefix walk; the
+// result still reports how far it got and which budget tripped.
+void BM_Explore_StateBudget(benchmark::State& state) {
+  ir::Program prog = makeRacy(4, 3, false);
+  interp::ExploreOptions opts;
+  opts.maxStates = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    interp::ExploreResult r = interp::exploreAllSchedules(prog, opts);
+    benchmark::DoNotOptimize(r.statesExplored);
+  }
+  interp::ExploreResult r = interp::exploreAllSchedules(prog, opts);
+  state.counters["states"] = static_cast<double>(r.statesExplored);
+  state.counters["complete"] = r.complete ? 1.0 : 0.0;
+  state.counters["tripped"] =
+      r.budgetExceeded == support::BudgetKind::None ? 0.0 : 1.0;
+}
+BENCHMARK(BM_Explore_StateBudget)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,6 +104,20 @@ int main(int argc, char** argv) {
     tableRow("distinct outputs", "1",
              static_cast<long long>(r.outputs.size()),
              r.outputs.size() == 1);
+  }
+  {
+    // Budgeted run on a search too large to finish: must stop at the cap
+    // and name the tripped budget instead of churning forever.
+    ir::Program prog = makeRacy(4, 3, false);
+    interp::ExploreOptions opts;
+    opts.maxStates = 128;
+    interp::ExploreResult r = interp::exploreAllSchedules(prog, opts);
+    tableRow("states under a 128-state budget", "<= 129",
+             static_cast<long long>(r.statesExplored),
+             r.statesExplored <= 129 &&
+                 r.budgetExceeded == support::BudgetKind::States);
+    std::printf("  tripped budget: %s (complete=%d)\n",
+                support::budgetKindName(r.budgetExceeded), r.complete);
   }
   std::printf("\n");
   return runBenchmarks(argc, argv);

@@ -1,6 +1,29 @@
 #include "src/driver/pipeline.h"
 
+#include "src/ir/verify.h"
+#include "src/pfg/verify.h"
+
 namespace cssame::driver {
+
+namespace {
+
+/// Renders a violation list as one fault message: the first violation
+/// verbatim plus a count of the rest.
+std::string summarize(const std::vector<std::string>& problems) {
+  std::string msg = problems.front();
+  if (problems.size() > 1)
+    msg += " (+" + std::to_string(problems.size() - 1) + " more)";
+  return msg;
+}
+
+Fault makeFault(FaultKind kind, std::string stage, std::string message,
+                DiagEngine* diag) {
+  Fault fault{kind, std::move(stage), std::move(message)};
+  if (diag != nullptr) diag->reportFault(fault);
+  return fault;
+}
+
+}  // namespace
 
 Compilation::Compilation(ir::Program& program, PipelineOptions opts)
     : program_(&program) {
@@ -18,6 +41,36 @@ Compilation::Compilation(ir::Program& program, PipelineOptions opts)
   piStats_ = cssa::placePiTerms(*graph_, *ssa_, *mhp_);
   if (opts.enableCssame)
     rewriteStats_ = cssa::rewritePiTerms(*graph_, *ssa_, *mutexes_);
+}
+
+std::vector<std::string> Compilation::verifyAll() const {
+  std::vector<std::string> problems = ir::verify(*program_);
+  for (std::string& p : pfg::verifyGraph(*graph_))
+    problems.push_back("pfg: " + std::move(p));
+  for (std::string& p : ssa_->verify(*graph_))
+    problems.push_back("ssa: " + std::move(p));
+  return problems;
+}
+
+Expected<Compilation> tryAnalyze(ir::Program& program, PipelineOptions opts,
+                                 DiagEngine* diag) {
+  const std::vector<std::string> inputProblems = ir::verify(program);
+  if (!inputProblems.empty())
+    return makeFault(FaultKind::VerifyError, "ir-verify",
+                     summarize(inputProblems), diag);
+  try {
+    Compilation comp(program, opts);
+    if (opts.verifyEachPass) {
+      const std::vector<std::string> problems = comp.verifyAll();
+      if (!problems.empty())
+        return makeFault(FaultKind::VerifyError, "analyze",
+                         summarize(problems), diag);
+    }
+    return comp;
+  } catch (const InvariantError& e) {
+    return makeFault(FaultKind::InvariantViolation, "analyze", e.what(),
+                     diag);
+  }
 }
 
 }  // namespace cssame::driver

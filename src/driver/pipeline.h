@@ -27,6 +27,12 @@ struct PipelineOptions {
   bool enableCssame = true;
   /// Emit Section 6 synchronization warnings (unmatched locks etc.).
   bool warnings = true;
+  /// Hardened mode: tryAnalyze() verifies the input IR before analysis and
+  /// every derived structure (PFG, SSA) afterwards, and the optimizer
+  /// re-runs the full verifier suite — including the CSSAME ⊆ CSSA
+  /// reaching-definition consistency check — after every pass, converting
+  /// violations into structured diagnostics naming the offending pass.
+  bool verifyEachPass = false;
 };
 
 /// The result of analyzing one program. Holds non-owning access to the
@@ -58,6 +64,11 @@ class Compilation {
 
   DiagEngine& diag() { return diag_; }
 
+  /// Runs every structural verifier over this compilation (input IR, PFG,
+  /// SSA form) and returns the combined violation list; empty means
+  /// consistent.
+  [[nodiscard]] std::vector<std::string> verifyAll() const;
+
  private:
   ir::Program* program_;
   std::unique_ptr<pfg::Graph> graph_;
@@ -71,10 +82,21 @@ class Compilation {
   DiagEngine diag_;
 };
 
-/// Analyzes a program already owned by the caller.
+/// Analyzes a program already owned by the caller. Trusted-input entry
+/// point: malformed IR may trip an InvariantError (release) or assert
+/// (debug). Library embedders should prefer tryAnalyze().
 [[nodiscard]] inline Compilation analyze(ir::Program& program,
                                          PipelineOptions opts = {}) {
   return Compilation(program, opts);
 }
+
+/// Structured-failure entry point. Verifies the input IR up front, runs
+/// the full analysis chain with invariant violations contained, and (when
+/// opts.verifyEachPass) re-verifies every derived structure. On failure
+/// returns a Fault naming the stage; if `diag` is non-null the fault is
+/// additionally reported there as an error diagnostic. Never aborts.
+[[nodiscard]] Expected<Compilation> tryAnalyze(ir::Program& program,
+                                               PipelineOptions opts = {},
+                                               DiagEngine* diag = nullptr);
 
 }  // namespace cssame::driver

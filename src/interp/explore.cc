@@ -14,15 +14,36 @@ class Explorer {
       : prog_(prog), opts_(opts) {}
 
   ExploreResult run() {
-    dfs(Machine(prog_), 0);
+    Machine root(prog_);
+    stackBytes_ = root.approxBytes();
+    dfs(std::move(root), 0);
     return std::move(result_);
   }
 
  private:
+  /// Records the first tripped budget; Steps/States/Memory also halt the
+  /// whole search (Depth only ends the current schedule).
+  void trip(support::BudgetKind kind, bool haltSearch) {
+    result_.complete = false;
+    if (result_.budgetExceeded == support::BudgetKind::None)
+      result_.budgetExceeded = kind;
+    halted_ |= haltSearch;
+  }
+
+  [[nodiscard]] std::uint64_t approxMemory() const {
+    // Visited-set entries cost their hash plus bucket overhead.
+    return stackBytes_ + visited_.size() * 2 * sizeof(std::uint64_t);
+  }
+
   void dfs(Machine machine, std::uint64_t depth) {
     while (true) {
-      if (stepsUsed_ >= opts_.maxSteps || depth >= opts_.maxDepthPerRun) {
-        result_.complete = false;
+      if (halted_) return;
+      if (stepsUsed_ >= opts_.maxSteps) {
+        trip(support::BudgetKind::Steps, true);
+        return;
+      }
+      if (depth >= opts_.maxDepthPerRun) {
+        trip(support::BudgetKind::Depth, false);
         return;
       }
       if (!machine.anyAlive()) {
@@ -40,6 +61,14 @@ class Explorer {
       // output) was explored before, every continuation was too.
       if (!visited_.insert(machine.stateHash()).second) return;
       ++result_.statesExplored;
+      if (result_.statesExplored > opts_.maxStates) {
+        trip(support::BudgetKind::States, true);
+        return;
+      }
+      if (approxMemory() > opts_.maxMemoryBytes) {
+        trip(support::BudgetKind::Memory, true);
+        return;
+      }
 
       // Fork on every choice but the first; continue the first in place
       // (avoids one copy per level on the leftmost path).
@@ -47,9 +76,13 @@ class Explorer {
         Machine fork = machine;
         fork.stepThread(ready[i]);
         ++stepsUsed_;
+        const std::uint64_t forkBytes = fork.approxBytes();
+        stackBytes_ += forkBytes;
         dfs(std::move(fork), depth + 1);
+        stackBytes_ -= forkBytes;
+        if (halted_) return;
         if (stepsUsed_ >= opts_.maxSteps) {
-          result_.complete = false;
+          trip(support::BudgetKind::Steps, true);
           return;
         }
       }
@@ -64,6 +97,8 @@ class Explorer {
   ExploreResult result_;
   std::unordered_set<std::uint64_t> visited_;
   std::uint64_t stepsUsed_ = 0;
+  std::uint64_t stackBytes_ = 0;
+  bool halted_ = false;
 };
 
 }  // namespace

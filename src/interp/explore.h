@@ -21,18 +21,28 @@
 #include <vector>
 
 #include "src/ir/program.h"
+#include "src/support/budget.h"
 
 namespace cssame::interp {
 
 struct ExploreOptions {
   std::uint64_t maxSteps = 1u << 21;    ///< total step budget (all branches)
   std::uint64_t maxDepthPerRun = 4096;  ///< per-schedule step bound
+  std::uint64_t maxStates = 1u << 22;   ///< deduplicated dynamic states
+  /// Approximate cap on explorer memory (visited-state set + the machine
+  /// copies live on the DFS stack). Exceeding it ends exploration
+  /// gracefully with a BudgetExceeded outcome instead of an OOM kill.
+  std::uint64_t maxMemoryBytes = 512u << 20;
 };
 
 struct ExploreResult {
   /// Every distinct output sequence over all schedules.
   std::set<std::vector<long long>> outputs;
   bool complete = true;       ///< false if a budget was exhausted
+  /// First budget that tripped (None when complete). Depth only bounds a
+  /// single schedule, so exploration continues past a Depth trip; Steps,
+  /// States and Memory halt the whole search.
+  support::BudgetKind budgetExceeded = support::BudgetKind::None;
   bool anyDeadlock = false;   ///< some schedule deadlocks
   bool anyLockError = false;  ///< some schedule unlocks without holding
   std::uint64_t statesExplored = 0;

@@ -9,9 +9,24 @@ namespace cssame::interp {
 RunResult run(const ir::Program& program, InterpOptions opts) {
   Machine machine(program);
   std::mt19937_64 rng(opts.seed);
-  while (machine.result().steps < opts.maxSteps) {
+  support::BudgetKind exceeded = support::BudgetKind::None;
+  while (true) {
+    if (machine.result().steps >= opts.maxSteps) {
+      exceeded = support::BudgetKind::Steps;
+      break;
+    }
     if (!machine.anyAlive()) {
       machine.markCompleted();
+      break;
+    }
+    if (machine.threadCount() > opts.maxThreads) {
+      exceeded = support::BudgetKind::Threads;
+      break;
+    }
+    // The footprint walk is linear in the thread count; amortize it.
+    if ((machine.result().steps & 0xff) == 0 &&
+        machine.approxBytes() > opts.maxMemoryBytes) {
+      exceeded = support::BudgetKind::Memory;
       break;
     }
     const std::vector<std::size_t> ready = machine.readyThreads();
@@ -23,7 +38,9 @@ RunResult run(const ir::Program& program, InterpOptions opts) {
         0, ready.size() - 1)(rng)];
     machine.stepThread(pick);
   }
-  return std::move(machine).takeResult();
+  RunResult result = std::move(machine).takeResult();
+  result.budgetExceeded = exceeded;
+  return result;
 }
 
 std::vector<RunResult> runManySeeds(const ir::Program& program,

@@ -28,12 +28,18 @@
 #include <vector>
 
 #include "src/ir/program.h"
+#include "src/support/budget.h"
 
 namespace cssame::interp {
 
 struct InterpOptions {
   std::uint64_t seed = 1;           ///< scheduler seed (deterministic)
   std::uint64_t maxSteps = 1u << 22;  ///< fuel; exceeding marks !completed
+  /// Budget caps beyond fuel: live-thread and approximate-memory limits.
+  /// Exceeding any cap ends the run gracefully with `budgetExceeded` set
+  /// to the first cap that tripped — never a hang or OOM kill.
+  std::uint64_t maxThreads = 1u << 16;
+  std::uint64_t maxMemoryBytes = 256u << 20;
 };
 
 struct LockStats {
@@ -47,6 +53,9 @@ struct RunResult {
   bool completed = false;          ///< ran to the end
   bool deadlocked = false;         ///< no thread could make progress
   bool lockError = false;          ///< unlock without holding
+  /// First resource budget that ended the run (None when the run finished
+  /// or deadlocked within budget).
+  support::BudgetKind budgetExceeded = support::BudgetKind::None;
   std::uint64_t steps = 0;
   std::unordered_map<SymbolId, LockStats> lockStats;
 

@@ -65,6 +65,27 @@ class Machine {
       ++result_.lockStats[l].holdSteps;
   }
 
+  [[nodiscard]] std::size_t threadCount() const { return threads_.size(); }
+
+  /// Approximate dynamic-state footprint in bytes, for memory budgets.
+  /// Counts the owned containers, not the shared (read-only) program.
+  [[nodiscard]] std::uint64_t approxBytes() const {
+    std::uint64_t bytes = sizeof(Machine);
+    bytes += vars_.capacity() * sizeof(long long);
+    bytes += eventSet_.capacity() / 8;
+    bytes += lockHolder_.capacity() * sizeof(std::size_t);
+    bytes += result_.output.capacity() * sizeof(long long);
+    bytes += result_.lockStats.size() * (sizeof(SymbolId) + sizeof(LockStats));
+    for (const Thread& t : threads_) {
+      bytes += sizeof(Thread);
+      bytes += t.frames.capacity() * sizeof(Frame);
+      bytes += t.children.capacity() * sizeof(std::size_t);
+      bytes += t.siblings.capacity() * sizeof(std::size_t);
+      bytes += t.heldLocks.capacity() * sizeof(SymbolId);
+    }
+    return bytes;
+  }
+
   [[nodiscard]] const RunResult& result() const { return result_; }
   [[nodiscard]] RunResult takeResult() && { return std::move(result_); }
   void markCompleted() { result_.completed = true; }

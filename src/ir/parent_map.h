@@ -2,10 +2,10 @@
 // splice statements out of / into their owning statement lists.
 #pragma once
 
-#include <cassert>
 #include <unordered_map>
 
 #include "src/ir/program.h"
+#include "src/support/status.h"
 
 namespace cssame::ir {
 
@@ -22,7 +22,7 @@ class ParentMap {
 
   [[nodiscard]] const ParentInfo& info(const Stmt* s) const {
     auto it = map_.find(s);
-    assert(it != map_.end() && "statement not in program");
+    CSSAME_CHECK(it != map_.end(), "statement not in program");
     return it->second;
   }
 
@@ -31,8 +31,7 @@ class ParentMap {
     const ParentInfo& pi = info(s);
     for (std::size_t i = 0; i < pi.list->size(); ++i)
       if ((*pi.list)[i].get() == s) return i;
-    assert(false && "statement not in its parent list");
-    return 0;
+    CSSAME_UNREACHABLE("statement not in its parent list");
   }
 
   /// Removes `s` from its owning list and returns ownership.

@@ -6,7 +6,6 @@
 // and opaque external functions (`f(a)` in Figure 1).
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -14,6 +13,7 @@
 
 #include "src/support/ids.h"
 #include "src/support/source_loc.h"
+#include "src/support/status.h"
 
 namespace cssame::ir {
 
@@ -60,11 +60,13 @@ class SymbolTable {
   }
 
   [[nodiscard]] const Symbol& operator[](SymbolId id) const {
-    assert(id.valid() && id.index() < symbols_.size());
+    CSSAME_CHECK(id.valid() && id.index() < symbols_.size(),
+                 "symbol id out of range");
     return symbols_[id.index()];
   }
   [[nodiscard]] Symbol& operator[](SymbolId id) {
-    assert(id.valid() && id.index() < symbols_.size());
+    CSSAME_CHECK(id.valid() && id.index() < symbols_.size(),
+                 "symbol id out of range");
     return symbols_[id.index()];
   }
 

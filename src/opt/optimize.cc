@@ -1,5 +1,9 @@
 #include "src/opt/optimize.h"
 
+#include "src/cssa/reaching.h"
+#include "src/ir/verify.h"
+#include "src/support/faultinject.h"
+
 namespace cssame::opt {
 
 namespace {
@@ -22,56 +26,151 @@ void accumulate(LicmStats& total, const LicmStats& step) {
   total.bodiesRemoved += step.bodiesRemoved;
 }
 
+/// Runs the pass pipeline with every pass boundary hardened: exceptions
+/// are converted to faults, the fault-injection hook runs after each pass
+/// body, and (in verifyEachPass mode) the full verifier suite re-runs so
+/// corruption is caught — and attributed — at the pass that introduced it.
+class CheckedOptimizer {
+ public:
+  CheckedOptimizer(ir::Program& program, OptimizeOptions opts)
+      : prog_(program),
+        opts_(opts),
+        pipeOpts_{.enableCssame = opts.cssame, .warnings = false} {}
+
+  OptimizeResult run() {
+    for (int iter = 0; iter < opts_.maxIterations && out_.ok(); ++iter) {
+      ++out_.report.iterations;
+      bool changed = false;
+
+      changed |= runPass("simplify", opts_.simplify, [&] {
+        const SimplifyStats step = simplifyExpressions(prog_);
+        out_.report.simplify.rewrites += step.rewrites;
+        return step.changedIr();
+      });
+      changed |= runPass("cscc", opts_.constProp, [&] {
+        driver::Compilation c = driver::analyze(prog_, pipeOpts_);
+        const ConstPropStats step = propagateConstants(c);
+        accumulate(out_.report.constProp, step);
+        return step.changedIr();
+      });
+      changed |= runPass("copyprop", opts_.copyProp, [&] {
+        driver::Compilation c = driver::analyze(prog_, pipeOpts_);
+        const CopyPropStats step = propagateCopies(c);
+        out_.report.copyProp.usesRewritten += step.usesRewritten;
+        return step.changedIr();
+      });
+      changed |= runPass("pdce", opts_.deadCode, [&] {
+        driver::Compilation c = driver::analyze(prog_, pipeOpts_);
+        const DceStats step = eliminateDeadCode(c);
+        accumulate(out_.report.deadCode, step);
+        return step.changedIr();
+      });
+      changed |= runPass("licm", opts_.lockMotion, [&] {
+        driver::Compilation c = driver::analyze(prog_, pipeOpts_);
+        const LicmStats step = moveLockIndependentCode(c);
+        accumulate(out_.report.lockMotion, step);
+        return step.changedIr();
+      });
+      changed |= runPass("licm-expr", opts_.exprMotion, [&] {
+        driver::Compilation c = driver::analyze(prog_, pipeOpts_);
+        const ExprHoistStats step = hoistLockIndependentExpressions(c);
+        out_.report.exprMotion.exprsHoisted += step.exprsHoisted;
+        out_.report.exprMotion.opsHoisted += step.opsHoisted;
+        return step.changedIr();
+      });
+
+      if (!changed) break;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  template <typename Fn>
+  bool runPass(const char* name, bool enabled, Fn&& fn) {
+    if (!enabled || !out_.ok()) return false;
+    bool changed = false;
+    try {
+      changed = fn();
+      support::FaultInjector::instance().visitSite(name, prog_);
+    } catch (const InvariantError& e) {
+      fail(FaultKind::InvariantViolation, name, e.what());
+      return false;
+    } catch (const std::exception& e) {
+      fail(FaultKind::PassError, name, e.what());
+      return false;
+    }
+    if (opts_.verifyEachPass) verifyAfter(name);
+    return changed && out_.ok();
+  }
+
+  void verifyAfter(const char* pass) {
+    const std::vector<std::string> irProblems = ir::verify(prog_);
+    if (!irProblems.empty()) {
+      fail(FaultKind::VerifyError, pass,
+           "ir verification failed after pass: " + irProblems.front() +
+               (irProblems.size() > 1
+                    ? " (+" + std::to_string(irProblems.size() - 1) + " more)"
+                    : ""));
+      return;
+    }
+    try {
+      // Rebuild both forms and re-verify the derived structures.
+      driver::PipelineOptions plainOpts{.enableCssame = false,
+                                        .warnings = false};
+      driver::Compilation plain = driver::analyze(prog_, plainOpts);
+      driver::PipelineOptions fullOpts{.enableCssame = true,
+                                       .warnings = false};
+      driver::Compilation full = driver::analyze(prog_, fullOpts);
+      const std::vector<std::string> problems = full.verifyAll();
+      if (!problems.empty()) {
+        fail(FaultKind::VerifyError, pass,
+             "derived-structure verification failed after pass: " +
+                 problems.front());
+        return;
+      }
+      // CSSAME only ever *removes* π reaching paths that mutual exclusion
+      // proves dead, so for every use the CSSAME reaching-definition set
+      // must stay within the CSSA set (paper Theorem 2).
+      const cssa::ReachingInfo rPlain =
+          cssa::computeParallelReachingDefs(plain.graph(), plain.ssa());
+      const cssa::ReachingInfo rFull =
+          cssa::computeParallelReachingDefs(full.graph(), full.ssa());
+      for (const auto& [use, defs] : rFull.defsOf) {
+        if (defs.size() > rPlain.defs(use).size()) {
+          fail(FaultKind::VerifyError, pass,
+               "CSSAME reaching-definition set exceeds the CSSA set after "
+               "pass (" +
+                   std::to_string(defs.size()) + " > " +
+                   std::to_string(rPlain.defs(use).size()) + ")");
+          return;
+        }
+      }
+    } catch (const InvariantError& e) {
+      fail(FaultKind::InvariantViolation, pass, e.what());
+    }
+  }
+
+  void fail(FaultKind kind, const char* pass, std::string message) {
+    if (!out_.ok()) return;  // keep the first fault
+    out_.status = Status::fail(kind, pass, std::move(message));
+    out_.diag.reportFault(out_.status.fault());
+  }
+
+  ir::Program& prog_;
+  OptimizeOptions opts_;
+  driver::PipelineOptions pipeOpts_;
+  OptimizeResult out_;
+};
+
 }  // namespace
 
+OptimizeResult optimizeProgramChecked(ir::Program& program,
+                                      OptimizeOptions opts) {
+  return CheckedOptimizer(program, opts).run();
+}
+
 OptimizeReport optimizeProgram(ir::Program& program, OptimizeOptions opts) {
-  OptimizeReport report;
-  const driver::PipelineOptions pipeOpts{.enableCssame = opts.cssame,
-                                         .warnings = false};
-
-  for (int iter = 0; iter < opts.maxIterations; ++iter) {
-    ++report.iterations;
-    bool changed = false;
-
-    if (opts.simplify) {
-      const SimplifyStats step = simplifyExpressions(program);
-      report.simplify.rewrites += step.rewrites;
-      changed |= step.changedIr();
-    }
-    if (opts.constProp) {
-      driver::Compilation c = driver::analyze(program, pipeOpts);
-      const ConstPropStats step = propagateConstants(c);
-      accumulate(report.constProp, step);
-      changed |= step.changedIr();
-    }
-    if (opts.copyProp) {
-      driver::Compilation c = driver::analyze(program, pipeOpts);
-      const CopyPropStats step = propagateCopies(c);
-      report.copyProp.usesRewritten += step.usesRewritten;
-      changed |= step.changedIr();
-    }
-    if (opts.deadCode) {
-      driver::Compilation c = driver::analyze(program, pipeOpts);
-      const DceStats step = eliminateDeadCode(c);
-      accumulate(report.deadCode, step);
-      changed |= step.changedIr();
-    }
-    if (opts.lockMotion) {
-      driver::Compilation c = driver::analyze(program, pipeOpts);
-      const LicmStats step = moveLockIndependentCode(c);
-      accumulate(report.lockMotion, step);
-      changed |= step.changedIr();
-    }
-    if (opts.exprMotion) {
-      driver::Compilation c = driver::analyze(program, pipeOpts);
-      const ExprHoistStats step = hoistLockIndependentExpressions(c);
-      report.exprMotion.exprsHoisted += step.exprsHoisted;
-      report.exprMotion.opsHoisted += step.opsHoisted;
-      changed |= step.changedIr();
-    }
-    if (!changed) break;
-  }
-  return report;
+  return optimizeProgramChecked(program, opts).report;
 }
 
 }  // namespace cssame::opt

@@ -22,6 +22,11 @@ struct OptimizeOptions {
   /// Use CSSAME (π rewriting). Disable for the CSSA-only ablation.
   bool cssame = true;
   int maxIterations = 8;
+  /// Hardened mode: after every pass re-run the ir/pfg/ssa verifiers plus
+  /// the CSSAME ⊆ CSSA reaching-definition consistency check; violations
+  /// become structured diagnostics naming the offending pass and stop the
+  /// pipeline (see docs/ROBUSTNESS.md).
+  bool verifyEachPass = false;
 };
 
 struct OptimizeReport {
@@ -34,8 +39,30 @@ struct OptimizeReport {
   int iterations = 0;
 };
 
+/// Outcome of the hardened optimizer entry point. `status` is the first
+/// fault encountered (its `pass` field names the offending pass); `diag`
+/// carries one structured error diagnostic per violation. When !ok() the
+/// program may hold the partial result of the passes that ran before the
+/// fault — callers must treat it as suspect.
+struct OptimizeResult {
+  OptimizeReport report;
+  Status status;
+  DiagEngine diag;
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+};
+
 /// Optimizes the program in place and returns accumulated statistics.
+/// Trusted-input convenience wrapper over optimizeProgramChecked(); any
+/// pass fault is silently swallowed (the report still reflects the passes
+/// that ran). Library embedders should prefer the checked entry point.
 OptimizeReport optimizeProgram(ir::Program& program,
                                OptimizeOptions opts = {});
+
+/// Structured-failure entry point: pass-level invariant violations,
+/// verifier findings and injected faults are contained at the pass
+/// boundary and returned as a Fault naming the pass — never an abort.
+[[nodiscard]] OptimizeResult optimizeProgramChecked(ir::Program& program,
+                                                    OptimizeOptions opts = {});
 
 }  // namespace cssame::opt

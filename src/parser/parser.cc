@@ -530,15 +530,28 @@ ir::Program parseProgram(std::string_view source, DiagEngine& diag) {
   return Parser(std::move(lexed.tokens), diag).run();
 }
 
+Status ParseResult::status() const {
+  if (ok()) return Status::okStatus();
+  for (const auto& d : diag.diagnostics())
+    if (d.severity == DiagSeverity::Error)
+      return Status::fail(FaultKind::ParseError, "parse", d.str());
+  return Status::fail(FaultKind::ParseError, "parse", "parse failed");
+}
+
+ParseResult parseChecked(std::string_view source) {
+  ParseResult result;
+  result.program = parseProgram(source, result.diag);
+  return result;
+}
+
 ir::Program parseOrDie(std::string_view source) {
-  DiagEngine diag;
-  ir::Program prog = parseProgram(source, diag);
-  if (diag.hasErrors()) {
-    for (const auto& d : diag.diagnostics())
+  ParseResult result = parseChecked(source);
+  if (!result.ok()) {
+    for (const auto& d : result.diag.diagnostics())
       std::fprintf(stderr, "%s\n", d.str().c_str());
     std::abort();
   }
-  return prog;
+  return std::move(result.program);
 }
 
 }  // namespace cssame::parser

@@ -36,8 +36,25 @@ namespace cssame::parser {
 [[nodiscard]] ir::Program parseProgram(std::string_view source,
                                        DiagEngine& diag);
 
+/// Self-contained parse outcome for library embedders: the (possibly
+/// partial) program plus the diagnostics it produced. Never aborts.
+struct ParseResult {
+  ir::Program program;
+  DiagEngine diag;
+
+  [[nodiscard]] bool ok() const { return !diag.hasErrors(); }
+  /// ok() → okStatus; otherwise a ParseError fault carrying the first
+  /// error diagnostic's rendered message.
+  [[nodiscard]] Status status() const;
+};
+
+/// Parses source text and returns program + diagnostics as one value —
+/// the structured-failure entry point; embedders are never killed.
+[[nodiscard]] ParseResult parseChecked(std::string_view source);
+
 /// Test/example helper: parses and aborts with the diagnostics printed if
-/// the source does not parse cleanly.
+/// the source does not parse cleanly. Thin wrapper over parseChecked();
+/// the only aborting path in the front end — do not use from library code.
 [[nodiscard]] ir::Program parseOrDie(std::string_view source);
 
 }  // namespace cssame::parser

@@ -10,12 +10,12 @@
 //              access the same shared variable, labelled def/use.
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <vector>
 
 #include "src/ir/program.h"
 #include "src/support/ids.h"
+#include "src/support/status.h"
 
 namespace cssame::pfg {
 
@@ -119,11 +119,13 @@ class Graph {
   }
 
   [[nodiscard]] Node& node(NodeId id) {
-    assert(id.valid() && id.index() < nodes_.size());
+    CSSAME_CHECK(id.valid() && id.index() < nodes_.size(),
+                 "pfg node id out of range");
     return nodes_[id.index()];
   }
   [[nodiscard]] const Node& node(NodeId id) const {
-    assert(id.valid() && id.index() < nodes_.size());
+    CSSAME_CHECK(id.valid() && id.index() < nodes_.size(),
+                 "pfg node id out of range");
     return nodes_[id.index()];
   }
 

@@ -14,6 +14,10 @@ const char* diagCodeName(DiagCode code) {
     case DiagCode::InconsistentLocking: return "inconsistent-locking";
     case DiagCode::PotentialDataRace: return "potential-data-race";
     case DiagCode::PotentialDeadlock: return "potential-deadlock";
+    case DiagCode::VerifyFailed: return "verify-failed";
+    case DiagCode::InvariantViolation: return "invariant-violation";
+    case DiagCode::BudgetExceeded: return "budget-exceeded";
+    case DiagCode::PassFailure: return "pass-failure";
   }
   return "unknown";
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/support/source_loc.h"
+#include "src/support/status.h"
 
 namespace cssame {
 
@@ -29,6 +30,11 @@ enum class DiagCode {
   InconsistentLocking, // shared var written under different/absent locks
   PotentialDataRace,   // conflicting unsynchronized accesses
   PotentialDeadlock,   // opposite lock acquisition orders / order cycles
+  // Pipeline hardening (structured failure paths).
+  VerifyFailed,        // ir/pfg/ssa verifier violations after a pass
+  InvariantViolation,  // CSSAME_CHECK tripped inside an analysis/pass
+  BudgetExceeded,      // a resource budget was exhausted
+  PassFailure,         // an optimization pass failed and was rolled off
 };
 
 [[nodiscard]] const char* diagCodeName(DiagCode code);
@@ -56,6 +62,26 @@ class DiagEngine {
   }
   void warn(DiagCode code, SourceLoc loc, std::string msg) {
     report(DiagSeverity::Warning, code, loc, std::move(msg));
+  }
+
+  /// Records a structured pipeline fault as an error diagnostic. The
+  /// message names the failing pass/stage so callers (and logs) can
+  /// attribute the failure without parsing free text.
+  void reportFault(const Fault& fault) {
+    DiagCode code = DiagCode::PassFailure;
+    switch (fault.kind) {
+      case FaultKind::ParseError: code = DiagCode::SyntaxError; break;
+      case FaultKind::VerifyError: code = DiagCode::VerifyFailed; break;
+      case FaultKind::InvariantViolation:
+        code = DiagCode::InvariantViolation;
+        break;
+      case FaultKind::BudgetExceeded: code = DiagCode::BudgetExceeded; break;
+      case FaultKind::PassError:
+      case FaultKind::None:
+        code = DiagCode::PassFailure;
+        break;
+    }
+    error(code, SourceLoc{}, fault.str());
   }
 
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {

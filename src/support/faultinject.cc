@@ -1,0 +1,293 @@
+#include "src/support/faultinject.h"
+
+#include <random>
+
+#include "src/support/status.h"
+
+namespace cssame::support {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtList;
+using ir::SymbolKind;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<Stmt*> collectStmts(ir::Program& prog) {
+  std::vector<Stmt*> stmts;
+  ir::forEachStmt(prog.body, [&](Stmt& s) { stmts.push_back(&s); });
+  return stmts;
+}
+
+void collectLists(StmtList& list, std::vector<StmtList*>& out) {
+  out.push_back(&list);
+  for (auto& s : list) {
+    collectLists(s->thenBody, out);
+    collectLists(s->elseBody, out);
+    for (auto& t : s->threads) collectLists(t.body, out);
+  }
+}
+
+std::vector<Expr*> collectExprs(ir::Program& prog, ExprKind kind) {
+  std::vector<Expr*> exprs;
+  ir::forEachStmt(prog.body, [&](Stmt& s) {
+    if (!s.expr) return;
+    ir::forEachExpr(*s.expr, [&](Expr& e) {
+      if (e.kind == kind) exprs.push_back(&e);
+    });
+  });
+  return exprs;
+}
+
+/// A symbol whose kind differs from `avoid`, preferred for retargeting a
+/// reference so the verifier flags a kind mismatch. Invalid id if the
+/// table has no such symbol.
+SymbolId wrongKindSymbol(const ir::Program& prog, SymbolKind avoid,
+                         std::uint64_t pick) {
+  std::vector<SymbolId> candidates;
+  for (const auto& sym : prog.symbols.all())
+    if (sym.kind != avoid) candidates.push_back(sym.id);
+  if (candidates.empty()) return SymbolId{};
+  return candidates[pick % candidates.size()];
+}
+
+template <typename T>
+T* pick(std::vector<T*>& v, std::uint64_t h) {
+  return v.empty() ? nullptr : v[h % v.size()];
+}
+
+std::vector<Stmt*> stmtsOfKind(const std::vector<Stmt*>& all, StmtKind kind) {
+  std::vector<Stmt*> out;
+  for (Stmt* s : all)
+    if (s->kind == kind) out.push_back(s);
+  return out;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  plan_ = plan;
+  armed_ = true;
+  visits_ = 0;
+  firedAt_.clear();
+  injected_.clear();
+}
+
+void FaultInjector::disarm() {
+  armed_ = false;
+  visits_ = 0;
+  firedAt_.clear();
+  injected_.clear();
+}
+
+void FaultInjector::visitSite(std::string_view site, ir::Program& program) {
+  if (!armed_) return;
+  const int visit = visits_++;
+  if (!firedAt_.empty() || visit != plan_.fireAtSite) return;
+  firedAt_ = std::string(site);
+  if (plan_.mode == FaultMode::Throw) {
+    throw InvariantError("injected fault at pass '" + firedAt_ + "'");
+  }
+  injected_ = corruptProgram(program, plan_.seed);
+}
+
+std::string corruptProgram(ir::Program& program, std::uint64_t seed) {
+  std::vector<Stmt*> stmts = collectStmts(program);
+  if (stmts.empty()) return {};
+  const std::uint64_t h = mix(seed);
+
+  constexpr int kKinds = 8;
+  for (int attempt = 0; attempt < kKinds; ++attempt) {
+    switch ((seed + static_cast<std::uint64_t>(attempt)) % kKinds) {
+      case 0: {  // assignment target becomes a non-variable symbol
+        std::vector<Stmt*> assigns = stmtsOfKind(stmts, StmtKind::Assign);
+        Stmt* s = pick(assigns, h);
+        if (s == nullptr) break;
+        const SymbolId bad = wrongKindSymbol(program, SymbolKind::Var, h);
+        s->lhs = bad;
+        return "assign-lhs retargeted to " +
+               (bad.valid() ? program.symbols.nameOf(bad)
+                            : std::string("<invalid>"));
+      }
+      case 1: {  // drop a required operand expression
+        std::vector<Stmt*> withExpr;
+        for (Stmt* s : stmts)
+          if (s->expr && (s->kind == StmtKind::Assign ||
+                          s->kind == StmtKind::Print ||
+                          s->kind == StmtKind::If || s->kind == StmtKind::While))
+            withExpr.push_back(s);
+        Stmt* s = pick(withExpr, h);
+        if (s == nullptr) break;
+        s->expr.reset();
+        return std::string("dropped operand of ") + ir::stmtKindName(s->kind);
+      }
+      case 2: {  // duplicate statement id
+        if (stmts.size() < 2) break;
+        Stmt* a = stmts[h % stmts.size()];
+        Stmt* b = stmts[(h / 7 + 1) % stmts.size()];
+        if (a == b) b = stmts[(h % stmts.size() + 1) % stmts.size()];
+        if (a == b) break;
+        b->id = a->id;
+        return "duplicated stmt id #" + std::to_string(a->id.value());
+      }
+      case 3: {  // statement id out of range
+        Stmt* s = stmts[h % stmts.size()];
+        s->id = StmtId{static_cast<StmtId::value_type>(
+            program.numStmtIds() + 7)};
+        return "stmt id pushed out of range";
+      }
+      case 4: {  // variable reference to a non-variable symbol
+        std::vector<Expr*> refs = collectExprs(program, ExprKind::VarRef);
+        Expr* e = pick(refs, h);
+        if (e == nullptr) break;
+        e->var = wrongKindSymbol(program, SymbolKind::Var, h);
+        return "var-ref retargeted to non-variable";
+      }
+      case 5: {  // lock operation on a non-lock symbol
+        std::vector<Stmt*> locks = stmtsOfKind(stmts, StmtKind::Lock);
+        for (Stmt* s : stmtsOfKind(stmts, StmtKind::Unlock))
+          locks.push_back(s);
+        Stmt* s = pick(locks, h);
+        if (s == nullptr) break;
+        s->sync = wrongKindSymbol(program, SymbolKind::Lock, h);
+        return "lock-op retargeted to non-lock";
+      }
+      case 6: {  // cobegin stripped of all threads
+        std::vector<Stmt*> cobegins = stmtsOfKind(stmts, StmtKind::Cobegin);
+        Stmt* s = pick(cobegins, h);
+        if (s == nullptr) break;
+        s->threads.clear();
+        return "cobegin threads removed";
+      }
+      case 7: {  // event operation on a non-event symbol
+        std::vector<Stmt*> events = stmtsOfKind(stmts, StmtKind::Set);
+        for (Stmt* s : stmtsOfKind(stmts, StmtKind::Wait))
+          events.push_back(s);
+        Stmt* s = pick(events, h);
+        if (s == nullptr) break;
+        s->sync = wrongKindSymbol(program, SymbolKind::Event, h);
+        return "event-op retargeted to non-event";
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> mutateProgram(ir::Program& program,
+                                       std::uint64_t seed) {
+  std::mt19937_64 rng(mix(seed));
+  std::vector<std::string> applied;
+  const int mutations = 1 + static_cast<int>(rng() % 3);
+
+  for (int m = 0; m < mutations; ++m) {
+    // Structural mutations invalidate collected pointers; re-collect for
+    // every mutation.
+    std::vector<Stmt*> stmts = collectStmts(program);
+    if (stmts.empty()) break;
+    const std::uint64_t h = rng();
+
+    switch (rng() % 8) {
+      case 0: {  // retarget a variable reference to an arbitrary symbol
+        std::vector<Expr*> refs = collectExprs(program, ExprKind::VarRef);
+        Expr* e = pick(refs, h);
+        if (e == nullptr) break;
+        const std::size_t n = program.symbols.size();
+        e->var = (h % 8 == 0 || n == 0)
+                     ? SymbolId{}
+                     : SymbolId{static_cast<SymbolId::value_type>(h % n)};
+        applied.push_back("retarget-var-ref");
+        break;
+      }
+      case 1: {  // retarget an assignment target
+        std::vector<Stmt*> assigns = stmtsOfKind(stmts, StmtKind::Assign);
+        Stmt* s = pick(assigns, h);
+        if (s == nullptr || program.symbols.size() == 0) break;
+        s->lhs = SymbolId{
+            static_cast<SymbolId::value_type>(h % program.symbols.size())};
+        applied.push_back("retarget-assign-lhs");
+        break;
+      }
+      case 2: {  // rewrite a binary operator
+        std::vector<Expr*> bins = collectExprs(program, ExprKind::Binary);
+        Expr* e = pick(bins, h);
+        if (e == nullptr) break;
+        e->binop = static_cast<ir::BinOp>(h % 13);
+        applied.push_back("rewrite-binop");
+        break;
+      }
+      case 3: {  // perturb an integer literal (magnitudes kept modest so
+                 // downstream arithmetic cannot overflow)
+        std::vector<Expr*> ints = collectExprs(program, ExprKind::IntConst);
+        Expr* e = pick(ints, h);
+        if (e == nullptr) break;
+        e->intValue = static_cast<long long>(h % 2000001) - 1000000;
+        applied.push_back("perturb-literal");
+        break;
+      }
+      case 4: {  // swap the expressions of two statements
+        std::vector<Stmt*> withExpr;
+        for (Stmt* s : stmts)
+          if (s->expr) withExpr.push_back(s);
+        if (withExpr.size() < 2) break;
+        Stmt* a = withExpr[h % withExpr.size()];
+        Stmt* b = withExpr[(h / 3 + 1) % withExpr.size()];
+        if (a == b) break;
+        std::swap(a->expr, b->expr);
+        applied.push_back("swap-exprs");
+        break;
+      }
+      case 5: {  // delete a statement
+        std::vector<StmtList*> lists;
+        collectLists(program.body, lists);
+        std::vector<StmtList*> nonEmpty;
+        for (StmtList* l : lists)
+          if (!l->empty()) nonEmpty.push_back(l);
+        StmtList* l = pick(nonEmpty, h);
+        if (l == nullptr) break;
+        l->erase(l->begin() + static_cast<std::ptrdiff_t>((h / 5) % l->size()));
+        applied.push_back("delete-stmt");
+        break;
+      }
+      case 6: {  // flip a branch into a loop or vice versa
+        std::vector<Stmt*> branches = stmtsOfKind(stmts, StmtKind::If);
+        for (Stmt* s : stmtsOfKind(stmts, StmtKind::While))
+          branches.push_back(s);
+        Stmt* s = pick(branches, h);
+        if (s == nullptr) break;
+        s->kind = s->kind == StmtKind::If ? StmtKind::While : StmtKind::If;
+        applied.push_back("flip-branch-loop");
+        break;
+      }
+      case 7: {  // retarget a sync operation to an arbitrary symbol
+        std::vector<Stmt*> syncs;
+        for (Stmt* s : stmts)
+          if (s->kind == StmtKind::Lock || s->kind == StmtKind::Unlock ||
+              s->kind == StmtKind::Set || s->kind == StmtKind::Wait)
+            syncs.push_back(s);
+        Stmt* s = pick(syncs, h);
+        if (s == nullptr || program.symbols.size() == 0) break;
+        s->sync = SymbolId{
+            static_cast<SymbolId::value_type>(h % program.symbols.size())};
+        applied.push_back("retarget-sync");
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace cssame::support

@@ -1,0 +1,47 @@
+#include "src/support/status.h"
+
+namespace cssame {
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::ParseError: return "parse-error";
+    case FaultKind::VerifyError: return "verify-error";
+    case FaultKind::InvariantViolation: return "invariant-violation";
+    case FaultKind::BudgetExceeded: return "budget-exceeded";
+    case FaultKind::PassError: return "pass-error";
+  }
+  return "unknown";
+}
+
+std::string Fault::str() const {
+  std::string out = faultKindName(kind);
+  if (!pass.empty()) {
+    out += " in '";
+    out += pass;
+    out += "'";
+  }
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+namespace detail {
+
+void invariantFailed(const char* expr, const char* msg, const char* file,
+                     int line) {
+  std::string what = file;
+  what += ":";
+  what += std::to_string(line);
+  what += ": invariant `";
+  what += expr;
+  what += "` violated: ";
+  what += msg;
+  throw InvariantError(what);
+}
+
+}  // namespace detail
+
+}  // namespace cssame

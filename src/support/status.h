@@ -1,0 +1,147 @@
+// Structured failure paths for the pipeline.
+//
+// The analyses and optimization passes historically assumed well-formed
+// inputs and guarded their invariants with raw `assert`s — a malformed
+// program or buggy pass would abort the whole process. For a library that
+// serves many compilations from one long-lived process, every failure must
+// instead degrade into a recoverable, structured value:
+//
+//   - Fault / Status      describe *what* failed (kind), *where* (the
+//                         pipeline stage or pass name) and *why* (message),
+//   - Expected<T>         carries either a result or the Fault that
+//                         prevented producing one,
+//   - InvariantError      the exception thrown by CSSAME_CHECK when a
+//                         release-mode invariant check fails; the driver
+//                         and optimizer entry points catch it at the stage
+//                         boundary and convert it into a Fault,
+//   - CSSAME_CHECK        promotes an invariant from debug-only `assert`
+//                         to a release-checked condition. Debug builds
+//                         still hit the assert first (unchanged behavior);
+//                         release builds throw InvariantError instead of
+//                         silently continuing on corrupted state.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cssame {
+
+enum class FaultKind : std::uint8_t {
+  None,                ///< no fault — the operation succeeded
+  ParseError,          ///< front end rejected the source
+  VerifyError,         ///< ir/pfg/ssa verifier found structural violations
+  InvariantViolation,  ///< a CSSAME_CHECK failed (internal inconsistency)
+  BudgetExceeded,      ///< a step/state/memory budget was exhausted
+  PassError,           ///< an optimization pass failed mid-flight
+};
+
+[[nodiscard]] const char* faultKindName(FaultKind kind);
+
+/// One structured failure: which stage/pass failed and why. `pass` names
+/// the pipeline stage ("analyze", "pfg", ...) or optimization pass
+/// ("cscc", "pdce", ...) that the failure is attributed to.
+struct Fault {
+  FaultKind kind = FaultKind::None;
+  std::string pass;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// A Fault that may also be "ok". Returned by operations that produce no
+/// value; check `ok()` before trusting side effects.
+class Status {
+ public:
+  Status() = default;
+  /*implicit*/ Status(Fault fault) : fault_(std::move(fault)) {}
+
+  [[nodiscard]] static Status okStatus() { return Status(); }
+  [[nodiscard]] static Status fail(FaultKind kind, std::string pass,
+                                   std::string message) {
+    return Status(Fault{kind, std::move(pass), std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const { return fault_.kind == FaultKind::None; }
+  [[nodiscard]] const Fault& fault() const { return fault_; }
+  [[nodiscard]] std::string str() const {
+    return ok() ? "ok" : fault_.str();
+  }
+
+ private:
+  Fault fault_;
+};
+
+/// Either a value or the Fault that prevented producing one.
+template <typename T>
+class Expected {
+ public:
+  /*implicit*/ Expected(T value) : value_(std::move(value)) {}
+  /*implicit*/ Expected(Fault fault) : fault_(std::move(fault)) {
+    assert(fault_.kind != FaultKind::None && "Expected error without kind");
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() {
+    assert(ok() && "Expected::value() on fault");
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const {
+    assert(ok() && "Expected::value() on fault");
+    return *value_;
+  }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] const Fault& fault() const {
+    assert(!ok() && "Expected::fault() on value");
+    return fault_;
+  }
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::okStatus() : Status(fault_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Fault fault_;
+};
+
+/// Thrown by CSSAME_CHECK in release builds. Stage boundaries (driver,
+/// optimizer, fault-injection harness) catch it and convert to a Fault;
+/// it must never escape a public entry point of the checked API.
+class InvariantError : public std::runtime_error {
+ public:
+  InvariantError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Always throws InvariantError with a "file:line: check failed" message.
+[[noreturn]] void invariantFailed(const char* expr, const char* msg,
+                                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace cssame
+
+/// Release-checked invariant. Debug builds abort via assert exactly as the
+/// raw asserts did; with NDEBUG the check still runs and throws
+/// InvariantError so embedders get a structured failure, not memory
+/// corruption.
+#define CSSAME_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      assert(false && (msg));                                           \
+      ::cssame::detail::invariantFailed(#cond, (msg), __FILE__, __LINE__); \
+    }                                                                   \
+  } while (0)
+
+/// Unconditional invariant failure (replaces `assert(false && ...)`).
+#define CSSAME_UNREACHABLE(msg)                                         \
+  do {                                                                  \
+    assert(false && (msg));                                             \
+    ::cssame::detail::invariantFailed("unreachable", (msg), __FILE__,   \
+                                      __LINE__);                        \
+  } while (0)

@@ -1,5 +1,7 @@
 #include "src/workload/generator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <random>
 #include <string>
 #include <vector>
@@ -12,6 +14,13 @@ namespace {
 
 using ir::BinOp;
 using ir::ProgramBuilder;
+
+int clampInt(int v, int lo, int hi) { return std::clamp(v, lo, hi); }
+
+double clampProb(double p) {
+  if (std::isnan(p)) return 0.0;
+  return std::clamp(p, 0.0, 1.0);
+}
 
 class RandomGen {
  public:
@@ -144,12 +153,29 @@ class RandomGen {
 
 }  // namespace
 
+GeneratorConfig GeneratorConfig::sanitized() const {
+  GeneratorConfig cfg = *this;
+  cfg.threads = clampInt(cfg.threads, 1, 256);
+  cfg.sharedVars = clampInt(cfg.sharedVars, 1, 4096);
+  cfg.locks = clampInt(cfg.locks, 1, 1024);
+  cfg.stmtsPerThread = clampInt(cfg.stmtsPerThread, 0, 1 << 16);
+  cfg.maxDepth = clampInt(cfg.maxDepth, 0, 16);
+  cfg.branchProb = clampProb(cfg.branchProb);
+  cfg.loopProb = clampProb(cfg.loopProb);
+  cfg.lockedFraction = clampProb(cfg.lockedFraction);
+  return cfg;
+}
+
 ir::Program generateRandom(const GeneratorConfig& config) {
-  return RandomGen(config).run();
+  return RandomGen(config.sanitized()).run();
 }
 
 ir::Program makeLockStructured(int threads, int regions, int stmtsPerRegion,
                                double lockedFraction, std::uint64_t seed) {
+  threads = clampInt(threads, 1, 256);
+  regions = clampInt(regions, 0, 1 << 12);
+  stmtsPerRegion = clampInt(stmtsPerRegion, 0, 1 << 12);
+  lockedFraction = clampProb(lockedFraction);
   std::mt19937_64 rng(seed);
   auto chance = [&](double p) {
     return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
@@ -198,6 +224,9 @@ ir::Program makeLockStructured(int threads, int regions, int stmtsPerRegion,
 
 ir::Program makeBank(int accounts, int threads, int opsPerThread,
                      std::uint64_t seed) {
+  accounts = clampInt(accounts, 1, 1 << 12);
+  threads = clampInt(threads, 1, 256);
+  opsPerThread = clampInt(opsPerThread, 0, 1 << 12);
   std::mt19937_64 rng(seed);
   auto intIn = [&](long long lo, long long hi) {
     return std::uniform_int_distribution<long long>(lo, hi)(rng);

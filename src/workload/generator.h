@@ -39,6 +39,12 @@ struct GeneratorConfig {
   double lockedFraction = 0.7;  ///< shared accesses inside mutex bodies
   bool useEvents = false;       ///< sprinkle set/wait pairs across threads
   bool determinate = true;      ///< interleaving-independent output
+
+  /// Copy with every field clamped into a safe range (counts positive and
+  /// bounded, probabilities in [0,1], NaNs zeroed). generateRandom applies
+  /// this itself, so arbitrary — fuzzer-chosen — configurations can never
+  /// divide by zero, hand empty ranges to the RNG, or blow up memory.
+  [[nodiscard]] GeneratorConfig sanitized() const;
 };
 
 [[nodiscard]] ir::Program generateRandom(const GeneratorConfig& config);

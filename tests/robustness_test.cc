@@ -4,11 +4,15 @@
 // CSSAME reaching-definition set is a subset of the CSSA set.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <random>
 
 #include "src/cssa/reaching.h"
 #include "src/driver/pipeline.h"
+#include "src/interp/explore.h"
+#include "src/interp/interp.h"
+#include "src/ir/builder.h"
 #include "src/ir/printer.h"
 #include "src/ir/verify.h"
 #include "src/opt/optimize.h"
@@ -153,6 +157,162 @@ TEST(Robustness, OptimizerOnGarbageFreePrograms) {
     driver::Compilation c = driver::analyze(p, {.warnings = false});
     EXPECT_TRUE(c.ssa().verify(c.graph()).empty());
   }
+}
+
+TEST(Robustness, ParseCheckedNeverAborts) {
+  parser::ParseResult bad = parser::parseChecked("int a; a = ((1;");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.status().ok());
+  EXPECT_EQ(bad.status().fault().kind, FaultKind::ParseError);
+  EXPECT_EQ(bad.status().fault().pass, "parse");
+
+  parser::ParseResult good = parser::parseChecked("int a; a = 1;");
+  EXPECT_TRUE(good.ok());
+  EXPECT_TRUE(good.status().ok());
+  EXPECT_EQ(good.program.size(), 1u);
+}
+
+TEST(Robustness, TryAnalyzeRejectsMalformedIrWithStructuredFault) {
+  ir::ProgramBuilder b;
+  const SymbolId L = b.lock("L");
+  b.assign(L, b.lit(1));  // assignment to a lock symbol: ill-formed
+  ir::Program p = b.take();
+
+  DiagEngine diag;
+  Expected<driver::Compilation> result =
+      driver::tryAnalyze(p, {}, &diag);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.fault().kind, FaultKind::VerifyError);
+  EXPECT_EQ(result.fault().pass, "ir-verify");
+  EXPECT_TRUE(diag.hasErrors());
+  EXPECT_EQ(diag.countOf(DiagCode::VerifyFailed), 1u);
+}
+
+TEST(Robustness, TryAnalyzeSucceedsOnWellFormedPrograms) {
+  ir::Program p = workload::makeLockStructured(3, 2, 4, 0.8, 11);
+  Expected<driver::Compilation> result =
+      driver::tryAnalyze(p, {.verifyEachPass = true});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->verifyAll().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Resource budgets: exhaustion must surface as a graceful BudgetExceeded
+// outcome, never a hang or an OOM kill.
+
+/// N racy threads of `stmts` shared increments — exponential interleavings.
+ir::Program makeRacy(int threads, int stmts) {
+  ir::ProgramBuilder b;
+  const SymbolId v = b.var("v");
+  std::vector<ir::ProgramBuilder::BodyFn> bodies;
+  for (int t = 0; t < threads; ++t)
+    bodies.push_back([&b, v, stmts] {
+      for (int s = 0; s < stmts; ++s) b.assign(v, b.add(b.ref(v), b.lit(1)));
+    });
+  b.cobegin(bodies);
+  b.print(b.ref(v));
+  return b.take();
+}
+
+TEST(Budgets, ExplorerStepBudgetExhaustsGracefully) {
+  ir::Program p = makeRacy(4, 4);
+  interp::ExploreResult r =
+      interp::exploreAllSchedules(p, {.maxSteps = 64});
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.budgetExceeded, support::BudgetKind::Steps);
+}
+
+TEST(Budgets, ExplorerStateBudgetExhaustsGracefully) {
+  ir::Program p = makeRacy(4, 4);
+  interp::ExploreResult r =
+      interp::exploreAllSchedules(p, {.maxStates = 16});
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.budgetExceeded, support::BudgetKind::States);
+  EXPECT_LE(r.statesExplored, 17u);
+}
+
+TEST(Budgets, ExplorerMemoryBudgetExhaustsGracefully) {
+  ir::Program p = makeRacy(4, 4);
+  interp::ExploreResult r =
+      interp::exploreAllSchedules(p, {.maxMemoryBytes = 1024});
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.budgetExceeded, support::BudgetKind::Memory);
+}
+
+TEST(Budgets, ExplorerDepthBoundStillCoversOtherSchedules) {
+  ir::Program p = makeRacy(2, 2);
+  interp::ExploreResult r =
+      interp::exploreAllSchedules(p, {.maxDepthPerRun = 3});
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.budgetExceeded, support::BudgetKind::Depth);
+  // Depth only bounds single schedules; the search itself kept going.
+  EXPECT_GT(r.statesExplored, 1u);
+}
+
+TEST(Budgets, ExplorerWithinBudgetReportsComplete) {
+  ir::Program p = makeRacy(2, 2);
+  interp::ExploreResult r = interp::exploreAllSchedules(p);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.budgetExceeded, support::BudgetKind::None);
+}
+
+TEST(Budgets, InterpreterFuelExhaustsGracefullyOnSpinLoop) {
+  ir::Program p = parser::parseOrDie("int a; while (1 > 0) { a = a + 1; }");
+  interp::RunResult r = interp::run(p, {.seed = 3, .maxSteps = 10000});
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.budgetExceeded, support::BudgetKind::Steps);
+  EXPECT_EQ(r.steps, 10000u);
+}
+
+TEST(Budgets, InterpreterCompletionLeavesBudgetClean) {
+  ir::Program p = parser::parseOrDie("int a; a = 2; print(a);");
+  interp::RunResult r = interp::run(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.budgetExceeded, support::BudgetKind::None);
+}
+
+// ---------------------------------------------------------------------------
+// verifyEachPass fuzzing: the hardened optimizer must hold every invariant
+// after every pass across generator shapes.
+
+TEST(Robustness, FuzzOptimizePipelineWithVerifyEachPass) {
+  for (std::uint64_t seed = 500; seed < 540; ++seed) {
+    workload::GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = 2 + static_cast<int>(seed % 3);
+    cfg.stmtsPerThread = 8;
+    cfg.determinate = seed % 2 == 0;
+    cfg.useEvents = seed % 5 == 0;
+    cfg.branchProb = 0.3;
+    cfg.loopProb = 0.2;
+    cfg.maxDepth = 1 + static_cast<int>(seed % 3);
+    ir::Program p = workload::generateRandom(cfg);
+
+    opt::OptimizeResult result = opt::optimizeProgramChecked(
+        p, {.maxIterations = 3, .verifyEachPass = true});
+    EXPECT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status.str();
+    EXPECT_FALSE(result.diag.hasErrors()) << "seed " << seed;
+    EXPECT_TRUE(ir::verify(p).empty()) << "seed " << seed;
+  }
+}
+
+TEST(Robustness, SanitizedGeneratorConfigNeverCrashes) {
+  // Hostile configurations: zero/negative counts, NaN probabilities.
+  workload::GeneratorConfig hostile;
+  hostile.threads = -4;
+  hostile.sharedVars = 0;
+  hostile.locks = -1;
+  hostile.stmtsPerThread = -100;
+  hostile.maxDepth = 999;
+  hostile.branchProb = std::numeric_limits<double>::quiet_NaN();
+  hostile.loopProb = 7.0;
+  hostile.lockedFraction = -3.0;
+  ir::Program p = workload::generateRandom(hostile);
+  EXPECT_TRUE(ir::verify(p).empty());
+  Expected<driver::Compilation> c = driver::tryAnalyze(p);
+  EXPECT_TRUE(c.ok());
 }
 
 }  // namespace
