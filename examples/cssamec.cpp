@@ -11,12 +11,17 @@
 //   --run [seed]      execute under the interleaving interpreter
 //   --races           run the lock-consistency data race checks
 //   --stats           print analysis statistics
+//   --csan            run the full static concurrency analyzer
+//   --sarif[=FILE]    emit all diagnostics as SARIF 2.1.0 (implies --csan);
+//                     FILE defaults to stdout
+//   --json[=FILE]     emit all diagnostics as compact JSON (implies --csan)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/cssa/form_printer.h"
 #include "src/driver/pipeline.h"
@@ -28,6 +33,8 @@
 #include "src/opt/optimize.h"
 #include "src/parser/parser.h"
 #include "src/pfg/dot.h"
+#include "src/sanalysis/csan.h"
+#include "src/sanalysis/sarif.h"
 
 using namespace cssame;
 
@@ -36,15 +43,33 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
-               "[--opt] [--run [seed]] [--races] [--stats] <file>\n");
+               "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
+               "[--sarif[=FILE]] [--json[=FILE]] <file>\n");
   std::exit(2);
+}
+
+/// Writes structured output to `path` ("" = stdout). Exits on I/O failure
+/// so CI runs fail loudly instead of uploading an empty log.
+void writeOut(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::printf("%s\n", text.c_str());
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cssamec: cannot write '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  out << text << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool dumpPfg = false, dumpForm = false, cssame = true, doOpt = false;
-  bool doRun = false, doRaces = false, doStats = false;
+  bool doRun = false, doRaces = false, doStats = false, doCsan = false;
+  bool doSarif = false, doJson = false;
+  std::string sarifPath, jsonPath;
   std::uint64_t seed = 1;
   const char* file = nullptr;
 
@@ -56,7 +81,16 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--opt") == 0) doOpt = true;
     else if (std::strcmp(arg, "--races") == 0) doRaces = true;
     else if (std::strcmp(arg, "--stats") == 0) doStats = true;
-    else if (std::strcmp(arg, "--run") == 0) {
+    else if (std::strcmp(arg, "--csan") == 0) doCsan = true;
+    else if (std::strncmp(arg, "--sarif", 7) == 0 &&
+             (arg[7] == '\0' || arg[7] == '=')) {
+      doSarif = doCsan = true;
+      if (arg[7] == '=') sarifPath = arg + 8;
+    } else if (std::strncmp(arg, "--json", 6) == 0 &&
+               (arg[6] == '\0' || arg[6] == '=')) {
+      doJson = doCsan = true;
+      if (arg[6] == '=') jsonPath = arg + 7;
+    } else if (std::strcmp(arg, "--run") == 0) {
       doRun = true;
       if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
                               argv[i + 1][0])))
@@ -81,7 +115,15 @@ int main(int argc, char** argv) {
   ir::Program prog = parser::parseProgram(buf.str(), diag);
   for (const auto& d : diag.diagnostics())
     std::fprintf(stderr, "%s\n", d.str().c_str());
-  if (diag.hasErrors()) return 1;
+  if (diag.hasErrors()) {
+    // Structured modes still get a log (with the parse errors), so CI can
+    // upload something meaningful for broken inputs.
+    if (doSarif)
+      writeOut(sarifPath, sanalysis::toSarif(diag.diagnostics(), file));
+    if (doJson)
+      writeOut(jsonPath, sanalysis::toJson(diag.diagnostics(), file));
+    return 1;
+  }
 
   driver::Compilation c = driver::analyze(prog, {.enableCssame = cssame});
   for (const auto& d : c.diag().diagnostics())
@@ -93,6 +135,31 @@ int main(int argc, char** argv) {
     mutex::detectDeadlocks(c.graph(), c.mhp(), c.mutexes(), raceDiag);
     for (const auto& d : raceDiag.diagnostics())
       std::fprintf(stderr, "%s\n", d.str().c_str());
+  }
+  if (doCsan) {
+    DiagEngine csanDiag;
+    const sanalysis::CsanReport report = sanalysis::runCsan(c, csanDiag);
+    for (const auto& d : csanDiag.diagnostics())
+      std::fprintf(stderr, "%s\n", d.str().c_str());
+    std::fprintf(stderr,
+                 "csan: %zu finding(s): %zu race(s), %zu inconsistent, "
+                 "%zu deadlock(s), %zu self-deadlock(s), %zu leak(s), "
+                 "%zu body lint(s), %zu unprotected pi read(s)\n",
+                 report.totalFindings(), report.potentialRaces,
+                 report.inconsistentLocking,
+                 report.deadlocks.abbaPairs + report.deadlocks.orderCycles,
+                 report.selfDeadlocks, report.lockLeaks,
+                 report.emptyBodies + report.redundantBodies +
+                     report.overwideBodies,
+                 report.unprotectedPiReads);
+    if (doSarif || doJson) {
+      // One stream in emission order: pipeline warnings, then csan's.
+      std::vector<Diagnostic> all = c.diag().diagnostics();
+      all.insert(all.end(), csanDiag.diagnostics().begin(),
+                 csanDiag.diagnostics().end());
+      if (doSarif) writeOut(sarifPath, sanalysis::toSarif(all, file));
+      if (doJson) writeOut(jsonPath, sanalysis::toJson(all, file));
+    }
   }
   if (doStats) {
     std::printf("statements:        %zu\n", prog.size());

@@ -1,0 +1,23 @@
+// Classic ABBA: T0 acquires L then M, T1 acquires M then L in sibling
+// cobegin arms — csan reports PotentialDeadlock with both acquisition
+// sites as witness notes.
+int a, b;
+lock L, M;
+cobegin {
+  thread T0 {
+    lock(L);
+    lock(M);
+    a = a + 1;
+    unlock(M);
+    unlock(L);
+  }
+  thread T1 {
+    lock(M);
+    lock(L);
+    b = b + 1;
+    unlock(L);
+    unlock(M);
+  }
+}
+print(a);
+print(b);

@@ -1,0 +1,23 @@
+// Paper Figure 1: T1 reads `a` unprotected while T0 writes it under L —
+// csan reports the race with a two-site witness, plus the unprotected
+// pi read feeding f(a).
+int a, b;
+lock L;
+a = 1;
+b = 2;
+cobegin {
+  thread T0 {
+    lock(L);
+    a = a + b;
+    unlock(L);
+  }
+  thread T1 {
+    f(a);
+    lock(L);
+    a = 3;
+    b = b + g(a);
+    unlock(L);
+  }
+}
+print(a);
+print(b);

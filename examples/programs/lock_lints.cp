@@ -1,0 +1,27 @@
+// Lock-lifecycle and mutex-body lint showcase: a self-deadlocking
+// re-acquisition, a leaked lock, an empty body and an over-wide body.
+int a, p, q;
+lock L, M, N;
+cobegin {
+  thread T0 {
+    lock(L);
+    lock(L);      // SelfDeadlock: L already held, locks are not reentrant
+    a = a + 1;
+    unlock(L);
+    unlock(L);
+  }
+  thread T1 {
+    lock(M);      // LockLeak: no unlock(M) on any path
+    a = a + 2;
+  }
+  thread T2 {
+    lock(N);
+    unlock(N);    // EmptyMutexBody: protects nothing
+    lock(N);
+    p = 1;        // OverwideMutexBody: p, q are unshared across threads,
+    a = a + 3;    // only the a update needs N
+    q = 2;
+    unlock(N);
+  }
+}
+print(a);

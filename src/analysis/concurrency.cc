@@ -122,6 +122,12 @@ bool Mhp::orderedBefore(NodeId a, NodeId b) const {
   return false;
 }
 
+std::optional<Mhp::Divergence> Mhp::divergenceOf(NodeId a, NodeId b) const {
+  Divergence d;
+  if (!divergence(a, b, &d.cobegin, &d.armA, &d.armB)) return std::nullopt;
+  return d;
+}
+
 bool Mhp::mayHappenInParallel(NodeId a, NodeId b) const {
   if (a == b) return false;  // a node does not conflict with itself
   StmtId cobegin;

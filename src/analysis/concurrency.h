@@ -28,6 +28,7 @@
 // barriers reaching v" counting argument).
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -71,6 +72,20 @@ class Mhp {
                                         StmtId cobegin,
                                         std::uint32_t armA,
                                         std::uint32_t armB) const;
+
+  /// The MHP justification for a concurrent pair: the cobegin where the
+  /// two thread paths diverge and the sibling arms each node runs in.
+  /// csan embeds this in race witness traces.
+  struct Divergence {
+    StmtId cobegin;
+    std::uint32_t armA = 0;
+    std::uint32_t armB = 0;
+  };
+
+  /// The divergence point of two nodes in concurrent threads, or nullopt
+  /// when the nodes share one thread lineage (sequential).
+  [[nodiscard]] std::optional<Divergence> divergenceOf(NodeId a,
+                                                       NodeId b) const;
 
  private:
   struct ArmKey {

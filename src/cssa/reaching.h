@@ -26,6 +26,15 @@ struct ReachingInfo {
     auto it = defsOf.find(use);
     return it == defsOf.end() ? kEmpty : it->second;
   }
+
+  /// Uses one real definition may reach (empty if the def reaches none).
+  /// csan joins the lockset of each use against its reaching definitions
+  /// through this inverse view.
+  [[nodiscard]] const std::vector<const ir::Expr*>& uses(SsaNameId def) const {
+    static const std::vector<const ir::Expr*> kEmpty;
+    auto it = usesOf.find(def);
+    return it == usesOf.end() ? kEmpty : it->second;
+  }
 };
 
 [[nodiscard]] ReachingInfo computeParallelReachingDefs(

@@ -36,6 +36,7 @@ Compilation::Compilation(ir::Program& program, PipelineOptions opts)
   analysis::computeSyncAndConflictEdges(*graph_, *mhp_);
   mutexes_ = std::make_unique<mutex::MutexStructures>(
       *graph_, *dom_, *pdom_, opts.warnings ? &diag_ : nullptr);
+  sites_ = analysis::collectAccessSites(*graph_);
   ssa_ = std::make_unique<ssa::SsaForm>(
       ssa::buildSequentialSsa(*graph_, *dom_));
   piStats_ = cssa::placePiTerms(*graph_, *ssa_, *mhp_);

@@ -52,6 +52,10 @@ class Compilation {
   [[nodiscard]] const mutex::MutexStructures& mutexes() const {
     return *mutexes_;
   }
+  /// Per-shared-variable access sites, collected once per analysis; the
+  /// race checks, lock-independence queries and csan all consume this
+  /// instead of re-walking the graph.
+  [[nodiscard]] const analysis::AccessSites& sites() const { return sites_; }
   ssa::SsaForm& ssa() { return *ssa_; }
   [[nodiscard]] const ssa::SsaForm& ssa() const { return *ssa_; }
 
@@ -76,6 +80,7 @@ class Compilation {
   std::unique_ptr<analysis::Dominators> pdom_;
   std::unique_ptr<analysis::Mhp> mhp_;
   std::unique_ptr<mutex::MutexStructures> mutexes_;
+  analysis::AccessSites sites_;
   std::unique_ptr<ssa::SsaForm> ssa_;
   cssa::PiPlacementStats piStats_;
   cssa::RewriteStats rewriteStats_;

@@ -8,6 +8,34 @@ namespace cssame::interp {
 
 namespace {
 
+/// Shared-variable accesses of one pending statement: the write target
+/// (Assign only) and every read in its expression.
+struct PendingAccess {
+  SymbolId write;                ///< invalid when the statement reads only
+  std::vector<SymbolId> reads;
+};
+
+PendingAccess accessesOf(const ir::Stmt& s, const ir::SymbolTable& syms) {
+  PendingAccess out;
+  if (s.kind == ir::StmtKind::Assign && syms.isSharedVar(s.lhs))
+    out.write = s.lhs;
+  if (s.expr != nullptr) {
+    ir::forEachExpr(*s.expr, [&](const ir::Expr& e) {
+      if (e.kind == ir::ExprKind::VarRef && syms.isSharedVar(e.var))
+        out.reads.push_back(e.var);
+    });
+  }
+  return out;
+}
+
+bool holdCommonLock(const std::vector<SymbolId>& a,
+                    const std::vector<SymbolId>& b) {
+  for (SymbolId x : a)
+    for (SymbolId y : b)
+      if (x == y) return true;
+  return false;
+}
+
 class Explorer {
  public:
   Explorer(const ir::Program& prog, ExploreOptions opts)
@@ -61,6 +89,7 @@ class Explorer {
       // output) was explored before, every continuation was too.
       if (!visited_.insert(machine.stateHash()).second) return;
       ++result_.statesExplored;
+      if (opts_.detectRaces && ready.size() >= 2) recordRaces(machine, ready);
       if (result_.statesExplored > opts_.maxStates) {
         trip(support::BudgetKind::States, true);
         return;
@@ -89,6 +118,38 @@ class Explorer {
       machine.stepThread(ready[0]);
       ++stepsUsed_;
       ++depth;
+    }
+  }
+
+  /// Two runnable threads with conflicting pending accesses and no common
+  /// lock held: their next steps can execute in either order from this
+  /// very state, so the conflict is a concrete (not merely may-happen)
+  /// race witness.
+  void recordRaces(const Machine& machine,
+                   const std::vector<std::size_t>& ready) {
+    const ir::SymbolTable& syms = prog_.symbols;
+    std::vector<PendingAccess> acc(ready.size());
+    std::vector<const ir::Stmt*> stmts(ready.size(), nullptr);
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      stmts[i] = machine.pendingStmt(ready[i]);
+      if (stmts[i] != nullptr) acc[i] = accessesOf(*stmts[i], syms);
+    }
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (stmts[i] == nullptr) continue;
+      for (std::size_t j = i + 1; j < ready.size(); ++j) {
+        if (stmts[j] == nullptr) continue;
+        if (holdCommonLock(machine.heldLocksOf(ready[i]),
+                           machine.heldLocksOf(ready[j])))
+          continue;
+        auto conflict = [&](const PendingAccess& w, const PendingAccess& r) {
+          if (!w.write.valid()) return;
+          if (r.write == w.write) result_.racedVars.insert(w.write);
+          for (SymbolId v : r.reads)
+            if (v == w.write) result_.racedVars.insert(v);
+        };
+        conflict(acc[i], acc[j]);
+        conflict(acc[j], acc[i]);
+      }
     }
   }
 

@@ -33,6 +33,12 @@ struct ExploreOptions {
   /// copies live on the DFS stack). Exceeding it ends exploration
   /// gracefully with a BudgetExceeded outcome instead of an OOM kill.
   std::uint64_t maxMemoryBytes = 512u << 20;
+  /// Record dynamic data races: at every explored state, two runnable
+  /// threads whose pending statements access the same shared variable (at
+  /// least one writing) while holding no common lock constitute a
+  /// concrete racing schedule. csan's precision harness uses this to
+  /// confirm or refute static PotentialDataRace findings.
+  bool detectRaces = false;
 };
 
 struct ExploreResult {
@@ -46,6 +52,12 @@ struct ExploreResult {
   bool anyDeadlock = false;   ///< some schedule deadlocks
   bool anyLockError = false;  ///< some schedule unlocks without holding
   std::uint64_t statesExplored = 0;
+  /// With ExploreOptions::detectRaces: shared variables for which some
+  /// reachable state had two conflicting accesses simultaneously enabled
+  /// without a common lock — a dynamic witness for the race.
+  std::set<SymbolId> racedVars;
+
+  [[nodiscard]] bool anyRace() const { return !racedVars.empty(); }
 
   /// Convenience: the outputs as a sorted vector (stable for EXPECT_EQ).
   [[nodiscard]] std::vector<std::vector<long long>> outputList() const {

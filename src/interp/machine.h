@@ -67,6 +67,25 @@ class Machine {
 
   [[nodiscard]] std::size_t threadCount() const { return threads_.size(); }
 
+  /// The statement thread `ti` would execute on its next step, or nullptr
+  /// when the thread is blocked, joining or done (its next step is then a
+  /// synchronization action, not a variable access). The explorer's
+  /// dynamic race detector inspects pending statements of co-enabled
+  /// threads.
+  [[nodiscard]] const ir::Stmt* pendingStmt(std::size_t ti) const {
+    const Thread& t = threads_[ti];
+    if (t.status != Status::Runnable || t.frames.empty()) return nullptr;
+    const Frame& f = t.frames.back();
+    if (f.idx >= f.list->size()) return nullptr;
+    return (*f.list)[f.idx].get();
+  }
+
+  /// Locks currently held by thread `ti`.
+  [[nodiscard]] const std::vector<SymbolId>& heldLocksOf(
+      std::size_t ti) const {
+    return threads_[ti].heldLocks;
+  }
+
   /// Approximate dynamic-state footprint in bytes, for memory budgets.
   /// Counts the owned containers, not the shared (read-only) program.
   [[nodiscard]] std::uint64_t approxBytes() const {

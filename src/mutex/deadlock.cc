@@ -36,6 +36,10 @@ DeadlockReport detectDeadlocks(const pfg::Graph& graph,
     }
   }
 
+  auto siteLoc = [&graph](NodeId site) {
+    return graph.node(site).syncStmt->loc;
+  };
+
   // ABBA: opposite orders at sites that may run concurrently.
   std::set<std::pair<SymbolId, SymbolId>> reported;
   for (const Acquisition& ab : acquisitions) {
@@ -45,49 +49,85 @@ DeadlockReport detectDeadlocks(const pfg::Graph& graph,
       const auto key = std::minmax(ab.outer, ab.inner);
       if (!reported.insert({key.first, key.second}).second) continue;
       ++report.abbaPairs;
-      diag.warn(DiagCode::PotentialDeadlock,
-                graph.node(ab.site).syncStmt->loc,
+      diag.warn(DiagCode::PotentialDeadlock, siteLoc(ab.site),
                 "potential deadlock: locks '" + syms.nameOf(ab.outer) +
                     "' and '" + syms.nameOf(ab.inner) +
                     "' are acquired in opposite orders by concurrent "
-                    "threads");
+                    "threads")
+          .note(siteLoc(ab.site),
+                "this thread acquires '" + syms.nameOf(ab.inner) +
+                    "' while holding '" + syms.nameOf(ab.outer) + "'")
+          .note(siteLoc(ba.site),
+                "a concurrent thread acquires '" + syms.nameOf(ba.inner) +
+                    "' while holding '" + syms.nameOf(ba.outer) + "'");
     }
   }
 
   // Longer cycles in the lock-order digraph (conservative: no pairwise
-  // concurrency check). DFS over unique edges.
+  // concurrency check). DFS over unique edges, keeping the path so the
+  // warning can name a representative cycle with real source sites.
   std::map<SymbolId, std::set<SymbolId>> order;
-  for (const Acquisition& a : acquisitions) order[a.outer].insert(a.inner);
+  std::map<std::pair<SymbolId, SymbolId>, NodeId> edgeSite;
+  for (const Acquisition& a : acquisitions) {
+    order[a.outer].insert(a.inner);
+    edgeSite.emplace(std::make_pair(a.outer, a.inner), a.site);
+  }
 
   std::set<SymbolId> visiting, done;
+  std::vector<SymbolId> path;
+  std::vector<SymbolId> witnessCycle;  ///< first cycle through >= 3 locks
   std::size_t cycles = 0;
   auto dfs = [&](SymbolId v, auto&& self) -> void {
     visiting.insert(v);
+    path.push_back(v);
     auto it = order.find(v);
     if (it != order.end()) {
       for (SymbolId next : it->second) {
         if (visiting.contains(next)) {
-          ++cycles;
+          // 2-cycles are the ABBA detector's province, where the MHP
+          // check can rule out sequential opposite orders; only cycles
+          // through three or more locks are counted here.
+          const auto start = std::find(path.begin(), path.end(), next);
+          if (std::distance(start, path.end()) >= 3) {
+            ++cycles;
+            if (witnessCycle.empty())
+              witnessCycle.assign(start, path.end());
+          }
           continue;
         }
         if (!done.contains(next)) self(next, self);
       }
     }
+    path.pop_back();
     visiting.erase(v);
     done.insert(v);
   };
   for (const auto& [v, _] : order)
     if (!done.contains(v)) dfs(v, dfs);
 
-  // Every ABBA pair is also a 2-cycle; report only the surplus.
-  report.orderCycles = cycles > report.abbaPairs
-                           ? cycles - report.abbaPairs
-                           : 0;
+  report.orderCycles = cycles;
   if (report.orderCycles > 0) {
-    diag.warn(DiagCode::PotentialDeadlock, {},
-              "lock-order graph contains " +
-                  std::to_string(report.orderCycles) +
-                  " additional cycle(s) through three or more locks");
+    // Anchor the warning at the first acquisition of the witness cycle so
+    // it points at source instead of <unknown>.
+    SourceLoc loc;
+    if (!witnessCycle.empty()) {
+      auto it = edgeSite.find({witnessCycle.front(),
+                               witnessCycle[1 % witnessCycle.size()]});
+      if (it != edgeSite.end()) loc = siteLoc(it->second);
+    }
+    Diagnostic& d = diag.warn(
+        DiagCode::PotentialDeadlock, loc,
+        "lock-order graph contains " + std::to_string(report.orderCycles) +
+            " cycle(s) through three or more locks");
+    for (std::size_t i = 0; i < witnessCycle.size(); ++i) {
+      const SymbolId from = witnessCycle[i];
+      const SymbolId to = witnessCycle[(i + 1) % witnessCycle.size()];
+      auto it = edgeSite.find({from, to});
+      if (it == edgeSite.end()) continue;
+      d.note(siteLoc(it->second),
+             "'" + syms.nameOf(to) + "' acquired while holding '" +
+                 syms.nameOf(from) + "'");
+    }
   }
   return report;
 }

@@ -21,6 +21,39 @@ bool disjoint(const std::set<SymbolId>& a, const std::set<SymbolId>& b) {
   return true;
 }
 
+std::string locksetStr(const std::set<SymbolId>& ls,
+                       const ir::SymbolTable& syms) {
+  if (ls.empty()) return "{}";
+  std::string out = "{";
+  bool first = true;
+  for (SymbolId l : ls) {
+    if (!first) out += ", ";
+    out += syms.nameOf(l);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+/// Statement performing the access the conflict edge endpoint refers to,
+/// so warnings anchor at the real source site instead of the variable's
+/// first definition.
+const ir::Stmt* accessStmtAt(NodeId node, SymbolId var, bool isDef,
+                             const analysis::AccessSites& sites) {
+  if (isDef) {
+    auto it = sites.defs.find(var);
+    if (it != sites.defs.end())
+      for (const auto& d : it->second)
+        if (d.node == node) return d.stmt;
+  } else {
+    auto it = sites.uses.find(var);
+    if (it != sites.uses.end())
+      for (const auto& u : it->second)
+        if (u.node == node) return u.stmt;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
@@ -70,9 +103,14 @@ RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
     for (const auto& ls : defLocksets) anyProtected |= !ls.empty();
     if (anyProtected && intersection.empty() && defs.size() > 1) {
       ++report.inconsistentLocking;
-      diag.warn(DiagCode::InconsistentLocking, defs.front().stmt->loc,
-                "writes to shared variable '" + syms.nameOf(var) +
-                    "' are not consistently protected by the same lock");
+      Diagnostic& d = diag.warn(
+          DiagCode::InconsistentLocking, defs.front().stmt->loc,
+          "writes to shared variable '" + syms.nameOf(var) +
+              "' are not consistently protected by the same lock");
+      // Witness: every write site with the locks it holds.
+      for (std::size_t i = 0; i < defs.size(); ++i)
+        d.note(defs[i].stmt->loc,
+               "write under lockset " + locksetStr(defLocksets[i], syms));
     }
 
     // PotentialDataRace: concurrent def/def or def/use with disjoint
@@ -86,10 +124,24 @@ RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
       if (disjoint(fromLs, toLs)) {
         ++report.potentialRaces;
         raced = true;
-        diag.warn(DiagCode::PotentialDataRace, defs.front().stmt->loc,
-                  "potential data race on shared variable '" +
-                      syms.nameOf(var) +
-                      "': concurrent accesses share no common lock");
+        const ir::Stmt* fromStmt = accessStmtAt(e.from, var, true, sites);
+        const ir::Stmt* toStmt =
+            accessStmtAt(e.to, var, e.toIsDef, sites);
+        // Anchor at the defining access of the conflict edge; the old
+        // behaviour of pointing at the variable's first write mislocated
+        // races whose sites were elsewhere.
+        const SourceLoc loc =
+            fromStmt != nullptr ? fromStmt->loc : defs.front().stmt->loc;
+        Diagnostic& d = diag.warn(
+            DiagCode::PotentialDataRace, loc,
+            "potential data race on shared variable '" + syms.nameOf(var) +
+                "': concurrent accesses share no common lock");
+        d.note(loc, "write under lockset " + locksetStr(fromLs, syms));
+        if (toStmt != nullptr)
+          d.note(toStmt->loc,
+                 std::string("concurrent ") +
+                     (e.toIsDef ? "write" : "read") + " under lockset " +
+                     locksetStr(toLs, syms));
       }
     }
   }

@@ -36,7 +36,7 @@ void addStmtAccesses(const ir::Stmt& s, AccessSummary& out);
 class LockIndependence {
  public:
   explicit LockIndependence(const driver::Compilation& comp)
-      : comp_(comp), sites_(analysis::collectAccessSites(comp.graph())) {}
+      : comp_(comp), sites_(comp.sites()) {}
 
   /// Definition 5 for a whole statement subtree located via nodeOf().
   [[nodiscard]] bool isLockIndependent(const ir::Stmt& s) const;
@@ -57,7 +57,7 @@ class LockIndependence {
 
  private:
   const driver::Compilation& comp_;
-  analysis::AccessSites sites_;
+  const analysis::AccessSites& sites_;
 };
 
 }  // namespace cssame::opt

@@ -534,7 +534,7 @@ Status ParseResult::status() const {
   if (ok()) return Status::okStatus();
   for (const auto& d : diag.diagnostics())
     if (d.severity == DiagSeverity::Error)
-      return Status::fail(FaultKind::ParseError, "parse", d.str());
+      return Status(Fault{FaultKind::ParseError, "parse", d.str(), d.loc});
   return Status::fail(FaultKind::ParseError, "parse", "parse failed");
 }
 

@@ -1,0 +1,350 @@
+#include "src/sanalysis/csan.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+#include "src/opt/lock_independence.h"
+#include "src/sanalysis/lockset.h"
+
+namespace cssame::sanalysis {
+
+namespace {
+
+/// The statement performing the access a conflict-edge endpoint refers
+/// to, looked up in the compilation's cached access sites.
+const ir::Stmt* accessStmtAt(NodeId node, SymbolId var, bool isDef,
+                             const analysis::AccessSites& sites) {
+  if (isDef) {
+    auto it = sites.defs.find(var);
+    if (it != sites.defs.end())
+      for (const auto& d : it->second)
+        if (d.node == node) return d.stmt;
+  } else {
+    auto it = sites.uses.find(var);
+    if (it != sites.uses.end())
+      for (const auto& u : it->second)
+        if (u.node == node) return u.stmt;
+  }
+  return nullptr;
+}
+
+SourceLoc locOf(const ir::Stmt* stmt) {
+  return stmt != nullptr ? stmt->loc : SourceLoc{};
+}
+
+class Csan {
+ public:
+  Csan(const driver::Compilation& comp, DiagEngine& diag,
+       const CsanOptions& opts)
+      : comp_(comp),
+        diag_(diag),
+        opts_(opts),
+        graph_(comp.graph()),
+        syms_(comp.graph().program().symbols),
+        structures_(comp.mutexes()) {
+    for (const pfg::Node& n : graph_.nodes())
+      if (n.kind == pfg::NodeKind::Cobegin && n.syncStmt != nullptr)
+        cobeginStmt_[n.syncStmt->id] = n.syncStmt;
+  }
+
+  CsanReport run() {
+    if (opts_.races) {
+      checkRaces();
+      checkInconsistentLocking();
+    }
+    if (opts_.deadlocks)
+      report_.deadlocks = mutex::detectDeadlocks(graph_, comp_.mhp(),
+                                                 structures_, diag_);
+    if (opts_.lockLifecycle) checkLockLifecycle();
+    if (opts_.bodyLints) checkMutexBodies();
+    if (opts_.piReads) checkPiReads();
+    return std::move(report_);
+  }
+
+ private:
+  /// Appends the MHP justification of a concurrent pair to a diagnostic:
+  /// the cobegin whose sibling arms keep the two sites unordered.
+  void noteMhp(Diagnostic& d, NodeId a, NodeId b) {
+    const auto div = comp_.mhp().divergenceOf(a, b);
+    if (!div) return;
+    auto it = cobeginStmt_.find(div->cobegin);
+    const SourceLoc loc =
+        it != cobeginStmt_.end() ? it->second->loc : SourceLoc{};
+    d.note(loc, "the sites run in arms " + std::to_string(div->armA) +
+                    " and " + std::to_string(div->armB) +
+                    " of this cobegin and may interleave");
+  }
+
+  RaceSite makeSite(NodeId node, SymbolId var, bool isDef) const {
+    RaceSite s;
+    s.node = node;
+    s.stmt = accessStmtAt(node, var, isDef, comp_.sites());
+    s.loc = locOf(s.stmt);
+    s.isWrite = isDef;
+    s.lockset = locksetAt(node, structures_);
+    return s;
+  }
+
+  /// Access-site-granular lockset race check: one PotentialDataRace per
+  /// conflicting site pair that may happen in parallel with disjoint
+  /// locksets. A strict superset of mutex::detectRaces, which reports one
+  /// warning per variable under the same condition.
+  void checkRaces() {
+    std::set<std::tuple<SymbolId, NodeId, NodeId>> seen;
+    for (const pfg::ConflictEdge& e : graph_.conflicts) {
+      if (!comp_.mhp().mayHappenInParallel(e.from, e.to)) continue;
+      const RaceSite def = makeSite(e.from, e.var, true);
+      const RaceSite other = makeSite(e.to, e.var, e.toIsDef);
+      if (!locksetsDisjoint(def.lockset, other.lockset)) continue;
+      // DD and DU edges can join the same node pair; one witness per
+      // unordered pair keeps output readable without losing sites.
+      const auto key = std::make_tuple(e.var, std::min(e.from, e.to),
+                                       std::max(e.from, e.to));
+      if (!seen.insert(key).second) continue;
+
+      RaceWitness w;
+      w.var = e.var;
+      w.def = def;
+      w.other = other;
+      if (const auto div = comp_.mhp().divergenceOf(e.from, e.to)) {
+        w.cobegin = div->cobegin;
+        w.armA = div->armA;
+        w.armB = div->armB;
+        auto it = cobeginStmt_.find(div->cobegin);
+        if (it != cobeginStmt_.end()) w.cobeginLoc = it->second->loc;
+      }
+
+      ++report_.potentialRaces;
+      report_.racedVars.insert(e.var);
+      Diagnostic& d = diag_.warn(
+          DiagCode::PotentialDataRace, def.loc,
+          "potential data race on shared variable '" + syms_.nameOf(e.var) +
+              "': this write and a concurrent " +
+              (other.isWrite ? "write" : "read") +
+              " share no common lock");
+      d.note(def.loc, "write under lockset " +
+                          locksetStr(def.lockset, syms_));
+      d.note(other.loc, std::string("concurrent ") +
+                            (other.isWrite ? "write" : "read") +
+                            " under lockset " +
+                            locksetStr(other.lockset, syms_));
+      noteMhp(d, e.from, e.to);
+      report_.raceWitnesses.push_back(std::move(w));
+    }
+  }
+
+  /// Per-variable write-consistency check, same firing condition as the
+  /// original mutex::detectRaces but with one witness note per write.
+  void checkInconsistentLocking() {
+    const analysis::AccessSites& sites = comp_.sites();
+    for (const auto& [var, defs] : sites.defs) {
+      if (defs.size() < 2) continue;
+      bool concurrent = false;
+      for (const pfg::ConflictEdge& e : graph_.conflicts)
+        if (e.var == var &&
+            comp_.mhp().mayHappenInParallel(e.from, e.to)) {
+          concurrent = true;
+          break;
+        }
+      if (!concurrent) continue;
+
+      std::vector<std::set<SymbolId>> locksets;
+      locksets.reserve(defs.size());
+      for (const auto& d : defs)
+        locksets.push_back(locksetAt(d.node, structures_));
+      std::set<SymbolId> intersection = locksets.front();
+      bool anyProtected = false;
+      for (const auto& ls : locksets) {
+        anyProtected |= !ls.empty();
+        std::set<SymbolId> tmp;
+        std::set_intersection(intersection.begin(), intersection.end(),
+                              ls.begin(), ls.end(),
+                              std::inserter(tmp, tmp.begin()));
+        intersection = std::move(tmp);
+      }
+      if (!anyProtected || !intersection.empty()) continue;
+
+      ++report_.inconsistentLocking;
+      Diagnostic& d = diag_.warn(
+          DiagCode::InconsistentLocking, defs.front().stmt->loc,
+          "writes to shared variable '" + syms_.nameOf(var) +
+              "' are not consistently protected by the same lock");
+      for (std::size_t i = 0; i < defs.size(); ++i)
+        d.note(defs[i].stmt->loc,
+               "write under lockset " + locksetStr(locksets[i], syms_));
+    }
+  }
+
+  /// SelfDeadlock and LockLeak over the held-locks dataflow.
+  void checkLockLifecycle() {
+    const HeldLocks held(graph_);
+    for (const pfg::Node& n : graph_.nodes()) {
+      if (n.kind != pfg::NodeKind::Lock) continue;
+      const SymbolId lock = n.syncStmt->sync;
+
+      if (held.mayHoldOnEntry(n.id, lock)) {
+        ++report_.selfDeadlocks;
+        Diagnostic& d = diag_.warn(
+            DiagCode::SelfDeadlock, n.syncStmt->loc,
+            "lock('" + syms_.nameOf(lock) +
+                "') may already be held when re-acquired here; locks are "
+                "not reentrant, so the acquiring thread blocks forever");
+        for (const pfg::Node& m : graph_.nodes()) {
+          if (m.id == n.id || m.kind != pfg::NodeKind::Lock ||
+              m.syncStmt->sync != lock)
+            continue;
+          if (held.reachesWithoutUnlock(m.id, n.id, lock)) {
+            d.note(m.syncStmt->loc,
+                   "acquired here and still held on some path to the "
+                   "re-acquisition");
+            break;
+          }
+        }
+      }
+
+      if (held.reachesWithoutUnlock(n.id, graph_.exit, lock)) {
+        ++report_.lockLeaks;
+        const bool inParallel = !n.threadPath.empty();
+        diag_.warn(DiagCode::LockLeak, n.syncStmt->loc,
+                   "lock('" + syms_.nameOf(lock) + "') is still held when " +
+                       (inParallel ? "its thread ends"
+                                   : "the program ends") +
+                       " on some path: no unlock('" + syms_.nameOf(lock) +
+                       "') executes on it");
+      }
+    }
+  }
+
+  /// Empty / redundant / over-wide mutex body lints.
+  void checkMutexBodies() {
+    const opt::LockIndependence independence(comp_);
+    for (const mutex::MutexBody& b : structures_.bodies()) {
+      if (!b.wellFormed) continue;
+      const pfg::Node& lockNode = graph_.node(b.lockNode);
+      const SourceLoc lockLoc = lockNode.syncStmt->loc;
+      const std::string lockName = syms_.nameOf(b.lockVar);
+
+      // Interior shape: the body's member nodes minus its own unlock.
+      std::vector<const pfg::Node*> blocks;
+      bool straightLine = true;
+      std::size_t interiorStmts = 0;
+      b.members.forEach([&](std::size_t idx) {
+        const NodeId id{static_cast<NodeId::value_type>(idx)};
+        if (id == b.unlockNode) return;
+        const pfg::Node& n = graph_.node(id);
+        if (n.kind == pfg::NodeKind::Block) {
+          blocks.push_back(&n);
+          interiorStmts += n.stmts.size();
+          if (n.terminator != nullptr) {
+            ++interiorStmts;
+            straightLine = false;
+          }
+        } else {
+          straightLine = false;  // nested sync/cobegin/barrier
+          ++interiorStmts;
+        }
+      });
+
+      if (interiorStmts == 0) {
+        ++report_.emptyBodies;
+        diag_.warn(DiagCode::EmptyMutexBody, lockLoc,
+                   "mutex body of lock '" + lockName +
+                       "' protects no statements")
+            .note(locOf(graph_.node(b.unlockNode).syncStmt),
+                  "unlocked here without any work in between");
+        continue;
+      }
+
+      // Redundant / over-wide, via lock independence (Definition 5 — the
+      // same legality LICM uses). Only meaningful on straight-line
+      // single-block bodies, where statement order is unambiguous.
+      if (!straightLine || blocks.size() != 1) continue;
+      const std::vector<ir::Stmt*>& stmts = blocks.front()->stmts;
+      std::size_t prefix = 0;
+      while (prefix < stmts.size() &&
+             independence.isLockIndependent(*stmts[prefix]))
+        ++prefix;
+      std::size_t suffix = 0;
+      while (suffix + prefix < stmts.size() &&
+             independence.isLockIndependent(
+                 *stmts[stmts.size() - 1 - suffix]))
+        ++suffix;
+
+      // Every interior statement is lock independent: nothing in the body
+      // can be accessed concurrently, so the lock serializes nothing.
+      if (prefix == stmts.size()) {
+        ++report_.redundantBodies;
+        diag_.warn(DiagCode::RedundantMutexBody, lockLoc,
+                   "mutex body of lock '" + lockName +
+                       "' contains only lock-independent statements; "
+                       "the lock serializes nothing");
+        continue;
+      }
+      if (prefix + suffix == 0) continue;
+      ++report_.overwideBodies;
+      Diagnostic& d = diag_.warn(
+          DiagCode::OverwideMutexBody, lockLoc,
+          "mutex body of lock '" + lockName + "' is wider than needed: " +
+              std::to_string(prefix) + " leading and " +
+              std::to_string(suffix) +
+              " trailing statement(s) are lock independent");
+      if (prefix > 0)
+        d.note(stmts.front()->loc,
+               "lock-independent prefix starts here");
+      if (suffix > 0)
+        d.note(stmts.back()->loc, "lock-independent suffix ends here");
+    }
+  }
+
+  /// UnprotectedPiRead: surviving CSSAME π conflict arguments join the
+  /// use's lockset against each concurrent reaching definition's.
+  void checkPiReads() {
+    const ssa::SsaForm& ssa = comp_.ssa();
+    for (SsaNameId piId : ssa.livePis()) {
+      const ssa::Definition& pi = ssa.def(piId);
+      if (pi.piConflictArgs.empty()) continue;
+      const std::set<SymbolId> useLs = locksetAt(pi.node, structures_);
+      bool warned = false;
+      for (const ssa::PiConflictArg& arg : pi.piConflictArgs) {
+        if (!comp_.mhp().mayHappenInParallel(arg.fromNode, pi.node))
+          continue;
+        const std::set<SymbolId> defLs =
+            locksetAt(arg.fromNode, structures_);
+        if (!locksetsDisjoint(useLs, defLs)) continue;
+        if (!warned) {
+          warned = true;
+          ++report_.unprotectedPiReads;
+          Diagnostic& d = diag_.warn(
+              DiagCode::UnprotectedPiRead, locOf(pi.piUseStmt),
+              "read of shared variable '" + syms_.nameOf(pi.var) +
+                  "' (under lockset " + locksetStr(useLs, syms_) +
+                  ") can observe a concurrent write mutual exclusion "
+                  "does not order");
+          d.note(locOf(arg.defStmt),
+                 "concurrent write under lockset " +
+                     locksetStr(defLs, syms_));
+          noteMhp(d, arg.fromNode, pi.node);
+        }
+      }
+    }
+  }
+
+  const driver::Compilation& comp_;
+  DiagEngine& diag_;
+  CsanOptions opts_;
+  const pfg::Graph& graph_;
+  const ir::SymbolTable& syms_;
+  const mutex::MutexStructures& structures_;
+  std::unordered_map<StmtId, const ir::Stmt*> cobeginStmt_;
+  CsanReport report_;
+};
+
+}  // namespace
+
+CsanReport runCsan(const driver::Compilation& comp, DiagEngine& diag,
+                   const CsanOptions& opts) {
+  return Csan(comp, diag, opts).run();
+}
+
+}  // namespace cssame::sanalysis

@@ -1,0 +1,102 @@
+// csan — the CSSAME-based static concurrency analyzer (growing the
+// paper's Section 6 compiler warnings into a subsystem).
+//
+// Runs over one analyzed Compilation (PFG + MHP + mutex structures +
+// CSSAME form) and reports, through the ordinary DiagEngine:
+//
+//   races        PotentialDataRace at access-site granularity — one
+//                warning per conflicting site *pair* (not per variable),
+//                each carrying a two-site witness trace: both statements,
+//                their locksets, and the MHP justification (the cobegin
+//                whose sibling arms the sites run in). Also the
+//                per-variable InconsistentLocking write check, with one
+//                note per write site. Subsumes mutex::detectRaces: any
+//                program the old check warns about, csan warns about too.
+//   deadlocks    PotentialDeadlock via mutex::detectDeadlocks (ABBA pairs
+//                and longer lock-order cycles, with witness notes).
+//   lifecycle    SelfDeadlock (re-acquiring a lock that may already be
+//                held — these locks are non-reentrant, so the thread
+//                blocks itself) and LockLeak (some path from a lock(L)
+//                reaches the end of the program, or leaves its parallel
+//                section, without unlock(L)).
+//   body lints   EmptyMutexBody, RedundantMutexBody (every interior
+//                statement is lock independent — the lock serializes
+//                nothing), OverwideMutexBody (a proper lock-independent
+//                prefix or suffix per opt::LockIndependence — LICM's
+//                legality reused as a lint signal).
+//   π reads      UnprotectedPiRead: a use whose CSSAME π kept a conflict
+//                argument from a concurrent write whose lockset is
+//                disjoint from the use's — the π arguments that survive
+//                the Algorithm A.3 rewriting are exactly the concurrent
+//                reaching definitions mutual exclusion could not kill.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/driver/pipeline.h"
+#include "src/mutex/deadlock.h"
+#include "src/mutex/races.h"
+#include "src/support/diag.h"
+
+namespace cssame::sanalysis {
+
+struct CsanOptions {
+  bool races = true;
+  bool deadlocks = true;
+  bool lockLifecycle = true;
+  bool bodyLints = true;
+  bool piReads = true;
+};
+
+/// One end of a race witness.
+struct RaceSite {
+  NodeId node;
+  const ir::Stmt* stmt = nullptr;
+  SourceLoc loc;
+  bool isWrite = false;
+  std::set<SymbolId> lockset;
+};
+
+/// The full evidence for one PotentialDataRace diagnostic.
+struct RaceWitness {
+  SymbolId var;
+  RaceSite def;    ///< the defining end of the conflict edge
+  RaceSite other;  ///< the concurrent use or second definition
+  /// MHP justification: the cobegin whose distinct arms the sites occupy.
+  StmtId cobegin;
+  SourceLoc cobeginLoc;
+  std::uint32_t armA = 0;
+  std::uint32_t armB = 0;
+};
+
+struct CsanReport {
+  std::size_t potentialRaces = 0;       ///< conflicting site pairs
+  std::size_t inconsistentLocking = 0;  ///< variables
+  mutex::DeadlockReport deadlocks;
+  std::size_t selfDeadlocks = 0;
+  std::size_t lockLeaks = 0;
+  std::size_t emptyBodies = 0;
+  std::size_t redundantBodies = 0;
+  std::size_t overwideBodies = 0;
+  std::size_t unprotectedPiReads = 0;
+
+  std::vector<RaceWitness> raceWitnesses;
+  /// Variables with at least one PotentialDataRace, for the dynamic
+  /// cross-validation harness (bench_csan).
+  std::set<SymbolId> racedVars;
+
+  [[nodiscard]] std::size_t totalFindings() const {
+    return potentialRaces + inconsistentLocking + deadlocks.abbaPairs +
+           deadlocks.orderCycles + selfDeadlocks + lockLeaks + emptyBodies +
+           redundantBodies + overwideBodies + unprotectedPiReads;
+  }
+};
+
+/// Runs every enabled check over the compilation, emitting diagnostics
+/// (with witness notes) into `diag` and returning the structured report.
+[[nodiscard]] CsanReport runCsan(const driver::Compilation& comp,
+                                 DiagEngine& diag,
+                                 const CsanOptions& opts = {});
+
+}  // namespace cssame::sanalysis

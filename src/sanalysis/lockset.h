@@ -1,0 +1,77 @@
+// Lockset machinery for the static concurrency analyzer (csan).
+//
+// Two complementary views of "which locks protect this point":
+//
+//   - locksetAt(): the mutex-structure lockset — locks whose *well-formed*
+//     mutex bodies (paper Definition 3/4) contain the node. This is the
+//     must-hold notion the Section 6 race warnings are defined over; csan
+//     uses it for every access-site lockset so its race verdicts agree
+//     with (and subsume) the original checks.
+//
+//   - HeldLocks: a forward may/must dataflow of Lock/Unlock effects over
+//     the PFG's control edges. Unlike mutex structures it also covers
+//     *ill-formed* regions (a lock(L) whose unlock does not post-dominate
+//     it still holds L in between), which is exactly what the
+//     lock-lifecycle checks need: re-acquiring a lock that may already be
+//     held (self-deadlock) and paths that leave the program with a lock
+//     held (lock leak).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/mutex/mutex_structures.h"
+#include "src/pfg/graph.h"
+#include "src/support/bitset.h"
+
+namespace cssame::sanalysis {
+
+/// Locks whose well-formed mutex bodies contain `node` (the node's
+/// lockset for race checking).
+[[nodiscard]] std::set<SymbolId> locksetAt(
+    NodeId node, const mutex::MutexStructures& structures);
+
+[[nodiscard]] bool locksetsDisjoint(const std::set<SymbolId>& a,
+                                    const std::set<SymbolId>& b);
+
+/// Renders "{L, M}" / "{}" for diagnostics and witness notes.
+[[nodiscard]] std::string locksetStr(const std::set<SymbolId>& lockset,
+                                     const ir::SymbolTable& syms);
+
+/// Forward held-locks dataflow over control edges. Lock(L) adds L at the
+/// node's out; Unlock(L) removes it. May = union over predecessors
+/// (some path holds the lock), must = intersection (every path does).
+/// Converges in O(edges * locks) on the reducible PFGs the builder emits.
+class HeldLocks {
+ public:
+  explicit HeldLocks(const pfg::Graph& graph);
+
+  /// Locks some path may hold when control *enters* the node.
+  [[nodiscard]] std::set<SymbolId> mayHeldIn(NodeId n) const {
+    return toSet(mayIn_[n.index()]);
+  }
+  /// Locks every path is known to hold when control enters the node.
+  [[nodiscard]] std::set<SymbolId> mustHeldIn(NodeId n) const {
+    return toSet(mustIn_[n.index()]);
+  }
+
+  [[nodiscard]] bool mayHoldOnEntry(NodeId n, SymbolId lock) const {
+    return mayIn_[n.index()].test(lock.index());
+  }
+
+  /// True when some control path from `from`'s successors reaches `to`
+  /// without executing any Unlock(lock) node — the reachability kernel of
+  /// the self-deadlock witness and the lock-leak check.
+  [[nodiscard]] bool reachesWithoutUnlock(NodeId from, NodeId to,
+                                          SymbolId lock) const;
+
+ private:
+  [[nodiscard]] std::set<SymbolId> toSet(const DynBitset& bits) const;
+
+  const pfg::Graph& graph_;
+  std::vector<DynBitset> mayIn_, mayOut_;
+  std::vector<DynBitset> mustIn_, mustOut_;
+};
+
+}  // namespace cssame::sanalysis

@@ -1,0 +1,150 @@
+#include "src/sanalysis/sarif.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace cssame::sanalysis {
+
+namespace {
+
+const char* severityLevel(DiagSeverity sev) {
+  switch (sev) {
+    case DiagSeverity::Note: return "note";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
+  }
+  return "warning";
+}
+
+/// A SARIF physicalLocation. SourceLoc columns can be 0 ("whole line");
+/// SARIF requires startColumn >= 1, so clamp. Invalid locations (line 0)
+/// emit only the artifact reference — the spec allows a region-free
+/// physicalLocation.
+std::string physicalLocation(SourceLoc loc, std::string_view uri) {
+  std::string out = "{\"artifactLocation\":{\"uri\":\"";
+  out += jsonEscape(uri);
+  out += "\"}";
+  if (loc.valid()) {
+    out += ",\"region\":{\"startLine\":" + std::to_string(loc.line) +
+           ",\"startColumn\":" + std::to_string(std::max(1u, loc.column)) +
+           "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string locationObj(SourceLoc loc, std::string_view uri,
+                        const std::string* message) {
+  std::string out = "{\"physicalLocation\":" + physicalLocation(loc, uri);
+  if (message != nullptr)
+    out += ",\"message\":{\"text\":\"" + jsonEscape(*message) + "\"}";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string toSarif(const std::vector<Diagnostic>& diags,
+                    std::string_view artifactUri) {
+  // Rule catalog: one entry per distinct code present, in first-seen
+  // order; results refer back by index.
+  std::vector<DiagCode> rules;
+  std::map<DiagCode, std::size_t> ruleIndex;
+  for (const Diagnostic& d : diags)
+    if (ruleIndex.emplace(d.code, rules.size()).second)
+      rules.push_back(d.code);
+
+  std::string out;
+  out +=
+      "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"csan\",\"informationUri\":"
+      "\"https://example.invalid/cssame/csan\","
+      "\"version\":\"1.0.0\",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "{\"id\":\"";
+    out += diagCodeName(rules[i]);
+    out += "\",\"shortDescription\":{\"text\":\"";
+    out += jsonEscape(diagCodeDescription(rules[i]));
+    out += "\"}}";
+  }
+  out += "]}},\"results\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) out += ",";
+    out += "{\"ruleId\":\"";
+    out += diagCodeName(d.code);
+    out += "\",\"ruleIndex\":" + std::to_string(ruleIndex.at(d.code));
+    out += ",\"level\":\"";
+    out += severityLevel(d.severity);
+    out += "\",\"message\":{\"text\":\"" + jsonEscape(d.message) + "\"}";
+    out += ",\"locations\":[" + locationObj(d.loc, artifactUri, nullptr) +
+           "]";
+    if (!d.notes.empty()) {
+      out += ",\"relatedLocations\":[";
+      for (std::size_t j = 0; j < d.notes.size(); ++j) {
+        if (j != 0) out += ",";
+        out += locationObj(d.notes[j].loc, artifactUri,
+                           &d.notes[j].message);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "]}]}";
+  return out;
+}
+
+std::string toJson(const std::vector<Diagnostic>& diags,
+                   std::string_view artifactUri) {
+  std::string out = "{\"file\":\"" + jsonEscape(artifactUri) +
+                    "\",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) out += ",";
+    out += "{\"code\":\"";
+    out += diagCodeName(d.code);
+    out += "\",\"severity\":\"";
+    out += severityLevel(d.severity);
+    out += "\",\"line\":" + std::to_string(d.loc.line) +
+           ",\"column\":" + std::to_string(d.loc.column);
+    out += ",\"message\":\"" + jsonEscape(d.message) + "\",\"notes\":[";
+    for (std::size_t j = 0; j < d.notes.size(); ++j) {
+      if (j != 0) out += ",";
+      out += "{\"line\":" + std::to_string(d.notes[j].loc.line) +
+             ",\"column\":" + std::to_string(d.notes[j].loc.column) +
+             ",\"message\":\"" + jsonEscape(d.notes[j].message) + "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cssame::sanalysis

@@ -14,12 +14,73 @@ const char* diagCodeName(DiagCode code) {
     case DiagCode::InconsistentLocking: return "inconsistent-locking";
     case DiagCode::PotentialDataRace: return "potential-data-race";
     case DiagCode::PotentialDeadlock: return "potential-deadlock";
+    case DiagCode::SelfDeadlock: return "self-deadlock";
+    case DiagCode::LockLeak: return "lock-leak";
+    case DiagCode::EmptyMutexBody: return "empty-mutex-body";
+    case DiagCode::RedundantMutexBody: return "redundant-mutex-body";
+    case DiagCode::OverwideMutexBody: return "overwide-mutex-body";
+    case DiagCode::UnprotectedPiRead: return "unprotected-pi-read";
     case DiagCode::VerifyFailed: return "verify-failed";
     case DiagCode::InvariantViolation: return "invariant-violation";
     case DiagCode::BudgetExceeded: return "budget-exceeded";
     case DiagCode::PassFailure: return "pass-failure";
   }
   return "unknown";
+}
+
+const char* diagCodeDescription(DiagCode code) {
+  switch (code) {
+    case DiagCode::SyntaxError:
+      return "the front end rejected the source text";
+    case DiagCode::UndeclaredIdentifier:
+      return "an identifier is used before any declaration";
+    case DiagCode::Redeclaration:
+      return "an identifier is declared twice in one scope";
+    case DiagCode::WrongSymbolKind:
+      return "a symbol is used as the wrong kind (e.g. locking a variable)";
+    case DiagCode::UnmatchedLock:
+      return "a lock(L) delimits no well-formed mutex body";
+    case DiagCode::UnmatchedUnlock:
+      return "an unlock(L) delimits no well-formed mutex body";
+    case DiagCode::IllFormedMutexBody:
+      return "a candidate mutex body nests a lock/unlock of its own lock "
+             "and is never used to reduce dependencies";
+    case DiagCode::InconsistentLocking:
+      return "writes to a concurrently accessed shared variable are not "
+             "all protected by one common lock";
+    case DiagCode::PotentialDataRace:
+      return "two accesses to a shared variable may happen in parallel "
+             "with disjoint locksets, at least one being a write";
+    case DiagCode::PotentialDeadlock:
+      return "concurrent threads acquire the same locks in conflicting "
+             "orders";
+    case DiagCode::SelfDeadlock:
+      return "a thread may re-acquire a (non-reentrant) lock it already "
+             "holds, blocking itself forever";
+    case DiagCode::LockLeak:
+      return "some path from a lock(L) leaves the program or its parallel "
+             "section without executing unlock(L)";
+    case DiagCode::EmptyMutexBody:
+      return "a well-formed mutex body protects no statements at all";
+    case DiagCode::RedundantMutexBody:
+      return "a mutex body contains only lock-independent statements, so "
+             "the lock serializes nothing";
+    case DiagCode::OverwideMutexBody:
+      return "a mutex body starts or ends with lock-independent "
+             "statements that could execute outside the critical section";
+    case DiagCode::UnprotectedPiRead:
+      return "a use reached by a concurrent definition (a surviving "
+             "CSSAME pi argument) shares no lock with that definition";
+    case DiagCode::VerifyFailed:
+      return "a structural verifier found violations after a pass";
+    case DiagCode::InvariantViolation:
+      return "an internal invariant check tripped inside an analysis";
+    case DiagCode::BudgetExceeded:
+      return "a resource budget (steps/states/memory) was exhausted";
+    case DiagCode::PassFailure:
+      return "an optimization pass failed and was rolled back";
+  }
+  return "unknown check";
 }
 
 std::string Diagnostic::str() const {
@@ -37,6 +98,14 @@ std::string Diagnostic::str() const {
     out += ": ";
   }
   out += message;
+  for (const DiagNote& n : notes) {
+    out += "\n  note ";
+    if (n.loc.valid()) {
+      out += n.loc.str();
+      out += ": ";
+    }
+    out += n.message;
+  }
   return out;
 }
 

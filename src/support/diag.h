@@ -30,6 +30,13 @@ enum class DiagCode {
   InconsistentLocking, // shared var written under different/absent locks
   PotentialDataRace,   // conflicting unsynchronized accesses
   PotentialDeadlock,   // opposite lock acquisition orders / order cycles
+  // csan lock-lifecycle and mutex-body lints (src/sanalysis).
+  SelfDeadlock,        // re-acquisition of a lock the thread may hold
+  LockLeak,            // a path from Lock(L) exits without Unlock(L)
+  EmptyMutexBody,      // well-formed body protecting no statements
+  RedundantMutexBody,  // body touches no shared variable
+  OverwideMutexBody,   // lock-independent prefix/suffix inside a body
+  UnprotectedPiRead,   // π use fed by a concurrent write, disjoint locksets
   // Pipeline hardening (structured failure paths).
   VerifyFailed,        // ir/pfg/ssa verifier violations after a pass
   InvariantViolation,  // CSSAME_CHECK tripped inside an analysis/pass
@@ -39,11 +46,30 @@ enum class DiagCode {
 
 [[nodiscard]] const char* diagCodeName(DiagCode code);
 
+/// One-sentence description of what a check looks for, shown in the SARIF
+/// rule catalog and docs/ANALYSIS.md.
+[[nodiscard]] const char* diagCodeDescription(DiagCode code);
+
+/// A related location attached to a diagnostic: "the other" access site of
+/// a race witness, the second acquisition of a deadlock pair, etc.
+struct DiagNote {
+  SourceLoc loc;
+  std::string message;
+};
+
 struct Diagnostic {
   DiagSeverity severity = DiagSeverity::Warning;
   DiagCode code = DiagCode::SyntaxError;
   SourceLoc loc;
   std::string message;
+  /// Witness trail: related sites in evidence order (SARIF
+  /// relatedLocations). Empty for simple diagnostics.
+  std::vector<DiagNote> notes;
+
+  Diagnostic& note(SourceLoc noteLoc, std::string msg) {
+    notes.push_back({noteLoc, std::move(msg)});
+    return *this;
+  }
 
   [[nodiscard]] std::string str() const;
 };
@@ -51,23 +77,28 @@ struct Diagnostic {
 /// Collects diagnostics in emission order.
 class DiagEngine {
  public:
-  void report(DiagSeverity sev, DiagCode code, SourceLoc loc,
-              std::string message) {
-    diags_.push_back({sev, code, loc, std::move(message)});
+  /// Returns the emitted diagnostic so callers can attach witness notes:
+  ///   diag.warn(...).note(siteB, "conflicting write here");
+  Diagnostic& report(DiagSeverity sev, DiagCode code, SourceLoc loc,
+                     std::string message) {
+    diags_.push_back({sev, code, loc, std::move(message), {}});
     if (sev == DiagSeverity::Error) ++errors_;
+    return diags_.back();
   }
 
-  void error(DiagCode code, SourceLoc loc, std::string msg) {
-    report(DiagSeverity::Error, code, loc, std::move(msg));
+  Diagnostic& error(DiagCode code, SourceLoc loc, std::string msg) {
+    return report(DiagSeverity::Error, code, loc, std::move(msg));
   }
-  void warn(DiagCode code, SourceLoc loc, std::string msg) {
-    report(DiagSeverity::Warning, code, loc, std::move(msg));
+  Diagnostic& warn(DiagCode code, SourceLoc loc, std::string msg) {
+    return report(DiagSeverity::Warning, code, loc, std::move(msg));
   }
 
   /// Records a structured pipeline fault as an error diagnostic. The
   /// message names the failing pass/stage so callers (and logs) can
-  /// attribute the failure without parsing free text.
-  void reportFault(const Fault& fault) {
+  /// attribute the failure without parsing free text; the fault's source
+  /// location (when the failing stage could pin one down) becomes the
+  /// diagnostic's location.
+  Diagnostic& reportFault(const Fault& fault) {
     DiagCode code = DiagCode::PassFailure;
     switch (fault.kind) {
       case FaultKind::ParseError: code = DiagCode::SyntaxError; break;
@@ -81,7 +112,7 @@ class DiagEngine {
         code = DiagCode::PassFailure;
         break;
     }
-    error(code, SourceLoc{}, fault.str());
+    return error(code, fault.loc, fault.str());
   }
 
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {

@@ -27,6 +27,8 @@
 #include <string>
 #include <utility>
 
+#include "src/support/source_loc.h"
+
 namespace cssame {
 
 enum class FaultKind : std::uint8_t {
@@ -47,6 +49,10 @@ struct Fault {
   FaultKind kind = FaultKind::None;
   std::string pass;
   std::string message;
+  /// Source position the failure is attributable to, when the failing
+  /// stage could pin one down (parse errors always can; verifier and
+  /// budget faults usually cannot). Invalid (line 0) when unknown.
+  SourceLoc loc;
 
   [[nodiscard]] std::string str() const;
 };
@@ -61,7 +67,7 @@ class Status {
   [[nodiscard]] static Status okStatus() { return Status(); }
   [[nodiscard]] static Status fail(FaultKind kind, std::string pass,
                                    std::string message) {
-    return Status(Fault{kind, std::move(pass), std::move(message)});
+    return Status(Fault{kind, std::move(pass), std::move(message), {}});
   }
 
   [[nodiscard]] bool ok() const { return fault_.kind == FaultKind::None; }

@@ -105,6 +105,92 @@ TEST(Deadlock, ThreeLockCycleReported) {
   EXPECT_GE(diag.countOf(DiagCode::PotentialDeadlock), 1u);
 }
 
+TEST(Deadlock, ThreeLockCycleWarningCarriesWitnessCycle) {
+  // The order-cycle warning names every edge of one witness cycle and
+  // anchors at a real acquisition site, not a default location.
+  DiagEngine diag;
+  analyzeDeadlocks(R"(
+    int a; lock L, M, N;
+    cobegin {
+      thread { lock(L); lock(M); a = 1; unlock(M); unlock(L); }
+      thread { lock(M); lock(N); a = 2; unlock(N); unlock(M); }
+      thread { lock(N); lock(L); a = 3; unlock(L); unlock(N); }
+    }
+  )", &diag);
+  bool sawCycleWarning = false;
+  for (const Diagnostic& d : diag.diagnostics()) {
+    if (d.code != DiagCode::PotentialDeadlock || d.notes.empty()) continue;
+    sawCycleWarning = true;
+    EXPECT_TRUE(d.loc.valid()) << d.str();
+    for (const DiagNote& n : d.notes) EXPECT_TRUE(n.loc.valid()) << d.str();
+  }
+  EXPECT_TRUE(sawCycleWarning);
+}
+
+TEST(Deadlock, ReacquiringHeldLockBlocksForever) {
+  // Re-acquisition of a non-reentrant lock is not an ABBA shape, so the
+  // order-cycle detector stays silent — csan's SelfDeadlock covers it —
+  // but the explorer must confirm the hang is real.
+  const char* src = R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); lock(L); a = 1; unlock(L); unlock(L); }
+      thread { a = 2; }
+    }
+    print(a);
+  )";
+  mutex::DeadlockReport r = analyzeDeadlocks(src);
+  EXPECT_EQ(r.abbaPairs, 0u);
+  EXPECT_EQ(r.orderCycles, 0u);
+
+  ir::Program p = parser::parseOrDie(src);
+  interp::ExploreResult dyn = interp::exploreAllSchedules(p);
+  EXPECT_TRUE(dyn.anyDeadlock);
+}
+
+TEST(Deadlock, SiblingArmOnlyOppositeOrders) {
+  // The opposite acquisition orders live in sibling arms of a *nested*
+  // cobegin (no top-level arm conflicts): still concurrent, still
+  // reported.
+  DiagEngine diag;
+  mutex::DeadlockReport r = analyzeDeadlocks(R"(
+    int a, b; lock L, M;
+    cobegin {
+      thread {
+        cobegin {
+          thread { lock(L); lock(M); a = 1; unlock(M); unlock(L); }
+          thread { lock(M); lock(L); b = 1; unlock(L); unlock(M); }
+        }
+      }
+      thread { a = a; }
+    }
+  )", &diag);
+  EXPECT_EQ(r.abbaPairs, 1u);
+  EXPECT_EQ(diag.countOf(DiagCode::PotentialDeadlock), 1u);
+}
+
+TEST(Deadlock, NestedArmSequentialOrdersStaySafe) {
+  // Same nested shape but both orders in ONE inner arm, sequentially:
+  // never concurrent, no warning.
+  mutex::DeadlockReport r = analyzeDeadlocks(R"(
+    int a; lock L, M;
+    cobegin {
+      thread {
+        cobegin {
+          thread {
+            lock(L); lock(M); a = 1; unlock(M); unlock(L);
+            lock(M); lock(L); a = 2; unlock(L); unlock(M);
+          }
+          thread { a = 3; }
+        }
+      }
+      thread { a = a; }
+    }
+  )");
+  EXPECT_EQ(r.abbaPairs, 0u);
+  EXPECT_EQ(r.orderCycles, 0u);
+}
+
 TEST(CopyProp, SingleDefCopyPropagates) {
   ir::Program p = parser::parseOrDie(R"(
     int rate, t, out;

@@ -18,6 +18,48 @@ ExploreResult explore(const char* src) {
   return r;
 }
 
+TEST(Explore, DynamicRaceDetected) {
+  // Two co-enabled writes to `a` with no lock held: the detector marks
+  // `a` raced; `b` is only touched by one thread.
+  ir::Program prog = parser::parseOrDie(R"(
+    int a, b;
+    cobegin {
+      thread { a = 1; b = 2; }
+      thread { a = 3; }
+    }
+    print(a); print(b);
+  )");
+  ExploreResult r = exploreAllSchedules(prog, {.detectRaces = true});
+  ASSERT_TRUE(r.complete);
+  EXPECT_TRUE(r.anyRace());
+  EXPECT_EQ(r.racedVars.size(), 1u);
+}
+
+TEST(Explore, LockedAccessesAreNotDynamicRaces) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a; lock L;
+    cobegin {
+      thread { lock(L); a = a + 1; unlock(L); }
+      thread { lock(L); a = a + 2; unlock(L); }
+    }
+    print(a);
+  )");
+  ExploreResult r = exploreAllSchedules(prog, {.detectRaces = true});
+  ASSERT_TRUE(r.complete);
+  EXPECT_FALSE(r.anyRace());
+}
+
+TEST(Explore, RaceDetectionOffByDefault) {
+  ir::Program prog = parser::parseOrDie(R"(
+    int a;
+    cobegin { thread { a = 1; } thread { a = 2; } }
+    print(a);
+  )");
+  ExploreResult r = exploreAllSchedules(prog);
+  ASSERT_TRUE(r.complete);
+  EXPECT_FALSE(r.anyRace());
+}
+
 TEST(Explore, SequentialProgramHasOneOutput) {
   ExploreResult r = explore("int a; a = 2; a = a * 3; print(a);");
   EXPECT_EQ(r.outputList(),

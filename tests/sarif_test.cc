@@ -1,0 +1,133 @@
+// Tests for the SARIF 2.1.0 / JSON diagnostic emitters: structural
+// requirements of the schema, rule-catalog consistency, witness notes as
+// relatedLocations, and string escaping.
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/parser/parser.h"
+#include "src/sanalysis/csan.h"
+#include "src/sanalysis/sarif.h"
+#include "src/workload/paper_programs.h"
+
+namespace cssame::sanalysis {
+namespace {
+
+std::vector<Diagnostic> figure1Diags() {
+  ir::Program p = parser::parseOrDie(workload::figure1Source());
+  driver::Compilation c = driver::analyze(p, {.warnings = false});
+  DiagEngine diag;
+  (void)runCsan(c, diag);
+  return diag.diagnostics();
+}
+
+std::size_t countOccurrences(const std::string& hay, const std::string& s) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(s); pos != std::string::npos;
+       pos = hay.find(s, pos + s.size()))
+    ++n;
+  return n;
+}
+
+TEST(Sarif, RequiredTopLevelStructure) {
+  const std::string log = toSarif(figure1Diags(), "figure1.cp");
+  EXPECT_NE(log.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(log.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(log.find("\"runs\":[{"), std::string::npos);
+  EXPECT_NE(log.find("\"name\":\"csan\""), std::string::npos);
+  EXPECT_NE(log.find("\"results\":["), std::string::npos);
+}
+
+TEST(Sarif, RuleCatalogMatchesResults) {
+  const std::vector<Diagnostic> diags = figure1Diags();
+  ASSERT_FALSE(diags.empty());
+  const std::string log = toSarif(diags, "figure1.cp");
+  // Every emitted code appears both as a rule id and as a result ruleId.
+  for (const Diagnostic& d : diags) {
+    const std::string id = std::string("\"id\":\"") + diagCodeName(d.code);
+    const std::string ruleId =
+        std::string("\"ruleId\":\"") + diagCodeName(d.code);
+    EXPECT_NE(log.find(id), std::string::npos) << diagCodeName(d.code);
+    EXPECT_NE(log.find(ruleId), std::string::npos) << diagCodeName(d.code);
+  }
+  // One result object per diagnostic.
+  EXPECT_EQ(countOccurrences(log, "\"ruleId\":"), diags.size());
+  // Rules carry descriptions for the viewer's rule pane.
+  EXPECT_NE(log.find("\"shortDescription\""), std::string::npos);
+}
+
+TEST(Sarif, WitnessNotesBecomeRelatedLocations) {
+  const std::vector<Diagnostic> diags = figure1Diags();
+  std::size_t notes = 0;
+  for (const Diagnostic& d : diags) notes += d.notes.size();
+  ASSERT_GT(notes, 0u);
+  const std::string log = toSarif(diags, "figure1.cp");
+  EXPECT_GT(countOccurrences(log, "\"relatedLocations\":["), 0u);
+  // Each note becomes one physicalLocation+message pair; every location
+  // (primary and related) names the artifact.
+  EXPECT_EQ(countOccurrences(log, "\"physicalLocation\":"),
+            diags.size() + notes);
+  EXPECT_EQ(countOccurrences(log, "\"uri\":\"figure1.cp\""),
+            diags.size() + notes);
+}
+
+TEST(Sarif, InvalidLocationsOmitRegion) {
+  std::vector<Diagnostic> diags(1);
+  diags[0].code = DiagCode::PotentialDataRace;
+  diags[0].message = "race";
+  diags[0].loc = SourceLoc{};  // line 0: built programmatically
+  const std::string log = toSarif(diags, "gen.cp");
+  EXPECT_EQ(log.find("\"region\""), std::string::npos);
+  EXPECT_NE(log.find("\"uri\":\"gen.cp\""), std::string::npos);
+}
+
+TEST(Sarif, ColumnZeroClampsToOne) {
+  std::vector<Diagnostic> diags(1);
+  diags[0].code = DiagCode::LockLeak;
+  diags[0].message = "leak";
+  diags[0].loc = SourceLoc{7, 0};  // whole-line diagnostic
+  const std::string log = toSarif(diags, "x.cp");
+  EXPECT_NE(log.find("\"startLine\":7"), std::string::npos);
+  EXPECT_NE(log.find("\"startColumn\":1"), std::string::npos);
+}
+
+TEST(Sarif, SeverityMapsToLevel) {
+  std::vector<Diagnostic> diags(2);
+  diags[0].severity = DiagSeverity::Warning;
+  diags[0].code = DiagCode::PotentialDataRace;
+  diags[0].message = "w";
+  diags[1].severity = DiagSeverity::Error;
+  diags[1].code = DiagCode::SyntaxError;
+  diags[1].message = "e";
+  const std::string log = toSarif(diags, "x.cp");
+  EXPECT_NE(log.find("\"level\":\"warning\""), std::string::npos);
+  EXPECT_NE(log.find("\"level\":\"error\""), std::string::npos);
+}
+
+TEST(Sarif, JsonEscaping) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Sarif, MessagesAreEscaped) {
+  std::vector<Diagnostic> diags(1);
+  diags[0].code = DiagCode::PotentialDataRace;
+  diags[0].message = "race on \"a\"\nsecond line";
+  const std::string log = toSarif(diags, "x.cp");
+  EXPECT_NE(log.find("race on \\\"a\\\"\\nsecond line"), std::string::npos);
+  EXPECT_EQ(log.find('\n'), std::string::npos);  // single-line output
+}
+
+TEST(Json, CompactFormStructure) {
+  const std::vector<Diagnostic> diags = figure1Diags();
+  const std::string out = toJson(diags, "figure1.cp");
+  EXPECT_NE(out.find("\"file\":\"figure1.cp\""), std::string::npos);
+  EXPECT_EQ(countOccurrences(out, "\"code\":"), diags.size());
+  EXPECT_NE(out.find("\"notes\":["), std::string::npos);
+  EXPECT_NE(out.find("\"line\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cssame::sanalysis
