@@ -12,6 +12,7 @@
 //   --races           run the lock-consistency data race checks
 //   --stats           print analysis statistics
 //   --csan            run the full static concurrency analyzer
+//   --vrange          run the concurrent value-range analysis (CVRA)
 //   --sarif[=FILE]    emit all diagnostics as SARIF 2.1.0 (implies --csan);
 //                     FILE defaults to stdout
 //   --json[=FILE]     emit all diagnostics as compact JSON (implies --csan)
@@ -35,6 +36,7 @@
 #include "src/pfg/dot.h"
 #include "src/sanalysis/csan.h"
 #include "src/sanalysis/sarif.h"
+#include "src/sanalysis/vrange.h"
 
 using namespace cssame;
 
@@ -44,7 +46,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
                "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
-               "[--sarif[=FILE]] [--json[=FILE]] <file>\n");
+               "[--vrange] [--sarif[=FILE]] [--json[=FILE]] <file>\n");
   std::exit(2);
 }
 
@@ -68,7 +70,7 @@ void writeOut(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   bool dumpPfg = false, dumpForm = false, cssame = true, doOpt = false;
   bool doRun = false, doRaces = false, doStats = false, doCsan = false;
-  bool doSarif = false, doJson = false;
+  bool doSarif = false, doJson = false, doVrange = false;
   std::string sarifPath, jsonPath;
   std::uint64_t seed = 1;
   const char* file = nullptr;
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--races") == 0) doRaces = true;
     else if (std::strcmp(arg, "--stats") == 0) doStats = true;
     else if (std::strcmp(arg, "--csan") == 0) doCsan = true;
+    else if (std::strcmp(arg, "--vrange") == 0) doVrange = true;
     else if (std::strncmp(arg, "--sarif", 7) == 0 &&
              (arg[7] == '\0' || arg[7] == '=')) {
       doSarif = doCsan = true;
@@ -136,10 +139,12 @@ int main(int argc, char** argv) {
     for (const auto& d : raceDiag.diagnostics())
       std::fprintf(stderr, "%s\n", d.str().c_str());
   }
+  // Analyzer diagnostics (csan, then vrange) accumulate into one engine
+  // so the SARIF/JSON streams carry every finding.
+  DiagEngine toolDiag;
   if (doCsan) {
-    DiagEngine csanDiag;
-    const sanalysis::CsanReport report = sanalysis::runCsan(c, csanDiag);
-    for (const auto& d : csanDiag.diagnostics())
+    const sanalysis::CsanReport report = sanalysis::runCsan(c, toolDiag);
+    for (const auto& d : toolDiag.diagnostics())
       std::fprintf(stderr, "%s\n", d.str().c_str());
     std::fprintf(stderr,
                  "csan: %zu finding(s): %zu race(s), %zu inconsistent, "
@@ -152,14 +157,28 @@ int main(int argc, char** argv) {
                  report.emptyBodies + report.redundantBodies +
                      report.overwideBodies,
                  report.unprotectedPiReads);
-    if (doSarif || doJson) {
-      // One stream in emission order: pipeline warnings, then csan's.
-      std::vector<Diagnostic> all = c.diag().diagnostics();
-      all.insert(all.end(), csanDiag.diagnostics().begin(),
-                 csanDiag.diagnostics().end());
-      if (doSarif) writeOut(sarifPath, sanalysis::toSarif(all, file));
-      if (doJson) writeOut(jsonPath, sanalysis::toJson(all, file));
+  }
+  if (doVrange) {
+    const std::size_t before = toolDiag.diagnostics().size();
+    const sanalysis::VrangeResult vr =
+        sanalysis::analyzeValueRanges(c, &toolDiag);
+    for (std::size_t i = before; i < toolDiag.diagnostics().size(); ++i)
+      std::fprintf(stderr, "%s\n", toolDiag.diagnostics()[i].str().c_str());
+    std::fprintf(stderr, "%s\n", vr.stats.str().c_str());
+    const std::string mismatch = sanalysis::crossCheckConstants(c, vr);
+    if (!mismatch.empty()) {
+      std::fprintf(stderr, "vrange: CSCC cross-check FAILED: %s\n",
+                   mismatch.c_str());
+      return 1;
     }
+  }
+  if (doSarif || doJson) {
+    // One stream in emission order: pipeline warnings, then the analyzers'.
+    std::vector<Diagnostic> all = c.diag().diagnostics();
+    all.insert(all.end(), toolDiag.diagnostics().begin(),
+               toolDiag.diagnostics().end());
+    if (doSarif) writeOut(sarifPath, sanalysis::toSarif(all, file));
+    if (doJson) writeOut(jsonPath, sanalysis::toJson(all, file));
   }
   if (doStats) {
     std::printf("statements:        %zu\n", prog.size());
@@ -177,6 +196,11 @@ int main(int argc, char** argv) {
                 "(%.0f%%)\n",
                 cs.totalInterior, cs.totalIndependent,
                 100.0 * cs.independentFraction());
+    // Force the lazy dataflow caches so the stats are deterministic.
+    (void)c.heldLocks();
+    (void)c.reaching();
+    for (const dataflow::SolveStats& s : c.solverStats())
+      std::printf("solver:            %s\n", s.str().c_str());
   }
   if (dumpPfg) std::printf("%s", pfg::toDot(c.graph()).c_str());
   if (dumpForm)
@@ -200,6 +224,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n",
                    r.deadlocked ? "deadlock" : "step limit exceeded");
     if (r.lockError) std::fprintf(stderr, "lock error\n");
+    if (r.assertFailed) std::fprintf(stderr, "assertion failed\n");
   }
   return 0;
 }

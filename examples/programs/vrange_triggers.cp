@@ -1,0 +1,24 @@
+// Minimal triggers for every CVRA diagnostic (run: cssamec --vrange).
+// The entry value of every variable is 0; a is pinned to 1, so the
+// branch below is decided and its else side is unreachable, and the
+// division by b (still 0) is definite. The racy merge of c only covers
+// [0,4]: assert(c > 5) therefore always fails, while assert(c > 2)
+// holds on some interleavings and fails on others.
+int a, b, d, c;
+lock L;
+a = 1;
+if (a > 0) {
+  d = a + 2;
+} else {
+  d = 9;
+}
+d = d / b;
+cobegin {
+  thread T0 { lock(L); c = 2; unlock(L); }
+  thread T1 { lock(L); c = 4; unlock(L); }
+}
+assert(a);
+assert(c > 5);
+assert(c > 2);
+print(d);
+print(c);

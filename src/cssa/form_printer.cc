@@ -80,6 +80,9 @@ class FormPrinter {
       case ir::StmtKind::Print:
         out_ += "print(" + expr(*s->expr) + ")";
         break;
+      case ir::StmtKind::Assert:
+        out_ += "assert(" + expr(*s->expr) + ")";
+        break;
       default:
         out_ += ir::stmtKindName(s->kind);
         break;

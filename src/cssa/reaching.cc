@@ -1,66 +1,60 @@
 #include "src/cssa/reaching.h"
 
-#include <deque>
+#include <algorithm>
 
 namespace cssame::cssa {
+
+namespace {
+
+/// SsaPropagator problem: each SSA name carries the set of *real*
+/// definitions (Entry and Assign) that may flow into it. R(d) = {d} for a
+/// real definition; φ and π terms union over their arguments — exactly
+/// the transitive FUD-chain expansion of Algorithm A.4, but solved once
+/// for every name instead of re-walked per use.
+struct RealDefsProblem {
+  using Value = std::vector<SsaNameId>;  ///< sorted, unique
+
+  [[nodiscard]] const char* name() const { return "reaching-defs"; }
+  [[nodiscard]] Value initial(const ssa::Definition& d) const {
+    return {d.name};
+  }
+  [[nodiscard]] Value identity() const { return {}; }
+  void join(Value& into, const Value& arg) const {
+    Value merged;
+    merged.reserve(into.size() + arg.size());
+    std::set_union(into.begin(), into.end(), arg.begin(), arg.end(),
+                   std::back_inserter(merged));
+    into = std::move(merged);
+  }
+};
+
+}  // namespace
 
 ReachingInfo computeParallelReachingDefs(const pfg::Graph& graph,
                                          const ssa::SsaForm& form) {
   ReachingInfo info;
 
-  auto followChain = [&](const ir::Expr* use, SsaNameId start) {
-    // A.4's marked() memoization, realized as a per-use visited set.
-    std::vector<bool> visited(form.defs.size(), false);
-    std::deque<SsaNameId> work{start};
-    visited[start.index()] = true;
-    auto& defs = info.defsOf[use];
-    while (!work.empty()) {
-      const SsaNameId id = work.front();
-      work.pop_front();
-      const ssa::Definition& d = form.def(id);
-      switch (d.kind) {
-        case ssa::DefKind::Entry:
-        case ssa::DefKind::Assign:
-          defs.push_back(id);
-          info.usesOf[id].push_back(use);
-          break;
-        case ssa::DefKind::Phi:
-          for (const ssa::PhiArg& a : d.phiArgs) {
-            if (!visited[a.def.index()]) {
-              visited[a.def.index()] = true;
-              work.push_back(a.def);
-            }
-          }
-          break;
-        case ssa::DefKind::Pi:
-          if (!visited[d.piControlArg.index()]) {
-            visited[d.piControlArg.index()] = true;
-            work.push_back(d.piControlArg);
-          }
-          for (const ssa::PiConflictArg& a : d.piConflictArgs) {
-            if (!visited[a.def.index()]) {
-              visited[a.def.index()] = true;
-              work.push_back(a.def);
-            }
-          }
-          break;
-      }
-    }
-  };
+  dataflow::SsaPropagator<RealDefsProblem> solver(form, {});
+  const Status status = solver.solve();
+  CSSAME_CHECK(status.ok(), "reaching-defs propagation did not converge");
+  info.stats = solver.stats();
 
-  auto followAllUses = [&](const ir::Expr& root) {
+  auto recordUses = [&](const ir::Expr& root) {
     ir::forEachExpr(root, [&](const ir::Expr& sub) {
       if (sub.kind != ir::ExprKind::VarRef) return;
       auto it = form.useDef.find(&sub);
-      if (it != form.useDef.end()) followChain(&sub, it->second);
+      if (it == form.useDef.end()) return;
+      const std::vector<SsaNameId>& defs = solver.valueOf(it->second);
+      info.defsOf[&sub] = defs;
+      for (SsaNameId d : defs) info.usesOf[d].push_back(&sub);
     });
   };
 
   for (const pfg::Node& n : graph.nodes()) {
     for (const ir::Stmt* s : n.stmts)
-      if (s->expr) followAllUses(*s->expr);
+      if (s->expr) recordUses(*s->expr);
     if (n.terminator != nullptr && n.terminator->expr)
-      followAllUses(*n.terminator->expr);
+      recordUses(*n.terminator->expr);
   }
   return info;
 }

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/dataflow/framework.h"
 #include "src/ssa/ssa.h"
 
 namespace cssame::cssa {
@@ -35,6 +36,9 @@ struct ReachingInfo {
     auto it = usesOf.find(def);
     return it == usesOf.end() ? kEmpty : it->second;
   }
+
+  /// Convergence report of the underlying sparse solver.
+  dataflow::SolveStats stats;
 };
 
 [[nodiscard]] ReachingInfo computeParallelReachingDefs(

@@ -1,0 +1,311 @@
+// Generic dataflow framework over the PFG and the CSSAME form.
+//
+// Three hand-rolled fixpoints used to live in the library — the held-locks
+// may/must sweep (sanalysis), the parallel reaching-definition chase
+// (cssa) and the CSCC propagation engine (opt). They are now instances of
+// the three solver shapes defined here:
+//
+//   DenseSolver<P>       a classic iterative worklist solver over PFG
+//                        control edges: per-node IN/OUT values, a meet
+//                        over predecessors (successors when backward) and
+//                        a transfer function. P picks the direction and
+//                        the lattice (may = union, must = intersect, or
+//                        anything else with a monotone meet).
+//
+//   SsaPropagator<P>     a sparse solver over the SSA names of the
+//                        CSSAME form: each definition carries one lattice
+//                        value, φ/π terms re-join their arguments, and
+//                        changes ripple along the factored def-use edges
+//                        only — no per-node state at all.
+//
+//   SparseConditional<D> (sccp.h) the Wegman–Zadeck conditional engine —
+//                        SSA values plus control-edge executability —
+//                        shared by CSCC constant propagation and the
+//                        concurrent value-range analysis.
+//
+// All solvers run under an iteration budget and report structured
+// SolveStats; a blown budget degrades to a Fault (BudgetExceeded) through
+// the existing Expected/Status machinery instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/pfg/graph.h"
+#include "src/ssa/ssa.h"
+#include "src/support/status.h"
+
+namespace cssame::dataflow {
+
+enum class Direction : std::uint8_t { Forward, Backward };
+
+struct SolverOptions {
+  /// Cap on node (dense) or definition (sparse) re-evaluations. The
+  /// default is generous: real programs converge in a few sweeps, and the
+  /// cap only exists so a non-monotone transfer function cannot hang the
+  /// compiler.
+  std::uint64_t maxIterations = 1u << 22;
+};
+
+/// Convergence report of one solver run, surfaced through
+/// driver::Compilation::solverStats() and `cssamec --stats`.
+struct SolveStats {
+  std::string analysis;           ///< e.g. "held-locks", "reaching-defs"
+  std::uint64_t iterations = 0;   ///< node/def re-evaluations performed
+  std::uint64_t changes = 0;      ///< evaluations that lowered a value
+  bool converged = false;
+
+  [[nodiscard]] std::string str() const {
+    return analysis + ": " + std::to_string(iterations) + " iteration(s), " +
+           std::to_string(changes) + " change(s)" +
+           (converged ? "" : " [budget exceeded]");
+  }
+};
+
+/// Dense iterative solver. The problem type P supplies:
+///
+///   using Value = ...;                      // with operator==
+///   static constexpr Direction direction;
+///   const char* name() const;
+///   Value boundary() const;                 // entry (fwd) / exit (bwd)
+///   Value top(NodeId n) const;              // optimistic initial value
+///   void meet(Value& into, const Value& from) const;
+///   Value transfer(const pfg::Node& n, const Value& in) const;
+///
+/// IN[boundary] = boundary(); IN[n] = meet over out-values of control
+/// predecessors (successors when backward); OUT[n] = transfer(n, IN[n]).
+template <typename P>
+class DenseSolver {
+ public:
+  using Value = typename P::Value;
+
+  DenseSolver(const pfg::Graph& graph, P problem, SolverOptions opts = {})
+      : graph_(graph), problem_(std::move(problem)), opts_(opts) {}
+
+  /// Runs to fixpoint. Returns a BudgetExceeded fault if the iteration
+  /// cap trips first (the partial result is still readable and sound for
+  /// monotone problems only after convergence).
+  Status solve() {
+    constexpr bool forward = P::direction == Direction::Forward;
+    const std::size_t n = graph_.size();
+    const NodeId boundary = forward ? graph_.entry : graph_.exit;
+    stats_ = SolveStats{problem_.name(), 0, 0, false};
+
+    in_.clear();
+    out_.clear();
+    in_.reserve(n);
+    out_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id{static_cast<NodeId::value_type>(i)};
+      in_.push_back(id == boundary ? problem_.boundary() : problem_.top(id));
+      out_.push_back(problem_.transfer(graph_.node(id), in_.back()));
+    }
+
+    // Seed in reverse post-order over the solving direction so the first
+    // sweep already visits most nodes after their inputs.
+    std::deque<NodeId> work;
+    std::vector<bool> queued(n, false);
+    for (NodeId id : postorder(boundary, forward)) {
+      work.push_front(id);
+      queued[id.index()] = true;
+    }
+    // Nodes unreachable from the boundary still get solved (their top()
+    // values may matter to callers); append them after the ordered seed.
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id{static_cast<NodeId::value_type>(i)};
+      if (!queued[i]) {
+        work.push_back(id);
+        queued[i] = true;
+      }
+    }
+
+    while (!work.empty()) {
+      if (stats_.iterations >= opts_.maxIterations)
+        return Fault{FaultKind::BudgetExceeded, problem_.name(),
+                     "dataflow iteration budget exhausted after " +
+                         std::to_string(stats_.iterations) + " iterations"};
+      const NodeId id = work.front();
+      work.pop_front();
+      queued[id.index()] = false;
+      ++stats_.iterations;
+
+      const pfg::Node& node = graph_.node(id);
+      if (id != boundary) {
+        Value v = problem_.top(id);
+        for (NodeId p : forward ? node.preds : node.succs)
+          problem_.meet(v, out_[p.index()]);
+        if (!(v == in_[id.index()])) in_[id.index()] = std::move(v);
+      }
+      Value o = problem_.transfer(node, in_[id.index()]);
+      if (o == out_[id.index()]) continue;
+      out_[id.index()] = std::move(o);
+      ++stats_.changes;
+      for (NodeId s : forward ? node.succs : node.preds) {
+        if (!queued[s.index()]) {
+          queued[s.index()] = true;
+          work.push_back(s);
+        }
+      }
+    }
+    stats_.converged = true;
+    return Status::okStatus();
+  }
+
+  [[nodiscard]] const Value& inOf(NodeId n) const { return in_[n.index()]; }
+  [[nodiscard]] const Value& outOf(NodeId n) const { return out_[n.index()]; }
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+  [[nodiscard]] P& problem() { return problem_; }
+
+ private:
+  /// Post-order of the control flow reachable from `root`, following
+  /// succs (forward solve) or preds (backward solve).
+  [[nodiscard]] std::vector<NodeId> postorder(NodeId root,
+                                              bool forward) const {
+    std::vector<NodeId> order;
+    if (!root.valid()) return order;
+    std::vector<bool> seen(graph_.size(), false);
+    // Iterative DFS with an explicit edge cursor per frame.
+    std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+    seen[root.index()] = true;
+    while (!stack.empty()) {
+      auto& [id, cursor] = stack.back();
+      const auto& next =
+          forward ? graph_.node(id).succs : graph_.node(id).preds;
+      if (cursor < next.size()) {
+        const NodeId s = next[cursor++];
+        if (!seen[s.index()]) {
+          seen[s.index()] = true;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        order.push_back(id);
+        stack.pop_back();
+      }
+    }
+    return order;
+  }
+
+  const pfg::Graph& graph_;
+  P problem_;
+  SolverOptions opts_;
+  std::vector<Value> in_, out_;
+  SolveStats stats_;
+};
+
+/// Sparse solver over SSA names. The problem type P supplies:
+///
+///   using Value = ...;                      // with operator==
+///   const char* name() const;
+///   Value initial(const ssa::Definition& d) const;  // Entry/Assign value
+///   Value identity() const;                 // neutral element of join
+///   void join(Value& into, const Value& arg) const;
+///
+/// φ values re-join over their arguments, π values join their control
+/// argument with every conflict argument — the concurrent merge the
+/// CSSAME form makes explicit. Removed definitions are skipped.
+template <typename P>
+class SsaPropagator {
+ public:
+  using Value = typename P::Value;
+
+  SsaPropagator(const ssa::SsaForm& form, P problem, SolverOptions opts = {})
+      : form_(form), problem_(std::move(problem)), opts_(opts) {}
+
+  Status solve() {
+    const std::size_t n = form_.defs.size();
+    stats_ = SolveStats{problem_.name(), 0, 0, false};
+
+    // Factored def-use edges: which φ/π terms consume each definition.
+    users_.assign(n, {});
+    for (const ssa::Definition& d : form_.defs) {
+      if (d.removed) continue;
+      if (d.kind == ssa::DefKind::Phi) {
+        for (const ssa::PhiArg& a : d.phiArgs)
+          users_[a.def.index()].push_back(d.name);
+      } else if (d.kind == ssa::DefKind::Pi) {
+        users_[d.piControlArg.index()].push_back(d.name);
+        for (const ssa::PiConflictArg& a : d.piConflictArgs)
+          users_[a.def.index()].push_back(d.name);
+      }
+    }
+
+    values_.clear();
+    values_.reserve(n);
+    std::deque<SsaNameId> work;
+    std::vector<bool> queued(n, false);
+    for (const ssa::Definition& d : form_.defs) {
+      values_.push_back(evaluate(d));
+      if (!d.removed &&
+          (d.kind == ssa::DefKind::Phi || d.kind == ssa::DefKind::Pi)) {
+        work.push_back(d.name);
+        queued[d.name.index()] = true;
+      }
+    }
+
+    while (!work.empty()) {
+      if (stats_.iterations >= opts_.maxIterations)
+        return Fault{FaultKind::BudgetExceeded, problem_.name(),
+                     "ssa propagation budget exhausted after " +
+                         std::to_string(stats_.iterations) + " iterations"};
+      const SsaNameId id = work.front();
+      work.pop_front();
+      queued[id.index()] = false;
+      ++stats_.iterations;
+
+      Value v = evaluate(form_.def(id));
+      if (v == values_[id.index()]) continue;
+      values_[id.index()] = std::move(v);
+      ++stats_.changes;
+      for (SsaNameId u : users_[id.index()]) {
+        if (!queued[u.index()]) {
+          queued[u.index()] = true;
+          work.push_back(u);
+        }
+      }
+    }
+    stats_.converged = true;
+    return Status::okStatus();
+  }
+
+  [[nodiscard]] const Value& valueOf(SsaNameId d) const {
+    return values_[d.index()];
+  }
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] Value evaluate(const ssa::Definition& d) const {
+    switch (d.kind) {
+      case ssa::DefKind::Entry:
+      case ssa::DefKind::Assign:
+        return problem_.initial(d);
+      case ssa::DefKind::Phi: {
+        Value v = problem_.identity();
+        for (const ssa::PhiArg& a : d.phiArgs)
+          if (a.def.index() < values_.size())
+            problem_.join(v, values_[a.def.index()]);
+        return v;
+      }
+      case ssa::DefKind::Pi: {
+        Value v = problem_.identity();
+        if (d.piControlArg.index() < values_.size())
+          problem_.join(v, values_[d.piControlArg.index()]);
+        for (const ssa::PiConflictArg& a : d.piConflictArgs)
+          if (a.def.index() < values_.size())
+            problem_.join(v, values_[a.def.index()]);
+        return v;
+      }
+    }
+    return problem_.identity();
+  }
+
+  const ssa::SsaForm& form_;
+  P problem_;
+  SolverOptions opts_;
+  std::vector<Value> values_;
+  std::vector<std::vector<SsaNameId>> users_;
+  SolveStats stats_;
+};
+
+}  // namespace cssame::dataflow

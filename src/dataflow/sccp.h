@@ -1,0 +1,298 @@
+// Sparse conditional propagation over the CSSAME form — the
+// Wegman–Zadeck SCC engine generalized over its value lattice.
+//
+// The engine owns everything that is lattice-independent: the two
+// worklists (control edges and SSA names), edge/node executability, the
+// φ meet over executable incoming edges and the π meet of the control
+// argument with every conflict argument whose defining node is
+// executable (the concurrent merge the CSSAME rewriting prunes). The
+// domain supplies the values:
+//
+//   struct Domain {
+//     using Value = ...;                       // with operator==
+//     const char* name() const;
+//     Value top() const;                       // unevaluated / unreachable
+//     Value constant(long long v) const;       // IntConst and entry (=0)
+//     Value unknown() const;                   // external call result
+//     Value meet(const Value& a, const Value& b) const;
+//     Value evalUnary(ir::UnOp op, const Value& v) const;
+//     Value evalBinary(ir::BinOp op, const Value& a, const Value& b) const;
+//     BranchVerdict branch(const Value& cond) const;
+//     // Convergence hook: called when a definition's value changes after
+//     // it already held a non-top value; `growths` counts such changes.
+//     // Domains with infinite descending chains (intervals) widen here;
+//     // finite lattices return `next` unchanged.
+//     Value widen(const Value& prev, const Value& next,
+//                 std::uint32_t growths) const;
+//   };
+//
+// CSCC instantiates this with the three-point constant lattice
+// (opt/cscc.cc); the concurrent value-range analysis instantiates it
+// with intervals (sanalysis/vrange.cc).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dataflow/framework.h"
+
+namespace cssame::dataflow {
+
+/// What a branch condition's lattice value says about the outgoing edges.
+enum class BranchVerdict : std::uint8_t {
+  Unknown,    ///< still top: wait for more information
+  Both,       ///< either edge may execute
+  TrueOnly,   ///< only the taken edge (succs[0]) executes
+  FalseOnly,  ///< only the fall-through edge (succs[1]) executes
+};
+
+template <typename D>
+class SparseConditional {
+ public:
+  using Value = typename D::Value;
+
+  SparseConditional(const pfg::Graph& graph, const ssa::SsaForm& form,
+                    D domain, SolverOptions opts = {})
+      : graph_(graph), form_(form), domain_(std::move(domain)), opts_(opts) {}
+
+  Status solve() {
+    stats_ = SolveStats{domain_.name(), 0, 0, false};
+    lattice_.assign(form_.defs.size(), domain_.top());
+    growths_.assign(form_.defs.size(), 0);
+    nodeExec_.assign(graph_.size(), false);
+    edgeExec_.assign(graph_.size(), {});
+    for (std::size_t i = 0; i < graph_.size(); ++i)
+      edgeExec_[i].assign(
+          graph_.node(NodeId{static_cast<NodeId::value_type>(i)})
+              .succs.size(),
+          false);
+
+    // Program entry: every variable starts at 0 (language semantics).
+    for (SsaNameId d : form_.entryDef)
+      if (d.valid()) lattice_[d.index()] = domain_.constant(0);
+
+    buildUsers();
+
+    for (std::size_t i = 0; i < graph_.node(graph_.entry).succs.size(); ++i)
+      flowWork_.push_back({graph_.entry, i});
+
+    while (!flowWork_.empty() || !ssaWork_.empty()) {
+      if (stats_.iterations >= opts_.maxIterations)
+        return Fault{FaultKind::BudgetExceeded, domain_.name(),
+                     "sccp iteration budget exhausted after " +
+                         std::to_string(stats_.iterations) + " iterations"};
+      while (!flowWork_.empty()) {
+        auto [from, succIdx] = flowWork_.front();
+        flowWork_.pop_front();
+        ++stats_.iterations;
+        markEdge(from, succIdx);
+      }
+      while (!ssaWork_.empty()) {
+        const SsaNameId d = ssaWork_.front();
+        ssaWork_.pop_front();
+        ++stats_.iterations;
+        propagate(d);
+      }
+    }
+    stats_.converged = true;
+    return Status::okStatus();
+  }
+
+  [[nodiscard]] const Value& value(SsaNameId d) const {
+    return lattice_[d.index()];
+  }
+  [[nodiscard]] bool nodeExecutable(NodeId n) const {
+    return nodeExec_[n.index()];
+  }
+  [[nodiscard]] bool edgeExecutable(NodeId from, std::size_t succIdx) const {
+    return edgeExec_[from.index()][succIdx];
+  }
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+  [[nodiscard]] const D& domain() const { return domain_; }
+
+  /// Evaluates an expression in the current lattice environment (VarRefs
+  /// read their use-def values). Callers use this post-fixpoint to grade
+  /// conditions and operands with domain-specific precision.
+  [[nodiscard]] Value evalExpr(const ir::Expr& e) const {
+    switch (e.kind) {
+      case ir::ExprKind::IntConst:
+        return domain_.constant(e.intValue);
+      case ir::ExprKind::VarRef:
+        return lattice_[form_.useDef.at(&e).index()];
+      case ir::ExprKind::Unary:
+        return domain_.evalUnary(e.unop, evalExpr(*e.operands[0]));
+      case ir::ExprKind::Binary:
+        return domain_.evalBinary(e.binop, evalExpr(*e.operands[0]),
+                                  evalExpr(*e.operands[1]));
+      case ir::ExprKind::Call:
+        return domain_.unknown();
+    }
+    return domain_.unknown();
+  }
+
+ private:
+  struct Users {
+    std::vector<SsaNameId> terms;  ///< φ/π definitions using this def
+    std::vector<ir::Stmt*> stmts;  ///< simple statements using it
+    std::vector<NodeId> branches;  ///< nodes whose terminator uses it
+  };
+
+  void buildUsers() {
+    users_.assign(form_.defs.size(), {});
+    pisByStmt_.clear();
+    pisByNode_.assign(graph_.size(), {});
+
+    for (const ssa::Definition& d : form_.defs) {
+      if (d.removed) continue;
+      if (d.kind == ssa::DefKind::Phi) {
+        for (const ssa::PhiArg& a : d.phiArgs)
+          users_[a.def.index()].terms.push_back(d.name);
+      } else if (d.kind == ssa::DefKind::Pi) {
+        users_[d.piControlArg.index()].terms.push_back(d.name);
+        for (const ssa::PiConflictArg& a : d.piConflictArgs) {
+          users_[a.def.index()].terms.push_back(d.name);
+          pisByNode_[a.fromNode.index()].push_back(d.name);
+        }
+        pisByStmt_[d.piUseStmt].push_back(d.name);
+      }
+    }
+
+    for (const pfg::Node& n : graph_.nodes()) {
+      for (ir::Stmt* s : n.stmts) {
+        if (!s->expr) continue;
+        ir::forEachExpr(*s->expr, [&](const ir::Expr& e) {
+          if (e.kind != ir::ExprKind::VarRef) return;
+          users_[form_.useDef.at(&e).index()].stmts.push_back(s);
+        });
+      }
+      if (n.terminator != nullptr && n.terminator->expr) {
+        ir::forEachExpr(*n.terminator->expr, [&](const ir::Expr& e) {
+          if (e.kind != ir::ExprKind::VarRef) return;
+          users_[form_.useDef.at(&e).index()].branches.push_back(n.id);
+        });
+      }
+    }
+  }
+
+  void lower(SsaNameId d, const Value& v) {
+    const Value& prev = lattice_[d.index()];
+    Value merged = domain_.meet(prev, v);
+    if (merged == prev) return;
+    if (!(prev == domain_.top()))
+      merged = domain_.widen(prev, merged, ++growths_[d.index()]);
+    if (merged == prev) return;
+    lattice_[d.index()] = std::move(merged);
+    ++stats_.changes;
+    ssaWork_.push_back(d);
+  }
+
+  void evalTerm(SsaNameId id) {
+    const ssa::Definition& d = form_.def(id);
+    if (d.removed) return;
+    if (d.kind == ssa::DefKind::Phi) {
+      Value v = domain_.top();
+      for (const ssa::PhiArg& a : d.phiArgs) {
+        if (!isEdgeExec(a.pred, d.node)) continue;
+        v = domain_.meet(v, lattice_[a.def.index()]);
+      }
+      lower(id, v);
+    } else if (d.kind == ssa::DefKind::Pi) {
+      Value v = lattice_[d.piControlArg.index()];
+      for (const ssa::PiConflictArg& a : d.piConflictArgs) {
+        if (!nodeExec_[a.fromNode.index()]) continue;
+        v = domain_.meet(v, lattice_[a.def.index()]);
+      }
+      lower(id, v);
+    }
+  }
+
+  [[nodiscard]] bool isEdgeExec(NodeId from, NodeId to) const {
+    const pfg::Node& f = graph_.node(from);
+    for (std::size_t i = 0; i < f.succs.size(); ++i)
+      if (f.succs[i] == to && edgeExec_[from.index()][i]) return true;
+    return false;
+  }
+
+  void evalStmt(ir::Stmt* s) {
+    // π terms feeding this statement's uses first.
+    auto it = pisByStmt_.find(s);
+    if (it != pisByStmt_.end())
+      for (SsaNameId pi : it->second) evalTerm(pi);
+    if (s->kind == ir::StmtKind::Assign)
+      lower(form_.assignDef.at(s), evalExpr(*s->expr));
+  }
+
+  void evalBranch(NodeId id) {
+    const pfg::Node& n = graph_.node(id);
+    if (n.terminator == nullptr) {
+      for (std::size_t i = 0; i < n.succs.size(); ++i)
+        flowWork_.push_back({id, i});
+      return;
+    }
+    auto it = pisByStmt_.find(n.terminator);
+    if (it != pisByStmt_.end())
+      for (SsaNameId pi : it->second) evalTerm(pi);
+    switch (domain_.branch(evalExpr(*n.terminator->expr))) {
+      case BranchVerdict::Unknown:
+        return;  // wait for more information
+      case BranchVerdict::Both:
+        for (std::size_t i = 0; i < n.succs.size(); ++i)
+          flowWork_.push_back({id, i});
+        return;
+      // succs[0] = taken (then/body), succs[1] = not taken (else/exit).
+      case BranchVerdict::TrueOnly:
+        flowWork_.push_back({id, 0});
+        return;
+      case BranchVerdict::FalseOnly:
+        if (n.succs.size() > 1) flowWork_.push_back({id, 1});
+        return;
+    }
+  }
+
+  void markEdge(NodeId from, std::size_t succIdx) {
+    if (edgeExec_[from.index()][succIdx]) return;
+    edgeExec_[from.index()][succIdx] = true;
+    const NodeId to = graph_.node(from).succs[succIdx];
+
+    // φ terms at the target see a new executable incoming edge.
+    for (SsaNameId phi : form_.phisAt[to.index()]) evalTerm(phi);
+
+    if (nodeExec_[to.index()]) return;
+    nodeExec_[to.index()] = true;
+
+    // π terms with conflict arguments defined in this node may lower.
+    for (SsaNameId pi : pisByNode_[to.index()]) evalTerm(pi);
+
+    const pfg::Node& n = graph_.node(to);
+    for (ir::Stmt* s : n.stmts) evalStmt(s);
+    evalBranch(to);
+  }
+
+  void propagate(SsaNameId d) {
+    const Users& u = users_[d.index()];
+    for (SsaNameId t : u.terms) evalTerm(t);
+    for (ir::Stmt* s : u.stmts)
+      if (nodeExec_[graph_.nodeOf(s).index()]) evalStmt(s);
+    for (NodeId b : u.branches)
+      if (nodeExec_[b.index()]) evalBranch(b);
+  }
+
+  const pfg::Graph& graph_;
+  const ssa::SsaForm& form_;
+  D domain_;
+  SolverOptions opts_;
+
+  std::vector<Value> lattice_;
+  std::vector<std::uint32_t> growths_;
+  std::vector<bool> nodeExec_;
+  std::vector<std::vector<bool>> edgeExec_;  // parallel to node.succs
+  std::vector<Users> users_;
+  std::unordered_map<const ir::Stmt*, std::vector<SsaNameId>> pisByStmt_;
+  std::vector<std::vector<SsaNameId>> pisByNode_;
+  std::deque<std::pair<NodeId, std::size_t>> flowWork_;
+  std::deque<SsaNameId> ssaWork_;
+  SolveStats stats_;
+};
+
+}  // namespace cssame::dataflow

@@ -13,7 +13,9 @@
 #include "src/analysis/concurrency.h"
 #include "src/analysis/dominance.h"
 #include "src/cssa/cssa.h"
+#include "src/cssa/reaching.h"
 #include "src/cssa/rewrite.h"
+#include "src/dataflow/heldlocks.h"
 #include "src/mutex/mutex_structures.h"
 #include "src/parser/parser.h"
 #include "src/pfg/build.h"
@@ -66,6 +68,34 @@ class Compilation {
     return rewriteStats_;
   }
 
+  /// Held-locks dataflow over the PFG, computed on first use and cached
+  /// (the same policy as sites()): csan's lock-lifecycle checks and any
+  /// other lockset consumer share one solve.
+  [[nodiscard]] const dataflow::HeldLocks& heldLocks() const {
+    if (!heldLocks_)
+      heldLocks_ = std::make_unique<dataflow::HeldLocks>(*graph_);
+    return *heldLocks_;
+  }
+
+  /// Concurrent reaching definitions (Algorithm A.4 expansion of φ/π to
+  /// real definitions), computed on first use and cached.
+  [[nodiscard]] const cssa::ReachingInfo& reaching() const {
+    if (!reaching_)
+      reaching_ = std::make_unique<cssa::ReachingInfo>(
+          cssa::computeParallelReachingDefs(*graph_, *ssa_));
+    return *reaching_;
+  }
+
+  /// Iteration counts of the cached dataflow solves that have run so far
+  /// (empty entries for analyses not yet requested) — surfaced by the
+  /// driver's --stats output next to the lock statistics.
+  [[nodiscard]] std::vector<dataflow::SolveStats> solverStats() const {
+    std::vector<dataflow::SolveStats> out;
+    if (heldLocks_) out.push_back(heldLocks_->stats());
+    if (reaching_) out.push_back(reaching_->stats);
+    return out;
+  }
+
   DiagEngine& diag() { return diag_; }
 
   /// Runs every structural verifier over this compilation (input IR, PFG,
@@ -84,6 +114,10 @@ class Compilation {
   std::unique_ptr<ssa::SsaForm> ssa_;
   cssa::PiPlacementStats piStats_;
   cssa::RewriteStats rewriteStats_;
+  /// Lazily computed analysis caches (mutable: computing them on demand
+  /// does not change the observable compilation).
+  mutable std::unique_ptr<dataflow::HeldLocks> heldLocks_;
+  mutable std::unique_ptr<cssa::ReachingInfo> reaching_;
   DiagEngine diag_;
 };
 

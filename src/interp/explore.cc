@@ -1,5 +1,6 @@
 #include "src/interp/explore.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/interp/machine.h"
@@ -39,7 +40,12 @@ bool holdCommonLock(const std::vector<SymbolId>& a,
 class Explorer {
  public:
   Explorer(const ir::Program& prog, ExploreOptions opts)
-      : prog_(prog), opts_(opts) {}
+      : prog_(prog), opts_(opts) {
+    if (opts_.recordValues) {
+      for (const ir::Symbol& s : prog_.symbols.all())
+        if (s.kind == ir::SymbolKind::Var) sampledVars_.push_back(s.id);
+    }
+  }
 
   ExploreResult run() {
     Machine root(prog_);
@@ -63,9 +69,25 @@ class Explorer {
     return stackBytes_ + visited_.size() * 2 * sizeof(std::uint64_t);
   }
 
+  /// Folds every variable's current value into its observed min/max.
+  /// Called once per loop iteration, so every reachable state — including
+  /// the initial one and every terminal one — is sampled exactly when it
+  /// is first visited.
+  void sample(const Machine& machine) {
+    for (SymbolId v : sampledVars_) {
+      const long long val = machine.valueOf(v);
+      auto [it, fresh] = result_.observedRanges.try_emplace(v, val, val);
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, val);
+        it->second.second = std::max(it->second.second, val);
+      }
+    }
+  }
+
   void dfs(Machine machine, std::uint64_t depth) {
     while (true) {
       if (halted_) return;
+      if (opts_.recordValues) sample(machine);
       if (stepsUsed_ >= opts_.maxSteps) {
         trip(support::BudgetKind::Steps, true);
         return;
@@ -77,6 +99,7 @@ class Explorer {
       if (!machine.anyAlive()) {
         result_.outputs.insert(machine.result().output);
         result_.anyLockError |= machine.result().lockError;
+        result_.anyAssertFailure |= machine.result().assertFailed;
         return;
       }
       const std::vector<std::size_t> ready = machine.readyThreads();
@@ -156,6 +179,7 @@ class Explorer {
   const ir::Program& prog_;
   ExploreOptions opts_;
   ExploreResult result_;
+  std::vector<SymbolId> sampledVars_;  ///< Var symbols, when recordValues
   std::unordered_set<std::uint64_t> visited_;
   std::uint64_t stepsUsed_ = 0;
   std::uint64_t stackBytes_ = 0;

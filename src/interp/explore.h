@@ -17,7 +17,9 @@
 // suite (budgets default to ~2M machine steps).
 #pragma once
 
+#include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/ir/program.h"
@@ -39,6 +41,11 @@ struct ExploreOptions {
   /// concrete racing schedule. csan's precision harness uses this to
   /// confirm or refute static PotentialDataRace findings.
   bool detectRaces = false;
+  /// Record, for every variable symbol, the min/max value it ever held in
+  /// any explored state. The value-range analysis (src/sanalysis/vrange)
+  /// is dynamically cross-validated against these observations: a static
+  /// interval that excludes an observed value is a soundness bug.
+  bool recordValues = false;
 };
 
 struct ExploreResult {
@@ -56,6 +63,12 @@ struct ExploreResult {
   /// reachable state had two conflicting accesses simultaneously enabled
   /// without a common lock — a dynamic witness for the race.
   std::set<SymbolId> racedVars;
+  /// With ExploreOptions::recordValues: per variable symbol, the smallest
+  /// and largest value observed across every explored state (including
+  /// the initial all-zeros state).
+  std::map<SymbolId, std::pair<long long, long long>> observedRanges;
+  /// Some schedule tripped an assert(e) with e == 0.
+  bool anyAssertFailure = false;
 
   [[nodiscard]] bool anyRace() const { return !racedVars.empty(); }
 

@@ -53,6 +53,9 @@ struct RunResult {
   bool completed = false;          ///< ran to the end
   bool deadlocked = false;         ///< no thread could make progress
   bool lockError = false;          ///< unlock without holding
+  /// An assert(e) evaluated e == 0. The machine traps: every thread halts
+  /// immediately and no further statements execute.
+  bool assertFailed = false;
   /// First resource budget that ended the run (None when the run finished
   /// or deadlocked within budget).
   support::BudgetKind budgetExceeded = support::BudgetKind::None;

@@ -80,6 +80,12 @@ class Machine {
     return (*f.list)[f.idx].get();
   }
 
+  /// Current value of a symbol's shared-memory cell. The explorer samples
+  /// these to build observed value ranges for the CVRA soundness check.
+  [[nodiscard]] long long valueOf(SymbolId v) const {
+    return vars_[v.index()];
+  }
+
   /// Locks currently held by thread `ti`.
   [[nodiscard]] const std::vector<SymbolId>& heldLocksOf(
       std::size_t ti) const {
@@ -133,6 +139,7 @@ class Machine {
       mix(0x5eedu);
     }
     for (long long v : result_.output) mix(static_cast<std::uint64_t>(v));
+    mix(result_.assertFailed);
     return h;
   }
 
@@ -295,6 +302,15 @@ class Machine {
       case ir::StmtKind::Print:
         result_.output.push_back(eval(*s.expr));
         advance(t);
+        return;
+      case ir::StmtKind::Assert:
+        if (eval(*s.expr) == 0) {
+          // Trap: the whole machine halts, nothing else executes.
+          result_.assertFailed = true;
+          for (Thread& th : threads_) th.status = Status::Done;
+        } else {
+          advance(t);
+        }
         return;
       case ir::StmtKind::Lock: {
         if (lockHolder_[s.sync.index()] == kNoHolder) {

@@ -105,6 +105,12 @@ class ProgramBuilder {
     return append(std::move(s));
   }
 
+  Stmt* assertion(ExprPtr cond) {
+    auto s = prog_.newStmt(StmtKind::Assert);
+    s->expr = std::move(cond);
+    return append(std::move(s));
+  }
+
   Stmt* lockStmt(SymbolId l) { return syncStmt(StmtKind::Lock, l); }
   Stmt* unlockStmt(SymbolId l) { return syncStmt(StmtKind::Unlock, l); }
   Stmt* setStmt(SymbolId e) { return syncStmt(StmtKind::Set, e); }

@@ -138,6 +138,11 @@ class Printer {
         expr(*s.expr, 0);
         out_ += ");\n";
         break;
+      case StmtKind::Assert:
+        out_ += "assert(";
+        expr(*s.expr, 0);
+        out_ += ");\n";
+        break;
       case StmtKind::Lock:
         out_ += "lock(" + nameOf(s.sync) + ");\n";
         break;
@@ -281,6 +286,8 @@ std::string printStmtBrief(const Stmt& s, const SymbolTable& symbols) {
       return printExpr(*s.expr, symbols);
     case StmtKind::Print:
       return "print(" + printExpr(*s.expr, symbols) + ")";
+    case StmtKind::Assert:
+      return "assert(" + printExpr(*s.expr, symbols) + ")";
     case StmtKind::Lock:
       return "lock(" + symbols.nameOf(s.sync) + ")";
     case StmtKind::Unlock:

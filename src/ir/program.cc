@@ -15,6 +15,7 @@ const char* stmtKindName(StmtKind k) {
     case StmtKind::Wait: return "wait";
     case StmtKind::Print: return "print";
     case StmtKind::Barrier: return "barrier";
+    case StmtKind::Assert: return "assert";
   }
   return "?";
 }

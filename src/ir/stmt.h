@@ -29,6 +29,8 @@ enum class StmtKind : std::uint8_t {
   Print,     ///< print(expr) — the observable output of a program
   Barrier,   ///< barrier — all threads of the enclosing cobegin rendezvous
              ///< (extension; the paper lists barriers as future work)
+  Assert,    ///< assert(expr) — traps the execution when expr == 0; the
+             ///< value-range analysis proves or refutes it statically
 };
 
 [[nodiscard]] const char* stmtKindName(StmtKind k);

@@ -70,6 +70,9 @@ class Verifier {
         case StmtKind::Print:
           if (!s.expr) problem(s, "print without value");
           break;
+        case StmtKind::Assert:
+          if (!s.expr) problem(s, "assert without condition");
+          break;
         case StmtKind::If:
         case StmtKind::While:
           if (!s.expr) problem(s, "branch without condition");

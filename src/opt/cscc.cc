@@ -1,258 +1,13 @@
 #include "src/opt/cscc.h"
 
-#include <deque>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
-#include "src/ir/parent_map.h"
+#include "src/support/status.h"
 
 namespace cssame::opt {
 
 namespace {
-
-enum class LatKind : std::uint8_t { Top, Const, Bottom };
-
-struct LatVal {
-  LatKind kind = LatKind::Top;
-  long long value = 0;
-
-  static LatVal top() { return {LatKind::Top, 0}; }
-  static LatVal constant(long long v) { return {LatKind::Const, v}; }
-  static LatVal bottom() { return {LatKind::Bottom, 0}; }
-
-  friend bool operator==(const LatVal& a, const LatVal& b) {
-    return a.kind == b.kind && (a.kind != LatKind::Const || a.value == b.value);
-  }
-};
-
-LatVal meet(const LatVal& a, const LatVal& b) {
-  if (a.kind == LatKind::Top) return b;
-  if (b.kind == LatKind::Top) return a;
-  if (a.kind == LatKind::Bottom || b.kind == LatKind::Bottom)
-    return LatVal::bottom();
-  return a.value == b.value ? a : LatVal::bottom();
-}
-
-class Sccp {
- public:
-  explicit Sccp(driver::Compilation& comp)
-      : comp_(comp), graph_(comp.graph()), form_(comp.ssa()) {}
-
-  void solve() {
-    lattice_.assign(form_.defs.size(), LatVal::top());
-    nodeExec_.assign(graph_.size(), false);
-    edgeExec_.assign(graph_.size(), {});
-    for (std::size_t i = 0; i < graph_.size(); ++i)
-      edgeExec_[i].assign(
-          graph_.node(NodeId{static_cast<NodeId::value_type>(i)})
-              .succs.size(),
-          false);
-
-    // Program entry: every variable starts at 0 (language semantics).
-    for (SsaNameId d : form_.entryDef)
-      if (d.valid()) lattice_[d.index()] = LatVal::constant(0);
-
-    buildUsers();
-
-    for (std::size_t i = 0; i < graph_.node(graph_.entry).succs.size(); ++i)
-      flowWork_.push_back({graph_.entry, i});
-
-    while (!flowWork_.empty() || !ssaWork_.empty()) {
-      while (!flowWork_.empty()) {
-        auto [from, succIdx] = flowWork_.front();
-        flowWork_.pop_front();
-        markEdge(from, succIdx);
-      }
-      while (!ssaWork_.empty()) {
-        const SsaNameId d = ssaWork_.front();
-        ssaWork_.pop_front();
-        propagate(d);
-      }
-    }
-  }
-
-  [[nodiscard]] const LatVal& value(SsaNameId d) const {
-    return lattice_[d.index()];
-  }
-  [[nodiscard]] bool nodeExecutable(NodeId n) const {
-    return nodeExec_[n.index()];
-  }
-
- private:
-  struct Users {
-    std::vector<SsaNameId> terms;   ///< φ/π definitions using this def
-    std::vector<ir::Stmt*> stmts;   ///< simple statements using it
-    std::vector<NodeId> branches;   ///< nodes whose terminator uses it
-  };
-
-  void buildUsers() {
-    users_.assign(form_.defs.size(), {});
-    pisByStmt_.clear();
-    pisByNode_.assign(graph_.size(), {});
-
-    for (const ssa::Definition& d : form_.defs) {
-      if (d.removed) continue;
-      if (d.kind == ssa::DefKind::Phi) {
-        for (const ssa::PhiArg& a : d.phiArgs)
-          users_[a.def.index()].terms.push_back(d.name);
-      } else if (d.kind == ssa::DefKind::Pi) {
-        users_[d.piControlArg.index()].terms.push_back(d.name);
-        for (const ssa::PiConflictArg& a : d.piConflictArgs) {
-          users_[a.def.index()].terms.push_back(d.name);
-          pisByNode_[a.fromNode.index()].push_back(d.name);
-        }
-        pisByStmt_[d.piUseStmt].push_back(d.name);
-      }
-    }
-
-    for (const pfg::Node& n : graph_.nodes()) {
-      for (ir::Stmt* s : n.stmts) {
-        if (!s->expr) continue;
-        ir::forEachExpr(*s->expr, [&](const ir::Expr& e) {
-          if (e.kind != ir::ExprKind::VarRef) return;
-          users_[form_.useDef.at(&e).index()].stmts.push_back(s);
-        });
-      }
-      if (n.terminator != nullptr && n.terminator->expr) {
-        ir::forEachExpr(*n.terminator->expr, [&](const ir::Expr& e) {
-          if (e.kind != ir::ExprKind::VarRef) return;
-          users_[form_.useDef.at(&e).index()].branches.push_back(n.id);
-        });
-      }
-    }
-  }
-
-  LatVal evalExpr(const ir::Expr& e) {
-    switch (e.kind) {
-      case ir::ExprKind::IntConst:
-        return LatVal::constant(e.intValue);
-      case ir::ExprKind::VarRef:
-        return lattice_[form_.useDef.at(&e).index()];
-      case ir::ExprKind::Unary: {
-        const LatVal v = evalExpr(*e.operands[0]);
-        if (v.kind != LatKind::Const) return v;
-        return LatVal::constant(ir::evalUnOp(e.unop, v.value));
-      }
-      case ir::ExprKind::Binary: {
-        const LatVal a = evalExpr(*e.operands[0]);
-        const LatVal b = evalExpr(*e.operands[1]);
-        if (a.kind == LatKind::Bottom || b.kind == LatKind::Bottom)
-          return LatVal::bottom();
-        if (a.kind == LatKind::Top || b.kind == LatKind::Top)
-          return LatVal::top();
-        return LatVal::constant(ir::evalBinOp(e.binop, a.value, b.value));
-      }
-      case ir::ExprKind::Call:
-        return LatVal::bottom();  // external function: unknown value
-    }
-    return LatVal::bottom();
-  }
-
-  void lower(SsaNameId d, const LatVal& v) {
-    const LatVal merged = meet(lattice_[d.index()], v);
-    if (merged == lattice_[d.index()]) return;
-    lattice_[d.index()] = merged;
-    ssaWork_.push_back(d);
-  }
-
-  void evalTerm(SsaNameId id) {
-    const ssa::Definition& d = form_.def(id);
-    if (d.removed) return;
-    if (d.kind == ssa::DefKind::Phi) {
-      LatVal v = LatVal::top();
-      for (const ssa::PhiArg& a : d.phiArgs) {
-        if (!isEdgeExec(a.pred, d.node)) continue;
-        v = meet(v, lattice_[a.def.index()]);
-      }
-      lower(id, v);
-    } else if (d.kind == ssa::DefKind::Pi) {
-      LatVal v = lattice_[d.piControlArg.index()];
-      for (const ssa::PiConflictArg& a : d.piConflictArgs) {
-        if (!nodeExec_[a.fromNode.index()]) continue;
-        v = meet(v, lattice_[a.def.index()]);
-      }
-      lower(id, v);
-    }
-  }
-
-  [[nodiscard]] bool isEdgeExec(NodeId from, NodeId to) const {
-    const pfg::Node& f = graph_.node(from);
-    for (std::size_t i = 0; i < f.succs.size(); ++i)
-      if (f.succs[i] == to && edgeExec_[from.index()][i]) return true;
-    return false;
-  }
-
-  void evalStmt(ir::Stmt* s) {
-    // π terms feeding this statement's uses first.
-    auto it = pisByStmt_.find(s);
-    if (it != pisByStmt_.end())
-      for (SsaNameId pi : it->second) evalTerm(pi);
-    if (s->kind == ir::StmtKind::Assign)
-      lower(form_.assignDef.at(s), evalExpr(*s->expr));
-  }
-
-  void evalBranch(NodeId id) {
-    const pfg::Node& n = graph_.node(id);
-    if (n.terminator == nullptr) {
-      for (std::size_t i = 0; i < n.succs.size(); ++i)
-        flowWork_.push_back({id, i});
-      return;
-    }
-    auto it = pisByStmt_.find(n.terminator);
-    if (it != pisByStmt_.end())
-      for (SsaNameId pi : it->second) evalTerm(pi);
-    const LatVal v = evalExpr(*n.terminator->expr);
-    if (v.kind == LatKind::Top) return;  // wait for more information
-    if (v.kind == LatKind::Bottom) {
-      for (std::size_t i = 0; i < n.succs.size(); ++i)
-        flowWork_.push_back({id, i});
-      return;
-    }
-    // succs[0] = taken (then/body), succs[1] = not taken (else/exit).
-    const std::size_t idx = v.value != 0 ? 0 : 1;
-    if (idx < n.succs.size()) flowWork_.push_back({id, idx});
-  }
-
-  void markEdge(NodeId from, std::size_t succIdx) {
-    if (edgeExec_[from.index()][succIdx]) return;
-    edgeExec_[from.index()][succIdx] = true;
-    const NodeId to = graph_.node(from).succs[succIdx];
-
-    // φ terms at the target see a new executable incoming edge.
-    for (SsaNameId phi : form_.phisAt[to.index()]) evalTerm(phi);
-
-    if (nodeExec_[to.index()]) return;
-    nodeExec_[to.index()] = true;
-
-    // π terms with conflict arguments defined in this node may lower.
-    for (SsaNameId pi : pisByNode_[to.index()]) evalTerm(pi);
-
-    const pfg::Node& n = graph_.node(to);
-    for (ir::Stmt* s : n.stmts) evalStmt(s);
-    evalBranch(to);
-  }
-
-  void propagate(SsaNameId d) {
-    const Users& u = users_[d.index()];
-    for (SsaNameId t : u.terms) evalTerm(t);
-    for (ir::Stmt* s : u.stmts)
-      if (nodeExec_[graph_.nodeOf(s).index()]) evalStmt(s);
-    for (NodeId b : u.branches)
-      if (nodeExec_[b.index()]) evalBranch(b);
-  }
-
-  driver::Compilation& comp_;
-  pfg::Graph& graph_;
-  ssa::SsaForm& form_;
-
-  std::vector<LatVal> lattice_;
-  std::vector<bool> nodeExec_;
-  std::vector<std::vector<bool>> edgeExec_;  // parallel to node.succs
-  std::vector<Users> users_;
-  std::unordered_map<const ir::Stmt*, std::vector<SsaNameId>> pisByStmt_;
-  std::vector<std::vector<SsaNameId>> pisByNode_;
-  std::deque<std::pair<NodeId, std::size_t>> flowWork_;
-  std::deque<SsaNameId> ssaWork_;
-};
 
 /// Recursively folds constant subexpressions in place.
 void foldExpr(ir::Expr& e) {
@@ -278,7 +33,7 @@ void foldExpr(ir::Expr& e) {
 
 class Rewriter {
  public:
-  Rewriter(driver::Compilation& comp, const Sccp& solver,
+  Rewriter(driver::Compilation& comp, const ConstSolver& solver,
            ConstPropStats& stats)
       : comp_(comp), solver_(solver), stats_(stats) {}
 
@@ -299,8 +54,8 @@ class Rewriter {
         if (e.kind != ir::ExprKind::VarRef) return;
         auto it = form.useDef.find(&e);
         if (it == form.useDef.end()) return;
-        const LatVal& v = solver_.value(it->second);
-        if (v.kind == LatKind::Const) rewrites.emplace_back(&e, v.value);
+        const ConstValue& v = solver_.value(it->second);
+        if (v.kind == ConstKind::Const) rewrites.emplace_back(&e, v.value);
       });
     };
     ir::forEachStmt(comp_.program().body, [&](ir::Stmt& s) {
@@ -378,18 +133,20 @@ class Rewriter {
   }
 
   driver::Compilation& comp_;
-  const Sccp& solver_;
+  const ConstSolver& solver_;
   ConstPropStats& stats_;
 };
 
 ConstPropStats runCscc(driver::Compilation& comp, bool rewrite) {
-  Sccp solver(comp);
-  solver.solve();
+  ConstSolver solver(comp.graph(), comp.ssa(), ConstDomain{});
+  const Status status = solver.solve();
+  CSSAME_CHECK(status.ok(), "cscc solver exceeded its iteration budget");
 
   ConstPropStats stats;
+  stats.solverIterations = solver.stats().iterations;
   for (const ssa::Definition& d : comp.ssa().defs) {
     if (d.removed || d.kind != ssa::DefKind::Assign) continue;
-    if (solver.value(d.name).kind == LatKind::Const) ++stats.constantDefs;
+    if (solver.value(d.name).kind == ConstKind::Const) ++stats.constantDefs;
   }
   if (rewrite) {
     Rewriter(comp, solver, stats).run();
@@ -401,17 +158,14 @@ ConstPropStats runCscc(driver::Compilation& comp, bool rewrite) {
           if (e.kind != ir::ExprKind::VarRef) return;
           auto it = comp.ssa().useDef.find(&e);
           if (it != comp.ssa().useDef.end() &&
-              solver.value(it->second).kind == LatKind::Const)
+              solver.value(it->second).kind == ConstKind::Const)
             ++stats.usesReplaced;
         });
       };
       for (const ir::Stmt* s : n.stmts)
         if (s->expr) countUses(*s->expr);
-      if (n.terminator != nullptr && n.terminator->expr) {
+      if (n.terminator != nullptr && n.terminator->expr)
         countUses(*n.terminator->expr);
-        const ir::Expr& cond = *n.terminator->expr;
-        (void)cond;
-      }
     }
   }
   return stats;
@@ -425,6 +179,13 @@ ConstPropStats propagateConstants(driver::Compilation& comp) {
 
 ConstPropStats analyzeConstants(driver::Compilation& comp) {
   return runCscc(comp, /*rewrite=*/false);
+}
+
+ConstSolver analyzeConstantsLattice(const driver::Compilation& comp) {
+  ConstSolver solver(comp.graph(), comp.ssa(), ConstDomain{});
+  const Status status = solver.solve();
+  CSSAME_CHECK(status.ok(), "cscc solver exceeded its iteration budget");
+  return solver;
 }
 
 }  // namespace cssame::opt

@@ -66,7 +66,7 @@ class ExprHoister {
           s.kind == ir::StmtKind::Barrier)
         break;
 
-      if (s.expr) {
+      if (s.expr && s.kind != ir::StmtKind::Assert) {
         // For compound statements the expression re-evaluates, so its
         // inputs must also be stable across the whole subtree.
         VarSet forbidden = definedSoFar;

@@ -24,6 +24,12 @@ void addStmtAccesses(const ir::Stmt& s, AccessSummary& out) {
     case ir::StmtKind::While:
       summarizeExpr(*s.expr, out);
       break;
+    case ir::StmtKind::Assert:
+      // Keep asserts pinned: moving one out of a critical section changes
+      // which interleavings it can observe.
+      summarizeExpr(*s.expr, out);
+      out.movable = false;
+      break;
     case ir::StmtKind::CallStmt:
     case ir::StmtKind::Lock:
     case ir::StmtKind::Unlock:

@@ -131,10 +131,8 @@ class CheckedOptimizer {
       // CSSAME only ever *removes* π reaching paths that mutual exclusion
       // proves dead, so for every use the CSSAME reaching-definition set
       // must stay within the CSSA set (paper Theorem 2).
-      const cssa::ReachingInfo rPlain =
-          cssa::computeParallelReachingDefs(plain.graph(), plain.ssa());
-      const cssa::ReachingInfo rFull =
-          cssa::computeParallelReachingDefs(full.graph(), full.ssa());
+      const cssa::ReachingInfo& rPlain = plain.reaching();
+      const cssa::ReachingInfo& rFull = full.reaching();
       for (const auto& [use, defs] : rFull.defsOf) {
         if (defs.size() > rPlain.defs(use).size()) {
           fail(FaultKind::VerifyError, pass,

@@ -12,8 +12,7 @@ namespace {
 class Pdce {
  public:
   explicit Pdce(driver::Compilation& comp)
-      : comp_(comp), graph_(comp.graph()),
-        reach_(cssa::computeParallelReachingDefs(graph_, comp.ssa())) {}
+      : comp_(comp), graph_(comp.graph()), reach_(comp.reaching()) {}
 
   DceStats run() {
     seed();
@@ -34,6 +33,7 @@ class Pdce {
     ir::forEachStmt(comp_.program().body, [&](const ir::Stmt& s) {
       switch (s.kind) {
         case ir::StmtKind::Print:
+        case ir::StmtKind::Assert:
         case ir::StmtKind::CallStmt:
         case ir::StmtKind::Lock:
         case ir::StmtKind::Unlock:
@@ -92,6 +92,7 @@ class Pdce {
         case ir::StmtKind::Assign:
         case ir::StmtKind::CallStmt:
         case ir::StmtKind::Print:
+        case ir::StmtKind::Assert:
         case ir::StmtKind::Lock:
         case ir::StmtKind::Unlock:
         case ir::StmtKind::Set:
@@ -148,7 +149,7 @@ class Pdce {
 
   driver::Compilation& comp_;
   pfg::Graph& graph_;
-  cssa::ReachingInfo reach_;
+  const cssa::ReachingInfo& reach_;
   std::unordered_set<const ir::Stmt*> live_;
   std::deque<const ir::Stmt*> work_;
 };

@@ -25,6 +25,7 @@ const char* tokKindName(TokKind k) {
     case TokKind::KwPrint: return "'print'";
     case TokKind::KwBarrier: return "'barrier'";
     case TokKind::KwDoall: return "'doall'";
+    case TokKind::KwAssert: return "'assert'";
     case TokKind::LParen: return "'('";
     case TokKind::RParen: return "')'";
     case TokKind::LBrace: return "'{'";
@@ -61,6 +62,7 @@ const std::unordered_map<std::string_view, TokKind>& keywords() {
       {"unlock", TokKind::KwUnlock},   {"set", TokKind::KwSet},
       {"wait", TokKind::KwWait},       {"print", TokKind::KwPrint},
       {"barrier", TokKind::KwBarrier}, {"doall", TokKind::KwDoall},
+      {"assert", TokKind::KwAssert},
   };
   return kw;
 }

@@ -15,7 +15,7 @@ enum class TokKind : std::uint8_t {
   IntLit,
   // Keywords.
   KwInt, KwLock, KwEvent, KwIf, KwElse, KwWhile, KwCobegin, KwThread,
-  KwUnlock, KwSet, KwWait, KwPrint, KwBarrier, KwDoall,
+  KwUnlock, KwSet, KwWait, KwPrint, KwBarrier, KwDoall, KwAssert,
   // Punctuation / operators.
   LParen, RParen, LBrace, RBrace, Semi, Comma,
   Assign,          // =

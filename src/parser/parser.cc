@@ -296,13 +296,17 @@ class Parser {
       case TokKind::KwWait:
         parseSyncStmt(list, StmtKind::Wait, SymbolKind::Event);
         return;
-      case TokKind::KwPrint: {
+      case TokKind::KwPrint:
+      case TokKind::KwAssert: {
+        const StmtKind kind = cur().kind == TokKind::KwPrint
+                                  ? StmtKind::Print
+                                  : StmtKind::Assert;
         take();
         expect(TokKind::LParen);
         ExprPtr value = parseExpr();
         expect(TokKind::RParen);
         expect(TokKind::Semi);
-        auto s = prog_.newStmt(StmtKind::Print, loc);
+        auto s = prog_.newStmt(kind, loc);
         s->expr = std::move(value);
         list->push_back(std::move(s));
         return;

@@ -65,7 +65,8 @@ class Lowerer {
     switch (s->kind) {
       case StmtKind::Assign:
       case StmtKind::CallStmt:
-      case StmtKind::Print: {
+      case StmtKind::Print:
+      case StmtKind::Assert: {
         cur = ensureBlock(cur);
         graph_.node(cur).stmts.push_back(s);
         graph_.mapStmt(s, cur);

@@ -35,7 +35,8 @@ std::vector<std::string> verifyGraph(const Graph& graph) {
         for (const ir::Stmt* s : n.stmts) {
           if (s->kind != ir::StmtKind::Assign &&
               s->kind != ir::StmtKind::CallStmt &&
-              s->kind != ir::StmtKind::Print)
+              s->kind != ir::StmtKind::Print &&
+              s->kind != ir::StmtKind::Assert)
             problem(n.id, "non-simple statement inside block");
           if (graph.nodeOf(s) != n.id)
             problem(n.id, "statement not mapped back to its block");

@@ -178,7 +178,7 @@ class Csan {
 
   /// SelfDeadlock and LockLeak over the held-locks dataflow.
   void checkLockLifecycle() {
-    const HeldLocks held(graph_);
+    const HeldLocks& held = comp_.heldLocks();
     for (const pfg::Node& n : graph_.nodes()) {
       if (n.kind != pfg::NodeKind::Lock) continue;
       const SymbolId lock = n.syncStmt->sync;

@@ -31,106 +31,4 @@ std::string locksetStr(const std::set<SymbolId>& lockset,
   return out;
 }
 
-HeldLocks::HeldLocks(const pfg::Graph& graph) : graph_(graph) {
-  const std::size_t nodes = graph.size();
-  const std::size_t syms = graph.program().symbols.size();
-  mayIn_.assign(nodes, DynBitset(syms));
-  mayOut_.assign(nodes, DynBitset(syms));
-  mustIn_.assign(nodes, DynBitset(syms));
-  mustOut_.assign(nodes, DynBitset(syms));
-
-  // Must-sets start at ⊤ (all locks) everywhere except the entry, so the
-  // first meet over an edge copies the predecessor instead of erasing it.
-  for (std::size_t i = 0; i < nodes; ++i) {
-    if (NodeId{static_cast<NodeId::value_type>(i)} == graph.entry) continue;
-    mustIn_[i].setAll();
-    mustOut_[i].setAll();
-  }
-
-  auto transfer = [&](const pfg::Node& n, const DynBitset& in) {
-    DynBitset out = in;
-    if (n.kind == pfg::NodeKind::Lock)
-      out.set(n.syncStmt->sync.index());
-    else if (n.kind == pfg::NodeKind::Unlock)
-      out.reset(n.syncStmt->sync.index());
-    return out;
-  };
-
-  // Round-robin to fixpoint; the PFG is near-reducible and lock nesting
-  // is shallow, so this settles in a handful of sweeps.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const pfg::Node& n : graph.nodes()) {
-      const std::size_t i = n.id.index();
-      DynBitset may(syms);
-      DynBitset must(syms);
-      if (n.id != graph.entry) must.setAll();
-      bool anyPred = false;
-      for (NodeId p : n.preds) {
-        may.unionWith(mayOut_[p.index()]);
-        must.intersectWith(mustOut_[p.index()]);
-        anyPred = true;
-      }
-      if (!anyPred && n.id != graph.entry) must.resetAll();
-      if (!(may == mayIn_[i])) {
-        mayIn_[i] = may;
-        changed = true;
-      }
-      if (!(must == mustIn_[i])) {
-        mustIn_[i] = must;
-        changed = true;
-      }
-      DynBitset mayOut = transfer(n, mayIn_[i]);
-      DynBitset mustOut = transfer(n, mustIn_[i]);
-      if (!(mayOut == mayOut_[i])) {
-        mayOut_[i] = std::move(mayOut);
-        changed = true;
-      }
-      if (!(mustOut == mustOut_[i])) {
-        mustOut_[i] = std::move(mustOut);
-        changed = true;
-      }
-    }
-  }
-}
-
-bool HeldLocks::reachesWithoutUnlock(NodeId from, NodeId to,
-                                     SymbolId lock) const {
-  DynBitset seen(graph_.size());
-  std::vector<NodeId> work;
-  seen.set(from.index());
-  for (NodeId s : graph_.node(from).succs) {
-    if (!seen.test(s.index())) {
-      seen.set(s.index());
-      work.push_back(s);
-    }
-  }
-  while (!work.empty()) {
-    const NodeId cur = work.back();
-    work.pop_back();
-    if (cur == to) return true;
-    const pfg::Node& n = graph_.node(cur);
-    // An Unlock(lock) node terminates this path: beyond it the lock is
-    // released again.
-    if (n.kind == pfg::NodeKind::Unlock && n.syncStmt->sync == lock)
-      continue;
-    for (NodeId s : n.succs) {
-      if (!seen.test(s.index())) {
-        seen.set(s.index());
-        work.push_back(s);
-      }
-    }
-  }
-  return false;
-}
-
-std::set<SymbolId> HeldLocks::toSet(const DynBitset& bits) const {
-  std::set<SymbolId> out;
-  bits.forEach([&](std::size_t i) {
-    out.insert(SymbolId{static_cast<SymbolId::value_type>(i)});
-  });
-  return out;
-}
-
 }  // namespace cssame::sanalysis

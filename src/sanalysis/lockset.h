@@ -19,11 +19,10 @@
 
 #include <set>
 #include <string>
-#include <vector>
 
+#include "src/dataflow/heldlocks.h"
 #include "src/mutex/mutex_structures.h"
 #include "src/pfg/graph.h"
-#include "src/support/bitset.h"
 
 namespace cssame::sanalysis {
 
@@ -42,36 +41,8 @@ namespace cssame::sanalysis {
 /// Forward held-locks dataflow over control edges. Lock(L) adds L at the
 /// node's out; Unlock(L) removes it. May = union over predecessors
 /// (some path holds the lock), must = intersection (every path does).
-/// Converges in O(edges * locks) on the reducible PFGs the builder emits.
-class HeldLocks {
- public:
-  explicit HeldLocks(const pfg::Graph& graph);
-
-  /// Locks some path may hold when control *enters* the node.
-  [[nodiscard]] std::set<SymbolId> mayHeldIn(NodeId n) const {
-    return toSet(mayIn_[n.index()]);
-  }
-  /// Locks every path is known to hold when control enters the node.
-  [[nodiscard]] std::set<SymbolId> mustHeldIn(NodeId n) const {
-    return toSet(mustIn_[n.index()]);
-  }
-
-  [[nodiscard]] bool mayHoldOnEntry(NodeId n, SymbolId lock) const {
-    return mayIn_[n.index()].test(lock.index());
-  }
-
-  /// True when some control path from `from`'s successors reaches `to`
-  /// without executing any Unlock(lock) node — the reachability kernel of
-  /// the self-deadlock witness and the lock-leak check.
-  [[nodiscard]] bool reachesWithoutUnlock(NodeId from, NodeId to,
-                                          SymbolId lock) const;
-
- private:
-  [[nodiscard]] std::set<SymbolId> toSet(const DynBitset& bits) const;
-
-  const pfg::Graph& graph_;
-  std::vector<DynBitset> mayIn_, mayOut_;
-  std::vector<DynBitset> mustIn_, mustOut_;
-};
+/// Now an instance of the generic dataflow framework; re-exported here
+/// under its historical name for the csan checks and their tests.
+using HeldLocks = dataflow::HeldLocks;
 
 }  // namespace cssame::sanalysis

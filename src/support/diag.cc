@@ -24,6 +24,11 @@ const char* diagCodeName(DiagCode code) {
     case DiagCode::InvariantViolation: return "invariant-violation";
     case DiagCode::BudgetExceeded: return "budget-exceeded";
     case DiagCode::PassFailure: return "pass-failure";
+    case DiagCode::DeadBranch: return "dead-branch";
+    case DiagCode::UnreachableCode: return "unreachable-code";
+    case DiagCode::DivByZero: return "div-by-zero";
+    case DiagCode::AssertProved: return "assert-proved";
+    case DiagCode::AssertMayFail: return "assert-may-fail";
   }
   return "unknown";
 }
@@ -79,6 +84,19 @@ const char* diagCodeDescription(DiagCode code) {
       return "a resource budget (steps/states/memory) was exhausted";
     case DiagCode::PassFailure:
       return "an optimization pass failed and was rolled back";
+    case DiagCode::DeadBranch:
+      return "a branch condition's value range proves one side never "
+             "executes under any interleaving";
+    case DiagCode::UnreachableCode:
+      return "no interleaving reaches these statements";
+    case DiagCode::DivByZero:
+      return "a divisor's value range is exactly zero, or contains zero";
+    case DiagCode::AssertProved:
+      return "an assert condition's value range excludes zero on every "
+             "interleaving, so the assert can never fire";
+    case DiagCode::AssertMayFail:
+      return "an assert condition's value range contains zero, so some "
+             "interleaving may trip the assert";
   }
   return "unknown check";
 }

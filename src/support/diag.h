@@ -42,6 +42,12 @@ enum class DiagCode {
   InvariantViolation,  // CSSAME_CHECK tripped inside an analysis/pass
   BudgetExceeded,      // a resource budget was exhausted
   PassFailure,         // an optimization pass failed and was rolled off
+  // Concurrent value-range analysis (src/sanalysis/vrange).
+  DeadBranch,          // branch condition provably one-sided
+  UnreachableCode,     // statements no interleaving can reach
+  DivByZero,           // divisor is (or may be) zero
+  AssertProved,        // assert condition provably non-zero
+  AssertMayFail,       // assert condition may (or must) be zero
 };
 
 [[nodiscard]] const char* diagCodeName(DiagCode code);

@@ -128,6 +128,7 @@ std::string corruptProgram(ir::Program& program, std::uint64_t seed) {
         for (Stmt* s : stmts)
           if (s->expr && (s->kind == StmtKind::Assign ||
                           s->kind == StmtKind::Print ||
+                          s->kind == StmtKind::Assert ||
                           s->kind == StmtKind::If || s->kind == StmtKind::While))
             withExpr.push_back(s);
         Stmt* s = pick(withExpr, h);

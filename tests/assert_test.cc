@@ -1,0 +1,113 @@
+// Tests for the assert(e) statement: parsing and printing roundtrip,
+// interpreter trap semantics (a failed assert halts every thread), the
+// explorer's anyAssertFailure flag on schedule-dependent asserts, and
+// the optimizer invariants (asserts are never dead code, never hoisted
+// out of their critical section).
+#include <gtest/gtest.h>
+
+#include "src/driver/pipeline.h"
+#include "src/interp/explore.h"
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/opt/optimize.h"
+#include "src/parser/parser.h"
+
+namespace cssame {
+namespace {
+
+TEST(Assert, ParsePrintRoundtrip) {
+  const char* src = "int x;\nx = 1;\nassert(x > 0);\nprint(x);\n";
+  ir::Program p1 = parser::parseOrDie(src);
+  EXPECT_TRUE(ir::verify(p1).empty());
+  const std::string printed = ir::printProgram(p1);
+  EXPECT_NE(printed.find("assert(x > 0);"), std::string::npos) << printed;
+  ir::Program p2 = parser::parseOrDie(printed);
+  EXPECT_EQ(ir::printProgram(p2), printed);
+}
+
+TEST(Assert, PassingAssertIsANoOp) {
+  ir::Program prog =
+      parser::parseOrDie("int x; x = 2; assert(x == 2); print(x);");
+  const interp::RunResult r = interp::run(prog, {.seed = 1});
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.assertFailed);
+  EXPECT_EQ(r.output, (std::vector<long long>{2}));
+}
+
+TEST(Assert, FailingAssertHaltsEveryThread) {
+  // T0's assert always fails. On schedules where it runs before T1's
+  // print, T1 is halted too and nothing is printed; on schedules where
+  // the print ran first its output survives. Both outcomes must appear.
+  ir::Program prog = parser::parseOrDie(
+      "int x;"
+      "cobegin {"
+      "  thread T0 { assert(x == 1); }"
+      "  thread T1 { x = 0; x = 0; x = 0; print(x); }"
+      "}");
+  interp::ExploreOptions opts;
+  const interp::ExploreResult all = interp::exploreAllSchedules(prog, opts);
+  ASSERT_TRUE(all.complete);
+  EXPECT_TRUE(all.anyAssertFailure);
+  EXPECT_TRUE(all.outputs.contains({}))
+      << "some schedule runs the assert first and must suppress the print";
+  EXPECT_TRUE(all.outputs.contains({0}))
+      << "some schedule prints before the assert fires";
+}
+
+TEST(Assert, ScheduleDependentAssertFailure) {
+  // assert(x) races with x = 1: it fails exactly on the schedules where
+  // the assert runs first, so both outcomes must be observed.
+  ir::Program prog = parser::parseOrDie(
+      "int x;"
+      "cobegin {"
+      "  thread T0 { assert(x); }"
+      "  thread T1 { x = 1; }"
+      "}"
+      "print(x);");
+  const interp::ExploreResult all = interp::exploreAllSchedules(prog, {});
+  ASSERT_TRUE(all.complete);
+  EXPECT_TRUE(all.anyAssertFailure);
+  // The assert-passing schedules reach the print.
+  bool printed = false;
+  for (const auto& out : all.outputs) printed |= !out.empty();
+  EXPECT_TRUE(printed);
+}
+
+TEST(Assert, NeverRemovedByOptimizer) {
+  // The assert reads a variable nothing else uses: a naive DCE would drop
+  // the chain. Asserts are observable effects and must survive, along
+  // with the definitions they use.
+  ir::Program prog = parser::parseOrDie(
+      "int x, y; x = 1; y = x + 1; assert(y == 2);");
+  opt::optimizeProgram(prog);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  const std::string printed = ir::printProgram(prog);
+  EXPECT_NE(printed.find("assert"), std::string::npos) << printed;
+  const interp::RunResult r = interp::run(prog, {.seed = 1});
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.assertFailed) << printed;
+}
+
+TEST(Assert, StaysInsideItsCriticalSection) {
+  // The assert only holds under L's mutual exclusion; LICM must not
+  // hoist it out even though its operands are lock independent.
+  ir::Program prog = parser::parseOrDie(
+      "int x; lock L;"
+      "cobegin {"
+      "  thread T0 { lock(L); x = 1; assert(x == 1); x = 0; unlock(L); }"
+      "  thread T1 { lock(L); x = 2; x = 0; unlock(L); }"
+      "}");
+  const interp::ExploreResult before = interp::exploreAllSchedules(prog, {});
+  ASSERT_TRUE(before.complete);
+  EXPECT_FALSE(before.anyAssertFailure);
+
+  opt::optimizeProgram(prog);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  const interp::ExploreResult after = interp::exploreAllSchedules(prog, {});
+  ASSERT_TRUE(after.complete);
+  EXPECT_FALSE(after.anyAssertFailure) << ir::printProgram(prog);
+}
+
+}  // namespace
+}  // namespace cssame
