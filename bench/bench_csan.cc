@@ -59,6 +59,7 @@ void crossValidate(ir::Program prog, Tally& tally) {
   opts.detectRaces = true;
   opts.maxSteps = 1u << 18;
   opts.maxStates = 1u << 16;
+  opts.workers = benchutil::exploreWorkers();
   const interp::ExploreResult dyn = interp::exploreAllSchedules(prog, opts);
 
   ++tally.workloads;

@@ -1,0 +1,503 @@
+// Experiment Scale-1 (ours): wall-clock scaling of the three hot paths
+// this layer rebuilt — conflict-edge construction, schedule exploration,
+// and the batch analysis driver.
+//
+//   1. Conflict construction: the memoized, access-indexed Ecf sweep
+//      (src/analysis/concurrency.cc) against a verbatim transcription of
+//      the original all-pairs algorithm (path-walk `conflicting` per
+//      query), on 16-thread generator workloads. The speedup here is
+//      algorithmic, so it must show on any machine (target >= 3x), and
+//      the emitted edge sequence must be IDENTICAL, including order.
+//   2. Explorer: exploreAllSchedules at workers = 1 / 2 / 4 on a racy
+//      state-space workload. Every ExploreResult field must be
+//      byte-identical across worker counts — that check is the hard
+//      failure; wall-clock speedup (target >= 2.5x at workers=4) is
+//      thread-level parallelism and is only asserted when the machine
+//      actually has >= 4 hardware threads.
+//   3. Batch driver: driver::analyze over many independent programs on a
+//      support::ThreadPool (jobs = 1 vs 4), the `cssamec --jobs=N` shape.
+//
+// Results go to BENCH_scale.json. Exit status is nonzero when any
+// determinism check fails — CI's scale-smoke job runs this on a small
+// grid (CSSAME_SCALE_SMOKE=1) and treats divergence as a build breaker.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/concurrency.h"
+#include "src/analysis/dominance.h"
+#include "src/driver/pipeline.h"
+#include "src/interp/explore.h"
+#include "src/ir/builder.h"
+#include "src/ir/expr.h"
+#include "src/pfg/build.h"
+#include "src/support/threadpool.h"
+#include "src/support/timer.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+using namespace cssame;
+
+bool smokeMode() { return std::getenv("CSSAME_SCALE_SMOKE") != nullptr; }
+
+/// Best-of-N wall clock of fn() — minimum filters scheduler noise.
+template <typename Fn>
+double timeBest(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    support::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.seconds());
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Part 1 — edge construction: reference all-pairs vs fast path. The
+// reference transcribes the pre-memoization algorithm (the same
+// transcription tests/mhp_equiv_test.cc verifies for exact equivalence):
+// per-node statement walks for the accesses, a thread-path walk per
+// `conflicting` query, linear set/wait scans per `orderedBefore`, and
+// all-pairs sweeps for all three edge kinds. The bench workload is
+// barrier-free, so the reference omits only the barrier refinement.
+// ---------------------------------------------------------------------------
+
+class RefMhp {
+ public:
+  RefMhp(const pfg::Graph& graph, const analysis::Dominators& dom)
+      : graph_(graph), dom_(dom) {
+    for (const pfg::Node& n : graph.nodes()) {
+      if (n.kind == pfg::NodeKind::Set)
+        setNodes_[n.syncStmt->sync].push_back(n.id);
+      else if (n.kind == pfg::NodeKind::Wait)
+        waitNodes_[n.syncStmt->sync].push_back(n.id);
+    }
+  }
+
+  [[nodiscard]] bool conflicting(NodeId a, NodeId b) const {
+    if (a == b) return false;
+    const pfg::ThreadPath& pa = graph_.node(a).threadPath;
+    const pfg::ThreadPath& pb = graph_.node(b).threadPath;
+    const std::size_t common = std::min(pa.size(), pb.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (pa[i].cobegin != pb[i].cobegin) return false;
+      if (pa[i].threadIndex != pb[i].threadIndex) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool orderedBefore(NodeId a, NodeId b) const {
+    for (const auto& [event, sets] : setNodes_) {
+      auto waitsIt = waitNodes_.find(event);
+      if (waitsIt == waitNodes_.end()) continue;
+      bool aBeforeSet = false;
+      for (NodeId s : sets)
+        if (dom_.dominates(a, s)) {
+          aBeforeSet = true;
+          break;
+        }
+      if (!aBeforeSet) continue;
+      for (NodeId w : waitsIt->second)
+        if (dom_.dominates(w, b)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool mayHappenInParallel(NodeId a, NodeId b) const {
+    return conflicting(a, b) && !orderedBefore(a, b) && !orderedBefore(b, a);
+  }
+
+ private:
+  const pfg::Graph& graph_;
+  const analysis::Dominators& dom_;
+  std::unordered_map<SymbolId, std::vector<NodeId>> setNodes_;
+  std::unordered_map<SymbolId, std::vector<NodeId>> waitNodes_;
+};
+
+struct RefAccess {
+  std::vector<SymbolId> defs;
+  std::vector<SymbolId> uses;
+};
+
+void refAddUnique(std::vector<SymbolId>& v, SymbolId s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+
+std::vector<RefAccess> refCollectAccesses(const pfg::Graph& graph) {
+  const ir::SymbolTable& syms = graph.program().symbols;
+  std::vector<RefAccess> access(graph.size());
+  for (const pfg::Node& n : graph.nodes()) {
+    if (n.kind != pfg::NodeKind::Block) continue;
+    RefAccess& acc = access[n.id.index()];
+    auto collect = [&](const ir::Expr& e) {
+      ir::forEachExpr(e, [&](const ir::Expr& sub) {
+        if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var))
+          refAddUnique(acc.uses, sub.var);
+      });
+    };
+    for (const ir::Stmt* s : n.stmts) {
+      if (s->expr) collect(*s->expr);
+      if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs))
+        refAddUnique(acc.defs, s->lhs);
+    }
+    if (n.terminator != nullptr && n.terminator->expr)
+      collect(*n.terminator->expr);
+  }
+  return access;
+}
+
+struct RefEdges {
+  std::vector<pfg::ConflictEdge> conflicts;
+  std::vector<pfg::MutexEdge> mutexEdges;
+  std::vector<pfg::DsyncEdge> dsyncEdges;
+};
+
+RefEdges refComputeEdges(const pfg::Graph& graph,
+                         const analysis::Dominators& dom) {
+  const RefMhp mhp(graph, dom);
+  RefEdges out;
+  const std::vector<RefAccess> access = refCollectAccesses(graph);
+  for (const pfg::Node& d : graph.nodes()) {
+    for (SymbolId v : access[d.id.index()].defs) {
+      for (const pfg::Node& u : graph.nodes()) {
+        if (!mhp.conflicting(d.id, u.id)) continue;
+        const RefAccess& ua = access[u.id.index()];
+        if (std::find(ua.uses.begin(), ua.uses.end(), v) != ua.uses.end())
+          out.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, false});
+        if (std::find(ua.defs.begin(), ua.defs.end(), v) != ua.defs.end())
+          out.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, true});
+      }
+    }
+  }
+  for (const pfg::Node& a : graph.nodes()) {
+    if (a.kind != pfg::NodeKind::Lock) continue;
+    for (const pfg::Node& b : graph.nodes()) {
+      if (b.kind != pfg::NodeKind::Unlock) continue;
+      if (a.syncStmt->sync != b.syncStmt->sync) continue;
+      if (!mhp.mayHappenInParallel(a.id, b.id)) continue;
+      out.mutexEdges.push_back(pfg::MutexEdge{a.id, b.id, a.syncStmt->sync});
+    }
+  }
+  for (const pfg::Node& a : graph.nodes()) {
+    if (a.kind != pfg::NodeKind::Set) continue;
+    for (const pfg::Node& b : graph.nodes()) {
+      if (b.kind != pfg::NodeKind::Wait) continue;
+      if (a.syncStmt->sync != b.syncStmt->sync) continue;
+      if (!mhp.conflicting(a.id, b.id)) continue;
+      out.dsyncEdges.push_back(pfg::DsyncEdge{a.id, b.id, a.syncStmt->sync});
+    }
+  }
+  return out;
+}
+
+bool sameEdges(const RefEdges& ref, const pfg::Graph& graph) {
+  if (ref.conflicts.size() != graph.conflicts.size() ||
+      ref.mutexEdges.size() != graph.mutexEdges.size() ||
+      ref.dsyncEdges.size() != graph.dsyncEdges.size())
+    return false;
+  for (std::size_t i = 0; i < ref.conflicts.size(); ++i) {
+    const pfg::ConflictEdge &a = ref.conflicts[i], &b = graph.conflicts[i];
+    if (a.from != b.from || a.to != b.to || a.var != b.var ||
+        a.toIsDef != b.toIsDef)
+      return false;
+  }
+  for (std::size_t i = 0; i < ref.mutexEdges.size(); ++i) {
+    const pfg::MutexEdge &a = ref.mutexEdges[i], &b = graph.mutexEdges[i];
+    if (a.lockNode != b.lockNode || a.unlockNode != b.unlockNode ||
+        a.lockVar != b.lockVar)
+      return false;
+  }
+  for (std::size_t i = 0; i < ref.dsyncEdges.size(); ++i) {
+    const pfg::DsyncEdge &a = ref.dsyncEdges[i], &b = graph.dsyncEdges[i];
+    if (a.setNode != b.setNode || a.waitNode != b.waitNode ||
+        a.eventVar != b.eventVar)
+      return false;
+  }
+  return true;
+}
+
+struct ConflictScale {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double refSeconds = 0;
+  double fastSeconds = 0;
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return fastSeconds > 0 ? refSeconds / fastSeconds : 0.0;
+  }
+};
+
+/// Times both constructions on the canonical 16-thread generator
+/// workload (sparse shared accesses across 64 variables, 16 locks,
+/// set/wait event chains — events are what make the reference's
+/// orderedBefore scans expensive). Both timings start from the same
+/// built PFG + dominators; the fast-path timing conservatively includes
+/// everything memoization buys it with — the Mhp constructor (context +
+/// ordering tables) AND the access-index collection, not just the sweep.
+ConflictScale runConflictScale() {
+  workload::GeneratorConfig cfg;
+  cfg.seed = 42;
+  cfg.threads = 16;
+  cfg.sharedVars = 64;
+  cfg.locks = 16;
+  cfg.stmtsPerThread = smokeMode() ? 24 : 96;
+  cfg.maxDepth = 2;
+  cfg.lockedFraction = 0.5;
+  cfg.useEvents = true;
+  cfg.determinate = false;
+  ir::Program prog = workload::generateRandom(cfg);
+  pfg::Graph graph = pfg::buildPfg(prog);
+  const analysis::Dominators dom(graph,
+                                 analysis::Dominators::Direction::Forward);
+  ConflictScale out;
+  out.nodes = graph.size();
+
+  const int reps = smokeMode() ? 3 : 5;
+  RefEdges refEdges;
+  out.refSeconds =
+      timeBest(reps, [&] { refEdges = refComputeEdges(graph, dom); });
+
+  out.fastSeconds = timeBest(reps, [&] {
+    const analysis::Mhp mhp(graph, dom);
+    const analysis::AccessSites sites = analysis::collectAccessSites(graph);
+    analysis::computeSyncAndConflictEdges(graph, mhp, sites);
+  });
+  out.edges = graph.conflicts.size();
+  out.identical = sameEdges(refEdges, graph);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2 — explorer scaling across worker counts.
+// ---------------------------------------------------------------------------
+
+/// N racy threads of `stmts` unlocked shared updates. The updates mix
+/// doubling with per-thread additions, so they do NOT commute — distinct
+/// interleavings produce distinct values of v and the deduplicated state
+/// space stays exponential (pure increments would collapse to a
+/// polynomial count of (positions, sum) states).
+ir::Program makeRacy(int threads, int stmts) {
+  ir::ProgramBuilder b;
+  const SymbolId v = b.var("v");
+  std::vector<ir::ProgramBuilder::BodyFn> bodies;
+  for (int t = 0; t < threads; ++t)
+    bodies.push_back([&b, v, stmts, t] {
+      for (int s = 0; s < stmts; ++s) {
+        if (s % 2 == 0)
+          b.assign(v, b.add(b.ref(v), b.lit(t + 1)));
+        else
+          b.assign(v, b.mul(b.ref(v), b.lit(2)));
+      }
+    });
+  b.cobegin(bodies);
+  b.print(b.ref(v));
+  return b.take();
+}
+
+bool sameResult(const interp::ExploreResult& a,
+                const interp::ExploreResult& b) {
+  return a.outputs == b.outputs && a.complete == b.complete &&
+         a.budgetExceeded == b.budgetExceeded &&
+         a.anyDeadlock == b.anyDeadlock && a.anyLockError == b.anyLockError &&
+         a.statesExplored == b.statesExplored && a.racedVars == b.racedVars &&
+         a.observedRanges == b.observedRanges &&
+         a.anyAssertFailure == b.anyAssertFailure;
+}
+
+struct ExplorerScale {
+  std::uint64_t states = 0;
+  double serialSeconds = 0;
+  double twoSeconds = 0;
+  double fourSeconds = 0;
+  bool identical = false;
+
+  [[nodiscard]] double speedup4() const {
+    return fourSeconds > 0 ? serialSeconds / fourSeconds : 0.0;
+  }
+  [[nodiscard]] double statesPerSecSerial() const {
+    return serialSeconds > 0 ? static_cast<double>(states) / serialSeconds
+                             : 0.0;
+  }
+  [[nodiscard]] double statesPerSecFour() const {
+    return fourSeconds > 0 ? static_cast<double>(states) / fourSeconds : 0.0;
+  }
+};
+
+ExplorerScale runExplorerScale() {
+  ir::Program prog =
+      smokeMode() ? makeRacy(3, 3) : makeRacy(4, 4);
+  interp::ExploreOptions opts;
+  opts.maxSteps = 1u << 26;
+  opts.maxStates = 1u << 24;
+  opts.detectRaces = true;
+  opts.recordValues = true;
+
+  ExplorerScale out;
+  auto explore = [&](unsigned workers) {
+    opts.workers = workers;
+    return interp::exploreAllSchedules(prog, opts);
+  };
+  interp::ExploreResult serial, two, four;
+  const int reps = smokeMode() ? 1 : 2;
+  out.serialSeconds = timeBest(reps, [&] { serial = explore(1); });
+  out.twoSeconds = timeBest(reps, [&] { two = explore(2); });
+  out.fourSeconds = timeBest(reps, [&] { four = explore(4); });
+  out.states = serial.statesExplored;
+  out.identical = sameResult(serial, two) && sameResult(serial, four);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Part 3 — batch analysis driver: M independent programs on a pool.
+// ---------------------------------------------------------------------------
+
+struct BatchScale {
+  std::size_t programs = 0;
+  double jobs1Seconds = 0;
+  double jobs4Seconds = 0;
+  bool identical = false;
+
+  [[nodiscard]] double speedup() const {
+    return jobs4Seconds > 0 ? jobs1Seconds / jobs4Seconds : 0.0;
+  }
+};
+
+BatchScale runBatchScale() {
+  const std::size_t count = smokeMode() ? 8 : 32;
+  // Programs are regenerated from their seed inside each run (an ir::
+  // Program is not copyable, and the pipeline rewrites it into CSSAME
+  // form) — the generator is deterministic, so every run analyzes the
+  // same batch.
+  auto programAt = [](std::size_t i) {
+    workload::GeneratorConfig cfg;
+    cfg.seed = 1000 + i;
+    cfg.threads = 6;
+    cfg.sharedVars = 6;
+    cfg.stmtsPerThread = 24;
+    cfg.useEvents = (i % 2) == 0;
+    return workload::generateRandom(cfg);
+  };
+
+  // The observable per-program analysis fact the jobs=1/jobs=4 runs must
+  // agree on (batch parallelism shards programs, never one analysis).
+  auto analyzeAll = [&](unsigned jobs, std::vector<std::size_t>& edges) {
+    edges.assign(count, 0);
+    support::ThreadPool pool(jobs);
+    pool.parallelFor(count, [&](std::size_t i, unsigned) {
+      ir::Program prog = programAt(i);
+      driver::Compilation c = driver::analyze(prog);
+      edges[i] = c.graph().conflicts.size();
+    });
+  };
+
+  BatchScale out;
+  out.programs = count;
+  std::vector<std::size_t> edges1, edges4;
+  const int reps = smokeMode() ? 1 : 3;
+  out.jobs1Seconds = timeBest(reps, [&] { analyzeAll(1, edges1); });
+  out.jobs4Seconds = timeBest(reps, [&] { analyzeAll(4, edges4); });
+  out.identical = edges1 == edges4;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+void writeJson(const ConflictScale& c, const ExplorerScale& e,
+               const BatchScale& b, unsigned hw, const char* path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_scale_explore: cannot write %s\n", path);
+    return;
+  }
+  out << "{\n"
+      << "  \"experiment\": \"Scale-1: hot-path scaling (conflict "
+         "construction, parallel explorer, batch driver)\",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"smoke\": " << (smokeMode() ? "true" : "false") << ",\n"
+      << "  \"conflict_construction\": {\n"
+      << "    \"workload\": \"generateRandom(threads=16, sharedVars=64, "
+         "locks=16, events)\",\n"
+      << "    \"pfg_nodes\": " << c.nodes << ",\n"
+      << "    \"conflict_edges\": " << c.edges << ",\n"
+      << "    \"reference_seconds\": " << c.refSeconds << ",\n"
+      << "    \"fast_seconds\": " << c.fastSeconds << ",\n"
+      << "    \"speedup\": " << c.speedup() << ",\n"
+      << "    \"edges_identical\": " << (c.identical ? "true" : "false")
+      << "\n  },\n"
+      << "  \"explorer\": {\n"
+      << "    \"workload\": \""
+      << (smokeMode() ? "3 threads x 3 non-commutative updates"
+                      : "4 threads x 4 non-commutative updates")
+      << "\",\n"
+      << "    \"states\": " << e.states << ",\n"
+      << "    \"workers_1_seconds\": " << e.serialSeconds << ",\n"
+      << "    \"workers_2_seconds\": " << e.twoSeconds << ",\n"
+      << "    \"workers_4_seconds\": " << e.fourSeconds << ",\n"
+      << "    \"speedup_workers_4\": " << e.speedup4() << ",\n"
+      << "    \"states_per_second_serial\": " << e.statesPerSecSerial()
+      << ",\n"
+      << "    \"states_per_second_workers_4\": " << e.statesPerSecFour()
+      << ",\n"
+      << "    \"results_identical_across_workers\": "
+      << (e.identical ? "true" : "false") << "\n  },\n"
+      << "  \"batch_driver\": {\n"
+      << "    \"programs\": " << b.programs << ",\n"
+      << "    \"jobs_1_seconds\": " << b.jobs1Seconds << ",\n"
+      << "    \"jobs_4_seconds\": " << b.jobs4Seconds << ",\n"
+      << "    \"speedup\": " << b.speedup() << ",\n"
+      << "    \"results_identical\": " << (b.identical ? "true" : "false")
+      << "\n  }\n"
+      << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cssame::benchutil;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Thread-parallel speedup targets only bind where the hardware can
+  // deliver them; the determinism checks bind everywhere.
+  const bool canScale = hw >= 4;
+
+  tableHeader("Scale-1: hot-path scaling (ours)");
+  const ConflictScale c = runConflictScale();
+  const ExplorerScale e = runExplorerScale();
+  const BatchScale b = runBatchScale();
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1fx", c.speedup());
+  tableRowStr("conflict construction speedup (16 thr)", ">= 3x", buf,
+              c.speedup() >= 3.0);
+  tableRow("  conflict edges identical to all-pairs", "1", c.identical,
+           c.identical);
+  std::snprintf(buf, sizeof buf, "%.1fx", e.speedup4());
+  tableRowStr("explorer speedup, workers=4 vs 1", canScale ? ">= 2.5x" : "n/a",
+              buf, !canScale || e.speedup4() >= 2.5);
+  tableRow("  ExploreResult identical across workers", "1", e.identical,
+           e.identical);
+  tableRow("  states explored", "(reported)",
+           static_cast<long long>(e.states), true);
+  std::snprintf(buf, sizeof buf, "%.0f", e.statesPerSecSerial());
+  tableRowStr("  states/s serial", "(reported)", buf, true);
+  std::snprintf(buf, sizeof buf, "%.1fx", b.speedup());
+  tableRowStr("batch driver speedup, jobs=4 vs 1", canScale ? "> 1x" : "n/a",
+              buf, !canScale || b.speedup() > 1.0);
+  tableRow("  per-program results identical", "1", b.identical, b.identical);
+  std::printf("  hardware threads: %u%s\n", hw,
+              canScale ? "" : " (speedup targets not measurable here)");
+  writeJson(c, e, b, hw, "BENCH_scale.json");
+  std::printf("  wrote BENCH_scale.json\n\n");
+
+  // Divergence anywhere is a correctness failure, independent of timing.
+  if (!c.identical || !e.identical || !b.identical) return 1;
+  return runBenchmarks(argc, argv);
+}

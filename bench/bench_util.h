@@ -7,8 +7,21 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace cssame::benchutil {
+
+/// Worker count for schedule explorations, from the CSSAME_EXPLORE_WORKERS
+/// environment variable (default 1, 0 = one per hardware thread). The
+/// explorer's result is identical for every worker count, so this only
+/// changes wall-clock time — every reported metric stays comparable
+/// across settings.
+inline unsigned exploreWorkers() {
+  const char* env = std::getenv("CSSAME_EXPLORE_WORKERS");
+  return env == nullptr
+             ? 1u
+             : static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
 
 inline void tableHeader(const char* experiment) {
   std::printf("== %s ==\n", experiment);

@@ -74,6 +74,7 @@ void crossValidate(ir::Program prog, Tally& tally) {
   opts.recordValues = true;
   opts.maxSteps = 1u << 18;
   opts.maxStates = 1u << 16;
+  opts.workers = benchutil::exploreWorkers();
   const interp::ExploreResult dyn = interp::exploreAllSchedules(prog, opts);
   tally.completeExplorations += dyn.complete ? 1 : 0;
   for (const auto& [var, range] : dyn.observedRanges) {

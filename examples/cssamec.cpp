@@ -1,7 +1,7 @@
 // cssamec — command line driver for the CSSAME compiler library.
 //
 // Usage:
-//   cssamec [options] <file.cp>
+//   cssamec [options] <file.cp> [more files...]
 //
 // Options:
 //   --dump-pfg        print the Parallel Flow Graph as Graphviz DOT
@@ -10,12 +10,21 @@
 //   --opt             run CSCC + PDCE + LICM and print the optimized program
 //   --run [seed]      execute under the interleaving interpreter
 //   --races           run the lock-consistency data race checks
-//   --stats           print analysis statistics
+//   --stats           print analysis statistics and per-phase wall-clock
 //   --csan            run the full static concurrency analyzer
 //   --vrange          run the concurrent value-range analysis (CVRA)
 //   --sarif[=FILE]    emit all diagnostics as SARIF 2.1.0 (implies --csan);
 //                     FILE defaults to stdout
 //   --json[=FILE]     emit all diagnostics as compact JSON (implies --csan)
+//   --jobs=N          analyze the input files on N threads (0 = one per
+//                     hardware thread); output stays in input order
+//
+// With several input files each file is analyzed independently; with
+// --jobs=N the analyses run concurrently on a thread pool, and each
+// file's stdout/stderr is buffered and flushed in input order, so the
+// output is byte-identical for every job count. --sarif=FILE/--json=FILE
+// are single-file options (the streams would overwrite each other).
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,78 +46,66 @@
 #include "src/sanalysis/csan.h"
 #include "src/sanalysis/sarif.h"
 #include "src/sanalysis/vrange.h"
+#include "src/support/threadpool.h"
 
 using namespace cssame;
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
-               "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
-               "[--vrange] [--sarif[=FILE]] [--json[=FILE]] <file>\n");
-  std::exit(2);
-}
-
-/// Writes structured output to `path` ("" = stdout). Exits on I/O failure
-/// so CI runs fail loudly instead of uploading an empty log.
-void writeOut(const std::string& path, const std::string& text) {
-  if (path.empty()) {
-    std::printf("%s\n", text.c_str());
-    return;
-  }
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cssamec: cannot write '%s'\n", path.c_str());
-    std::exit(1);
-  }
-  out << text << "\n";
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
+struct Options {
   bool dumpPfg = false, dumpForm = false, cssame = true, doOpt = false;
   bool doRun = false, doRaces = false, doStats = false, doCsan = false;
   bool doSarif = false, doJson = false, doVrange = false;
   std::string sarifPath, jsonPath;
   std::uint64_t seed = 1;
-  const char* file = nullptr;
+  unsigned jobs = 1;
+};
 
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--dump-pfg") == 0) dumpPfg = true;
-    else if (std::strcmp(arg, "--dump-form") == 0) dumpForm = true;
-    else if (std::strcmp(arg, "--no-cssame") == 0) cssame = false;
-    else if (std::strcmp(arg, "--opt") == 0) doOpt = true;
-    else if (std::strcmp(arg, "--races") == 0) doRaces = true;
-    else if (std::strcmp(arg, "--stats") == 0) doStats = true;
-    else if (std::strcmp(arg, "--csan") == 0) doCsan = true;
-    else if (std::strcmp(arg, "--vrange") == 0) doVrange = true;
-    else if (std::strncmp(arg, "--sarif", 7) == 0 &&
-             (arg[7] == '\0' || arg[7] == '=')) {
-      doSarif = doCsan = true;
-      if (arg[7] == '=') sarifPath = arg + 8;
-    } else if (std::strncmp(arg, "--json", 6) == 0 &&
-               (arg[6] == '\0' || arg[6] == '=')) {
-      doJson = doCsan = true;
-      if (arg[6] == '=') jsonPath = arg + 7;
-    } else if (std::strcmp(arg, "--run") == 0) {
-      doRun = true;
-      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
-                              argv[i + 1][0])))
-        seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg[0] == '-') {
-      usage();
-    } else {
-      file = arg;
-    }
+void usage() {
+  std::fprintf(stderr,
+               "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
+               "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
+               "[--vrange] [--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
+               "<file> [more files...]\n");
+  std::exit(2);
+}
+
+/// printf into a growing string — per-file output is buffered so parallel
+/// jobs can flush it in input order.
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[4096];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Writes structured output to `path` ("" = buffered stdout). Fails the
+/// run on I/O errors so CI runs fail loudly instead of uploading an empty
+/// log.
+bool writeOut(const std::string& path, const std::string& text,
+              std::string& out, std::string& err) {
+  if (path.empty()) {
+    out += text + "\n";
+    return true;
   }
-  if (file == nullptr) usage();
+  std::ofstream f(path);
+  if (!f) {
+    appendf(err, "cssamec: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  f << text << "\n";
+  return true;
+}
 
+/// Analyzes one input file, appending everything it would print to `out`
+/// (stdout) and `err` (stderr). Returns the per-file exit code.
+int processFile(const std::string& file, const Options& o, std::string& out,
+                std::string& err) {
   std::ifstream in(file);
   if (!in) {
-    std::fprintf(stderr, "cssamec: cannot open '%s'\n", file);
+    appendf(err, "cssamec: cannot open '%s'\n", file.c_str());
     return 1;
   }
   std::stringstream buf;
@@ -117,114 +114,191 @@ int main(int argc, char** argv) {
   DiagEngine diag;
   ir::Program prog = parser::parseProgram(buf.str(), diag);
   for (const auto& d : diag.diagnostics())
-    std::fprintf(stderr, "%s\n", d.str().c_str());
+    appendf(err, "%s\n", d.str().c_str());
   if (diag.hasErrors()) {
     // Structured modes still get a log (with the parse errors), so CI can
     // upload something meaningful for broken inputs.
-    if (doSarif)
-      writeOut(sarifPath, sanalysis::toSarif(diag.diagnostics(), file));
-    if (doJson)
-      writeOut(jsonPath, sanalysis::toJson(diag.diagnostics(), file));
+    bool ok = true;
+    if (o.doSarif)
+      ok &= writeOut(o.sarifPath,
+                     sanalysis::toSarif(diag.diagnostics(), file.c_str()),
+                     out, err);
+    if (o.doJson)
+      ok &= writeOut(o.jsonPath,
+                     sanalysis::toJson(diag.diagnostics(), file.c_str()),
+                     out, err);
+    (void)ok;
     return 1;
   }
 
-  driver::Compilation c = driver::analyze(prog, {.enableCssame = cssame});
+  driver::Compilation c = driver::analyze(prog, {.enableCssame = o.cssame});
   for (const auto& d : c.diag().diagnostics())
-    std::fprintf(stderr, "%s\n", d.str().c_str());
+    appendf(err, "%s\n", d.str().c_str());
 
-  if (doRaces) {
+  if (o.doRaces) {
     DiagEngine raceDiag;
-    mutex::detectRaces(c.graph(), c.mhp(), c.mutexes(), raceDiag);
+    mutex::detectRaces(c.graph(), c.mhp(), c.mutexes(), raceDiag, c.sites());
     mutex::detectDeadlocks(c.graph(), c.mhp(), c.mutexes(), raceDiag);
     for (const auto& d : raceDiag.diagnostics())
-      std::fprintf(stderr, "%s\n", d.str().c_str());
+      appendf(err, "%s\n", d.str().c_str());
   }
   // Analyzer diagnostics (csan, then vrange) accumulate into one engine
   // so the SARIF/JSON streams carry every finding.
   DiagEngine toolDiag;
-  if (doCsan) {
+  if (o.doCsan) {
     const sanalysis::CsanReport report = sanalysis::runCsan(c, toolDiag);
     for (const auto& d : toolDiag.diagnostics())
-      std::fprintf(stderr, "%s\n", d.str().c_str());
-    std::fprintf(stderr,
-                 "csan: %zu finding(s): %zu race(s), %zu inconsistent, "
-                 "%zu deadlock(s), %zu self-deadlock(s), %zu leak(s), "
-                 "%zu body lint(s), %zu unprotected pi read(s)\n",
-                 report.totalFindings(), report.potentialRaces,
-                 report.inconsistentLocking,
-                 report.deadlocks.abbaPairs + report.deadlocks.orderCycles,
-                 report.selfDeadlocks, report.lockLeaks,
-                 report.emptyBodies + report.redundantBodies +
-                     report.overwideBodies,
-                 report.unprotectedPiReads);
+      appendf(err, "%s\n", d.str().c_str());
+    appendf(err,
+            "csan: %zu finding(s): %zu race(s), %zu inconsistent, "
+            "%zu deadlock(s), %zu self-deadlock(s), %zu leak(s), "
+            "%zu body lint(s), %zu unprotected pi read(s)\n",
+            report.totalFindings(), report.potentialRaces,
+            report.inconsistentLocking,
+            report.deadlocks.abbaPairs + report.deadlocks.orderCycles,
+            report.selfDeadlocks, report.lockLeaks,
+            report.emptyBodies + report.redundantBodies +
+                report.overwideBodies,
+            report.unprotectedPiReads);
   }
-  if (doVrange) {
+  if (o.doVrange) {
     const std::size_t before = toolDiag.diagnostics().size();
     const sanalysis::VrangeResult vr =
         sanalysis::analyzeValueRanges(c, &toolDiag);
     for (std::size_t i = before; i < toolDiag.diagnostics().size(); ++i)
-      std::fprintf(stderr, "%s\n", toolDiag.diagnostics()[i].str().c_str());
-    std::fprintf(stderr, "%s\n", vr.stats.str().c_str());
+      appendf(err, "%s\n", toolDiag.diagnostics()[i].str().c_str());
+    appendf(err, "%s\n", vr.stats.str().c_str());
     const std::string mismatch = sanalysis::crossCheckConstants(c, vr);
     if (!mismatch.empty()) {
-      std::fprintf(stderr, "vrange: CSCC cross-check FAILED: %s\n",
-                   mismatch.c_str());
+      appendf(err, "vrange: CSCC cross-check FAILED: %s\n", mismatch.c_str());
       return 1;
     }
   }
-  if (doSarif || doJson) {
+  if (o.doSarif || o.doJson) {
     // One stream in emission order: pipeline warnings, then the analyzers'.
     std::vector<Diagnostic> all = c.diag().diagnostics();
     all.insert(all.end(), toolDiag.diagnostics().begin(),
                toolDiag.diagnostics().end());
-    if (doSarif) writeOut(sarifPath, sanalysis::toSarif(all, file));
-    if (doJson) writeOut(jsonPath, sanalysis::toJson(all, file));
+    if (o.doSarif &&
+        !writeOut(o.sarifPath, sanalysis::toSarif(all, file.c_str()), out,
+                  err))
+      return 1;
+    if (o.doJson &&
+        !writeOut(o.jsonPath, sanalysis::toJson(all, file.c_str()), out, err))
+      return 1;
   }
-  if (doStats) {
-    std::printf("statements:        %zu\n", prog.size());
-    std::printf("pfg nodes:         %zu\n", c.graph().size());
-    std::printf("conflict edges:    %zu\n", c.graph().conflicts.size());
-    std::printf("mutex bodies:      %zu\n", c.mutexes().bodies().size());
-    std::printf("phi terms:         %zu\n", c.ssa().countLivePhis());
-    std::printf("pi terms:          %zu\n", c.ssa().countLivePis());
-    std::printf("pi conflict args:  %zu\n", c.ssa().countPiConflictArgs());
-    if (cssame)
-      std::printf("pi args removed:   %zu (pis folded: %zu)\n",
-                  c.rewriteStats().argsRemoved, c.rewriteStats().pisRemoved);
+  if (o.doStats) {
+    appendf(out, "statements:        %zu\n", prog.size());
+    appendf(out, "pfg nodes:         %zu\n", c.graph().size());
+    appendf(out, "conflict edges:    %zu\n", c.graph().conflicts.size());
+    appendf(out, "mutex bodies:      %zu\n", c.mutexes().bodies().size());
+    appendf(out, "phi terms:         %zu\n", c.ssa().countLivePhis());
+    appendf(out, "pi terms:          %zu\n", c.ssa().countLivePis());
+    appendf(out, "pi conflict args:  %zu\n", c.ssa().countPiConflictArgs());
+    if (o.cssame)
+      appendf(out, "pi args removed:   %zu (pis folded: %zu)\n",
+              c.rewriteStats().argsRemoved, c.rewriteStats().pisRemoved);
     const opt::CriticalSectionReport cs = opt::analyzeCriticalSections(c);
-    std::printf("critical sections: %zu stmts locked, %zu lock independent "
-                "(%.0f%%)\n",
-                cs.totalInterior, cs.totalIndependent,
-                100.0 * cs.independentFraction());
+    appendf(out,
+            "critical sections: %zu stmts locked, %zu lock independent "
+            "(%.0f%%)\n",
+            cs.totalInterior, cs.totalIndependent,
+            100.0 * cs.independentFraction());
     // Force the lazy dataflow caches so the stats are deterministic.
     (void)c.heldLocks();
     (void)c.reaching();
     for (const dataflow::SolveStats& s : c.solverStats())
-      std::printf("solver:            %s\n", s.str().c_str());
+      appendf(out, "solver:            %s\n", s.str().c_str());
+    for (const support::PhaseTime& p : c.phaseTimes())
+      appendf(out, "phase:             %s\n", p.str().c_str());
   }
-  if (dumpPfg) std::printf("%s", pfg::toDot(c.graph()).c_str());
-  if (dumpForm)
-    std::printf("%s", cssa::printForm(c.graph(), c.ssa()).c_str());
+  if (o.dumpPfg) appendf(out, "%s", pfg::toDot(c.graph()).c_str());
+  if (o.dumpForm)
+    appendf(out, "%s", cssa::printForm(c.graph(), c.ssa()).c_str());
 
-  if (doOpt) {
+  if (o.doOpt) {
     opt::OptimizeReport report =
-        opt::optimizeProgram(prog, {.cssame = cssame});
-    std::printf("%s", ir::printProgram(prog).c_str());
-    std::fprintf(stderr,
-                 "; opt: %zu uses folded, %zu dead removed, %zu hoisted, "
-                 "%zu sunk, %d iterations\n",
-                 report.constProp.usesReplaced, report.deadCode.stmtsRemoved,
-                 report.lockMotion.hoisted, report.lockMotion.sunk,
-                 report.iterations);
+        opt::optimizeProgram(prog, {.cssame = o.cssame});
+    appendf(out, "%s", ir::printProgram(prog).c_str());
+    appendf(err,
+            "; opt: %zu uses folded, %zu dead removed, %zu hoisted, "
+            "%zu sunk, %d iterations\n",
+            report.constProp.usesReplaced, report.deadCode.stmtsRemoved,
+            report.lockMotion.hoisted, report.lockMotion.sunk,
+            report.iterations);
   }
-  if (doRun) {
-    interp::RunResult r = interp::run(prog, {.seed = seed});
-    for (long long v : r.output) std::printf("%lld\n", v);
+  if (o.doRun) {
+    interp::RunResult r = interp::run(prog, {.seed = o.seed});
+    for (long long v : r.output) appendf(out, "%lld\n", v);
     if (!r.completed)
-      std::fprintf(stderr, "%s\n",
-                   r.deadlocked ? "deadlock" : "step limit exceeded");
-    if (r.lockError) std::fprintf(stderr, "lock error\n");
-    if (r.assertFailed) std::fprintf(stderr, "assertion failed\n");
+      appendf(err, "%s\n",
+              r.deadlocked ? "deadlock" : "step limit exceeded");
+    if (r.lockError) appendf(err, "lock error\n");
+    if (r.assertFailed) appendf(err, "assertion failed\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--dump-pfg") == 0) o.dumpPfg = true;
+    else if (std::strcmp(arg, "--dump-form") == 0) o.dumpForm = true;
+    else if (std::strcmp(arg, "--no-cssame") == 0) o.cssame = false;
+    else if (std::strcmp(arg, "--opt") == 0) o.doOpt = true;
+    else if (std::strcmp(arg, "--races") == 0) o.doRaces = true;
+    else if (std::strcmp(arg, "--stats") == 0) o.doStats = true;
+    else if (std::strcmp(arg, "--csan") == 0) o.doCsan = true;
+    else if (std::strcmp(arg, "--vrange") == 0) o.doVrange = true;
+    else if (std::strncmp(arg, "--sarif", 7) == 0 &&
+             (arg[7] == '\0' || arg[7] == '=')) {
+      o.doSarif = o.doCsan = true;
+      if (arg[7] == '=') o.sarifPath = arg + 8;
+    } else if (std::strncmp(arg, "--json", 6) == 0 &&
+               (arg[6] == '\0' || arg[6] == '=')) {
+      o.doJson = o.doCsan = true;
+      if (arg[6] == '=') o.jsonPath = arg + 7;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      o.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strcmp(arg, "--run") == 0) {
+      o.doRun = true;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[i + 1][0])))
+        o.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg[0] == '-') {
+      usage();
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) usage();
+  if (files.size() > 1 && (!o.sarifPath.empty() || !o.jsonPath.empty())) {
+    std::fprintf(stderr,
+                 "cssamec: --sarif=FILE/--json=FILE take a single input "
+                 "file (outputs would overwrite each other)\n");
+    return 2;
+  }
+
+  std::vector<std::string> outs(files.size()), errs(files.size());
+  std::vector<int> codes(files.size(), 0);
+  support::ThreadPool pool(o.jobs);
+  pool.parallelFor(files.size(), [&](std::size_t i, unsigned) {
+    codes[i] = processFile(files[i], o, outs[i], errs[i]);
+  });
+
+  int code = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files.size() > 1 && (!outs[i].empty() || !errs[i].empty())) {
+      std::fprintf(stderr, "== %s\n", files[i].c_str());
+    }
+    std::fwrite(outs[i].data(), 1, outs[i].size(), stdout);
+    std::fwrite(errs[i].data(), 1, errs[i].size(), stderr);
+    if (code == 0) code = codes[i];
+  }
+  return code;
 }

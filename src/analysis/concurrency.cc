@@ -1,8 +1,26 @@
 #include "src/analysis/concurrency.h"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 namespace cssame::analysis {
+
+namespace {
+
+/// Lexicographic thread-path order, for interning distinct contexts.
+struct PathLess {
+  bool operator()(const pfg::ThreadPath& a, const pfg::ThreadPath& b) const {
+    return std::lexicographical_compare(
+        a.begin(), a.end(), b.begin(), b.end(),
+        [](const pfg::ThreadPathEntry& x, const pfg::ThreadPathEntry& y) {
+          return std::tuple(x.cobegin.value(), x.threadIndex) <
+                 std::tuple(y.cobegin.value(), y.threadIndex);
+        });
+  }
+};
+
+}  // namespace
 
 Mhp::Mhp(const pfg::Graph& graph, const Dominators& dom)
     : graph_(graph), dom_(dom) {
@@ -20,6 +38,79 @@ Mhp::Mhp(const pfg::Graph& graph, const Dominators& dom)
       // the phase-counting argument then breaks — disable the cobegin.
       const DynBitset& reach = reachableFrom(n.id);
       if (reach.test(n.id.index())) barrierDisabled_.insert(arm.cobegin);
+    }
+  }
+  buildContextTables();
+  buildOrderingFacts();
+}
+
+void Mhp::buildContextTables() {
+  const std::size_t n = graph_.size();
+  ctxOf_.assign(n, 0);
+
+  // Intern the distinct thread paths. Real programs have one context per
+  // (possibly nested) cobegin arm plus the sequential top level, so the
+  // pairwise tables stay tiny even for huge graphs.
+  std::map<pfg::ThreadPath, std::uint32_t, PathLess> interned;
+  std::vector<const pfg::ThreadPath*> paths;
+  for (const pfg::Node& node : graph_.nodes()) {
+    auto [it, fresh] = interned.try_emplace(
+        node.threadPath, static_cast<std::uint32_t>(paths.size()));
+    if (fresh) paths.push_back(&it->first);
+    ctxOf_[node.id.index()] = it->second;
+  }
+  contextCount_ = static_cast<std::uint32_t>(paths.size());
+
+  ctxConcurrent_.assign(contextCount_, DynBitset(contextCount_));
+  ctxDivergence_.assign(std::size_t{contextCount_} * contextCount_,
+                        Divergence{});
+  for (std::uint32_t ca = 0; ca < contextCount_; ++ca) {
+    for (std::uint32_t cb = 0; cb < contextCount_; ++cb) {
+      Divergence d;
+      if (pathsDiverge(*paths[ca], *paths[cb], &d)) {
+        ctxConcurrent_[ca].set(cb);
+        ctxDivergence_[std::size_t{ca} * contextCount_ + cb] = d;
+      }
+    }
+  }
+}
+
+void Mhp::buildOrderingFacts() {
+  const std::size_t n = graph_.size();
+  // Only events with both a Set and a Wait node can order anything.
+  std::vector<std::pair<const std::vector<NodeId>*,
+                        const std::vector<NodeId>*>> events;
+  for (const auto& [event, sets] : setNodes_) {
+    auto waitsIt = waitNodes_.find(event);
+    if (waitsIt != waitNodes_.end()) events.push_back({&sets, &waitsIt->second});
+  }
+  orderingEvents_ = events.size();
+  if (orderingEvents_ == 0) return;
+
+  ordSrc_.assign(n, DynBitset(orderingEvents_));
+  ordDst_.assign(n, DynBitset(orderingEvents_));
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    // ordSrc: every dominator of a Set(e) node (the idom chain, s
+    // included — dominance is reflexive).
+    for (NodeId s : *events[e].first) {
+      if (!dom_.reachable(s)) continue;
+      for (NodeId x = s;;) {
+        ordSrc_[x.index()].set(e);
+        if (x == dom_.root()) break;
+        x = dom_.idom(x);
+        if (!x.valid()) break;
+      }
+    }
+    // ordDst: every node dominated by a Wait(e) node (its dom subtree).
+    for (NodeId w : *events[e].second) {
+      if (!dom_.reachable(w)) continue;
+      std::vector<NodeId> stack{w};
+      while (!stack.empty()) {
+        const NodeId x = stack.back();
+        stack.pop_back();
+        ordDst_[x.index()].set(e);
+        for (NodeId c : dom_.children(x)) stack.push_back(c);
+      }
     }
   }
 }
@@ -48,20 +139,19 @@ const DynBitset& Mhp::reachableFrom(NodeId from) const {
   return reachCache_.emplace(from, std::move(reach)).first->second;
 }
 
-bool Mhp::divergence(NodeId a, NodeId b, StmtId* cobegin,
-                     std::uint32_t* armA, std::uint32_t* armB) const {
-  const pfg::ThreadPath& pa = graph_.node(a).threadPath;
-  const pfg::ThreadPath& pb = graph_.node(b).threadPath;
+bool Mhp::pathsDiverge(const pfg::ThreadPath& pa, const pfg::ThreadPath& pb,
+                       Divergence* d) {
   const std::size_t common = std::min(pa.size(), pb.size());
   for (std::size_t i = 0; i < common; ++i) {
-    if (pa[i].cobegin != pb[i].cobegin) return false;
+    if (pa[i].cobegin != pb[i].cobegin) return false;  // unrelated forks
     if (pa[i].threadIndex != pb[i].threadIndex) {
-      *cobegin = pa[i].cobegin;
-      *armA = pa[i].threadIndex;
-      *armB = pb[i].threadIndex;
+      d->cobegin = pa[i].cobegin;
+      d->armA = pa[i].threadIndex;
+      d->armB = pb[i].threadIndex;
       return true;
     }
   }
+  // One path is a prefix of the other: same thread lineage, sequential.
   return false;
 }
 
@@ -91,158 +181,137 @@ bool Mhp::separatedByBarrier(NodeId a, NodeId b, StmtId cobegin,
   return false;
 }
 
-bool Mhp::inConcurrentThreads(NodeId a, NodeId b) const {
-  const pfg::ThreadPath& pa = graph_.node(a).threadPath;
-  const pfg::ThreadPath& pb = graph_.node(b).threadPath;
-  const std::size_t common = std::min(pa.size(), pb.size());
-  for (std::size_t i = 0; i < common; ++i) {
-    if (pa[i].cobegin != pb[i].cobegin) return false;  // unrelated forks
-    if (pa[i].threadIndex != pb[i].threadIndex) return true;  // siblings
-  }
-  // One path is a prefix of the other: same thread lineage, sequential.
-  return false;
-}
-
-bool Mhp::orderedBefore(NodeId a, NodeId b) const {
-  for (const auto& [event, sets] : setNodes_) {
-    auto waitsIt = waitNodes_.find(event);
-    if (waitsIt == waitNodes_.end()) continue;
-    bool aBeforeSet = false;
-    for (NodeId s : sets) {
-      if (dom_.dominates(a, s)) {
-        aBeforeSet = true;
-        break;
-      }
-    }
-    if (!aBeforeSet) continue;
-    for (NodeId w : waitsIt->second) {
-      if (dom_.dominates(w, b)) return true;
-    }
-  }
-  return false;
-}
-
-std::optional<Mhp::Divergence> Mhp::divergenceOf(NodeId a, NodeId b) const {
-  Divergence d;
-  if (!divergence(a, b, &d.cobegin, &d.armA, &d.armB)) return std::nullopt;
-  return d;
-}
-
 bool Mhp::mayHappenInParallel(NodeId a, NodeId b) const {
   if (a == b) return false;  // a node does not conflict with itself
-  StmtId cobegin;
-  std::uint32_t armA = 0, armB = 0;
-  if (!divergence(a, b, &cobegin, &armA, &armB)) return false;
+  const std::optional<Divergence> d = divergenceOf(a, b);
+  if (!d) return false;
   if (orderedBefore(a, b) || orderedBefore(b, a)) return false;
-  if (separatedByBarrier(a, b, cobegin, armA, armB)) return false;
+  if (separatedByBarrier(a, b, d->cobegin, d->armA, d->armB)) return false;
   return true;
 }
 
 namespace {
 
-/// Variables defined / used by the statements of one node (shared only).
-struct NodeAccess {
-  std::vector<SymbolId> defs;
-  std::vector<SymbolId> uses;
-};
-
 void addUnique(std::vector<SymbolId>& v, SymbolId s) {
   if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
 }
 
-void collectExprUses(const ir::Expr& e, const ir::SymbolTable& syms,
-                     std::vector<SymbolId>& uses) {
-  ir::forEachExpr(e, [&](const ir::Expr& sub) {
-    if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var))
-      addUnique(uses, sub.var);
-  });
-}
-
-NodeAccess accessOf(const pfg::Node& n, const ir::SymbolTable& syms) {
-  NodeAccess acc;
-  for (const ir::Stmt* s : n.stmts) {
-    if (s->expr) collectExprUses(*s->expr, syms, acc.uses);
-    if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs))
-      addUnique(acc.defs, s->lhs);
-  }
-  if (n.terminator != nullptr && n.terminator->expr)
-    collectExprUses(*n.terminator->expr, syms, acc.uses);
-  return acc;
-}
+/// One symbol's accessor in the per-symbol candidate list.
+struct SymNodeAccess {
+  NodeId node;
+  bool use = false;
+  bool def = false;
+};
 
 }  // namespace
 
-void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp) {
+void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp,
+                                 const AccessSites& sites) {
+  CSSAME_CHECK(sites.byNode.size() == graph.size(),
+               "access index does not match the graph");
   graph.conflicts.clear();
   graph.mutexEdges.clear();
   graph.dsyncEdges.clear();
 
-  const ir::SymbolTable& syms = graph.program().symbols;
+  // Invert the shared access index: per symbol, the nodes touching it in
+  // node-id order. Only these nodes can ever be paired by an Ecf edge, so
+  // the sweep is bounded by Σ_v defs(v)·accessors(v) instead of N².
+  std::unordered_map<SymbolId, std::vector<SymNodeAccess>> bySym;
+  for (const pfg::Node& n : graph.nodes()) {
+    const AccessSites::NodeAccess& acc = sites.byNode[n.id.index()];
+    auto entry = [&](SymbolId v) -> SymNodeAccess& {
+      std::vector<SymNodeAccess>& list = bySym[v];
+      if (list.empty() || list.back().node != n.id)
+        list.push_back(SymNodeAccess{n.id, false, false});
+      return list.back();
+    };
+    for (SymbolId v : acc.uses) entry(v).use = true;
+    for (SymbolId v : acc.defs) entry(v).def = true;
+  }
 
-  // Per-node shared accesses.
-  std::vector<NodeAccess> access(graph.size());
-  for (const pfg::Node& n : graph.nodes())
-    if (n.kind == pfg::NodeKind::Block) access[n.id.index()] = accessOf(n, syms);
-
-  // Ecf: def -> concurrent use (DU) or concurrent def (DD).
+  // Ecf: def -> concurrent use (DU) or concurrent def (DD). The emission
+  // order replicates the all-pairs reference sweep exactly: defining
+  // nodes in id order, their defined symbols in statement order, and for
+  // each symbol its accessors in id order, DU before DD per accessor.
   for (const pfg::Node& d : graph.nodes()) {
-    for (SymbolId v : access[d.id.index()].defs) {
-      for (const pfg::Node& u : graph.nodes()) {
-        if (!mhp.conflicting(d.id, u.id)) continue;
-        const NodeAccess& ua = access[u.id.index()];
-        const bool usesV =
-            std::find(ua.uses.begin(), ua.uses.end(), v) != ua.uses.end();
-        const bool defsV =
-            std::find(ua.defs.begin(), ua.defs.end(), v) != ua.defs.end();
-        if (usesV)
-          graph.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, false});
-        if (defsV)
-          graph.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, true});
+    for (SymbolId v : sites.byNode[d.id.index()].defs) {
+      for (const SymNodeAccess& u : bySym.find(v)->second) {
+        if (!mhp.conflicting(d.id, u.node)) continue;
+        if (u.use)
+          graph.conflicts.push_back(pfg::ConflictEdge{d.id, u.node, v, false});
+        if (u.def)
+          graph.conflicts.push_back(pfg::ConflictEdge{d.id, u.node, v, true});
       }
     }
   }
 
+  // Sync nodes, indexed by kind (and target symbol for the edge heads) so
+  // the pairing below touches only same-symbol candidates.
+  std::vector<const pfg::Node*> lockNodes, setNodes;
+  std::unordered_map<SymbolId, std::vector<const pfg::Node*>> unlocksBySym,
+      waitsBySym;
+  for (const pfg::Node& n : graph.nodes()) {
+    switch (n.kind) {
+      case pfg::NodeKind::Lock: lockNodes.push_back(&n); break;
+      case pfg::NodeKind::Unlock:
+        unlocksBySym[n.syncStmt->sync].push_back(&n);
+        break;
+      case pfg::NodeKind::Set: setNodes.push_back(&n); break;
+      case pfg::NodeKind::Wait:
+        waitsBySym[n.syncStmt->sync].push_back(&n);
+        break;
+      default: break;
+    }
+  }
+
   // Emutex: Lock(L) <-> Unlock(L) in concurrent threads.
-  for (const pfg::Node& a : graph.nodes()) {
-    if (a.kind != pfg::NodeKind::Lock) continue;
-    for (const pfg::Node& b : graph.nodes()) {
-      if (b.kind != pfg::NodeKind::Unlock) continue;
-      if (a.syncStmt->sync != b.syncStmt->sync) continue;
-      if (!mhp.mayHappenInParallel(a.id, b.id)) continue;
+  for (const pfg::Node* a : lockNodes) {
+    auto it = unlocksBySym.find(a->syncStmt->sync);
+    if (it == unlocksBySym.end()) continue;
+    for (const pfg::Node* b : it->second) {
+      if (!mhp.mayHappenInParallel(a->id, b->id)) continue;
       graph.mutexEdges.push_back(
-          pfg::MutexEdge{a.id, b.id, a.syncStmt->sync});
+          pfg::MutexEdge{a->id, b->id, a->syncStmt->sync});
     }
   }
 
   // Edsync: Set(e) -> Wait(e) in concurrent threads.
-  for (const pfg::Node& a : graph.nodes()) {
-    if (a.kind != pfg::NodeKind::Set) continue;
-    for (const pfg::Node& b : graph.nodes()) {
-      if (b.kind != pfg::NodeKind::Wait) continue;
-      if (a.syncStmt->sync != b.syncStmt->sync) continue;
-      if (!mhp.inConcurrentThreads(a.id, b.id)) continue;
+  for (const pfg::Node* a : setNodes) {
+    auto it = waitsBySym.find(a->syncStmt->sync);
+    if (it == waitsBySym.end()) continue;
+    for (const pfg::Node* b : it->second) {
+      if (!mhp.inConcurrentThreads(a->id, b->id)) continue;
       graph.dsyncEdges.push_back(
-          pfg::DsyncEdge{a.id, b.id, a.syncStmt->sync});
+          pfg::DsyncEdge{a->id, b->id, a->syncStmt->sync});
     }
   }
 }
 
+void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp) {
+  computeSyncAndConflictEdges(graph, mhp, collectAccessSites(graph));
+}
+
 AccessSites collectAccessSites(const pfg::Graph& graph) {
   AccessSites sites;
+  sites.byNode.resize(graph.size());
   const ir::SymbolTable& syms = graph.program().symbols;
 
   auto collectUses = [&](const ir::Expr& e, ir::Stmt* stmt, NodeId node) {
     ir::forEachExpr(e, [&](const ir::Expr& sub) {
-      if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var))
+      if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var)) {
         sites.uses[sub.var].push_back(AccessSites::Use{&sub, stmt, node});
+        addUnique(sites.byNode[node.index()].uses, sub.var);
+      }
     });
   };
 
   for (const pfg::Node& n : graph.nodes()) {
     for (ir::Stmt* s : n.stmts) {
       if (s->expr) collectUses(*s->expr, s, n.id);
-      if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs))
+      if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs)) {
         sites.defs[s->lhs].push_back(AccessSites::Def{s, n.id});
+        addUnique(sites.byNode[n.id.index()].defs, s->lhs);
+      }
     }
     if (n.terminator != nullptr && n.terminator->expr)
       collectUses(*n.terminator->expr, n.terminator, n.id);

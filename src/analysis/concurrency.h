@@ -26,6 +26,14 @@
 // cobegin whenever one of its barriers sits on a control cycle (a
 // barrier inside a loop executes repeatedly, which breaks the "distinct
 // barriers reaching v" counting argument).
+//
+// Query cost: the constructor memoizes everything the hot queries need
+// (docs/PERFORMANCE.md). Thread paths are interned into *contexts* —
+// two nodes with the same (cobegin, arm) stack share one context — and
+// the pairwise divergence of all contexts is tabulated once, making
+// inConcurrentThreads / conflicting / divergenceOf O(1). The set/wait
+// ordering facts are precomputed as per-node bitsets over the ordering
+// events, making orderedBefore one bitset intersection.
 #pragma once
 
 #include <optional>
@@ -60,11 +68,17 @@ class Mhp {
   }
 
   /// True if a guaranteed ordering a ≺ b is established by set/wait.
-  [[nodiscard]] bool orderedBefore(NodeId a, NodeId b) const;
+  /// O(events/64) — one bitset intersection over precomputed facts.
+  [[nodiscard]] bool orderedBefore(NodeId a, NodeId b) const {
+    return orderingEvents_ != 0 &&
+           ordSrc_[a.index()].intersects(ordDst_[b.index()]);
+  }
 
   /// True if the thread paths of a and b diverge at a common cobegin
-  /// (ignoring set/wait ordering).
-  [[nodiscard]] bool inConcurrentThreads(NodeId a, NodeId b) const;
+  /// (ignoring set/wait ordering). O(1) via the context table.
+  [[nodiscard]] bool inConcurrentThreads(NodeId a, NodeId b) const {
+    return ctxConcurrent_[ctxOf_[a.index()]].test(ctxOf_[b.index()]);
+  }
 
   /// True if a barrier phase separation proves the two nodes (already
   /// known to be in concurrent arms of `cobegin`) cannot overlap.
@@ -83,9 +97,13 @@ class Mhp {
   };
 
   /// The divergence point of two nodes in concurrent threads, or nullopt
-  /// when the nodes share one thread lineage (sequential).
+  /// when the nodes share one thread lineage (sequential). O(1).
   [[nodiscard]] std::optional<Divergence> divergenceOf(NodeId a,
-                                                       NodeId b) const;
+                                                       NodeId b) const {
+    const std::uint32_t ca = ctxOf_[a.index()], cb = ctxOf_[b.index()];
+    if (!ctxConcurrent_[ca].test(cb)) return std::nullopt;
+    return ctxDivergence_[ca * contextCount_ + cb];
+  }
 
  private:
   struct ArmKey {
@@ -99,11 +117,17 @@ class Mhp {
     }
   };
 
-  /// Finds the first divergence point of the two thread paths. Returns
-  /// false when the nodes are in the same thread lineage (sequential).
-  [[nodiscard]] bool divergence(NodeId a, NodeId b, StmtId* cobegin,
-                                std::uint32_t* armA,
-                                std::uint32_t* armB) const;
+  /// Builds the interned-context divergence tables and the per-node
+  /// set/wait ordering bitsets (called once from the constructor).
+  void buildContextTables();
+  void buildOrderingFacts();
+
+  /// Reference path walk the tables are built from: finds the first
+  /// divergence point of two thread paths. Returns false when the paths
+  /// share one thread lineage (sequential).
+  [[nodiscard]] static bool pathsDiverge(const pfg::ThreadPath& pa,
+                                         const pfg::ThreadPath& pb,
+                                         Divergence* d);
 
   /// Nodes reachable from `from` along control edges (cached).
   [[nodiscard]] const DynBitset& reachableFrom(NodeId from) const;
@@ -118,17 +142,28 @@ class Mhp {
   // Cobegins whose barrier refinement is disabled (barrier on a cycle).
   std::unordered_set<StmtId> barrierDisabled_;
   mutable std::unordered_map<NodeId, DynBitset> reachCache_;
-};
 
-/// Populates graph.conflicts (Ecf), graph.mutexEdges (Emutex) and
-/// graph.dsyncEdges (Edsync) from the MHP relation, completing the PFG of
-/// Definition 1. Conflict edges run from every node defining a shared
-/// variable to every concurrent node using (DU) or defining (DD) it.
-void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp);
+  // --- memoized query tables (immutable after construction) ---
+  // Interned thread contexts: ctxOf_[node] indexes the distinct thread
+  // paths; ctxConcurrent_[ca].test(cb) iff the contexts diverge; the
+  // divergence point for each concurrent context pair is tabulated.
+  std::uint32_t contextCount_ = 0;
+  std::vector<std::uint32_t> ctxOf_;
+  std::vector<DynBitset> ctxConcurrent_;
+  std::vector<Divergence> ctxDivergence_;
+  // Set/wait ordering facts over the `orderingEvents_` events that have
+  // both a Set and a Wait node: ordSrc_[n] bit e ⟺ n dominates some
+  // Set(e); ordDst_[n] bit e ⟺ some Wait(e) dominates n.
+  std::size_t orderingEvents_ = 0;
+  std::vector<DynBitset> ordSrc_;
+  std::vector<DynBitset> ordDst_;
+};
 
 /// Definition and use sites of shared variables at statement granularity;
 /// the CSSA π-placement consumes these (one π argument per concurrent
-/// definition site).
+/// definition site). `byNode` is the node-granularity view of the same
+/// walk — the shared access index the conflict-edge construction and the
+/// lockset engines reuse instead of re-walking statements.
 struct AccessSites {
   struct Def {
     ir::Stmt* stmt;  ///< the Assign statement
@@ -141,7 +176,28 @@ struct AccessSites {
   };
   std::unordered_map<SymbolId, std::vector<Def>> defs;
   std::unordered_map<SymbolId, std::vector<Use>> uses;
+
+  /// Shared variables each node defines / uses, first-occurrence
+  /// statement order, deduplicated. Indexed by NodeId.
+  struct NodeAccess {
+    std::vector<SymbolId> defs;
+    std::vector<SymbolId> uses;
+  };
+  std::vector<NodeAccess> byNode;
 };
+
+/// Populates graph.conflicts (Ecf), graph.mutexEdges (Emutex) and
+/// graph.dsyncEdges (Edsync) from the MHP relation, completing the PFG of
+/// Definition 1. Conflict edges run from every node defining a shared
+/// variable to every concurrent node using (DU) or defining (DD) it.
+/// Only nodes touching the same symbol are ever paired (the access index
+/// bounds the sweep), and the emitted edge sequence is identical to the
+/// all-pairs definition.
+void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp,
+                                 const AccessSites& sites);
+
+/// Convenience overload that collects the access index itself.
+void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp);
 
 /// Collects per-shared-variable access sites over the whole graph.
 [[nodiscard]] AccessSites collectAccessSites(const pfg::Graph& graph);

@@ -3,10 +3,10 @@
 namespace cssame::cssa {
 
 PiPlacementStats placePiTerms(pfg::Graph& graph, ssa::SsaForm& form,
-                              const analysis::Mhp& mhp) {
+                              const analysis::Mhp& mhp,
+                              const analysis::AccessSites& sites) {
   PiPlacementStats stats;
   const ir::SymbolTable& syms = graph.program().symbols;
-  const analysis::AccessSites sites = analysis::collectAccessSites(graph);
 
   for (const auto& [var, uses] : sites.uses) {
     auto defsIt = sites.defs.find(var);

@@ -20,8 +20,12 @@ struct PiPlacementStats {
 };
 
 /// Extends a sequential SsaForm into CSSA by inserting π terms. Must run
-/// after buildSequentialSsa and before rewritePiTerms.
+/// after buildSequentialSsa and before rewritePiTerms. `sites` is the
+/// shared access index of `graph` (driver::Compilation collects it once
+/// and reuses it here, for conflict construction and for the lockset
+/// engines).
 PiPlacementStats placePiTerms(pfg::Graph& graph, ssa::SsaForm& form,
-                              const analysis::Mhp& mhp);
+                              const analysis::Mhp& mhp,
+                              const analysis::AccessSites& sites);
 
 }  // namespace cssame::cssa

@@ -27,21 +27,39 @@ Fault makeFault(FaultKind kind, std::string stage, std::string message,
 
 Compilation::Compilation(ir::Program& program, PipelineOptions opts)
     : program_(&program) {
+  support::Stopwatch watch;
+  auto phase = [&](const char* name) {
+    phaseTimes_.push_back(support::PhaseTime{name, watch.lap()});
+  };
   graph_ = std::make_unique<pfg::Graph>(pfg::buildPfg(program));
+  phase("pfg");
   dom_ = std::make_unique<analysis::Dominators>(
       *graph_, analysis::Dominators::Direction::Forward);
+  phase("dom");
   pdom_ = std::make_unique<analysis::Dominators>(
       *graph_, analysis::Dominators::Direction::Reverse);
+  phase("pdom");
   mhp_ = std::make_unique<analysis::Mhp>(*graph_, *dom_);
-  analysis::computeSyncAndConflictEdges(*graph_, *mhp_);
+  phase("mhp");
+  // The access index is collected once, ahead of everything that needs
+  // per-node def/use sets: conflict-edge construction, π placement and
+  // the lockset engines (csan, races) via sites().
+  sites_ = analysis::collectAccessSites(*graph_);
+  phase("sites");
+  analysis::computeSyncAndConflictEdges(*graph_, *mhp_, sites_);
+  phase("conflicts");
   mutexes_ = std::make_unique<mutex::MutexStructures>(
       *graph_, *dom_, *pdom_, opts.warnings ? &diag_ : nullptr);
-  sites_ = analysis::collectAccessSites(*graph_);
+  phase("mutex");
   ssa_ = std::make_unique<ssa::SsaForm>(
       ssa::buildSequentialSsa(*graph_, *dom_));
-  piStats_ = cssa::placePiTerms(*graph_, *ssa_, *mhp_);
-  if (opts.enableCssame)
+  phase("ssa");
+  piStats_ = cssa::placePiTerms(*graph_, *ssa_, *mhp_, sites_);
+  phase("cssa-pi");
+  if (opts.enableCssame) {
     rewriteStats_ = cssa::rewritePiTerms(*graph_, *ssa_, *mutexes_);
+    phase("cssame-rewrite");
+  }
 }
 
 std::vector<std::string> Compilation::verifyAll() const {

@@ -20,6 +20,7 @@
 #include "src/parser/parser.h"
 #include "src/pfg/build.h"
 #include "src/ssa/ssa.h"
+#include "src/support/timer.h"
 
 namespace cssame::driver {
 
@@ -72,17 +73,23 @@ class Compilation {
   /// (the same policy as sites()): csan's lock-lifecycle checks and any
   /// other lockset consumer share one solve.
   [[nodiscard]] const dataflow::HeldLocks& heldLocks() const {
-    if (!heldLocks_)
+    if (!heldLocks_) {
+      support::Stopwatch watch;
       heldLocks_ = std::make_unique<dataflow::HeldLocks>(*graph_);
+      phaseTimes_.push_back(support::PhaseTime{"heldlocks", watch.seconds()});
+    }
     return *heldLocks_;
   }
 
   /// Concurrent reaching definitions (Algorithm A.4 expansion of φ/π to
   /// real definitions), computed on first use and cached.
   [[nodiscard]] const cssa::ReachingInfo& reaching() const {
-    if (!reaching_)
+    if (!reaching_) {
+      support::Stopwatch watch;
       reaching_ = std::make_unique<cssa::ReachingInfo>(
           cssa::computeParallelReachingDefs(*graph_, *ssa_));
+      phaseTimes_.push_back(support::PhaseTime{"reaching", watch.seconds()});
+    }
     return *reaching_;
   }
 
@@ -94,6 +101,15 @@ class Compilation {
     if (heldLocks_) out.push_back(heldLocks_->stats());
     if (reaching_) out.push_back(reaching_->stats);
     return out;
+  }
+
+  /// Wall-clock cost of every analysis phase, in execution order: the
+  /// constructor's fixed chain (pfg, dom, pdom, mhp, sites, conflicts,
+  /// mutex, ssa, cssa-pi, cssame-rewrite) plus an entry for each lazy
+  /// solve (heldlocks, reaching) appended when it first runs. `cssamec
+  /// --stats` prints this table.
+  [[nodiscard]] const std::vector<support::PhaseTime>& phaseTimes() const {
+    return phaseTimes_;
   }
 
   DiagEngine& diag() { return diag_; }
@@ -118,6 +134,8 @@ class Compilation {
   /// does not change the observable compilation).
   mutable std::unique_ptr<dataflow::HeldLocks> heldLocks_;
   mutable std::unique_ptr<cssa::ReachingInfo> reaching_;
+  /// Phase timing table (mutable: lazy solves append their entry).
+  mutable std::vector<support::PhaseTime> phaseTimes_;
   DiagEngine diag_;
 };
 

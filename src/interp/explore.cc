@@ -1,9 +1,41 @@
+// Layered breadth-first schedule exploration.
+//
+// Each loop iteration processes one frontier layer — all candidate
+// states at the same step depth — in fixed phases:
+//
+//   1. classify (parallel): per state, fingerprint, terminal /
+//      deadlock / normal classification, ready-thread list, value
+//      sampling and dynamic race recording into per-worker partials.
+//   2a. deduplicate (parallel): the visited set is sharded by
+//      fingerprint; each worker owns a fixed subset of shards and scans
+//      the frontier *in order* for keys in its shards, so the dedup
+//      winner among equal states is always the earliest frontier slot —
+//      independent of the worker count.
+//   2b. record (serial): walk the frontier in order, record terminal
+//      outputs and count freshly-deduplicated states, enforcing the
+//      States budget exactly (the count stops at maxStates + 1).
+//   3. expand (parallel): every fresh state emits one successor per
+//      ready thread into a pre-assigned slot of the next frontier, so
+//      the next layer's order is a pure function of this layer.
+//
+// Budgets are enforced at layer boundaries (Steps, Depth, States,
+// Memory) plus one cooperative check inside expansion: workers
+// accumulate successor bytes into a monotonic atomic counter and stop
+// expanding once it crosses the memory cap. Whether the counter crosses
+// depends only on the layer's total successor footprint — not on thread
+// scheduling — so even the mid-expansion trip is deterministic. The full
+// argument is written out in docs/PERFORMANCE.md.
 #include "src/interp/explore.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <atomic>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/interp/machine.h"
+#include "src/support/threadpool.h"
+#include "src/support/visited.h"
 
 namespace cssame::interp {
 
@@ -37,10 +69,20 @@ bool holdCommonLock(const std::vector<SymbolId>& a,
   return false;
 }
 
+/// Per-worker accumulator. Races and value ranges land here during the
+/// parallel classify phase and are folded into the result at the layer
+/// boundary; both folds are commutative, so the merge order (and hence
+/// the worker count) cannot affect the result.
+struct Partial {
+  std::set<SymbolId> racedVars;
+  std::map<SymbolId, std::pair<long long, long long>> observedRanges;
+};
+
 class Explorer {
  public:
-  Explorer(const ir::Program& prog, ExploreOptions opts)
-      : prog_(prog), opts_(opts) {
+  Explorer(const ir::Program& prog, const ExploreOptions& opts,
+           support::ThreadPool& pool)
+      : prog_(prog), opts_(opts), pool_(pool), partials_(pool.workers()) {
     if (opts_.recordValues) {
       for (const ir::Symbol& s : prog_.symbols.all())
         if (s.kind == ir::SymbolKind::Var) sampledVars_.push_back(s.id);
@@ -48,99 +90,57 @@ class Explorer {
   }
 
   ExploreResult run() {
-    Machine root(prog_);
-    stackBytes_ = root.approxBytes();
-    dfs(std::move(root), 0);
+    frontier_.emplace_back(Machine(prog_));
+    frontierBytes_ = frontier_.front()->approxBytes();
+    std::uint64_t depth = 0;
+    while (!frontier_.empty()) {
+      if (stepsUsed_ >= opts_.maxSteps) {
+        trip(support::BudgetKind::Steps);
+        break;
+      }
+      const bool atDepthCap = depth >= opts_.maxDepthPerRun;
+      classifyLayer(atDepthCap);
+      mergePartials();
+      if (atDepthCap) {
+        // Every remaining state sits at or beyond the cap; states at the
+        // cap are sampled (above) but not recorded or expanded.
+        trip(support::BudgetKind::Depth);
+        break;
+      }
+      dedupLayer();
+      if (!recordLayer()) break;  // States budget
+      memBase_ = frontierBytes_ + visited_.approxBytes();
+      if (memBase_ > opts_.maxMemoryBytes) {
+        trip(support::BudgetKind::Memory);
+        break;
+      }
+      if (!expandLayer()) break;  // Memory budget (cooperative)
+      ++depth;
+    }
     return std::move(result_);
   }
 
  private:
-  /// Records the first tripped budget; Steps/States/Memory also halt the
-  /// whole search (Depth only ends the current schedule).
-  void trip(support::BudgetKind kind, bool haltSearch) {
+  /// Records the first tripped budget. Every trip ends the layer loop:
+  /// unlike a depth-first search there is no "elsewhere" to continue —
+  /// all shallower work is already done.
+  void trip(support::BudgetKind kind) {
     result_.complete = false;
     if (result_.budgetExceeded == support::BudgetKind::None)
       result_.budgetExceeded = kind;
-    halted_ |= haltSearch;
   }
 
-  [[nodiscard]] std::uint64_t approxMemory() const {
-    // Visited-set entries cost their hash plus bucket overhead.
-    return stackBytes_ + visited_.size() * 2 * sizeof(std::uint64_t);
-  }
-
-  /// Folds every variable's current value into its observed min/max.
-  /// Called once per loop iteration, so every reachable state — including
-  /// the initial one and every terminal one — is sampled exactly when it
-  /// is first visited.
-  void sample(const Machine& machine) {
+  /// Folds every variable's current value into a worker's observed
+  /// min/max. Every frontier state — initial, terminal, duplicate and
+  /// depth-capped alike — is sampled in the layer it appears.
+  void sample(const Machine& machine, Partial& p) {
     for (SymbolId v : sampledVars_) {
       const long long val = machine.valueOf(v);
-      auto [it, fresh] = result_.observedRanges.try_emplace(v, val, val);
+      auto [it, fresh] = p.observedRanges.try_emplace(v, val, val);
       if (!fresh) {
         it->second.first = std::min(it->second.first, val);
         it->second.second = std::max(it->second.second, val);
       }
-    }
-  }
-
-  void dfs(Machine machine, std::uint64_t depth) {
-    while (true) {
-      if (halted_) return;
-      if (opts_.recordValues) sample(machine);
-      if (stepsUsed_ >= opts_.maxSteps) {
-        trip(support::BudgetKind::Steps, true);
-        return;
-      }
-      if (depth >= opts_.maxDepthPerRun) {
-        trip(support::BudgetKind::Depth, false);
-        return;
-      }
-      if (!machine.anyAlive()) {
-        result_.outputs.insert(machine.result().output);
-        result_.anyLockError |= machine.result().lockError;
-        result_.anyAssertFailure |= machine.result().assertFailed;
-        return;
-      }
-      const std::vector<std::size_t> ready = machine.readyThreads();
-      if (ready.empty()) {
-        result_.anyDeadlock = true;
-        result_.outputs.insert(machine.result().output);
-        return;
-      }
-      // Deduplicate: if this exact dynamic state (including produced
-      // output) was explored before, every continuation was too.
-      if (!visited_.insert(machine.stateHash()).second) return;
-      ++result_.statesExplored;
-      if (opts_.detectRaces && ready.size() >= 2) recordRaces(machine, ready);
-      if (result_.statesExplored > opts_.maxStates) {
-        trip(support::BudgetKind::States, true);
-        return;
-      }
-      if (approxMemory() > opts_.maxMemoryBytes) {
-        trip(support::BudgetKind::Memory, true);
-        return;
-      }
-
-      // Fork on every choice but the first; continue the first in place
-      // (avoids one copy per level on the leftmost path).
-      for (std::size_t i = 1; i < ready.size(); ++i) {
-        Machine fork = machine;
-        fork.stepThread(ready[i]);
-        ++stepsUsed_;
-        const std::uint64_t forkBytes = fork.approxBytes();
-        stackBytes_ += forkBytes;
-        dfs(std::move(fork), depth + 1);
-        stackBytes_ -= forkBytes;
-        if (halted_) return;
-        if (stepsUsed_ >= opts_.maxSteps) {
-          trip(support::BudgetKind::Steps, true);
-          return;
-        }
-      }
-      machine.stepThread(ready[0]);
-      ++stepsUsed_;
-      ++depth;
     }
   }
 
@@ -149,7 +149,7 @@ class Explorer {
   /// very state, so the conflict is a concrete (not merely may-happen)
   /// race witness.
   void recordRaces(const Machine& machine,
-                   const std::vector<std::size_t>& ready) {
+                   const std::vector<std::size_t>& ready, Partial& p) {
     const ir::SymbolTable& syms = prog_.symbols;
     std::vector<PendingAccess> acc(ready.size());
     std::vector<const ir::Stmt*> stmts(ready.size(), nullptr);
@@ -166,9 +166,9 @@ class Explorer {
           continue;
         auto conflict = [&](const PendingAccess& w, const PendingAccess& r) {
           if (!w.write.valid()) return;
-          if (r.write == w.write) result_.racedVars.insert(w.write);
+          if (r.write == w.write) p.racedVars.insert(w.write);
           for (SymbolId v : r.reads)
-            if (v == w.write) result_.racedVars.insert(v);
+            if (v == w.write) p.racedVars.insert(v);
         };
         conflict(acc[i], acc[j]);
         conflict(acc[j], acc[i]);
@@ -176,21 +176,174 @@ class Explorer {
     }
   }
 
+  /// Phase 1: per-state facts, computed in parallel into per-slot and
+  /// per-worker storage (no shared writes). At the depth cap only the
+  /// value sampling runs — the old per-state order was sample, then
+  /// depth check, then terminal classification.
+  void classifyLayer(bool atDepthCap) {
+    slots_.assign(frontier_.size(), Slot{});
+    pool_.parallelFor(frontier_.size(), [&](std::size_t i, unsigned w) {
+      const Machine& m = *frontier_[i];
+      if (opts_.recordValues) sample(m, partials_[w]);
+      if (atDepthCap) return;
+      Slot& s = slots_[i];
+      s.hash = m.stateHash128();
+      if (!m.anyAlive()) {
+        s.kind = Slot::Terminal;
+        return;
+      }
+      s.ready = m.readyThreads();
+      if (s.ready.empty()) {
+        s.kind = Slot::Deadlock;
+        return;
+      }
+      if (opts_.detectRaces && s.ready.size() >= 2)
+        recordRaces(m, s.ready, partials_[w]);
+    });
+  }
+
+  void mergePartials() {
+    for (Partial& p : partials_) {
+      result_.racedVars.merge(p.racedVars);
+      p.racedVars.clear();
+      for (const auto& [v, mm] : p.observedRanges) {
+        auto [it, fresh] = result_.observedRanges.try_emplace(v, mm);
+        if (!fresh) {
+          it->second.first = std::min(it->second.first, mm.first);
+          it->second.second = std::max(it->second.second, mm.second);
+        }
+      }
+      p.observedRanges.clear();
+    }
+  }
+
+  /// Phase 2a: sharded deduplication. Worker task w owns the shards with
+  /// index ≡ w (mod tasks) and scans the whole frontier in order for
+  /// keys in its shards; equal keys land in the same shard, so the
+  /// earliest slot always wins regardless of how many workers run.
+  void dedupLayer() {
+    const std::size_t tasks = pool_.workers();
+    pool_.parallelFor(tasks, [&](std::size_t t, unsigned) {
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot& s = slots_[i];
+        if (s.kind != Slot::Normal) continue;
+        if (support::ShardedVisited::shardOf(s.hash) % tasks != t) continue;
+        s.fresh = visited_.insert(s.hash);
+      }
+    });
+  }
+
+  /// Phase 2b: serial in-order scan. Terminal and deadlocked states are
+  /// recorded (never deduplicated or counted — matching the per-state
+  /// order terminal-check-before-dedup of the original search); fresh
+  /// states are counted against the States budget, which trips exactly
+  /// at maxStates + 1. Returns false when the budget tripped.
+  bool recordLayer() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      const Machine& m = *frontier_[i];
+      if (s.kind == Slot::Terminal) {
+        result_.outputs.insert(m.result().output);
+        result_.anyLockError |= m.result().lockError;
+        result_.anyAssertFailure |= m.result().assertFailed;
+        continue;
+      }
+      if (s.kind == Slot::Deadlock) {
+        result_.anyDeadlock = true;
+        result_.outputs.insert(m.result().output);
+        continue;
+      }
+      if (!s.fresh) continue;
+      ++result_.statesExplored;
+      if (result_.statesExplored > opts_.maxStates) {
+        trip(support::BudgetKind::States);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Phase 3: expand every fresh state, one successor per ready thread,
+  /// into pre-assigned slots of the next frontier (the last successor
+  /// steals the parent machine instead of copying it). Successor bytes
+  /// accumulate in a monotonic atomic; crossing the memory cap stops all
+  /// workers cooperatively. Returns false when memory tripped.
+  bool expandLayer() {
+    std::size_t total = 0;
+    std::vector<std::size_t> expand;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (s.kind != Slot::Normal || !s.fresh) continue;
+      s.succOffset = total;
+      total += s.ready.size();
+      expand.push_back(i);
+    }
+    std::vector<std::optional<Machine>> next(total);
+    if (total != 0) {
+      std::atomic<std::uint64_t> succBytes{0};
+      std::atomic<bool> memTripped{false};
+      pool_.parallelFor(expand.size(), [&](std::size_t e, unsigned) {
+        const std::size_t i = expand[e];
+        const Slot& s = slots_[i];
+        for (std::size_t k = 0; k < s.ready.size(); ++k) {
+          if (memTripped.load(std::memory_order_relaxed)) return;
+          const bool last = k + 1 == s.ready.size();
+          Machine succ = last ? std::move(*frontier_[i]) : *frontier_[i];
+          succ.stepThread(s.ready[k]);
+          const std::uint64_t bytes = succ.approxBytes();
+          const std::uint64_t sum =
+              succBytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+          next[s.succOffset + k].emplace(std::move(succ));
+          if (memBase_ + sum > opts_.maxMemoryBytes)
+            memTripped.store(true, std::memory_order_relaxed);
+        }
+      });
+      if (memTripped.load()) {
+        trip(support::BudgetKind::Memory);
+        return false;
+      }
+      stepsUsed_ += total;
+      frontierBytes_ = succBytes.load();
+    }
+    frontier_ = std::move(next);
+    return true;
+  }
+
+  struct Slot {
+    enum Kind : std::uint8_t { Normal, Terminal, Deadlock };
+    support::Hash128 hash;
+    Kind kind = Normal;
+    bool fresh = false;
+    std::vector<std::size_t> ready;
+    std::size_t succOffset = 0;
+  };
+
   const ir::Program& prog_;
-  ExploreOptions opts_;
+  const ExploreOptions& opts_;
+  support::ThreadPool& pool_;
   ExploreResult result_;
   std::vector<SymbolId> sampledVars_;  ///< Var symbols, when recordValues
-  std::unordered_set<std::uint64_t> visited_;
+  std::vector<Partial> partials_;      ///< one per pool worker
+  std::vector<std::optional<Machine>> frontier_;
+  std::vector<Slot> slots_;
+  support::ShardedVisited visited_;
   std::uint64_t stepsUsed_ = 0;
-  std::uint64_t stackBytes_ = 0;
-  bool halted_ = false;
+  std::uint64_t frontierBytes_ = 0;  ///< footprint of the current layer
+  std::uint64_t memBase_ = 0;        ///< frontier + visited at the boundary
 };
 
 }  // namespace
 
 ExploreResult exploreAllSchedules(const ir::Program& program,
                                   ExploreOptions opts) {
-  return Explorer(program, opts).run();
+  support::ThreadPool pool(opts.workers == 0 ? 0 : opts.workers);
+  return Explorer(program, opts, pool).run();
+}
+
+ExploreResult exploreAllSchedules(const ir::Program& program,
+                                  const ExploreOptions& opts,
+                                  support::ThreadPool& pool) {
+  return Explorer(program, opts, pool).run();
 }
 
 }  // namespace cssame::interp

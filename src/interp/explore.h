@@ -12,6 +12,15 @@
 // optimizer may reduce nondeterminism, never introduce new behaviors),
 // and outputs must be preserved exactly for determinate programs.
 //
+// The search is a layered breadth-first frontier sweep: layer d holds
+// every candidate state reachable in exactly d steps, and each layer is
+// processed in fixed phases (classify / deduplicate / record / expand).
+// The phases parallelize across ExploreOptions::workers threads, and the
+// phase structure — not luck — guarantees the returned ExploreResult is
+// byte-identical for every worker count (docs/PERFORMANCE.md gives the
+// determinism argument). States are deduplicated by 128-bit fingerprint
+// (src/support/visited.h discusses the collision bound).
+//
 // State-space size is exponential in the interleaving depth; the
 // explorer is intended for the small adversarial programs in the test
 // suite (budgets default to ~2M machine steps).
@@ -25,6 +34,10 @@
 #include "src/ir/program.h"
 #include "src/support/budget.h"
 
+namespace cssame::support {
+class ThreadPool;
+}  // namespace cssame::support
+
 namespace cssame::interp {
 
 struct ExploreOptions {
@@ -32,7 +45,7 @@ struct ExploreOptions {
   std::uint64_t maxDepthPerRun = 4096;  ///< per-schedule step bound
   std::uint64_t maxStates = 1u << 22;   ///< deduplicated dynamic states
   /// Approximate cap on explorer memory (visited-state set + the machine
-  /// copies live on the DFS stack). Exceeding it ends exploration
+  /// copies in the current frontier). Exceeding it ends exploration
   /// gracefully with a BudgetExceeded outcome instead of an OOM kill.
   std::uint64_t maxMemoryBytes = 512u << 20;
   /// Record dynamic data races: at every explored state, two runnable
@@ -46,15 +59,21 @@ struct ExploreOptions {
   /// is dynamically cross-validated against these observations: a static
   /// interval that excludes an observed value is a soundness bug.
   bool recordValues = false;
+  /// Threads draining each frontier layer. 1 (the default) explores
+  /// serially on the calling thread; 0 picks one worker per hardware
+  /// thread. The result is identical for every value — parallelism only
+  /// changes wall-clock time.
+  unsigned workers = 1;
 };
 
 struct ExploreResult {
   /// Every distinct output sequence over all schedules.
   std::set<std::vector<long long>> outputs;
   bool complete = true;       ///< false if a budget was exhausted
-  /// First budget that tripped (None when complete). Depth only bounds a
-  /// single schedule, so exploration continues past a Depth trip; Steps,
-  /// States and Memory halt the whole search.
+  /// First budget that tripped (None when complete). Depth ends the
+  /// search at the capped layer — in a breadth-first sweep every
+  /// shallower state has already been processed by then; Steps, States
+  /// and Memory halt the whole search where they trip.
   support::BudgetKind budgetExceeded = support::BudgetKind::None;
   bool anyDeadlock = false;   ///< some schedule deadlocks
   bool anyLockError = false;  ///< some schedule unlocks without holding
@@ -80,5 +99,12 @@ struct ExploreResult {
 
 [[nodiscard]] ExploreResult exploreAllSchedules(const ir::Program& program,
                                                 ExploreOptions opts = {});
+
+/// Same, but drains layers on an existing pool (opts.workers is ignored;
+/// the pool's worker count is used). Batch drivers that explore many
+/// programs reuse one pool instead of respawning threads per program.
+[[nodiscard]] ExploreResult exploreAllSchedules(const ir::Program& program,
+                                                const ExploreOptions& opts,
+                                                support::ThreadPool& pool);
 
 }  // namespace cssame::interp

@@ -58,9 +58,15 @@ const ir::Stmt* accessStmtAt(NodeId node, SymbolId var, bool isDef,
 
 RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
                        const MutexStructures& structures, DiagEngine& diag) {
+  return detectRaces(graph, mhp, structures, diag,
+                     analysis::collectAccessSites(graph));
+}
+
+RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
+                       const MutexStructures& structures, DiagEngine& diag,
+                       const analysis::AccessSites& sites) {
   RaceReport report;
   const ir::SymbolTable& syms = graph.program().symbols;
-  const analysis::AccessSites sites = analysis::collectAccessSites(graph);
 
   // Gather, per shared variable, the locksets of its definition sites.
   for (const auto& [var, defs] : sites.defs) {

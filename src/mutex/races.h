@@ -25,4 +25,10 @@ struct RaceReport {
 RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
                        const MutexStructures& structures, DiagEngine& diag);
 
+/// Same, but reuses an already-collected access index for `graph` (e.g.
+/// driver::Compilation::sites()) instead of re-walking every statement.
+RaceReport detectRaces(const pfg::Graph& graph, const analysis::Mhp& mhp,
+                       const MutexStructures& structures, DiagEngine& diag,
+                       const analysis::AccessSites& sites);
+
 }  // namespace cssame::mutex

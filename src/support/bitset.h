@@ -81,6 +81,14 @@ class DynBitset {
     return changed;
   }
 
+  /// True if this set and o share at least one bit (no allocation).
+  [[nodiscard]] bool intersects(const DynBitset& o) const {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    return false;
+  }
+
   /// In-place difference (this \ o). Returns true if this set changed.
   bool subtract(const DynBitset& o) {
     assert(nbits_ == o.nbits_);

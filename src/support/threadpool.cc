@@ -1,0 +1,77 @@
+#include "src/support/threadpool.h"
+
+#include <algorithm>
+
+namespace cssame::support {
+
+unsigned ThreadPool::defaultWorkers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 16u);
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = defaultWorkers();
+  workers_ = std::clamp(workers, 1u, 64u);
+  threads_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w)
+    threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::runJob(unsigned worker) {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobSize_) return;
+    (*job_)(i, worker);
+  }
+}
+
+void ThreadPool::workerLoop(unsigned worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    runJob(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(
+    std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
+  if (n == 0) return;
+  if (workers_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    jobSize_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  wake_.notify_all();
+  runJob(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+  jobSize_ = 0;
+}
+
+}  // namespace cssame::support

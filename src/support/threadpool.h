@@ -1,0 +1,73 @@
+// A small fixed-size thread pool for index-parallel loops.
+//
+// Two consumers share it: the schedule explorer's layered state-space
+// search (src/interp/explore.cc) and the batch analysis drivers (the
+// bench harnesses and `cssamec --jobs=N`) that analyze independent
+// programs concurrently. The pool deliberately exposes only
+// parallelFor — a fork/join loop with dynamic (work-stealing-style)
+// index distribution — because every consumer needs deterministic
+// results: callers accumulate into per-worker or per-index slots and
+// merge at the join, so the outcome never depends on which worker ran
+// which index.
+//
+// The calling thread participates as worker 0, so a pool of size 1
+// spawns no threads at all and parallelFor degrades to a plain loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cssame::support {
+
+class ThreadPool {
+ public:
+  /// `workers` is the total worker count including the caller; clamped to
+  /// [1, 64]. 0 means defaultWorkers().
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Runs fn(index, worker) for every index in [0, n), distributing
+  /// indices dynamically across the pool; blocks until all calls return.
+  /// `worker` is in [0, workers()) and is stable for the duration of one
+  /// call, so fn can accumulate into per-worker slots without locking.
+  /// parallelFor establishes a happens-before edge from every fn call to
+  /// its own return, so results written by workers are safe to read
+  /// after it. Must not be called reentrantly from inside fn.
+  void parallelFor(std::size_t n,
+                   const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Hardware concurrency clamped into [1, 16] — the default pool size
+  /// for batch drivers.
+  [[nodiscard]] static unsigned defaultWorkers();
+
+ private:
+  void workerLoop(unsigned worker);
+  void runJob(unsigned worker);
+
+  unsigned workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, unsigned)>* job_ = nullptr;
+  std::size_t jobSize_ = 0;
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace cssame::support

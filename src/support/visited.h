@@ -1,0 +1,90 @@
+// 128-bit state fingerprints and a lock-striped sharded visited set.
+//
+// The schedule explorer deduplicates dynamic states by hash only — it
+// never keeps the states themselves, so a fingerprint collision silently
+// prunes a genuinely distinct reachable state, which can mask a race or
+// an assertion failure. A single 64-bit hash makes that realistic at
+// scale: by the birthday bound, ~2^22 explored states (the default state
+// budget) give a collision probability of about 2^44/2^65 ≈ 5e-7 per
+// run, and a fleet of runs multiplies it. Two *independently* mixed
+// 64-bit hashes push the bound to ~2^44/2^129, i.e. below 1e-24 —
+// negligible even across millions of CI runs. See docs/ANALYSIS.md.
+//
+// ShardedVisited splits the set into 64 lock-striped shards keyed by the
+// high hash bits. The parallel explorer assigns whole shards to workers
+// during its deduplication phase, so insert order *within one shard* is
+// the deterministic frontier order — the property its determinism
+// argument rests on (docs/PERFORMANCE.md); the stripes additionally make
+// concurrent use from arbitrary threads safe.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+namespace cssame::support {
+
+/// Two independently-mixed 64-bit fingerprints of one dynamic state.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+struct Hash128Hasher {
+  [[nodiscard]] std::size_t operator()(const Hash128& h) const {
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Hash set of Hash128 keys, lock-striped across kShards shards.
+class ShardedVisited {
+ public:
+  static constexpr std::size_t kShards = 64;
+
+  /// Shard of a key — a pure function of the fingerprint, so callers can
+  /// partition work by shard. Uses high bits disjoint from the bits the
+  /// in-shard bucket hash favors.
+  [[nodiscard]] static std::size_t shardOf(const Hash128& h) {
+    return static_cast<std::size_t>(h.hi >> 58) % kShards;
+  }
+
+  /// Inserts the key; true when it was not present before.
+  bool insert(const Hash128& h) {
+    Shard& s = shards_[shardOf(h)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.set.insert(h).second;
+  }
+
+  [[nodiscard]] bool contains(const Hash128& h) const {
+    const Shard& s = shards_[shardOf(h)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.set.contains(h);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      n += s.set.size();
+    }
+    return n;
+  }
+
+  /// Approximate footprint: each entry costs its key plus bucket overhead.
+  [[nodiscard]] std::uint64_t approxBytes() const {
+    return static_cast<std::uint64_t>(size()) * 2 * sizeof(Hash128);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_set<Hash128, Hash128Hasher> set;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace cssame::support

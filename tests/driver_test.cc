@@ -117,5 +117,21 @@ TEST(Pipeline, ReanalysisIsStable) {
   EXPECT_EQ(c1.mutexes().bodies().size(), c2.mutexes().bodies().size());
 }
 
+TEST(Pipeline, PhaseTimesCoverEveryPass) {
+  ir::Program prog = parser::parseOrDie(workload::figure2Source());
+  Compilation c = analyze(prog);
+  const auto& times = c.phaseTimes();
+  ASSERT_GE(times.size(), 9u);
+  EXPECT_EQ(times.front().name, "pfg");
+  for (const auto& t : times) EXPECT_GE(t.seconds, 0.0) << t.name;
+  // Lazy phases append on first use.
+  const std::size_t before = times.size();
+  (void)c.heldLocks();
+  (void)c.reaching();
+  ASSERT_EQ(c.phaseTimes().size(), before + 2);
+  EXPECT_EQ(c.phaseTimes()[before].name, "heldlocks");
+  EXPECT_EQ(c.phaseTimes()[before + 1].name, "reaching");
+}
+
 }  // namespace
 }  // namespace cssame::driver

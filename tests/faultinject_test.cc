@@ -13,13 +13,21 @@
 //   3. Injected pass crashes — the injector throws from inside the pass
 //      boundary; the optimizer must contain the exception and name the
 //      pass, never terminate the process.
+//   4. Mutated workloads under the parallel explorer — the survivors of
+//      surface 1 are also exhaustively explored with workers > 1 on a
+//      shared pool, with tight budgets: the parallel frontier sweep must
+//      end gracefully on hostile shapes AND return exactly the serial
+//      result (its determinism contract does not get to assume
+//      well-behaved input).
 #include <gtest/gtest.h>
 
 #include "src/driver/pipeline.h"
+#include "src/interp/explore.h"
 #include "src/interp/interp.h"
 #include "src/ir/verify.h"
 #include "src/opt/optimize.h"
 #include "src/support/faultinject.h"
+#include "src/support/threadpool.h"
 #include "src/workload/generator.h"
 
 namespace cssame {
@@ -85,6 +93,42 @@ TEST(FaultInjection, MutatedWorkloadsAreDiagnosedNeverCrash) {
   EXPECT_GT(analyzed, 50);
   EXPECT_GT(rejected, 50);
   EXPECT_GT(optimized, 10);
+}
+
+TEST(FaultInjection, MutatedWorkloadsExploreInParallelDeterministically) {
+  support::ThreadPool pool(4);
+  int explored = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    ir::Program p = makeWorkload(seed);
+    (void)support::mutateProgram(p, seed * 2654435761ull);
+    if (!ir::verify(p).empty()) continue;  // surface 1 covers rejection
+
+    interp::ExploreOptions opts;
+    opts.maxSteps = 4096;
+    opts.maxStates = 1024;
+    opts.maxDepthPerRun = 256;
+    opts.detectRaces = true;
+    opts.workers = 1;
+    const interp::ExploreResult serial = interp::exploreAllSchedules(p, opts);
+    EXPECT_TRUE(serial.complete ||
+                serial.budgetExceeded != support::BudgetKind::None)
+        << "seed " << seed;
+
+    const interp::ExploreResult parallel =
+        interp::exploreAllSchedules(p, opts, pool);
+    EXPECT_EQ(serial.outputs, parallel.outputs) << "seed " << seed;
+    EXPECT_EQ(serial.complete, parallel.complete) << "seed " << seed;
+    EXPECT_EQ(serial.budgetExceeded, parallel.budgetExceeded)
+        << "seed " << seed;
+    EXPECT_EQ(serial.anyDeadlock, parallel.anyDeadlock) << "seed " << seed;
+    EXPECT_EQ(serial.anyLockError, parallel.anyLockError) << "seed " << seed;
+    EXPECT_EQ(serial.statesExplored, parallel.statesExplored)
+        << "seed " << seed;
+    EXPECT_EQ(serial.racedVars, parallel.racedVars) << "seed " << seed;
+    ++explored;
+  }
+  // Mutations leave plenty of structurally-valid programs to explore.
+  EXPECT_GT(explored, 40);
 }
 
 TEST(FaultInjection, InjectedIrCorruptionIsAttributedToThePass) {

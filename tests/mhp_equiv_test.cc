@@ -1,0 +1,471 @@
+// Equivalence sweep for the memoized MHP/conflict fast path.
+//
+// The bitset implementation in src/analysis/concurrency.cc promises
+// bit-identical results to the original definition-style algorithms
+// (thread-path walks, all-pairs sweeps). This test holds it to that: a
+// verbatim transcription of the pre-memoization code serves as the
+// reference, and >= 100 generated workloads — random programs with and
+// without events, lock-structured sweeps, the bank workload, the paper
+// figures, and hand-written barrier programs — are checked for
+//
+//   * exact equality of every pairwise query (inConcurrentThreads,
+//     orderedBefore, mayHappenInParallel, conflicting, divergenceOf),
+//   * exact equality of the emitted Ecf/Emutex/Edsync edge sequences,
+//     INCLUDING order — downstream passes (π placement, lockset joins)
+//     iterate these in order, so order is part of the contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/concurrency.h"
+#include "src/analysis/dominance.h"
+#include "src/ir/expr.h"
+#include "src/parser/parser.h"
+#include "src/pfg/build.h"
+#include "src/support/bitset.h"
+#include "src/workload/generator.h"
+#include "src/workload/paper_programs.h"
+
+namespace cssame::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementation: a transcription of the original (pre-memoization)
+// analysis. Path walks on every query, linear scans over set/wait nodes,
+// all-pairs edge sweeps. Deliberately kept dumb and independent of the
+// production tables.
+// ---------------------------------------------------------------------------
+
+class RefMhp {
+ public:
+  RefMhp(const pfg::Graph& graph, const Dominators& dom)
+      : graph_(graph), dom_(dom) {
+    for (const pfg::Node& n : graph.nodes()) {
+      if (n.kind == pfg::NodeKind::Set) {
+        setNodes_[n.syncStmt->sync].push_back(n.id);
+      } else if (n.kind == pfg::NodeKind::Wait) {
+        waitNodes_[n.syncStmt->sync].push_back(n.id);
+      } else if (n.kind == pfg::NodeKind::Barrier) {
+        if (n.threadPath.empty()) continue;
+        const pfg::ThreadPathEntry& arm = n.threadPath.back();
+        armBarriers_[ArmKey{arm.cobegin, arm.threadIndex}].push_back(n.id);
+        const DynBitset& reach = reachableFrom(n.id);
+        if (reach.test(n.id.index())) barrierDisabled_.insert(arm.cobegin);
+      }
+    }
+  }
+
+  [[nodiscard]] bool inConcurrentThreads(NodeId a, NodeId b) const {
+    const pfg::ThreadPath& pa = graph_.node(a).threadPath;
+    const pfg::ThreadPath& pb = graph_.node(b).threadPath;
+    const std::size_t common = std::min(pa.size(), pb.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (pa[i].cobegin != pb[i].cobegin) return false;
+      if (pa[i].threadIndex != pb[i].threadIndex) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool conflicting(NodeId a, NodeId b) const {
+    return a != b && inConcurrentThreads(a, b);
+  }
+
+  [[nodiscard]] bool orderedBefore(NodeId a, NodeId b) const {
+    for (const auto& [event, sets] : setNodes_) {
+      auto waitsIt = waitNodes_.find(event);
+      if (waitsIt == waitNodes_.end()) continue;
+      bool aBeforeSet = false;
+      for (NodeId s : sets) {
+        if (dom_.dominates(a, s)) {
+          aBeforeSet = true;
+          break;
+        }
+      }
+      if (!aBeforeSet) continue;
+      for (NodeId w : waitsIt->second) {
+        if (dom_.dominates(w, b)) return true;
+      }
+    }
+    return false;
+  }
+
+  struct Divergence {
+    StmtId cobegin;
+    std::uint32_t armA = 0;
+    std::uint32_t armB = 0;
+  };
+
+  [[nodiscard]] std::optional<Divergence> divergenceOf(NodeId a,
+                                                       NodeId b) const {
+    Divergence d;
+    if (!divergence(a, b, &d.cobegin, &d.armA, &d.armB)) return std::nullopt;
+    return d;
+  }
+
+  [[nodiscard]] bool mayHappenInParallel(NodeId a, NodeId b) const {
+    if (a == b) return false;
+    StmtId cobegin;
+    std::uint32_t armA = 0, armB = 0;
+    if (!divergence(a, b, &cobegin, &armA, &armB)) return false;
+    if (orderedBefore(a, b) || orderedBefore(b, a)) return false;
+    if (separatedByBarrier(a, b, cobegin, armA, armB)) return false;
+    return true;
+  }
+
+ private:
+  struct ArmKey {
+    StmtId cobegin;
+    std::uint32_t arm;
+    bool operator<(const ArmKey& o) const {
+      return cobegin.value() != o.cobegin.value()
+                 ? cobegin.value() < o.cobegin.value()
+                 : arm < o.arm;
+    }
+  };
+
+  bool divergence(NodeId a, NodeId b, StmtId* cobegin, std::uint32_t* armA,
+                  std::uint32_t* armB) const {
+    const pfg::ThreadPath& pa = graph_.node(a).threadPath;
+    const pfg::ThreadPath& pb = graph_.node(b).threadPath;
+    const std::size_t common = std::min(pa.size(), pb.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (pa[i].cobegin != pb[i].cobegin) return false;
+      if (pa[i].threadIndex != pb[i].threadIndex) {
+        *cobegin = pa[i].cobegin;
+        *armA = pa[i].threadIndex;
+        *armB = pb[i].threadIndex;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool separatedByBarrier(NodeId a, NodeId b, StmtId cobegin,
+                          std::uint32_t armA, std::uint32_t armB) const {
+    if (barrierDisabled_.contains(cobegin)) return false;
+    auto barriersDominating = [&](NodeId n, std::uint32_t arm) {
+      std::size_t count = 0;
+      auto it = armBarriers_.find(ArmKey{cobegin, arm});
+      if (it == armBarriers_.end()) return count;
+      for (NodeId bar : it->second)
+        if (dom_.dominates(bar, n)) ++count;
+      return count;
+    };
+    auto barriersReaching = [&](NodeId n, std::uint32_t arm) {
+      std::size_t count = 0;
+      auto it = armBarriers_.find(ArmKey{cobegin, arm});
+      if (it == armBarriers_.end()) return count;
+      for (NodeId bar : it->second)
+        if (reachableFrom(bar).test(n.index())) ++count;
+      return count;
+    };
+    if (barriersDominating(a, armA) > barriersReaching(b, armB)) return true;
+    if (barriersDominating(b, armB) > barriersReaching(a, armA)) return true;
+    return false;
+  }
+
+  const DynBitset& reachableFrom(NodeId from) const {
+    auto it = reachCache_.find(from);
+    if (it != reachCache_.end()) return it->second;
+    DynBitset reach(graph_.size());
+    std::vector<NodeId> work;
+    for (NodeId s : graph_.node(from).succs) {
+      if (!reach.test(s.index())) {
+        reach.set(s.index());
+        work.push_back(s);
+      }
+    }
+    while (!work.empty()) {
+      const NodeId cur = work.back();
+      work.pop_back();
+      for (NodeId s : graph_.node(cur).succs) {
+        if (!reach.test(s.index())) {
+          reach.set(s.index());
+          work.push_back(s);
+        }
+      }
+    }
+    return reachCache_.emplace(from, std::move(reach)).first->second;
+  }
+
+  const pfg::Graph& graph_;
+  const Dominators& dom_;
+  std::unordered_map<SymbolId, std::vector<NodeId>> setNodes_;
+  std::unordered_map<SymbolId, std::vector<NodeId>> waitNodes_;
+  std::map<ArmKey, std::vector<NodeId>> armBarriers_;
+  std::unordered_set<StmtId> barrierDisabled_;
+  mutable std::unordered_map<NodeId, DynBitset> reachCache_;
+};
+
+/// Per-node shared accesses, transcribed from the original accessOf().
+struct RefNodeAccess {
+  std::vector<SymbolId> defs;
+  std::vector<SymbolId> uses;
+};
+
+void refAddUnique(std::vector<SymbolId>& v, SymbolId s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+
+void refCollectExprUses(const ir::Expr& e, const ir::SymbolTable& syms,
+                        std::vector<SymbolId>& uses) {
+  ir::forEachExpr(e, [&](const ir::Expr& sub) {
+    if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var))
+      refAddUnique(uses, sub.var);
+  });
+}
+
+RefNodeAccess refAccessOf(const pfg::Node& n, const ir::SymbolTable& syms) {
+  RefNodeAccess acc;
+  for (const ir::Stmt* s : n.stmts) {
+    if (s->expr) refCollectExprUses(*s->expr, syms, acc.uses);
+    if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs))
+      refAddUnique(acc.defs, s->lhs);
+  }
+  if (n.terminator != nullptr && n.terminator->expr)
+    refCollectExprUses(*n.terminator->expr, syms, acc.uses);
+  return acc;
+}
+
+struct RefEdges {
+  std::vector<pfg::ConflictEdge> conflicts;
+  std::vector<pfg::MutexEdge> mutexEdges;
+  std::vector<pfg::DsyncEdge> dsyncEdges;
+};
+
+/// The original all-pairs edge construction, verbatim.
+RefEdges refComputeEdges(const pfg::Graph& graph, const RefMhp& mhp) {
+  RefEdges out;
+  const ir::SymbolTable& syms = graph.program().symbols;
+
+  std::vector<RefNodeAccess> access(graph.size());
+  for (const pfg::Node& n : graph.nodes())
+    if (n.kind == pfg::NodeKind::Block)
+      access[n.id.index()] = refAccessOf(n, syms);
+
+  for (const pfg::Node& d : graph.nodes()) {
+    for (SymbolId v : access[d.id.index()].defs) {
+      for (const pfg::Node& u : graph.nodes()) {
+        if (!mhp.conflicting(d.id, u.id)) continue;
+        const RefNodeAccess& ua = access[u.id.index()];
+        const bool usesV =
+            std::find(ua.uses.begin(), ua.uses.end(), v) != ua.uses.end();
+        const bool defsV =
+            std::find(ua.defs.begin(), ua.defs.end(), v) != ua.defs.end();
+        if (usesV)
+          out.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, false});
+        if (defsV)
+          out.conflicts.push_back(pfg::ConflictEdge{d.id, u.id, v, true});
+      }
+    }
+  }
+
+  for (const pfg::Node& a : graph.nodes()) {
+    if (a.kind != pfg::NodeKind::Lock) continue;
+    for (const pfg::Node& b : graph.nodes()) {
+      if (b.kind != pfg::NodeKind::Unlock) continue;
+      if (a.syncStmt->sync != b.syncStmt->sync) continue;
+      if (!mhp.mayHappenInParallel(a.id, b.id)) continue;
+      out.mutexEdges.push_back(pfg::MutexEdge{a.id, b.id, a.syncStmt->sync});
+    }
+  }
+
+  for (const pfg::Node& a : graph.nodes()) {
+    if (a.kind != pfg::NodeKind::Set) continue;
+    for (const pfg::Node& b : graph.nodes()) {
+      if (b.kind != pfg::NodeKind::Wait) continue;
+      if (a.syncStmt->sync != b.syncStmt->sync) continue;
+      if (!mhp.inConcurrentThreads(a.id, b.id)) continue;
+      out.dsyncEdges.push_back(pfg::DsyncEdge{a.id, b.id, a.syncStmt->sync});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison driver
+// ---------------------------------------------------------------------------
+
+using ConflictKey = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                               bool>;
+
+ConflictKey keyOf(const pfg::ConflictEdge& e) {
+  return {e.from.value(), e.to.value(), e.var.value(), e.toIsDef};
+}
+
+/// Builds the PFG for `prog`, runs both the production fast path and the
+/// reference, and asserts exact agreement on every query and edge list.
+void checkEquivalence(ir::Program prog, const std::string& label) {
+  SCOPED_TRACE(label);
+  pfg::Graph graph = pfg::buildPfg(prog);
+  const Dominators dom(graph, Dominators::Direction::Forward);
+
+  const Mhp mhp(graph, dom);
+  const RefMhp ref(graph, dom);
+
+  // All-pairs query agreement.
+  for (const pfg::Node& a : graph.nodes()) {
+    for (const pfg::Node& b : graph.nodes()) {
+      ASSERT_EQ(mhp.inConcurrentThreads(a.id, b.id),
+                ref.inConcurrentThreads(a.id, b.id))
+          << "inConcurrentThreads(" << a.id.value() << "," << b.id.value()
+          << ")";
+      ASSERT_EQ(mhp.orderedBefore(a.id, b.id), ref.orderedBefore(a.id, b.id))
+          << "orderedBefore(" << a.id.value() << "," << b.id.value() << ")";
+      ASSERT_EQ(mhp.conflicting(a.id, b.id), ref.conflicting(a.id, b.id))
+          << "conflicting(" << a.id.value() << "," << b.id.value() << ")";
+      ASSERT_EQ(mhp.mayHappenInParallel(a.id, b.id),
+                ref.mayHappenInParallel(a.id, b.id))
+          << "mayHappenInParallel(" << a.id.value() << "," << b.id.value()
+          << ")";
+      const auto dNew = mhp.divergenceOf(a.id, b.id);
+      const auto dRef = ref.divergenceOf(a.id, b.id);
+      ASSERT_EQ(dNew.has_value(), dRef.has_value())
+          << "divergenceOf(" << a.id.value() << "," << b.id.value() << ")";
+      if (dNew.has_value()) {
+        ASSERT_EQ(dNew->cobegin, dRef->cobegin);
+        ASSERT_EQ(dNew->armA, dRef->armA);
+        ASSERT_EQ(dNew->armB, dRef->armB);
+      }
+    }
+  }
+
+  // Edge-sequence agreement (order included).
+  computeSyncAndConflictEdges(graph, mhp);
+  const RefEdges expect = refComputeEdges(graph, ref);
+
+  ASSERT_EQ(graph.conflicts.size(), expect.conflicts.size());
+  for (std::size_t i = 0; i < expect.conflicts.size(); ++i)
+    ASSERT_EQ(keyOf(graph.conflicts[i]), keyOf(expect.conflicts[i]))
+        << "conflict edge " << i;
+
+  ASSERT_EQ(graph.mutexEdges.size(), expect.mutexEdges.size());
+  for (std::size_t i = 0; i < expect.mutexEdges.size(); ++i) {
+    ASSERT_EQ(graph.mutexEdges[i].lockNode, expect.mutexEdges[i].lockNode)
+        << "mutex edge " << i;
+    ASSERT_EQ(graph.mutexEdges[i].unlockNode, expect.mutexEdges[i].unlockNode);
+    ASSERT_EQ(graph.mutexEdges[i].lockVar, expect.mutexEdges[i].lockVar);
+  }
+
+  ASSERT_EQ(graph.dsyncEdges.size(), expect.dsyncEdges.size());
+  for (std::size_t i = 0; i < expect.dsyncEdges.size(); ++i) {
+    ASSERT_EQ(graph.dsyncEdges[i].setNode, expect.dsyncEdges[i].setNode)
+        << "dsync edge " << i;
+    ASSERT_EQ(graph.dsyncEdges[i].waitNode, expect.dsyncEdges[i].waitNode);
+    ASSERT_EQ(graph.dsyncEdges[i].eventVar, expect.dsyncEdges[i].eventVar);
+  }
+}
+
+TEST(MhpEquivalence, RandomWorkloadSweep) {
+  // 60 random programs: varying thread counts, event usage on half the
+  // seeds (events exercise the orderedBefore bitsets), both determinate
+  // and racy shapes.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    workload::GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = 2 + static_cast<int>(seed % 3);
+    cfg.sharedVars = 4;
+    cfg.locks = 2;
+    cfg.stmtsPerThread = 6 + static_cast<int>(seed % 5);
+    cfg.useEvents = (seed % 2) == 0;
+    cfg.determinate = (seed % 3) == 0;
+    checkEquivalence(workload::generateRandom(cfg),
+                     "generateRandom seed=" + std::to_string(seed));
+  }
+}
+
+TEST(MhpEquivalence, LockStructuredSweep) {
+  // 25 lock-structured workloads, including wide (8-thread) shapes that
+  // stress the interned-context table.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const int threads = 2 + static_cast<int>(seed % 7);
+    const int regions = 1 + static_cast<int>(seed % 3);
+    const double lockedFraction = 0.25 * static_cast<double>(seed % 5);
+    checkEquivalence(
+        workload::makeLockStructured(threads, regions, 4, lockedFraction,
+                                     seed),
+        "makeLockStructured seed=" + std::to_string(seed));
+  }
+}
+
+TEST(MhpEquivalence, BankSweep) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    checkEquivalence(workload::makeBank(3, 3, 4, seed),
+                     "makeBank seed=" + std::to_string(seed));
+}
+
+TEST(MhpEquivalence, PaperFigures) {
+  checkEquivalence(parser::parseOrDie(workload::figure1Source()), "figure1");
+  checkEquivalence(parser::parseOrDie(workload::figure2Source()), "figure2");
+  checkEquivalence(parser::parseOrDie(workload::figure5aSource()), "figure5a");
+}
+
+TEST(MhpEquivalence, BarrierPrograms) {
+  // Hand-written barrier shapes: the generator never emits barriers, so
+  // cover the phase-separation refinement and its loop-disabled escape
+  // hatch explicitly.
+  checkEquivalence(parser::parseOrDie(R"(
+    int a; int b;
+    cobegin {
+      thread { a = 1; barrier; b = a; }
+      thread { b = 2; barrier; a = b; }
+    }
+  )"),
+                   "barrier two-phase");
+  checkEquivalence(parser::parseOrDie(R"(
+    int a; int b; int c;
+    cobegin {
+      thread { a = 1; barrier; b = 1; barrier; c = 1; }
+      thread { c = 2; barrier; a = 2; barrier; b = 2; }
+      thread { b = 3; barrier; c = 3; barrier; a = 3; }
+    }
+  )"),
+                   "barrier three-phase three-thread");
+  checkEquivalence(parser::parseOrDie(R"(
+    int a; int i;
+    cobegin {
+      thread { i = 0; while (i < 3) { a = a + 1; barrier; i = i + 1; } }
+      thread { i = 0; while (i < 3) { a = a + 2; barrier; i = i + 1; } }
+    }
+  )"),
+                   "barrier in loop (refinement disabled)");
+  checkEquivalence(parser::parseOrDie(R"(
+    int a; int b; event e;
+    cobegin {
+      thread { a = 1; barrier; set(e); b = 1; }
+      thread { wait(e); b = 2; barrier; a = 2; }
+    }
+  )"),
+                   "barrier plus set/wait");
+  checkEquivalence(parser::parseOrDie(R"(
+    int a; int b;
+    cobegin {
+      thread {
+        cobegin {
+          thread { a = 1; barrier; b = 1; }
+          thread { b = 2; barrier; a = 2; }
+        }
+      }
+      thread { a = 3; }
+    }
+  )"),
+                   "barrier in nested cobegin");
+  checkEquivalence(parser::parseOrDie(R"(
+    int a;
+    cobegin {
+      thread { if (a > 0) { barrier; } a = 1; }
+      thread { barrier; a = 2; }
+    }
+  )"),
+                   "conditional barrier");
+}
+
+}  // namespace
+}  // namespace cssame::analysis

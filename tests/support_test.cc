@@ -1,12 +1,17 @@
 // Unit tests for the support layer: typed ids, dynamic bitsets,
-// diagnostics.
+// diagnostics, the thread pool and the sharded visited set.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "src/support/bitset.h"
 #include "src/support/diag.h"
 #include "src/support/ids.h"
+#include "src/support/threadpool.h"
+#include "src/support/visited.h"
 
 namespace cssame {
 namespace {
@@ -147,6 +152,92 @@ TEST(Diag, ClearResets) {
   diag.clear();
   EXPECT_FALSE(diag.hasErrors());
   EXPECT_TRUE(diag.diagnostics().empty());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](std::size_t i, unsigned worker) {
+    EXPECT_LT(worker, pool.workers());
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, PerWorkerAccumulationSums) {
+  support::ThreadPool pool(3);
+  std::vector<long long> partial(pool.workers(), 0);
+  pool.parallelFor(1000, [&](std::size_t i, unsigned worker) {
+    partial[worker] += static_cast<long long>(i);
+  });
+  long long sum = 0;
+  for (long long p : partial) sum += p;
+  EXPECT_EQ(sum, 999LL * 1000 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  support::ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallelFor(round, [&](std::size_t, unsigned) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), round);
+  }
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1u);
+  const auto self = std::this_thread::get_id();
+  pool.parallelFor(10, [&](std::size_t, unsigned worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), self);
+  });
+}
+
+TEST(ThreadPool, ZeroPicksDefaultAndClamps) {
+  support::ThreadPool pool(0);
+  EXPECT_GE(pool.workers(), 1u);
+  EXPECT_LE(pool.workers(), 16u);
+  EXPECT_GE(support::ThreadPool::defaultWorkers(), 1u);
+}
+
+TEST(ShardedVisited, InsertContainsAndDuplicates) {
+  support::ShardedVisited visited;
+  const support::Hash128 a{0x1234, 0x5678};
+  const support::Hash128 b{0x1234, 0x9999};  // same hi, different lo
+  EXPECT_FALSE(visited.contains(a));
+  EXPECT_TRUE(visited.insert(a));
+  EXPECT_FALSE(visited.insert(a));  // duplicate
+  EXPECT_TRUE(visited.insert(b));
+  EXPECT_TRUE(visited.contains(a));
+  EXPECT_TRUE(visited.contains(b));
+  EXPECT_EQ(visited.size(), 2u);
+  EXPECT_EQ(visited.approxBytes(), 2u * 2 * sizeof(support::Hash128));
+}
+
+TEST(ShardedVisited, ShardOfIsStableAndInRange) {
+  for (std::uint64_t hi = 0; hi < 256; ++hi) {
+    const support::Hash128 h{hi << 56, 42};
+    const std::size_t shard = support::ShardedVisited::shardOf(h);
+    EXPECT_LT(shard, support::ShardedVisited::kShards);
+    EXPECT_EQ(shard, support::ShardedVisited::shardOf(h));
+  }
+}
+
+TEST(ShardedVisited, ConcurrentInsertsAllLand) {
+  support::ShardedVisited visited;
+  support::ThreadPool pool(4);
+  constexpr std::size_t kN = 4096;
+  pool.parallelFor(kN, [&](std::size_t i, unsigned) {
+    // Spread hi so every shard sees traffic.
+    visited.insert(support::Hash128{static_cast<std::uint64_t>(i) << 52,
+                                    static_cast<std::uint64_t>(i)});
+  });
+  EXPECT_EQ(visited.size(), kN);
 }
 
 }  // namespace
