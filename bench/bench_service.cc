@@ -1,0 +1,382 @@
+// Experiment Service-1 (ours): latency and throughput of the cssamed
+// analysis service against its own cold path.
+//
+//   1. Cold vs warm latency: N distinct programs through the `csan`
+//      method over a real Unix socket. Cold requests run the full
+//      pipeline; warm repeats answer from the in-memory response tier.
+//      The warm path must be >= 10x faster — that margin is the entire
+//      justification for running a daemon instead of re-execing cssamec.
+//   2. Disk tier: a server restart with the same cache directory answers
+//      the same requests from disk without recomputing.
+//   3. Client scaling: sustained requests/second at 1, 4 and 16
+//      concurrent clients over a mixed analyze/csan/vrange workload.
+//      Every response is compared byte-for-byte against a standalone
+//      driver::runSource run of the same request — the hard failure is
+//      any error envelope or any byte of divergence, at any concurrency.
+//
+// Results go to BENCH_service.json. Exit status is nonzero when any
+// identity check fails or the warm speedup misses its floor. CI's
+// service-smoke job runs this with CSSAME_SERVICE_SMOKE=1.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/driver/runner.h"
+#include "src/service/protocol.h"
+#include "src/service/server.h"
+#include "src/support/io.h"
+#include "src/support/timer.h"
+
+namespace {
+
+using namespace cssame;
+namespace fs = std::filesystem;
+
+bool smokeMode() { return std::getenv("CSSAME_SERVICE_SMOKE") != nullptr; }
+
+/// A family of distinct-but-similar lock-protected programs: every index
+/// yields a different source string (different constants and a different
+/// number of trailing statements), so every index is a distinct content
+/// address in the service cache. All shared accesses are consistently
+/// locked — the programs are race-free, so csan's finding output (and
+/// with it the cached payload) stays small and the warm path measures
+/// the cache, not JSON shuffling of witness traces.
+std::string makeSource(int i) {
+  std::string s = "int x = 0, y = 0, z = 0;\nlock L;\nlock M;\ncobegin {\n";
+  s += "  thread A {\n";
+  for (int k = 0; k < 44; ++k)
+    s += "    lock(L); x = x + " + std::to_string(i + k + 1) +
+         "; unlock(L);\n";
+  s += "    lock(M); y = " + std::to_string(2 * i + 1) +
+       "; unlock(M);\n  }\n";
+  s += "  thread B {\n";
+  for (int k = 0; k < 44; ++k)
+    s += "    lock(L); x = x * 2; unlock(L); lock(M); z = z + " +
+         std::to_string(i + k) + "; unlock(M);\n";
+  s += "  }\n";
+  s += "  thread C {\n";
+  for (int k = 0; k < 28; ++k)
+    s += "    lock(M); z = z + y + " + std::to_string(k) + "; unlock(M);\n";
+  s += "  }\n}\n";
+  for (int k = 0; k <= i % 3; ++k)
+    s += "z = z + " + std::to_string(k + i) + ";\n";
+  s += "print(x); print(y); print(z);\n";
+  return s;
+}
+
+constexpr const char* kMethods[3] = {"analyze", "csan", "vrange"};
+
+/// The exact options the server derives for each method from an empty
+/// options object (decodeOptions defaults plus the method's forcing).
+driver::RunOptions optionsFor(const std::string& method) {
+  driver::RunOptions o;
+  if (method == "csan") o.doCsan = true;
+  if (method == "vrange") o.doVrange = true;
+  return o;
+}
+
+std::string makeRequest(const std::string& method, const std::string& source,
+                        int id) {
+  service::Json req = service::Json::object();
+  req.set("id", id)
+      .set("method", method)
+      .set("file", "bench.cp")
+      .set("source", source)
+      .set("options", service::Json::object());
+  return req.write();
+}
+
+struct RoundTripResult {
+  bool ok = false;
+  std::string out, err;
+  long long code = 0;
+  std::string tier;
+};
+
+RoundTripResult roundTrip(support::FdStream& conn,
+                          const std::string& payload) {
+  RoundTripResult r;
+  if (!service::writeFrame(conn, payload, service::kDefaultMaxPayload).ok())
+    return r;
+  std::string response;
+  if (service::readFrame(conn, response, service::kDefaultMaxPayload) !=
+      service::FrameStatus::Ok)
+    return r;
+  Expected<service::Json> env = service::parseJson(response);
+  if (!env || !env->getBool("ok", false)) return r;
+  const service::Json& result = env->get("result");
+  r.ok = true;
+  r.out = result.getString("out", "");
+  r.err = result.getString("err", "");
+  r.code = result.getInt("code", -1);
+  r.tier = env->getString("cached", "");
+  return r;
+}
+
+/// One request the mixed workload can issue, with the standalone answer
+/// it must match byte-for-byte.
+struct WorkItem {
+  std::string payload;
+  driver::RunOutput expected;
+};
+
+std::vector<WorkItem> makeWorkload(int programs) {
+  std::vector<WorkItem> items;
+  items.reserve(static_cast<std::size_t>(programs) * 3);
+  for (int i = 0; i < programs; ++i) {
+    const std::string source = makeSource(i);
+    for (const char* method : kMethods) {
+      WorkItem item;
+      item.payload = makeRequest(method, source, i);
+      item.expected =
+          driver::runSource(source, "bench.cp", optionsFor(method));
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+bool matches(const RoundTripResult& got, const driver::RunOutput& want) {
+  return got.ok && got.out == want.out && got.err == want.err &&
+         got.code == want.code;
+}
+
+struct ColdWarm {
+  int programs = 0;
+  double coldSeconds = 0;
+  double warmSeconds = 0;
+  double diskSeconds = 0;
+  bool identical = true;
+  bool diskTierHit = true;
+
+  [[nodiscard]] double speedup() const {
+    return warmSeconds > 0 ? coldSeconds / warmSeconds : 0.0;
+  }
+};
+
+/// Cold then warm over one connection; then a fresh server on the same
+/// cache directory, answered from disk.
+ColdWarm runColdWarm(const std::string& sockPath,
+                     const std::string& cacheDir) {
+  ColdWarm cw;
+  cw.programs = smokeMode() ? 6 : 16;
+  std::vector<std::string> sources;
+  std::vector<driver::RunOutput> expected;
+  for (int i = 0; i < cw.programs; ++i) {
+    sources.push_back(makeSource(i));
+    expected.push_back(
+        driver::runSource(sources.back(), "bench.cp", optionsFor("csan")));
+  }
+
+  auto driveOnce = [&](double& seconds, const char* wantTier,
+                       bool* tierOk) {
+    Expected<support::FdStream> conn = support::connectUnix(sockPath);
+    if (!conn) {
+      cw.identical = false;
+      return;
+    }
+    support::Stopwatch watch;
+    for (int i = 0; i < cw.programs; ++i) {
+      const RoundTripResult r =
+          roundTrip(*conn, makeRequest("csan", sources[i], i));
+      if (!matches(r, expected[i])) cw.identical = false;
+      if (tierOk != nullptr && r.tier != wantTier) *tierOk = false;
+    }
+    seconds = watch.seconds();
+  };
+
+  {
+    service::ServerOptions opts;
+    opts.cacheDir = cacheDir;
+    service::Server server(opts);
+    std::thread daemon([&] { (void)server.serveUnix(sockPath); });
+    while (!fs::exists(sockPath)) std::this_thread::yield();
+    driveOnce(cw.coldSeconds, "miss", nullptr);
+    driveOnce(cw.warmSeconds, "memory", nullptr);
+    server.requestShutdown();
+    daemon.join();
+  }
+  {
+    // Fresh process-equivalent: new server, empty memory tiers, same
+    // disk directory. Every answer must come from the disk tier.
+    service::ServerOptions opts;
+    opts.cacheDir = cacheDir;
+    service::Server server(opts);
+    std::thread daemon([&] { (void)server.serveUnix(sockPath); });
+    while (!fs::exists(sockPath)) std::this_thread::yield();
+    driveOnce(cw.diskSeconds, "disk", &cw.diskTierHit);
+    server.requestShutdown();
+    daemon.join();
+  }
+  return cw;
+}
+
+struct ClientRun {
+  int clients = 0;
+  std::size_t requests = 0;
+  double seconds = 0;
+  std::size_t errors = 0;
+  bool identical = true;
+
+  [[nodiscard]] double requestsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// `clients` threads, each with its own connection, walking the shared
+/// workload from a different offset so the interleaving of cache hits
+/// and distinct keys differs per client.
+ClientRun runClients(const std::string& sockPath,
+                     const std::vector<WorkItem>& workload, int clients,
+                     int requestsPerClient) {
+  ClientRun run;
+  run.clients = clients;
+  run.requests =
+      static_cast<std::size_t>(clients) * requestsPerClient;
+
+  service::Server server({});
+  std::thread daemon([&] { (void)server.serveUnix(sockPath); });
+  while (!fs::exists(sockPath)) std::this_thread::yield();
+
+  std::atomic<std::size_t> errors{0};
+  std::atomic<bool> identical{true};
+  support::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Expected<support::FdStream> conn = support::connectUnix(sockPath);
+      if (!conn) {
+        errors += static_cast<std::size_t>(requestsPerClient);
+        return;
+      }
+      for (int j = 0; j < requestsPerClient; ++j) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(c) * 7 + j) % workload.size();
+        const WorkItem& item = workload[idx];
+        const RoundTripResult r = roundTrip(*conn, item.payload);
+        if (!r.ok) ++errors;
+        if (!matches(r, item.expected)) identical = false;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  run.seconds = watch.seconds();
+  server.requestShutdown();
+  daemon.join();
+
+  run.errors = errors.load();
+  run.identical = identical.load();
+  return run;
+}
+
+void writeJson(const ColdWarm& cw, const std::vector<ClientRun>& runs,
+               unsigned hw, const char* path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", path);
+    return;
+  }
+  out << "{\n"
+      << "  \"experiment\": \"Service-1: cssamed latency and throughput "
+         "(cold vs warm cache, client scaling)\",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"smoke\": " << (smokeMode() ? "true" : "false") << ",\n"
+      << "  \"cold_warm\": {\n"
+      << "    \"method\": \"csan\",\n"
+      << "    \"programs\": " << cw.programs << ",\n"
+      << "    \"cold_seconds\": " << cw.coldSeconds << ",\n"
+      << "    \"warm_seconds\": " << cw.warmSeconds << ",\n"
+      << "    \"disk_seconds\": " << cw.diskSeconds << ",\n"
+      << "    \"cold_ms_per_request\": "
+      << 1e3 * cw.coldSeconds / cw.programs << ",\n"
+      << "    \"warm_ms_per_request\": "
+      << 1e3 * cw.warmSeconds / cw.programs << ",\n"
+      << "    \"warm_speedup\": " << cw.speedup() << ",\n"
+      << "    \"warm_speedup_target\": 10,\n"
+      << "    \"disk_tier_answered_all\": "
+      << (cw.diskTierHit ? "true" : "false") << ",\n"
+      << "    \"responses_identical_to_standalone\": "
+      << (cw.identical ? "true" : "false") << "\n  },\n"
+      << "  \"client_scaling\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ClientRun& r = runs[i];
+    out << "    {\n"
+        << "      \"clients\": " << r.clients << ",\n"
+        << "      \"requests\": " << r.requests << ",\n"
+        << "      \"seconds\": " << r.seconds << ",\n"
+        << "      \"requests_per_second\": " << r.requestsPerSecond()
+        << ",\n"
+        << "      \"errors\": " << r.errors << ",\n"
+        << "      \"responses_identical_to_standalone\": "
+        << (r.identical ? "true" : "false") << "\n    }"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cssame::benchutil;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("cssame_bench_service_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  fs::create_directories(scratch / "cache");
+  const std::string sockPath = (scratch / "d.sock").string();
+
+  tableHeader("Service-1: cssamed cold/warm latency and client scaling");
+
+  const ColdWarm cw = runColdWarm(sockPath, (scratch / "cache").string());
+
+  const int perClient = smokeMode() ? 25 : 120;
+  const std::vector<WorkItem> workload =
+      makeWorkload(smokeMode() ? 4 : 8);
+  std::vector<ClientRun> runs;
+  for (int clients : {1, 4, 16})
+    runs.push_back(runClients(sockPath, workload, clients, perClient));
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1fx", cw.speedup());
+  tableRowStr("warm vs cold speedup (csan)", ">= 10x", buf,
+              cw.speedup() >= 10.0);
+  std::snprintf(buf, sizeof buf, "%.2f ms",
+                1e3 * cw.coldSeconds / cw.programs);
+  tableRowStr("  cold latency per request", "(reported)", buf, true);
+  std::snprintf(buf, sizeof buf, "%.3f ms",
+                1e3 * cw.warmSeconds / cw.programs);
+  tableRowStr("  warm latency per request", "(reported)", buf, true);
+  tableRow("  restart answers from disk tier", "1", cw.diskTierHit,
+           cw.diskTierHit);
+  tableRow("  responses identical to standalone", "1", cw.identical,
+           cw.identical);
+  bool clientsClean = true;
+  for (const ClientRun& r : runs) {
+    std::snprintf(buf, sizeof buf, "%.0f req/s (%zu err)",
+                  r.requestsPerSecond(), r.errors);
+    char metric[64];
+    std::snprintf(metric, sizeof metric, "sustained, %d client%s",
+                  r.clients, r.clients == 1 ? "" : "s");
+    const bool ok = r.errors == 0 && r.identical;
+    tableRowStr(metric, "0 errors, identical", buf, ok);
+    clientsClean = clientsClean && ok;
+  }
+
+  writeJson(cw, runs, hw, "BENCH_service.json");
+  std::printf("  wrote BENCH_service.json\n\n");
+  fs::remove_all(scratch);
+
+  if (!cw.identical || !cw.diskTierHit || cw.speedup() < 10.0 ||
+      !clientsClean)
+    return 1;
+  return runBenchmarks(argc, argv);
+}

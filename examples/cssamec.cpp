@@ -18,13 +18,24 @@
 //   --json[=FILE]     emit all diagnostics as compact JSON (implies --csan)
 //   --jobs=N          analyze the input files on N threads (0 = one per
 //                     hardware thread); output stays in input order
+//   --connect=SOCK    send the files to a running cssamed at Unix socket
+//                     SOCK instead of analyzing in-process; output is
+//                     byte-identical to a local run (both sides call the
+//                     same driver::runSource)
+//   --version         print version and build fingerprint, then exit
 //
 // With several input files each file is analyzed independently; with
 // --jobs=N the analyses run concurrently on a thread pool, and each
 // file's stdout/stderr is buffered and flushed in input order, so the
 // output is byte-identical for every job count. --sarif=FILE/--json=FILE
 // are single-file options (the streams would overwrite each other).
-#include <cstdarg>
+//
+// SIGINT/SIGTERM during a batch run stop scheduling new files, flush the
+// buffered output of every file already analyzed (in input order, as
+// usual), and exit 130 — a killed batch never loses finished work.
+#include <atomic>
+#include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,210 +44,126 @@
 #include <string>
 #include <vector>
 
-#include "src/cssa/form_printer.h"
-#include "src/driver/pipeline.h"
-#include "src/interp/interp.h"
-#include "src/ir/printer.h"
-#include "src/mutex/deadlock.h"
-#include "src/mutex/races.h"
-#include "src/opt/lockstats.h"
-#include "src/opt/optimize.h"
-#include "src/parser/parser.h"
-#include "src/pfg/dot.h"
-#include "src/sanalysis/csan.h"
-#include "src/sanalysis/sarif.h"
-#include "src/sanalysis/vrange.h"
+#include "src/driver/runner.h"
+#include "src/service/json.h"
+#include "src/service/protocol.h"
+#include "src/support/io.h"
 #include "src/support/threadpool.h"
+#include "src/support/version.h"
 
 using namespace cssame;
 
 namespace {
 
 struct Options {
-  bool dumpPfg = false, dumpForm = false, cssame = true, doOpt = false;
-  bool doRun = false, doRaces = false, doStats = false, doCsan = false;
-  bool doSarif = false, doJson = false, doVrange = false;
-  std::string sarifPath, jsonPath;
-  std::uint64_t seed = 1;
+  driver::RunOptions run;
   unsigned jobs = 1;
+  std::string connectPath;
 };
+
+/// Set by the SIGINT/SIGTERM handler; the batch loop polls it before
+/// starting each file.
+std::atomic<bool> gInterrupted{false};
+
+void onSignal(int) { gInterrupted.store(true, std::memory_order_relaxed); }
 
 void usage() {
   std::fprintf(stderr,
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
                "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
                "[--vrange] [--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
-               "<file> [more files...]\n");
+               "[--connect=SOCK] [--version] <file> [more files...]\n");
   std::exit(2);
 }
 
-/// printf into a growing string — per-file output is buffered so parallel
-/// jobs can flush it in input order.
-void appendf(std::string& out, const char* fmt, ...) {
-  va_list args;
-  va_start(args, fmt);
-  char buf[4096];
-  std::vsnprintf(buf, sizeof buf, fmt, args);
-  va_end(args);
-  out += buf;
-}
-
-/// Writes structured output to `path` ("" = buffered stdout). Fails the
-/// run on I/O errors so CI runs fail loudly instead of uploading an empty
-/// log.
-bool writeOut(const std::string& path, const std::string& text,
-              std::string& out, std::string& err) {
-  if (path.empty()) {
-    out += text + "\n";
-    return true;
-  }
-  std::ofstream f(path);
-  if (!f) {
-    appendf(err, "cssamec: cannot write '%s'\n", path.c_str());
-    return false;
-  }
-  f << text << "\n";
-  return true;
-}
-
-/// Analyzes one input file, appending everything it would print to `out`
-/// (stdout) and `err` (stderr). Returns the per-file exit code.
-int processFile(const std::string& file, const Options& o, std::string& out,
-                std::string& err) {
+/// Reads one input file; returns false (with a message in `err`) when it
+/// cannot be opened.
+bool readFile(const std::string& file, std::string& source,
+              std::string& err) {
   std::ifstream in(file);
   if (!in) {
-    appendf(err, "cssamec: cannot open '%s'\n", file.c_str());
-    return 1;
+    err += "cssamec: cannot open '" + file + "'\n";
+    return false;
   }
   std::stringstream buf;
   buf << in.rdbuf();
+  source = buf.str();
+  return true;
+}
 
-  DiagEngine diag;
-  ir::Program prog = parser::parseProgram(buf.str(), diag);
-  for (const auto& d : diag.diagnostics())
-    appendf(err, "%s\n", d.str().c_str());
-  if (diag.hasErrors()) {
-    // Structured modes still get a log (with the parse errors), so CI can
-    // upload something meaningful for broken inputs.
-    bool ok = true;
-    if (o.doSarif)
-      ok &= writeOut(o.sarifPath,
-                     sanalysis::toSarif(diag.diagnostics(), file.c_str()),
-                     out, err);
-    if (o.doJson)
-      ok &= writeOut(o.jsonPath,
-                     sanalysis::toJson(diag.diagnostics(), file.c_str()),
-                     out, err);
-    (void)ok;
+/// Analyzes one input file in-process. Returns the per-file exit code.
+int processFile(const std::string& file, const driver::RunOptions& o,
+                std::string& out, std::string& err) {
+  std::string source;
+  if (!readFile(file, source, err)) return 1;
+  driver::RunOutput r = driver::runSource(source, file, o);
+  out += r.out;
+  err += r.err;
+  return r.code;
+}
+
+/// Client mode: ships each file to a running cssamed and unpacks the
+/// response into the same (out, err, code) triple a local run produces.
+int processRemote(service::Json request, support::FdStream& conn,
+                  std::size_t maxPayload, std::string& out,
+                  std::string& err) {
+  if (Status s = service::writeFrame(conn, request.write(), maxPayload);
+      !s.ok()) {
+    err += "cssamec: send failed: " + s.fault().message + "\n";
     return 1;
   }
+  std::string payload;
+  const service::FrameStatus fs =
+      service::readFrame(conn, payload, maxPayload);
+  if (fs != service::FrameStatus::Ok) {
+    err += std::string("cssamec: bad response frame: ") +
+           service::frameStatusName(fs) + "\n";
+    return 1;
+  }
+  Expected<service::Json> response = service::parseJson(payload);
+  if (!response) {
+    err += "cssamec: unparseable response: " + response.fault().message +
+           "\n";
+    return 1;
+  }
+  if (!response->getBool("ok", false)) {
+    const service::Json& fault = response->get("error");
+    err += "cssamec: server error [" + fault.getString("kind", "?") +
+           "/" + fault.getString("stage", "?") +
+           "]: " + fault.getString("message", "") + "\n";
+    return 1;
+  }
+  const service::Json& result = response->get("result");
+  out += result.getString("out", "");
+  err += result.getString("err", "");
+  return static_cast<int>(result.getInt("code", 0));
+}
 
-  driver::Compilation c = driver::analyze(prog, {.enableCssame = o.cssame});
-  for (const auto& d : c.diag().diagnostics())
-    appendf(err, "%s\n", d.str().c_str());
-
-  if (o.doRaces) {
-    DiagEngine raceDiag;
-    mutex::detectRaces(c.graph(), c.mhp(), c.mutexes(), raceDiag, c.sites());
-    mutex::detectDeadlocks(c.graph(), c.mhp(), c.mutexes(), raceDiag);
-    for (const auto& d : raceDiag.diagnostics())
-      appendf(err, "%s\n", d.str().c_str());
-  }
-  // Analyzer diagnostics (csan, then vrange) accumulate into one engine
-  // so the SARIF/JSON streams carry every finding.
-  DiagEngine toolDiag;
-  if (o.doCsan) {
-    const sanalysis::CsanReport report = sanalysis::runCsan(c, toolDiag);
-    for (const auto& d : toolDiag.diagnostics())
-      appendf(err, "%s\n", d.str().c_str());
-    appendf(err,
-            "csan: %zu finding(s): %zu race(s), %zu inconsistent, "
-            "%zu deadlock(s), %zu self-deadlock(s), %zu leak(s), "
-            "%zu body lint(s), %zu unprotected pi read(s)\n",
-            report.totalFindings(), report.potentialRaces,
-            report.inconsistentLocking,
-            report.deadlocks.abbaPairs + report.deadlocks.orderCycles,
-            report.selfDeadlocks, report.lockLeaks,
-            report.emptyBodies + report.redundantBodies +
-                report.overwideBodies,
-            report.unprotectedPiReads);
-  }
-  if (o.doVrange) {
-    const std::size_t before = toolDiag.diagnostics().size();
-    const sanalysis::VrangeResult vr =
-        sanalysis::analyzeValueRanges(c, &toolDiag);
-    for (std::size_t i = before; i < toolDiag.diagnostics().size(); ++i)
-      appendf(err, "%s\n", toolDiag.diagnostics()[i].str().c_str());
-    appendf(err, "%s\n", vr.stats.str().c_str());
-    const std::string mismatch = sanalysis::crossCheckConstants(c, vr);
-    if (!mismatch.empty()) {
-      appendf(err, "vrange: CSCC cross-check FAILED: %s\n", mismatch.c_str());
-      return 1;
-    }
-  }
-  if (o.doSarif || o.doJson) {
-    // One stream in emission order: pipeline warnings, then the analyzers'.
-    std::vector<Diagnostic> all = c.diag().diagnostics();
-    all.insert(all.end(), toolDiag.diagnostics().begin(),
-               toolDiag.diagnostics().end());
-    if (o.doSarif &&
-        !writeOut(o.sarifPath, sanalysis::toSarif(all, file.c_str()), out,
-                  err))
-      return 1;
-    if (o.doJson &&
-        !writeOut(o.jsonPath, sanalysis::toJson(all, file.c_str()), out, err))
-      return 1;
-  }
-  if (o.doStats) {
-    appendf(out, "statements:        %zu\n", prog.size());
-    appendf(out, "pfg nodes:         %zu\n", c.graph().size());
-    appendf(out, "conflict edges:    %zu\n", c.graph().conflicts.size());
-    appendf(out, "mutex bodies:      %zu\n", c.mutexes().bodies().size());
-    appendf(out, "phi terms:         %zu\n", c.ssa().countLivePhis());
-    appendf(out, "pi terms:          %zu\n", c.ssa().countLivePis());
-    appendf(out, "pi conflict args:  %zu\n", c.ssa().countPiConflictArgs());
-    if (o.cssame)
-      appendf(out, "pi args removed:   %zu (pis folded: %zu)\n",
-              c.rewriteStats().argsRemoved, c.rewriteStats().pisRemoved);
-    const opt::CriticalSectionReport cs = opt::analyzeCriticalSections(c);
-    appendf(out,
-            "critical sections: %zu stmts locked, %zu lock independent "
-            "(%.0f%%)\n",
-            cs.totalInterior, cs.totalIndependent,
-            100.0 * cs.independentFraction());
-    // Force the lazy dataflow caches so the stats are deterministic.
-    (void)c.heldLocks();
-    (void)c.reaching();
-    for (const dataflow::SolveStats& s : c.solverStats())
-      appendf(out, "solver:            %s\n", s.str().c_str());
-    for (const support::PhaseTime& p : c.phaseTimes())
-      appendf(out, "phase:             %s\n", p.str().c_str());
-  }
-  if (o.dumpPfg) appendf(out, "%s", pfg::toDot(c.graph()).c_str());
-  if (o.dumpForm)
-    appendf(out, "%s", cssa::printForm(c.graph(), c.ssa()).c_str());
-
-  if (o.doOpt) {
-    opt::OptimizeReport report =
-        opt::optimizeProgram(prog, {.cssame = o.cssame});
-    appendf(out, "%s", ir::printProgram(prog).c_str());
-    appendf(err,
-            "; opt: %zu uses folded, %zu dead removed, %zu hoisted, "
-            "%zu sunk, %d iterations\n",
-            report.constProp.usesReplaced, report.deadCode.stmtsRemoved,
-            report.lockMotion.hoisted, report.lockMotion.sunk,
-            report.iterations);
-  }
-  if (o.doRun) {
-    interp::RunResult r = interp::run(prog, {.seed = o.seed});
-    for (long long v : r.output) appendf(out, "%lld\n", v);
-    if (!r.completed)
-      appendf(err, "%s\n",
-              r.deadlocked ? "deadlock" : "step limit exceeded");
-    if (r.lockError) appendf(err, "lock error\n");
-    if (r.assertFailed) appendf(err, "assertion failed\n");
-  }
-  return 0;
+/// Builds the analyze request for one file from the CLI options — the
+/// daemon decodes this back into the identical driver::RunOptions.
+service::Json buildRequest(const std::string& file,
+                           const std::string& source,
+                           const driver::RunOptions& o, std::size_t id) {
+  service::Json options = service::Json::object();
+  options.set("dumpPfg", o.dumpPfg)
+      .set("dumpForm", o.dumpForm)
+      .set("cssame", o.cssame)
+      .set("opt", o.doOpt)
+      .set("run", o.doRun)
+      .set("races", o.doRaces)
+      .set("stats", o.doStats)
+      .set("csan", o.doCsan)
+      .set("sarif", o.doSarif)
+      .set("json", o.doJson)
+      .set("vrange", o.doVrange)
+      .set("seed", o.seed);
+  service::Json request = service::Json::object();
+  request.set("id", id)
+      .set("method", "analyze")
+      .set("file", file)
+      .set("source", source)
+      .set("options", std::move(options));
+  return request;
 }
 
 }  // namespace
@@ -247,29 +174,34 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--dump-pfg") == 0) o.dumpPfg = true;
-    else if (std::strcmp(arg, "--dump-form") == 0) o.dumpForm = true;
-    else if (std::strcmp(arg, "--no-cssame") == 0) o.cssame = false;
-    else if (std::strcmp(arg, "--opt") == 0) o.doOpt = true;
-    else if (std::strcmp(arg, "--races") == 0) o.doRaces = true;
-    else if (std::strcmp(arg, "--stats") == 0) o.doStats = true;
-    else if (std::strcmp(arg, "--csan") == 0) o.doCsan = true;
-    else if (std::strcmp(arg, "--vrange") == 0) o.doVrange = true;
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("%s\n", support::versionLine("cssamec").c_str());
+      return 0;
+    } else if (std::strcmp(arg, "--dump-pfg") == 0) o.run.dumpPfg = true;
+    else if (std::strcmp(arg, "--dump-form") == 0) o.run.dumpForm = true;
+    else if (std::strcmp(arg, "--no-cssame") == 0) o.run.cssame = false;
+    else if (std::strcmp(arg, "--opt") == 0) o.run.doOpt = true;
+    else if (std::strcmp(arg, "--races") == 0) o.run.doRaces = true;
+    else if (std::strcmp(arg, "--stats") == 0) o.run.doStats = true;
+    else if (std::strcmp(arg, "--csan") == 0) o.run.doCsan = true;
+    else if (std::strcmp(arg, "--vrange") == 0) o.run.doVrange = true;
     else if (std::strncmp(arg, "--sarif", 7) == 0 &&
              (arg[7] == '\0' || arg[7] == '=')) {
-      o.doSarif = o.doCsan = true;
-      if (arg[7] == '=') o.sarifPath = arg + 8;
+      o.run.doSarif = o.run.doCsan = true;
+      if (arg[7] == '=') o.run.sarifPath = arg + 8;
     } else if (std::strncmp(arg, "--json", 6) == 0 &&
                (arg[6] == '\0' || arg[6] == '=')) {
-      o.doJson = o.doCsan = true;
-      if (arg[6] == '=') o.jsonPath = arg + 7;
+      o.run.doJson = o.run.doCsan = true;
+      if (arg[6] == '=') o.run.jsonPath = arg + 7;
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       o.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--connect=", 10) == 0) {
+      o.connectPath = arg + 10;
     } else if (std::strcmp(arg, "--run") == 0) {
-      o.doRun = true;
+      o.run.doRun = true;
       if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
                               argv[i + 1][0])))
-        o.seed = std::strtoull(argv[++i], nullptr, 10);
+        o.run.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg[0] == '-') {
       usage();
     } else {
@@ -277,28 +209,79 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) usage();
-  if (files.size() > 1 && (!o.sarifPath.empty() || !o.jsonPath.empty())) {
+  if (files.size() > 1 &&
+      (!o.run.sarifPath.empty() || !o.run.jsonPath.empty())) {
     std::fprintf(stderr,
                  "cssamec: --sarif=FILE/--json=FILE take a single input "
                  "file (outputs would overwrite each other)\n");
     return 2;
   }
+  if (!o.connectPath.empty() &&
+      (!o.run.sarifPath.empty() || !o.run.jsonPath.empty())) {
+    std::fprintf(stderr,
+                 "cssamec: --sarif=FILE/--json=FILE cannot be combined "
+                 "with --connect (the daemon does not write client "
+                 "files)\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
 
   std::vector<std::string> outs(files.size()), errs(files.size());
   std::vector<int> codes(files.size(), 0);
-  support::ThreadPool pool(o.jobs);
-  pool.parallelFor(files.size(), [&](std::size_t i, unsigned) {
-    codes[i] = processFile(files[i], o, outs[i], errs[i]);
-  });
+  // char, not bool: vector<bool> packs bits, and parallel workers writing
+  // adjacent elements would race on the shared bytes.
+  std::vector<char> ran(files.size(), 0);
+
+  if (!o.connectPath.empty()) {
+    // Client mode: one connection, files in order. The daemon runs the
+    // same driver::runSource this binary would, so the flushed bytes are
+    // identical to a local run.
+    Expected<support::FdStream> conn = support::connectUnix(o.connectPath);
+    if (!conn) {
+      std::fprintf(stderr, "cssamec: cannot connect to '%s': %s\n",
+                   o.connectPath.c_str(), conn.fault().message.c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (gInterrupted.load(std::memory_order_relaxed)) break;
+      std::string source;
+      if (!readFile(files[i], source, errs[i])) {
+        codes[i] = 1;
+        ran[i] = true;
+        continue;
+      }
+      codes[i] = processRemote(buildRequest(files[i], source, o.run, i),
+                               *conn, service::kDefaultMaxPayload, outs[i],
+                               errs[i]);
+      ran[i] = true;
+    }
+  } else {
+    support::ThreadPool pool(o.jobs);
+    pool.parallelFor(files.size(), [&](std::size_t i, unsigned) {
+      // A signal stops new work; files already being analyzed finish and
+      // their buffered output is flushed below.
+      if (gInterrupted.load(std::memory_order_relaxed)) return;
+      codes[i] = processFile(files[i], o.run, outs[i], errs[i]);
+      ran[i] = true;
+    });
+  }
 
   int code = 0;
   for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!ran[i]) continue;
     if (files.size() > 1 && (!outs[i].empty() || !errs[i].empty())) {
       std::fprintf(stderr, "== %s\n", files[i].c_str());
     }
     std::fwrite(outs[i].data(), 1, outs[i].size(), stdout);
     std::fwrite(errs[i].data(), 1, errs[i].size(), stderr);
     if (code == 0) code = codes[i];
+  }
+  if (gInterrupted.load(std::memory_order_relaxed)) {
+    std::fflush(stdout);
+    std::fprintf(stderr, "cssamec: interrupted; flushed completed files\n");
+    return 130;
   }
   return code;
 }

@@ -1,0 +1,105 @@
+// cssamed — the persistent analysis service.
+//
+// Usage:
+//   cssamed --socket=PATH [options]     serve a Unix stream socket
+//   cssamed --stdio [options]           serve one client on stdin/stdout
+//
+// Options:
+//   --cache-dir=DIR    on-disk response cache surviving restarts (off by
+//                      default; entries from other builds are rejected)
+//   --mem-entries=N    capacity of each in-memory cache tier (default 128;
+//                      0 disables in-memory caching)
+//   --workers=N        analysis thread pool size (default 1: requests run
+//                      inline on their connection threads; 0 = one worker
+//                      per hardware thread)
+//   --max-payload=N    per-frame payload bound in bytes (default 16 MiB)
+//   --version          print version and build fingerprint, then exit
+//
+// The daemon answers length-prefixed JSON requests (protocol and methods
+// in docs/SERVICE.md) from a two-tier content-addressed cache; responses
+// are byte-identical to standalone `cssamec` runs because both call the
+// same driver entry points. SIGINT/SIGTERM shut down gracefully: the
+// accept loop stops, in-flight requests finish, connection threads are
+// joined, and the disk cache is left consistent for the next start.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/service/server.h"
+#include "src/support/version.h"
+
+using namespace cssame;
+
+namespace {
+
+service::Server* gServer = nullptr;
+
+void onSignal(int) {
+  // requestShutdown is async-signal-safe: an atomic store plus a write(2)
+  // to the self-pipe the accept loop polls.
+  if (gServer != nullptr) gServer->requestShutdown();
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cssamed (--socket=PATH | --stdio) [--cache-dir=DIR] "
+               "[--mem-entries=N] [--workers=N] [--max-payload=N] "
+               "[--version]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socketPath;
+  bool stdio = false;
+  service::ServerOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("%s\n", support::versionLine("cssamed").c_str());
+      return 0;
+    } else if (std::strncmp(arg, "--socket=", 9) == 0) {
+      socketPath = arg + 9;
+    } else if (std::strcmp(arg, "--stdio") == 0) {
+      stdio = true;
+    } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+      opts.cacheDir = arg + 12;
+    } else if (std::strncmp(arg, "--mem-entries=", 14) == 0) {
+      opts.memEntries = std::strtoul(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      opts.workers =
+          static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--max-payload=", 14) == 0) {
+      opts.maxPayload = std::strtoul(arg + 14, nullptr, 10);
+    } else {
+      usage();
+    }
+  }
+  if (stdio == !socketPath.empty()) usage();  // exactly one transport
+
+  service::Server server(opts);
+  gServer = &server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  // writeAll already sends with MSG_NOSIGNAL, but ignore SIGPIPE too so
+  // no stray write to a dead client can ever kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (stdio) {
+    server.serveStdio();
+    return 0;
+  }
+
+  std::fprintf(stderr, "%s listening on %s\n",
+               support::versionLine("cssamed").c_str(), socketPath.c_str());
+  Status s = server.serveUnix(socketPath);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cssamed: %s\n", s.fault().message.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string_view>
 
 #include "src/analysis/concurrency.h"
@@ -44,6 +45,29 @@ class Compilation {
  public:
   Compilation(ir::Program& program, PipelineOptions opts);
 
+  /// Moves transfer the analysis artifacts but not lazyMutex_ (mutexes
+  /// are immovable; the destination constructs a fresh one). As with any
+  /// type, moving while another thread reads the source is a race — the
+  /// concurrency guarantee covers the const accessors only.
+  Compilation(Compilation&& other) noexcept
+      : program_(other.program_),
+        graph_(std::move(other.graph_)),
+        dom_(std::move(other.dom_)),
+        pdom_(std::move(other.pdom_)),
+        mhp_(std::move(other.mhp_)),
+        mutexes_(std::move(other.mutexes_)),
+        sites_(std::move(other.sites_)),
+        ssa_(std::move(other.ssa_)),
+        piStats_(other.piStats_),
+        rewriteStats_(other.rewriteStats_),
+        heldLocks_(std::move(other.heldLocks_)),
+        reaching_(std::move(other.reaching_)),
+        phaseTimes_(std::move(other.phaseTimes_)),
+        diag_(std::move(other.diag_)) {}
+  Compilation& operator=(Compilation&&) = delete;
+  Compilation(const Compilation&) = delete;
+  Compilation& operator=(const Compilation&) = delete;
+
   ir::Program& program() { return *program_; }
   [[nodiscard]] const ir::Program& program() const { return *program_; }
 
@@ -71,8 +95,12 @@ class Compilation {
 
   /// Held-locks dataflow over the PFG, computed on first use and cached
   /// (the same policy as sites()): csan's lock-lifecycle checks and any
-  /// other lockset consumer share one solve.
+  /// other lockset consumer share one solve. Safe to call from several
+  /// threads concurrently — the analysis service shares one Compilation
+  /// between requests; lazyMutex_ serializes the first solve and later
+  /// calls return the already-built structure.
   [[nodiscard]] const dataflow::HeldLocks& heldLocks() const {
+    std::lock_guard<std::mutex> lock(lazyMutex_);
     if (!heldLocks_) {
       support::Stopwatch watch;
       heldLocks_ = std::make_unique<dataflow::HeldLocks>(*graph_);
@@ -82,8 +110,10 @@ class Compilation {
   }
 
   /// Concurrent reaching definitions (Algorithm A.4 expansion of φ/π to
-  /// real definitions), computed on first use and cached.
+  /// real definitions), computed on first use and cached. Thread-safe
+  /// like heldLocks().
   [[nodiscard]] const cssa::ReachingInfo& reaching() const {
+    std::lock_guard<std::mutex> lock(lazyMutex_);
     if (!reaching_) {
       support::Stopwatch watch;
       reaching_ = std::make_unique<cssa::ReachingInfo>(
@@ -97,6 +127,7 @@ class Compilation {
   /// (empty entries for analyses not yet requested) — surfaced by the
   /// driver's --stats output next to the lock statistics.
   [[nodiscard]] std::vector<dataflow::SolveStats> solverStats() const {
+    std::lock_guard<std::mutex> lock(lazyMutex_);
     std::vector<dataflow::SolveStats> out;
     if (heldLocks_) out.push_back(heldLocks_->stats());
     if (reaching_) out.push_back(reaching_->stats);
@@ -107,12 +138,16 @@ class Compilation {
   /// constructor's fixed chain (pfg, dom, pdom, mhp, sites, conflicts,
   /// mutex, ssa, cssa-pi, cssame-rewrite) plus an entry for each lazy
   /// solve (heldlocks, reaching) appended when it first runs. `cssamec
-  /// --stats` prints this table.
-  [[nodiscard]] const std::vector<support::PhaseTime>& phaseTimes() const {
+  /// --stats` prints this table. Returns a snapshot by value: a lazy
+  /// solve on another thread may append concurrently, and handing out a
+  /// reference would let the reader race the push_back.
+  [[nodiscard]] std::vector<support::PhaseTime> phaseTimes() const {
+    std::lock_guard<std::mutex> lock(lazyMutex_);
     return phaseTimes_;
   }
 
   DiagEngine& diag() { return diag_; }
+  [[nodiscard]] const DiagEngine& diag() const { return diag_; }
 
   /// Runs every structural verifier over this compilation (input IR, PFG,
   /// SSA form) and returns the combined violation list; empty means
@@ -131,10 +166,14 @@ class Compilation {
   cssa::PiPlacementStats piStats_;
   cssa::RewriteStats rewriteStats_;
   /// Lazily computed analysis caches (mutable: computing them on demand
-  /// does not change the observable compilation).
+  /// does not change the observable compilation). Guarded by lazyMutex_:
+  /// the analysis service calls the accessors from concurrent requests
+  /// sharing one Compilation, so unsynchronized lazy init would be a
+  /// data race (tests/driver_concurrent_test.cc is the tsan regression).
+  mutable std::mutex lazyMutex_;
   mutable std::unique_ptr<dataflow::HeldLocks> heldLocks_;
   mutable std::unique_ptr<cssa::ReachingInfo> reaching_;
-  /// Phase timing table (mutable: lazy solves append their entry).
+  /// Phase timing table (guarded by lazyMutex_: lazy solves append).
   mutable std::vector<support::PhaseTime> phaseTimes_;
   DiagEngine diag_;
 };

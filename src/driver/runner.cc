@@ -1,0 +1,267 @@
+#include "src/driver/runner.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+#include "src/cssa/form_printer.h"
+#include "src/driver/pipeline.h"
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/mutex/deadlock.h"
+#include "src/mutex/races.h"
+#include "src/opt/lockstats.h"
+#include "src/opt/optimize.h"
+#include "src/parser/parser.h"
+#include "src/pfg/dot.h"
+#include "src/sanalysis/csan.h"
+#include "src/sanalysis/sarif.h"
+#include "src/sanalysis/vrange.h"
+
+namespace cssame::driver {
+
+namespace {
+
+/// printf into a growing string — output is buffered so callers (parallel
+/// batch jobs, the service) can route it wherever it belongs.
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[4096];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Writes structured output to `path` ("" = the buffered stdout stream).
+/// Fails the run on I/O errors so CI runs fail loudly instead of
+/// uploading an empty log.
+bool writeOut(const std::string& path, const std::string& text,
+              std::string& out, std::string& err) {
+  if (path.empty()) {
+    out += text + "\n";
+    return true;
+  }
+  std::ofstream f(path);
+  if (!f) {
+    appendf(err, "cssamec: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  f << text << "\n";
+  return true;
+}
+
+/// The read-only rendering shared by the cold path (runSource, after its
+/// own parse + analyze) and the cache-hit path (runCompiled): everything
+/// cssamec prints except --opt/--run, which mutate or execute the
+/// program. Appends into `r`; returns false when the run failed and the
+/// caller must stop (r.code already set).
+bool renderCompiled(const ir::Program& prog, const Compilation& c,
+                    const std::string& fileName, const RunOptions& o,
+                    RunOutput& r) {
+  std::string& out = r.out;
+  std::string& err = r.err;
+  for (const auto& d : c.diag().diagnostics())
+    appendf(err, "%s\n", d.str().c_str());
+
+  if (o.doRaces) {
+    DiagEngine raceDiag;
+    mutex::detectRaces(c.graph(), c.mhp(), c.mutexes(), raceDiag, c.sites());
+    mutex::detectDeadlocks(c.graph(), c.mhp(), c.mutexes(), raceDiag);
+    for (const auto& d : raceDiag.diagnostics())
+      appendf(err, "%s\n", d.str().c_str());
+  }
+  // Analyzer diagnostics (csan, then vrange) accumulate into one engine
+  // so the SARIF/JSON streams carry every finding.
+  DiagEngine toolDiag;
+  if (o.doCsan) {
+    const sanalysis::CsanReport report = sanalysis::runCsan(c, toolDiag);
+    for (const auto& d : toolDiag.diagnostics())
+      appendf(err, "%s\n", d.str().c_str());
+    appendf(err,
+            "csan: %zu finding(s): %zu race(s), %zu inconsistent, "
+            "%zu deadlock(s), %zu self-deadlock(s), %zu leak(s), "
+            "%zu body lint(s), %zu unprotected pi read(s)\n",
+            report.totalFindings(), report.potentialRaces,
+            report.inconsistentLocking,
+            report.deadlocks.abbaPairs + report.deadlocks.orderCycles,
+            report.selfDeadlocks, report.lockLeaks,
+            report.emptyBodies + report.redundantBodies +
+                report.overwideBodies,
+            report.unprotectedPiReads);
+  }
+  if (o.doVrange) {
+    const std::size_t before = toolDiag.diagnostics().size();
+    const sanalysis::VrangeResult vr =
+        sanalysis::analyzeValueRanges(c, &toolDiag);
+    for (std::size_t i = before; i < toolDiag.diagnostics().size(); ++i)
+      appendf(err, "%s\n", toolDiag.diagnostics()[i].str().c_str());
+    appendf(err, "%s\n", vr.stats.str().c_str());
+    const std::string mismatch = sanalysis::crossCheckConstants(c, vr);
+    if (!mismatch.empty()) {
+      appendf(err, "vrange: CSCC cross-check FAILED: %s\n", mismatch.c_str());
+      r.code = 1;
+      return false;
+    }
+  }
+  if (o.doSarif || o.doJson) {
+    // One stream in emission order: pipeline warnings, then the analyzers'.
+    std::vector<Diagnostic> all = c.diag().diagnostics();
+    all.insert(all.end(), toolDiag.diagnostics().begin(),
+               toolDiag.diagnostics().end());
+    if (o.doSarif &&
+        !writeOut(o.sarifPath, sanalysis::toSarif(all, fileName.c_str()), out,
+                  err)) {
+      r.code = 1;
+      return false;
+    }
+    if (o.doJson &&
+        !writeOut(o.jsonPath, sanalysis::toJson(all, fileName.c_str()), out,
+                  err)) {
+      r.code = 1;
+      return false;
+    }
+  }
+  if (o.doStats) {
+    appendf(out, "statements:        %zu\n", prog.size());
+    appendf(out, "pfg nodes:         %zu\n", c.graph().size());
+    appendf(out, "conflict edges:    %zu\n", c.graph().conflicts.size());
+    appendf(out, "mutex bodies:      %zu\n", c.mutexes().bodies().size());
+    appendf(out, "phi terms:         %zu\n", c.ssa().countLivePhis());
+    appendf(out, "pi terms:          %zu\n", c.ssa().countLivePis());
+    appendf(out, "pi conflict args:  %zu\n", c.ssa().countPiConflictArgs());
+    if (o.cssame)
+      appendf(out, "pi args removed:   %zu (pis folded: %zu)\n",
+              c.rewriteStats().argsRemoved, c.rewriteStats().pisRemoved);
+    const opt::CriticalSectionReport cs = opt::analyzeCriticalSections(c);
+    appendf(out,
+            "critical sections: %zu stmts locked, %zu lock independent "
+            "(%.0f%%)\n",
+            cs.totalInterior, cs.totalIndependent,
+            100.0 * cs.independentFraction());
+    // Force the lazy dataflow caches so the stats are deterministic.
+    (void)c.heldLocks();
+    (void)c.reaching();
+    for (const dataflow::SolveStats& s : c.solverStats())
+      appendf(out, "solver:            %s\n", s.str().c_str());
+    for (const support::PhaseTime& p : c.phaseTimes())
+      appendf(out, "phase:             %s\n", p.str().c_str());
+  }
+  if (o.dumpPfg) appendf(out, "%s", pfg::toDot(c.graph()).c_str());
+  if (o.dumpForm)
+    appendf(out, "%s", cssa::printForm(c.graph(), c.ssa()).c_str());
+  return true;
+}
+
+RunOutput runSourceUnguarded(std::string_view source,
+                             const std::string& fileName,
+                             const RunOptions& o) {
+  RunOutput r;
+  std::string& out = r.out;
+  std::string& err = r.err;
+
+  DiagEngine diag;
+  ir::Program prog = parser::parseProgram(source, diag);
+  for (const auto& d : diag.diagnostics())
+    appendf(err, "%s\n", d.str().c_str());
+  if (diag.hasErrors()) {
+    // Structured modes still get a log (with the parse errors), so CI can
+    // upload something meaningful for broken inputs.
+    bool ok = true;
+    if (o.doSarif)
+      ok &= writeOut(o.sarifPath,
+                     sanalysis::toSarif(diag.diagnostics(), fileName.c_str()),
+                     out, err);
+    if (o.doJson)
+      ok &= writeOut(o.jsonPath,
+                     sanalysis::toJson(diag.diagnostics(), fileName.c_str()),
+                     out, err);
+    (void)ok;
+    r.code = 1;
+    return r;
+  }
+
+  driver::Compilation c = driver::analyze(prog, {.enableCssame = o.cssame});
+  if (!renderCompiled(prog, c, fileName, o, r)) return r;
+
+  if (o.doOpt) {
+    opt::OptimizeReport report =
+        opt::optimizeProgram(prog, {.cssame = o.cssame});
+    appendf(out, "%s", ir::printProgram(prog).c_str());
+    appendf(err,
+            "; opt: %zu uses folded, %zu dead removed, %zu hoisted, "
+            "%zu sunk, %d iterations\n",
+            report.constProp.usesReplaced, report.deadCode.stmtsRemoved,
+            report.lockMotion.hoisted, report.lockMotion.sunk,
+            report.iterations);
+  }
+  if (o.doRun) {
+    interp::RunResult res = interp::run(prog, {.seed = o.seed});
+    for (long long v : res.output) appendf(out, "%lld\n", v);
+    if (!res.completed)
+      appendf(err, "%s\n",
+              res.deadlocked ? "deadlock" : "step limit exceeded");
+    if (res.lockError) appendf(err, "lock error\n");
+    if (res.assertFailed) appendf(err, "assertion failed\n");
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string RunOptions::cacheKey() const {
+  // One char per flag in declaration order, then the seed. Bump the "v1"
+  // tag if the rendering ever changes meaning — the key is persisted
+  // inside disk-cache addresses.
+  std::string key = "v1:";
+  for (bool b : {dumpPfg, dumpForm, cssame, doOpt, doRun, doRaces, doStats,
+                 doCsan, doSarif, doJson, doVrange})
+    key += b ? '1' : '0';
+  key += ":seed=" + std::to_string(seed);
+  // File-writing modes are not cacheable request shapes; the service
+  // rejects them, but keep the paths in the key so equal keys always
+  // mean equal behavior.
+  key += ":sarif=" + sarifPath + ":json=" + jsonPath;
+  return key;
+}
+
+RunOutput runCompiled(const ir::Program& prog, const Compilation& c,
+                      const std::string& preErr,
+                      const std::string& fileName, const RunOptions& opts) {
+  RunOutput r;
+  if (opts.doOpt || opts.doRun) {
+    // These mutate or execute the program; a shared compilation cannot
+    // serve them. Callers (the service router) pre-screen, so reaching
+    // this is a programming error upstream — degrade, don't crash.
+    r.err = "cssamec: internal: runCompiled called with --opt/--run\n";
+    r.code = 1;
+    return r;
+  }
+  r.err = preErr;
+  try {
+    (void)renderCompiled(prog, c, fileName, opts, r);
+  } catch (const InvariantError& e) {
+    r.err += std::string("cssamec: internal invariant violated: ") +
+             e.what() + "\n";
+    r.code = 1;
+  }
+  return r;
+}
+
+RunOutput runSource(std::string_view source, const std::string& fileName,
+                    const RunOptions& opts) {
+  try {
+    return runSourceUnguarded(source, fileName, opts);
+  } catch (const InvariantError& e) {
+    // A hostile input that slipped past the parser's structural checks:
+    // degrade to a structured failure, matching the library's
+    // never-abort contract for service embedders.
+    RunOutput r;
+    r.err = std::string("cssamec: internal invariant violated: ") + e.what() +
+            "\n";
+    r.code = 1;
+    return r;
+  }
+}
+
+}  // namespace cssame::driver

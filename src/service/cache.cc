@@ -1,0 +1,159 @@
+#include "src/service/cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/version.h"
+
+namespace cssame::service {
+
+namespace fs = std::filesystem;
+
+DiskStore::DiskStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) dir_.clear();  // degrade to memory-only, never fail the daemon
+}
+
+std::string DiskStore::pathFor(const support::Hash128& key) const {
+  return dir_ + "/" + support::toHex(key) + ".art";
+}
+
+std::optional<std::string> DiskStore::lookup(const support::Hash128& key) {
+  if (!enabled()) return std::nullopt;
+  const std::string path = pathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+
+  // Header: cssame-artifact v1 <buildFp> <keyHex> <bytes> <payloadFp>
+  std::string headerLine;
+  if (!std::getline(in, headerLine)) {
+    corruptRejected.inc();
+    std::remove(path.c_str());
+    return std::nullopt;
+  }
+  std::istringstream header(headerLine);
+  std::string magic, version, buildFp, keyHex, payloadFpHex;
+  std::size_t bytes = 0;
+  header >> magic >> version >> buildFp >> keyHex >> bytes >> payloadFpHex;
+  support::Hash128 storedKey{}, payloadFp{};
+  if (!header || magic != "cssame-artifact" || version != "v1" ||
+      !support::fromHex(keyHex, storedKey) ||
+      !support::fromHex(payloadFpHex, payloadFp) || storedKey != key) {
+    corruptRejected.inc();
+    std::remove(path.c_str());
+    return std::nullopt;
+  }
+  if (buildFp != support::buildFingerprint()) {
+    // A different build wrote this; its outputs may legitimately differ.
+    buildRejected.inc();
+    std::remove(path.c_str());
+    return std::nullopt;
+  }
+  std::string payload(bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes) ||
+      support::fingerprintBytes(payload) != payloadFp) {
+    corruptRejected.inc();
+    std::remove(path.c_str());
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void DiskStore::insert(const support::Hash128& key,
+                       const std::string& payload) {
+  if (!enabled()) return;
+  const std::string path = pathFor(key);
+  // Unique per process and per write, so two threads (or two daemons
+  // sharing a cache dir) never interleave bytes in one tmp file; rename
+  // makes whichever finishes last win, and both wrote identical content.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmpUnique =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmpUnique, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      writeFailed.inc();
+      return;
+    }
+    out << "cssame-artifact v1 " << support::buildFingerprint() << ' '
+        << support::toHex(key) << ' ' << payload.size() << ' '
+        << support::toHex(support::fingerprintBytes(payload)) << '\n';
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      writeFailed.inc();
+      out.close();
+      std::remove(tmpUnique.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmpUnique, path, ec);
+  if (ec) {
+    writeFailed.inc();
+    std::remove(tmpUnique.c_str());
+  }
+}
+
+std::size_t DiskStore::sweepTmp() {
+  if (!enabled()) return 0;
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp") != std::string::npos) {
+      std::error_code rmEc;
+      fs::remove(entry.path(), rmEc);
+      if (!rmEc) ++removed;
+    }
+  }
+  return removed;
+}
+
+const char* cacheTierName(CacheTier t) {
+  switch (t) {
+    case CacheTier::Miss: return "miss";
+    case CacheTier::Memory: return "memory";
+    case CacheTier::Disk: return "disk";
+    case CacheTier::Compilation: return "compilation";
+  }
+  return "?";
+}
+
+std::shared_ptr<const std::string> ArtifactCache::lookupResponse(
+    const support::Hash128& requestKey, CacheTier& tier) {
+  if (std::shared_ptr<const std::string> hit =
+          responses_.lookup(requestKey)) {
+    tier = CacheTier::Memory;
+    counters_.responseHits.inc();
+    return hit;
+  }
+  if (std::optional<std::string> fromDisk = disk_.lookup(requestKey)) {
+    tier = CacheTier::Disk;
+    counters_.diskHits.inc();
+    auto payload =
+        std::make_shared<const std::string>(std::move(*fromDisk));
+    counters_.responseEvictions.inc(responses_.insert(requestKey, payload));
+    return payload;
+  }
+  tier = CacheTier::Miss;
+  return nullptr;
+}
+
+void ArtifactCache::storeResponse(
+    const support::Hash128& requestKey,
+    std::shared_ptr<const std::string> payload) {
+  disk_.insert(requestKey, *payload);
+  counters_.responseEvictions.inc(
+      responses_.insert(requestKey, std::move(payload)));
+}
+
+}  // namespace cssame::service

@@ -1,0 +1,65 @@
+#include "src/service/protocol.h"
+
+#include <cstring>
+
+namespace cssame::service {
+
+namespace {
+
+constexpr char kMagic[4] = {'c', 's', 'a', 'J'};
+
+}  // namespace
+
+const char* frameStatusName(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::Ok: return "ok";
+    case FrameStatus::Eof: return "eof";
+    case FrameStatus::BadMagic: return "bad-magic";
+    case FrameStatus::TooLarge: return "frame-too-large";
+    case FrameStatus::Truncated: return "truncated";
+  }
+  return "?";
+}
+
+FrameStatus readFrame(support::FdStream& stream, std::string& payload,
+                      std::size_t maxPayload) {
+  char header[8];
+  bool eof = false;
+  if (Status s = stream.readExact(header, sizeof header, &eof); !s.ok())
+    return FrameStatus::Truncated;
+  if (eof) return FrameStatus::Eof;
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0)
+    return FrameStatus::BadMagic;
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i)
+    len = (len << 8) | static_cast<unsigned char>(header[4 + i]);
+  if (len > maxPayload) return FrameStatus::TooLarge;
+  payload.resize(len);
+  if (len == 0) return FrameStatus::Ok;
+  if (Status s = stream.readExact(payload.data(), len); !s.ok())
+    return FrameStatus::Truncated;
+  return FrameStatus::Ok;
+}
+
+Status writeFrame(support::FdStream& stream, std::string_view payload,
+                  std::size_t maxPayload) {
+  if (payload.size() > maxPayload ||
+      payload.size() > 0xffffffffull)
+    return Status::fail(FaultKind::PassError, "protocol",
+                        "frame payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the " +
+                            std::to_string(maxPayload) + "-byte cap");
+  char header[8];
+  std::memcpy(header, kMagic, sizeof kMagic);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    header[4 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  if (Status s = stream.writeAll(header, sizeof header); !s.ok()) return s;
+  if (!payload.empty())
+    if (Status s = stream.writeAll(payload.data(), payload.size()); !s.ok())
+      return s;
+  return Status::okStatus();
+}
+
+}  // namespace cssame::service

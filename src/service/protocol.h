@@ -1,0 +1,58 @@
+// Wire framing for the cssamed protocol.
+//
+// A connection is a sequence of frames in each direction; every frame is
+//
+//   4 bytes   magic "csaJ" (protocol + payload-format tag)
+//   4 bytes   payload length, unsigned little-endian
+//   N bytes   payload — one JSON document (src/service/json.h)
+//
+// The fixed magic rejects clients speaking the wrong protocol (or a raw
+// HTTP probe) on the first frame instead of misparsing a length from
+// arbitrary bytes, and the explicit length bound (`maxPayload`) turns a
+// hostile 4 GiB announcement into a structured FrameTooLarge error
+// before any allocation happens. Framing errors are unrecoverable for a
+// connection — after one, the reader cannot know where the next frame
+// starts — so the server answers with a final error response and closes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/io.h"
+#include "src/support/status.h"
+
+namespace cssame::service {
+
+/// Default cap on one frame's payload. Sources are rarely > 1 MiB; 16 MiB
+/// leaves room for giant generated inputs while bounding a hostile
+/// allocation.
+constexpr std::size_t kDefaultMaxPayload = 16u << 20;
+
+/// Outcome of readFrame: distinguishes the clean end-of-stream from
+/// payload delivery and from the two framing faults.
+enum class FrameStatus : std::uint8_t {
+  Ok,            ///< payload delivered
+  Eof,           ///< peer closed before a new frame began (normal end)
+  BadMagic,      ///< stream does not speak this protocol
+  TooLarge,      ///< announced length exceeds maxPayload
+  Truncated,     ///< stream ended or failed mid-frame
+};
+
+[[nodiscard]] const char* frameStatusName(FrameStatus s);
+
+/// Reads one frame into `payload`. Blocks until a full frame, EOF or an
+/// error. On anything but Ok the payload is unspecified.
+[[nodiscard]] FrameStatus readFrame(support::FdStream& stream,
+                                    std::string& payload,
+                                    std::size_t maxPayload =
+                                        kDefaultMaxPayload);
+
+/// Writes one frame. Fails (structured) on I/O errors or on a payload
+/// larger than maxPayload — the writer enforces the same bound it expects
+/// peers to enforce.
+[[nodiscard]] Status writeFrame(support::FdStream& stream,
+                                std::string_view payload,
+                                std::size_t maxPayload =
+                                    kDefaultMaxPayload);
+
+}  // namespace cssame::service

@@ -1,0 +1,455 @@
+#include "src/service/server.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <future>
+#include <set>
+
+#include "src/driver/runner.h"
+#include "src/interp/explore.h"
+#include "src/parser/parser.h"
+#include "src/support/version.h"
+
+namespace cssame::service {
+
+namespace {
+
+Json errorEnvelope(const Json& id, const std::string& kind,
+                   const std::string& stage, const std::string& message) {
+  Json error = Json::object();
+  error.set("kind", kind).set("stage", stage).set("message", message);
+  Json env = Json::object();
+  env.set("id", id).set("ok", false).set("error", std::move(error));
+  return env;
+}
+
+/// Decodes the per-request option object into the runner's option set.
+/// Unknown keys are ignored (forward compatibility); file-writing output
+/// paths are deliberately not decodable — a daemon writing client-named
+/// files would not be a pure function of the request.
+driver::RunOptions decodeOptions(const Json& options) {
+  driver::RunOptions o;
+  o.dumpPfg = options.getBool("dumpPfg", false);
+  o.dumpForm = options.getBool("dumpForm", false);
+  o.cssame = options.getBool("cssame", true);
+  o.doOpt = options.getBool("opt", false);
+  o.doRun = options.getBool("run", false);
+  o.doRaces = options.getBool("races", false);
+  o.doStats = options.getBool("stats", false);
+  o.doCsan = options.getBool("csan", false);
+  o.doSarif = options.getBool("sarif", false);
+  o.doJson = options.getBool("json", false);
+  o.doVrange = options.getBool("vrange", false);
+  o.seed = static_cast<std::uint64_t>(options.getInt("seed", 1));
+  // Mirror the CLI: --sarif/--json imply --csan.
+  if (o.doSarif || o.doJson) o.doCsan = true;
+  return o;
+}
+
+Json resultToJson(const driver::RunOutput& out) {
+  Json result = Json::object();
+  result.set("out", out.out).set("err", out.err).set("code", out.code);
+  return result;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts),
+      pool_(opts.workers),
+      cache_(opts.memEntries, opts.cacheDir) {
+  if (::pipe(wakePipe_) != 0) {
+    wakePipe_[0] = wakePipe_[1] = -1;
+  } else {
+    ::fcntl(wakePipe_[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(wakePipe_[1], F_SETFD, FD_CLOEXEC);
+  }
+  // A crashed predecessor may have left partial tmp files; they are
+  // invisible to lookups but would accumulate forever.
+  cache_.disk().sweepTmp();
+}
+
+Server::~Server() {
+  requestShutdown();
+  // Joined outside the lock: connection threads take connMutex_ to
+  // deregister themselves on exit.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
+  if (wakePipe_[0] >= 0) ::close(wakePipe_[0]);
+  if (wakePipe_[1] >= 0) ::close(wakePipe_[1]);
+}
+
+void Server::requestShutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  if (wakePipe_[1] >= 0) {
+    // Async-signal-safe: one byte wakes the poll in the accept loop.
+    const char b = 'x';
+    [[maybe_unused]] ssize_t r = ::write(wakePipe_[1], &b, 1);
+  }
+}
+
+Json Server::statsJson() {
+  const CacheCounters& cc = cache_.counters();
+  Json cacheJson = Json::object();
+  cacheJson.set("responseHits", cc.responseHits.value())
+      .set("diskHits", cc.diskHits.value())
+      .set("compilationHits", cc.compilationHits.value())
+      .set("misses", cc.misses.value())
+      .set("responseEvictions", cc.responseEvictions.value())
+      .set("compilationEvictions", cc.compilationEvictions.value())
+      .set("responseEntries", cache_.responseEntries())
+      .set("compilationEntries", cache_.compilationEntries())
+      .set("diskCorruptRejected", cache_.disk().corruptRejected.value())
+      .set("diskBuildRejected", cache_.disk().buildRejected.value())
+      .set("diskWriteFailed", cache_.disk().writeFailed.value())
+      .set("diskEnabled", cache_.disk().enabled());
+  Json stats = Json::object();
+  stats.set("version", support::versionString())
+      .set("build", support::buildFingerprint())
+      .set("requests", counters_.requests.value())
+      .set("errors", counters_.errors.value())
+      .set("badFrames", counters_.badFrames.value())
+      .set("connections", counters_.connections.value())
+      .set("workers", static_cast<std::int64_t>(pool_.workers()))
+      .set("cache", std::move(cacheJson));
+  return stats;
+}
+
+Json Server::runAnalysisMethod(const std::string& method,
+                               const Json& request) {
+  const Json& sourceValue = request.get("source");
+  if (!sourceValue.isString())
+    return errorEnvelope(request.get("id"), "invalid-request", method,
+                         "missing string field 'source'");
+  const std::string& source = sourceValue.stringValue();
+  const std::string fileName = request.getString("file", "<service>");
+
+  driver::RunOptions o = decodeOptions(request.get("options"));
+  if (method == "csan") o.doCsan = true;
+  if (method == "vrange") o.doVrange = true;
+
+  // The request's content address: any byte of the build, the method,
+  // the canonical options, the presentation file name (it appears in
+  // SARIF/JSON artifact URIs) or the source changes the key.
+  support::Fingerprinter fp;
+  fp.mixBytes(support::buildFingerprint());
+  fp.mixBytes(method);
+  fp.mixBytes(o.cacheKey());
+  fp.mixBytes(fileName);
+  fp.mixBytes(source);
+  const support::Hash128 requestKey = fp.digest();
+
+  CacheTier tier = CacheTier::Miss;
+  std::shared_ptr<const std::string> cached =
+      cache_.lookupResponse(requestKey, tier);
+  std::string resultPayload;
+  if (cached) {
+    resultPayload = *cached;
+  } else {
+    // Read-only requests can reuse (and populate) the live-Compilation
+    // tier; --opt/--run mutate or execute the program and always take
+    // the self-contained path.
+    driver::RunOutput out;
+    bool produced = false;
+    if (!o.doOpt && !o.doRun) {
+      support::Fingerprinter sfp;
+      sfp.mixBytes(source);
+      sfp.mix(o.cssame ? 1 : 0);
+      const support::Hash128 sourceKey = sfp.digest();
+      std::shared_ptr<AnalyzedProgram> ap =
+          cache_.lookupCompilation(sourceKey);
+      if (ap) {
+        tier = CacheTier::Compilation;
+        cache_.counters().compilationHits.inc();
+      } else {
+        parser::ParseResult pr = parser::parseChecked(source);
+        if (pr.ok()) {
+          try {
+            ap = std::make_shared<AnalyzedProgram>(
+                std::move(pr.program),
+                driver::PipelineOptions{.enableCssame = o.cssame});
+            for (const auto& d : pr.diag.diagnostics())
+              ap->preErr += d.str() + "\n";
+            cache_.storeCompilation(sourceKey, ap);
+          } catch (const InvariantError&) {
+            ap = nullptr;  // degrade to the self-contained path
+          }
+        }
+      }
+      if (ap) {
+        out = driver::runCompiled(*ap->program, ap->compilation, ap->preErr,
+                                  fileName, o);
+        produced = true;
+      }
+    }
+    if (!produced) out = driver::runSource(source, fileName, o);
+    if (tier == CacheTier::Miss) cache_.counters().misses.inc();
+    resultPayload = resultToJson(out).write();
+    cache_.storeResponse(requestKey,
+                         std::make_shared<const std::string>(resultPayload));
+  }
+
+  Expected<Json> result = parseJson(resultPayload);
+  if (!result)
+    return errorEnvelope(request.get("id"), "internal", method,
+                         "cached result payload unreadable: " +
+                             result.fault().message);
+  Json env = Json::object();
+  env.set("id", request.get("id"))
+      .set("ok", true)
+      .set("method", method)
+      .set("cached", cacheTierName(tier))
+      .set("result", std::move(*result));
+  return env;
+}
+
+Json Server::runExplore(const Json& request) {
+  const Json& sourceValue = request.get("source");
+  if (!sourceValue.isString())
+    return errorEnvelope(request.get("id"), "invalid-request", "explore",
+                         "missing string field 'source'");
+  const std::string& source = sourceValue.stringValue();
+  const Json& options = request.get("options");
+
+  interp::ExploreOptions eo;
+  const interp::ExploreOptions defaults;
+  // Budgets are clamped to the library defaults: a client cannot demand
+  // an exploration bigger than the daemon would run for itself.
+  eo.maxSteps = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(options.getInt(
+          "maxSteps", static_cast<std::int64_t>(1u << 16))),
+      defaults.maxSteps);
+  eo.maxStates = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(options.getInt(
+          "maxStates", static_cast<std::int64_t>(1u << 16))),
+      defaults.maxStates);
+  eo.maxDepthPerRun = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(options.getInt("maxDepth", 1024)),
+      defaults.maxDepthPerRun);
+  eo.maxMemoryBytes = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          options.getInt("maxMemoryBytes", 64 << 20)),
+      defaults.maxMemoryBytes);
+  eo.detectRaces = options.getBool("detectRaces", false);
+  eo.recordValues = options.getBool("recordValues", false);
+
+  support::Fingerprinter fp;
+  fp.mixBytes(support::buildFingerprint());
+  fp.mixBytes("explore");
+  fp.mix(eo.maxSteps);
+  fp.mix(eo.maxStates);
+  fp.mix(eo.maxDepthPerRun);
+  fp.mix(eo.maxMemoryBytes);
+  fp.mix((eo.detectRaces ? 1u : 0u) | (eo.recordValues ? 2u : 0u));
+  fp.mixBytes(source);
+  const support::Hash128 requestKey = fp.digest();
+
+  CacheTier tier = CacheTier::Miss;
+  std::shared_ptr<const std::string> cached =
+      cache_.lookupResponse(requestKey, tier);
+  std::string resultPayload;
+  if (cached) {
+    resultPayload = *cached;
+  } else {
+    cache_.counters().misses.inc();
+    parser::ParseResult pr = parser::parseChecked(source);
+    if (!pr.ok())
+      return errorEnvelope(request.get("id"), "parse-error", "explore",
+                           pr.status().fault().message);
+    interp::ExploreResult res;
+    try {
+      res = interp::exploreAllSchedules(pr.program, eo);
+    } catch (const InvariantError& e) {
+      return errorEnvelope(request.get("id"), "internal", "explore",
+                           e.what());
+    }
+    Json outputs = Json::array();
+    for (const std::vector<long long>& seq : res.outputs) {
+      Json one = Json::array();
+      for (long long v : seq) one.push(static_cast<std::int64_t>(v));
+      outputs.push(std::move(one));
+    }
+    Json raced = Json::array();
+    for (SymbolId sym : res.racedVars)
+      raced.push(pr.program.symbols.nameOf(sym));
+    Json ranges = Json::object();
+    for (const auto& [sym, range] : res.observedRanges) {
+      Json pair = Json::array();
+      pair.push(static_cast<std::int64_t>(range.first))
+          .push(static_cast<std::int64_t>(range.second));
+      ranges.set(pr.program.symbols.nameOf(sym), std::move(pair));
+    }
+    Json result = Json::object();
+    result.set("complete", res.complete)
+        .set("budgetExceeded",
+             support::budgetKindName(res.budgetExceeded))
+        .set("statesExplored", res.statesExplored)
+        .set("anyDeadlock", res.anyDeadlock)
+        .set("anyLockError", res.anyLockError)
+        .set("anyAssertFailure", res.anyAssertFailure)
+        .set("outputs", std::move(outputs))
+        .set("racedVars", std::move(raced))
+        .set("observedRanges", std::move(ranges));
+    resultPayload = result.write();
+    cache_.storeResponse(requestKey,
+                         std::make_shared<const std::string>(resultPayload));
+  }
+
+  Expected<Json> result = parseJson(resultPayload);
+  if (!result)
+    return errorEnvelope(request.get("id"), "internal", "explore",
+                         "cached result payload unreadable: " +
+                             result.fault().message);
+  Json env = Json::object();
+  env.set("id", request.get("id"))
+      .set("ok", true)
+      .set("method", "explore")
+      .set("cached", cacheTierName(tier))
+      .set("result", std::move(*result));
+  return env;
+}
+
+Json Server::handleRequest(const Json& request) {
+  if (!request.isObject())
+    return errorEnvelope(Json(), "invalid-request", "router",
+                         "request is not a JSON object");
+  const std::string method = request.getString("method", "");
+  if (method == "analyze" || method == "csan" || method == "vrange")
+    return runAnalysisMethod(method, request);
+  if (method == "explore") return runExplore(request);
+  if (method == "stats") {
+    Json env = Json::object();
+    env.set("id", request.get("id"))
+        .set("ok", true)
+        .set("method", "stats")
+        .set("result", statsJson());
+    return env;
+  }
+  if (method == "shutdown") {
+    counters_.shutdownRequests.inc();
+    requestShutdown();
+    Json env = Json::object();
+    env.set("id", request.get("id"))
+        .set("ok", true)
+        .set("method", "shutdown");
+    return env;
+  }
+  return errorEnvelope(request.get("id"), "unknown-method", "router",
+                       method.empty() ? "missing string field 'method'"
+                                      : "unknown method '" + method + "'");
+}
+
+std::string Server::handlePayload(const std::string& payload) {
+  counters_.requests.inc();
+  Json response;
+  try {
+    Expected<Json> request = parseJson(payload);
+    if (!request) {
+      response = errorEnvelope(Json(), "parse-error", "json",
+                               request.fault().message);
+    } else {
+      response = handleRequest(*request);
+    }
+  } catch (const std::exception& e) {
+    response = errorEnvelope(Json(), "internal", "router", e.what());
+  } catch (...) {
+    response =
+        errorEnvelope(Json(), "internal", "router", "unknown exception");
+  }
+  if (!response.getBool("ok", false)) counters_.errors.inc();
+  return response.write();
+}
+
+void Server::serveStream(support::FdStream& stream) {
+  serveDuplex(stream, stream);
+}
+
+void Server::serveDuplex(support::FdStream& in, support::FdStream& out) {
+  std::string payload;
+  while (!shutdownRequested()) {
+    const FrameStatus fs = readFrame(in, payload, opts_.maxPayload);
+    if (fs == FrameStatus::Eof) break;
+    if (fs != FrameStatus::Ok) {
+      // The stream position is unrecoverable after a framing violation:
+      // answer once, structurally, and close.
+      counters_.badFrames.inc();
+      counters_.errors.inc();
+      const Json env = errorEnvelope(
+          Json(), "bad-frame", "protocol",
+          std::string("framing violation: ") + frameStatusName(fs));
+      (void)writeFrame(out, env.write(), opts_.maxPayload);
+      break;
+    }
+    // Each request is one unit on the shared pool, bounding analysis
+    // parallelism at the pool size regardless of connection count. With
+    // a pool of 1, submit() runs inline on this connection thread.
+    std::string response;
+    std::promise<void> done;
+    pool_.submit([&] {
+      response = handlePayload(payload);
+      done.set_value();
+    });
+    done.get_future().wait();
+    if (Status s = writeFrame(out, response, opts_.maxPayload); !s.ok())
+      break;
+  }
+}
+
+Status Server::serveUnix(const std::string& socketPath) {
+  Expected<support::UnixListener> listener =
+      support::UnixListener::bind(socketPath);
+  if (!listener) return listener.fault();
+
+  std::set<int> liveFds;
+  while (!shutdownRequested()) {
+    Expected<support::FdStream> conn = listener->accept(wakePipe_[0]);
+    if (!conn) return conn.fault();
+    if (!conn->valid()) break;  // woken by requestShutdown()
+    counters_.connections.inc();
+    const int fd = conn->fd();
+    std::lock_guard<std::mutex> lock(connMutex_);
+    liveFds.insert(fd);
+    connections_.emplace_back(
+        [this, &liveFds, stream = std::move(*conn)]() mutable {
+          serveStream(stream);
+          std::lock_guard<std::mutex> cl(connMutex_);
+          liveFds.erase(stream.fd());
+        });
+  }
+
+  // Unblock every connection still parked in a read, then join. Only the
+  // read side is shut down: a connection thread may be mid-way through
+  // writing the response that requested this shutdown, and SHUT_RDWR
+  // would tear that write out from under it. SHUT_RD makes the blocked
+  // read return EOF while the in-flight response still drains. The
+  // joined threads establish happens-before for the final cache state.
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (int fd : liveFds) ::shutdown(fd, SHUT_RD);
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
+  pool_.waitIdle();
+  return Status::okStatus();
+}
+
+void Server::serveStdio() {
+  support::FdStream in(::dup(0));
+  support::FdStream out(::dup(1));
+  serveDuplex(in, out);
+}
+
+}  // namespace cssame::service

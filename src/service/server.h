@@ -1,0 +1,116 @@
+// cssamed's request router and connection loops.
+//
+// The server is transport-agnostic at its core: handlePayload() maps one
+// request payload (a JSON document) to one response payload, consulting
+// the two-tier artifact cache and never throwing — every malformed or
+// hostile input degrades into a structured error response. Around that
+// core sit the two transports (a Unix-socket accept loop for concurrent
+// clients, a stdio loop for a single piped client) and the scheduling
+// glue: each connection is its own thread, and each request body runs as
+// one task on the shared support::ThreadPool, which bounds analysis
+// parallelism independently of connection count.
+//
+// Protocol, methods and the cache-key derivation are specified in
+// docs/SERVICE.md; the wire framing is src/service/protocol.h.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/cache.h"
+#include "src/service/json.h"
+#include "src/service/protocol.h"
+#include "src/support/counters.h"
+#include "src/support/threadpool.h"
+
+namespace cssame::service {
+
+struct ServerOptions {
+  /// Disk-cache directory; empty runs memory-only.
+  std::string cacheDir;
+  /// Capacity (entries) of each in-memory tier (responses and live
+  /// compilations). 0 disables in-memory caching.
+  std::size_t memEntries = 128;
+  /// Per-frame payload bound, both directions.
+  std::size_t maxPayload = kDefaultMaxPayload;
+  /// Analysis thread pool size (ThreadPool semantics: 0 = one per
+  /// hardware thread, 1 = run requests inline on connection threads).
+  unsigned workers = 1;
+};
+
+/// Monotonic service counters, exported by the `stats` method and listed
+/// in docs/ANALYSIS.md.
+struct ServiceCounters {
+  support::Counter requests;         ///< frames parsed as requests
+  support::Counter errors;           ///< error responses produced
+  support::Counter badFrames;        ///< framing violations (conn dropped)
+  support::Counter connections;      ///< connections accepted
+  support::Counter shutdownRequests; ///< shutdown method calls
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The transport-free core: one request payload in, one response
+  /// payload out. Never throws; crashes of the analysis pipeline become
+  /// `{"ok":false,...}` envelopes. Public for tests and the bench.
+  [[nodiscard]] std::string handlePayload(const std::string& payload);
+
+  /// Serves one already-connected duplex stream (socket or socketpair)
+  /// until EOF, a framing violation or shutdown. Each request is
+  /// scheduled on the pool; responses go back in request order.
+  void serveStream(support::FdStream& stream);
+
+  /// Binds `socketPath` and serves until requestShutdown() (from a
+  /// signal handler or a `shutdown` request). Joins every connection
+  /// thread before returning, so the cache is quiescent afterwards.
+  [[nodiscard]] Status serveUnix(const std::string& socketPath);
+
+  /// Serves a single client over inherited stdin/stdout.
+  void serveStdio();
+
+  /// Signal-safe shutdown trigger: sets the stop flag and wakes the
+  /// accept loop via the self-pipe. Callable from any thread and from
+  /// signal handlers.
+  void requestShutdown();
+  [[nodiscard]] bool shutdownRequested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ArtifactCache& cache() { return cache_; }
+  [[nodiscard]] const ServiceCounters& counters() const { return counters_; }
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+
+  /// The `stats` response body (also reachable without the wire).
+  [[nodiscard]] Json statsJson();
+
+ private:
+  /// The shared read-request/write-response loop behind serveStream (one
+  /// duplex fd) and serveStdio (separate in/out fds).
+  void serveDuplex(support::FdStream& in, support::FdStream& out);
+  [[nodiscard]] Json handleRequest(const Json& request);
+  [[nodiscard]] Json runAnalysisMethod(const std::string& method,
+                                       const Json& request);
+  [[nodiscard]] Json runExplore(const Json& request);
+
+  ServerOptions opts_;
+  support::ThreadPool pool_;
+  ArtifactCache cache_;
+  ServiceCounters counters_;
+
+  std::atomic<bool> shutdown_{false};
+  int wakePipe_[2] = {-1, -1};
+
+  std::mutex connMutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace cssame::service

@@ -1,0 +1,37 @@
+// Monotonic event counters for long-running processes.
+//
+// The analysis service (src/service) counts requests, cache hits per
+// tier, evictions and rejections over the whole life of the daemon; the
+// counters are written from every worker thread and read by the `stats`
+// method while traffic is in flight, so each one is a single relaxed
+// atomic — monotonic, wait-free, and never a bottleneck. Relaxed order is
+// sufficient: counters feed operational telemetry, not synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cssame::support {
+
+/// One monotonically-increasing counter, safe to bump from any thread.
+class Counter {
+ public:
+  Counter() = default;
+  /// Counters identify an event stream, not a value; copying one would
+  /// silently fork the stream.
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace cssame::support

@@ -1,0 +1,187 @@
+#include "src/support/io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cssame::support {
+
+namespace {
+
+Fault ioFault(std::string what) {
+  return Fault{FaultKind::PassError, "io",
+               std::move(what) + ": " + std::strerror(errno), {}};
+}
+
+}  // namespace
+
+Status FdStream::readExact(void* buf, std::size_t n, bool* eof) {
+  if (eof != nullptr) *eof = false;
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd_, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::fail(FaultKind::PassError, "io",
+                          std::string("read: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0 && eof != nullptr) {
+        *eof = true;
+        return Status::okStatus();
+      }
+      return Status::fail(FaultKind::PassError, "io",
+                          "unexpected end of stream (truncated frame)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::okStatus();
+}
+
+Status FdStream::writeAll(const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t put = 0;
+  bool isSocket = true;
+  while (put < n) {
+    // MSG_NOSIGNAL turns a peer hang-up into an EPIPE error instead of a
+    // process-killing SIGPIPE; a daemon must survive clients vanishing
+    // mid-response. send() only works on sockets, so fall back to
+    // write() for pipes and regular files.
+    const ssize_t r =
+        isSocket ? ::send(fd_, p + put, n - put, MSG_NOSIGNAL)
+                 : ::write(fd_, p + put, n - put);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (isSocket && (errno == ENOTSOCK || errno == EOPNOTSUPP)) {
+        isSocket = false;
+        continue;
+      }
+      return Status::fail(FaultKind::PassError, "io",
+                          std::string("write: ") + std::strerror(errno));
+    }
+    put += static_cast<std::size_t>(r);
+  }
+  return Status::okStatus();
+}
+
+void FdStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<std::pair<FdStream, FdStream>> streamPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    return ioFault("socketpair");
+  return std::pair<FdStream, FdStream>{FdStream(fds[0]), FdStream(fds[1])};
+}
+
+Expected<FdStream> connectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    return Fault{FaultKind::PassError, "io",
+                 "socket path too long: " + path, {}};
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ioFault("socket");
+  FdStream stream(fd);
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    return ioFault("connect '" + path + "'");
+  }
+  return stream;
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      ::unlink(path_.c_str());
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Expected<UnixListener> UnixListener::bind(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    return Fault{FaultKind::PassError, "io",
+                 "socket path too long: " + path, {}};
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ioFault("socket");
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const Fault f = ioFault("bind '" + path + "'");
+    ::close(fd);
+    return f;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Fault f = ioFault("listen '" + path + "'");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return f;
+  }
+  UnixListener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  return listener;
+}
+
+Expected<FdStream> UnixListener::accept(int wakeFd) {
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    nfds_t n = 1;
+    if (wakeFd >= 0) {
+      fds[1] = {wakeFd, POLLIN, 0};
+      n = 2;
+    }
+    const int r = ::poll(fds, n, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ioFault("poll");
+    }
+    if (wakeFd >= 0 && (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+      return FdStream();  // woken for shutdown, not a connection
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return ioFault("accept");
+    }
+    return FdStream(client);
+  }
+}
+
+}  // namespace cssame::support

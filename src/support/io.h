@@ -1,0 +1,93 @@
+// File-descriptor streams and Unix-domain sockets for the service layer.
+//
+// cssamed serves length-prefixed frames over two transports: a Unix
+// stream socket (concurrent clients) and inherited stdin/stdout (one
+// pipeline-style client, e.g. an editor integration). Both reduce to the
+// same primitive — a byte stream on a file descriptor — so the protocol
+// layer is written against FdStream and never sees the transport.
+// Everything here retries EINTR, reports failures as structured Status
+// values, and never throws.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "src/support/status.h"
+
+namespace cssame::support {
+
+/// Owning wrapper around one open file descriptor. Movable, closes on
+/// destruction. A default-constructed stream is invalid (fd -1).
+class FdStream {
+ public:
+  FdStream() = default;
+  explicit FdStream(int fd) : fd_(fd) {}
+  ~FdStream() { close(); }
+
+  FdStream(FdStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdStream& operator=(FdStream&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Reads exactly `n` bytes into `buf`, retrying partial reads. Fails on
+  /// error; `eof` (when non-null) is set true iff the stream ended before
+  /// the first byte — the clean end-of-connection case, reported as ok.
+  /// EOF in the middle of the `n` bytes is an error (truncated frame).
+  [[nodiscard]] Status readExact(void* buf, std::size_t n, bool* eof = nullptr);
+
+  /// Writes all `n` bytes, retrying partial writes.
+  [[nodiscard]] Status writeAll(const void* buf, std::size_t n);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected pair of bidirectional streams (socketpair) — the in-process
+/// stand-in for a client/server connection in tests and benchmarks.
+[[nodiscard]] Expected<std::pair<FdStream, FdStream>> streamPair();
+
+/// Client side: connects to a Unix stream socket at `path`.
+[[nodiscard]] Expected<FdStream> connectUnix(const std::string& path);
+
+/// Server side: a bound, listening Unix stream socket. Binding unlinks a
+/// stale socket file at `path` first and unlinks it again on destruction.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  [[nodiscard]] static Expected<UnixListener> bind(const std::string& path);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Blocks until a client connects or `wakeFd` (when >= 0) becomes
+  /// readable — the self-pipe a signal handler writes to request
+  /// shutdown. Returns an invalid FdStream (reported as ok) when woken by
+  /// `wakeFd` rather than by a connection.
+  [[nodiscard]] Expected<FdStream> accept(int wakeFd = -1);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace cssame::support

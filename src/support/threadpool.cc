@@ -37,11 +37,28 @@ void ThreadPool::runJob(unsigned worker) {
 void ThreadPool::workerLoop(unsigned worker) {
   std::uint64_t seen = 0;
   while (true) {
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
+      wake_.wait(lock, [&] {
+        return stop_ || generation_ != seen || !tasks_.empty();
+      });
+      if (!tasks_.empty()) {
+        // Drain queued tasks even when stopping, so the destructor never
+        // drops work that submit() already accepted.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (stop_) {
+        return;
+      } else {
+        seen = generation_;
+      }
+    }
+    if (task) {
+      task();
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pendingTasks_ == 0) idle_.notify_all();
+      continue;
     }
     runJob(worker);
     {
@@ -49,6 +66,25 @@ void ThreadPool::workerLoop(unsigned worker) {
       if (--active_ == 0) done_.notify_all();
     }
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_ == 1) {
+    // No worker threads exist; run inline so the task still happens.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pendingTasks_;
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return pendingTasks_ == 0; });
 }
 
 void ThreadPool::parallelFor(

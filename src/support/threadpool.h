@@ -1,23 +1,31 @@
-// A small fixed-size thread pool for index-parallel loops.
+// A small fixed-size thread pool for index-parallel loops and queued
+// tasks.
 //
-// Two consumers share it: the schedule explorer's layered state-space
-// search (src/interp/explore.cc) and the batch analysis drivers (the
-// bench harnesses and `cssamec --jobs=N`) that analyze independent
-// programs concurrently. The pool deliberately exposes only
-// parallelFor — a fork/join loop with dynamic (work-stealing-style)
-// index distribution — because every consumer needs deterministic
-// results: callers accumulate into per-worker or per-index slots and
-// merge at the join, so the outcome never depends on which worker ran
-// which index.
+// Three consumers share it: the schedule explorer's layered state-space
+// search (src/interp/explore.cc), the batch analysis drivers (the bench
+// harnesses and `cssamec --jobs=N`) that analyze independent programs
+// concurrently, and the analysis service (src/service) that schedules
+// each incoming request as one task. Two entry points:
+//
+//   - parallelFor: a fork/join loop with dynamic (work-stealing-style)
+//     index distribution. Consumers that need deterministic results use
+//     this shape: they accumulate into per-worker or per-index slots and
+//     merge at the join, so the outcome never depends on which worker ran
+//     which index.
+//   - submit/waitIdle: a FIFO task queue for independent fire-and-forget
+//     units (service requests). Tasks may interleave with parallelFor
+//     jobs — a worker finishes its current task before joining a loop.
 //
 // The calling thread participates as worker 0, so a pool of size 1
-// spawns no threads at all and parallelFor degrades to a plain loop.
+// spawns no threads at all: parallelFor degrades to a plain loop and
+// submit runs the task inline before returning.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -47,6 +55,18 @@ class ThreadPool {
   void parallelFor(std::size_t n,
                    const std::function<void(std::size_t, unsigned)>& fn);
 
+  /// Enqueues one independent task (FIFO) and returns immediately; a
+  /// worker thread runs it as soon as one is free. With a pool of size 1
+  /// the task runs inline before submit returns. Tasks must not throw —
+  /// an escaping exception terminates the process — and must not call
+  /// back into this pool. The destructor drains tasks already queued.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished (queue empty and no
+  /// task running). Establishes a happens-before edge from each task's
+  /// completion, so results they wrote are safe to read afterwards.
+  void waitIdle();
+
   /// Hardware concurrency clamped into [1, 16] — the default pool size
   /// for batch drivers.
   [[nodiscard]] static unsigned defaultWorkers();
@@ -66,6 +86,11 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   unsigned active_ = 0;
   bool stop_ = false;
+
+  std::deque<std::function<void()>> tasks_;
+  /// Tasks queued or currently running (waitIdle waits for 0).
+  std::size_t pendingTasks_ = 0;
+  std::condition_variable idle_;
 
   std::atomic<std::size_t> next_{0};
 };

@@ -1,0 +1,29 @@
+// Library version and build fingerprint.
+//
+// The service's disk cache persists analysis artifacts across process
+// restarts, but an artifact is only reusable by the *same build* that
+// wrote it: a code change anywhere in the pipeline can legitimately
+// change diagnostics, statistics or printed forms without any version
+// bump. Every on-disk entry therefore records buildFingerprint() — a hash
+// of the version string, the compiler identification and the translation
+// timestamp of this file — and readers reject entries whose fingerprint
+// differs from their own. `cssamec --version` / `cssamed --version` print
+// both values so operators can check what a deployed binary will accept.
+#pragma once
+
+#include <string>
+
+namespace cssame::support {
+
+/// Human-readable semantic version of the library/tools.
+[[nodiscard]] const char* versionString();
+
+/// 32-hex-digit fingerprint identifying this exact build. Stable within
+/// one compiled binary, expected to differ across rebuilds.
+[[nodiscard]] const std::string& buildFingerprint();
+
+/// The one-line form both binaries print for --version:
+/// "<tool> <version> (build <fingerprint>)".
+[[nodiscard]] std::string versionLine(const char* tool);
+
+}  // namespace cssame::support

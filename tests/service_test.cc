@@ -1,0 +1,670 @@
+// End-to-end tests for the analysis service: the JSON layer, the wire
+// framing, the request router, the two-tier content-addressed cache and
+// the Unix-socket transport.
+//
+// The load-bearing properties:
+//   - hostility never crashes the daemon: malformed JSON, unknown
+//     methods, framing violations and oversized payloads all degrade
+//     into structured error envelopes (or a final error + disconnect for
+//     unrecoverable framing),
+//   - every cache tier answers byte-identically to a cold computation —
+//     the service calls the same driver::runSource/runCompiled as the
+//     cssamec CLI, so a cached response IS the standalone output,
+//   - the disk tier survives restarts, rejects corruption and other
+//     builds' artifacts, and a SIGKILLed daemon leaves a cache the next
+//     daemon starts cleanly from (the tmp+rename write protocol).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "src/driver/runner.h"
+#include "src/service/json.h"
+#include "src/service/protocol.h"
+#include "src/service/server.h"
+#include "src/support/io.h"
+#include "src/support/version.h"
+
+namespace cssame {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSource = R"(
+  int x = 0, y = 0;
+  lock L;
+  cobegin {
+    thread T0 { lock(L); x = x + 1; unlock(L); }
+    thread T1 { lock(L); x = x * 2; unlock(L); y = 5; }
+  }
+  print(x); print(y);
+)";
+
+constexpr const char* kRacySource = R"(
+  int a = 0;
+  cobegin {
+    thread T0 { a = 1; }
+    thread T1 { a = 2; }
+  }
+  print(a);
+)";
+
+/// A unique, empty scratch directory; removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("cssame_svc_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+std::string makeRequest(const std::string& method, const std::string& source,
+                        service::Json options = service::Json::object(),
+                        int id = 1) {
+  service::Json req = service::Json::object();
+  req.set("id", id)
+      .set("method", method)
+      .set("file", "test.cp")
+      .set("source", source)
+      .set("options", std::move(options));
+  return req.write();
+}
+
+service::Json parseOk(const std::string& payload) {
+  Expected<service::Json> j = service::parseJson(payload);
+  EXPECT_TRUE(j.ok()) << payload;
+  return j.ok() ? *j : service::Json();
+}
+
+/// Sends one request payload over an established connection and returns
+/// the parsed response envelope.
+service::Json roundTrip(support::FdStream& conn, const std::string& payload) {
+  EXPECT_TRUE(
+      service::writeFrame(conn, payload, service::kDefaultMaxPayload).ok());
+  std::string response;
+  EXPECT_EQ(service::readFrame(conn, response, service::kDefaultMaxPayload),
+            service::FrameStatus::Ok);
+  return parseOk(response);
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+
+TEST(ServiceJson, WriteParseRoundTrip) {
+  service::Json inner = service::Json::array();
+  inner.push(1).push(-2).push(true).push(service::Json());
+  service::Json obj = service::Json::object();
+  obj.set("s", "he\"llo\n\tworld").set("n", std::int64_t{1} << 60)
+      .set("d", 1.5).set("a", std::move(inner));
+  const std::string text = obj.write();
+  service::Json back = parseOk(text);
+  EXPECT_EQ(back.write(), text);
+  EXPECT_EQ(back.getString("s", ""), "he\"llo\n\tworld");
+  EXPECT_EQ(back.getInt("n", 0), std::int64_t{1} << 60);
+  EXPECT_EQ(back.get("a").items().size(), 4u);
+}
+
+TEST(ServiceJson, UnicodeEscapesBecomeUtf8) {
+  service::Json j = parseOk(R"({"k":"\u0041\u00e9"})");
+  EXPECT_EQ(j.getString("k", ""), "A\xc3\xa9");
+}
+
+TEST(ServiceJson, MalformedInputsFailStructurally) {
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "1 2", "tru", "\"\\q\"",
+                          "{\"a\" 1}", ""}) {
+    Expected<service::Json> r = service::parseJson(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+TEST(ServiceJson, DepthBombIsRejectedNotOverflowed) {
+  std::string bomb(500, '[');
+  bomb += std::string(500, ']');
+  Expected<service::Json> r = service::parseJson(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.fault().message.find("nesting"), std::string::npos);
+}
+
+TEST(ServiceJson, LastDuplicateKeyWins) {
+  service::Json j = parseOk(R"({"a":1,"a":2})");
+  EXPECT_EQ(j.getInt("a", 0), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(ServiceProtocol, FrameRoundTripOverSocketpair) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  const std::string payload = "{\"hello\":\"world\"}";
+  ASSERT_TRUE(service::writeFrame(a, payload, 1024).ok());
+  std::string got;
+  EXPECT_EQ(service::readFrame(b, got, 1024), service::FrameStatus::Ok);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ServiceProtocol, CleanEofAfterPeerCloses) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  a.close();
+  std::string got;
+  EXPECT_EQ(service::readFrame(b, got, 1024), service::FrameStatus::Eof);
+}
+
+TEST(ServiceProtocol, BadMagicIsRejected) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  const char junk[8] = {'n', 'o', 'p', 'e', 1, 0, 0, 0};
+  ASSERT_TRUE(a.writeAll(junk, sizeof junk).ok());
+  std::string got;
+  EXPECT_EQ(service::readFrame(b, got, 1024), service::FrameStatus::BadMagic);
+}
+
+TEST(ServiceProtocol, OversizedLengthIsRejectedBeforeAllocation) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  // Magic + a 256 MiB length; the reader must refuse without resizing.
+  const unsigned char header[8] = {'c', 's', 'a', 'J', 0, 0, 0, 0x10};
+  ASSERT_TRUE(a.writeAll(header, sizeof header).ok());
+  std::string got;
+  EXPECT_EQ(service::readFrame(b, got, 1 << 20),
+            service::FrameStatus::TooLarge);
+}
+
+TEST(ServiceProtocol, TruncatedPayloadIsAnError) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  const unsigned char header[8] = {'c', 's', 'a', 'J', 100, 0, 0, 0};
+  ASSERT_TRUE(a.writeAll(header, sizeof header).ok());
+  ASSERT_TRUE(a.writeAll("only this", 9).ok());
+  a.close();  // EOF 91 bytes early
+  std::string got;
+  EXPECT_EQ(service::readFrame(b, got, 1024),
+            service::FrameStatus::Truncated);
+}
+
+TEST(ServiceProtocol, WriterEnforcesTheCapToo) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  EXPECT_FALSE(
+      service::writeFrame(pair->first, std::string(2048, 'x'), 1024).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Router: hostile inputs become structured errors, never crashes
+
+TEST(ServiceServer, MalformedJsonYieldsStructuredError) {
+  service::Server server({});
+  service::Json resp = parseOk(server.handlePayload("{this is not json"));
+  EXPECT_FALSE(resp.getBool("ok", true));
+  EXPECT_EQ(resp.get("error").getString("kind", ""), "parse-error");
+}
+
+TEST(ServiceServer, UnknownMethodYieldsStructuredError) {
+  service::Server server({});
+  service::Json resp =
+      parseOk(server.handlePayload(makeRequest("frobnicate", kSource)));
+  EXPECT_FALSE(resp.getBool("ok", true));
+  EXPECT_EQ(resp.get("error").getString("kind", ""), "unknown-method");
+  EXPECT_EQ(resp.getInt("id", -1), 1);  // id echoed even on errors
+}
+
+TEST(ServiceServer, MissingSourceYieldsStructuredError) {
+  service::Server server({});
+  service::Json req = service::Json::object();
+  req.set("id", 7).set("method", "analyze");
+  service::Json resp = parseOk(server.handlePayload(req.write()));
+  EXPECT_FALSE(resp.getBool("ok", true));
+  EXPECT_EQ(resp.get("error").getString("kind", ""), "invalid-request");
+  EXPECT_EQ(resp.getInt("id", -1), 7);
+}
+
+TEST(ServiceServer, NonObjectRequestYieldsStructuredError) {
+  service::Server server({});
+  for (const char* req : {"[1,2,3]", "42", "\"analyze\"", "null"}) {
+    service::Json resp = parseOk(server.handlePayload(req));
+    EXPECT_FALSE(resp.getBool("ok", true)) << req;
+  }
+}
+
+TEST(ServiceServer, UnparseableSourceIsAnOkEnvelopeWithExitCode) {
+  // A source that fails to parse is a *successful* request whose result
+  // carries the diagnostics and exit code 1, exactly like the CLI.
+  service::Server server({});
+  service::Json resp =
+      parseOk(server.handlePayload(makeRequest("analyze", "int int int")));
+  ASSERT_TRUE(resp.getBool("ok", false));
+  EXPECT_EQ(resp.get("result").getInt("code", 0), 1);
+  EXPECT_NE(resp.get("result").getString("err", "").find("error"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity with the standalone runner, across methods and tiers
+
+driver::RunOptions optionsFor(const service::Json& options) {
+  driver::RunOptions o;
+  o.dumpForm = options.getBool("dumpForm", false);
+  o.doCsan = options.getBool("csan", false);
+  o.doVrange = options.getBool("vrange", false);
+  o.doRaces = options.getBool("races", false);
+  o.doRun = options.getBool("run", false);
+  o.doOpt = options.getBool("opt", false);
+  o.seed = static_cast<std::uint64_t>(options.getInt("seed", 1));
+  return o;
+}
+
+TEST(ServiceServer, ResponsesMatchStandaloneRunnerBytewise) {
+  service::Server server({});
+  std::vector<service::Json> optionSets;
+  optionSets.push_back(service::Json::object());  // plain analyze
+  optionSets.push_back(service::Json::object().set("dumpForm", true));
+  optionSets.push_back(service::Json::object().set("csan", true));
+  optionSets.push_back(
+      service::Json::object().set("csan", true).set("vrange", true));
+  optionSets.push_back(service::Json::object().set("races", true));
+  optionSets.push_back(
+      service::Json::object().set("run", true).set("seed", 3));
+  optionSets.push_back(service::Json::object().set("opt", true));
+
+  for (const char* source : {kSource, kRacySource}) {
+    for (const service::Json& options : optionSets) {
+      const driver::RunOutput expect =
+          driver::runSource(source, "test.cp", optionsFor(options));
+      service::Json copy = options;  // makeRequest consumes
+      service::Json resp = parseOk(
+          server.handlePayload(makeRequest("analyze", source, copy)));
+      ASSERT_TRUE(resp.getBool("ok", false)) << options.write();
+      const service::Json& result = resp.get("result");
+      EXPECT_EQ(result.getString("out", "?"), expect.out) << options.write();
+      EXPECT_EQ(result.getString("err", "?"), expect.err) << options.write();
+      EXPECT_EQ(result.getInt("code", -1), expect.code) << options.write();
+    }
+  }
+}
+
+TEST(ServiceServer, CsanAndVrangeMethodsForceTheirAnalyses) {
+  service::Server server({});
+  driver::RunOptions o;
+  o.doCsan = true;
+  const driver::RunOutput expect = driver::runSource(kSource, "test.cp", o);
+  service::Json resp =
+      parseOk(server.handlePayload(makeRequest("csan", kSource)));
+  ASSERT_TRUE(resp.getBool("ok", false));
+  EXPECT_EQ(resp.get("result").getString("err", "?"), expect.err);
+
+  driver::RunOptions v;
+  v.doVrange = true;
+  const driver::RunOutput vexpect = driver::runSource(kSource, "test.cp", v);
+  service::Json vresp =
+      parseOk(server.handlePayload(makeRequest("vrange", kSource)));
+  ASSERT_TRUE(vresp.getBool("ok", false));
+  EXPECT_EQ(vresp.get("result").getString("err", "?"), vexpect.err);
+}
+
+// ---------------------------------------------------------------------------
+// Cache tiers
+
+TEST(ServiceCache, RepeatRequestHitsMemoryTier) {
+  service::Server server({});
+  service::Json first =
+      parseOk(server.handlePayload(makeRequest("analyze", kSource)));
+  service::Json second =
+      parseOk(server.handlePayload(makeRequest("analyze", kSource)));
+  EXPECT_EQ(first.getString("cached", "?"), "miss");
+  EXPECT_EQ(second.getString("cached", "?"), "memory");
+  EXPECT_EQ(second.get("result").write(), first.get("result").write());
+  EXPECT_EQ(server.cache().counters().responseHits.value(), 1u);
+  EXPECT_EQ(server.cache().counters().misses.value(), 1u);
+}
+
+TEST(ServiceCache, RelatedRequestReusesLiveCompilation) {
+  // analyze then csan on the same source: different response keys, same
+  // source fingerprint — the second request must reuse the analyzed
+  // program instead of re-running the pipeline.
+  service::Server server({});
+  (void)server.handlePayload(makeRequest("analyze", kSource));
+  service::Json resp =
+      parseOk(server.handlePayload(makeRequest("csan", kSource)));
+  ASSERT_TRUE(resp.getBool("ok", false));
+  EXPECT_EQ(resp.getString("cached", "?"), "compilation");
+  EXPECT_EQ(server.cache().counters().compilationHits.value(), 1u);
+
+  driver::RunOptions o;
+  o.doCsan = true;
+  EXPECT_EQ(resp.get("result").getString("err", "?"),
+            driver::runSource(kSource, "test.cp", o).err);
+}
+
+TEST(ServiceCache, EvictionRecomputesIdentically) {
+  service::ServerOptions opts;
+  opts.memEntries = 1;
+  service::Server server(opts);
+  service::Json first =
+      parseOk(server.handlePayload(makeRequest("analyze", kSource)));
+  (void)server.handlePayload(makeRequest("analyze", kRacySource));
+  service::Json again =
+      parseOk(server.handlePayload(makeRequest("analyze", kSource)));
+  EXPECT_EQ(again.getString("cached", "?"), "miss");  // evicted
+  EXPECT_EQ(again.get("result").write(), first.get("result").write());
+  EXPECT_GE(server.cache().counters().responseEvictions.value(), 1u);
+}
+
+TEST(ServiceCache, ZeroCapacityDisablesMemoryTier) {
+  service::ServerOptions opts;
+  opts.memEntries = 0;
+  service::Server server(opts);
+  (void)server.handlePayload(makeRequest("analyze", kSource));
+  service::Json second =
+      parseOk(server.handlePayload(makeRequest("analyze", kSource)));
+  EXPECT_EQ(second.getString("cached", "?"), "miss");
+}
+
+TEST(ServiceCache, DiskTierSurvivesRestart) {
+  ScratchDir dir("disk_restart");
+  service::ServerOptions opts;
+  opts.cacheDir = dir.path.string();
+  std::string firstResult;
+  {
+    service::Server server(opts);
+    service::Json first =
+        parseOk(server.handlePayload(makeRequest("analyze", kSource)));
+    firstResult = first.get("result").write();
+  }
+  service::Server restarted(opts);
+  service::Json warm =
+      parseOk(restarted.handlePayload(makeRequest("analyze", kSource)));
+  EXPECT_EQ(warm.getString("cached", "?"), "disk");
+  EXPECT_EQ(warm.get("result").write(), firstResult);
+  EXPECT_EQ(restarted.cache().counters().diskHits.value(), 1u);
+}
+
+TEST(ServiceCache, CorruptedDiskEntriesAreRejectedAndRecomputed) {
+  ScratchDir dir("disk_corrupt");
+  service::ServerOptions opts;
+  opts.cacheDir = dir.path.string();
+  std::string expected;
+  {
+    service::Server server(opts);
+    expected = parseOk(server.handlePayload(makeRequest("analyze", kSource)))
+                   .get("result")
+                   .write();
+  }
+  // Flip a payload byte in every entry; the checksum must catch it.
+  std::size_t corrupted = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::fstream f(entry.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('~');
+    ++corrupted;
+  }
+  ASSERT_GE(corrupted, 1u);
+
+  service::Server restarted(opts);
+  service::Json resp =
+      parseOk(restarted.handlePayload(makeRequest("analyze", kSource)));
+  EXPECT_EQ(resp.getString("cached", "?"), "miss");
+  EXPECT_EQ(resp.get("result").write(), expected);
+  EXPECT_GE(restarted.cache().disk().corruptRejected.value(), 1u);
+}
+
+TEST(ServiceCache, OtherBuildsArtifactsAreRejected) {
+  ScratchDir dir("disk_build");
+  service::ServerOptions opts;
+  opts.cacheDir = dir.path.string();
+  {
+    service::Server server(opts);
+    (void)server.handlePayload(makeRequest("analyze", kSource));
+  }
+  // Rewrite each entry's header claiming a different build fingerprint.
+  std::size_t rewritten = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string header;
+    std::getline(in, header);
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const std::size_t pos = header.find(support::buildFingerprint());
+    ASSERT_NE(pos, std::string::npos);
+    header.replace(pos, support::buildFingerprint().size(),
+                   std::string(32, 'f'));
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << header << '\n' << rest;
+    ++rewritten;
+  }
+  ASSERT_GE(rewritten, 1u);
+
+  service::Server restarted(opts);
+  service::Json resp =
+      parseOk(restarted.handlePayload(makeRequest("analyze", kSource)));
+  EXPECT_EQ(resp.getString("cached", "?"), "miss");
+  EXPECT_GE(restarted.cache().disk().buildRejected.value(), 1u);
+}
+
+TEST(ServiceCache, StartupSweepsLeftoverTmpFiles) {
+  ScratchDir dir("disk_sweep");
+  const fs::path tmp = dir.path / "deadbeef.art.tmp.12345.0";
+  std::ofstream(tmp) << "partial write from a crashed daemon";
+  ASSERT_TRUE(fs::exists(tmp));
+  service::ServerOptions opts;
+  opts.cacheDir = dir.path.string();
+  service::Server server(opts);
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+// ---------------------------------------------------------------------------
+// Stats, explore, version
+
+TEST(ServiceServer, StatsReportsCountersAndBuild) {
+  service::Server server({});
+  (void)server.handlePayload(makeRequest("analyze", kSource));
+  (void)server.handlePayload(makeRequest("analyze", kSource));
+  service::Json resp = parseOk(server.handlePayload(
+      R"({"id":9,"method":"stats"})"));
+  ASSERT_TRUE(resp.getBool("ok", false));
+  const service::Json& result = resp.get("result");
+  EXPECT_EQ(result.getString("version", ""), support::versionString());
+  EXPECT_EQ(result.getString("build", ""), support::buildFingerprint());
+  EXPECT_EQ(result.getInt("requests", 0), 3);
+  EXPECT_EQ(result.get("cache").getInt("responseHits", -1), 1);
+  EXPECT_EQ(result.get("cache").getInt("misses", -1), 1);
+}
+
+TEST(ServiceServer, ExploreReturnsOutputsAndCaches) {
+  service::Server server({});
+  service::Json resp =
+      parseOk(server.handlePayload(makeRequest("explore", kRacySource)));
+  ASSERT_TRUE(resp.getBool("ok", false));
+  const service::Json& result = resp.get("result");
+  EXPECT_TRUE(result.getBool("complete", false));
+  // The racy program prints 1 or 2 depending on schedule.
+  EXPECT_EQ(result.get("outputs").items().size(), 2u);
+  service::Json warm =
+      parseOk(server.handlePayload(makeRequest("explore", kRacySource)));
+  EXPECT_EQ(warm.getString("cached", "?"), "memory");
+  EXPECT_EQ(warm.get("result").write(), result.write());
+}
+
+TEST(ServiceServer, VersionLineNamesToolAndBuild) {
+  const std::string line = support::versionLine("cssamed");
+  EXPECT_EQ(line.find("cssamed "), 0u);
+  EXPECT_NE(line.find(support::versionString()), std::string::npos);
+  EXPECT_NE(line.find(support::buildFingerprint()), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Transport: the Unix-socket accept loop
+
+TEST(ServiceSocket, ServesConcurrentClientsAndShutdownMethod) {
+  ScratchDir dir("sock");
+  const std::string sock = (dir.path / "d.sock").string();
+  service::Server server({});
+  std::thread daemon([&] { EXPECT_TRUE(server.serveUnix(sock).ok()); });
+  while (!fs::exists(sock)) std::this_thread::yield();
+
+  // Two clients with interleaved lifetimes, multiple requests each.
+  Expected<support::FdStream> c1 = support::connectUnix(sock);
+  Expected<support::FdStream> c2 = support::connectUnix(sock);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  service::Json r1 = roundTrip(*c1, makeRequest("analyze", kSource));
+  service::Json r2 = roundTrip(*c2, makeRequest("analyze", kSource));
+  EXPECT_TRUE(r1.getBool("ok", false));
+  EXPECT_TRUE(r2.getBool("ok", false));
+  EXPECT_EQ(r1.get("result").write(), r2.get("result").write());
+
+  service::Json bye =
+      roundTrip(*c1, R"({"id":99,"method":"shutdown"})");
+  EXPECT_TRUE(bye.getBool("ok", false));
+  daemon.join();
+  EXPECT_TRUE(server.shutdownRequested());
+  EXPECT_GE(server.cache().counters().responseHits.value(), 1u);
+}
+
+TEST(ServiceSocket, FramingViolationGetsFinalErrorThenDisconnect) {
+  ScratchDir dir("sock_bad");
+  const std::string sock = (dir.path / "d.sock").string();
+  service::Server server({});
+  std::thread daemon([&] { EXPECT_TRUE(server.serveUnix(sock).ok()); });
+  while (!fs::exists(sock)) std::this_thread::yield();
+
+  {
+    Expected<support::FdStream> conn = support::connectUnix(sock);
+    ASSERT_TRUE(conn.ok());
+    const char junk[8] = {'X', 'X', 'X', 'X', 4, 0, 0, 0};
+    ASSERT_TRUE(conn->writeAll(junk, sizeof junk).ok());
+    std::string response;
+    ASSERT_EQ(
+        service::readFrame(*conn, response, service::kDefaultMaxPayload),
+        service::FrameStatus::Ok);
+    service::Json resp = parseOk(response);
+    EXPECT_FALSE(resp.getBool("ok", true));
+    EXPECT_EQ(resp.get("error").getString("kind", ""), "bad-frame");
+    // The server hangs up after the final error.
+    std::string more;
+    EXPECT_EQ(
+        service::readFrame(*conn, more, service::kDefaultMaxPayload),
+        service::FrameStatus::Eof);
+  }
+
+  // The daemon survived and serves fresh connections.
+  Expected<support::FdStream> conn2 = support::connectUnix(sock);
+  ASSERT_TRUE(conn2.ok());
+  service::Json ok = roundTrip(*conn2, makeRequest("analyze", kSource));
+  EXPECT_TRUE(ok.getBool("ok", false));
+  EXPECT_EQ(server.counters().badFrames.value(), 1u);
+
+  server.requestShutdown();
+  daemon.join();
+}
+
+TEST(ServiceSocket, OversizedPayloadIsRefusedStructurally) {
+  ScratchDir dir("sock_big");
+  const std::string sock = (dir.path / "d.sock").string();
+  service::ServerOptions opts;
+  opts.maxPayload = 1024;
+  service::Server server(opts);
+  std::thread daemon([&] { EXPECT_TRUE(server.serveUnix(sock).ok()); });
+  while (!fs::exists(sock)) std::this_thread::yield();
+
+  Expected<support::FdStream> conn = support::connectUnix(sock);
+  ASSERT_TRUE(conn.ok());
+  // Header promising 1 MiB against a 1 KiB cap.
+  const unsigned char header[8] = {'c', 's', 'a', 'J', 0, 0, 0x10, 0};
+  ASSERT_TRUE(conn->writeAll(header, sizeof header).ok());
+  std::string response;
+  ASSERT_EQ(service::readFrame(*conn, response, service::kDefaultMaxPayload),
+            service::FrameStatus::Ok);
+  service::Json resp = parseOk(response);
+  EXPECT_FALSE(resp.getBool("ok", true));
+  EXPECT_NE(resp.get("error").getString("message", "").find("too-large"),
+            std::string::npos);
+
+  server.requestShutdown();
+  daemon.join();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: SIGKILL the daemon, restart from its disk cache
+
+TEST(ServiceFaultInject, KilledDaemonRestartsCleanlyFromDiskCache) {
+  ScratchDir dir("kill");
+  const fs::path cacheDir = dir.path / "cache";
+  const std::string sock = (dir.path / "d.sock").string();
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Daemon process. SIGKILLed below; _exit so no gtest teardown runs.
+    service::ServerOptions opts;
+    opts.cacheDir = cacheDir.string();
+    service::Server server(opts);
+    (void)server.serveUnix(sock);
+    ::_exit(0);
+  }
+
+  while (!fs::exists(sock)) std::this_thread::yield();
+  Expected<support::FdStream> conn = support::connectUnix(sock);
+  ASSERT_TRUE(conn.ok());
+
+  // One completed request — its response is on disk once answered.
+  service::Json first = roundTrip(*conn, makeRequest("analyze", kSource));
+  ASSERT_TRUE(first.getBool("ok", false));
+
+  // Fire a second request and kill the daemon without waiting: the kill
+  // lands mid-request. Whatever half-written state it leaves must not
+  // poison the cache directory.
+  ASSERT_TRUE(service::writeFrame(*conn, makeRequest("csan", kRacySource),
+                                  service::kDefaultMaxPayload)
+                  .ok());
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // Simulate the worst case the tmp+rename protocol allows: a partial
+  // tmp file from a write that the kill interrupted.
+  fs::create_directories(cacheDir);
+  std::ofstream(cacheDir / "feed.art.tmp.1.0") << "torn write";
+
+  // Restart on the same directory: the completed request is served from
+  // disk byte-identically, the torn tmp file is swept, and the
+  // interrupted request computes fresh.
+  service::ServerOptions opts;
+  opts.cacheDir = cacheDir.string();
+  service::Server restarted(opts);
+  EXPECT_FALSE(fs::exists(cacheDir / "feed.art.tmp.1.0"));
+  service::Json warm =
+      parseOk(restarted.handlePayload(makeRequest("analyze", kSource)));
+  EXPECT_EQ(warm.getString("cached", "?"), "disk");
+  EXPECT_EQ(warm.get("result").write(), first.get("result").write());
+  service::Json fresh =
+      parseOk(restarted.handlePayload(makeRequest("csan", kRacySource)));
+  EXPECT_TRUE(fresh.getBool("ok", false));
+}
+
+}  // namespace
+}  // namespace cssame

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "src/support/bitset.h"
+#include "src/support/counters.h"
 #include "src/support/diag.h"
+#include "src/support/fingerprint.h"
 #include "src/support/ids.h"
 #include "src/support/threadpool.h"
 #include "src/support/visited.h"
@@ -238,6 +240,88 @@ TEST(ShardedVisited, ConcurrentInsertsAllLand) {
                                     static_cast<std::uint64_t>(i)});
   });
   EXPECT_EQ(visited.size(), kN);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  support::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.waitIdle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitSizeOneRunsInline) {
+  support::ThreadPool pool(1);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  // No other thread exists; submit must have run the task already.
+  EXPECT_TRUE(ran);
+  pool.waitIdle();
+}
+
+TEST(ThreadPool, SubmitInterleavesWithParallelFor) {
+  support::ThreadPool pool(4);
+  std::atomic<int> tasks{0};
+  std::atomic<int> indices{0};
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&] { tasks.fetch_add(1, std::memory_order_relaxed); });
+  pool.parallelFor(64, [&](std::size_t, unsigned) {
+    indices.fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.waitIdle();
+  EXPECT_EQ(tasks.load(), 16);
+  EXPECT_EQ(indices.load(), 64);
+}
+
+TEST(Counter, IncrementsAndReads) {
+  support::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.inc(0);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  support::Counter c;
+  support::ThreadPool pool(4);
+  pool.parallelFor(1000, [&](std::size_t, unsigned) { c.inc(); });
+  EXPECT_EQ(c.value(), 1000u);
+}
+
+TEST(Fingerprint, DeterministicAndContentSensitive) {
+  const support::Hash128 a = support::fingerprintBytes("hello");
+  EXPECT_EQ(a, support::fingerprintBytes("hello"));
+  EXPECT_NE(a, support::fingerprintBytes("hellp"));
+  EXPECT_NE(a, support::fingerprintBytes("hello "));
+  EXPECT_NE(a, support::fingerprintBytes(""));
+}
+
+TEST(Fingerprint, LengthPrefixingSeparatesConcatenations) {
+  // "ab"+"c" and "a"+"bc" feed the same bytes; the length prefix must
+  // still separate them, or cache keys built from several fields would
+  // collide across field boundaries.
+  support::Fingerprinter f1;
+  f1.mixBytes("ab");
+  f1.mixBytes("c");
+  support::Fingerprinter f2;
+  f2.mixBytes("a");
+  f2.mixBytes("bc");
+  EXPECT_NE(f1.digest(), f2.digest());
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  const support::Hash128 h = support::fingerprintBytes("round trip");
+  const std::string hex = support::toHex(h);
+  EXPECT_EQ(hex.size(), 32u);
+  support::Hash128 back{};
+  ASSERT_TRUE(support::fromHex(hex, back));
+  EXPECT_EQ(back, h);
+  EXPECT_FALSE(support::fromHex("short", back));
+  EXPECT_FALSE(support::fromHex(std::string(32, 'g'), back));
+  EXPECT_FALSE(support::fromHex(hex + "00", back));
 }
 
 }  // namespace
