@@ -13,11 +13,18 @@
 //      Every response is compared byte-for-byte against a standalone
 //      driver::runSource run of the same request — the hard failure is
 //      any error envelope or any byte of divergence, at any concurrency.
+//   4. Fleet under fire: the same workload through a `--fleet=N` gateway
+//      (N = 1, 2, 4 forked workers) while the bench SIGKILLs a live
+//      worker every ~50 requests. The supervisor must absorb every
+//      crash — zero client-visible errors, every response still
+//      byte-identical — while the kill/death/restart counters prove the
+//      chaos actually landed.
 //
 // Results go to BENCH_service.json. Exit status is nonzero when any
 // identity check fails or the warm speedup misses its floor. CI's
 // service-smoke job runs this with CSSAME_SERVICE_SMOKE=1.
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -26,8 +33,11 @@
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+
 #include "bench/bench_util.h"
 #include "src/driver/runner.h"
+#include "src/service/fleet.h"
 #include "src/service/protocol.h"
 #include "src/service/server.h"
 #include "src/support/io.h"
@@ -276,8 +286,88 @@ ClientRun runClients(const std::string& sockPath,
   return run;
 }
 
+struct FleetRun {
+  unsigned workers = 0;
+  std::size_t requests = 0;
+  double seconds = 0;
+  std::size_t kills = 0;
+  std::size_t errors = 0;
+  bool identical = true;
+  std::uint64_t workerDeaths = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t fallbacks = 0;
+
+  [[nodiscard]] double requestsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// One client streaming the workload through a fleet gateway while this
+/// thread SIGKILLs a live worker every `killEvery` requests. The
+/// supervisor's whole job is to make that invisible: any error envelope
+/// or byte of divergence fails the experiment.
+FleetRun runFleet(const std::string& sockPath,
+                  const std::vector<WorkItem>& workload, unsigned workers,
+                  int requests, int killEvery) {
+  FleetRun run;
+  run.workers = workers;
+  run.requests = static_cast<std::size_t>(requests);
+
+  service::FleetOptions opts;
+  opts.workers = workers;
+  opts.probeIntervalMs = 25;
+  opts.backoffBaseMs = 5;
+  opts.backoffCeilingMs = 200;
+  service::Fleet fleet(opts);
+  std::thread gateway([&] { (void)fleet.serveUnix(sockPath); });
+  while (!fs::exists(sockPath)) std::this_thread::yield();
+  (void)fleet.waitAllLive(10000);
+
+  Expected<support::FdStream> conn = support::connectUnix(sockPath);
+  if (!conn) {
+    run.errors = run.requests;
+    run.identical = false;
+    fleet.requestShutdown();
+    gateway.join();
+    return run;
+  }
+
+  support::Stopwatch watch;
+  for (int i = 0; i < requests; ++i) {
+    const WorkItem& item = workload[static_cast<std::size_t>(i) %
+                                    workload.size()];
+    const RoundTripResult r = roundTrip(*conn, item.payload);
+    if (!r.ok) ++run.errors;
+    if (!matches(r, item.expected)) run.identical = false;
+    if (killEvery > 0 && i % killEvery == killEvery - 1) {
+      // Shoot whichever slot currently holds a live pid; slots caught
+      // mid-restart are skipped so every round draws blood.
+      for (unsigned probe = 0; probe < fleet.workerCount(); ++probe) {
+        const unsigned s = (static_cast<unsigned>(i / killEvery) + probe) %
+                           fleet.workerCount();
+        const pid_t victim = fleet.slotPid(s);
+        if (victim > 0 && ::kill(victim, SIGKILL) == 0) {
+          ++run.kills;
+          break;
+        }
+      }
+    }
+  }
+  run.seconds = watch.seconds();
+
+  run.workerDeaths = fleet.counters().workerDeaths.value();
+  run.restarts = fleet.counters().restarts.value();
+  run.retried = fleet.counters().retried.value();
+  run.fallbacks = fleet.counters().fallbacks.value();
+  fleet.requestShutdown();
+  gateway.join();
+  return run;
+}
+
 void writeJson(const ColdWarm& cw, const std::vector<ClientRun>& runs,
-               unsigned hw, const char* path) {
+               const std::vector<FleetRun>& fleets, unsigned hw,
+               const char* path) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_service: cannot write %s\n", path);
@@ -317,6 +407,26 @@ void writeJson(const ColdWarm& cw, const std::vector<ClientRun>& runs,
         << "      \"responses_identical_to_standalone\": "
         << (r.identical ? "true" : "false") << "\n    }"
         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"fleet\": [\n";
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    const FleetRun& f = fleets[i];
+    out << "    {\n"
+        << "      \"workers\": " << f.workers << ",\n"
+        << "      \"requests\": " << f.requests << ",\n"
+        << "      \"seconds\": " << f.seconds << ",\n"
+        << "      \"requests_per_second\": " << f.requestsPerSecond()
+        << ",\n"
+        << "      \"kills_during_load\": " << f.kills << ",\n"
+        << "      \"worker_deaths_observed\": " << f.workerDeaths << ",\n"
+        << "      \"restarts\": " << f.restarts << ",\n"
+        << "      \"requests_retried\": " << f.retried << ",\n"
+        << "      \"requests_fallback_local\": " << f.fallbacks << ",\n"
+        << "      \"errors\": " << f.errors << ",\n"
+        << "      \"responses_identical_to_standalone\": "
+        << (f.identical ? "true" : "false") << "\n    }"
+        << (i + 1 < fleets.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -371,12 +481,34 @@ int main(int argc, char** argv) {
     clientsClean = clientsClean && ok;
   }
 
-  writeJson(cw, runs, hw, "BENCH_service.json");
+  const int fleetRequests = smokeMode() ? 200 : 1000;
+  const int killEvery = 50;
+  std::vector<FleetRun> fleets;
+  for (unsigned workers : {1u, 2u, 4u})
+    fleets.push_back(
+        runFleet(sockPath, workload, workers, fleetRequests, killEvery));
+
+  bool fleetClean = true;
+  for (const FleetRun& f : fleets) {
+    std::snprintf(buf, sizeof buf, "%.0f req/s (%zu kills, %zu err)",
+                  f.requestsPerSecond(), f.kills, f.errors);
+    char metric[64];
+    std::snprintf(metric, sizeof metric, "fleet=%u under kill-loop",
+                  f.workers);
+    // The chaos must land (kills > 0 and the supervisor saw deaths) and
+    // must stay invisible to the client.
+    const bool ok = f.errors == 0 && f.identical && f.kills > 0 &&
+                    f.workerDeaths > 0;
+    tableRowStr(metric, "0 errors, identical", buf, ok);
+    fleetClean = fleetClean && ok;
+  }
+
+  writeJson(cw, runs, fleets, hw, "BENCH_service.json");
   std::printf("  wrote BENCH_service.json\n\n");
   fs::remove_all(scratch);
 
   if (!cw.identical || !cw.diskTierHit || cw.speedup() < 10.0 ||
-      !clientsClean)
+      !clientsClean || !fleetClean)
     return 1;
   return runBenchmarks(argc, argv);
 }

@@ -22,6 +22,12 @@
 //                     SOCK instead of analyzing in-process; output is
 //                     byte-identical to a local run (both sides call the
 //                     same driver::runSource)
+//   --timeout-ms=N    client-side deadline per request in --connect mode
+//                     (default 30000; negative waits forever). A timed-out
+//                     or failed exchange is retried once on a fresh
+//                     connection after a small jittered pause — a daemon
+//                     mid-restart gets one chance to come back — and then
+//                     reported as a clear error with exit code 1.
 //   --version         print version and build fingerprint, then exit
 //
 // With several input files each file is analyzed independently; with
@@ -33,8 +39,11 @@
 // SIGINT/SIGTERM during a batch run stop scheduling new files, flush the
 // buffered output of every file already analyzed (in input order, as
 // usual), and exit 130 — a killed batch never loses finished work.
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +51,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/driver/runner.h"
@@ -59,6 +69,8 @@ struct Options {
   driver::RunOptions run;
   unsigned jobs = 1;
   std::string connectPath;
+  /// Per-request wall-clock budget in --connect mode; negative disables.
+  int timeoutMs = 30000;
 };
 
 /// Set by the SIGINT/SIGTERM handler; the batch loop polls it before
@@ -72,7 +84,8 @@ void usage() {
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
                "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
                "[--vrange] [--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
-               "[--connect=SOCK] [--version] <file> [more files...]\n");
+               "[--connect=SOCK] [--timeout-ms=N] [--version] "
+               "<file> [more files...]\n");
   std::exit(2);
 }
 
@@ -104,20 +117,30 @@ int processFile(const std::string& file, const driver::RunOptions& o,
 
 /// Client mode: ships each file to a running cssamed and unpacks the
 /// response into the same (out, err, code) triple a local run produces.
-int processRemote(service::Json request, support::FdStream& conn,
-                  std::size_t maxPayload, std::string& out,
-                  std::string& err) {
-  if (Status s = service::writeFrame(conn, request.write(), maxPayload);
+/// Every frame carries the client deadline, so a wedged or dead daemon
+/// surfaces as a bounded failure, never a hang. `transportFailed` is set
+/// when the *connection* broke (send/recv failure or timeout — the stream
+/// is desynchronized and must be abandoned), as opposed to the daemon
+/// answering with a structured error.
+int processRemote(const service::Json& request, support::FdStream& conn,
+                  std::size_t maxPayload, int timeoutMs, std::string& out,
+                  std::string& err, bool* transportFailed = nullptr) {
+  if (transportFailed) *transportFailed = false;
+  const support::Deadline deadline = support::Deadline::in(timeoutMs);
+  if (Status s = service::writeFrameDeadline(conn, request.write(),
+                                             maxPayload, deadline);
       !s.ok()) {
     err += "cssamec: send failed: " + s.fault().message + "\n";
+    if (transportFailed) *transportFailed = true;
     return 1;
   }
   std::string payload;
   const service::FrameStatus fs =
-      service::readFrame(conn, payload, maxPayload);
+      service::readFrameDeadline(conn, payload, maxPayload, deadline);
   if (fs != service::FrameStatus::Ok) {
     err += std::string("cssamec: bad response frame: ") +
            service::frameStatusName(fs) + "\n";
+    if (transportFailed) *transportFailed = true;
     return 1;
   }
   Expected<service::Json> response = service::parseJson(payload);
@@ -137,6 +160,88 @@ int processRemote(service::Json request, support::FdStream& conn,
   out += result.getString("out", "");
   err += result.getString("err", "");
   return static_cast<int>(result.getInt("code", 0));
+}
+
+/// One request with one recovery attempt: when the exchange breaks (the
+/// daemon died, was restarting, or timed out), pause a jittered moment —
+/// so a thundering herd of clients doesn't reconnect in lockstep — and
+/// retry once on a fresh connection. The first attempt's error text is
+/// discarded if the retry succeeds; otherwise the retry's error stands.
+int processRemoteWithRetry(const service::Json& request,
+                           support::FdStream& conn,
+                           const std::string& connectPath,
+                           std::size_t maxPayload, int timeoutMs,
+                           std::string& out, std::string& err) {
+  std::string out1, err1;
+  bool transportFailed = false;
+  const int code = processRemote(request, conn, maxPayload, timeoutMs, out1,
+                                 err1, &transportFailed);
+  if (!transportFailed) {
+    out += out1;
+    err += err1;
+    return code;
+  }
+  const int jitterMs = 10 + static_cast<int>(::getpid() % 50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(jitterMs));
+  Expected<support::FdStream> fresh = support::connectUnix(connectPath);
+  if (!fresh) {
+    err += err1;
+    err += "cssamec: reconnect to '" + connectPath +
+           "' failed: " + fresh.fault().message + "\n";
+    return 1;
+  }
+  conn = std::move(*fresh);
+  std::string out2, err2;
+  const int retryCode = processRemote(request, conn, maxPayload, timeoutMs,
+                                      out2, err2, &transportFailed);
+  if (transportFailed) err += err1;  // both attempts failed: report both
+  out += out2;
+  err += err2;
+  return retryCode;
+}
+
+/// With --stats in --connect mode, asks the daemon for its `stats` body
+/// and renders the fleet-health section (when the far end is a fleet
+/// gateway): routing/retry/fallback/deadline counters and per-worker
+/// restart counts. Returns the empty string for a standalone daemon (or
+/// any failure); the caller prints to stderr after the per-file output,
+/// like the local per-phase stats.
+std::string fleetHealthReport(support::FdStream& conn,
+                              std::size_t maxPayload, int timeoutMs) {
+  service::Json request = service::Json::object();
+  request.set("id", "stats").set("method", "stats");
+  const support::Deadline deadline = support::Deadline::in(timeoutMs);
+  if (Status s = service::writeFrameDeadline(conn, request.write(),
+                                             maxPayload, deadline);
+      !s.ok())
+    return "";
+  std::string payload;
+  if (service::readFrameDeadline(conn, payload, maxPayload, deadline) !=
+      service::FrameStatus::Ok)
+    return "";
+  Expected<service::Json> response = service::parseJson(payload);
+  if (!response || !response->getBool("ok", false)) return "";
+  const service::Json& result = response->get("result");
+  const service::Json& fleet = result.get("fleet");
+  if (!fleet.isObject()) return "";  // a standalone daemon: nothing to add
+  auto n = [&fleet](const char* key) {
+    return std::to_string(fleet.getInt(key, 0));
+  };
+  std::string report = "== service fleet health\n";
+  report += "gateway: " + n("workers") + " workers, " + n("requests") +
+            " requests (" + n("routed") + " routed, " + n("retried") +
+            " retried, " + n("fallbacks") + " fallbacks, " +
+            n("deadlines") + " deadline expiries)\n";
+  report += "supervision: " + n("workerDeaths") + " worker deaths, " +
+            n("restarts") + " restarts (" + n("failedRestarts") +
+            " failed), " + n("breakerTrips") + " breaker trips, " +
+            n("probeFailures") + "/" + n("probes") + " probes failed\n";
+  for (const service::Json& slot : result.get("slots").items()) {
+    report += "worker " + std::to_string(slot.getInt("slot", -1)) + ": " +
+              slot.getString("state", "?") + ", restarts " +
+              std::to_string(slot.getInt("restarts", 0)) + "\n";
+  }
+  return report;
 }
 
 /// Builds the analyze request for one file from the CLI options — the
@@ -197,6 +302,8 @@ int main(int argc, char** argv) {
       o.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
     } else if (std::strncmp(arg, "--connect=", 10) == 0) {
       o.connectPath = arg + 10;
+    } else if (std::strncmp(arg, "--timeout-ms=", 13) == 0) {
+      o.timeoutMs = static_cast<int>(std::strtol(arg + 13, nullptr, 10));
     } else if (std::strcmp(arg, "--run") == 0) {
       o.run.doRun = true;
       if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
@@ -229,6 +336,7 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, onSignal);
 
   std::vector<std::string> outs(files.size()), errs(files.size());
+  std::string fleetHealth;
   std::vector<int> codes(files.size(), 0);
   // char, not bool: vector<bool> packs bits, and parallel workers writing
   // adjacent elements would race on the shared bytes.
@@ -252,11 +360,15 @@ int main(int argc, char** argv) {
         ran[i] = true;
         continue;
       }
-      codes[i] = processRemote(buildRequest(files[i], source, o.run, i),
-                               *conn, service::kDefaultMaxPayload, outs[i],
-                               errs[i]);
+      codes[i] = processRemoteWithRetry(
+          buildRequest(files[i], source, o.run, i), *conn, o.connectPath,
+          service::kDefaultMaxPayload, o.timeoutMs, outs[i], errs[i]);
       ran[i] = true;
     }
+    if (o.run.doStats && conn->valid() &&
+        !gInterrupted.load(std::memory_order_relaxed))
+      fleetHealth = fleetHealthReport(*conn, service::kDefaultMaxPayload,
+                                      o.timeoutMs);
   } else {
     support::ThreadPool pool(o.jobs);
     pool.parallelFor(files.size(), [&](std::size_t i, unsigned) {
@@ -278,6 +390,7 @@ int main(int argc, char** argv) {
     std::fwrite(errs[i].data(), 1, errs[i].size(), stderr);
     if (code == 0) code = codes[i];
   }
+  std::fwrite(fleetHealth.data(), 1, fleetHealth.size(), stderr);
   if (gInterrupted.load(std::memory_order_relaxed)) {
     std::fflush(stdout);
     std::fprintf(stderr, "cssamec: interrupted; flushed completed files\n");

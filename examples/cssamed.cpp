@@ -13,6 +13,15 @@
 //                      inline on their connection threads; 0 = one worker
 //                      per hardware thread)
 //   --max-payload=N    per-frame payload bound in bytes (default 16 MiB)
+//   --fleet=N          supervised multi-process mode: a gateway owning the
+//                      socket routes requests across N forked worker
+//                      daemons (consistent hashing, crash-restart with
+//                      backoff, retry + local fallback; docs/SERVICE.md).
+//                      Requires --socket. 0 (default) serves in-process.
+//   --request-deadline-ms=N
+//                      fleet only: wall-clock budget per routed request
+//                      before the gateway retries/falls back (default
+//                      30000; negative disables)
 //   --version          print version and build fingerprint, then exit
 //
 // The daemon answers length-prefixed JSON requests (protocol and methods
@@ -20,13 +29,16 @@
 // are byte-identical to standalone `cssamec` runs because both call the
 // same driver entry points. SIGINT/SIGTERM shut down gracefully: the
 // accept loop stops, in-flight requests finish, connection threads are
-// joined, and the disk cache is left consistent for the next start.
+// joined, and the disk cache is left consistent for the next start. In
+// fleet mode shutdown additionally EOFs every worker channel and reaps
+// every child.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/service/fleet.h"
 #include "src/service/server.h"
 #include "src/support/version.h"
 
@@ -35,18 +47,26 @@ using namespace cssame;
 namespace {
 
 service::Server* gServer = nullptr;
+service::Fleet* gFleet = nullptr;
 
 void onSignal(int) {
   // requestShutdown is async-signal-safe: an atomic store plus a write(2)
   // to the self-pipe the accept loop polls.
+  if (gFleet != nullptr) gFleet->requestShutdown();
   if (gServer != nullptr) gServer->requestShutdown();
+}
+
+void onChild(int) {
+  // Wakes the fleet supervisor so a dead worker is reaped and restarted
+  // immediately; also just an atomic-store-plus-write(2).
+  if (gFleet != nullptr) gFleet->notifyChildEvent();
 }
 
 void usage() {
   std::fprintf(stderr,
                "usage: cssamed (--socket=PATH | --stdio) [--cache-dir=DIR] "
                "[--mem-entries=N] [--workers=N] [--max-payload=N] "
-               "[--version]\n");
+               "[--fleet=N] [--request-deadline-ms=N] [--version]\n");
   std::exit(2);
 }
 
@@ -55,7 +75,9 @@ void usage() {
 int main(int argc, char** argv) {
   std::string socketPath;
   bool stdio = false;
-  service::ServerOptions opts;
+  service::FleetOptions fleetOpts;
+  service::ServerOptions& opts = fleetOpts.server;
+  unsigned fleet = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -75,19 +97,45 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
     } else if (std::strncmp(arg, "--max-payload=", 14) == 0) {
       opts.maxPayload = std::strtoul(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--fleet=", 8) == 0) {
+      fleet = static_cast<unsigned>(std::strtoul(arg + 8, nullptr, 10));
+    } else if (std::strncmp(arg, "--request-deadline-ms=", 22) == 0) {
+      fleetOpts.requestDeadlineMs =
+          static_cast<int>(std::strtol(arg + 22, nullptr, 10));
     } else {
       usage();
     }
   }
   if (stdio == !socketPath.empty()) usage();  // exactly one transport
+  if (fleet > 0 && stdio) usage();            // the fleet needs the socket
+
+  // writeAll already sends with MSG_NOSIGNAL, but ignore SIGPIPE too so
+  // no stray write to a dead client can ever kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (fleet > 0) {
+    fleetOpts.workers = fleet;
+    service::Fleet gateway(fleetOpts);
+    gFleet = &gateway;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGCHLD, onChild);
+    std::fprintf(stderr, "%s gateway (%u workers) listening on %s\n",
+                 support::versionLine("cssamed").c_str(), fleet,
+                 socketPath.c_str());
+    Status s = gateway.serveUnix(socketPath);
+    gFleet = nullptr;
+    if (!s.ok()) {
+      std::fprintf(stderr, "cssamed: %s\n", s.fault().message.c_str());
+      return 1;
+    }
+    return 0;
+  }
 
   service::Server server(opts);
   gServer = &server;
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
-  // writeAll already sends with MSG_NOSIGNAL, but ignore SIGPIPE too so
-  // no stray write to a dead client can ever kill the daemon.
-  std::signal(SIGPIPE, SIG_IGN);
 
   if (stdio) {
     server.serveStdio();

@@ -244,6 +244,15 @@ RunOutput runCompiled(const ir::Program& prog, const Compilation& c,
     r.err += std::string("cssamec: internal invariant violated: ") +
              e.what() + "\n";
     r.code = 1;
+  } catch (const std::exception& e) {
+    // The fleet gateway's in-process fallback relies on this function
+    // never throwing: any escape (bad_alloc included) would take the
+    // gateway down with the request it was trying to save.
+    r.err += std::string("cssamec: internal error: ") + e.what() + "\n";
+    r.code = 1;
+  } catch (...) {
+    r.err += "cssamec: internal error: unknown exception\n";
+    r.code = 1;
   }
   return r;
 }
@@ -259,6 +268,18 @@ RunOutput runSource(std::string_view source, const std::string& fileName,
     RunOutput r;
     r.err = std::string("cssamec: internal invariant violated: ") + e.what() +
             "\n";
+    r.code = 1;
+    return r;
+  } catch (const std::exception& e) {
+    // Same contract for every other escape: the daemon (and the fleet
+    // gateway's last-resort fallback) must outlive any single request.
+    RunOutput r;
+    r.err = std::string("cssamec: internal error: ") + e.what() + "\n";
+    r.code = 1;
+    return r;
+  } catch (...) {
+    RunOutput r;
+    r.err = "cssamec: internal error: unknown exception\n";
     r.code = 1;
     return r;
   }

@@ -1,9 +1,13 @@
 #include "src/service/cache.h"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -67,9 +71,25 @@ std::optional<std::string> DiskStore::lookup(const support::Hash128& key) {
   return payload;
 }
 
+void DiskStore::noteWriteFailure(int err) {
+  writeFailed.inc();
+  const bool fatal = err == ENOSPC || err == EDQUOT || err == EACCES ||
+                     err == EROFS || err == EPERM;
+  const unsigned consecutive =
+      consecutiveWriteFailures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!fatal && consecutive < kWriteFailureLimit) return;
+  if (!writesDisabled_.exchange(true, std::memory_order_relaxed)) {
+    degraded.inc();
+    std::fprintf(stderr,
+                 "cssamed: disk cache '%s' unwritable (%s); degrading to "
+                 "memory-only caching\n",
+                 dir_.c_str(), std::strerror(err));
+  }
+}
+
 void DiskStore::insert(const support::Hash128& key,
                        const std::string& payload) {
-  if (!enabled()) return;
+  if (!writesEnabled()) return;
   const std::string path = pathFor(key);
   // Unique per process and per write, so two threads (or two daemons
   // sharing a cache dir) never interleave bytes in one tmp file; rename
@@ -79,17 +99,21 @@ void DiskStore::insert(const support::Hash128& key,
       path + ".tmp." + std::to_string(::getpid()) + "." +
       std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
   {
+    errno = 0;
     std::ofstream out(tmpUnique, std::ios::binary | std::ios::trunc);
     if (!out) {
-      writeFailed.inc();
+      noteWriteFailure(errno);
       return;
     }
     out << "cssame-artifact v1 " << support::buildFingerprint() << ' '
         << support::toHex(key) << ' ' << payload.size() << ' '
         << support::toHex(support::fingerprintBytes(payload)) << '\n';
     out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    // Flush before the badbit check: a full disk often surfaces only
+    // when buffered bytes hit the kernel.
+    out.flush();
     if (!out) {
-      writeFailed.inc();
+      noteWriteFailure(errno);
       out.close();
       std::remove(tmpUnique.c_str());
       return;
@@ -98,9 +122,11 @@ void DiskStore::insert(const support::Hash128& key,
   std::error_code ec;
   fs::rename(tmpUnique, path, ec);
   if (ec) {
-    writeFailed.inc();
+    noteWriteFailure(ec.value());
     std::remove(tmpUnique.c_str());
+    return;
   }
+  consecutiveWriteFailures_.store(0, std::memory_order_relaxed);
 }
 
 std::size_t DiskStore::sweepTmp() {
@@ -109,11 +135,20 @@ std::size_t DiskStore::sweepTmp() {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.find(".tmp") != std::string::npos) {
-      std::error_code rmEc;
-      fs::remove(entry.path(), rmEc);
-      if (!rmEc) ++removed;
-    }
+    const std::size_t tag = name.find(".tmp.");
+    if (tag == std::string::npos) continue;
+    // "<key>.art.tmp.<pid>.<seq>" — skip files whose writer still runs
+    // (a fleet sibling sharing this directory, mid-insert). kill(pid, 0)
+    // probes existence without signaling; our own pid counts as live so
+    // a concurrent insert on this process is never self-swept either.
+    const pid_t writer =
+        static_cast<pid_t>(std::atol(name.c_str() + tag + 5));
+    if (writer > 0 &&
+        (::kill(writer, 0) == 0 || errno == EPERM))
+      continue;
+    std::error_code rmEc;
+    fs::remove(entry.path(), rmEc);
+    if (!rmEc) ++removed;
   }
   return removed;
 }

@@ -27,6 +27,7 @@
 // (docs/SERVICE.md).
 #pragma once
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -135,21 +136,45 @@ class DiskStore {
   /// Persists atomically: write to a tmp name, fsync-free rename into
   /// place. A crash mid-write leaves only a tmp file that lookups never
   /// read and sweepTmp() removes on the next daemon start.
+  ///
+  /// Write failures can never fail a request: a full (ENOSPC/EDQUOT) or
+  /// unwritable (EACCES/EROFS) filesystem degrades the store to
+  /// memory-only caching — writes stop, lookups of existing entries keep
+  /// answering — with a one-time warning and the `degraded` counter set.
+  /// Other errors degrade after kWriteFailureLimit consecutive failures.
   void insert(const support::Hash128& key, const std::string& payload);
 
-  /// Removes leftover tmp files from a crashed writer. Returns the count.
+  /// Removes leftover tmp files from crashed writers. Tmp names embed
+  /// the writing pid; files whose writer is still alive (a fleet sibling
+  /// mid-insert on the shared directory) are left alone, so a restarting
+  /// worker can never tear a live writer's rename out from under it.
+  /// Returns the count removed.
   std::size_t sweepTmp();
 
-  /// Rejection counters (corrupt entries, build mismatches) and write
-  /// failures, for the stats report.
+  /// Rejection counters (corrupt entries, build mismatches), write
+  /// failures and the memory-only degrade flag, for the stats report.
   support::Counter corruptRejected;
   support::Counter buildRejected;
   support::Counter writeFailed;
+  support::Counter degraded;  ///< 1 once writes are disabled (sticky)
+
+  /// Consecutive non-fatal write failures tolerated before degrading.
+  static constexpr unsigned kWriteFailureLimit = 8;
+
+  [[nodiscard]] bool writesEnabled() const {
+    return enabled() && !writesDisabled_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] std::string pathFor(const support::Hash128& key) const;
+  /// Records one failed write; `fatalErrno` (ENOSPC and friends) or the
+  /// consecutive-failure limit flips the store to memory-only, warning
+  /// once on stderr.
+  void noteWriteFailure(int err);
 
   std::string dir_;
+  std::atomic<bool> writesDisabled_{false};
+  std::atomic<unsigned> consecutiveWriteFailures_{0};
 };
 
 /// Where a response came from, reported in every response envelope and

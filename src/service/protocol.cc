@@ -17,16 +17,21 @@ const char* frameStatusName(FrameStatus s) {
     case FrameStatus::BadMagic: return "bad-magic";
     case FrameStatus::TooLarge: return "frame-too-large";
     case FrameStatus::Truncated: return "truncated";
+    case FrameStatus::TimedOut: return "timed-out";
   }
   return "?";
 }
 
-FrameStatus readFrame(support::FdStream& stream, std::string& payload,
-                      std::size_t maxPayload) {
+FrameStatus readFrameDeadline(support::FdStream& stream,
+                              std::string& payload, std::size_t maxPayload,
+                              support::Deadline deadline) {
   char header[8];
   bool eof = false;
-  if (Status s = stream.readExact(header, sizeof header, &eof); !s.ok())
-    return FrameStatus::Truncated;
+  if (Status s = stream.readExactDeadline(header, sizeof header, deadline,
+                                          &eof);
+      !s.ok())
+    return support::isDeadlineFault(s.fault()) ? FrameStatus::TimedOut
+                                               : FrameStatus::Truncated;
   if (eof) return FrameStatus::Eof;
   if (std::memcmp(header, kMagic, sizeof kMagic) != 0)
     return FrameStatus::BadMagic;
@@ -36,13 +41,22 @@ FrameStatus readFrame(support::FdStream& stream, std::string& payload,
   if (len > maxPayload) return FrameStatus::TooLarge;
   payload.resize(len);
   if (len == 0) return FrameStatus::Ok;
-  if (Status s = stream.readExact(payload.data(), len); !s.ok())
-    return FrameStatus::Truncated;
+  if (Status s = stream.readExactDeadline(payload.data(), len, deadline);
+      !s.ok())
+    return support::isDeadlineFault(s.fault()) ? FrameStatus::TimedOut
+                                               : FrameStatus::Truncated;
   return FrameStatus::Ok;
 }
 
-Status writeFrame(support::FdStream& stream, std::string_view payload,
-                  std::size_t maxPayload) {
+FrameStatus readFrame(support::FdStream& stream, std::string& payload,
+                      std::size_t maxPayload) {
+  return readFrameDeadline(stream, payload, maxPayload,
+                           support::Deadline());
+}
+
+Status writeFrameDeadline(support::FdStream& stream,
+                          std::string_view payload, std::size_t maxPayload,
+                          support::Deadline deadline) {
   if (payload.size() > maxPayload ||
       payload.size() > 0xffffffffull)
     return Status::fail(FaultKind::PassError, "protocol",
@@ -55,11 +69,21 @@ Status writeFrame(support::FdStream& stream, std::string_view payload,
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i)
     header[4 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
-  if (Status s = stream.writeAll(header, sizeof header); !s.ok()) return s;
+  if (Status s = stream.writeAllDeadline(header, sizeof header, deadline);
+      !s.ok())
+    return s;
   if (!payload.empty())
-    if (Status s = stream.writeAll(payload.data(), payload.size()); !s.ok())
+    if (Status s = stream.writeAllDeadline(payload.data(), payload.size(),
+                                           deadline);
+        !s.ok())
       return s;
   return Status::okStatus();
+}
+
+Status writeFrame(support::FdStream& stream, std::string_view payload,
+                  std::size_t maxPayload) {
+  return writeFrameDeadline(stream, payload, maxPayload,
+                            support::Deadline());
 }
 
 }  // namespace cssame::service

@@ -36,6 +36,7 @@ enum class FrameStatus : std::uint8_t {
   BadMagic,      ///< stream does not speak this protocol
   TooLarge,      ///< announced length exceeds maxPayload
   Truncated,     ///< stream ended or failed mid-frame
+  TimedOut,      ///< deadline expired before the frame completed
 };
 
 [[nodiscard]] const char* frameStatusName(FrameStatus s);
@@ -54,5 +55,21 @@ enum class FrameStatus : std::uint8_t {
                                 std::string_view payload,
                                 std::size_t maxPayload =
                                     kDefaultMaxPayload);
+
+/// readFrame with a wall-clock bound covering the whole frame: a peer
+/// that stalls mid-header or mid-payload yields TimedOut instead of
+/// blocking forever. The fleet gateway and `cssamec --connect` drive
+/// every worker/daemon exchange through these two.
+[[nodiscard]] FrameStatus readFrameDeadline(support::FdStream& stream,
+                                            std::string& payload,
+                                            std::size_t maxPayload,
+                                            support::Deadline deadline);
+
+/// writeFrame with a wall-clock bound (isDeadlineFault distinguishes the
+/// expiry from transport errors).
+[[nodiscard]] Status writeFrameDeadline(support::FdStream& stream,
+                                        std::string_view payload,
+                                        std::size_t maxPayload,
+                                        support::Deadline deadline);
 
 }  // namespace cssame::service

@@ -110,7 +110,14 @@ Json Server::statsJson() {
       .set("diskCorruptRejected", cache_.disk().corruptRejected.value())
       .set("diskBuildRejected", cache_.disk().buildRejected.value())
       .set("diskWriteFailed", cache_.disk().writeFailed.value())
+      .set("diskDegraded", cache_.disk().degraded.value())
       .set("diskEnabled", cache_.disk().enabled());
+  Json methods = Json::object();
+  methods.set("analyze", counters_.methodAnalyze.value())
+      .set("csan", counters_.methodCsan.value())
+      .set("vrange", counters_.methodVrange.value())
+      .set("explore", counters_.methodExplore.value())
+      .set("stats", counters_.methodStats.value());
   Json stats = Json::object();
   stats.set("version", support::versionString())
       .set("build", support::buildFingerprint())
@@ -119,6 +126,7 @@ Json Server::statsJson() {
       .set("badFrames", counters_.badFrames.value())
       .set("connections", counters_.connections.value())
       .set("workers", static_cast<std::int64_t>(pool_.workers()))
+      .set("methods", std::move(methods))
       .set("cache", std::move(cacheJson));
   return stats;
 }
@@ -322,10 +330,19 @@ Json Server::handleRequest(const Json& request) {
     return errorEnvelope(Json(), "invalid-request", "router",
                          "request is not a JSON object");
   const std::string method = request.getString("method", "");
-  if (method == "analyze" || method == "csan" || method == "vrange")
+  if (method == "analyze" || method == "csan" || method == "vrange") {
+    (method == "analyze"   ? counters_.methodAnalyze
+     : method == "csan"    ? counters_.methodCsan
+                           : counters_.methodVrange)
+        .inc();
     return runAnalysisMethod(method, request);
-  if (method == "explore") return runExplore(request);
+  }
+  if (method == "explore") {
+    counters_.methodExplore.inc();
+    return runExplore(request);
+  }
   if (method == "stats") {
+    counters_.methodStats.inc();
     Json env = Json::object();
     env.set("id", request.get("id"))
         .set("ok", true)

@@ -42,13 +42,21 @@ struct ServerOptions {
 };
 
 /// Monotonic service counters, exported by the `stats` method and listed
-/// in docs/ANALYSIS.md.
+/// in docs/ANALYSIS.md. The per-method counters are the request
+/// accounting the fleet gateway aggregates across workers: they break
+/// the one opaque `requests` number down by what the daemon actually
+/// spent its time on.
 struct ServiceCounters {
   support::Counter requests;         ///< frames parsed as requests
   support::Counter errors;           ///< error responses produced
   support::Counter badFrames;        ///< framing violations (conn dropped)
   support::Counter connections;      ///< connections accepted
   support::Counter shutdownRequests; ///< shutdown method calls
+  support::Counter methodAnalyze;    ///< analyze requests routed
+  support::Counter methodCsan;       ///< csan requests routed
+  support::Counter methodVrange;     ///< vrange requests routed
+  support::Counter methodExplore;    ///< explore requests routed
+  support::Counter methodStats;      ///< stats requests routed
 };
 
 class Server {

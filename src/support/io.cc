@@ -1,11 +1,15 @@
 #include "src/support/io.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 namespace cssame::support {
@@ -17,7 +21,54 @@ Fault ioFault(std::string what) {
                std::move(what) + ": " + std::strerror(errno), {}};
 }
 
+/// The structured shape of an expired I/O deadline. BudgetExceeded (not
+/// PassError) so callers can distinguish "peer too slow" from "transport
+/// broken" — isDeadlineFault() keys on exactly this pair.
+Status deadlineFault(const char* op) {
+  return Status::fail(FaultKind::BudgetExceeded, "io",
+                      std::string(op) + ": deadline expired");
+}
+
+/// Polls one fd for the requested direction within the deadline.
+/// Returns 1 ready, 0 deadline expired, -1 poll error (errno set).
+int pollWithin(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    pollfd pfd{fd, events, 0};
+    const int r = ::poll(&pfd, 1, deadline.remainingMs());
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return 0;
+    return 1;  // readable/writable or HUP/ERR — let the read/write report
+  }
+}
+
+/// Temporarily flips an fd to non-blocking; restores the original flags
+/// on destruction. writeAllDeadline needs this: a blocking send() can
+/// park past any poll() result when the buffer only has partial room.
+class NonBlockingScope {
+ public:
+  explicit NonBlockingScope(int fd) : fd_(fd) {
+    flags_ = ::fcntl(fd_, F_GETFL);
+    if (flags_ >= 0) ::fcntl(fd_, F_SETFL, flags_ | O_NONBLOCK);
+  }
+  ~NonBlockingScope() {
+    if (flags_ >= 0) ::fcntl(fd_, F_SETFL, flags_);
+  }
+  NonBlockingScope(const NonBlockingScope&) = delete;
+  NonBlockingScope& operator=(const NonBlockingScope&) = delete;
+
+ private:
+  int fd_;
+  int flags_;
+};
+
 }  // namespace
+
+bool isDeadlineFault(const Fault& fault) {
+  return fault.kind == FaultKind::BudgetExceeded && fault.pass == "io";
+}
 
 Status FdStream::readExact(void* buf, std::size_t n, bool* eof) {
   if (eof != nullptr) *eof = false;
@@ -69,11 +120,122 @@ Status FdStream::writeAll(const void* buf, std::size_t n) {
   return Status::okStatus();
 }
 
+Status FdStream::readExactDeadline(void* buf, std::size_t n,
+                                   Deadline deadline, bool* eof) {
+  if (deadline.unbounded()) return readExact(buf, n, eof);
+  if (eof != nullptr) *eof = false;
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const int ready = pollWithin(fd_, POLLIN, deadline);
+    if (ready < 0) return ioFault("poll");
+    if (ready == 0) return deadlineFault("read");
+    // POLLIN on a stream fd guarantees read() returns without blocking
+    // (data, EOF, or an error) — no O_NONBLOCK needed on this side.
+    const ssize_t r = ::read(fd_, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::fail(FaultKind::PassError, "io",
+                          std::string("read: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0 && eof != nullptr) {
+        *eof = true;
+        return Status::okStatus();
+      }
+      return Status::fail(FaultKind::PassError, "io",
+                          "unexpected end of stream (truncated frame)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::okStatus();
+}
+
+Status FdStream::writeAllDeadline(const void* buf, std::size_t n,
+                                  Deadline deadline) {
+  if (deadline.unbounded()) return writeAll(buf, n);
+  NonBlockingScope nb(fd_);
+  const char* p = static_cast<const char*>(buf);
+  std::size_t put = 0;
+  bool isSocket = true;
+  while (put < n) {
+    const int ready = pollWithin(fd_, POLLOUT, deadline);
+    if (ready < 0) return ioFault("poll");
+    if (ready == 0) return deadlineFault("write");
+    const ssize_t r =
+        isSocket ? ::send(fd_, p + put, n - put, MSG_NOSIGNAL)
+                 : ::write(fd_, p + put, n - put);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      if (isSocket && (errno == ENOTSOCK || errno == EOPNOTSUPP)) {
+        isSocket = false;
+        continue;
+      }
+      return Status::fail(FaultKind::PassError, "io",
+                          std::string("write: ") + std::strerror(errno));
+    }
+    put += static_cast<std::size_t>(r);
+  }
+  return Status::okStatus();
+}
+
 void FdStream::close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+Expected<ChildProcess> spawnChild(
+    const std::function<void(FdStream channel)>& childMain) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    return ioFault("socketpair");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const Fault f = ioFault("fork");
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return f;
+  }
+  if (pid == 0) {
+    // Child: keep only its channel end; childMain never returns.
+    ::close(fds[0]);
+    childMain(FdStream(fds[1]));
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  ChildProcess child;
+  child.pid = pid;
+  child.channel = FdStream(fds[0]);
+  return child;
+}
+
+bool childExited(pid_t pid, int* status) {
+  int local = 0;
+  const pid_t r = ::waitpid(pid, status != nullptr ? status : &local,
+                            WNOHANG);
+  // ECHILD means some other path already reaped it — gone either way.
+  return r == pid || (r < 0 && errno == ECHILD);
+}
+
+void closeFdsExcept(int keepFd) {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) {
+    // No /proc (unusual): close a generous fixed range instead.
+    for (int fd = 3; fd < 1024; ++fd)
+      if (fd != keepFd) ::close(fd);
+    return;
+  }
+  const int dirFd = ::dirfd(d);
+  while (dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    const int fd = std::atoi(e->d_name);
+    if (fd <= 2 || fd == keepFd || fd == dirFd) continue;
+    ::close(fd);
+  }
+  ::closedir(d);
 }
 
 Expected<std::pair<FdStream, FdStream>> streamPair() {

@@ -7,15 +7,71 @@
 // layer is written against FdStream and never sees the transport.
 // Everything here retries EINTR, reports failures as structured Status
 // values, and never throws.
+//
+// Two robustness primitives live here as well, both consumed by the
+// multi-process fleet (src/service/fleet.h) and the --connect client:
+//
+//   - Deadline + the *Deadline I/O variants: every read/write can carry
+//     a wall-clock bound, so a stalled peer surfaces as a structured
+//     deadline Fault instead of hanging the caller forever,
+//   - ChildProcess/spawnChild: a forked worker connected to its parent
+//     by a socketpair — the supervision unit the fleet restarts.
 #pragma once
 
+#include <sys/types.h>
+
+#include <chrono>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <utility>
 
 #include "src/support/status.h"
 
 namespace cssame::support {
+
+/// A wall-clock bound for one I/O operation. Default-constructed it is
+/// unbounded (the blocking fast path); Deadline::in(ms) expires `ms`
+/// milliseconds from now. Negative ms also means unbounded, so callers
+/// can thread "-1 = no timeout" options straight through.
+class Deadline {
+ public:
+  Deadline() = default;  // unbounded
+
+  [[nodiscard]] static Deadline in(int ms) {
+    Deadline d;
+    if (ms < 0) return d;
+    d.bounded_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  [[nodiscard]] bool unbounded() const { return !bounded_; }
+
+  /// Milliseconds left: -1 when unbounded, 0 when expired — exactly the
+  /// values poll(2) takes as its timeout.
+  [[nodiscard]] int remainingMs() const {
+    if (!bounded_) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - std::chrono::steady_clock::now());
+    return left.count() <= 0
+               ? 0
+               : static_cast<int>(
+                     std::min<long long>(left.count(), 1 << 30));
+  }
+
+  [[nodiscard]] bool expired() const { return bounded_ && remainingMs() == 0; }
+
+ private:
+  bool bounded_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// True iff a Status came from an expired I/O deadline (as opposed to a
+/// real transport error) — callers retry or degrade differently on the
+/// two.
+[[nodiscard]] bool isDeadlineFault(const Fault& fault);
 
 /// Owning wrapper around one open file descriptor. Movable, closes on
 /// destruction. A default-constructed stream is invalid (fd -1).
@@ -49,6 +105,19 @@ class FdStream {
   /// Writes all `n` bytes, retrying partial writes.
   [[nodiscard]] Status writeAll(const void* buf, std::size_t n);
 
+  /// readExact with a wall-clock bound: polls before every read so a
+  /// stalled peer produces a deadline Fault (isDeadlineFault) instead of
+  /// blocking forever. An unbounded deadline is the plain readExact.
+  [[nodiscard]] Status readExactDeadline(void* buf, std::size_t n,
+                                         Deadline deadline,
+                                         bool* eof = nullptr);
+
+  /// writeAll with a wall-clock bound. The fd is switched to
+  /// non-blocking for the duration (and restored), so a peer that stops
+  /// draining its socket cannot park the writer past the deadline.
+  [[nodiscard]] Status writeAllDeadline(const void* buf, std::size_t n,
+                                        Deadline deadline);
+
   void close();
 
  private:
@@ -58,6 +127,35 @@ class FdStream {
 /// A connected pair of bidirectional streams (socketpair) — the in-process
 /// stand-in for a client/server connection in tests and benchmarks.
 [[nodiscard]] Expected<std::pair<FdStream, FdStream>> streamPair();
+
+/// A forked worker process connected to this one by a socketpair — the
+/// unit the fleet gateway supervises. The parent holds the pid (for
+/// kill/waitpid) and its end of the channel; the child never returns
+/// from spawnChild.
+struct ChildProcess {
+  pid_t pid = -1;
+  FdStream channel;
+
+  [[nodiscard]] bool valid() const { return pid > 0; }
+};
+
+/// Forks a child that runs `childMain(channel)` and then _exit(0)s —
+/// childMain never returns control to the caller's stack in the child.
+/// The parent gets the pid and its channel end. The caller is
+/// responsible for reaping (childExited) and for closing the channel.
+[[nodiscard]] Expected<ChildProcess> spawnChild(
+    const std::function<void(FdStream channel)>& childMain);
+
+/// Non-blocking reap: true once the child has exited (status filled in,
+/// zombie collected). False while it is still running. Safe to call
+/// repeatedly; after the first true the pid is gone.
+[[nodiscard]] bool childExited(pid_t pid, int* status);
+
+/// Closes every open fd except stdin/stdout/stderr and `keepFd` — called
+/// by a freshly forked worker so inherited listener sockets, client
+/// connections and sibling channels don't leak into (and get pinned
+/// open by) the child.
+void closeFdsExcept(int keepFd);
 
 /// Client side: connects to a Unix stream socket at `path`.
 [[nodiscard]] Expected<FdStream> connectUnix(const std::string& path);

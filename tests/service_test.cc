@@ -86,6 +86,18 @@ service::Json parseOk(const std::string& payload) {
   return j.ok() ? *j : service::Json();
 }
 
+/// A pid guaranteed dead and reaped: sweepTmp() skips tmp files whose
+/// embedded writer pid is alive, so sweep tests must name a writer that
+/// verifiably isn't. Fork a trivial child and wait for it — its pid is
+/// unused until the kernel wraps around, far beyond the test's lifetime.
+pid_t deadPid() {
+  const pid_t pid = ::fork();
+  if (pid == 0) ::_exit(0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return pid;
+}
+
 /// Sends one request payload over an established connection and returns
 /// the parsed response envelope.
 service::Json roundTrip(support::FdStream& conn, const std::string& payload) {
@@ -209,6 +221,59 @@ TEST(ServiceProtocol, WriterEnforcesTheCapToo) {
   ASSERT_TRUE(pair.ok());
   EXPECT_FALSE(
       service::writeFrame(pair->first, std::string(2048, 'x'), 1024).ok());
+}
+
+TEST(ServiceProtocol, ConnectToMissingSocketFailsWithClearFault) {
+  // The client-side error a user sees first: no daemon behind the path.
+  // The fault must carry the path so the message is actionable.
+  ScratchDir dir("nosock");
+  const std::string sock = (dir.path / "no-daemon-here.sock").string();
+  Expected<support::FdStream> conn = support::connectUnix(sock);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_NE(conn.fault().message.find("no-daemon-here"), std::string::npos);
+}
+
+TEST(ServiceProtocol, DeadlineReadDeliversPromptFrames) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  const std::string payload = "{\"prompt\":true}";
+  ASSERT_TRUE(service::writeFrameDeadline(a, payload, 1024,
+                                          support::Deadline::in(5000))
+                  .ok());
+  std::string got;
+  EXPECT_EQ(service::readFrameDeadline(b, got, 1024,
+                                       support::Deadline::in(5000)),
+            service::FrameStatus::Ok);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ServiceProtocol, DeadlineReadTimesOutOnStalledPeer) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  // Half a header, then silence: mid-frame stall, not EOF.
+  ASSERT_TRUE(a.writeAll("csaJ", 4).ok());
+  std::string got;
+  EXPECT_EQ(service::readFrameDeadline(b, got, 1024,
+                                       support::Deadline::in(50)),
+            service::FrameStatus::TimedOut);
+}
+
+TEST(ServiceProtocol, DeadlineWriteTimesOutWhenPeerStopsReading) {
+  Expected<std::pair<support::FdStream, support::FdStream>> pair =
+      support::streamPair();
+  ASSERT_TRUE(pair.ok());
+  // Nobody drains the other end: a payload far beyond the socket buffer
+  // must surface as a deadline fault, not a parked thread.
+  const std::size_t big = 32u << 20;
+  Status s = service::writeFrameDeadline(pair->first,
+                                         std::string(big, 'x'), big + 1,
+                                         support::Deadline::in(50));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(support::isDeadlineFault(s.fault()));
 }
 
 // ---------------------------------------------------------------------------
@@ -466,13 +531,91 @@ TEST(ServiceCache, OtherBuildsArtifactsAreRejected) {
 
 TEST(ServiceCache, StartupSweepsLeftoverTmpFiles) {
   ScratchDir dir("disk_sweep");
-  const fs::path tmp = dir.path / "deadbeef.art.tmp.12345.0";
+  const fs::path tmp =
+      dir.path / ("deadbeef.art.tmp." + std::to_string(deadPid()) + ".0");
   std::ofstream(tmp) << "partial write from a crashed daemon";
   ASSERT_TRUE(fs::exists(tmp));
   service::ServerOptions opts;
   opts.cacheDir = dir.path.string();
   service::Server server(opts);
   EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST(ServiceCache, UnwritableDiskDegradesToMemoryOnlyWithoutFailing) {
+  ScratchDir dir("disk_degrade");
+  service::ServerOptions opts;
+  opts.cacheDir = dir.path.string();
+  service::Server server(opts);
+  // Yank the directory out from under the store: every insert's tmp-file
+  // open now fails (ENOENT — a non-fatal errno, so the store tolerates
+  // kWriteFailureLimit consecutive failures before giving up on disk).
+  fs::remove_all(dir.path);
+  const unsigned limit = service::DiskStore::kWriteFailureLimit;
+  for (unsigned i = 0; i <= limit; ++i) {
+    const std::string source =
+        "int v" + std::to_string(i) + " = " + std::to_string(i) +
+        "; print(v" + std::to_string(i) + ");";
+    service::Json resp =
+        parseOk(server.handlePayload(makeRequest("analyze", source)));
+    // Requests never fail on cache-write trouble.
+    ASSERT_TRUE(resp.getBool("ok", false)) << i;
+  }
+  EXPECT_FALSE(server.cache().disk().writesEnabled());
+  EXPECT_EQ(server.cache().disk().degraded.value(), 1u);
+  EXPECT_GE(server.cache().disk().writeFailed.value(), limit);
+  // The memory tiers still serve, and stats report the degrade.
+  service::Json warm = parseOk(
+      server.handlePayload(makeRequest("analyze", "int v0 = 0; print(v0);")));
+  EXPECT_EQ(warm.getString("cached", "?"), "memory");
+  service::Json stats =
+      parseOk(server.handlePayload(R"({"id":1,"method":"stats"})"));
+  EXPECT_EQ(stats.get("result").get("cache").getInt("diskDegraded", 0), 1);
+  dir.path.clear();  // nothing left to clean up
+}
+
+TEST(ServiceCache, FatalWriteErrnoDegradesImmediately) {
+  // EACCES/EROFS/ENOSPC-class failures don't get the consecutive-failure
+  // grace: the first one flips the store to memory-only. Root bypasses
+  // permission bits, so drive noteWriteFailure through a file standing
+  // where the tmp file's parent directory should be (ENOTDIR is not in
+  // the fatal set — use the public insert path against a directory that
+  // is really a file only when not running as root).
+  ScratchDir dir("disk_fatal");
+  service::DiskStore store(dir.path.string());
+  ASSERT_TRUE(store.writesEnabled());
+  if (::geteuid() != 0) {
+    fs::permissions(dir.path, fs::perms::owner_read | fs::perms::owner_exec);
+    store.insert(support::fingerprintBytes("k"), "payload");
+    EXPECT_FALSE(store.writesEnabled());
+    EXPECT_EQ(store.degraded.value(), 1u);
+    fs::permissions(dir.path, fs::perms::owner_all);
+  } else {
+    // As root, exhaust the non-fatal path instead so the degrade is
+    // still exercised end to end.
+    fs::remove_all(dir.path);
+    for (unsigned i = 0; i <= service::DiskStore::kWriteFailureLimit; ++i)
+      store.insert(support::fingerprintBytes(std::to_string(i)), "payload");
+    EXPECT_FALSE(store.writesEnabled());
+    EXPECT_EQ(store.degraded.value(), 1u);
+  }
+}
+
+TEST(ServiceCache, SweepSparesLiveSiblingsTmpFiles) {
+  // Fleet workers share one cache directory; a restarting worker's
+  // startup sweep must not tear a live sibling's in-flight tmp write out
+  // from under its rename. Our own pid stands in for the live sibling.
+  ScratchDir dir("disk_sweep_live");
+  const fs::path live =
+      dir.path / ("feedf00d.art.tmp." + std::to_string(::getpid()) + ".7");
+  const fs::path dead =
+      dir.path / ("deadbeef.art.tmp." + std::to_string(deadPid()) + ".0");
+  std::ofstream(live) << "sibling mid-insert";
+  std::ofstream(dead) << "crashed writer";
+  service::ServerOptions opts;
+  opts.cacheDir = dir.path.string();
+  service::Server server(opts);
+  EXPECT_TRUE(fs::exists(live));
+  EXPECT_FALSE(fs::exists(dead));
 }
 
 // ---------------------------------------------------------------------------
@@ -646,9 +789,12 @@ TEST(ServiceFaultInject, KilledDaemonRestartsCleanlyFromDiskCache) {
   ASSERT_TRUE(WIFSIGNALED(status));
 
   // Simulate the worst case the tmp+rename protocol allows: a partial
-  // tmp file from a write that the kill interrupted.
+  // tmp file from a write that the kill interrupted — named by the dead
+  // daemon's own (now reaped) pid, exactly as its insert would have.
   fs::create_directories(cacheDir);
-  std::ofstream(cacheDir / "feed.art.tmp.1.0") << "torn write";
+  const fs::path torn =
+      cacheDir / ("feed.art.tmp." + std::to_string(child) + ".0");
+  std::ofstream(torn) << "torn write";
 
   // Restart on the same directory: the completed request is served from
   // disk byte-identically, the torn tmp file is swept, and the
@@ -656,7 +802,7 @@ TEST(ServiceFaultInject, KilledDaemonRestartsCleanlyFromDiskCache) {
   service::ServerOptions opts;
   opts.cacheDir = cacheDir.string();
   service::Server restarted(opts);
-  EXPECT_FALSE(fs::exists(cacheDir / "feed.art.tmp.1.0"));
+  EXPECT_FALSE(fs::exists(torn));
   service::Json warm =
       parseOk(restarted.handlePayload(makeRequest("analyze", kSource)));
   EXPECT_EQ(warm.getString("cached", "?"), "disk");
