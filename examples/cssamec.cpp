@@ -13,6 +13,10 @@
 //   --stats           print analysis statistics and per-phase wall-clock
 //   --csan            run the full static concurrency analyzer
 //   --vrange          run the concurrent value-range analysis (CVRA)
+//   --tso             run the TSO weak-memory analysis (reorderable
+//                     store/load pairs; redundant fences)
+//   --memory-model=M  memory model for --run: sc (default) or tso (plain
+//                     stores buffer per thread and flush asynchronously)
 //   --sarif[=FILE]    emit all diagnostics as SARIF 2.1.0 (implies --csan);
 //                     FILE defaults to stdout
 //   --json[=FILE]     emit all diagnostics as compact JSON (implies --csan)
@@ -83,7 +87,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
                "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
-               "[--vrange] [--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
+               "[--vrange] [--tso] [--memory-model=sc|tso] "
+               "[--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
                "[--connect=SOCK] [--timeout-ms=N] [--version] "
                "<file> [more files...]\n");
   std::exit(2);
@@ -261,6 +266,8 @@ service::Json buildRequest(const std::string& file,
       .set("sarif", o.doSarif)
       .set("json", o.doJson)
       .set("vrange", o.doVrange)
+      .set("tso", o.doTso)
+      .set("memoryModel", support::memoryModelName(o.memoryModel))
       .set("seed", o.seed);
   service::Json request = service::Json::object();
   request.set("id", id)
@@ -290,7 +297,15 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--stats") == 0) o.run.doStats = true;
     else if (std::strcmp(arg, "--csan") == 0) o.run.doCsan = true;
     else if (std::strcmp(arg, "--vrange") == 0) o.run.doVrange = true;
-    else if (std::strncmp(arg, "--sarif", 7) == 0 &&
+    else if (std::strcmp(arg, "--tso") == 0) o.run.doTso = true;
+    else if (std::strncmp(arg, "--memory-model=", 15) == 0) {
+      if (!support::parseMemoryModel(arg + 15, o.run.memoryModel)) {
+        std::fprintf(stderr,
+                     "cssamec: unknown memory model '%s' (sc or tso)\n",
+                     arg + 15);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--sarif", 7) == 0 &&
              (arg[7] == '\0' || arg[7] == '=')) {
       o.run.doSarif = o.run.doCsan = true;
       if (arg[7] == '=') o.run.sarifPath = arg + 8;

@@ -1,0 +1,27 @@
+// Lamport's bakery algorithm (two threads, ids breaking ties) from
+// plain loads and stores. Under TSO the `choosing` store can still be
+// buffered when the ticket read executes, so a thread can pick its
+// number while the other's doorway phase is invisible — both may end up
+// inside the critical section. cssamec --tso flags the pairs.
+int choosing0, choosing1, num0, num1, data;
+cobegin {
+  thread T0 {
+    choosing0 = 1;
+    num0 = num1 + 1;
+    choosing0 = 0;
+    while (choosing1 == 1) { }
+    while (num1 != 0 && num1 < num0) { }
+    data = data + 1;
+    num0 = 0;
+  }
+  thread T1 {
+    choosing1 = 1;
+    num1 = num0 + 1;
+    choosing1 = 0;
+    while (choosing0 == 1) { }
+    while (num0 != 0 && num0 <= num1) { }
+    data = data + 1;
+    num1 = 0;
+  }
+}
+print(data);

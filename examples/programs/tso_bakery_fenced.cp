@@ -1,0 +1,29 @@
+// Bakery repaired for TSO: fences publish the doorway (`choosing`) and
+// ticket stores before the protocol reads them back, restoring mutual
+// exclusion. cssamec --tso reports nothing for this variant.
+int choosing0, choosing1, num0, num1, data;
+cobegin {
+  thread T0 {
+    choosing0 = 1;
+    fence;
+    num0 = num1 + 1;
+    choosing0 = 0;
+    fence;
+    while (choosing1 == 1) { }
+    while (num1 != 0 && num1 < num0) { }
+    data = data + 1;
+    num0 = 0;
+  }
+  thread T1 {
+    choosing1 = 1;
+    fence;
+    num1 = num0 + 1;
+    choosing1 = 0;
+    fence;
+    while (choosing0 == 1) { }
+    while (num0 != 0 && num0 <= num1) { }
+    data = data + 1;
+    num1 = 0;
+  }
+}
+print(data);

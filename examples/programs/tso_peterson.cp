@@ -1,0 +1,27 @@
+// Peterson's mutual exclusion from plain loads and stores — correct
+// under sequential consistency, broken under TSO: each thread's flag
+// store may still sit in its store buffer while it reads the other
+// thread's flag, so both can read 0 and enter the critical section
+// together (the store-buffering reordering).
+//
+//   cssamec --tso              flags the reorderable store/load pairs
+//   cssamec --run --memory-model=tso   can print 1 (a lost update);
+//   under --memory-model=sc the program always prints 2.
+int flag0, flag1, turn, data;
+cobegin {
+  thread T0 {
+    flag0 = 1;
+    turn = 1;
+    while (flag1 == 1 && turn == 1) { }
+    data = data + 1;
+    flag0 = 0;
+  }
+  thread T1 {
+    flag1 = 1;
+    turn = 0;
+    while (flag0 == 1 && turn == 0) { }
+    data = data + 1;
+    flag1 = 0;
+  }
+}
+print(data);

@@ -1,0 +1,25 @@
+// Peterson's algorithm repaired for TSO: a fence between the protocol
+// stores and the spin-loop reads drains the store buffer, so the flag
+// writes are visible before either thread inspects the other's flag.
+// cssamec --tso reports nothing, and the explorer finds no critical
+// section overlap under either memory model.
+int flag0, flag1, turn, data;
+cobegin {
+  thread T0 {
+    flag0 = 1;
+    turn = 1;
+    fence;
+    while (flag1 == 1 && turn == 1) { }
+    data = data + 1;
+    flag0 = 0;
+  }
+  thread T1 {
+    flag1 = 1;
+    turn = 0;
+    fence;
+    while (flag0 == 1 && turn == 0) { }
+    data = data + 1;
+    flag1 = 0;
+  }
+}
+print(data);

@@ -1,0 +1,22 @@
+// A test-and-set style spinlock written with plain loads and stores.
+// The acquire store to `taken` can linger in the acquiring thread's
+// store buffer while the critical section reads `data`, so cssamec
+// --tso flags the taken-store/data-load pair (on top of the SC-level
+// test-then-set race csan already reports — the language has no atomic
+// read-modify-write, so the acquisition itself is not atomic either).
+int taken, data;
+cobegin {
+  thread T0 {
+    while (taken == 1) { }
+    taken = 1;
+    data = data + 1;
+    taken = 0;
+  }
+  thread T1 {
+    while (taken == 1) { }
+    taken = 1;
+    data = data + 1;
+    taken = 0;
+  }
+}
+print(data);

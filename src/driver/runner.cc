@@ -16,6 +16,7 @@
 #include "src/pfg/dot.h"
 #include "src/sanalysis/csan.h"
 #include "src/sanalysis/sarif.h"
+#include "src/sanalysis/tso.h"
 #include "src/sanalysis/vrange.h"
 
 namespace cssame::driver {
@@ -103,6 +104,17 @@ bool renderCompiled(const ir::Program& prog, const Compilation& c,
       r.code = 1;
       return false;
     }
+  }
+  if (o.doTso) {
+    const std::size_t before = toolDiag.diagnostics().size();
+    const sanalysis::TsoReport report = sanalysis::runTso(c, toolDiag);
+    for (std::size_t i = before; i < toolDiag.diagnostics().size(); ++i)
+      appendf(err, "%s\n", toolDiag.diagnostics()[i].str().c_str());
+    appendf(err,
+            "tso: %zu finding(s): %zu reorderable store/load pair(s), "
+            "%zu redundant fence(s)\n",
+            report.totalFindings(), report.notJustified,
+            report.redundantFences);
   }
   if (o.doSarif || o.doJson) {
     // One stream in emission order: pipeline warnings, then the analyzers'.
@@ -196,7 +208,8 @@ RunOutput runSourceUnguarded(std::string_view source,
             report.iterations);
   }
   if (o.doRun) {
-    interp::RunResult res = interp::run(prog, {.seed = o.seed});
+    interp::RunResult res =
+        interp::run(prog, {.seed = o.seed, .model = o.memoryModel});
     for (long long v : res.output) appendf(out, "%lld\n", v);
     if (!res.completed)
       appendf(err, "%s\n",
@@ -213,10 +226,15 @@ std::string RunOptions::cacheKey() const {
   // One char per flag in declaration order, then the seed. Bump the "v1"
   // tag if the rendering ever changes meaning — the key is persisted
   // inside disk-cache addresses.
-  std::string key = "v1:";
+  std::string key = "v2:";
   for (bool b : {dumpPfg, dumpForm, cssame, doOpt, doRun, doRaces, doStats,
-                 doCsan, doSarif, doJson, doVrange})
+                 doCsan, doSarif, doJson, doVrange, doTso})
     key += b ? '1' : '0';
+  // The memory model changes --run output and may grow new model-aware
+  // modes; keying it unconditionally guarantees the service never serves
+  // an SC-cached response to a TSO request (or vice versa).
+  key += ":mm=";
+  key += support::memoryModelName(memoryModel);
   key += ":seed=" + std::to_string(seed);
   // File-writing modes are not cacheable request shapes; the service
   // rejects them, but keep the paths in the key so equal keys always

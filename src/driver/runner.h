@@ -17,6 +17,8 @@
 #include <string>
 #include <string_view>
 
+#include "src/support/memmodel.h"
+
 namespace cssame::ir {
 class Program;
 }
@@ -37,6 +39,12 @@ struct RunOptions {
   bool doSarif = false;   ///< --sarif (implies csan)
   bool doJson = false;    ///< --json (implies csan)
   bool doVrange = false;  ///< --vrange
+  bool doTso = false;     ///< --tso
+  /// --memory-model=sc|tso: the model --run simulates. SC (default)
+  /// preserves every pre-TSO seeded schedule bit-identically; TSO adds
+  /// per-thread store buffers (buffered stores flush as separate
+  /// scheduler actions).
+  support::MemoryModel memoryModel = support::MemoryModel::SC;
   /// Output files for --sarif=FILE/--json=FILE; empty = the buffered
   /// stdout stream. The service only ever uses the streamed form (a
   /// daemon writing client-named files would not be a cache-friendly

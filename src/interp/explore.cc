@@ -90,7 +90,7 @@ class Explorer {
   }
 
   ExploreResult run() {
-    frontier_.emplace_back(Machine(prog_));
+    frontier_.emplace_back(Machine(prog_, opts_.model));
     frontierBytes_ = frontier_.front()->approxBytes();
     std::uint64_t depth = 0;
     while (!frontier_.empty()) {
@@ -149,7 +149,14 @@ class Explorer {
   /// very state, so the conflict is a concrete (not merely may-happen)
   /// race witness.
   void recordRaces(const Machine& machine,
-                   const std::vector<std::size_t>& ready, Partial& p) {
+                   const std::vector<Machine::Action>& actions, Partial& p) {
+    // Only program steps of runnable threads carry pending statements;
+    // TSO flush actions commit already-recorded stores and are skipped
+    // (under SC every action is a program step, so this filter is the
+    // identity and the recorded races match the pre-TSO explorer).
+    std::vector<std::size_t> ready;
+    for (const Machine::Action& a : actions)
+      if (!a.flush) ready.push_back(a.thread);
     const ir::SymbolTable& syms = prog_.symbols;
     std::vector<PendingAccess> acc(ready.size());
     std::vector<const ir::Stmt*> stmts(ready.size(), nullptr);
@@ -192,7 +199,7 @@ class Explorer {
         s.kind = Slot::Terminal;
         return;
       }
-      s.ready = m.readyThreads();
+      s.ready = m.readyActions();
       if (s.ready.empty()) {
         s.kind = Slot::Deadlock;
         return;
@@ -289,7 +296,7 @@ class Explorer {
           if (memTripped.load(std::memory_order_relaxed)) return;
           const bool last = k + 1 == s.ready.size();
           Machine succ = last ? std::move(*frontier_[i]) : *frontier_[i];
-          succ.stepThread(s.ready[k]);
+          succ.perform(s.ready[k]);
           const std::uint64_t bytes = succ.approxBytes();
           const std::uint64_t sum =
               succBytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -314,7 +321,7 @@ class Explorer {
     support::Hash128 hash;
     Kind kind = Normal;
     bool fresh = false;
-    std::vector<std::size_t> ready;
+    std::vector<Machine::Action> ready;
     std::size_t succOffset = 0;
   };
 

@@ -33,6 +33,7 @@
 
 #include "src/ir/program.h"
 #include "src/support/budget.h"
+#include "src/support/memmodel.h"
 
 namespace cssame::support {
 class ThreadPool;
@@ -64,6 +65,13 @@ struct ExploreOptions {
   /// thread. The result is identical for every value — parallelism only
   /// changes wall-clock time.
   unsigned workers = 1;
+  /// Memory model the machines simulate. SC (default) explores exactly
+  /// the pre-TSO state space bit-identically; TSO adds store-buffer
+  /// flush actions as scheduler choices, so the explored set includes
+  /// every buffered interleaving (e.g. the store-buffering litmus
+  /// outcome both loads read 0). The SC-vs-TSO difference in `racedVars`
+  /// over a critical-section variable is the sanalysis::runTso oracle.
+  support::MemoryModel model = support::MemoryModel::SC;
 };
 
 struct ExploreResult {

@@ -7,7 +7,7 @@
 namespace cssame::interp {
 
 RunResult run(const ir::Program& program, InterpOptions opts) {
-  Machine machine(program);
+  Machine machine(program, opts.model);
   std::mt19937_64 rng(opts.seed);
   support::BudgetKind exceeded = support::BudgetKind::None;
   while (true) {
@@ -29,14 +29,18 @@ RunResult run(const ir::Program& program, InterpOptions opts) {
       exceeded = support::BudgetKind::Memory;
       break;
     }
-    const std::vector<std::size_t> ready = machine.readyThreads();
+    // Under SC readyActions() is readyThreads() verbatim (no flush
+    // actions exist), so the RNG draws — and thus every seeded schedule —
+    // are unchanged from the pre-TSO interpreter.
+    const std::vector<Machine::Action> ready = machine.readyActions();
     if (ready.empty()) {
       machine.markDeadlocked();
       break;
     }
-    const std::size_t pick = ready[std::uniform_int_distribution<std::size_t>(
-        0, ready.size() - 1)(rng)];
-    machine.stepThread(pick);
+    const Machine::Action pick =
+        ready[std::uniform_int_distribution<std::size_t>(
+            0, ready.size() - 1)(rng)];
+    machine.perform(pick);
   }
   RunResult result = std::move(machine).takeResult();
   result.budgetExceeded = exceeded;

@@ -29,6 +29,7 @@
 
 #include "src/ir/program.h"
 #include "src/support/budget.h"
+#include "src/support/memmodel.h"
 
 namespace cssame::interp {
 
@@ -40,6 +41,10 @@ struct InterpOptions {
   /// to the first cap that tripped — never a hang or OOM kill.
   std::uint64_t maxThreads = 1u << 16;
   std::uint64_t maxMemoryBytes = 256u << 20;
+  /// SC (default) reproduces the original interleaving semantics
+  /// bit-identically; TSO adds per-thread store buffers whose flushes
+  /// are scheduler actions of their own.
+  support::MemoryModel model = support::MemoryModel::SC;
 };
 
 struct LockStats {

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cassert>
+#include <utility>
 #include <vector>
 
 #include "src/interp/interp.h"
 #include "src/ir/program.h"
+#include "src/support/memmodel.h"
 #include "src/support/visited.h"
 
 namespace cssame::interp {
@@ -31,14 +33,35 @@ namespace cssame::interp {
 
 class Machine {
  public:
-  explicit Machine(const ir::Program& prog) {
+  explicit Machine(const ir::Program& prog,
+                   support::MemoryModel model = support::MemoryModel::SC)
+      : model_(model) {
     vars_.assign(prog.symbols.size(), 0);
     eventSet_.assign(prog.symbols.size(), false);
     lockHolder_.assign(prog.symbols.size(), kNoHolder);
+    sharedVar_.assign(prog.symbols.size(), false);
+    for (const auto& sym : prog.symbols.all())
+      if (sym.kind == ir::SymbolKind::Var && sym.shared)
+        sharedVar_[sym.id.index()] = true;
     Thread main;
     main.frames.push_back(Frame{&prog.body, 0, nullptr});
     threads_.push_back(std::move(main));
   }
+
+  /// One scheduler choice: execute the thread's next program step, or
+  /// (TSO only) commit the oldest entry of its store buffer to memory.
+  /// Under SC every enabled action is a program step, so schedulers
+  /// driving readyActions()/perform() behave exactly like the original
+  /// readyThreads()/stepThread() pair.
+  struct Action {
+    std::size_t thread = 0;
+    bool flush = false;
+  };
+
+  /// A buffered (not yet globally visible) store: variable and value.
+  using BufferedStore = std::pair<SymbolId, long long>;
+
+  [[nodiscard]] support::MemoryModel memoryModel() const { return model_; }
 
   /// True while at least one thread has not finished.
   [[nodiscard]] bool anyAlive() const {
@@ -57,6 +80,35 @@ class Machine {
     return ready;
   }
 
+  /// Enabled scheduler actions in deterministic (thread-index) order:
+  /// each thread's program step if enabled, then its flush action when a
+  /// buffered store is waiting. Under SC this is readyThreads() verbatim.
+  [[nodiscard]] std::vector<Action> readyActions() const {
+    std::vector<Action> ready;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i].status != Status::Done && canProgress(i))
+        ready.push_back(Action{i, false});
+      if (!threads_[i].storeBuf.empty()) ready.push_back(Action{i, true});
+    }
+    return ready;
+  }
+
+  /// Performs one scheduler action (counts as one step either way).
+  void perform(Action a) {
+    if (a.flush) {
+      Thread& t = threads_[a.thread];
+      assert(!t.storeBuf.empty());
+      const BufferedStore st = t.storeBuf.front();
+      t.storeBuf.erase(t.storeBuf.begin());
+      vars_[st.first.index()] = st.second;
+      if (t.storeBuf.empty() && t.status == Status::Draining)
+        t.status = Status::Done;
+      ++result_.steps;
+      return;
+    }
+    stepThread(a.thread);
+  }
+
   /// Executes one step of the given (ready) thread, with lock-hold
   /// accounting.
   void stepThread(std::size_t ti) {
@@ -64,6 +116,13 @@ class Machine {
     ++result_.steps;
     for (SymbolId l : threads_[ti].heldLocks)
       ++result_.lockStats[l].holdSteps;
+  }
+
+  /// Pending (issued, not yet committed) stores of thread `ti`, oldest
+  /// first. Always empty under SC.
+  [[nodiscard]] const std::vector<BufferedStore>& storeBufOf(
+      std::size_t ti) const {
+    return threads_[ti].storeBuf;
   }
 
   [[nodiscard]] std::size_t threadCount() const { return threads_.size(); }
@@ -108,6 +167,7 @@ class Machine {
       bytes += t.children.capacity() * sizeof(std::size_t);
       bytes += t.siblings.capacity() * sizeof(std::size_t);
       bytes += t.heldLocks.capacity() * sizeof(SymbolId);
+      bytes += t.storeBuf.capacity() * sizeof(BufferedStore);
     }
     return bytes;
   }
@@ -136,6 +196,14 @@ class Machine {
         mix(reinterpret_cast<std::uintptr_t>(f.list));
         mix(f.idx);
         mix(reinterpret_cast<std::uintptr_t>(f.loop));
+      }
+      // Buffered stores are part of the state: two TSO states with equal
+      // memory but different pending stores diverge later. Empty buffers
+      // (always, under SC) contribute nothing, keeping SC hashes
+      // bit-identical to the pre-TSO traversal.
+      for (const BufferedStore& st : t.storeBuf) {
+        mix(st.first.value());
+        mix(static_cast<std::uint64_t>(st.second));
       }
       mix(0x5eedu);
     }
@@ -169,6 +237,10 @@ class Machine {
         mix(f.idx);
         mix(reinterpret_cast<std::uintptr_t>(f.loop));
       }
+      for (const BufferedStore& st : t.storeBuf) {
+        mix(st.first.value());
+        mix(static_cast<std::uint64_t>(st.second));
+      }
       mix(0x5eedu);
     }
     for (long long v : result_.output) mix(static_cast<std::uint64_t>(v));
@@ -194,6 +266,14 @@ class Machine {
     BarrierWait,
     Joining,
     Done,
+    /// TSO only: the thread has executed its last statement but still
+    /// holds buffered stores; only its flush actions remain, and the
+    /// last one retires it to Done. A thread in this state no longer
+    /// blocks barriers, but its cobegin join waits for the drain —
+    /// other threads may observe memory before the leftover stores
+    /// land, exactly like a real core's buffer outliving its thread.
+    /// (Listed after Done so SC state hashes keep their pre-TSO values.)
+    Draining,
   };
 
   struct Thread {
@@ -207,13 +287,52 @@ class Machine {
     std::vector<std::size_t> siblings;
     /// Number of barrier episodes this thread has passed.
     std::uint64_t barrierEpoch = 0;
+    /// TSO only: FIFO of issued-but-uncommitted stores to shared
+    /// variables. The owning thread forwards from it (newest entry for
+    /// the variable wins); other threads cannot see it until a flush
+    /// action commits the oldest entry. Always empty under SC, and empty
+    /// once the thread is Done (sync operations drain it before they
+    /// run; a thread finishing its program Drains it via flush actions).
+    std::vector<BufferedStore> storeBuf;
   };
+
+  /// TSO store-buffer capacity: a full buffer blocks further plain
+  /// shared stores until a flush commits (bounds the state space the
+  /// same way real hardware bounds reordering windows).
+  static constexpr std::size_t kStoreBufCap = 8;
+
+  /// True when thread `ti`'s next program action must wait for its own
+  /// store buffer to drain under TSO: fences, atomic accesses and every
+  /// synchronization operation behave like x86 locked instructions, and
+  /// a plain shared store needs a free buffer slot.
+  [[nodiscard]] bool tsoBlocked(const Thread& t) const {
+    if (t.storeBuf.empty()) return false;
+    if (t.status != Status::Runnable || t.frames.empty()) return false;
+    const Frame& f = t.frames.back();
+    if (f.idx >= f.list->size()) return false;
+    const ir::Stmt& s = *(*f.list)[f.idx];
+    switch (s.kind) {
+      case ir::StmtKind::Fence:
+      case ir::StmtKind::Lock:
+      case ir::StmtKind::Unlock:
+      case ir::StmtKind::Set:
+      case ir::StmtKind::Wait:
+      case ir::StmtKind::Barrier:
+      case ir::StmtKind::Cobegin:
+        return true;
+      case ir::StmtKind::Assign:
+        if (s.atomic) return true;
+        return sharedVar_[s.lhs.index()] && t.storeBuf.size() >= kStoreBufCap;
+      default:
+        return false;
+    }
+  }
 
   [[nodiscard]] bool canProgress(std::size_t ti) const {
     const Thread& t = threads_[ti];
     switch (t.status) {
       case Status::Runnable:
-        return true;
+        return model_ == support::MemoryModel::SC || !tsoBlocked(t);
       case Status::WaitLock:
         return lockHolder_[t.waitSym.index()] == kNoHolder;
       case Status::WaitEvent:
@@ -224,7 +343,8 @@ class Machine {
         for (std::size_t s : t.siblings) {
           if (s == ti) continue;
           const Thread& sib = threads_[s];
-          if (sib.status == Status::Done) continue;
+          if (sib.status == Status::Done || sib.status == Status::Draining)
+            continue;
           if (sib.barrierEpoch > t.barrierEpoch) continue;
           if (sib.status == Status::BarrierWait &&
               sib.barrierEpoch == t.barrierEpoch)
@@ -238,27 +358,34 @@ class Machine {
           if (threads_[c].status != Status::Done) return false;
         return true;
       }
+      case Status::Draining:  // only flush actions remain
       case Status::Done:
         return false;
     }
     return false;
   }
 
-  long long eval(const ir::Expr& e) {
+  /// Evaluates in thread `t`'s view of memory: under TSO a load forwards
+  /// the newest matching entry of the thread's own store buffer before
+  /// falling back to shared memory.
+  long long eval(const ir::Expr& e, const Thread& t) {
     switch (e.kind) {
       case ir::ExprKind::IntConst:
         return e.intValue;
-      case ir::ExprKind::VarRef:
+      case ir::ExprKind::VarRef: {
+        for (auto it = t.storeBuf.rbegin(); it != t.storeBuf.rend(); ++it)
+          if (it->first == e.var) return it->second;
         return vars_[e.var.index()];
+      }
       case ir::ExprKind::Unary:
-        return ir::evalUnOp(e.unop, eval(*e.operands[0]));
+        return ir::evalUnOp(e.unop, eval(*e.operands[0], t));
       case ir::ExprKind::Binary:
-        return ir::evalBinOp(e.binop, eval(*e.operands[0]),
-                             eval(*e.operands[1]));
+        return ir::evalBinOp(e.binop, eval(*e.operands[0], t),
+                             eval(*e.operands[1], t));
       case ir::ExprKind::Call: {
         std::vector<long long> args;
         args.reserve(e.operands.size());
-        for (const auto& a : e.operands) args.push_back(eval(*a));
+        for (const auto& a : e.operands) args.push_back(eval(*a, t));
         return externalCall(e.callee, args);
       }
     }
@@ -276,14 +403,23 @@ class Machine {
     while (!t.frames.empty()) {
       Frame& f = t.frames.back();
       if (f.idx < f.list->size()) return;
-      if (f.loop != nullptr && eval(*f.loop->expr) != 0) {
+      if (f.loop != nullptr && eval(*f.loop->expr, t) != 0) {
         f.idx = 0;  // next iteration (loop bodies are never empty here)
         return;
       }
       t.frames.pop_back();
       if (!t.frames.empty()) ++t.frames.back().idx;
     }
-    if (t.frames.empty()) t.status = Status::Done;
+    if (t.frames.empty()) {
+      // Retiring thread: leftover buffered stores stay in the buffer and
+      // commit through ordinary flush actions (FIFO), so another thread
+      // can still read the old values after this one's last program step
+      // — the store-buffering litmus needs exactly that window. The
+      // cobegin join waits for the drain, so Done threads never hold
+      // invisible writes.
+      t.status =
+          t.storeBuf.empty() ? Status::Done : Status::Draining;
+    }
   }
 
   void step(std::size_t ti) {
@@ -324,23 +460,44 @@ class Machine {
     const ir::Stmt& s = *(*f.list)[f.idx];
 
     switch (s.kind) {
-      case ir::StmtKind::Assign:
-        vars_[s.lhs.index()] = eval(*s.expr);
+      case ir::StmtKind::Assign: {
+        const long long v = eval(*s.expr, t);
+        // TSO: plain stores to shared memory enter the issuing thread's
+        // FIFO buffer and become visible only at a later flush action.
+        // Atomic stores (and every SC store) commit immediately;
+        // tsoBlocked() already guaranteed an empty buffer for atomics
+        // and a free slot for plain stores.
+        if (model_ == support::MemoryModel::TSO && !s.atomic &&
+            sharedVar_[s.lhs.index()])
+          t.storeBuf.emplace_back(s.lhs, v);
+        else
+          vars_[s.lhs.index()] = v;
         advance(t);
         return;
+      }
       case ir::StmtKind::CallStmt:
-        (void)eval(*s.expr);
+        (void)eval(*s.expr, t);
         advance(t);
         return;
       case ir::StmtKind::Print:
-        result_.output.push_back(eval(*s.expr));
+        result_.output.push_back(eval(*s.expr, t));
+        advance(t);
+        return;
+      case ir::StmtKind::Fence:
+        // tsoBlocked() gates execution on an empty buffer, so by the time
+        // the fence runs it has nothing left to drain.
         advance(t);
         return;
       case ir::StmtKind::Assert:
-        if (eval(*s.expr) == 0) {
+        if (eval(*s.expr, t) == 0) {
           // Trap: the whole machine halts, nothing else executes.
+          // Pending buffered stores die with it (Done implies an empty
+          // buffer, so no flush actions survive the trap).
           result_.assertFailed = true;
-          for (Thread& th : threads_) th.status = Status::Done;
+          for (Thread& th : threads_) {
+            th.status = Status::Done;
+            th.storeBuf.clear();
+          }
         } else {
           advance(t);
         }
@@ -387,7 +544,7 @@ class Machine {
         }
         return;
       case ir::StmtKind::If: {
-        const bool taken = eval(*s.expr) != 0;
+        const bool taken = eval(*s.expr, t) != 0;
         const ir::StmtList& body = taken ? s.thenBody : s.elseBody;
         if (body.empty()) {
           advance(t);
@@ -397,7 +554,7 @@ class Machine {
         return;
       }
       case ir::StmtKind::While: {
-        if (eval(*s.expr) != 0) {
+        if (eval(*s.expr, t) != 0) {
           if (!s.thenBody.empty())
             t.frames.push_back(Frame{&s.thenBody, 0, &s});
           // Empty body + true condition: stay put and re-evaluate — a
@@ -428,9 +585,11 @@ class Machine {
     }
   }
 
+  support::MemoryModel model_ = support::MemoryModel::SC;
   std::vector<long long> vars_;
   std::vector<bool> eventSet_;
   std::vector<std::size_t> lockHolder_;
+  std::vector<bool> sharedVar_;  ///< per-symbol: shared integer variable
   std::vector<Thread> threads_;
   RunResult result_;
 };

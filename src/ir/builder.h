@@ -111,6 +111,23 @@ class ProgramBuilder {
     return append(std::move(s));
   }
 
+  /// `atomic_store(lhs, rhs)` — an Assign that stays sequentially
+  /// consistent under TSO (commits past the store buffer).
+  Stmt* atomicStore(SymbolId lhs, ExprPtr rhs) {
+    Stmt* s = assign(lhs, std::move(rhs));
+    s->atomic = true;
+    return s;
+  }
+
+  /// `lhs = atomic_load(src)` — an atomic Assign reading one variable.
+  Stmt* atomicLoad(SymbolId lhs, SymbolId src) {
+    Stmt* s = assign(lhs, makeVar(src));
+    s->atomic = true;
+    return s;
+  }
+
+  Stmt* fence() { return append(prog_.newStmt(StmtKind::Fence)); }
+
   Stmt* lockStmt(SymbolId l) { return syncStmt(StmtKind::Lock, l); }
   Stmt* unlockStmt(SymbolId l) { return syncStmt(StmtKind::Unlock, l); }
   Stmt* setStmt(SymbolId e) { return syncStmt(StmtKind::Set, e); }

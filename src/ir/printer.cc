@@ -125,6 +125,20 @@ class Printer {
     indent(depth);
     switch (s.kind) {
       case StmtKind::Assign:
+        // Atomic accesses re-print in the statement form they parse from:
+        // a bare VarRef value round-trips as atomic_load, anything else
+        // as atomic_store (both forms build the same atomic Assign).
+        if (s.atomic && s.expr->kind == ExprKind::VarRef) {
+          out_ += nameOf(s.lhs) + " = atomic_load(" + nameOf(s.expr->var) +
+                  ");\n";
+          break;
+        }
+        if (s.atomic) {
+          out_ += "atomic_store(" + nameOf(s.lhs) + ", ";
+          expr(*s.expr, 0);
+          out_ += ");\n";
+          break;
+        }
         out_ += nameOf(s.lhs) + " = ";
         expr(*s.expr, 0);
         out_ += ";\n";
@@ -157,6 +171,9 @@ class Printer {
         break;
       case StmtKind::Barrier:
         out_ += "barrier;\n";
+        break;
+      case StmtKind::Fence:
+        out_ += "fence;\n";
         break;
       case StmtKind::If:
         out_ += "if (";
@@ -281,6 +298,12 @@ std::string printExpr(const Expr& e, const SymbolTable& symbols) {
 std::string printStmtBrief(const Stmt& s, const SymbolTable& symbols) {
   switch (s.kind) {
     case StmtKind::Assign:
+      if (s.atomic && s.expr->kind == ExprKind::VarRef)
+        return symbols.nameOf(s.lhs) + " = atomic_load(" +
+               symbols.nameOf(s.expr->var) + ")";
+      if (s.atomic)
+        return "atomic_store(" + symbols.nameOf(s.lhs) + ", " +
+               printExpr(*s.expr, symbols) + ")";
       return symbols.nameOf(s.lhs) + " = " + printExpr(*s.expr, symbols);
     case StmtKind::CallStmt:
       return printExpr(*s.expr, symbols);
@@ -304,6 +327,8 @@ std::string printStmtBrief(const Stmt& s, const SymbolTable& symbols) {
       return "cobegin (" + std::to_string(s.threads.size()) + " threads)";
     case StmtKind::Barrier:
       return "barrier";
+    case StmtKind::Fence:
+      return "fence";
   }
   return "?";
 }

@@ -16,6 +16,7 @@ const char* stmtKindName(StmtKind k) {
     case StmtKind::Print: return "print";
     case StmtKind::Barrier: return "barrier";
     case StmtKind::Assert: return "assert";
+    case StmtKind::Fence: return "fence";
   }
   return "?";
 }
@@ -50,6 +51,7 @@ StmtPtr cloneStmt(const Stmt& s) {
   for (const auto& t : s.threads)
     out->threads.push_back(ThreadBody{t.name, cloneList(t.body)});
   out->sync = s.sync;
+  out->atomic = s.atomic;
   return out;
 }
 

@@ -31,6 +31,8 @@ enum class StmtKind : std::uint8_t {
              ///< (extension; the paper lists barriers as future work)
   Assert,    ///< assert(expr) — traps the execution when expr == 0; the
              ///< value-range analysis proves or refutes it statically
+  Fence,     ///< fence — full memory barrier; under TSO it drains the
+             ///< issuing thread's store buffer (mfence). No effect under SC.
 };
 
 [[nodiscard]] const char* stmtKindName(StmtKind k);
@@ -63,6 +65,11 @@ struct Stmt {
   std::vector<ThreadBody> threads;
   // Lock/Unlock: the lock variable; Set/Wait: the event variable.
   SymbolId sync;
+  // Assign only: sequentially consistent atomic access. An atomic store
+  // (`atomic_store(x, e)`) commits straight to memory under TSO instead of
+  // entering the store buffer; an atomic load (`x = atomic_load(y)`) waits
+  // for the issuing thread's buffer to drain. SC semantics are unchanged.
+  bool atomic = false;
 };
 
 /// Pre-order traversal of a statement list, recursing into nested bodies.

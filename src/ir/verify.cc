@@ -93,7 +93,12 @@ class Verifier {
         case StmtKind::Barrier:
           if (s.expr || s.sync.valid()) problem(s, "barrier with operands");
           break;
+        case StmtKind::Fence:
+          if (s.expr || s.sync.valid()) problem(s, "fence with operands");
+          break;
       }
+      if (s.atomic && s.kind != StmtKind::Assign)
+        problem(s, "atomic flag on non-assignment");
       if (s.expr) checkExpr(s, *s.expr);
       if (s.kind != StmtKind::If && s.kind != StmtKind::While &&
           !s.thenBody.empty())

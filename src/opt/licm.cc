@@ -39,7 +39,8 @@ class Licm {
   /// independence is judged under the MHP orderings they create.
   [[nodiscard]] static bool isEventSync(const ir::Stmt& s) {
     return s.kind == ir::StmtKind::Set || s.kind == ir::StmtKind::Wait ||
-           s.kind == ir::StmtKind::Barrier;
+           s.kind == ir::StmtKind::Barrier ||
+           s.kind == ir::StmtKind::Fence;
   }
 
   void processBody(ir::Stmt* lockStmt, ir::Stmt* unlockStmt,

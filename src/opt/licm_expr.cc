@@ -63,7 +63,7 @@ class ExprHoister {
     for (std::ptrdiff_t k = lo + 1; k < hi; ++k) {
       ir::Stmt& s = *list[static_cast<std::size_t>(k)];
       if (s.kind == ir::StmtKind::Set || s.kind == ir::StmtKind::Wait ||
-          s.kind == ir::StmtKind::Barrier)
+          s.kind == ir::StmtKind::Barrier || s.kind == ir::StmtKind::Fence)
         break;
 
       if (s.expr && s.kind != ir::StmtKind::Assert) {

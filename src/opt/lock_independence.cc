@@ -18,6 +18,9 @@ void addStmtAccesses(const ir::Stmt& s, AccessSummary& out) {
     case ir::StmtKind::Assign:
       out.defs.insert(s.lhs);
       summarizeExpr(*s.expr, out);
+      // Atomic accesses carry TSO ordering; moving one changes which
+      // stores are visible to other threads at that point.
+      if (s.atomic) out.movable = false;
       break;
     case ir::StmtKind::Print:
     case ir::StmtKind::If:
@@ -36,6 +39,7 @@ void addStmtAccesses(const ir::Stmt& s, AccessSummary& out) {
     case ir::StmtKind::Set:
     case ir::StmtKind::Wait:
     case ir::StmtKind::Barrier:
+    case ir::StmtKind::Fence:
     case ir::StmtKind::Cobegin:
       out.movable = false;
       break;

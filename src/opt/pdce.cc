@@ -40,11 +40,14 @@ class Pdce {
         case ir::StmtKind::Set:
         case ir::StmtKind::Wait:
         case ir::StmtKind::Barrier:
+        case ir::StmtKind::Fence:
           markLive(&s);
           break;
         case ir::StmtKind::Assign:
-          // Calls inside a right-hand side may have side effects.
-          if (s.expr && ir::containsCall(*s.expr)) markLive(&s);
+          // Calls inside a right-hand side may have side effects; atomic
+          // accesses order memory under TSO even when their value is dead.
+          if (s.atomic || (s.expr && ir::containsCall(*s.expr)))
+            markLive(&s);
           break;
         default:
           break;
@@ -98,6 +101,7 @@ class Pdce {
         case ir::StmtKind::Set:
         case ir::StmtKind::Wait:
         case ir::StmtKind::Barrier:
+        case ir::StmtKind::Fence:
           if (!live_.contains(&s)) {
             list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
             ++stats.stmtsRemoved;

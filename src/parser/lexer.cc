@@ -26,6 +26,9 @@ const char* tokKindName(TokKind k) {
     case TokKind::KwBarrier: return "'barrier'";
     case TokKind::KwDoall: return "'doall'";
     case TokKind::KwAssert: return "'assert'";
+    case TokKind::KwFence: return "'fence'";
+    case TokKind::KwAtomicLoad: return "'atomic_load'";
+    case TokKind::KwAtomicStore: return "'atomic_store'";
     case TokKind::LParen: return "'('";
     case TokKind::RParen: return "')'";
     case TokKind::LBrace: return "'{'";
@@ -62,7 +65,9 @@ const std::unordered_map<std::string_view, TokKind>& keywords() {
       {"unlock", TokKind::KwUnlock},   {"set", TokKind::KwSet},
       {"wait", TokKind::KwWait},       {"print", TokKind::KwPrint},
       {"barrier", TokKind::KwBarrier}, {"doall", TokKind::KwDoall},
-      {"assert", TokKind::KwAssert},
+      {"assert", TokKind::KwAssert},   {"fence", TokKind::KwFence},
+      {"atomic_load", TokKind::KwAtomicLoad},
+      {"atomic_store", TokKind::KwAtomicStore},
   };
   return kw;
 }

@@ -16,6 +16,7 @@ enum class TokKind : std::uint8_t {
   // Keywords.
   KwInt, KwLock, KwEvent, KwIf, KwElse, KwWhile, KwCobegin, KwThread,
   KwUnlock, KwSet, KwWait, KwPrint, KwBarrier, KwDoall, KwAssert,
+  KwFence, KwAtomicLoad, KwAtomicStore,
   // Punctuation / operators.
   LParen, RParen, LBrace, RBrace, Semi, Comma,
   Assign,          // =

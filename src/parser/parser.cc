@@ -226,6 +226,28 @@ class Parser {
         if (at(TokKind::Assign)) {
           take();
           const SymbolId var = resolveVar(nameTok, SymbolKind::Var);
+          // `x = atomic_load(y);` — an atomic Assign whose value is the
+          // bare variable read. Only the statement form is atomic; the
+          // keyword is not a general expression.
+          if (at(TokKind::KwAtomicLoad)) {
+            take();
+            expect(TokKind::LParen);
+            if (!at(TokKind::Ident)) {
+              error("expected variable in atomic_load");
+              synchronize();
+              return;
+            }
+            const Token srcTok = take();
+            const SymbolId src = resolveVar(srcTok, SymbolKind::Var);
+            expect(TokKind::RParen);
+            expect(TokKind::Semi);
+            auto s = prog_.newStmt(StmtKind::Assign, loc);
+            s->lhs = var;
+            s->expr = ir::makeVar(src, srcTok.loc);
+            s->atomic = true;
+            list->push_back(std::move(s));
+            return;
+          }
           ExprPtr value = parseExpr();
           expect(TokKind::Semi);
           auto s = prog_.newStmt(StmtKind::Assign, loc);
@@ -319,6 +341,33 @@ class Parser {
         take();
         expect(TokKind::Semi);
         list->push_back(prog_.newStmt(StmtKind::Barrier, loc));
+        return;
+      }
+      case TokKind::KwFence: {
+        take();
+        expect(TokKind::Semi);
+        list->push_back(prog_.newStmt(StmtKind::Fence, loc));
+        return;
+      }
+      case TokKind::KwAtomicStore: {
+        take();
+        expect(TokKind::LParen);
+        if (!at(TokKind::Ident)) {
+          error("expected variable in atomic_store");
+          synchronize();
+          return;
+        }
+        const Token nameTok = take();
+        const SymbolId var = resolveVar(nameTok, SymbolKind::Var);
+        expect(TokKind::Comma);
+        ExprPtr value = parseExpr();
+        expect(TokKind::RParen);
+        expect(TokKind::Semi);
+        auto s = prog_.newStmt(StmtKind::Assign, loc);
+        s->lhs = var;
+        s->expr = std::move(value);
+        s->atomic = true;
+        list->push_back(std::move(s));
         return;
       }
       case TokKind::KwDoall:

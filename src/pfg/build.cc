@@ -14,6 +14,7 @@ const char* nodeKindName(NodeKind k) {
     case NodeKind::Set: return "set";
     case NodeKind::Wait: return "wait";
     case NodeKind::Barrier: return "barrier";
+    case NodeKind::Fence: return "fence";
   }
   return "?";
 }
@@ -82,6 +83,8 @@ class Lowerer {
         return lowerSyncNode(cur, NodeKind::Wait, s);
       case StmtKind::Barrier:
         return lowerSyncNode(cur, NodeKind::Barrier, s);
+      case StmtKind::Fence:
+        return lowerSyncNode(cur, NodeKind::Fence, s);
       case StmtKind::If: {
         cur = ensureBlock(cur);
         graph_.node(cur).terminator = s;

@@ -30,6 +30,7 @@ enum class NodeKind : std::uint8_t {
   Set,      ///< Set(e)
   Wait,     ///< Wait(e)
   Barrier,  ///< barrier rendezvous of the enclosing cobegin's threads
+  Fence,    ///< full memory fence; orders memory, synchronizes nothing
 };
 
 [[nodiscard]] const char* nodeKindName(NodeKind k);

@@ -56,7 +56,8 @@ std::vector<std::string> verifyGraph(const Graph& graph) {
       case NodeKind::Unlock:
       case NodeKind::Set:
       case NodeKind::Wait:
-      case NodeKind::Barrier: {
+      case NodeKind::Barrier:
+      case NodeKind::Fence: {
         if (n.syncStmt == nullptr) {
           problem(n.id, "sync node without statement");
           break;

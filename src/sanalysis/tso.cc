@@ -1,0 +1,283 @@
+#include "src/sanalysis/tso.h"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "src/dataflow/framework.h"
+#include "src/ir/expr.h"
+#include "src/sanalysis/lockset.h"
+
+namespace cssame::sanalysis {
+
+namespace {
+
+/// The statement performing the access a conflict-edge endpoint refers
+/// to, looked up in the compilation's cached access sites.
+const ir::Stmt* accessStmtAt(NodeId node, SymbolId var, bool isDef,
+                             const analysis::AccessSites& sites) {
+  if (isDef) {
+    auto it = sites.defs.find(var);
+    if (it != sites.defs.end())
+      for (const auto& d : it->second)
+        if (d.node == node) return d.stmt;
+  } else {
+    auto it = sites.uses.find(var);
+    if (it != sites.uses.end())
+      for (const auto& u : it->second)
+        if (u.node == node) return u.stmt;
+  }
+  return nullptr;
+}
+
+SourceLoc locOf(const ir::Stmt* stmt) {
+  return stmt != nullptr ? stmt->loc : SourceLoc{};
+}
+
+/// Pending-store window: which plain shared stores may still sit in the
+/// issuing thread's FIFO store buffer when control reaches a point. A
+/// forward may-analysis (union meet) over PFG control edges — the static
+/// abstraction of interp::Machine's per-thread storeBuf under
+/// MemoryModel::TSO.
+struct PendingStores {
+  using Value = std::set<StmtId>;
+  static constexpr dataflow::Direction direction =
+      dataflow::Direction::Forward;
+  const ir::SymbolTable* syms = nullptr;
+
+  [[nodiscard]] const char* name() const { return "tso-pending-stores"; }
+  [[nodiscard]] Value boundary() const { return {}; }
+  [[nodiscard]] Value top(NodeId) const { return {}; }
+  void meet(Value& into, const Value& from) const {
+    into.insert(from.begin(), from.end());
+  }
+
+  [[nodiscard]] Value transfer(const pfg::Node& n, const Value& in) const {
+    if (n.kind != pfg::NodeKind::Block) {
+      // Every non-block node empties the window. Fences and atomics wait
+      // for the issuing thread's buffer to drain (x86-TSO gives lock,
+      // unlock, set, wait and barrier the same locked-operation
+      // semantics), and entry/fork/join points start or end threads,
+      // whose buffers are empty by construction.
+      return {};
+    }
+    Value out = in;
+    for (const ir::Stmt* s : n.stmts) {
+      if (s->kind != ir::StmtKind::Assign) continue;
+      if (s->atomic) {
+        out.clear();  // drains the buffer before it executes
+      } else if (syms->isSharedVar(s->lhs)) {
+        out.insert(s->id);
+      }
+    }
+    // An If/While terminator only reads; the window is unchanged.
+    return out;
+  }
+};
+
+class Tso {
+ public:
+  Tso(const driver::Compilation& comp, DiagEngine& diag,
+      const TsoOptions& opts)
+      : comp_(comp),
+        diag_(diag),
+        opts_(opts),
+        graph_(comp.graph()),
+        syms_(comp.graph().program().symbols),
+        solver_(comp.graph(), PendingStores{&comp.graph().program().symbols}) {
+    for (const pfg::Node& n : graph_.nodes()) {
+      if (n.kind == pfg::NodeKind::Cobegin && n.syncStmt != nullptr)
+        cobeginStmt_[n.syncStmt->id] = n.syncStmt;
+      if (n.kind != pfg::NodeKind::Block) continue;
+      for (const ir::Stmt* s : n.stmts)
+        if (s->kind == ir::StmtKind::Assign && !s->atomic &&
+            syms_.isSharedVar(s->lhs))
+          storeSite_[s->id] = StoreSite{s, n.id};
+    }
+    buildRacySites();
+  }
+
+  TsoReport run() {
+    const Status st = solver_.solve();
+    if (!st.ok()) {
+      diag_.reportFault(st.fault());
+      return std::move(report_);
+    }
+    if (opts_.notJustified) checkReorderablePairs();
+    if (opts_.redundantFences) checkFences();
+    return std::move(report_);
+  }
+
+ private:
+  /// A plain shared store statement and the block issuing it.
+  struct StoreSite {
+    const ir::Stmt* stmt = nullptr;
+    NodeId node;
+  };
+  /// One concurrent disjoint-lockset partner of a racy (node, var) access.
+  struct RemoteSite {
+    NodeId node;
+    bool isDef = false;
+  };
+
+  /// A buffered reordering is only observable if some concurrent thread
+  /// touches the variable without a common lock. Index every conflict-edge
+  /// endpoint that has such a partner, keeping one witness partner each:
+  /// (node, var) → the remote access that can see the stale/early value.
+  void buildRacySites() {
+    std::unordered_map<NodeId, std::set<SymbolId>> locksets;
+    auto locksetOf = [&](NodeId n) -> const std::set<SymbolId>& {
+      auto it = locksets.find(n);
+      if (it == locksets.end())
+        it = locksets.emplace(n, locksetAt(n, comp_.mutexes())).first;
+      return it->second;
+    };
+    for (const pfg::ConflictEdge& e : graph_.conflicts) {
+      if (!comp_.mhp().mayHappenInParallel(e.from, e.to)) continue;
+      if (!locksetsDisjoint(locksetOf(e.from), locksetOf(e.to))) continue;
+      racy_.emplace(std::make_pair(e.from, e.var),
+                    RemoteSite{e.to, e.toIsDef});
+      racy_.emplace(std::make_pair(e.to, e.var), RemoteSite{e.from, true});
+    }
+  }
+
+  [[nodiscard]] bool isRacy(NodeId node, SymbolId var) const {
+    return racy_.count({node, var}) != 0;
+  }
+
+  /// Appends the MHP justification of a concurrent pair to a diagnostic:
+  /// the cobegin whose sibling arms keep the two sites unordered.
+  void noteMhp(Diagnostic& d, NodeId a, NodeId b) {
+    const auto div = comp_.mhp().divergenceOf(a, b);
+    if (!div) return;
+    auto it = cobeginStmt_.find(div->cobegin);
+    const SourceLoc loc =
+        it != cobeginStmt_.end() ? it->second->loc : SourceLoc{};
+    d.note(loc, "the threads run in arms " + std::to_string(div->armA) +
+                    " and " + std::to_string(div->armB) +
+                    " of this cobegin and may interleave");
+  }
+
+  /// The triangular-race check: a racy load of y with a program-order
+  /// earlier plain store to x != y still in the window, where x also has
+  /// a concurrent observer. Under TSO the load completes while the store
+  /// is invisible, so a protocol reading y to conclude "the other thread
+  /// saw my x" is unsound without a fence or atomics.
+  void checkReorderablePairs() {
+    for (const pfg::Node& n : graph_.nodes()) {
+      if (n.kind != pfg::NodeKind::Block) continue;
+      PendingStores::Value pending = solver_.inOf(n.id);
+      auto checkUses = [&](const ir::Expr& e, const ir::Stmt* stmt) {
+        ir::forEachExpr(e, [&](const ir::Expr& sub) {
+          if (sub.kind == ir::ExprKind::VarRef && syms_.isSharedVar(sub.var))
+            checkLoad(n, stmt, sub.var, pending);
+        });
+      };
+      for (const ir::Stmt* s : n.stmts) {
+        const bool atomic = s->kind == ir::StmtKind::Assign && s->atomic;
+        if (atomic) pending.clear();  // buffer drained before it runs
+        if (s->expr) checkUses(*s->expr, s);
+        if (s->kind == ir::StmtKind::Assign && !atomic &&
+            syms_.isSharedVar(s->lhs))
+          pending.insert(s->id);
+      }
+      if (n.terminator != nullptr && n.terminator->expr)
+        checkUses(*n.terminator->expr, n.terminator);
+    }
+  }
+
+  void checkLoad(const pfg::Node& n, const ir::Stmt* loadStmt, SymbolId y,
+                 const PendingStores::Value& pending) {
+    if (pending.empty() || !isRacy(n.id, y)) return;
+    for (StmtId w : pending) {
+      const StoreSite& store = storeSite_.at(w);
+      const SymbolId x = store.stmt->lhs;
+      // A load of the buffered variable itself forwards from the buffer
+      // (it sees its own store); only different-variable pairs reorder.
+      if (x == y) continue;
+      if (!isRacy(store.node, x)) continue;
+      if (!seen_.insert(std::make_tuple(w, n.id, y)).second) continue;
+
+      ++report_.notJustified;
+      report_.reorderedStores.insert(x);
+      report_.overtakingLoads.insert(y);
+      report_.witnesses.push_back(TsoWitness{x, y, store.node, n.id,
+                                             store.stmt->loc, loadStmt->loc});
+
+      Diagnostic& d = diag_.warn(
+          DiagCode::MutualExclusionNotJustifiedUnderTSO, loadStmt->loc,
+          "under TSO this read of shared variable '" + syms_.nameOf(y) +
+              "' may complete while the thread's earlier store to '" +
+              syms_.nameOf(x) +
+              "' is still buffered; the store/load pair cannot justify "
+              "mutual exclusion");
+      d.note(store.stmt->loc,
+             "plain store to '" + syms_.nameOf(x) +
+                 "' issued here, with no fence, atomic access or lock "
+                 "before the read");
+      const RemoteSite& rx = racy_.at({store.node, x});
+      d.note(locOf(accessStmtAt(rx.node, x, rx.isDef, comp_.sites())),
+             std::string("a concurrent thread ") +
+                 (rx.isDef ? "writes" : "reads") + " '" + syms_.nameOf(x) +
+                 "' here and can miss the buffered value");
+      const RemoteSite& ry = racy_.at({n.id, y});
+      d.note(locOf(accessStmtAt(ry.node, y, ry.isDef, comp_.sites())),
+             std::string("a concurrent thread ") +
+                 (ry.isDef ? "writes" : "reads") + " '" + syms_.nameOf(y) +
+                 "' here, making the early read observable");
+      noteMhp(d, n.id, ry.node);
+      d.note(SourceLoc{},
+             "insert 'fence;' between the store and the read, or make the "
+             "protocol accesses atomic_store/atomic_load");
+    }
+  }
+
+  /// FenceRedundant: the incoming window is empty on every path, or none
+  /// of the stores it may hold has a concurrent observer — the fence
+  /// drains nothing another thread could see early.
+  void checkFences() {
+    for (const pfg::Node& n : graph_.nodes()) {
+      if (n.kind != pfg::NodeKind::Fence) continue;
+      const PendingStores::Value& in = solver_.inOf(n.id);
+      bool ordersRacyStore = false;
+      for (StmtId w : in) {
+        const StoreSite& store = storeSite_.at(w);
+        if (isRacy(store.node, store.stmt->lhs)) {
+          ordersRacyStore = true;
+          break;
+        }
+      }
+      if (ordersRacyStore) continue;
+      ++report_.redundantFences;
+      diag_.warn(DiagCode::FenceRedundant, locOf(n.syncStmt),
+                 in.empty()
+                     ? "this fence has no buffered stores to order on any "
+                       "path; it can be removed"
+                     : "no store this fence drains can be observed by a "
+                       "concurrent thread; the fence orders nothing that "
+                       "races");
+    }
+  }
+
+  const driver::Compilation& comp_;
+  DiagEngine& diag_;
+  TsoOptions opts_;
+  const pfg::Graph& graph_;
+  const ir::SymbolTable& syms_;
+  dataflow::DenseSolver<PendingStores> solver_;
+  std::unordered_map<StmtId, const ir::Stmt*> cobeginStmt_;
+  std::unordered_map<StmtId, StoreSite> storeSite_;
+  std::map<std::pair<NodeId, SymbolId>, RemoteSite> racy_;
+  std::set<std::tuple<StmtId, NodeId, SymbolId>> seen_;
+  TsoReport report_;
+};
+
+}  // namespace
+
+TsoReport runTso(const driver::Compilation& comp, DiagEngine& diag,
+                 const TsoOptions& opts) {
+  return Tso(comp, diag, opts).run();
+}
+
+}  // namespace cssame::sanalysis

@@ -43,6 +43,11 @@ driver::RunOptions decodeOptions(const Json& options) {
   o.doSarif = options.getBool("sarif", false);
   o.doJson = options.getBool("json", false);
   o.doVrange = options.getBool("vrange", false);
+  o.doTso = options.getBool("tso", false);
+  // Unknown model strings fall back to SC — same forward-compatibility
+  // posture as unknown keys, and SC is the conservative default.
+  (void)support::parseMemoryModel(options.getString("memoryModel", "sc"),
+                                  o.memoryModel);
   o.seed = static_cast<std::uint64_t>(options.getInt("seed", 1));
   // Mirror the CLI: --sarif/--json imply --csan.
   if (o.doSarif || o.doJson) o.doCsan = true;

@@ -29,6 +29,9 @@ const char* diagCodeName(DiagCode code) {
     case DiagCode::DivByZero: return "div-by-zero";
     case DiagCode::AssertProved: return "assert-proved";
     case DiagCode::AssertMayFail: return "assert-may-fail";
+    case DiagCode::MutualExclusionNotJustifiedUnderTSO:
+      return "mutual-exclusion-not-justified-under-tso";
+    case DiagCode::FenceRedundant: return "fence-redundant";
   }
   return "unknown";
 }
@@ -97,6 +100,13 @@ const char* diagCodeDescription(DiagCode code) {
     case DiagCode::AssertMayFail:
       return "an assert condition's value range contains zero, so some "
              "interleaving may trip the assert";
+    case DiagCode::MutualExclusionNotJustifiedUnderTSO:
+      return "a shared load may overtake an earlier pending plain store of "
+             "the same thread under TSO, so the store/load pair cannot "
+             "justify mutual exclusion without a fence or atomics";
+    case DiagCode::FenceRedundant:
+      return "a fence drains a store buffer that provably holds no store "
+             "a concurrent thread could observe early";
   }
   return "unknown check";
 }

@@ -48,6 +48,10 @@ enum class DiagCode {
   DivByZero,           // divisor is (or may be) zero
   AssertProved,        // assert condition provably non-zero
   AssertMayFail,       // assert condition may (or must) be zero
+  // TSO weak-memory analysis (src/sanalysis/tso).
+  MutualExclusionNotJustifiedUnderTSO,  // ad-hoc protocol breaks if a
+                                        // pending store passes a later load
+  FenceRedundant,      // fence ordering no store/load pair that can race
 };
 
 [[nodiscard]] const char* diagCodeName(DiagCode code);

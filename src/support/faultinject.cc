@@ -110,7 +110,7 @@ std::string corruptProgram(ir::Program& program, std::uint64_t seed) {
   if (stmts.empty()) return {};
   const std::uint64_t h = mix(seed);
 
-  constexpr int kKinds = 8;
+  constexpr int kKinds = 9;
   for (int attempt = 0; attempt < kKinds; ++attempt) {
     switch ((seed + static_cast<std::uint64_t>(attempt)) % kKinds) {
       case 0: {  // assignment target becomes a non-variable symbol
@@ -183,6 +183,13 @@ std::string corruptProgram(ir::Program& program, std::uint64_t seed) {
         s->sync = wrongKindSymbol(program, SymbolKind::Event, h);
         return "event-op retargeted to non-event";
       }
+      case 8: {  // fence given an operand (fences take none)
+        std::vector<Stmt*> fences = stmtsOfKind(stmts, StmtKind::Fence);
+        Stmt* s = pick(fences, h);
+        if (s == nullptr) break;
+        s->expr = ir::makeInt(static_cast<long long>(h % 100));
+        return "fence given an operand";
+      }
     }
   }
   return {};
@@ -201,7 +208,7 @@ std::vector<std::string> mutateProgram(ir::Program& program,
     if (stmts.empty()) break;
     const std::uint64_t h = rng();
 
-    switch (rng() % 8) {
+    switch (rng() % 9) {
       case 0: {  // retarget a variable reference to an arbitrary symbol
         std::vector<Expr*> refs = collectExprs(program, ExprKind::VarRef);
         Expr* e = pick(refs, h);
@@ -284,6 +291,14 @@ std::vector<std::string> mutateProgram(ir::Program& program,
         s->sync = SymbolId{
             static_cast<SymbolId::value_type>(h % program.symbols.size())};
         applied.push_back("retarget-sync");
+        break;
+      }
+      case 8: {  // flip the atomic flag of an assignment (TSO grammar)
+        std::vector<Stmt*> assigns = stmtsOfKind(stmts, StmtKind::Assign);
+        Stmt* s = pick(assigns, h);
+        if (s == nullptr) break;
+        s->atomic = !s->atomic;
+        applied.push_back("flip-atomic");
         break;
       }
     }

@@ -1,0 +1,42 @@
+// Memory models the interpreter/explorer can simulate and the static
+// analyses can reason about.
+//
+// SC is the default everywhere: every pre-existing pass and the explorer
+// were written against sequential consistency and stay bit-identical
+// unless a caller opts into TSO explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cssame::support {
+
+enum class MemoryModel : std::uint8_t {
+  SC,   ///< sequential consistency — interleaving of program actions
+  TSO,  ///< total store order — per-thread FIFO store buffers with
+        ///< store forwarding; plain stores may commit after later loads
+};
+
+[[nodiscard]] constexpr const char* memoryModelName(MemoryModel m) {
+  switch (m) {
+    case MemoryModel::SC: return "sc";
+    case MemoryModel::TSO: return "tso";
+  }
+  return "?";
+}
+
+/// Parses "sc"/"tso"; returns false (leaving `out` untouched) otherwise.
+[[nodiscard]] constexpr bool parseMemoryModel(std::string_view s,
+                                              MemoryModel& out) {
+  if (s == "sc") {
+    out = MemoryModel::SC;
+    return true;
+  }
+  if (s == "tso") {
+    out = MemoryModel::TSO;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace cssame::support

@@ -101,6 +101,15 @@ class RandomGen {
     b_.assign(v, b_.add(b_.ref(v), b_.ref(acc)));
   }
 
+  /// A sequentially consistent atomic access: half stores, half loads.
+  void atomicUpdate(SymbolId acc) {
+    const SymbolId v = pickShared();
+    if (chance(0.5))
+      b_.atomicStore(v, b_.add(b_.ref(acc), b_.lit(intIn(0, 9))));
+    else
+      b_.atomicLoad(acc, v);
+  }
+
   void privateWork(SymbolId acc) {
     b_.assign(acc, b_.add(b_.mul(b_.ref(acc), b_.lit(intIn(2, 5))),
                           b_.lit(intIn(1, 9))));
@@ -108,6 +117,13 @@ class RandomGen {
 
   void emitStmts(int t, SymbolId acc, int budget, int depth) {
     while (budget > 0) {
+      // Short-circuit on the probability so a zero setting draws nothing
+      // from the RNG — pre-TSO seeds stay byte-identical.
+      if (cfg_.fenceProb > 0 && chance(cfg_.fenceProb)) {
+        b_.fence();
+        budget -= 1;
+        continue;
+      }
       if (depth > 0 && chance(cfg_.branchProb)) {
         const int inner = std::min(budget, static_cast<int>(intIn(1, 4)));
         b_.if_(b_.bin(BinOp::Gt,
@@ -136,7 +152,10 @@ class RandomGen {
         privateWork(acc);
         budget -= 1;
       } else {
-        unlockedUpdate(acc);
+        if (cfg_.atomicFraction > 0 && chance(cfg_.atomicFraction))
+          atomicUpdate(acc);
+        else
+          unlockedUpdate(acc);
         budget -= 1;
       }
     }
@@ -163,6 +182,8 @@ GeneratorConfig GeneratorConfig::sanitized() const {
   cfg.branchProb = clampProb(cfg.branchProb);
   cfg.loopProb = clampProb(cfg.loopProb);
   cfg.lockedFraction = clampProb(cfg.lockedFraction);
+  cfg.fenceProb = clampProb(cfg.fenceProb);
+  cfg.atomicFraction = clampProb(cfg.atomicFraction);
   return cfg;
 }
 

@@ -39,6 +39,14 @@ struct GeneratorConfig {
   double lockedFraction = 0.7;  ///< shared accesses inside mutex bodies
   bool useEvents = false;       ///< sprinkle set/wait pairs across threads
   bool determinate = true;      ///< interleaving-independent output
+  /// Probability of emitting a `fence;` before each statement slot. 0
+  /// (the default) draws nothing from the RNG, so pre-TSO seeds generate
+  /// byte-identical programs.
+  double fenceProb = 0.0;
+  /// Fraction of non-determinate shared updates emitted as
+  /// atomic_store/atomic_load instead of plain accesses. 0 (default)
+  /// likewise leaves existing seeds untouched.
+  double atomicFraction = 0.0;
 
   /// Copy with every field clamped into a safe range (counts positive and
   /// bounded, probabilities in [0,1], NaNs zeroed). generateRandom applies

@@ -175,6 +175,42 @@ TEST(ExploreParallel, AdversarialPrograms) {
                    smallBudget(), "paper figure 2");
 }
 
+TEST(ExploreParallel, TsoStoreBufferSweep) {
+  // Under MemoryModel::TSO every state carries per-thread store buffers
+  // and the action set includes flushes; the layered phases must still
+  // make the result a pure function of the program. Random racy programs
+  // (some with fences and atomics) plus the store-buffering litmus.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    workload::GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = 2;
+    cfg.sharedVars = 3;
+    cfg.locks = 1;
+    cfg.stmtsPerThread = 3;
+    cfg.maxDepth = 1;
+    cfg.loopProb = 0.0;
+    cfg.lockedFraction = 0.25 * static_cast<double>(seed % 3);
+    cfg.determinate = false;
+    cfg.fenceProb = seed % 2 == 0 ? 0.2 : 0.0;
+    cfg.atomicFraction = seed % 3 == 0 ? 0.5 : 0.0;
+    ExploreOptions opts = smallBudget();
+    opts.model = support::MemoryModel::TSO;
+    checkDeterminism(workload::generateRandom(cfg), opts,
+                     "tso generateRandom seed=" + std::to_string(seed));
+  }
+  ExploreOptions opts = smallBudget();
+  opts.model = support::MemoryModel::TSO;
+  checkDeterminism(parser::parseOrDie(R"(
+    int x, y, r0, r1;
+    cobegin {
+      thread { x = 1; r0 = y; }
+      thread { y = 1; r1 = x; }
+    }
+    print(r0); print(r1);
+  )"),
+                   opts, "store-buffering litmus under TSO");
+}
+
 TEST(ExploreParallel, PooledOverloadMatchesOwnedWorkers) {
   // The pool-reusing overload must agree with the owning overload.
   workload::GeneratorConfig cfg;

@@ -46,6 +46,10 @@ ir::Program makeWorkload(std::uint64_t seed) {
   cfg.loopProb = 0.15;
   cfg.determinate = seed % 2 == 0;
   cfg.useEvents = seed % 7 == 0;
+  // A slice of the seeds exercises the weak-memory grammar (fence,
+  // atomic_store/atomic_load) so mutation and corruption sweep it too.
+  cfg.fenceProb = seed % 3 == 0 ? 0.15 : 0.0;
+  cfg.atomicFraction = seed % 5 == 0 ? 0.4 : 0.0;
   return workload::generateRandom(cfg);
 }
 

@@ -336,6 +336,9 @@ driver::RunOptions optionsFor(const service::Json& options) {
   o.doRaces = options.getBool("races", false);
   o.doRun = options.getBool("run", false);
   o.doOpt = options.getBool("opt", false);
+  o.doTso = options.getBool("tso", false);
+  (void)support::parseMemoryModel(options.getString("memoryModel", "sc"),
+                                  o.memoryModel);
   o.seed = static_cast<std::uint64_t>(options.getInt("seed", 1));
   return o;
 }
@@ -352,6 +355,11 @@ TEST(ServiceServer, ResponsesMatchStandaloneRunnerBytewise) {
   optionSets.push_back(
       service::Json::object().set("run", true).set("seed", 3));
   optionSets.push_back(service::Json::object().set("opt", true));
+  optionSets.push_back(service::Json::object().set("tso", true));
+  optionSets.push_back(service::Json::object()
+                           .set("run", true)
+                           .set("seed", 3)
+                           .set("memoryModel", "tso"));
 
   for (const char* source : {kSource, kRacySource}) {
     for (const service::Json& options : optionSets) {
@@ -402,6 +410,27 @@ TEST(ServiceCache, RepeatRequestHitsMemoryTier) {
   EXPECT_EQ(second.get("result").write(), first.get("result").write());
   EXPECT_EQ(server.cache().counters().responseHits.value(), 1u);
   EXPECT_EQ(server.cache().counters().misses.value(), 1u);
+}
+
+TEST(ServiceCache, MemoryModelKeysDiverge) {
+  // An SC-cached response must never be served to a TSO request (or vice
+  // versa): the memory model is part of RunOptions::cacheKey(), so the
+  // request fingerprints differ even for identical source bytes.
+  driver::RunOptions sc, tso;
+  tso.memoryModel = support::MemoryModel::TSO;
+  EXPECT_NE(sc.cacheKey(), tso.cacheKey());
+
+  service::Server server({});
+  service::Json runSc = service::Json::object().set("run", true);
+  service::Json runTso =
+      service::Json::object().set("run", true).set("memoryModel", "tso");
+  service::Json first =
+      parseOk(server.handlePayload(makeRequest("analyze", kSource, runSc)));
+  service::Json second =
+      parseOk(server.handlePayload(makeRequest("analyze", kSource, runTso)));
+  EXPECT_EQ(first.getString("cached", "?"), "miss");
+  // Same source, same flags, different model: a fresh key, not a hit.
+  EXPECT_EQ(second.getString("cached", "?"), "miss");
 }
 
 TEST(ServiceCache, RelatedRequestReusesLiveCompilation) {
