@@ -15,6 +15,8 @@
 //   --vrange          run the concurrent value-range analysis (CVRA)
 //   --tso             run the TSO weak-memory analysis (reorderable
 //                     store/load pairs; redundant fences)
+//   --points-to       print the concurrent points-to solution (per deref
+//                     site targets, pointer-holding cells, solver stats)
 //   --memory-model=M  memory model for --run: sc (default) or tso (plain
 //                     stores buffer per thread and flush asynchronously)
 //   --sarif[=FILE]    emit all diagnostics as SARIF 2.1.0 (implies --csan);
@@ -87,7 +89,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
                "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
-               "[--vrange] [--tso] [--memory-model=sc|tso] "
+               "[--vrange] [--tso] [--points-to] [--memory-model=sc|tso] "
                "[--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
                "[--connect=SOCK] [--timeout-ms=N] [--version] "
                "<file> [more files...]\n");
@@ -267,6 +269,7 @@ service::Json buildRequest(const std::string& file,
       .set("json", o.doJson)
       .set("vrange", o.doVrange)
       .set("tso", o.doTso)
+      .set("pointsTo", o.doPointsTo)
       .set("memoryModel", support::memoryModelName(o.memoryModel))
       .set("seed", o.seed);
   service::Json request = service::Json::object();
@@ -298,6 +301,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--csan") == 0) o.run.doCsan = true;
     else if (std::strcmp(arg, "--vrange") == 0) o.run.doVrange = true;
     else if (std::strcmp(arg, "--tso") == 0) o.run.doTso = true;
+    else if (std::strcmp(arg, "--points-to") == 0) o.run.doPointsTo = true;
     else if (std::strncmp(arg, "--memory-model=", 15) == 0) {
       if (!support::parseMemoryModel(arg + 15, o.run.memoryModel)) {
         std::fprintf(stderr,

@@ -1,0 +1,24 @@
+// Aliased array indexing: i and j are distinct symbols but both
+// evaluate to 0, so a[i] and a[j] touch the same cell. Arrays collapse
+// to one abstract location per array, so the alias classes key both
+// stores to `a` and csan flags the unsynchronized pair; the lock-free
+// reader thread races too.
+int a[4];
+int i, j, sum;
+
+i = 0;
+j = i;
+
+cobegin {
+  thread writerA {
+    a[i] = 1;
+  }
+  thread writerB {
+    a[j] = 2;
+  }
+  thread reader {
+    sum = a[0] + a[1];
+  }
+}
+
+print(sum);

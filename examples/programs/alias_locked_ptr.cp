@@ -1,0 +1,25 @@
+// The same shared-cell shape as alias_shared_cell.cp, but every store
+// through the aliased pointers holds the cell's lock: the deref sites
+// still share one alias class, yet the lockset analysis proves mutual
+// exclusion and csan stays silent. Run with --points-to to see the
+// per-site target sets feeding that verdict.
+int x, p, q;
+lock m;
+
+p = &x;
+q = &x;
+
+cobegin {
+  thread writer1 {
+    lock(m);
+    *p = *p + 1;
+    unlock(m);
+  }
+  thread writer2 {
+    lock(m);
+    *q = *q + 2;
+    unlock(m);
+  }
+}
+
+print(x);

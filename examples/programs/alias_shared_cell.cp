@@ -1,0 +1,22 @@
+// Two threads store through differently named pointers that both hold
+// the address of the same shared cell. No symbol is written by two
+// threads, so a symbol-keyed race check sees nothing; the points-to
+// analysis maps both derefs to x's alias class and csan reports a
+// may-alias race with the points-to chain in the witness notes.
+//
+//   cssamec --points-to --csan alias_shared_cell.cp
+int x, p, q;
+
+p = &x;
+q = &x;
+
+cobegin {
+  thread writer1 {
+    *p = 1;
+  }
+  thread writer2 {
+    *q = 2;
+  }
+}
+
+print(x);

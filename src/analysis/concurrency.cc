@@ -213,9 +213,9 @@ void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp,
   graph.mutexEdges.clear();
   graph.dsyncEdges.clear();
 
-  // Invert the shared access index: per symbol, the nodes touching it in
-  // node-id order. Only these nodes can ever be paired by an Ecf edge, so
-  // the sweep is bounded by Σ_v defs(v)·accessors(v) instead of N².
+  // Invert the shared access index: per alias class, the nodes touching
+  // it in node-id order. Only these nodes can ever be paired by an Ecf
+  // edge, so the sweep is bounded by Σ_v defs(v)·accessors(v) not N².
   std::unordered_map<SymbolId, std::vector<SymNodeAccess>> bySym;
   for (const pfg::Node& n : graph.nodes()) {
     const AccessSites::NodeAccess& acc = sites.byNode[n.id.index()];
@@ -295,22 +295,35 @@ AccessSites collectAccessSites(const pfg::Graph& graph) {
   AccessSites sites;
   sites.byNode.resize(graph.size());
   const ir::SymbolTable& syms = graph.program().symbols;
+  const ir::AliasClasses& aliases = graph.aliases;
 
+  // Every reading expression — VarRef, Index load, Deref load — keys by
+  // its alias class. Under the identity partition this degenerates to the
+  // historic walk: shared VarRefs only (Index keys by its array symbol;
+  // Deref sites are only mapped once a partition is installed).
   auto collectUses = [&](const ir::Expr& e, ir::Stmt* stmt, NodeId node) {
     ir::forEachExpr(e, [&](const ir::Expr& sub) {
-      if (sub.kind == ir::ExprKind::VarRef && syms.isSharedVar(sub.var)) {
-        sites.uses[sub.var].push_back(AccessSites::Use{&sub, stmt, node});
-        addUnique(sites.byNode[node.index()].uses, sub.var);
-      }
+      const SymbolId cls = aliases.useTargetOf(sub);
+      if (!cls.valid() || !aliases.classShared(cls, syms)) return;
+      const bool viaDeref = sub.kind == ir::ExprKind::Deref;
+      sites.uses[cls].push_back(AccessSites::Use{
+          &sub, stmt, node, viaDeref ? SymbolId{} : sub.var, viaDeref});
+      addUnique(sites.byNode[node.index()].uses, cls);
     });
   };
 
   for (const pfg::Node& n : graph.nodes()) {
     for (ir::Stmt* s : n.stmts) {
       if (s->expr) collectUses(*s->expr, s, n.id);
-      if (s->kind == ir::StmtKind::Assign && syms.isSharedVar(s->lhs)) {
-        sites.defs[s->lhs].push_back(AccessSites::Def{s, n.id});
-        addUnique(sites.byNode[n.id.index()].defs, s->lhs);
+      // `a[i] = e` reads i; `*p = e` reads p. The address operand is a
+      // plain use walk of its own.
+      if (s->lhsAddr) collectUses(*s->lhsAddr, s, n.id);
+      const SymbolId def = aliases.defTargetOf(*s);
+      if (def.valid() && aliases.classShared(def, syms)) {
+        const bool viaDeref = s->lhsKind == ir::LValueKind::Deref;
+        sites.defs[def].push_back(AccessSites::Def{
+            s, n.id, viaDeref ? SymbolId{} : s->lhs, viaDeref});
+        addUnique(sites.byNode[n.id.index()].defs, def);
       }
     }
     if (n.terminator != nullptr && n.terminator->expr)

@@ -159,26 +159,40 @@ class Mhp {
   std::vector<DynBitset> ordDst_;
 };
 
-/// Definition and use sites of shared variables at statement granularity;
+/// Definition and use sites of shared storage at statement granularity;
 /// the CSSA π-placement consumes these (one π argument per concurrent
 /// definition site). `byNode` is the node-granularity view of the same
 /// walk — the shared access index the conflict-edge construction and the
 /// lockset engines reuse instead of re-walking statements.
+///
+/// Both maps are keyed by *alias-class representative* (graph.aliases).
+/// Under the identity partition the key is the accessed symbol itself and
+/// the index matches the historic symbol-keyed one exactly; for pointer
+/// programs a `*p = e` store lands in the class of everything p may point
+/// to, and `a[i]` accesses key by the array symbol.
 struct AccessSites {
   struct Def {
     ir::Stmt* stmt;  ///< the Assign statement
     NodeId node;
+    /// Syntactic lhs symbol (the array for Index stores); invalid for
+    /// Deref stores, which name no symbol at the site.
+    SymbolId accessedSym{};
+    bool viaDeref = false;  ///< `*p = e` store
   };
   struct Use {
-    const ir::Expr* ref;  ///< the VarRef expression
+    const ir::Expr* ref;  ///< the VarRef / Index / Deref expression
     ir::Stmt* stmt;       ///< statement containing the use
     NodeId node;
+    /// Syntactic symbol read (the array for Index loads); invalid for
+    /// Deref loads.
+    SymbolId accessedSym{};
+    bool viaDeref = false;  ///< `*p` load
   };
   std::unordered_map<SymbolId, std::vector<Def>> defs;
   std::unordered_map<SymbolId, std::vector<Use>> uses;
 
-  /// Shared variables each node defines / uses, first-occurrence
-  /// statement order, deduplicated. Indexed by NodeId.
+  /// Alias classes each node defines / uses, first-occurrence statement
+  /// order, deduplicated. Indexed by NodeId.
   struct NodeAccess {
     std::vector<SymbolId> defs;
     std::vector<SymbolId> uses;
@@ -189,17 +203,19 @@ struct AccessSites {
 /// Populates graph.conflicts (Ecf), graph.mutexEdges (Emutex) and
 /// graph.dsyncEdges (Edsync) from the MHP relation, completing the PFG of
 /// Definition 1. Conflict edges run from every node defining a shared
-/// variable to every concurrent node using (DU) or defining (DD) it.
-/// Only nodes touching the same symbol are ever paired (the access index
-/// bounds the sweep), and the emitted edge sequence is identical to the
-/// all-pairs definition.
+/// alias class to every concurrent node using (DU) or defining (DD) it;
+/// ConflictEdge::var carries the class representative. Only nodes
+/// touching the same class are ever paired (the access index bounds the
+/// sweep), and the emitted edge sequence is identical to the all-pairs
+/// definition.
 void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp,
                                  const AccessSites& sites);
 
 /// Convenience overload that collects the access index itself.
 void computeSyncAndConflictEdges(pfg::Graph& graph, const Mhp& mhp);
 
-/// Collects per-shared-variable access sites over the whole graph.
+/// Collects per-alias-class access sites over the whole graph, consulting
+/// graph.aliases for the class of each direct, indexed or pointer access.
 [[nodiscard]] AccessSites collectAccessSites(const pfg::Graph& graph);
 
 }  // namespace cssame::analysis

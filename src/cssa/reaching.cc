@@ -41,7 +41,9 @@ ReachingInfo computeParallelReachingDefs(const pfg::Graph& graph,
 
   auto recordUses = [&](const ir::Expr& root) {
     ir::forEachExpr(root, [&](const ir::Expr& sub) {
-      if (sub.kind != ir::ExprKind::VarRef) return;
+      // Every reading expression with a use-def link: VarRef, Index load,
+      // Deref load. Non-reading kinds (and empty-points-to derefs) have
+      // no entry and are skipped naturally.
       auto it = form.useDef.find(&sub);
       if (it == form.useDef.end()) return;
       const std::vector<SsaNameId>& defs = solver.valueOf(it->second);
@@ -51,8 +53,10 @@ ReachingInfo computeParallelReachingDefs(const pfg::Graph& graph,
   };
 
   for (const pfg::Node& n : graph.nodes()) {
-    for (const ir::Stmt* s : n.stmts)
+    for (const ir::Stmt* s : n.stmts) {
       if (s->expr) recordUses(*s->expr);
+      if (s->lhsAddr) recordUses(*s->lhsAddr);
+    }
     if (n.terminator != nullptr && n.terminator->expr)
       recordUses(*n.terminator->expr);
   }

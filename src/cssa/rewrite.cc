@@ -7,10 +7,18 @@ namespace cssame::cssa {
 
 namespace {
 
-/// True if the block node contains a real definition of `var`.
-bool nodeDefines(const pfg::Node& n, SymbolId var) {
+/// True if the statement overwrites the whole alias class `cls` — only
+/// strong definitions (scalar store to a singleton class) kill. An Index
+/// or Deref store updates at most one member/cell, so values written
+/// earlier may survive it and it must not end a path search.
+bool killsClass(const pfg::Graph& graph, const ir::Stmt* s, SymbolId cls) {
+  return graph.aliases.strongDef(*s) && graph.aliases.repOf(s->lhs) == cls;
+}
+
+/// True if the block node contains a killing definition of class `var`.
+bool nodeDefines(const pfg::Graph& graph, const pfg::Node& n, SymbolId var) {
   for (const ir::Stmt* s : n.stmts)
-    if (s->kind == ir::StmtKind::Assign && s->lhs == var) return true;
+    if (killsClass(graph, s, var)) return true;
   return false;
 }
 
@@ -23,12 +31,12 @@ bool isUpwardExposedFromBody(const pfg::Graph& graph,
   (void)ref;
   const pfg::Node& start = graph.node(node);
 
-  // A real definition before the use in the same node kills the exposure.
-  // When the use sits in the terminator condition, every statement of the
-  // node precedes it.
+  // A killing definition before the use in the same node ends the
+  // exposure. When the use sits in the terminator condition, every
+  // statement of the node precedes it.
   for (const ir::Stmt* s : start.stmts) {
     if (s == useStmt) break;
-    if (s->kind == ir::StmtKind::Assign && s->lhs == var) return false;
+    if (killsClass(graph, s, var)) return false;
   }
 
   // Backward search restricted to the body (plus its lock node): exposed
@@ -49,7 +57,7 @@ bool isUpwardExposedFromBody(const pfg::Graph& graph,
     const NodeId cur = work.front();
     work.pop_front();
     if (cur == b.lockNode) return true;  // reached n with no kill
-    if (nodeDefines(graph.node(cur), var)) continue;  // path killed
+    if (nodeDefines(graph, graph.node(cur), var)) continue;  // path killed
     enqueuePreds(cur);
   }
   return false;
@@ -59,15 +67,14 @@ bool defReachesBodyExit(const pfg::Graph& graph, const mutex::MutexBody& b,
                         SymbolId var, const ir::Stmt* defStmt, NodeId node) {
   const pfg::Node& start = graph.node(node);
 
-  // A later definition in the same node kills this one.
+  // A later killing definition in the same node kills this one.
   bool seenDef = false;
   for (const ir::Stmt* s : start.stmts) {
     if (s == defStmt) {
       seenDef = true;
       continue;
     }
-    if (seenDef && s->kind == ir::StmtKind::Assign && s->lhs == var)
-      return false;
+    if (seenDef && killsClass(graph, s, var)) return false;
   }
 
   if (node == b.unlockNode) return true;
@@ -90,7 +97,7 @@ bool defReachesBodyExit(const pfg::Graph& graph, const mutex::MutexBody& b,
     const NodeId cur = work.front();
     work.pop_front();
     if (cur == b.unlockNode) return true;
-    if (nodeDefines(graph.node(cur), var)) continue;  // path killed
+    if (nodeDefines(graph, graph.node(cur), var)) continue;  // path killed
     enqueueSuccs(cur);
   }
   return false;

@@ -28,8 +28,10 @@
 // the existing Expected/Status machinery instead of hanging.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -205,10 +207,35 @@ class DenseSolver {
 /// φ values re-join over their arguments, π values join their control
 /// argument with every conflict argument — the concurrent merge the
 /// CSSAME form makes explicit. Removed definitions are skipped.
+///
+/// Two *optional* hooks extend the propagation beyond the factored φ/π
+/// edges (existing problems compile unchanged without them):
+///
+///   std::vector<SsaNameId> extraDeps(const ssa::Definition& d) const;
+///     Further definitions `d` reads — typically the use-def links of an
+///     Assign's right-hand side. The solver adds def-use edges for them
+///     and re-evaluates `d` when any changes.
+///
+///   Value evalAssign(const ssa::Definition& d,
+///                    const std::function<Value(SsaNameId)>& get) const;
+///     Transfer function for Assign definitions (Entry still uses
+///     initial). `get` returns the current value of any SSA name
+///     (identity() for out-of-range ids during seeding). The points-to
+///     client uses this to evaluate `p = &x; q = p;` chains sparsely.
 template <typename P>
 class SsaPropagator {
  public:
   using Value = typename P::Value;
+
+  static constexpr bool kHasExtraDeps =
+      requires(const P& p, const ssa::Definition& d) {
+        { p.extraDeps(d) } -> std::convertible_to<std::vector<SsaNameId>>;
+      };
+  static constexpr bool kHasEvalAssign =
+      requires(const P& p, const ssa::Definition& d,
+               const std::function<typename P::Value(SsaNameId)>& get) {
+        { p.evalAssign(d, get) } -> std::convertible_to<typename P::Value>;
+      };
 
   SsaPropagator(const ssa::SsaForm& form, P problem, SolverOptions opts = {})
       : form_(form), problem_(std::move(problem)), opts_(opts) {}
@@ -229,6 +256,11 @@ class SsaPropagator {
         for (const ssa::PiConflictArg& a : d.piConflictArgs)
           users_[a.def.index()].push_back(d.name);
       }
+      if constexpr (kHasExtraDeps) {
+        for (SsaNameId dep : problem_.extraDeps(d))
+          if (dep.valid() && dep.index() < n)
+            users_[dep.index()].push_back(d.name);
+      }
     }
 
     values_.clear();
@@ -237,8 +269,10 @@ class SsaPropagator {
     std::vector<bool> queued(n, false);
     for (const ssa::Definition& d : form_.defs) {
       values_.push_back(evaluate(d));
-      if (!d.removed &&
-          (d.kind == ssa::DefKind::Phi || d.kind == ssa::DefKind::Pi)) {
+      const bool seeded =
+          d.kind == ssa::DefKind::Phi || d.kind == ssa::DefKind::Pi ||
+          (kHasEvalAssign && d.kind == ssa::DefKind::Assign);
+      if (!d.removed && seeded) {
         work.push_back(d.name);
         queued[d.name.index()] = true;
       }
@@ -277,8 +311,18 @@ class SsaPropagator {
  private:
   [[nodiscard]] Value evaluate(const ssa::Definition& d) const {
     switch (d.kind) {
-      case ssa::DefKind::Entry:
       case ssa::DefKind::Assign:
+        if constexpr (kHasEvalAssign) {
+          const std::function<Value(SsaNameId)> get =
+              [this](SsaNameId id) -> Value {
+            return id.valid() && id.index() < values_.size()
+                       ? values_[id.index()]
+                       : problem_.identity();
+          };
+          return problem_.evalAssign(d, get);
+        }
+        [[fallthrough]];
+      case ssa::DefKind::Entry:
         return problem_.initial(d);
       case ssa::DefKind::Phi: {
         Value v = problem_.identity();

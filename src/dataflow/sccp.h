@@ -219,8 +219,17 @@ class SparseConditional {
     auto it = pisByStmt_.find(s);
     if (it != pisByStmt_.end())
       for (SsaNameId pi : it->second) evalTerm(pi);
-    if (s->kind == ir::StmtKind::Assign)
-      lower(form_.assignDef.at(s), evalExpr(*s->expr));
+    if (s->kind == ir::StmtKind::Assign) {
+      // A deref store whose points-to set is empty defines nothing.
+      auto def = form_.assignDef.find(s);
+      if (def == form_.assignDef.end()) return;
+      // A weak definition (deref store, array store, or any store into a
+      // multi-symbol alias class) may leave other cells of the class
+      // unchanged, so the class value after it is not just the rhs.
+      lower(def->second, form_.def(def->second).weak
+                             ? domain_.unknown()
+                             : evalExpr(*s->expr));
+    }
   }
 
   void evalBranch(NodeId id) {

@@ -7,6 +7,30 @@ namespace cssame::driver {
 
 namespace {
 
+/// True when two alias partitions key every access identically: same
+/// class representative for every symbol and the same class (or absence
+/// of one) at every deref site. The refinement loop below stops when a
+/// re-solve no longer moves the partition.
+bool samePartition(const ir::AliasClasses& a, const ir::AliasClasses& b,
+                   const ir::Program& prog) {
+  for (const ir::Symbol& s : prog.symbols.all())
+    if (a.repOf(s.id) != b.repOf(s.id)) return false;
+  bool same = true;
+  ir::forEachStmt(prog.body, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.lhsKind == ir::LValueKind::Deref &&
+        a.derefStoreClass(&s) != b.derefStoreClass(&s))
+      same = false;
+    ir::forEachStmtExpr(s, [&](const ir::Expr& root) {
+      ir::forEachExpr(root, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::Deref &&
+            a.derefLoadClass(&e) != b.derefLoadClass(&e))
+          same = false;
+      });
+    });
+  });
+  return same;
+}
+
 /// Renders a violation list as one fault message: the first violation
 /// verbatim plus a count of the rest.
 std::string summarize(const std::vector<std::string>& problems) {
@@ -33,6 +57,13 @@ Compilation::Compilation(ir::Program& program, PipelineOptions opts)
   };
   graph_ = std::make_unique<pfg::Graph>(pfg::buildPfg(program));
   phase("pfg");
+  // Phase A of the pointer pipeline: before any class-keyed structure
+  // exists, install the syntactic conservative partition so the first
+  // CSSAME build is sound for `*p` accesses. Scalar and array-only
+  // programs keep the identity partition — their keying is already exact
+  // and the whole phase-B rebuild below is skipped.
+  const bool pointers = ir::usesDeref(program);
+  if (pointers) graph_->aliases = ir::conservativeClasses(program);
   dom_ = std::make_unique<analysis::Dominators>(
       *graph_, analysis::Dominators::Direction::Forward);
   phase("dom");
@@ -59,6 +90,45 @@ Compilation::Compilation(ir::Program& program, PipelineOptions opts)
   if (opts.enableCssame) {
     rewriteStats_ = cssa::rewritePiTerms(*graph_, *ssa_, *mutexes_);
     phase("cssame-rewrite");
+  }
+  if (pointers) {
+    // Phase B: solve points-to over the conservative form, refine the
+    // partition to what may actually alias, and rebuild every class-keyed
+    // structure (access index, Ecf edges, SSA/CSSAME form) on it. The
+    // control skeleton (PFG, dominators, MHP, mutex structures) does not
+    // depend on the partition and is reused as-is.
+    auto rebuildKeyed = [&] {
+      sites_ = analysis::collectAccessSites(*graph_);
+      analysis::computeSyncAndConflictEdges(*graph_, *mhp_, sites_);
+      ssa_ = std::make_unique<ssa::SsaForm>(
+          ssa::buildSequentialSsa(*graph_, *dom_));
+      piStats_ = cssa::placePiTerms(*graph_, *ssa_, *mhp_, sites_);
+      if (opts.enableCssame)
+        rewriteStats_ = cssa::rewritePiTerms(*graph_, *ssa_, *mutexes_);
+    };
+    pointsTo_ = std::make_unique<sanalysis::PointsToResult>(
+        sanalysis::solvePointsTo(*graph_, *ssa_));
+    phase("pointsto");
+    graph_->aliases = pointsTo_->buildClasses(program);
+    rebuildKeyed();
+    // Iterate solve → refine → rebuild: the conservative mega-class made
+    // every pointer variable's defs weak, so the first solve's use-def
+    // chains are no sharper than the flow-insensitive store map. Once the
+    // refined partition restores singleton classes, a re-solve recovers
+    // the sparse chain precision, which can split classes further. Each
+    // round's input form is keyed by a sound partition, so every solve is
+    // sound; the round cap is a backstop, not a correctness requirement.
+    for (int round = 0; round < 3; ++round) {
+      auto next = std::make_unique<sanalysis::PointsToResult>(
+          sanalysis::solvePointsTo(*graph_, *ssa_));
+      ir::AliasClasses refined = next->buildClasses(program);
+      const bool stable = samePartition(graph_->aliases, refined, program);
+      pointsTo_ = std::move(next);  // per-site sets from the final form
+      if (stable) break;
+      graph_->aliases = std::move(refined);
+      rebuildKeyed();
+    }
+    phase("sites-refined");
   }
 }
 

@@ -20,6 +20,7 @@
 #include "src/mutex/mutex_structures.h"
 #include "src/parser/parser.h"
 #include "src/pfg/build.h"
+#include "src/sanalysis/pointsto.h"
 #include "src/ssa/ssa.h"
 #include "src/support/timer.h"
 
@@ -58,6 +59,7 @@ class Compilation {
         mutexes_(std::move(other.mutexes_)),
         sites_(std::move(other.sites_)),
         ssa_(std::move(other.ssa_)),
+        pointsTo_(std::move(other.pointsTo_)),
         piStats_(other.piStats_),
         rewriteStats_(other.rewriteStats_),
         heldLocks_(std::move(other.heldLocks_)),
@@ -85,6 +87,14 @@ class Compilation {
   [[nodiscard]] const analysis::AccessSites& sites() const { return sites_; }
   ssa::SsaForm& ssa() { return *ssa_; }
   [[nodiscard]] const ssa::SsaForm& ssa() const { return *ssa_; }
+
+  /// Points-to solution for pointer programs (two-phase pipeline: the
+  /// conservative pre-pass form is solved, the partition refined, and the
+  /// class-keyed structures rebuilt). nullptr for programs without Deref
+  /// — the identity/array keying is already exact there.
+  [[nodiscard]] const sanalysis::PointsToResult* pointsTo() const {
+    return pointsTo_.get();
+  }
 
   [[nodiscard]] const cssa::PiPlacementStats& piStats() const {
     return piStats_;
@@ -163,6 +173,7 @@ class Compilation {
   std::unique_ptr<mutex::MutexStructures> mutexes_;
   analysis::AccessSites sites_;
   std::unique_ptr<ssa::SsaForm> ssa_;
+  std::unique_ptr<sanalysis::PointsToResult> pointsTo_;
   cssa::PiPlacementStats piStats_;
   cssa::RewriteStats rewriteStats_;
   /// Lazily computed analysis caches (mutable: computing them on demand

@@ -1,7 +1,9 @@
 #include "src/driver/runner.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "src/cssa/form_printer.h"
@@ -15,6 +17,7 @@
 #include "src/parser/parser.h"
 #include "src/pfg/dot.h"
 #include "src/sanalysis/csan.h"
+#include "src/sanalysis/pointsto.h"
 #include "src/sanalysis/sarif.h"
 #include "src/sanalysis/tso.h"
 #include "src/sanalysis/vrange.h"
@@ -79,11 +82,17 @@ bool renderCompiled(const ir::Program& prog, const Compilation& c,
     const sanalysis::CsanReport report = sanalysis::runCsan(c, toolDiag);
     for (const auto& d : toolDiag.diagnostics())
       appendf(err, "%s\n", d.str().c_str());
+    // The "(+N may-alias)" clause appears only for pointer/array races,
+    // keeping the scalar-program summary byte-identical to older builds.
+    char aliasPart[48] = "";
+    if (report.mayAliasRaces > 0)
+      std::snprintf(aliasPart, sizeof aliasPart, " (+%zu may-alias)",
+                    report.mayAliasRaces);
     appendf(err,
-            "csan: %zu finding(s): %zu race(s), %zu inconsistent, "
+            "csan: %zu finding(s): %zu race(s)%s, %zu inconsistent, "
             "%zu deadlock(s), %zu self-deadlock(s), %zu leak(s), "
             "%zu body lint(s), %zu unprotected pi read(s)\n",
-            report.totalFindings(), report.potentialRaces,
+            report.totalFindings(), report.potentialRaces, aliasPart,
             report.inconsistentLocking,
             report.deadlocks.abbaPairs + report.deadlocks.orderCycles,
             report.selfDeadlocks, report.lockLeaks,
@@ -116,6 +125,57 @@ bool renderCompiled(const ir::Program& prog, const Compilation& c,
             report.totalFindings(), report.notJustified,
             report.redundantFences);
   }
+  if (o.doPointsTo) {
+    const sanalysis::PointsToResult* pt = c.pointsTo();
+    if (pt == nullptr) {
+      appendf(out, "points-to: no pointer accesses\n");
+    } else {
+      const ir::SymbolTable& syms = prog.symbols;
+      // The result maps are unordered; render deref sites in source order
+      // so the output is stable across runs and job counts.
+      struct Site {
+        SourceLoc loc;
+        const char* kind;
+        const sanalysis::PtSet* pts;
+      };
+      std::vector<Site> sites;
+      for (const auto& [e, pts] : pt->loadPts)
+        sites.push_back({e->loc, "load", &pts});
+      for (const auto& [s, pts] : pt->storePts)
+        sites.push_back({s->loc, "store", &pts});
+      std::sort(sites.begin(), sites.end(),
+                [](const Site& a, const Site& b) {
+                  if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                  if (a.loc.column != b.loc.column)
+                    return a.loc.column < b.loc.column;
+                  return std::strcmp(a.kind, b.kind) < 0;
+                });
+      for (const Site& s : sites)
+        appendf(out, "points-to: %s at %s may touch %s\n", s.kind,
+                s.loc.str().c_str(),
+                sanalysis::formatPtSet(*s.pts, syms).c_str());
+      // Cells whose flow-insensitive contents may address storage.
+      std::vector<SymbolId> cells;
+      for (const auto& [cell, pts] : pt->locPts)
+        if (!pts.empty()) cells.push_back(cell);
+      std::sort(cells.begin(), cells.end(), [&](SymbolId a, SymbolId b) {
+        const std::string& an = syms[a].name;
+        const std::string& bn = syms[b].name;
+        return an != bn ? an < bn : a.index() < b.index();
+      });
+      for (SymbolId cell : cells)
+        appendf(out, "points-to: cell %s holds %s\n",
+                syms[cell].name.c_str(),
+                sanalysis::formatPtSet(pt->locPts.at(cell), syms).c_str());
+      const sanalysis::PointsToStats& st = pt->stats;
+      appendf(out,
+              "points-to: %zu deref site(s), %zu wild, %zu outer pass(es), "
+              "%llu inner iteration(s), avg %.2f target(s)%s\n",
+              st.derefSites, st.anywhereSites, st.outerPasses,
+              static_cast<unsigned long long>(st.innerIterations),
+              st.avgTargets, st.converged ? "" : " (DID NOT CONVERGE)");
+    }
+  }
   if (o.doSarif || o.doJson) {
     // One stream in emission order: pipeline warnings, then the analyzers'.
     std::vector<Diagnostic> all = c.diag().diagnostics();
@@ -145,6 +205,13 @@ bool renderCompiled(const ir::Program& prog, const Compilation& c,
     if (o.cssame)
       appendf(out, "pi args removed:   %zu (pis folded: %zu)\n",
               c.rewriteStats().argsRemoved, c.rewriteStats().pisRemoved);
+    // Scalar-only programs have no points-to solution; omitting the line
+    // keeps their --stats output byte-identical to pre-pointer builds.
+    if (const sanalysis::PointsToResult* pt = c.pointsTo())
+      appendf(out, "points-to:         %zu alias class(es), %zu deref "
+              "site(s), %zu wild, %zu outer pass(es)\n",
+              c.graph().aliases.nonSingletonClasses(), pt->stats.derefSites,
+              pt->stats.anywhereSites, pt->stats.outerPasses);
     const opt::CriticalSectionReport cs = opt::analyzeCriticalSections(c);
     appendf(out,
             "critical sections: %zu stmts locked, %zu lock independent "
@@ -226,9 +293,9 @@ std::string RunOptions::cacheKey() const {
   // One char per flag in declaration order, then the seed. Bump the "v1"
   // tag if the rendering ever changes meaning — the key is persisted
   // inside disk-cache addresses.
-  std::string key = "v2:";
+  std::string key = "v3:";
   for (bool b : {dumpPfg, dumpForm, cssame, doOpt, doRun, doRaces, doStats,
-                 doCsan, doSarif, doJson, doVrange, doTso})
+                 doCsan, doSarif, doJson, doVrange, doTso, doPointsTo})
     key += b ? '1' : '0';
   // The memory model changes --run output and may grow new model-aware
   // modes; keying it unconditionally guarantees the service never serves

@@ -40,6 +40,7 @@ struct RunOptions {
   bool doJson = false;    ///< --json (implies csan)
   bool doVrange = false;  ///< --vrange
   bool doTso = false;     ///< --tso
+  bool doPointsTo = false;  ///< --points-to
   /// --memory-model=sc|tso: the model --run simulates. SC (default)
   /// preserves every pre-TSO seeded schedule bit-identically; TSO adds
   /// per-thread store buffers (buffered stores flush as separate

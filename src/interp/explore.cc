@@ -41,26 +41,6 @@ namespace cssame::interp {
 
 namespace {
 
-/// Shared-variable accesses of one pending statement: the write target
-/// (Assign only) and every read in its expression.
-struct PendingAccess {
-  SymbolId write;                ///< invalid when the statement reads only
-  std::vector<SymbolId> reads;
-};
-
-PendingAccess accessesOf(const ir::Stmt& s, const ir::SymbolTable& syms) {
-  PendingAccess out;
-  if (s.kind == ir::StmtKind::Assign && syms.isSharedVar(s.lhs))
-    out.write = s.lhs;
-  if (s.expr != nullptr) {
-    ir::forEachExpr(*s.expr, [&](const ir::Expr& e) {
-      if (e.kind == ir::ExprKind::VarRef && syms.isSharedVar(e.var))
-        out.reads.push_back(e.var);
-    });
-  }
-  return out;
-}
-
 bool holdCommonLock(const std::vector<SymbolId>& a,
                     const std::vector<SymbolId>& b) {
   for (SymbolId x : a)
@@ -135,11 +115,12 @@ class Explorer {
   /// depth-capped alike — is sampled in the layer it appears.
   void sample(const Machine& machine, Partial& p) {
     for (SymbolId v : sampledVars_) {
-      const long long val = machine.valueOf(v);
-      auto [it, fresh] = p.observedRanges.try_emplace(v, val, val);
+      // For an array the whole cell region folds into its symbol's range.
+      const auto [lo, hi] = machine.valueRangeOf(v);
+      auto [it, fresh] = p.observedRanges.try_emplace(v, lo, hi);
       if (!fresh) {
-        it->second.first = std::min(it->second.first, val);
-        it->second.second = std::max(it->second.second, val);
+        it->second.first = std::min(it->second.first, lo);
+        it->second.second = std::max(it->second.second, hi);
       }
     }
   }
@@ -157,25 +138,25 @@ class Explorer {
     std::vector<std::size_t> ready;
     for (const Machine::Action& a : actions)
       if (!a.flush) ready.push_back(a.thread);
-    const ir::SymbolTable& syms = prog_.symbols;
-    std::vector<PendingAccess> acc(ready.size());
-    std::vector<const ir::Stmt*> stmts(ready.size(), nullptr);
+    // Accesses are matched by dynamically resolved memory cell (the
+    // machine evaluates pointer and index addresses in the thread's own
+    // view), then attributed to the owning symbol.
+    std::vector<Machine::PendingAccess> acc(ready.size());
+    for (std::size_t i = 0; i < ready.size(); ++i)
+      acc[i] = machine.pendingAccesses(ready[i]);
     for (std::size_t i = 0; i < ready.size(); ++i) {
-      stmts[i] = machine.pendingStmt(ready[i]);
-      if (stmts[i] != nullptr) acc[i] = accessesOf(*stmts[i], syms);
-    }
-    for (std::size_t i = 0; i < ready.size(); ++i) {
-      if (stmts[i] == nullptr) continue;
       for (std::size_t j = i + 1; j < ready.size(); ++j) {
-        if (stmts[j] == nullptr) continue;
         if (holdCommonLock(machine.heldLocksOf(ready[i]),
                            machine.heldLocksOf(ready[j])))
           continue;
-        auto conflict = [&](const PendingAccess& w, const PendingAccess& r) {
-          if (!w.write.valid()) return;
-          if (r.write == w.write) p.racedVars.insert(w.write);
-          for (SymbolId v : r.reads)
-            if (v == w.write) p.racedVars.insert(v);
+        auto conflict = [&](const Machine::PendingAccess& w,
+                            const Machine::PendingAccess& r) {
+          for (const auto& [cell, sym] : w.writes) {
+            for (const auto& [c2, s2] : r.writes)
+              if (c2 == cell) p.racedVars.insert(sym);
+            for (const auto& [c2, s2] : r.reads)
+              if (c2 == cell) p.racedVars.insert(sym);
+          }
         };
         conflict(acc[i], acc[j]);
         conflict(acc[j], acc[i]);
@@ -253,6 +234,7 @@ class Explorer {
         result_.outputs.insert(m.result().output);
         result_.anyLockError |= m.result().lockError;
         result_.anyAssertFailure |= m.result().assertFailed;
+        result_.anyPtrError |= m.result().ptrError;
         continue;
       }
       if (s.kind == Slot::Deadlock) {

@@ -88,7 +88,11 @@ struct ExploreResult {
   std::uint64_t statesExplored = 0;
   /// With ExploreOptions::detectRaces: shared variables for which some
   /// reachable state had two conflicting accesses simultaneously enabled
-  /// without a common lock — a dynamic witness for the race.
+  /// without a common lock — a dynamic witness for the race. Accesses
+  /// are matched per memory *cell* (so `a[0]` vs `a[1]` never races) and
+  /// attributed to the owning symbol (array cells report their array);
+  /// pointer accesses race on whatever cell the address dynamically
+  /// names.
   std::set<SymbolId> racedVars;
   /// With ExploreOptions::recordValues: per variable symbol, the smallest
   /// and largest value observed across every explored state (including
@@ -96,6 +100,10 @@ struct ExploreResult {
   std::map<SymbolId, std::pair<long long, long long>> observedRanges;
   /// Some schedule tripped an assert(e) with e == 0.
   bool anyAssertFailure = false;
+  /// Some schedule performed a pointer operation on an out-of-range
+  /// address (deref of null / wild address). The access itself is total
+  /// (loads yield 0, stores are dropped) but the slip is surfaced.
+  bool anyPtrError = false;
 
   [[nodiscard]] bool anyRace() const { return !racedVars.empty(); }
 

@@ -61,6 +61,11 @@ struct RunResult {
   /// An assert(e) evaluated e == 0. The machine traps: every thread halts
   /// immediately and no further statements execute.
   bool assertFailed = false;
+  /// A pointer operation used an address outside the program's memory
+  /// (deref of null or out-of-range). Execution continues under total
+  /// semantics — such loads yield 0 and such stores are dropped — but
+  /// the slip is reported.
+  bool ptrError = false;
   /// First resource budget that ended the run (None when the run finished
   /// or deadlocked within budget).
   support::BudgetKind budgetExceeded = support::BudgetKind::None;

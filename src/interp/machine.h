@@ -8,6 +8,7 @@
 // machine at every scheduling choice.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 #include <vector>
@@ -36,13 +37,34 @@ class Machine {
   explicit Machine(const ir::Program& prog,
                    support::MemoryModel model = support::MemoryModel::SC)
       : model_(model) {
+    // Memory layout: one cell per symbol index first (scalars live in
+    // their own slot, so scalar-only programs keep the exact pre-array
+    // layout and state hashes), then the cell regions of all arrays.
+    // Cell addresses as seen by the program are 1-based: address 0 is
+    // null, address k names cell k-1. `&x` therefore evaluates to
+    // x.index() + 1 and `&a[i]` to base(a) + (i mod N) + 1.
     vars_.assign(prog.symbols.size(), 0);
     eventSet_.assign(prog.symbols.size(), false);
     lockHolder_.assign(prog.symbols.size(), kNoHolder);
     sharedVar_.assign(prog.symbols.size(), false);
+    arraySize_.assign(prog.symbols.size(), 0);
+    base_.assign(prog.symbols.size(), 0);
     for (const auto& sym : prog.symbols.all())
       if (sym.kind == ir::SymbolKind::Var && sym.shared)
         sharedVar_[sym.id.index()] = true;
+    ownerCell_.resize(prog.symbols.size());
+    for (const auto& sym : prog.symbols.all())
+      ownerCell_[sym.id.index()] = sym.id;
+    for (const auto& sym : prog.symbols.all()) {
+      if (sym.kind != ir::SymbolKind::Var || !sym.isArray()) continue;
+      arraySize_[sym.id.index()] = sym.arraySize;
+      base_[sym.id.index()] = static_cast<std::uint32_t>(vars_.size());
+      vars_.resize(vars_.size() + sym.arraySize, 0);
+      ownerCell_.resize(vars_.size(), sym.id);
+    }
+    sharedCell_.assign(vars_.size(), false);
+    for (std::size_t c = 0; c < vars_.size(); ++c)
+      sharedCell_[c] = sharedVar_[ownerCell_[c].index()];
     Thread main;
     main.frames.push_back(Frame{&prog.body, 0, nullptr});
     threads_.push_back(std::move(main));
@@ -58,8 +80,11 @@ class Machine {
     bool flush = false;
   };
 
-  /// A buffered (not yet globally visible) store: variable and value.
-  using BufferedStore = std::pair<SymbolId, long long>;
+  /// A buffered (not yet globally visible) store: memory cell (index
+  /// into the flat cell vector — for a scalar this equals the symbol
+  /// index, so scalar-only TSO hashes match the symbol-keyed era) and
+  /// value.
+  using BufferedStore = std::pair<std::uint32_t, long long>;
 
   [[nodiscard]] support::MemoryModel memoryModel() const { return model_; }
 
@@ -100,7 +125,7 @@ class Machine {
       assert(!t.storeBuf.empty());
       const BufferedStore st = t.storeBuf.front();
       t.storeBuf.erase(t.storeBuf.begin());
-      vars_[st.first.index()] = st.second;
+      vars_[st.first] = st.second;
       if (t.storeBuf.empty() && t.status == Status::Draining)
         t.status = Status::Done;
       ++result_.steps;
@@ -144,6 +169,87 @@ class Machine {
   /// these to build observed value ranges for the CVRA soundness check.
   [[nodiscard]] long long valueOf(SymbolId v) const {
     return vars_[v.index()];
+  }
+
+  /// Min/max over the symbol's cells: the scalar slot twice for a
+  /// scalar, the cell region's extrema for an array.
+  [[nodiscard]] std::pair<long long, long long> valueRangeOf(
+      SymbolId v) const {
+    const std::uint32_t n = arraySize_[v.index()];
+    if (n == 0) {
+      const long long x = vars_[v.index()];
+      return {x, x};
+    }
+    long long lo = vars_[base_[v.index()]], hi = lo;
+    for (std::uint32_t k = 1; k < n; ++k) {
+      const long long x = vars_[base_[v.index()] + k];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return {lo, hi};
+  }
+
+  /// Dynamic shared-memory accesses of thread `ti`'s pending statement,
+  /// as (cell, owning symbol) pairs. Addresses are evaluated in the
+  /// thread's current view of memory without executing the statement and
+  /// without recording pointer errors — this is the explorer's race
+  /// oracle, and an out-of-range address touches no cell. For a
+  /// scalar access the cell equals the symbol index, so scalar-only
+  /// race detection is unchanged from the symbol-keyed implementation.
+  struct PendingAccess {
+    std::vector<std::pair<std::uint32_t, SymbolId>> writes;
+    std::vector<std::pair<std::uint32_t, SymbolId>> reads;
+  };
+
+  [[nodiscard]] PendingAccess pendingAccesses(std::size_t ti) const {
+    PendingAccess out;
+    const ir::Stmt* s = pendingStmt(ti);
+    if (s == nullptr) return out;
+    const Thread& t = threads_[ti];
+    auto addRead = [&](std::uint32_t cell) {
+      if (sharedCell_[cell]) out.reads.emplace_back(cell, ownerCell_[cell]);
+    };
+    ir::forEachStmtExpr(*s, [&](const ir::Expr& root) {
+      ir::forEachExpr(root, [&](const ir::Expr& e) {
+        switch (e.kind) {
+          case ir::ExprKind::VarRef:
+            addRead(static_cast<std::uint32_t>(e.var.index()));
+            break;
+          case ir::ExprKind::Index:
+            addRead(cellOfIndex(e.var, eval(*e.operands[0], t)));
+            break;
+          case ir::ExprKind::Deref: {
+            const long long a = eval(*e.operands[0], t);
+            if (a >= 1 && a <= static_cast<long long>(vars_.size()))
+              addRead(static_cast<std::uint32_t>(a - 1));
+            break;
+          }
+          default:
+            break;
+        }
+      });
+    });
+    if (s->kind == ir::StmtKind::Assign) {
+      std::uint32_t cell = 0;
+      bool have = true;
+      switch (s->lhsKind) {
+        case ir::LValueKind::Var:
+          cell = static_cast<std::uint32_t>(s->lhs.index());
+          break;
+        case ir::LValueKind::Index:
+          cell = cellOfIndex(s->lhs, eval(*s->lhsAddr, t));
+          break;
+        case ir::LValueKind::Deref: {
+          const long long a = eval(*s->lhsAddr, t);
+          have = a >= 1 && a <= static_cast<long long>(vars_.size());
+          if (have) cell = static_cast<std::uint32_t>(a - 1);
+          break;
+        }
+      }
+      if (have && sharedCell_[cell])
+        out.writes.emplace_back(cell, ownerCell_[cell]);
+    }
+    return out;
   }
 
   /// Locks currently held by thread `ti`.
@@ -202,13 +308,16 @@ class Machine {
       // (always, under SC) contribute nothing, keeping SC hashes
       // bit-identical to the pre-TSO traversal.
       for (const BufferedStore& st : t.storeBuf) {
-        mix(st.first.value());
+        mix(st.first);
         mix(static_cast<std::uint64_t>(st.second));
       }
       mix(0x5eedu);
     }
     for (long long v : result_.output) mix(static_cast<std::uint64_t>(v));
     mix(result_.assertFailed);
+    // Only mixed when set, so error-free runs (every scalar-only run)
+    // hash exactly as before the pointer extension.
+    if (result_.ptrError) mix(1);
     return h;
   }
 
@@ -238,13 +347,14 @@ class Machine {
         mix(reinterpret_cast<std::uintptr_t>(f.loop));
       }
       for (const BufferedStore& st : t.storeBuf) {
-        mix(st.first.value());
+        mix(st.first);
         mix(static_cast<std::uint64_t>(st.second));
       }
       mix(0x5eedu);
     }
     for (long long v : result_.output) mix(static_cast<std::uint64_t>(v));
     mix(result_.assertFailed);
+    if (result_.ptrError) mix(1);
     return support::Hash128{h1, h2};
   }
 
@@ -322,7 +432,12 @@ class Machine {
         return true;
       case ir::StmtKind::Assign:
         if (s.atomic) return true;
-        return sharedVar_[s.lhs.index()] && t.storeBuf.size() >= kStoreBufCap;
+        if (s.lhsKind == ir::LValueKind::Var)
+          return sharedVar_[s.lhs.index()] &&
+                 t.storeBuf.size() >= kStoreBufCap;
+        // Indexed and indirect stores may hit any shared cell, so they
+        // conservatively wait for a free buffer slot.
+        return t.storeBuf.size() >= kStoreBufCap;
       default:
         return false;
     }
@@ -365,31 +480,77 @@ class Machine {
     return false;
   }
 
-  /// Evaluates in thread `t`'s view of memory: under TSO a load forwards
-  /// the newest matching entry of the thread's own store buffer before
-  /// falling back to shared memory.
-  long long eval(const ir::Expr& e, const Thread& t) {
+  /// Cell of `arr[idx]` under total semantics: the index is reduced
+  /// modulo the array size (negative indices wrap), so every indexed
+  /// access hits a real cell of its own array.
+  [[nodiscard]] std::uint32_t cellOfIndex(SymbolId arr, long long idx) const {
+    const std::uint32_t n = arraySize_[arr.index()];
+    if (n == 0) return static_cast<std::uint32_t>(arr.index());
+    long long m = idx % n;
+    if (m < 0) m += n;
+    return base_[arr.index()] + static_cast<std::uint32_t>(m);
+  }
+
+  /// Load of one cell in thread `t`'s view: under TSO the newest
+  /// matching entry of the thread's own store buffer wins before shared
+  /// memory.
+  [[nodiscard]] long long loadCell(std::uint32_t cell, const Thread& t) const {
+    for (auto it = t.storeBuf.rbegin(); it != t.storeBuf.rend(); ++it)
+      if (it->first == cell) return it->second;
+    return vars_[cell];
+  }
+
+  /// Evaluates in thread `t`'s view of memory. Dereferencing an address
+  /// outside [1, #cells] is a total operation: the load yields 0 and,
+  /// when `err` is non-null, flags the pointer error (null while
+  /// peeking, e.g. from pendingAccesses()).
+  long long eval(const ir::Expr& e, const Thread& t,
+                 bool* err = nullptr) const {
     switch (e.kind) {
       case ir::ExprKind::IntConst:
         return e.intValue;
-      case ir::ExprKind::VarRef: {
-        for (auto it = t.storeBuf.rbegin(); it != t.storeBuf.rend(); ++it)
-          if (it->first == e.var) return it->second;
-        return vars_[e.var.index()];
-      }
+      case ir::ExprKind::VarRef:
+        return loadCell(static_cast<std::uint32_t>(e.var.index()), t);
       case ir::ExprKind::Unary:
-        return ir::evalUnOp(e.unop, eval(*e.operands[0], t));
+        return ir::evalUnOp(e.unop, eval(*e.operands[0], t, err));
       case ir::ExprKind::Binary:
-        return ir::evalBinOp(e.binop, eval(*e.operands[0], t),
-                             eval(*e.operands[1], t));
+        return ir::evalBinOp(e.binop, eval(*e.operands[0], t, err),
+                             eval(*e.operands[1], t, err));
       case ir::ExprKind::Call: {
         std::vector<long long> args;
         args.reserve(e.operands.size());
-        for (const auto& a : e.operands) args.push_back(eval(*a, t));
+        for (const auto& a : e.operands) args.push_back(eval(*a, t, err));
         return externalCall(e.callee, args);
       }
+      case ir::ExprKind::AddrOf:
+        if (e.operands.empty())
+          return arraySize_[e.var.index()] == 0
+                     ? static_cast<long long>(e.var.index()) + 1
+                     : static_cast<long long>(base_[e.var.index()]) + 1;
+        return static_cast<long long>(
+                   cellOfIndex(e.var, eval(*e.operands[0], t, err))) +
+               1;
+      case ir::ExprKind::Deref: {
+        const long long a = eval(*e.operands[0], t, err);
+        if (a < 1 || a > static_cast<long long>(vars_.size())) {
+          if (err != nullptr) *err = true;
+          return 0;
+        }
+        return loadCell(static_cast<std::uint32_t>(a - 1), t);
+      }
+      case ir::ExprKind::Index:
+        return loadCell(cellOfIndex(e.var, eval(*e.operands[0], t, err)), t);
     }
     return 0;
+  }
+
+  /// eval() in executing (not peeking) position: pointer errors are
+  /// recorded on the run result.
+  long long evalExec(const ir::Expr& e, const Thread& t) {
+    bool err = false;
+    const long long v = eval(e, t, &err);
+    if (err) result_.ptrError = true;
+    return v;
   }
 
   /// Advances past the current statement, unwinding completed frames and
@@ -403,7 +564,7 @@ class Machine {
     while (!t.frames.empty()) {
       Frame& f = t.frames.back();
       if (f.idx < f.list->size()) return;
-      if (f.loop != nullptr && eval(*f.loop->expr, t) != 0) {
+      if (f.loop != nullptr && evalExec(*f.loop->expr, t) != 0) {
         f.idx = 0;  // next iteration (loop bodies are never empty here)
         return;
       }
@@ -461,26 +622,51 @@ class Machine {
 
     switch (s.kind) {
       case ir::StmtKind::Assign: {
-        const long long v = eval(*s.expr, t);
+        const long long v = evalExec(*s.expr, t);
+        // Resolve the target cell. A deref store through an out-of-range
+        // address is dropped (total semantics, mirroring loads of 0) and
+        // flags the pointer error.
+        std::uint32_t cell = 0;
+        bool haveCell = true;
+        switch (s.lhsKind) {
+          case ir::LValueKind::Var:
+            cell = static_cast<std::uint32_t>(s.lhs.index());
+            break;
+          case ir::LValueKind::Index:
+            cell = cellOfIndex(s.lhs, evalExec(*s.lhsAddr, t));
+            break;
+          case ir::LValueKind::Deref: {
+            const long long a = evalExec(*s.lhsAddr, t);
+            if (a < 1 || a > static_cast<long long>(vars_.size())) {
+              result_.ptrError = true;
+              haveCell = false;
+            } else {
+              cell = static_cast<std::uint32_t>(a - 1);
+            }
+            break;
+          }
+        }
         // TSO: plain stores to shared memory enter the issuing thread's
         // FIFO buffer and become visible only at a later flush action.
         // Atomic stores (and every SC store) commit immediately;
         // tsoBlocked() already guaranteed an empty buffer for atomics
         // and a free slot for plain stores.
-        if (model_ == support::MemoryModel::TSO && !s.atomic &&
-            sharedVar_[s.lhs.index()])
-          t.storeBuf.emplace_back(s.lhs, v);
-        else
-          vars_[s.lhs.index()] = v;
+        if (haveCell) {
+          if (model_ == support::MemoryModel::TSO && !s.atomic &&
+              sharedCell_[cell])
+            t.storeBuf.emplace_back(cell, v);
+          else
+            vars_[cell] = v;
+        }
         advance(t);
         return;
       }
       case ir::StmtKind::CallStmt:
-        (void)eval(*s.expr, t);
+        (void)evalExec(*s.expr, t);
         advance(t);
         return;
       case ir::StmtKind::Print:
-        result_.output.push_back(eval(*s.expr, t));
+        result_.output.push_back(evalExec(*s.expr, t));
         advance(t);
         return;
       case ir::StmtKind::Fence:
@@ -489,7 +675,7 @@ class Machine {
         advance(t);
         return;
       case ir::StmtKind::Assert:
-        if (eval(*s.expr, t) == 0) {
+        if (evalExec(*s.expr, t) == 0) {
           // Trap: the whole machine halts, nothing else executes.
           // Pending buffered stores die with it (Done implies an empty
           // buffer, so no flush actions survive the trap).
@@ -544,7 +730,7 @@ class Machine {
         }
         return;
       case ir::StmtKind::If: {
-        const bool taken = eval(*s.expr, t) != 0;
+        const bool taken = evalExec(*s.expr, t) != 0;
         const ir::StmtList& body = taken ? s.thenBody : s.elseBody;
         if (body.empty()) {
           advance(t);
@@ -554,7 +740,7 @@ class Machine {
         return;
       }
       case ir::StmtKind::While: {
-        if (eval(*s.expr, t) != 0) {
+        if (evalExec(*s.expr, t) != 0) {
           if (!s.thenBody.empty())
             t.frames.push_back(Frame{&s.thenBody, 0, &s});
           // Empty body + true condition: stay put and re-evaluate — a
@@ -586,10 +772,14 @@ class Machine {
   }
 
   support::MemoryModel model_ = support::MemoryModel::SC;
-  std::vector<long long> vars_;
+  std::vector<long long> vars_;  ///< flat cells: symbol slots, then arrays
   std::vector<bool> eventSet_;
   std::vector<std::size_t> lockHolder_;
   std::vector<bool> sharedVar_;  ///< per-symbol: shared integer variable
+  std::vector<std::uint32_t> arraySize_;  ///< per-symbol: 0 for scalars
+  std::vector<std::uint32_t> base_;  ///< per-symbol: first cell of an array
+  std::vector<SymbolId> ownerCell_;  ///< per-cell: owning symbol
+  std::vector<bool> sharedCell_;     ///< per-cell: owner is shared
   std::vector<Thread> threads_;
   RunResult result_;
 };

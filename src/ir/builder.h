@@ -39,6 +39,14 @@ class ProgramBuilder {
   SymbolId privateVar(std::string name) {
     return prog_.symbols.create(std::move(name), SymbolKind::Var, false);
   }
+  /// Declares a shared fixed-size integer array (`int name[size]`).
+  SymbolId arrayVar(std::string name, std::uint32_t size) {
+    return prog_.symbols.createArray(std::move(name), size, true);
+  }
+  /// Declares a thread-private fixed-size integer array.
+  SymbolId privateArrayVar(std::string name, std::uint32_t size) {
+    return prog_.symbols.createArray(std::move(name), size, false);
+  }
   SymbolId lock(std::string name) {
     return prog_.symbols.create(std::move(name), SymbolKind::Lock);
   }
@@ -71,6 +79,18 @@ class ProgramBuilder {
   [[nodiscard]] ExprPtr lt(ExprPtr a, ExprPtr b) {
     return makeBinary(BinOp::Lt, std::move(a), std::move(b));
   }
+  /// `&v`, or `&a[i]` when an index is given.
+  [[nodiscard]] ExprPtr addrOf(SymbolId v, ExprPtr index = nullptr) {
+    return makeAddrOf(v, std::move(index));
+  }
+  /// `*address`.
+  [[nodiscard]] ExprPtr deref(ExprPtr address) {
+    return makeDeref(std::move(address));
+  }
+  /// `a[i]` as a load.
+  [[nodiscard]] ExprPtr index(SymbolId array, ExprPtr idx) {
+    return makeIndex(array, std::move(idx));
+  }
   [[nodiscard]] ExprPtr call(SymbolId fn, std::vector<ExprPtr> args) {
     return makeCall(fn, std::move(args));
   }
@@ -89,6 +109,25 @@ class ProgramBuilder {
   Stmt* assign(SymbolId lhs, ExprPtr rhs) {
     auto s = prog_.newStmt(StmtKind::Assign);
     s->lhs = lhs;
+    s->expr = std::move(rhs);
+    return append(std::move(s));
+  }
+
+  /// `*address = rhs` — store through a pointer.
+  Stmt* assignDeref(ExprPtr address, ExprPtr rhs) {
+    auto s = prog_.newStmt(StmtKind::Assign);
+    s->lhsKind = LValueKind::Deref;
+    s->lhsAddr = std::move(address);
+    s->expr = std::move(rhs);
+    return append(std::move(s));
+  }
+
+  /// `array[idx] = rhs` — store into an array cell.
+  Stmt* assignIndex(SymbolId array, ExprPtr idx, ExprPtr rhs) {
+    auto s = prog_.newStmt(StmtKind::Assign);
+    s->lhs = array;
+    s->lhsKind = LValueKind::Index;
+    s->lhsAddr = std::move(idx);
     s->expr = std::move(rhs);
     return append(std::move(s));
   }

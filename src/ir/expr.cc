@@ -73,6 +73,32 @@ ExprPtr makeCall(SymbolId callee, std::vector<ExprPtr> args, SourceLoc loc) {
   return e;
 }
 
+ExprPtr makeAddrOf(SymbolId var, ExprPtr index, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::AddrOf;
+  e->var = var;
+  if (index) e->operands.push_back(std::move(index));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr makeDeref(ExprPtr address, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Deref;
+  e->operands.push_back(std::move(address));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr makeIndex(SymbolId array, ExprPtr index, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Index;
+  e->var = array;
+  e->operands.push_back(std::move(index));
+  e->loc = loc;
+  return e;
+}
+
 ExprPtr cloneExpr(const Expr& e) {
   auto out = std::make_unique<Expr>();
   out->kind = e.kind;
@@ -124,6 +150,15 @@ bool containsCall(const Expr& e) {
   return found;
 }
 
+bool containsIndirection(const Expr& e) {
+  bool found = false;
+  forEachExpr(e, [&](const Expr& sub) {
+    found |= sub.kind == ExprKind::AddrOf || sub.kind == ExprKind::Deref ||
+             sub.kind == ExprKind::Index;
+  });
+  return found;
+}
+
 bool exprEquals(const Expr& a, const Expr& b) {
   if (a.kind != b.kind) return false;
   switch (a.kind) {
@@ -131,6 +166,8 @@ bool exprEquals(const Expr& a, const Expr& b) {
       if (a.intValue != b.intValue) return false;
       break;
     case ExprKind::VarRef:
+    case ExprKind::AddrOf:
+    case ExprKind::Index:
       if (a.var != b.var) return false;
       break;
     case ExprKind::Unary:
@@ -141,6 +178,8 @@ bool exprEquals(const Expr& a, const Expr& b) {
       break;
     case ExprKind::Call:
       if (a.callee != b.callee) return false;
+      break;
+    case ExprKind::Deref:
       break;
   }
   if (a.operands.size() != b.operands.size()) return false;

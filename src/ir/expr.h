@@ -15,7 +15,16 @@
 
 namespace cssame::ir {
 
-enum class ExprKind : std::uint8_t { IntConst, VarRef, Unary, Binary, Call };
+enum class ExprKind : std::uint8_t {
+  IntConst,
+  VarRef,
+  Unary,
+  Binary,
+  Call,
+  AddrOf,  ///< &x or &a[i] — the address of a variable or array cell
+  Deref,   ///< *e — load through a pointer-valued expression
+  Index,   ///< a[e] — load of an array cell
+};
 
 enum class UnOp : std::uint8_t { Neg, Not };
 
@@ -44,7 +53,12 @@ struct Expr {
   BinOp binop = BinOp::Add;
   // Call
   SymbolId callee;
-  // Unary: 1 operand; Binary: 2; Call: n args.
+  // AddrOf: the variable (or array) whose address is taken; Index: the
+  // array variable.
+  // (AddrOf/Index reuse `var`; VarRef documents the field above.)
+  // Unary: 1 operand; Binary: 2; Call: n args; AddrOf: 0 (scalar or whole
+  // array) or 1 (the cell index of &a[i]); Deref: 1 (the address);
+  // Index: 1 (the cell index).
   std::vector<ExprPtr> operands;
 };
 
@@ -55,6 +69,12 @@ struct Expr {
                                  SourceLoc loc = {});
 [[nodiscard]] ExprPtr makeCall(SymbolId callee, std::vector<ExprPtr> args,
                                SourceLoc loc = {});
+/// &var (index == nullptr) or &arr[index].
+[[nodiscard]] ExprPtr makeAddrOf(SymbolId var, ExprPtr index = nullptr,
+                                 SourceLoc loc = {});
+[[nodiscard]] ExprPtr makeDeref(ExprPtr address, SourceLoc loc = {});
+[[nodiscard]] ExprPtr makeIndex(SymbolId array, ExprPtr index,
+                                SourceLoc loc = {});
 
 [[nodiscard]] ExprPtr cloneExpr(const Expr& e);
 
@@ -80,6 +100,12 @@ void forEachExpr(Expr& e, Fn&& fn) {
 /// True if the expression contains a Call (which may have side effects and
 /// always has an unknown value).
 [[nodiscard]] bool containsCall(const Expr& e);
+
+/// True if the expression reads or forms an address: Deref and Index load
+/// through memory (their value depends on stores the optimizer cannot
+/// track symbolically), AddrOf pins a variable's address. Optimization
+/// passes treat such expressions like opaque calls.
+[[nodiscard]] bool containsIndirection(const Expr& e);
 
 /// Structural equality (ignores locations).
 [[nodiscard]] bool exprEquals(const Expr& a, const Expr& b);

@@ -13,8 +13,11 @@ int precedenceOf(const Expr& e) {
     case ExprKind::IntConst:
     case ExprKind::VarRef:
     case ExprKind::Call:
+    case ExprKind::AddrOf:
+    case ExprKind::Index:
       return 100;
     case ExprKind::Unary:
+    case ExprKind::Deref:
       return 90;
     case ExprKind::Binary:
       switch (e.binop) {
@@ -75,7 +78,12 @@ class Printer {
     for (const auto& sym : prog_.symbols.all()) {
       switch (sym.kind) {
         case SymbolKind::Var:
-          if (sym.shared) out_ += "int " + nameOf(sym.id) + ";\n";
+          if (sym.shared) {
+            out_ += "int " + nameOf(sym.id);
+            if (sym.isArray())
+              out_ += "[" + std::to_string(sym.arraySize) + "]";
+            out_ += ";\n";
+          }
           break;
         case SymbolKind::Lock:
           out_ += "lock " + nameOf(sym.id) + ";\n";
@@ -108,16 +116,22 @@ class Printer {
           decls.push_back(v);
         }
       };
-      consider(s.lhs);
-      if (s.expr)
-        forEachExpr(*s.expr, [&](const Expr& e) {
-          if (e.kind == ExprKind::VarRef) consider(e.var);
+      if (s.lhsKind != LValueKind::Deref) consider(s.lhs);
+      forEachStmtExpr(s, [&](const Expr& root) {
+        forEachExpr(root, [&](const Expr& e) {
+          if (e.kind == ExprKind::VarRef || e.kind == ExprKind::AddrOf ||
+              e.kind == ExprKind::Index)
+            consider(e.var);
         });
+      });
     });
     for (SymbolId v : decls) {
       indent(depth);
       // `int` inside a thread body declares a thread-private variable.
-      out_ += "int " + nameOf(v) + ";\n";
+      out_ += "int " + nameOf(v);
+      const Symbol& sym = prog_.symbols[v];
+      if (sym.isArray()) out_ += "[" + std::to_string(sym.arraySize) + "]";
+      out_ += ";\n";
     }
   }
 
@@ -139,7 +153,22 @@ class Printer {
           out_ += ");\n";
           break;
         }
-        out_ += nameOf(s.lhs) + " = ";
+        switch (s.lhsKind) {
+          case LValueKind::Var:
+            out_ += nameOf(s.lhs) + " = ";
+            break;
+          case LValueKind::Deref:
+            out_ += "*";
+            // The deref operand binds like a unary operator.
+            expr(*s.lhsAddr, 91);
+            out_ += " = ";
+            break;
+          case LValueKind::Index:
+            out_ += nameOf(s.lhs) + "[";
+            expr(*s.lhsAddr, 0);
+            out_ += "] = ";
+            break;
+        }
         expr(*s.expr, 0);
         out_ += ";\n";
         break;
@@ -248,6 +277,23 @@ class Printer {
         }
         out_ += ")";
         break;
+      case ExprKind::AddrOf:
+        out_ += "&" + nameOf(e.var);
+        if (!e.operands.empty()) {
+          out_ += "[";
+          expr(*e.operands[0], 0);
+          out_ += "]";
+        }
+        break;
+      case ExprKind::Deref:
+        out_ += "*";
+        expr(*e.operands[0], prec + 1);
+        break;
+      case ExprKind::Index:
+        out_ += nameOf(e.var) + "[";
+        expr(*e.operands[0], 0);
+        out_ += "]";
+        break;
     }
     if (paren) out_ += ")";
   }
@@ -287,6 +333,15 @@ std::string printExpr(const Expr& e, const SymbolTable& symbols) {
           }
           return s + ")";
         }
+        case ExprKind::AddrOf:
+          return "&" + syms.nameOf(e.var) +
+                 (e.operands.empty()
+                      ? std::string()
+                      : "[" + render(*e.operands[0]) + "]");
+        case ExprKind::Deref:
+          return "*(" + render(*e.operands[0]) + ")";
+        case ExprKind::Index:
+          return syms.nameOf(e.var) + "[" + render(*e.operands[0]) + "]";
       }
       return "?";
     }
@@ -304,6 +359,17 @@ std::string printStmtBrief(const Stmt& s, const SymbolTable& symbols) {
       if (s.atomic)
         return "atomic_store(" + symbols.nameOf(s.lhs) + ", " +
                printExpr(*s.expr, symbols) + ")";
+      switch (s.lhsKind) {
+        case LValueKind::Var:
+          break;
+        case LValueKind::Deref:
+          return "*(" + printExpr(*s.lhsAddr, symbols) + ") = " +
+                 printExpr(*s.expr, symbols);
+        case LValueKind::Index:
+          return symbols.nameOf(s.lhs) + "[" +
+                 printExpr(*s.lhsAddr, symbols) + "] = " +
+                 printExpr(*s.expr, symbols);
+      }
       return symbols.nameOf(s.lhs) + " = " + printExpr(*s.expr, symbols);
     case StmtKind::CallStmt:
       return printExpr(*s.expr, symbols);

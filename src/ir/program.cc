@@ -21,6 +21,15 @@ const char* stmtKindName(StmtKind k) {
   return "?";
 }
 
+const char* lvalueKindName(LValueKind k) {
+  switch (k) {
+    case LValueKind::Var: return "var";
+    case LValueKind::Deref: return "deref";
+    case LValueKind::Index: return "index";
+  }
+  return "?";
+}
+
 std::size_t countStmts(const StmtList& list) {
   std::size_t n = 0;
   forEachStmt(list, [&](const Stmt&) { ++n; });
@@ -44,6 +53,8 @@ StmtPtr cloneStmt(const Stmt& s) {
   out->kind = s.kind;
   out->loc = s.loc;
   out->lhs = s.lhs;
+  out->lhsKind = s.lhsKind;
+  if (s.lhsAddr) out->lhsAddr = cloneExpr(*s.lhsAddr);
   if (s.expr) out->expr = cloneExpr(*s.expr);
   out->thenBody = cloneList(s.thenBody);
   out->elseBody = cloneList(s.elseBody);

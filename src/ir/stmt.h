@@ -37,6 +37,15 @@ enum class StmtKind : std::uint8_t {
 
 [[nodiscard]] const char* stmtKindName(StmtKind k);
 
+/// The shape of an Assign statement's store target.
+enum class LValueKind : std::uint8_t {
+  Var,    ///< x = e       — `lhs` is the variable
+  Deref,  ///< *p = e      — `lhsAddr` evaluates to the cell address
+  Index,  ///< a[i] = e    — `lhs` is the array, `lhsAddr` the cell index
+};
+
+[[nodiscard]] const char* lvalueKindName(LValueKind k);
+
 struct Stmt;
 using StmtPtr = std::unique_ptr<Stmt>;
 using StmtList = std::vector<StmtPtr>;
@@ -52,8 +61,16 @@ struct Stmt {
   StmtKind kind = StmtKind::Assign;
   SourceLoc loc;
 
-  // Assign: target variable.
+  // Assign: target variable (LValueKind::Var) or target array
+  // (LValueKind::Index); invalid for a Deref store.
   SymbolId lhs;
+  // Assign: the store-target shape. Var for every scalar assignment (the
+  // only shape that existed before pointers), so zero-initialized
+  // statements keep their old meaning.
+  LValueKind lhsKind = LValueKind::Var;
+  // Assign: Deref store — the address expression of `*addr = e`;
+  // Index store — the cell index expression of `a[i] = e`. Null for Var.
+  ExprPtr lhsAddr;
   // Assign: value; CallStmt: the Call expression; If/While: condition;
   // Print: printed value.
   ExprPtr expr;
@@ -95,5 +112,22 @@ void forEachStmt(StmtList& list, Fn&& fn) {
 
 /// Number of statements in the list including all nested bodies.
 [[nodiscard]] std::size_t countStmts(const StmtList& list);
+
+/// Invokes `fn` on every expression tree a statement owns: the lvalue
+/// address (`lhsAddr` of a Deref/Index store) first, then `expr`. Walks
+/// this statement only — nested bodies are not entered. Every pass that
+/// collects variable uses must go through this (or visit both fields),
+/// since `a[i] = e` reads `i` as surely as it reads the operands of `e`.
+template <typename Fn>
+void forEachStmtExpr(const Stmt& s, Fn&& fn) {
+  if (s.lhsAddr) fn(*s.lhsAddr);
+  if (s.expr) fn(*s.expr);
+}
+
+template <typename Fn>
+void forEachStmtExpr(Stmt& s, Fn&& fn) {
+  if (s.lhsAddr) fn(*s.lhsAddr);
+  if (s.expr) fn(*s.expr);
+}
 
 }  // namespace cssame::ir

@@ -42,7 +42,13 @@ struct Symbol {
   /// variables participate in conflict edges; thread-private variables are
   /// never concurrently modified (paper Section 5.3).
   bool shared = true;
+  /// For Var: number of cells when the variable is a fixed-size array
+  /// (`int a[N];`), 0 for a scalar. Analyses collapse all cells of one
+  /// array into a single abstract location.
+  std::uint32_t arraySize = 0;
   SourceLoc loc;
+
+  [[nodiscard]] bool isArray() const { return arraySize > 0; }
 };
 
 /// Flat table of all symbols in one program. Names need not be unique
@@ -54,8 +60,18 @@ class SymbolTable {
   SymbolId create(std::string name, SymbolKind kind, bool shared = true,
                   SourceLoc loc = {}) {
     const SymbolId id{static_cast<SymbolId::value_type>(symbols_.size())};
-    symbols_.push_back(Symbol{id, std::move(name), kind, shared, loc});
+    symbols_.push_back(Symbol{id, std::move(name), kind, shared, 0, loc});
     byName_[symbols_.back().name] = id;
+    return id;
+  }
+
+  /// Declares a fixed-size integer array (`int name[size]`). A size of 0
+  /// is clamped to 1: the language has no zero-length objects, and total
+  /// semantics (index modulo size) need a nonzero modulus.
+  SymbolId createArray(std::string name, std::uint32_t size,
+                       bool shared = true, SourceLoc loc = {}) {
+    const SymbolId id = create(std::move(name), SymbolKind::Var, shared, loc);
+    symbols_[id.index()].arraySize = size == 0 ? 1 : size;
     return id;
   }
 

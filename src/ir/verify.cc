@@ -34,6 +34,8 @@ class Verifier {
       case ExprKind::VarRef:
         if (!validSymbol(e.var, SymbolKind::Var))
           problem(s, "VarRef to non-variable symbol");
+        else if (prog_.symbols[e.var].isArray())
+          problem(s, "bare reference to an array (use a[i] or &a)");
         if (!e.operands.empty()) problem(s, "VarRef with operands");
         break;
       case ExprKind::Unary:
@@ -45,6 +47,23 @@ class Verifier {
       case ExprKind::Call:
         if (!validSymbol(e.callee, SymbolKind::Function))
           problem(s, "Call to non-function symbol");
+        break;
+      case ExprKind::AddrOf:
+        if (!validSymbol(e.var, SymbolKind::Var))
+          problem(s, "AddrOf of non-variable symbol");
+        if (e.operands.size() > 1) problem(s, "AddrOf with many operands");
+        if (e.operands.size() == 1 && validSymbol(e.var, SymbolKind::Var) &&
+            !prog_.symbols[e.var].isArray())
+          problem(s, "indexed AddrOf of a non-array");
+        break;
+      case ExprKind::Deref:
+        if (e.operands.size() != 1) problem(s, "Deref without 1 operand");
+        break;
+      case ExprKind::Index:
+        if (!validSymbol(e.var, SymbolKind::Var) ||
+            !prog_.symbols[e.var].isArray())
+          problem(s, "Index of non-array symbol");
+        if (e.operands.size() != 1) problem(s, "Index without 1 operand");
         break;
     }
     for (const auto& op : e.operands) checkExpr(s, *op);
@@ -59,8 +78,26 @@ class Verifier {
 
       switch (s.kind) {
         case StmtKind::Assign:
-          if (!validSymbol(s.lhs, SymbolKind::Var))
-            problem(s, "assignment to non-variable");
+          switch (s.lhsKind) {
+            case LValueKind::Var:
+              if (!validSymbol(s.lhs, SymbolKind::Var))
+                problem(s, "assignment to non-variable");
+              else if (prog_.symbols[s.lhs].isArray())
+                problem(s, "scalar assignment to a whole array");
+              if (s.lhsAddr) problem(s, "scalar assignment with lhsAddr");
+              break;
+            case LValueKind::Deref:
+              if (s.lhs.valid())
+                problem(s, "deref store with a target symbol");
+              if (!s.lhsAddr) problem(s, "deref store without address");
+              break;
+            case LValueKind::Index:
+              if (!validSymbol(s.lhs, SymbolKind::Var) ||
+                  !prog_.symbols[s.lhs].isArray())
+                problem(s, "indexed store to non-array");
+              if (!s.lhsAddr) problem(s, "indexed store without index");
+              break;
+          }
           if (!s.expr) problem(s, "assignment without value");
           break;
         case StmtKind::CallStmt:
@@ -99,6 +136,11 @@ class Verifier {
       }
       if (s.atomic && s.kind != StmtKind::Assign)
         problem(s, "atomic flag on non-assignment");
+      if (s.atomic && s.lhsKind != LValueKind::Var)
+        problem(s, "atomic access through a pointer or array cell");
+      if (s.lhsAddr && s.kind != StmtKind::Assign)
+        problem(s, "lvalue address on non-assignment");
+      if (s.lhsAddr) checkExpr(s, *s.lhsAddr);
       if (s.expr) checkExpr(s, *s.expr);
       if (s.kind != StmtKind::If && s.kind != StmtKind::While &&
           !s.thenBody.empty())

@@ -24,11 +24,12 @@ CopyPropStats propagateCopies(driver::Compilation& comp) {
 
   // Concurrent-definition check: shared variables with any conflict DD/DU
   // edge from a def are unstable; private and unconflicted shared vars
-  // qualify.
+  // qualify. Conflict edges are keyed by alias-class representative.
   auto hasConcurrentDefs = [&](SymbolId v) {
-    if (!syms.isSharedVar(v)) return false;
+    const SymbolId cls = graph.aliases.repOf(v);
+    if (!graph.aliases.classShared(cls, syms)) return false;
     for (const pfg::ConflictEdge& e : graph.conflicts)
-      if (e.var == v) return true;  // some def of v is concurrent
+      if (e.var == cls) return true;  // some def of v is concurrent
     return false;
   };
 
@@ -42,9 +43,18 @@ CopyPropStats propagateCopies(driver::Compilation& comp) {
   std::vector<Rewrite> rewrites;
 
   for (auto& [useExpr, defId] : form.useDef) {
+    // Only a direct scalar read can be redirected; Deref/Index uses also
+    // carry use-def links under alias-class keying but read a cell the
+    // copy's lhs name does not determine.
+    if (useExpr->kind != ir::ExprKind::VarRef) continue;
     const ssa::Definition& d = form.def(defId);
     if (d.kind != ssa::DefKind::Assign) continue;  // π-guarded or merged
     const ir::Stmt* copy = d.stmt;
+    // The class def reaching this use must be a plain `x = y` of the very
+    // symbol the use reads — a weak def of a sibling class member assigns
+    // some other cell.
+    if (copy->lhsKind != ir::LValueKind::Var || useExpr->var != copy->lhs)
+      continue;
     if (copy->expr->kind != ir::ExprKind::VarRef) continue;  // not a copy
     const ir::Expr& rhs = *copy->expr;
     const SymbolId y = rhs.var;

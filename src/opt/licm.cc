@@ -69,6 +69,9 @@ class Licm {
         ir::Stmt* s = list[static_cast<std::size_t>(k)].get();
         if (isEventSync(*s)) break;  // never move across set/wait
         const AccessSummary sum = summarizeSubtree(*s);
+        // A pointer access touches a cell the symbol-keyed barrier sets
+        // cannot name; nothing may move across it.
+        if (sum.indirection) break;
         const bool canMove = independence_.isLockIndependent(*s) &&
                              !setsIntersect(sum.defs, barrierDefs) &&
                              !setsIntersect(sum.defs, barrierUses) &&
@@ -103,6 +106,7 @@ class Licm {
         ir::Stmt* s = list[static_cast<std::size_t>(k)].get();
         if (isEventSync(*s)) break;
         const AccessSummary sum = summarizeSubtree(*s);
+        if (sum.indirection) break;  // see the sink scan
         const bool canMove = independence_.isLockIndependent(*s) &&
                              !setsIntersect(sum.defs, barrierDefs) &&
                              !setsIntersect(sum.defs, barrierUses) &&

@@ -66,18 +66,22 @@ class ExprHoister {
           s.kind == ir::StmtKind::Barrier || s.kind == ir::StmtKind::Fence)
         break;
 
+      const AccessSummary own = summarizeSubtree(s);
+      // A pointer access touches a cell `definedSoFar` cannot name;
+      // nothing may hoist across it.
+      if (own.indirection) break;
+
       if (s.expr && s.kind != ir::StmtKind::Assert) {
         // For compound statements the expression re-evaluates, so its
         // inputs must also be stable across the whole subtree.
         VarSet forbidden = definedSoFar;
         if (s.kind == ir::StmtKind::If || s.kind == ir::StmtKind::While) {
-          for (SymbolId v : summarizeSubtree(s).defs) forbidden.insert(v);
+          for (SymbolId v : own.defs) forbidden.insert(v);
         }
         const NodeId site = graph_.nodeOf(&s);
         if (site.valid()) hoistMax(*s.expr, site, forbidden, hoistedTemps);
       }
 
-      AccessSummary own = summarizeSubtree(s);
       for (SymbolId v : own.defs) definedSoFar.insert(v);
     }
 
@@ -128,7 +132,9 @@ class ExprHoister {
     if (!independence_.isExprLockIndependent(e, site)) return false;
     bool clean = true;
     ir::forEachExpr(e, [&](const ir::Expr& sub) {
-      if (sub.kind == ir::ExprKind::VarRef && forbidden.contains(sub.var))
+      if ((sub.kind == ir::ExprKind::VarRef ||
+           sub.kind == ir::ExprKind::Index) &&
+          forbidden.contains(sub.var))
         clean = false;
     });
     return clean;

@@ -7,6 +7,13 @@ namespace {
 void summarizeExpr(const ir::Expr& e, AccessSummary& out) {
   ir::forEachExpr(e, [&](const ir::Expr& sub) {
     if (sub.kind == ir::ExprKind::VarRef) out.uses.insert(sub.var);
+    if (sub.kind == ir::ExprKind::Index) out.uses.insert(sub.var);
+    if (sub.kind == ir::ExprKind::Deref) {
+      // The loaded cell is statically uncertain; pin the statement and
+      // tell callers their symbol-keyed barriers don't cover it.
+      out.movable = false;
+      out.indirection = true;
+    }
     if (sub.kind == ir::ExprKind::Call) out.movable = false;
   });
 }
@@ -16,7 +23,14 @@ void summarizeExpr(const ir::Expr& e, AccessSummary& out) {
 void addStmtAccesses(const ir::Stmt& s, AccessSummary& out) {
   switch (s.kind) {
     case ir::StmtKind::Assign:
-      out.defs.insert(s.lhs);
+      if (s.lhsKind == ir::LValueKind::Deref) {
+        // A pointer store's target cell is statically uncertain.
+        out.movable = false;
+        out.indirection = true;
+      } else {
+        out.defs.insert(s.lhs);
+      }
+      if (s.lhsAddr) summarizeExpr(*s.lhsAddr, out);
       summarizeExpr(*s.expr, out);
       // Atomic accesses carry TSO ordering; moving one changes which
       // stores are visible to other threads at that point.
@@ -73,8 +87,12 @@ bool setsIntersect(const VarSet& a, const VarSet& b) {
 
 bool LockIndependence::varFreeOfConcurrentDefs(SymbolId v,
                                                NodeId site) const {
-  if (!comp_.program().symbols.isSharedVar(v)) return true;
-  auto it = sites_.defs.find(v);
+  // Access sites are keyed by alias-class representative; a sibling
+  // member's deref store counts as a concurrent definition of v.
+  const ir::AliasClasses& aliases = comp_.graph().aliases;
+  const SymbolId cls = aliases.repOf(v);
+  if (!aliases.classShared(cls, comp_.program().symbols)) return true;
+  auto it = sites_.defs.find(cls);
   if (it == sites_.defs.end()) return true;
   for (const auto& d : it->second)
     if (comp_.mhp().mayHappenInParallel(d.node, site)) return false;
@@ -84,8 +102,10 @@ bool LockIndependence::varFreeOfConcurrentDefs(SymbolId v,
 bool LockIndependence::varFreeOfConcurrentAccess(SymbolId v,
                                                  NodeId site) const {
   if (!varFreeOfConcurrentDefs(v, site)) return false;
-  if (!comp_.program().symbols.isSharedVar(v)) return true;
-  auto it = sites_.uses.find(v);
+  const ir::AliasClasses& aliases = comp_.graph().aliases;
+  const SymbolId cls = aliases.repOf(v);
+  if (!aliases.classShared(cls, comp_.program().symbols)) return true;
+  auto it = sites_.uses.find(cls);
   if (it == sites_.uses.end()) return true;
   for (const auto& u : it->second)
     if (comp_.mhp().mayHappenInParallel(u.node, site)) return false;
@@ -117,7 +137,8 @@ bool LockIndependence::isExprLockIndependent(const ir::Expr& e,
   if (ir::containsCall(e)) return false;
   bool independent = true;
   ir::forEachExpr(e, [&](const ir::Expr& sub) {
-    if (sub.kind == ir::ExprKind::VarRef)
+    if (sub.kind == ir::ExprKind::Deref) independent = false;
+    if (sub.kind == ir::ExprKind::VarRef || sub.kind == ir::ExprKind::Index)
       independent &= varFreeOfConcurrentDefs(sub.var, site);
   });
   return independent;

@@ -21,6 +21,11 @@ struct AccessSummary {
   VarSet defs;
   VarSet uses;
   bool movable = true;
+  /// The subtree loads or stores through a pointer. The touched cell is
+  /// statically uncertain, so symbol-keyed def/use intersection cannot
+  /// prove motion past it safe — callers treat such a statement as a
+  /// hard barrier (and `movable` is false as well).
+  bool indirection = false;
   std::vector<const ir::Stmt*> stmts;  ///< contained statements
 };
 

@@ -46,7 +46,8 @@ class Pdce {
         case ir::StmtKind::Assign:
           // Calls inside a right-hand side may have side effects; atomic
           // accesses order memory under TSO even when their value is dead.
-          if (s.atomic || (s.expr && ir::containsCall(*s.expr)))
+          if (s.atomic || (s.expr && ir::containsCall(*s.expr)) ||
+              (s.lhsAddr && ir::containsCall(*s.lhsAddr)))
             markLive(&s);
           break;
         default:
@@ -62,15 +63,19 @@ class Pdce {
 
       // Condition 2: definitions reaching this statement's uses are live.
       // Algorithm A.4 already expanded φ and π terms to real definitions.
-      if (s->expr) {
-        ir::forEachExpr(*s->expr, [&](const ir::Expr& e) {
-          if (e.kind != ir::ExprKind::VarRef) return;
+      // Every reading expression — VarRef, Index, Deref — has a reaching
+      // set; so do the uses inside a store's address (`i` in `a[i] = e`),
+      // which keep index/pointer computations alive.
+      auto markReaching = [&](const ir::Expr& root) {
+        ir::forEachExpr(root, [&](const ir::Expr& e) {
           for (SsaNameId d : reach_.defs(&e)) {
             const ssa::Definition& def = comp_.ssa().def(d);
             if (def.kind == ssa::DefKind::Assign) markLive(def.stmt);
           }
         });
-      }
+      };
+      if (s->expr) markReaching(*s->expr);
+      if (s->lhsAddr) markReaching(*s->lhsAddr);
 
       // Condition 3: branches this statement is control dependent on are
       // live; the reverse dominance frontier gives exactly those nodes.

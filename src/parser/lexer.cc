@@ -33,6 +33,8 @@ const char* tokKindName(TokKind k) {
     case TokKind::RParen: return "')'";
     case TokKind::LBrace: return "'{'";
     case TokKind::RBrace: return "'}'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
     case TokKind::Semi: return "';'";
     case TokKind::Comma: return "','";
     case TokKind::Assign: return "'='";
@@ -50,6 +52,7 @@ const char* tokKindName(TokKind k) {
     case TokKind::AndAnd: return "'&&'";
     case TokKind::OrOr: return "'||'";
     case TokKind::Bang: return "'!'";
+    case TokKind::Amp: return "'&'";
   }
   return "?";
 }
@@ -153,6 +156,8 @@ LexResult lex(std::string_view src) {
       case ')': push(TokKind::RParen, l); advance(); break;
       case '{': push(TokKind::LBrace, l); advance(); break;
       case '}': push(TokKind::RBrace, l); advance(); break;
+      case '[': push(TokKind::LBracket, l); advance(); break;
+      case ']': push(TokKind::RBracket, l); advance(); break;
       case ';': push(TokKind::Semi, l); advance(); break;
       case ',': push(TokKind::Comma, l); advance(); break;
       case '+': push(TokKind::Plus, l); advance(); break;
@@ -178,10 +183,7 @@ LexResult lex(std::string_view src) {
         break;
       case '&':
         if (peek(1) == '&') { push(TokKind::AndAnd, l); advance(2); }
-        else {
-          result.errors.emplace_back(l, "unexpected character '&'");
-          advance();
-        }
+        else { push(TokKind::Amp, l); advance(); }
         break;
       case '|':
         if (peek(1) == '|') { push(TokKind::OrOr, l); advance(2); }

@@ -18,11 +18,12 @@ enum class TokKind : std::uint8_t {
   KwUnlock, KwSet, KwWait, KwPrint, KwBarrier, KwDoall, KwAssert,
   KwFence, KwAtomicLoad, KwAtomicStore,
   // Punctuation / operators.
-  LParen, RParen, LBrace, RBrace, Semi, Comma,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Semi, Comma,
   Assign,          // =
   Plus, Minus, Star, Slash, Percent,
   Lt, Le, Gt, Ge, EqEq, Ne,
   AndAnd, OrOr, Bang,
+  Amp,             // & — address-of (a lone & is not a binary operator)
 };
 
 [[nodiscard]] const char* tokKindName(TokKind k);

@@ -78,7 +78,8 @@ class Parser {
   void pushScope() { scopes_.emplace_back(); }
   void popScope() { scopes_.pop_back(); }
 
-  SymbolId declare(const std::string& name, SymbolKind kind, SourceLoc loc) {
+  SymbolId declare(const std::string& name, SymbolKind kind, SourceLoc loc,
+                   std::uint32_t arraySize = 0) {
     auto& scope = scopes_.back();
     if (scope.contains(name)) {
       diag_.error(DiagCode::Redeclaration, loc,
@@ -86,7 +87,10 @@ class Parser {
       return scope[name];
     }
     const bool shared = threadDepth_ == 0;
-    const SymbolId id = prog_.symbols.create(name, kind, shared, loc);
+    const SymbolId id =
+        arraySize > 0
+            ? prog_.symbols.createArray(name, arraySize, shared, loc)
+            : prog_.symbols.create(name, kind, shared, loc);
     scope[name] = id;
     return id;
   }
@@ -174,6 +178,30 @@ class Parser {
         return;
       }
       const Token nameTok = take();
+      // `int a[N];` — fixed-size array. The size must be a positive
+      // integer literal (the analyses collapse all cells into one
+      // abstract location, but the interpreter models each cell).
+      if (at(TokKind::LBracket)) {
+        take();
+        constexpr long long kMaxArraySize = 1024;
+        long long size = 0;
+        if (at(TokKind::IntLit)) {
+          size = take().intValue;
+        } else {
+          error("array size must be an integer literal");
+        }
+        expect(TokKind::RBracket);
+        if (size < 1 || size > kMaxArraySize) {
+          error("array size must be between 1 and " +
+                std::to_string(kMaxArraySize));
+          size = 1;
+        }
+        declare(nameTok.text, SymbolKind::Var, nameTok.loc,
+                static_cast<std::uint32_t>(size));
+        if (at(TokKind::Assign))
+          error("array declarations cannot have initializers");
+        continue;
+      }
       const SymbolId var = declare(nameTok.text, SymbolKind::Var, nameTok.loc);
       if (accept(TokKind::Assign)) {
         ExprPtr init = parseExpr();
@@ -223,6 +251,27 @@ class Parser {
     switch (cur().kind) {
       case TokKind::Ident: {
         const Token nameTok = take();
+        // `a[i] = e;` — array-cell store.
+        if (at(TokKind::LBracket)) {
+          take();
+          ExprPtr idx = parseExpr();
+          expect(TokKind::RBracket);
+          const SymbolId arr = resolveVar(nameTok, SymbolKind::Var);
+          if (prog_.symbols[arr].kind == SymbolKind::Var &&
+              !prog_.symbols[arr].isArray())
+            diag_.error(DiagCode::WrongSymbolKind, nameTok.loc,
+                        "'" + nameTok.text + "' is not an array");
+          expect(TokKind::Assign);
+          ExprPtr value = parseExpr();
+          expect(TokKind::Semi);
+          auto s = prog_.newStmt(StmtKind::Assign, loc);
+          s->lhs = arr;
+          s->lhsKind = ir::LValueKind::Index;
+          s->lhsAddr = std::move(idx);
+          s->expr = std::move(value);
+          list->push_back(std::move(s));
+          return;
+        }
         if (at(TokKind::Assign)) {
           take();
           const SymbolId var = resolveVar(nameTok, SymbolKind::Var);
@@ -373,6 +422,21 @@ class Parser {
       case TokKind::KwDoall:
         parseDoall(list);
         return;
+      case TokKind::Star: {
+        // `*addr = e;` — store through a pointer. The address expression
+        // binds like the unary deref operator, so `**q = e` nests.
+        take();
+        ExprPtr addr = parseUnary();
+        expect(TokKind::Assign);
+        ExprPtr value = parseExpr();
+        expect(TokKind::Semi);
+        auto s = prog_.newStmt(StmtKind::Assign, loc);
+        s->lhsKind = ir::LValueKind::Deref;
+        s->lhsAddr = std::move(addr);
+        s->expr = std::move(value);
+        list->push_back(std::move(s));
+        return;
+      }
       default:
         error(std::string("unexpected ") + tokKindName(cur().kind));
         take();
@@ -520,6 +584,26 @@ class Parser {
       return ir::makeUnary(UnOp::Neg, parseUnary(), loc);
     if (accept(TokKind::Bang))
       return ir::makeUnary(UnOp::Not, parseUnary(), loc);
+    if (accept(TokKind::Star)) return ir::makeDeref(parseUnary(), loc);
+    if (accept(TokKind::Amp)) {
+      // `&x`, `&a`, or `&a[i]` — the operand of & must name a variable.
+      if (!at(TokKind::Ident)) {
+        error("expected variable after '&'");
+        return ir::makeInt(0, loc);
+      }
+      const Token t = take();
+      const SymbolId var = resolveVar(t, SymbolKind::Var);
+      ExprPtr idx;
+      if (accept(TokKind::LBracket)) {
+        idx = parseExpr();
+        expect(TokKind::RBracket);
+        if (prog_.symbols[var].kind == SymbolKind::Var &&
+            !prog_.symbols[var].isArray())
+          diag_.error(DiagCode::WrongSymbolKind, t.loc,
+                      "'" + t.text + "' is not an array");
+      }
+      return ir::makeAddrOf(var, std::move(idx), loc);
+    }
     return parsePrimary();
   }
 
@@ -549,6 +633,21 @@ class Parser {
           return parseCallArgs(fn, loc);
         }
         const SymbolId var = resolveVar(t, SymbolKind::Var);
+        if (accept(TokKind::LBracket)) {
+          ExprPtr idx = parseExpr();
+          expect(TokKind::RBracket);
+          if (prog_.symbols[var].kind == SymbolKind::Var &&
+              !prog_.symbols[var].isArray())
+            diag_.error(DiagCode::WrongSymbolKind, t.loc,
+                        "'" + t.text + "' is not an array");
+          return ir::makeIndex(var, std::move(idx), loc);
+        }
+        if (prog_.symbols[var].kind == SymbolKind::Var &&
+            prog_.symbols[var].isArray())
+          diag_.error(DiagCode::WrongSymbolKind, t.loc,
+                      "array '" + t.text +
+                          "' needs an index here (use " + t.text +
+                          "[i] or &" + t.text + ")");
         return ir::makeVar(var, loc);
       }
       case TokKind::LParen: {

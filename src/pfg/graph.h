@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ir/alias.h"
 #include "src/ir/program.h"
 #include "src/support/ids.h"
 #include "src/support/status.h"
@@ -140,6 +141,13 @@ class Graph {
   std::vector<ConflictEdge> conflicts;
   std::vector<MutexEdge> mutexEdges;
   std::vector<DsyncEdge> dsyncEdges;
+
+  /// May-alias partition the access index and SSA construction key on.
+  /// Defaults to the identity (every symbol its own class; no deref
+  /// sites), which is exact for scalar-only programs. The pipeline
+  /// installs a conservative partition before its first analysis of a
+  /// pointer program and a points-to-refined one for the rebuild.
+  ir::AliasClasses aliases;
 
   /// Node that evaluates/executes the given statement. Simple statements
   /// map to their Block, If/While to the block they terminate, sync

@@ -89,7 +89,9 @@ std::vector<std::string> verifyGraph(const Graph& graph) {
     if (e.from == e.to)
       problems.push_back("conflict self-edge on node #" +
                          std::to_string(e.from.value()));
-    if (!syms.isSharedVar(e.var))
+    // Conflict edges are keyed by alias-class representative; the class
+    // conflicts as soon as any member is shared.
+    if (!graph.aliases.classShared(e.var, syms))
       problems.push_back("conflict edge over non-shared variable '" +
                          syms.nameOf(e.var) + "'");
   }

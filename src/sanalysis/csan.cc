@@ -11,21 +11,23 @@ namespace cssame::sanalysis {
 
 namespace {
 
-/// The statement performing the access a conflict-edge endpoint refers
-/// to, looked up in the compilation's cached access sites.
-const ir::Stmt* accessStmtAt(NodeId node, SymbolId var, bool isDef,
-                             const analysis::AccessSites& sites) {
-  if (isDef) {
-    auto it = sites.defs.find(var);
-    if (it != sites.defs.end())
-      for (const auto& d : it->second)
-        if (d.node == node) return d.stmt;
-  } else {
-    auto it = sites.uses.find(var);
-    if (it != sites.uses.end())
-      for (const auto& u : it->second)
-        if (u.node == node) return u.stmt;
-  }
+/// The access record a conflict-edge endpoint refers to, looked up in the
+/// compilation's cached (alias-class-keyed) access sites.
+const analysis::AccessSites::Def* defRecordAt(
+    NodeId node, SymbolId cls, const analysis::AccessSites& sites) {
+  auto it = sites.defs.find(cls);
+  if (it != sites.defs.end())
+    for (const auto& d : it->second)
+      if (d.node == node) return &d;
+  return nullptr;
+}
+
+const analysis::AccessSites::Use* useRecordAt(
+    NodeId node, SymbolId cls, const analysis::AccessSites& sites) {
+  auto it = sites.uses.find(cls);
+  if (it != sites.uses.end())
+    for (const auto& u : it->second)
+      if (u.node == node) return &u;
   return nullptr;
 }
 
@@ -76,14 +78,50 @@ class Csan {
                     " of this cobegin and may interleave");
   }
 
-  RaceSite makeSite(NodeId node, SymbolId var, bool isDef) const {
+  RaceSite makeSite(NodeId node, SymbolId cls, bool isDef) const {
     RaceSite s;
     s.node = node;
-    s.stmt = accessStmtAt(node, var, isDef, comp_.sites());
-    s.loc = locOf(s.stmt);
     s.isWrite = isDef;
+    if (isDef) {
+      if (const auto* d = defRecordAt(node, cls, comp_.sites())) {
+        s.stmt = d->stmt;
+        s.viaDeref = d->viaDeref;
+        s.accessedSym = d->accessedSym;
+        if (d->stmt->lhsKind == ir::LValueKind::Index)
+          s.indexExpr = d->stmt->lhsAddr.get();
+      }
+    } else {
+      if (const auto* u = useRecordAt(node, cls, comp_.sites())) {
+        s.stmt = u->stmt;
+        s.ref = u->ref;
+        s.viaDeref = u->viaDeref;
+        s.accessedSym = u->accessedSym;
+        if (u->ref != nullptr && u->ref->kind == ir::ExprKind::Index)
+          s.indexExpr = u->ref->operands[0].get();
+      }
+    }
+    s.loc = locOf(s.stmt);
     s.lockset = locksetAt(node, structures_);
     return s;
+  }
+
+  /// Points-to chain note for a pointer access: which locations the
+  /// solved analysis says the dereference may touch.
+  void notePts(Diagnostic& d, const RaceSite& s) {
+    if (!s.viaDeref || comp_.pointsTo() == nullptr) return;
+    const PointsToResult& pt = *comp_.pointsTo();
+    const PtSet* pts = nullptr;
+    if (s.isWrite) {
+      auto it = pt.storePts.find(s.stmt);
+      if (it != pt.storePts.end()) pts = &it->second;
+    } else {
+      auto it = pt.loadPts.find(s.ref);
+      if (it != pt.loadPts.end()) pts = &it->second;
+    }
+    if (pts != nullptr)
+      d.note(s.loc, std::string(s.isWrite ? "store" : "load") +
+                        " through a pointer that may target " +
+                        formatPtSet(*pts, syms_));
   }
 
   /// Access-site-granular lockset race check: one PotentialDataRace per
@@ -97,6 +135,19 @@ class Csan {
       const RaceSite def = makeSite(e.from, e.var, true);
       const RaceSite other = makeSite(e.to, e.var, e.toIsDef);
       if (!locksetsDisjoint(def.lockset, other.lockset)) continue;
+      // Two *direct* accesses naming different members of one alias class
+      // never touch the same cell — the class pairs them only because a
+      // pointer elsewhere may touch both. No race between these two.
+      if (!def.viaDeref && !other.viaDeref && def.accessedSym.valid() &&
+          other.accessedSym.valid() && def.accessedSym != other.accessedSym)
+        continue;
+      // MayAliasRace: the pair races only if the accesses actually alias
+      // — a pointer access, or array accesses with differing indices.
+      // Plain same-symbol scalar pairs stay PotentialDataRace.
+      bool mayAlias = def.viaDeref || other.viaDeref;
+      if (!mayAlias && def.indexExpr != nullptr && other.indexExpr != nullptr &&
+          !ir::exprEquals(*def.indexExpr, *other.indexExpr))
+        mayAlias = true;
       // DD and DU edges can join the same node pair; one witness per
       // unordered pair keeps output readable without losing sites.
       const auto key = std::make_tuple(e.var, std::min(e.from, e.to),
@@ -105,6 +156,7 @@ class Csan {
 
       RaceWitness w;
       w.var = e.var;
+      w.mayAlias = mayAlias;
       w.def = def;
       w.other = other;
       if (const auto div = comp_.mhp().divergenceOf(e.from, e.to)) {
@@ -115,20 +167,35 @@ class Csan {
         if (it != cobeginStmt_.end()) w.cobeginLoc = it->second->loc;
       }
 
-      ++report_.potentialRaces;
+      if (mayAlias)
+        ++report_.mayAliasRaces;
+      else
+        ++report_.potentialRaces;
       report_.racedVars.insert(e.var);
-      Diagnostic& d = diag_.warn(
-          DiagCode::PotentialDataRace, def.loc,
-          "potential data race on shared variable '" + syms_.nameOf(e.var) +
-              "': this write and a concurrent " +
-              (other.isWrite ? "write" : "read") +
-              " share no common lock");
+      Diagnostic& d =
+          mayAlias
+              ? diag_.warn(
+                    DiagCode::MayAliasRace, def.loc,
+                    "potential data race through aliasing on the storage "
+                    "of '" +
+                        syms_.nameOf(e.var) +
+                        "': this write and a concurrent " +
+                        (other.isWrite ? "write" : "read") +
+                        " may touch the same cell and share no common lock")
+              : diag_.warn(
+                    DiagCode::PotentialDataRace, def.loc,
+                    "potential data race on shared variable '" +
+                        syms_.nameOf(e.var) + "': this write and a concurrent " +
+                        (other.isWrite ? "write" : "read") +
+                        " share no common lock");
       d.note(def.loc, "write under lockset " +
                           locksetStr(def.lockset, syms_));
       d.note(other.loc, std::string("concurrent ") +
                             (other.isWrite ? "write" : "read") +
                             " under lockset " +
                             locksetStr(other.lockset, syms_));
+      notePts(d, def);
+      notePts(d, other);
       noteMhp(d, e.from, e.to);
       report_.raceWitnesses.push_back(std::move(w));
     }

@@ -56,11 +56,25 @@ struct RaceSite {
   SourceLoc loc;
   bool isWrite = false;
   std::set<SymbolId> lockset;
+  /// The access goes through a pointer (`*p`); accessedSym is then
+  /// invalid and the points-to chain note names the possible targets.
+  bool viaDeref = false;
+  /// Syntactic symbol accessed (the array for Index accesses); invalid
+  /// for Deref accesses.
+  SymbolId accessedSym{};
+  /// For a read: the reading expression (VarRef/Index/Deref) — keys the
+  /// points-to load table. nullptr for writes.
+  const ir::Expr* ref = nullptr;
+  /// For Index accesses: the index expression (`i` in `a[i]`).
+  const ir::Expr* indexExpr = nullptr;
 };
 
-/// The full evidence for one PotentialDataRace diagnostic.
+/// The full evidence for one PotentialDataRace / MayAliasRace diagnostic.
 struct RaceWitness {
-  SymbolId var;
+  SymbolId var;  ///< alias-class representative
+  /// The pair was flagged MayAliasRace: a pointer access, or array
+  /// accesses whose indices are not structurally equal.
+  bool mayAlias = false;
   RaceSite def;    ///< the defining end of the conflict edge
   RaceSite other;  ///< the concurrent use or second definition
   /// MHP justification: the cobegin whose distinct arms the sites occupy.
@@ -72,6 +86,7 @@ struct RaceWitness {
 
 struct CsanReport {
   std::size_t potentialRaces = 0;       ///< conflicting site pairs
+  std::size_t mayAliasRaces = 0;        ///< pairs racing through aliasing
   std::size_t inconsistentLocking = 0;  ///< variables
   mutex::DeadlockReport deadlocks;
   std::size_t selfDeadlocks = 0;
@@ -82,12 +97,15 @@ struct CsanReport {
   std::size_t unprotectedPiReads = 0;
 
   std::vector<RaceWitness> raceWitnesses;
-  /// Variables with at least one PotentialDataRace, for the dynamic
-  /// cross-validation harness (bench_csan).
+  /// Alias-class representatives with at least one PotentialDataRace or
+  /// MayAliasRace, for the dynamic cross-validation harnesses
+  /// (bench_csan, bench_alias). Map a dynamic symbol through
+  /// graph.aliases.repOf before membership tests.
   std::set<SymbolId> racedVars;
 
   [[nodiscard]] std::size_t totalFindings() const {
-    return potentialRaces + inconsistentLocking + deadlocks.abbaPairs +
+    return potentialRaces + mayAliasRaces + inconsistentLocking +
+           deadlocks.abbaPairs +
            deadlocks.orderCycles + selfDeadlocks + lockLeaks + emptyBodies +
            redundantBodies + overwideBodies + unprotectedPiReads;
   }

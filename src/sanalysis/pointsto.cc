@@ -1,0 +1,363 @@
+#include "src/sanalysis/pointsto.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "src/dataflow/framework.h"
+
+namespace cssame::sanalysis {
+
+bool PtSet::join(const PtSet& o) {
+  if (anywhere) return false;
+  if (o.anywhere) {
+    anywhere = true;
+    locs.clear();  // canonical form: ⊤ carries no members
+    return true;
+  }
+  bool changed = false;
+  for (SymbolId l : o.locs) changed |= locs.insert(l).second;
+  return changed;
+}
+
+void PtSet::meet(const PtSet& o) {
+  if (o.anywhere) return;
+  if (anywhere) {
+    *this = o;
+    return;
+  }
+  std::erase_if(locs, [&](SymbolId l) { return !o.locs.contains(l); });
+}
+
+std::string formatPtSet(const PtSet& pts, const ir::SymbolTable& syms) {
+  if (pts.anywhere) return "{anywhere}";
+  std::string out = "{";
+  for (SymbolId l : pts.locs) {
+    if (out.size() > 1) out += ", ";
+    out += syms.nameOf(l);
+  }
+  return out + "}";
+}
+
+namespace {
+
+/// SsaPropagator client (see pointsto.h for the lattice). The problem
+/// reads — never writes — the outer locPts map; the driver below re-runs
+/// the propagation whenever a harvest pass grows that map.
+struct PointsToProblem {
+  using Value = PtSet;
+
+  const pfg::Graph* graph = nullptr;
+  const ssa::SsaForm* form = nullptr;
+  const std::unordered_map<SymbolId, PtSet>* locPts = nullptr;
+
+  [[nodiscard]] const char* name() const { return "points-to"; }
+  [[nodiscard]] PtSet identity() const { return {}; }
+
+  /// Entry definitions: every location starts 0-initialized, and the ∅
+  /// invariant is exactly "this value is 0".
+  [[nodiscard]] PtSet initial(const ssa::Definition&) const { return {}; }
+
+  void join(PtSet& into, const PtSet& arg) const { into.join(arg); }
+
+  [[nodiscard]] PtSet lookupLoc(SymbolId l) const {
+    auto it = locPts->find(l);
+    return it == locPts->end() ? PtSet{} : it->second;
+  }
+
+  /// The SSA names an Assign's value depends on: the use-def links of the
+  /// VarRefs in its right-hand side (Index/Deref loads read locPts, which
+  /// the outer fixpoint re-solves on change).
+  [[nodiscard]] std::vector<SsaNameId> extraDeps(
+      const ssa::Definition& d) const {
+    std::vector<SsaNameId> deps;
+    if (d.kind != ssa::DefKind::Assign || d.stmt == nullptr) return deps;
+    if (!d.stmt->expr) return deps;
+    ir::forEachExpr(*d.stmt->expr, [&](const ir::Expr& sub) {
+      if (sub.kind != ir::ExprKind::VarRef) return;
+      auto it = form->useDef.find(&sub);
+      if (it != form->useDef.end()) deps.push_back(it->second);
+    });
+    return deps;
+  }
+
+  [[nodiscard]] PtSet evalAssign(
+      const ssa::Definition& d,
+      const std::function<PtSet(SsaNameId)>& get) const {
+    PtSet v = d.stmt != nullptr && d.stmt->expr
+                  ? evalExpr(*d.stmt->expr, get)
+                  : PtSet::any();
+    if (d.weak) {
+      // A weak definition updates at most one member/cell of its class;
+      // the class as a whole may still hold anything it held before.
+      const ir::SymbolTable& syms = graph->program().symbols;
+      for (const ir::Symbol& sym : syms.all()) {
+        if (sym.kind != ir::SymbolKind::Var) continue;
+        if (graph->aliases.repOf(sym.id) != d.var) continue;
+        v.join(lookupLoc(sym.id));
+        if (v.anywhere) break;
+      }
+    }
+    return v;
+  }
+
+  [[nodiscard]] PtSet evalExpr(
+      const ir::Expr& e, const std::function<PtSet(SsaNameId)>& get) const {
+    switch (e.kind) {
+      case ir::ExprKind::IntConst:
+        // Any nonzero integer names a cell of the flat memory, so pointer
+        // arithmetic soundness needs no special casing: `p + 1` joins ⊤.
+        return e.intValue == 0 ? PtSet{} : PtSet::any();
+      case ir::ExprKind::VarRef: {
+        // The flow-insensitive contents of this specific cell: sound on
+        // its own (every store into the cell is harvested into locPts,
+        // and the 0-initialized base is the ∅ bottom), and the fallback
+        // when the use has no chain link.
+        const PtSet cell = lookupLoc(e.var);
+        auto it = form->useDef.find(&e);
+        if (it == form->useDef.end()) return cell;
+        // The chain value is class-keyed: across a weak definition it
+        // over-approximates the contents of *any* class member, which
+        // under the conservative mega-class smears every cell to ⊤.
+        // Meeting it with the per-cell set keeps the flow/concurrency
+        // sensitivity of the π chains without the class-width blowup;
+        // both operands only grow, so the outer fixpoint stays monotone.
+        PtSet v = get(it->second);
+        v.meet(cell);
+        return v;
+      }
+      case ir::ExprKind::AddrOf: {
+        PtSet p;
+        p.locs.insert(e.var);  // &a[i] collapses to the array symbol
+        return p;
+      }
+      case ir::ExprKind::Index:
+        return lookupLoc(e.var);
+      case ir::ExprKind::Deref: {
+        const PtSet addr = evalExpr(*e.operands[0], get);
+        if (addr.anywhere) return PtSet::any();
+        PtSet out;
+        for (SymbolId l : addr.locs) {
+          out.join(lookupLoc(l));
+          if (out.anywhere) break;
+        }
+        return out;
+      }
+      case ir::ExprKind::Unary: {
+        const PtSet a = evalExpr(*e.operands[0], get);
+        // Neg: -0 = 0; negating an address leaves the valid range.
+        // Not: !0 = 1 names cell 0.
+        if (e.unop == ir::UnOp::Neg) return a.empty() ? PtSet{} : PtSet::any();
+        return PtSet::any();
+      }
+      case ir::ExprKind::Binary: {
+        const PtSet a = evalExpr(*e.operands[0], get);
+        const PtSet b = evalExpr(*e.operands[1], get);
+        switch (e.binop) {
+          case ir::BinOp::Add:
+            // 0 is the additive identity; adding two non-null values may
+            // land anywhere.
+            if (a.empty()) return b;
+            if (b.empty()) return a;
+            return PtSet::any();
+          case ir::BinOp::Sub:
+            if (b.empty()) return a;  // x - 0 = x
+            if (a.empty() && b.empty()) return PtSet{};
+            return PtSet::any();
+          case ir::BinOp::Mul:
+            if (a.empty() || b.empty()) return PtSet{};  // 0 · x = 0
+            return PtSet::any();
+          case ir::BinOp::Div:
+          case ir::BinOp::Mod:
+            if (a.empty()) return PtSet{};  // 0 / x = 0 (total semantics)
+            return PtSet::any();
+          case ir::BinOp::And:
+            if (a.empty() || b.empty()) return PtSet{};  // 0 && x = 0
+            return PtSet::any();
+          case ir::BinOp::Or:
+            if (a.empty() && b.empty()) return PtSet{};  // 0 || 0 = 0
+            return PtSet::any();
+          default:
+            // Comparisons yield 0 or 1, and 1 names cell 0.
+            return PtSet::any();
+        }
+      }
+      case ir::ExprKind::Call:
+        return PtSet::any();
+    }
+    return PtSet::any();
+  }
+};
+
+}  // namespace
+
+PointsToResult solvePointsTo(const pfg::Graph& graph,
+                             const ssa::SsaForm& form) {
+  PointsToResult result;
+  const ir::SymbolTable& syms = graph.program().symbols;
+
+  // Outer fixpoint: alternate a sparse value propagation with a harvest
+  // of every store into locPts until the map stops growing. Monotone over
+  // a finite lattice; the cap is a non-convergence backstop only.
+  const std::size_t maxOuter = 64 + syms.size();
+  bool changed = true;
+  while (changed && result.stats.outerPasses < maxOuter) {
+    ++result.stats.outerPasses;
+    changed = false;
+
+    PointsToProblem problem{&graph, &form, &result.locPts};
+    dataflow::SsaPropagator<PointsToProblem> solver(form, problem);
+    const Status status = solver.solve();
+    CSSAME_CHECK(status.ok(), "points-to propagation did not converge");
+    result.stats.innerIterations += solver.stats().iterations;
+
+    const std::function<PtSet(SsaNameId)> get =
+        [&solver](SsaNameId id) -> PtSet { return solver.valueOf(id); };
+
+    auto joinLoc = [&](SymbolId l, const PtSet& v) {
+      changed |= result.locPts[l].join(v);
+    };
+    auto joinAllLocs = [&](const PtSet& v) {
+      for (const ir::Symbol& sym : syms.all())
+        if (sym.kind == ir::SymbolKind::Var) joinLoc(sym.id, v);
+    };
+    auto recordLoads = [&](const ir::Expr& root) {
+      ir::forEachExpr(root, [&](const ir::Expr& sub) {
+        if (sub.kind != ir::ExprKind::Deref) return;
+        result.loadPts[&sub] = problem.evalExpr(*sub.operands[0], get);
+      });
+    };
+
+    for (const pfg::Node& n : graph.nodes()) {
+      for (const ir::Stmt* s : n.stmts) {
+        if (s->expr) recordLoads(*s->expr);
+        if (s->lhsAddr) recordLoads(*s->lhsAddr);
+        if (s->kind != ir::StmtKind::Assign) continue;
+        const PtSet rhs = problem.evalExpr(*s->expr, get);
+        switch (s->lhsKind) {
+          case ir::LValueKind::Var:
+          case ir::LValueKind::Index:
+            joinLoc(s->lhs, rhs);
+            break;
+          case ir::LValueKind::Deref: {
+            const PtSet addr = problem.evalExpr(*s->lhsAddr, get);
+            result.storePts[s] = addr;
+            if (addr.anywhere) {
+              joinAllLocs(rhs);
+            } else {
+              for (SymbolId l : addr.locs) joinLoc(l, rhs);
+            }
+            break;
+          }
+        }
+      }
+      if (n.terminator != nullptr && n.terminator->expr)
+        recordLoads(*n.terminator->expr);
+    }
+  }
+  if (changed) {
+    // Backstop: degrade every site to ⊤ rather than ship an unsound
+    // partial answer.
+    result.stats.converged = false;
+    for (auto& [e, p] : result.loadPts) p = PtSet::any();
+    for (auto& [s, p] : result.storePts) p = PtSet::any();
+  }
+
+  result.stats.derefSites = result.loadPts.size() + result.storePts.size();
+  std::size_t finiteSites = 0, finiteTargets = 0;
+  auto tally = [&](const PtSet& p) {
+    if (p.anywhere) {
+      ++result.stats.anywhereSites;
+    } else {
+      ++finiteSites;
+      finiteTargets += p.locs.size();
+    }
+  };
+  for (const auto& [e, p] : result.loadPts) tally(p);
+  for (const auto& [s, p] : result.storePts) tally(p);
+  result.stats.avgTargets =
+      finiteSites == 0
+          ? 0.0
+          : static_cast<double>(finiteTargets) / static_cast<double>(finiteSites);
+  return result;
+}
+
+ir::AliasClasses PointsToResult::buildClasses(const ir::Program& prog) const {
+  const ir::SymbolTable& syms = prog.symbols;
+  const std::size_t n = syms.size();
+
+  // Union-find over symbol indices, min-id roots so representatives are
+  // deterministic regardless of site iteration order.
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t x) -> std::uint32_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent[b] = a;
+  };
+
+  auto uniteSet = [&](const PtSet& p) {
+    if (p.anywhere) {
+      std::uint32_t first = UINT32_MAX;
+      for (const ir::Symbol& sym : syms.all()) {
+        if (sym.kind != ir::SymbolKind::Var) continue;
+        if (first == UINT32_MAX)
+          first = sym.id.index();
+        else
+          unite(first, sym.id.index());
+      }
+      return;
+    }
+    SymbolId first{};
+    for (SymbolId l : p.locs) {
+      if (!first.valid())
+        first = l;
+      else
+        unite(first.index(), l.index());
+    }
+  };
+  for (const auto& [e, p] : loadPts) uniteSet(p);
+  for (const auto& [s, p] : storePts) uniteSet(p);
+
+  ir::AliasClasses out;
+  auto repOf = [&](SymbolId s) {
+    return SymbolId{static_cast<SymbolId::value_type>(find(s.index()))};
+  };
+  auto siteRep = [&](const PtSet& p) -> SymbolId {
+    if (p.anywhere) {
+      for (const ir::Symbol& sym : syms.all())
+        if (sym.kind == ir::SymbolKind::Var) return repOf(sym.id);
+      return SymbolId{};
+    }
+    if (p.locs.empty()) return SymbolId{};  // touches nothing at runtime
+    return repOf(*p.locs.begin());
+  };
+  // Site maps first: setPartition's drop-to-identity check inspects them.
+  for (const auto& [e, p] : loadPts) {
+    const SymbolId rep = siteRep(p);
+    if (rep.valid()) out.setDerefLoad(e, rep);
+  }
+  for (const auto& [s, p] : storePts) {
+    const SymbolId rep = siteRep(p);
+    if (rep.valid()) out.setDerefStore(s, rep);
+  }
+
+  std::vector<SymbolId> rep(n);
+  for (const ir::Symbol& sym : syms.all())
+    rep[sym.id.index()] =
+        sym.kind == ir::SymbolKind::Var ? repOf(sym.id) : SymbolId{};
+  out.setPartition(std::move(rep), syms);
+  return out;
+}
+
+}  // namespace cssame::sanalysis

@@ -44,7 +44,7 @@ struct PendingStores {
   using Value = std::set<StmtId>;
   static constexpr dataflow::Direction direction =
       dataflow::Direction::Forward;
-  const ir::SymbolTable* syms = nullptr;
+  const pfg::Graph* graph = nullptr;
 
   [[nodiscard]] const char* name() const { return "tso-pending-stores"; }
   [[nodiscard]] Value boundary() const { return {}; }
@@ -62,12 +62,16 @@ struct PendingStores {
       // whose buffers are empty by construction.
       return {};
     }
+    const ir::SymbolTable& syms = graph->program().symbols;
     Value out = in;
     for (const ir::Stmt* s : n.stmts) {
       if (s->kind != ir::StmtKind::Assign) continue;
+      const SymbolId cls = graph->aliases.defTargetOf(*s);
       if (s->atomic) {
         out.clear();  // drains the buffer before it executes
-      } else if (syms->isSharedVar(s->lhs)) {
+      } else if (cls.valid() && graph->aliases.classShared(cls, syms)) {
+        // A plain store to any shared cell — direct, indexed, or through
+        // a pointer — issues into the buffer.
         out.insert(s->id);
       }
     }
@@ -75,6 +79,20 @@ struct PendingStores {
     return out;
   }
 };
+
+/// True when the store and the load provably touch the same memory cell,
+/// so the load forwards from the buffer instead of overtaking it: a
+/// direct store/load of one scalar, or the same array with structurally
+/// equal indices. A Deref store's target cell is statically unknown.
+bool mustSameCell(const ir::Stmt& store, const ir::Expr& load) {
+  if (store.lhsKind == ir::LValueKind::Var)
+    return load.kind == ir::ExprKind::VarRef && load.var == store.lhs;
+  if (store.lhsKind == ir::LValueKind::Index)
+    return load.kind == ir::ExprKind::Index && load.var == store.lhs &&
+           store.lhsAddr != nullptr &&
+           ir::exprEquals(*store.lhsAddr, *load.operands[0]);
+  return false;
+}
 
 class Tso {
  public:
@@ -85,15 +103,17 @@ class Tso {
         opts_(opts),
         graph_(comp.graph()),
         syms_(comp.graph().program().symbols),
-        solver_(comp.graph(), PendingStores{&comp.graph().program().symbols}) {
+        solver_(comp.graph(), PendingStores{&comp.graph()}) {
     for (const pfg::Node& n : graph_.nodes()) {
       if (n.kind == pfg::NodeKind::Cobegin && n.syncStmt != nullptr)
         cobeginStmt_[n.syncStmt->id] = n.syncStmt;
       if (n.kind != pfg::NodeKind::Block) continue;
-      for (const ir::Stmt* s : n.stmts)
-        if (s->kind == ir::StmtKind::Assign && !s->atomic &&
-            syms_.isSharedVar(s->lhs))
-          storeSite_[s->id] = StoreSite{s, n.id};
+      for (const ir::Stmt* s : n.stmts) {
+        if (s->kind != ir::StmtKind::Assign || s->atomic) continue;
+        const SymbolId cls = graph_.aliases.defTargetOf(*s);
+        if (cls.valid() && graph_.aliases.classShared(cls, syms_))
+          storeSite_[s->id] = StoreSite{s, n.id, cls};
+      }
     }
     buildRacySites();
   }
@@ -110,10 +130,12 @@ class Tso {
   }
 
  private:
-  /// A plain shared store statement and the block issuing it.
+  /// A plain shared store statement, the block issuing it, and the alias
+  /// class of the cell it targets.
   struct StoreSite {
     const ir::Stmt* stmt = nullptr;
     NodeId node;
+    SymbolId cls;
   };
   /// One concurrent disjoint-lockset partner of a racy (node, var) access.
   struct RemoteSite {
@@ -170,17 +192,21 @@ class Tso {
       PendingStores::Value pending = solver_.inOf(n.id);
       auto checkUses = [&](const ir::Expr& e, const ir::Stmt* stmt) {
         ir::forEachExpr(e, [&](const ir::Expr& sub) {
-          if (sub.kind == ir::ExprKind::VarRef && syms_.isSharedVar(sub.var))
-            checkLoad(n, stmt, sub.var, pending);
+          const SymbolId cls = graph_.aliases.useTargetOf(sub);
+          if (cls.valid() && graph_.aliases.classShared(cls, syms_))
+            checkLoad(n, stmt, cls, sub, pending);
         });
       };
       for (const ir::Stmt* s : n.stmts) {
         const bool atomic = s->kind == ir::StmtKind::Assign && s->atomic;
         if (atomic) pending.clear();  // buffer drained before it runs
         if (s->expr) checkUses(*s->expr, s);
-        if (s->kind == ir::StmtKind::Assign && !atomic &&
-            syms_.isSharedVar(s->lhs))
-          pending.insert(s->id);
+        if (s->lhsAddr) checkUses(*s->lhsAddr, s);
+        if (s->kind == ir::StmtKind::Assign && !atomic) {
+          const SymbolId def = graph_.aliases.defTargetOf(*s);
+          if (def.valid() && graph_.aliases.classShared(def, syms_))
+            pending.insert(s->id);
+        }
       }
       if (n.terminator != nullptr && n.terminator->expr)
         checkUses(*n.terminator->expr, n.terminator);
@@ -188,14 +214,15 @@ class Tso {
   }
 
   void checkLoad(const pfg::Node& n, const ir::Stmt* loadStmt, SymbolId y,
+                 const ir::Expr& loadExpr,
                  const PendingStores::Value& pending) {
     if (pending.empty() || !isRacy(n.id, y)) return;
     for (StmtId w : pending) {
       const StoreSite& store = storeSite_.at(w);
-      const SymbolId x = store.stmt->lhs;
-      // A load of the buffered variable itself forwards from the buffer
-      // (it sees its own store); only different-variable pairs reorder.
-      if (x == y) continue;
+      const SymbolId x = store.cls;
+      // A load of the buffered cell itself forwards from the buffer (it
+      // sees its own store); only provably-different-cell pairs reorder.
+      if (mustSameCell(*store.stmt, loadExpr)) continue;
       if (!isRacy(store.node, x)) continue;
       if (!seen_.insert(std::make_tuple(w, n.id, y)).second) continue;
 
@@ -243,7 +270,7 @@ class Tso {
       bool ordersRacyStore = false;
       for (StmtId w : in) {
         const StoreSite& store = storeSite_.at(w);
-        if (isRacy(store.node, store.stmt->lhs)) {
+        if (isRacy(store.node, store.cls)) {
           ordersRacyStore = true;
           break;
         }

@@ -29,9 +29,12 @@ Json errorEnvelope(const Json& id, const std::string& kind,
 /// Decodes the per-request option object into the runner's option set.
 /// Unknown keys are ignored (forward compatibility); file-writing output
 /// paths are deliberately not decodable — a daemon writing client-named
-/// files would not be a pure function of the request.
-driver::RunOptions decodeOptions(const Json& options) {
-  driver::RunOptions o;
+/// files would not be a pure function of the request. Known keys with
+/// invalid *values* are rejected: an unknown memory model silently
+/// downgraded to SC would cache (and serve) answers for a question the
+/// client never asked. On failure returns false with a message in `err`.
+bool decodeOptions(const Json& options, driver::RunOptions& o,
+                   std::string& err) {
   o.dumpPfg = options.getBool("dumpPfg", false);
   o.dumpForm = options.getBool("dumpForm", false);
   o.cssame = options.getBool("cssame", true);
@@ -44,14 +47,16 @@ driver::RunOptions decodeOptions(const Json& options) {
   o.doJson = options.getBool("json", false);
   o.doVrange = options.getBool("vrange", false);
   o.doTso = options.getBool("tso", false);
-  // Unknown model strings fall back to SC — same forward-compatibility
-  // posture as unknown keys, and SC is the conservative default.
-  (void)support::parseMemoryModel(options.getString("memoryModel", "sc"),
-                                  o.memoryModel);
+  o.doPointsTo = options.getBool("pointsTo", false);
+  const std::string model = options.getString("memoryModel", "sc");
+  if (!support::parseMemoryModel(model, o.memoryModel)) {
+    err = "unknown memory model '" + model + "' (expected sc or tso)";
+    return false;
+  }
   o.seed = static_cast<std::uint64_t>(options.getInt("seed", 1));
   // Mirror the CLI: --sarif/--json imply --csan.
   if (o.doSarif || o.doJson) o.doCsan = true;
-  return o;
+  return true;
 }
 
 Json resultToJson(const driver::RunOutput& out) {
@@ -145,7 +150,11 @@ Json Server::runAnalysisMethod(const std::string& method,
   const std::string& source = sourceValue.stringValue();
   const std::string fileName = request.getString("file", "<service>");
 
-  driver::RunOptions o = decodeOptions(request.get("options"));
+  driver::RunOptions o;
+  if (std::string optErr;
+      !decodeOptions(request.get("options"), o, optErr))
+    return errorEnvelope(request.get("id"), "invalid-request", method,
+                         optErr);
   if (method == "csan") o.doCsan = true;
   if (method == "vrange") o.doVrange = true;
 

@@ -60,7 +60,10 @@ namespace {
 class Builder {
  public:
   Builder(pfg::Graph& graph, const analysis::Dominators& dom)
-      : graph_(graph), dom_(dom), syms_(graph.program().symbols) {}
+      : graph_(graph),
+        dom_(dom),
+        syms_(graph.program().symbols),
+        aliases_(graph.aliases) {}
 
   SsaForm run() {
     form_.phisAt.assign(graph_.size(), {});
@@ -74,21 +77,32 @@ class Builder {
  private:
   void createEntryDefs() {
     form_.entryDef.assign(graph_.program().symbols.size(), SsaNameId{});
+    // One entry definition per alias class (per symbol under identity);
+    // class members share their representative's definition.
     for (const ir::Symbol& sym : syms_.all()) {
       if (sym.kind != ir::SymbolKind::Var) continue;
+      if (aliases_.repOf(sym.id) != sym.id) continue;
       form_.entryDef[sym.id.index()] =
           form_.newDef(DefKind::Entry, sym.id, graph_.entry);
     }
+    for (const ir::Symbol& sym : syms_.all()) {
+      if (sym.kind != ir::SymbolKind::Var) continue;
+      const SymbolId rep = aliases_.repOf(sym.id);
+      if (rep != sym.id)
+        form_.entryDef[sym.id.index()] = form_.entryDef[rep.index()];
+    }
   }
 
-  // Minimal SSA φ placement: iterated dominance frontier of each
-  // variable's definition nodes (the entry node counts as a definition
-  // site — the entry value merges with conditional definitions).
+  // Minimal SSA φ placement: iterated dominance frontier of each alias
+  // class's definition nodes (the entry node counts as a definition site
+  // — the entry value merges with conditional definitions).
   void placePhis() {
     std::unordered_map<SymbolId, std::vector<NodeId>> defNodes;
     for (const pfg::Node& n : graph_.nodes()) {
-      for (const ir::Stmt* s : n.stmts)
-        if (s->kind == ir::StmtKind::Assign) defNodes[s->lhs].push_back(n.id);
+      for (const ir::Stmt* s : n.stmts) {
+        const SymbolId cls = aliases_.defTargetOf(*s);
+        if (cls.valid()) defNodes[cls].push_back(n.id);
+      }
     }
 
     for (auto& [var, nodes] : defNodes) {
@@ -119,22 +133,25 @@ class Builder {
   // the factored use-def chains: useDef for every VarRef, φ arguments per
   // incoming control edge.
   void rename() {
+    // Stacks live at class-representative indices only; every access goes
+    // through repOf, so member symbols never touch their own slot.
     stacks_.assign(syms_.size(), {});
     for (const ir::Symbol& sym : syms_.all())
-      if (sym.kind == ir::SymbolKind::Var)
+      if (sym.kind == ir::SymbolKind::Var && aliases_.repOf(sym.id) == sym.id)
         stacks_[sym.id.index()].push_back(form_.entryDef[sym.id.index()]);
     renameNode(dom_.root());
   }
 
-  SsaNameId top(SymbolId var) const {
-    const auto& st = stacks_[var.index()];
+  SsaNameId top(SymbolId cls) const {
+    const auto& st = stacks_[cls.index()];
     assert(!st.empty());
     return st.back();
   }
 
   void resolveUses(const ir::Expr& e) {
     ir::forEachExpr(e, [&](const ir::Expr& sub) {
-      if (sub.kind == ir::ExprKind::VarRef) form_.useDef[&sub] = top(sub.var);
+      const SymbolId cls = aliases_.useTargetOf(sub);
+      if (cls.valid()) form_.useDef[&sub] = top(cls);
     });
   }
 
@@ -152,11 +169,14 @@ class Builder {
 
     for (ir::Stmt* s : n.stmts) {
       if (s->expr) resolveUses(*s->expr);
-      if (s->kind == ir::StmtKind::Assign) {
-        const SsaNameId d = form_.newDef(DefKind::Assign, s->lhs, id);
+      if (s->lhsAddr) resolveUses(*s->lhsAddr);
+      const SymbolId cls = aliases_.defTargetOf(*s);
+      if (cls.valid()) {
+        const SsaNameId d = form_.newDef(DefKind::Assign, cls, id);
         form_.def(d).stmt = s;
+        form_.def(d).weak = !aliases_.strongDef(*s);
         form_.assignDef[s] = d;
-        push(s->lhs, d);
+        push(cls, d);
       }
     }
     if (n.terminator != nullptr && n.terminator->expr)
@@ -254,6 +274,7 @@ class Builder {
   pfg::Graph& graph_;
   const analysis::Dominators& dom_;
   const ir::SymbolTable& syms_;
+  const ir::AliasClasses& aliases_;
   SsaForm form_;
   std::vector<std::vector<SsaNameId>> stacks_;
 };
@@ -271,27 +292,32 @@ std::vector<std::string> SsaForm::verify(const pfg::Graph& graph) const {
 
   auto checkUse = [&](const ir::Expr& e) {
     ir::forEachExpr(e, [&](const ir::Expr& sub) {
-      if (sub.kind != ir::ExprKind::VarRef) return;
+      const SymbolId cls = graph.aliases.useTargetOf(sub);
+      // A Deref with an empty points-to set reads no location and
+      // legitimately carries no link; other non-reading kinds are skipped.
+      if (!cls.valid()) return;
       auto it = useDef.find(&sub);
       if (it == useDef.end()) {
-        problems.push_back("use of '" + syms.nameOf(sub.var) +
+        problems.push_back("use of '" + syms.nameOf(cls) +
                            "' has no use-def link");
         return;
       }
       const Definition& d = def(it->second);
       if (d.removed)
-        problems.push_back("use of '" + syms.nameOf(sub.var) +
+        problems.push_back("use of '" + syms.nameOf(cls) +
                            "' points at a removed definition");
-      if (d.var != sub.var)
-        problems.push_back("use-def link for '" + syms.nameOf(sub.var) +
-                           "' points at a definition of another variable");
+      if (d.var != cls)
+        problems.push_back("use-def link for '" + syms.nameOf(cls) +
+                           "' points at a definition of another class");
     });
   };
 
   for (const pfg::Node& n : graph.nodes()) {
     for (const ir::Stmt* s : n.stmts) {
       if (s->expr) checkUse(*s->expr);
-      if (s->kind == ir::StmtKind::Assign && !assignDef.contains(s))
+      if (s->lhsAddr) checkUse(*s->lhsAddr);
+      if (s->kind == ir::StmtKind::Assign &&
+          graph.aliases.defTargetOf(*s).valid() && !assignDef.contains(s))
         problems.push_back("assignment without SSA definition");
     }
     if (n.terminator != nullptr && n.terminator->expr)

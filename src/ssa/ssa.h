@@ -49,10 +49,18 @@ struct PiConflictArg {
 struct Definition {
   SsaNameId name;
   DefKind kind = DefKind::Entry;
-  SymbolId var;
-  std::uint32_t version = 0;  ///< per-variable version (for printing)
+  SymbolId var;  ///< alias-class representative (the symbol itself under
+                 ///< the identity partition)
+  std::uint32_t version = 0;  ///< per-class version (for printing)
   NodeId node;                ///< node the definition occurs in
   bool removed = false;       ///< folded away (coend pruning, π rewriting)
+  /// A *weak* definition may update its class without overwriting it: an
+  /// Index store writes one cell of a collapsed array, a Deref store one
+  /// member of a multi-symbol class. Weak defs never kill earlier values
+  /// — value analyses must evaluate them as unknown joined with the
+  /// incoming value, and the CSSAME rewrite must not treat them as
+  /// last-write kills.
+  bool weak = false;
 
   // Assign
   ir::Stmt* stmt = nullptr;
@@ -71,18 +79,22 @@ class SsaForm {
  public:
   std::vector<Definition> defs;
 
-  /// VarRef → definition whose value it reads. When a π term guards the
-  /// use, this points at the π.
+  /// Reading expression (VarRef, Index load, Deref load) → definition
+  /// whose value it reads. When a π term guards the use, this points at
+  /// the π. Deref loads with an empty points-to set have no link (they
+  /// read 0 at runtime and touch no location).
   std::unordered_map<const ir::Expr*, SsaNameId> useDef;
 
-  /// Assign statement → its definition.
+  /// Assign statement → its definition. Deref stores with an empty
+  /// points-to set define nothing and have no entry.
   std::unordered_map<const ir::Stmt*, SsaNameId> assignDef;
 
   /// φ definitions per node (node id → list), coend φs included.
   std::vector<std::vector<SsaNameId>> phisAt;
 
   /// Entry definition per variable (indexed by symbol id; invalid for
-  /// non-variable symbols).
+  /// non-variable symbols). Members of one alias class share their
+  /// representative's entry definition.
   std::vector<SsaNameId> entryDef;
 
   [[nodiscard]] Definition& def(SsaNameId n) { return defs[n.index()]; }

@@ -13,6 +13,7 @@ const char* diagCodeName(DiagCode code) {
     case DiagCode::IllFormedMutexBody: return "ill-formed-mutex-body";
     case DiagCode::InconsistentLocking: return "inconsistent-locking";
     case DiagCode::PotentialDataRace: return "potential-data-race";
+    case DiagCode::MayAliasRace: return "may-alias-race";
     case DiagCode::PotentialDeadlock: return "potential-deadlock";
     case DiagCode::SelfDeadlock: return "self-deadlock";
     case DiagCode::LockLeak: return "lock-leak";
@@ -59,6 +60,10 @@ const char* diagCodeDescription(DiagCode code) {
     case DiagCode::PotentialDataRace:
       return "two accesses to a shared variable may happen in parallel "
              "with disjoint locksets, at least one being a write";
+    case DiagCode::MayAliasRace:
+      return "two accesses that may alias — through a pointer or "
+             "differing array indices — may happen in parallel with "
+             "disjoint locksets, at least one being a write";
     case DiagCode::PotentialDeadlock:
       return "concurrent threads acquire the same locks in conflicting "
              "orders";

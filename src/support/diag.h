@@ -29,6 +29,8 @@ enum class DiagCode {
   IllFormedMutexBody,  // candidate body discarded (nested lock of same var)
   InconsistentLocking, // shared var written under different/absent locks
   PotentialDataRace,   // conflicting unsynchronized accesses
+  MayAliasRace,        // unsynchronized accesses that may alias through a
+                       // pointer or differing array indices
   PotentialDeadlock,   // opposite lock acquisition orders / order cycles
   // csan lock-lifecycle and mutex-body lints (src/sanalysis).
   SelfDeadlock,        // re-acquisition of a lock the thread may hold

@@ -208,7 +208,7 @@ std::vector<std::string> mutateProgram(ir::Program& program,
     if (stmts.empty()) break;
     const std::uint64_t h = rng();
 
-    switch (rng() % 9) {
+    switch (rng() % 10) {
       case 0: {  // retarget a variable reference to an arbitrary symbol
         std::vector<Expr*> refs = collectExprs(program, ExprKind::VarRef);
         Expr* e = pick(refs, h);
@@ -299,6 +299,17 @@ std::vector<std::string> mutateProgram(ir::Program& program,
         if (s == nullptr) break;
         s->atomic = !s->atomic;
         applied.push_back("flip-atomic");
+        break;
+      }
+      case 9: {  // corrupt a pointer target: an address-of now names an
+                 // arbitrary symbol, so every deref reached through it
+                 // touches different storage (possibly a lock or event)
+        std::vector<Expr*> addrs = collectExprs(program, ExprKind::AddrOf);
+        Expr* e = pick(addrs, h);
+        if (e == nullptr || program.symbols.size() == 0) break;
+        e->var = SymbolId{
+            static_cast<SymbolId::value_type>(h % program.symbols.size())};
+        applied.push_back("retarget-addr-of");
         break;
       }
     }

@@ -30,6 +30,9 @@ class RandomGen {
     // Shared variables, each protected by locks[i % locks].
     for (int i = 0; i < cfg_.sharedVars; ++i)
       shared_.push_back(b_.var("s" + std::to_string(i)));
+    // The shared array (arrayProb > 0 only — declaring it for scalar
+    // configurations would shift every later symbol id).
+    if (cfg_.arrayProb > 0) arr_ = b_.arrayVar("arr", kArraySize);
     for (int i = 0; i < cfg_.locks; ++i)
       locks_.push_back(b_.lock("L" + std::to_string(i)));
     if (cfg_.useEvents)
@@ -46,6 +49,9 @@ class RandomGen {
     b_.cobegin(threads);
 
     for (SymbolId v : shared_) b_.print(b_.ref(v));
+    if (arr_.valid())
+      for (std::uint32_t i = 0; i < kArraySize; ++i)
+        b_.print(b_.index(arr_, b_.lit(i)));
     return b_.take();
   }
 
@@ -68,6 +74,11 @@ class RandomGen {
   void thread(int t) {
     const SymbolId acc = b_.privateVar("p" + std::to_string(t));
     b_.assign(acc, b_.lit(t + 1));
+    if (cfg_.ptrProb > 0) {
+      // Per-thread pointer, initially targeting a random shared scalar.
+      threadPtr_ = b_.privateVar("q" + std::to_string(t));
+      b_.assign(threadPtr_, b_.addrOf(pickShared()));
+    }
     emitStmts(t, acc, cfg_.stmtsPerThread, cfg_.maxDepth);
     if (cfg_.useEvents && !events_.empty()) {
       // A simple ordering chain: thread t posts e_t, waits for e_{t-1}.
@@ -110,6 +121,37 @@ class RandomGen {
       b_.atomicLoad(acc, v);
   }
 
+  /// A locked update through the thread's pointer: retarget `q` to a
+  /// shared scalar, then `*q = *q + f(private)` under that scalar's lock.
+  /// The pointer target is fixed at generation time and the update is
+  /// additive, so determinate mode stays interleaving-independent.
+  void pointerUpdate(SymbolId acc) {
+    const SymbolId v = pickShared();
+    const SymbolId l = lockOf(v);
+    b_.assign(threadPtr_, b_.addrOf(v));
+    b_.lockStmt(l);
+    b_.assignDeref(b_.ref(threadPtr_),
+                   b_.add(b_.deref(b_.ref(threadPtr_)),
+                          b_.bin(BinOp::Mod, b_.ref(acc),
+                                 b_.lit(intIn(2, 7)))));
+    b_.unlockStmt(l);
+  }
+
+  /// A locked commutative array-cell update; the cell index depends only
+  /// on thread-private state, so the per-thread (cell, delta) sequence —
+  /// and hence the final sums — is interleaving-independent.
+  void arrayUpdate(SymbolId acc) {
+    const SymbolId l = lockOf(arr_);
+    const long long delta = intIn(1, 9);
+    b_.lockStmt(l);
+    b_.assignIndex(
+        arr_, b_.bin(BinOp::Mod, b_.ref(acc), b_.lit(kArraySize)),
+        b_.add(b_.index(arr_, b_.bin(BinOp::Mod, b_.ref(acc),
+                                     b_.lit(kArraySize))),
+               b_.lit(delta)));
+    b_.unlockStmt(l);
+  }
+
   void privateWork(SymbolId acc) {
     b_.assign(acc, b_.add(b_.mul(b_.ref(acc), b_.lit(intIn(2, 5))),
                           b_.lit(intIn(1, 9))));
@@ -122,6 +164,16 @@ class RandomGen {
       if (cfg_.fenceProb > 0 && chance(cfg_.fenceProb)) {
         b_.fence();
         budget -= 1;
+        continue;
+      }
+      if (cfg_.ptrProb > 0 && chance(cfg_.ptrProb)) {
+        pointerUpdate(acc);
+        budget -= 4;
+        continue;
+      }
+      if (cfg_.arrayProb > 0 && chance(cfg_.arrayProb)) {
+        arrayUpdate(acc);
+        budget -= 3;
         continue;
       }
       if (depth > 0 && chance(cfg_.branchProb)) {
@@ -161,12 +213,16 @@ class RandomGen {
     }
   }
 
+  static constexpr std::uint32_t kArraySize = 8;
+
   GeneratorConfig cfg_;
   std::mt19937_64 rng_;
   ProgramBuilder b_;
   std::vector<SymbolId> shared_;
   std::vector<SymbolId> locks_;
   std::vector<SymbolId> events_;
+  SymbolId arr_;        ///< shared array (arrayProb > 0 only)
+  SymbolId threadPtr_;  ///< current thread's pointer (ptrProb > 0 only)
   int loopCounter_ = 0;
 };
 
@@ -184,6 +240,8 @@ GeneratorConfig GeneratorConfig::sanitized() const {
   cfg.lockedFraction = clampProb(cfg.lockedFraction);
   cfg.fenceProb = clampProb(cfg.fenceProb);
   cfg.atomicFraction = clampProb(cfg.atomicFraction);
+  cfg.ptrProb = clampProb(cfg.ptrProb);
+  cfg.arrayProb = clampProb(cfg.arrayProb);
   return cfg;
 }
 

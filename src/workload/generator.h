@@ -47,6 +47,15 @@ struct GeneratorConfig {
   /// atomic_store/atomic_load instead of plain accesses. 0 (default)
   /// likewise leaves existing seeds untouched.
   double atomicFraction = 0.0;
+  /// Probability of emitting a pointer update at a statement slot: a
+  /// thread-private pointer is retargeted to a shared variable and the
+  /// cell updated through `*q` under that variable's lock (additive, so
+  /// determinate mode stays interleaving-independent). 0 (default) draws
+  /// nothing from the RNG — pre-pointer seeds stay byte-identical.
+  double ptrProb = 0.0;
+  /// Probability of an array-cell update `arr[acc % N] = arr[acc % N] + c`
+  /// under the array's lock. Same RNG-stability contract as ptrProb.
+  double arrayProb = 0.0;
 
   /// Copy with every field clamped into a safe range (counts positive and
   /// bounded, probabilities in [0,1], NaNs zeroed). generateRandom applies

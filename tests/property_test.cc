@@ -28,6 +28,14 @@ workload::GeneratorConfig configFor(std::uint64_t seed) {
   cfg.stmtsPerThread = 10 + static_cast<int>(seed % 20);
   cfg.useEvents = seed % 3 == 0;
   cfg.determinate = true;
+  // Pointer and array traffic on a third of the sweep. The knobs draw
+  // nothing from the RNG at 0, so the remaining seeds generate their
+  // exact pre-pointer programs; the generator's indirect updates are
+  // additive under the target's lock, so P3 (determinate output) holds.
+  if (seed % 3 == 1) {
+    cfg.ptrProb = 0.2;
+    cfg.arrayProb = 0.15;
+  }
   return cfg;
 }
 

@@ -93,6 +93,10 @@ TEST(Robustness, PipelineOnEveryGeneratorShape) {
     cfg.determinate = seed % 2 == 0;
     cfg.useEvents = seed % 3 == 0;
     cfg.maxDepth = 1 + static_cast<int>(seed % 4);
+    if (seed % 4 == 1) {  // pointer/array shapes through the full pipeline
+      cfg.ptrProb = 0.25;
+      cfg.arrayProb = 0.2;
+    }
     ir::Program p = workload::generateRandom(cfg);
     driver::Compilation c = driver::analyze(p, {.warnings = true});
     EXPECT_TRUE(c.ssa().verify(c.graph()).empty()) << "seed " << seed;
@@ -150,6 +154,10 @@ TEST(Robustness, OptimizerOnGarbageFreePrograms) {
     cfg.determinate = false;
     cfg.branchProb = 0.4;
     cfg.loopProb = 0.3;
+    if (seed % 2 == 1) {  // optimizer guards on indirect accesses
+      cfg.ptrProb = 0.2;
+      cfg.arrayProb = 0.2;
+    }
     ir::Program p = workload::generateRandom(cfg);
     opt::OptimizeReport report = opt::optimizeProgram(p);
     EXPECT_TRUE(ir::verify(p).empty()) << "seed " << seed;

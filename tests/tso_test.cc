@@ -185,7 +185,7 @@ TEST(TsoMachine, BufferedStoreIsInvisibleUntilFlushed) {
   m.perform({1, false});  // the store issues into thread 1's buffer
   EXPECT_EQ(m.valueOf(x), 0) << "buffered store leaked into memory";
   ASSERT_EQ(m.storeBufOf(1).size(), 1u);
-  EXPECT_EQ(m.storeBufOf(1).front().first, x);
+  EXPECT_EQ(m.storeBufOf(1).front().first, x.index());
   EXPECT_EQ(m.storeBufOf(1).front().second, 7);
 
   m.perform({1, true});  // flush commits it
@@ -208,7 +208,7 @@ TEST(TsoMachine, LoadsForwardFromOwnBufferNewestFirst) {
   m.perform({1, false});  // r = x must forward the *newest* entry
   // r is itself shared here, so its store is buffered too: newest entry.
   ASSERT_EQ(m.storeBufOf(1).size(), 3u);
-  EXPECT_EQ(m.storeBufOf(1).back().first, r);
+  EXPECT_EQ(m.storeBufOf(1).back().first, r.index());
   EXPECT_EQ(m.storeBufOf(1).back().second, 2);
   EXPECT_EQ(m.valueOf(x), 0);  // nothing committed yet
 }
