@@ -36,11 +36,13 @@ void BM_Explore_Unlocked(benchmark::State& state) {
   ir::Program prog = makeRacy(static_cast<int>(state.range(0)), 2, false);
   for (auto _ : state) {
     interp::ExploreResult r = interp::exploreAllSchedules(
-        prog, {.workers = benchutil::exploreWorkers()});
+        prog, {.workers = benchutil::exploreWorkers(),
+         .dpor = benchutil::exploreDpor()});
     benchmark::DoNotOptimize(r.statesExplored);
   }
   interp::ExploreResult r = interp::exploreAllSchedules(
-        prog, {.workers = benchutil::exploreWorkers()});
+        prog, {.workers = benchutil::exploreWorkers(),
+         .dpor = benchutil::exploreDpor()});
   state.counters["states"] = static_cast<double>(r.statesExplored);
   state.counters["outputs"] = static_cast<double>(r.outputs.size());
 }
@@ -50,11 +52,13 @@ void BM_Explore_Locked(benchmark::State& state) {
   ir::Program prog = makeRacy(static_cast<int>(state.range(0)), 2, true);
   for (auto _ : state) {
     interp::ExploreResult r = interp::exploreAllSchedules(
-        prog, {.workers = benchutil::exploreWorkers()});
+        prog, {.workers = benchutil::exploreWorkers(),
+         .dpor = benchutil::exploreDpor()});
     benchmark::DoNotOptimize(r.statesExplored);
   }
   interp::ExploreResult r = interp::exploreAllSchedules(
-        prog, {.workers = benchutil::exploreWorkers()});
+        prog, {.workers = benchutil::exploreWorkers(),
+         .dpor = benchutil::exploreDpor()});
   state.counters["states"] = static_cast<double>(r.statesExplored);
   state.counters["outputs"] = static_cast<double>(r.outputs.size());
 }
@@ -68,6 +72,7 @@ void BM_Explore_StateBudget(benchmark::State& state) {
   interp::ExploreOptions opts;
   opts.maxStates = static_cast<std::uint64_t>(state.range(0));
   opts.workers = benchutil::exploreWorkers();
+  opts.dpor = benchutil::exploreDpor();
   for (auto _ : state) {
     interp::ExploreResult r = interp::exploreAllSchedules(prog, opts);
     benchmark::DoNotOptimize(r.statesExplored);
@@ -92,7 +97,8 @@ int main(int argc, char** argv) {
   {
     ir::Program prog = makeRacy(3, 2, false);
     interp::ExploreResult r = interp::exploreAllSchedules(
-        prog, {.workers = benchutil::exploreWorkers()});
+        prog, {.workers = benchutil::exploreWorkers(),
+         .dpor = benchutil::exploreDpor()});
     tableRow("states, 3 threads x 2 increments, unlocked", "(baseline)",
              static_cast<long long>(r.statesExplored), r.complete);
     tableRow("distinct outputs (atomic increments)", "1",
@@ -105,7 +111,8 @@ int main(int argc, char** argv) {
     // not — the explorer must still complete.
     ir::Program prog = makeRacy(3, 2, true);
     interp::ExploreResult r = interp::exploreAllSchedules(
-        prog, {.workers = benchutil::exploreWorkers()});
+        prog, {.workers = benchutil::exploreWorkers(),
+         .dpor = benchutil::exploreDpor()});
     tableRow("states, same but locked", "(complete)",
              static_cast<long long>(r.statesExplored), r.complete);
     tableRow("distinct outputs", "1",
@@ -119,6 +126,7 @@ int main(int argc, char** argv) {
     interp::ExploreOptions opts;
     opts.maxStates = 128;
     opts.workers = exploreWorkers();
+    opts.dpor = exploreDpor();
     interp::ExploreResult r = interp::exploreAllSchedules(prog, opts);
     tableRow("states under a 128-state budget", "<= 129",
              static_cast<long long>(r.statesExplored),

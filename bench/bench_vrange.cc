@@ -75,6 +75,7 @@ void crossValidate(ir::Program prog, Tally& tally) {
   opts.maxSteps = 1u << 18;
   opts.maxStates = 1u << 16;
   opts.workers = benchutil::exploreWorkers();
+  opts.dpor = benchutil::exploreDpor();
   const interp::ExploreResult dyn = interp::exploreAllSchedules(prog, opts);
   tally.completeExplorations += dyn.complete ? 1 : 0;
   for (const auto& [var, range] : dyn.observedRanges) {

@@ -17,6 +17,12 @@
 //                     store/load pairs; redundant fences)
 //   --points-to       print the concurrent points-to solution (per deref
 //                     site targets, pointer-holding cells, solver stats)
+//   --explore         exhaustively enumerate every schedule (bounded) and
+//                     print the output set plus deadlock / lock-error /
+//                     assertion verdicts; honors --memory-model
+//   --no-dpor         disable dynamic partial-order reduction during
+//                     --explore (the unreduced sweep — slower, identical
+//                     verdicts; the equality oracle for the reduction)
 //   --memory-model=M  memory model for --run: sc (default) or tso (plain
 //                     stores buffer per thread and flush asynchronously)
 //   --sarif[=FILE]    emit all diagnostics as SARIF 2.1.0 (implies --csan);
@@ -89,7 +95,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
                "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
-               "[--vrange] [--tso] [--points-to] [--memory-model=sc|tso] "
+               "[--vrange] [--tso] [--points-to] [--explore] [--no-dpor] "
+               "[--memory-model=sc|tso] "
                "[--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
                "[--connect=SOCK] [--timeout-ms=N] [--version] "
                "<file> [more files...]\n");
@@ -270,6 +277,8 @@ service::Json buildRequest(const std::string& file,
       .set("vrange", o.doVrange)
       .set("tso", o.doTso)
       .set("pointsTo", o.doPointsTo)
+      .set("explore", o.doExplore)
+      .set("dpor", o.dpor)
       .set("memoryModel", support::memoryModelName(o.memoryModel))
       .set("seed", o.seed);
   service::Json request = service::Json::object();
@@ -302,6 +311,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--vrange") == 0) o.run.doVrange = true;
     else if (std::strcmp(arg, "--tso") == 0) o.run.doTso = true;
     else if (std::strcmp(arg, "--points-to") == 0) o.run.doPointsTo = true;
+    else if (std::strcmp(arg, "--explore") == 0) o.run.doExplore = true;
+    else if (std::strcmp(arg, "--no-dpor") == 0) o.run.dpor = false;
     else if (std::strncmp(arg, "--memory-model=", 15) == 0) {
       if (!support::parseMemoryModel(arg + 15, o.run.memoryModel)) {
         std::fprintf(stderr,

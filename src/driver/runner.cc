@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 
 #include "src/cssa/form_printer.h"
 #include "src/driver/pipeline.h"
+#include "src/interp/explore.h"
 #include "src/interp/interp.h"
 #include "src/ir/printer.h"
 #include "src/mutex/deadlock.h"
@@ -176,6 +178,42 @@ bool renderCompiled(const ir::Program& prog, const Compilation& c,
               st.avgTargets, st.converged ? "" : " (DID NOT CONVERGE)");
     }
   }
+  // Exploration result, kept past its block so --stats can render the
+  // reduction counters alongside the solver/phase lines.
+  std::optional<interp::ExploreResult> explored;
+  if (o.doExplore) {
+    interp::ExploreOptions eo;
+    eo.dpor = o.dpor;
+    eo.model = o.memoryModel;
+    explored.emplace(interp::exploreAllSchedules(prog, eo));
+    const interp::ExploreResult& ex = *explored;
+    appendf(out, "explore: %zu distinct output(s) over %llu state(s)%s\n",
+            ex.outputs.size(),
+            static_cast<unsigned long long>(ex.statesExplored),
+            ex.complete ? "" : " (budget exhausted)");
+    // The output set is std::set-ordered, so these lines are stable; cap
+    // the listing so a pathological program cannot flood the log.
+    constexpr std::size_t kMaxOutputLines = 64;
+    std::size_t shown = 0;
+    for (const auto& seq : ex.outputs) {
+      if (shown == kMaxOutputLines) {
+        appendf(out, "explore: ... %zu more output(s)\n",
+                ex.outputs.size() - shown);
+        break;
+      }
+      std::string line = "explore: output:";
+      for (long long v : seq) line += " " + std::to_string(v);
+      appendf(out, "%s\n", line.c_str());
+      ++shown;
+    }
+    if (ex.anyDeadlock) appendf(err, "explore: some schedule deadlocks\n");
+    if (ex.anyLockError)
+      appendf(err, "explore: some schedule unlocks without holding\n");
+    if (ex.anyAssertFailure)
+      appendf(err, "explore: some schedule fails an assertion\n");
+    if (ex.anyPtrError)
+      appendf(err, "explore: some schedule makes a wild pointer access\n");
+  }
   if (o.doSarif || o.doJson) {
     // One stream in emission order: pipeline warnings, then the analyzers'.
     std::vector<Diagnostic> all = c.diag().diagnostics();
@@ -225,6 +263,19 @@ bool renderCompiled(const ir::Program& prog, const Compilation& c,
       appendf(out, "solver:            %s\n", s.str().c_str());
     for (const support::PhaseTime& p : c.phaseTimes())
       appendf(out, "phase:             %s\n", p.str().c_str());
+    if (explored) {
+      const interp::ExploreResult::DporStats& d = explored->dpor;
+      appendf(out,
+              "dpor:              %llu pruned, %llu sleep-set hit(s), "
+              "%llu dep quer%s, %llu re-expansion(s)\n",
+              static_cast<unsigned long long>(d.prunedSuccessors),
+              static_cast<unsigned long long>(d.sleepSetHits),
+              static_cast<unsigned long long>(d.depQueries),
+              d.depQueries == 1 ? "y" : "ies",
+              static_cast<unsigned long long>(d.partialReexpansions));
+      appendf(out, "explore frontier:  %llu peak byte(s)\n",
+              static_cast<unsigned long long>(explored->peakFrontierBytes));
+    }
   }
   if (o.dumpPfg) appendf(out, "%s", pfg::toDot(c.graph()).c_str());
   if (o.dumpForm)
@@ -293,9 +344,10 @@ std::string RunOptions::cacheKey() const {
   // One char per flag in declaration order, then the seed. Bump the "v1"
   // tag if the rendering ever changes meaning — the key is persisted
   // inside disk-cache addresses.
-  std::string key = "v3:";
+  std::string key = "v4:";
   for (bool b : {dumpPfg, dumpForm, cssame, doOpt, doRun, doRaces, doStats,
-                 doCsan, doSarif, doJson, doVrange, doTso, doPointsTo})
+                 doCsan, doSarif, doJson, doVrange, doTso, doPointsTo,
+                 doExplore, dpor})
     key += b ? '1' : '0';
   // The memory model changes --run output and may grow new model-aware
   // modes; keying it unconditionally guarantees the service never serves

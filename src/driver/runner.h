@@ -41,6 +41,15 @@ struct RunOptions {
   bool doVrange = false;  ///< --vrange
   bool doTso = false;     ///< --tso
   bool doPointsTo = false;  ///< --points-to
+  /// --explore: exhaustively enumerate every schedule (bounded) and print
+  /// the output set plus the deadlock / lock-error / assert verdicts.
+  /// Read-only with respect to the program (the explorer forks machine
+  /// copies), so it is cacheable and valid on the runCompiled fast path.
+  bool doExplore = false;
+  /// !--no-dpor: dynamic partial-order reduction for --explore. On by
+  /// default; off is the equality oracle (the unreduced sweep). Keyed in
+  /// cacheKey() because it changes the stats lines --explore prints.
+  bool dpor = true;
   /// --memory-model=sc|tso: the model --run simulates. SC (default)
   /// preserves every pre-TSO seeded schedule bit-identically; TSO adds
   /// per-thread store buffers (buffered stores flush as separate

@@ -25,14 +25,25 @@
 // depends only on the layer's total successor footprint — not on thread
 // scheduling — so even the mid-expansion trip is deterministic. The full
 // argument is written out in docs/PERFORMANCE.md.
+// Partial-order reduction (ExploreOptions::dpor) layers onto the phases
+// without disturbing the determinism argument: persistent sets and
+// dependence masks are pure functions of the state, computed in
+// classify; sleep sets ride alongside the frontier and are inherited
+// positionally in expand; and the visited map's sleep-mask merges happen
+// in the same shard-ordered scan the dedup phase already does. With the
+// reduction off every phase degenerates bit-for-bit to the unreduced
+// sweep. docs/PERFORMANCE.md extends the determinism argument to the
+// sleep machinery; src/interp/dpor.h states the soundness contract.
 #include "src/interp/explore.h"
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "src/interp/dpor.h"
 #include "src/interp/machine.h"
 #include "src/support/threadpool.h"
 #include "src/support/visited.h"
@@ -56,6 +67,7 @@ bool holdCommonLock(const std::vector<SymbolId>& a,
 struct Partial {
   std::set<SymbolId> racedVars;
   std::map<SymbolId, std::pair<long long, long long>> observedRanges;
+  std::uint64_t depQueries = 0;  ///< DPOR dependence tests (summed)
 };
 
 class Explorer {
@@ -67,11 +79,14 @@ class Explorer {
       for (const ir::Symbol& s : prog_.symbols.all())
         if (s.kind == ir::SymbolKind::Var) sampledVars_.push_back(s.id);
     }
+    if (opts_.dpor) footprints_.emplace(prog_);
   }
 
   ExploreResult run() {
     frontier_.emplace_back(Machine(prog_, opts_.model));
     frontierBytes_ = frontier_.front()->approxBytes();
+    result_.peakFrontierBytes = frontierBytes_;
+    if (opts_.dpor) sleepIn_.assign(1, 0);
     std::uint64_t depth = 0;
     while (!frontier_.empty()) {
       if (stepsUsed_ >= opts_.maxSteps) {
@@ -185,8 +200,25 @@ class Explorer {
         s.kind = Slot::Deadlock;
         return;
       }
+      // Race recording scans *all* enabled actions, before any pruning:
+      // a race witness is recorded at every visited state where the
+      // conflicting pair is co-enabled, slept or not.
       if (opts_.detectRaces && s.ready.size() >= 2)
         recordRaces(m, s.ready, partials_[w]);
+      if (opts_.dpor) {
+        dpor::StateSets sets =
+            dpor::computeStateSets(m, s.ready, *footprints_);
+        partials_[w].depQueries += sets.depQueries;
+        s.dporOk = sets.ok;
+        if (sets.ok) {
+          s.pMask = sets.pMask;
+          s.depMask = std::move(sets.depMask);
+          // Sleep keys stay enabled along independent paths; clamping to
+          // the enabled mask is defensive (dropping a key only explores
+          // more) and keeps the masks meaningful for the merge rule.
+          s.sleepIn = sleepIn_[i] & sets.enabledMask;
+        }
+      }
     });
   }
 
@@ -202,13 +234,22 @@ class Explorer {
         }
       }
       p.observedRanges.clear();
+      result_.dpor.depQueries += p.depQueries;
+      p.depQueries = 0;
     }
   }
 
   /// Phase 2a: sharded deduplication. Worker task w owns the shards with
   /// index ≡ w (mod tasks) and scans the whole frontier in order for
   /// keys in its shards; equal keys land in the same shard, so the
-  /// earliest slot always wins regardless of how many workers run.
+  /// dedup winner — and, under DPOR, every sleep-mask merge and the
+  /// `missing` masks it yields — follows the deterministic frontier
+  /// order regardless of how many workers run.
+  ///
+  /// This phase also decides each slot's expansion set. Fresh states
+  /// expand their persistent set minus the inherited sleep set; a
+  /// revisited state expands whatever the stored visit slept that this
+  /// visit would run (the state-caching repair — see ShardedVisitedMap).
   void dedupLayer() {
     const std::size_t tasks = pool_.workers();
     pool_.parallelFor(tasks, [&](std::size_t t, unsigned) {
@@ -216,7 +257,16 @@ class Explorer {
         Slot& s = slots_[i];
         if (s.kind != Slot::Normal) continue;
         if (support::ShardedVisited::shardOf(s.hash) % tasks != t) continue;
-        s.fresh = visited_.insert(s.hash);
+        if (opts_.dpor && s.dporOk) {
+          const auto r = visited_.insertOrMerge(s.hash, s.sleepIn, s.pMask);
+          s.fresh = r.fresh;
+          s.expandMask = r.fresh ? s.pMask & ~s.sleepIn : r.missing;
+        } else {
+          // Unreduced (or >32-thread fallback): full expansion, empty
+          // sleep — the map behaves exactly like the plain visited set.
+          s.fresh = visited_.insertOrMerge(s.hash, 0, 0).fresh;
+          s.expandAll = s.fresh;
+        }
       }
     });
   }
@@ -242,7 +292,19 @@ class Explorer {
         result_.outputs.insert(m.result().output);
         continue;
       }
-      if (!s.fresh) continue;
+      if (!s.fresh) {
+        // A revisited state re-expanding slept actions is not a new
+        // state — it only repairs coverage — so it never counts against
+        // the States budget.
+        if (s.expandMask != 0) ++result_.dpor.partialReexpansions;
+        continue;
+      }
+      if (opts_.dpor && s.dporOk) {
+        result_.dpor.sleepSetHits +=
+            std::popcount(s.pMask & s.sleepIn);
+        result_.dpor.prunedSuccessors +=
+            s.ready.size() - std::popcount(s.expandMask);
+      }
       ++result_.statesExplored;
       if (result_.statesExplored > opts_.maxStates) {
         trip(support::BudgetKind::States);
@@ -252,37 +314,61 @@ class Explorer {
     return true;
   }
 
-  /// Phase 3: expand every fresh state, one successor per ready thread,
-  /// into pre-assigned slots of the next frontier (the last successor
-  /// steals the parent machine instead of copying it). Successor bytes
-  /// accumulate in a monotonic atomic; crossing the memory cap stops all
-  /// workers cooperatively. Returns false when memory tripped.
+  /// Phase 3: expand each slot's selected actions into pre-assigned
+  /// slots of the next frontier (the last successor steals the parent
+  /// machine instead of copying it). Under DPOR the selection is the
+  /// expansion mask decided in dedup, and each successor inherits its
+  /// sleep set positionally: the inherited sleep plus every action
+  /// expanded before it in ready order, minus everything dependent with
+  /// the action taken — a pure function of the slot, so the next layer's
+  /// sleep sets are as worker-count-independent as its machines.
+  /// Successor bytes accumulate in a monotonic atomic; crossing the
+  /// memory cap stops all workers cooperatively. Returns false when
+  /// memory tripped.
   bool expandLayer() {
     std::size_t total = 0;
     std::vector<std::size_t> expand;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       Slot& s = slots_[i];
-      if (s.kind != Slot::Normal || !s.fresh) continue;
+      if (s.kind != Slot::Normal) continue;
+      const std::size_t count =
+          s.expandAll ? s.ready.size()
+                      : static_cast<std::size_t>(std::popcount(s.expandMask));
+      if (count == 0) continue;
       s.succOffset = total;
-      total += s.ready.size();
+      total += count;
       expand.push_back(i);
     }
     std::vector<std::optional<Machine>> next(total);
+    std::vector<std::uint64_t> nextSleep;
+    if (opts_.dpor) nextSleep.assign(total, 0);
     if (total != 0) {
       std::atomic<std::uint64_t> succBytes{0};
       std::atomic<bool> memTripped{false};
       pool_.parallelFor(expand.size(), [&](std::size_t e, unsigned) {
         const std::size_t i = expand[e];
         const Slot& s = slots_[i];
-        for (std::size_t k = 0; k < s.ready.size(); ++k) {
+        std::vector<std::size_t> sel;  // selected ready indices, in order
+        sel.reserve(s.ready.size());
+        for (std::size_t k = 0; k < s.ready.size(); ++k)
+          if (s.expandAll ||
+              (s.expandMask & dpor::actionKeyBit(s.ready[k])) != 0)
+            sel.push_back(k);
+        std::uint64_t acc = s.sleepIn;  // sleep ∪ actions expanded so far
+        for (std::size_t j = 0; j < sel.size(); ++j) {
           if (memTripped.load(std::memory_order_relaxed)) return;
-          const bool last = k + 1 == s.ready.size();
+          const std::size_t k = sel[j];
+          const bool last = j + 1 == sel.size();
+          if (opts_.dpor && s.dporOk) {
+            nextSleep[s.succOffset + j] = acc & ~s.depMask[k];
+            acc |= dpor::actionKeyBit(s.ready[k]);
+          }
           Machine succ = last ? std::move(*frontier_[i]) : *frontier_[i];
           succ.perform(s.ready[k]);
           const std::uint64_t bytes = succ.approxBytes();
           const std::uint64_t sum =
               succBytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-          next[s.succOffset + k].emplace(std::move(succ));
+          next[s.succOffset + j].emplace(std::move(succ));
           if (memBase_ + sum > opts_.maxMemoryBytes)
             memTripped.store(true, std::memory_order_relaxed);
         }
@@ -293,8 +379,11 @@ class Explorer {
       }
       stepsUsed_ += total;
       frontierBytes_ = succBytes.load();
+      result_.peakFrontierBytes =
+          std::max(result_.peakFrontierBytes, frontierBytes_);
     }
     frontier_ = std::move(next);
+    if (opts_.dpor) sleepIn_ = std::move(nextSleep);
     return true;
   }
 
@@ -305,6 +394,16 @@ class Explorer {
     bool fresh = false;
     std::vector<Machine::Action> ready;
     std::size_t succOffset = 0;
+    // DPOR per-state data (classify). dporOk falls back to full
+    // expansion for states the 64-bit action-key encoding cannot cover.
+    bool dporOk = false;
+    std::uint64_t pMask = 0;    ///< persistent-set action keys
+    std::uint64_t sleepIn = 0;  ///< inherited sleep, clamped to enabled
+    std::vector<std::uint64_t> depMask;  ///< per ready action
+    // Expansion selection (dedup): either everything (unreduced path),
+    // or the action keys in expandMask.
+    bool expandAll = false;
+    std::uint64_t expandMask = 0;
   };
 
   const ir::Program& prog_;
@@ -314,8 +413,12 @@ class Explorer {
   std::vector<SymbolId> sampledVars_;  ///< Var symbols, when recordValues
   std::vector<Partial> partials_;      ///< one per pool worker
   std::vector<std::optional<Machine>> frontier_;
+  /// Per frontier slot: inherited sleep mask (only maintained with dpor).
+  std::vector<std::uint64_t> sleepIn_;
   std::vector<Slot> slots_;
-  support::ShardedVisited visited_;
+  /// Static whole-body footprints, built once per exploration (dpor).
+  std::optional<dpor::StaticFootprints> footprints_;
+  support::ShardedVisitedMap visited_;
   std::uint64_t stepsUsed_ = 0;
   std::uint64_t frontierBytes_ = 0;  ///< footprint of the current layer
   std::uint64_t memBase_ = 0;        ///< frontier + visited at the boundary

@@ -65,6 +65,16 @@ struct ExploreOptions {
   /// thread. The result is identical for every value — parallelism only
   /// changes wall-clock time.
   unsigned workers = 1;
+  /// Dynamic partial-order reduction (src/interp/dpor.h): per-state
+  /// persistent sets and inherited sleep sets prune interleavings that
+  /// only permute independent actions. `outputs`, `racedVars` and the
+  /// deadlock / lock-error / assert / pointer-error verdicts stay
+  /// bit-identical to the unreduced sweep (every Mazurkiewicz trace
+  /// keeps a representative); `observedRanges` may shrink to a subset of
+  /// the unreduced ranges — still sound for the vrange oracle, which
+  /// only consumes observations as lower bounds (docs/ANALYSIS.md).
+  /// Off is the equality oracle: bit-identical to the pre-DPOR explorer.
+  bool dpor = true;
   /// Memory model the machines simulate. SC (default) explores exactly
   /// the pre-TSO state space bit-identically; TSO adds store-buffer
   /// flush actions as scheduler choices, so the explored set includes
@@ -104,6 +114,26 @@ struct ExploreResult {
   /// address (deref of null / wild address). The access itself is total
   /// (loads yield 0, stores are dropped) but the slip is surfaced.
   bool anyPtrError = false;
+
+  /// Reduction counters (all zero when ExploreOptions::dpor is off).
+  /// Deterministic for any worker count, like every other field.
+  struct DporStats {
+    /// Enabled actions not expanded (full fan-out minus actual fan-out,
+    /// summed over every fresh state).
+    std::uint64_t prunedSuccessors = 0;
+    /// Persistent-set actions suppressed because they sat in the
+    /// inherited sleep set.
+    std::uint64_t sleepSetHits = 0;
+    /// Pairwise dependence / future-conflict tests evaluated.
+    std::uint64_t depQueries = 0;
+    /// Revisited states whose stored sleep mask forced extra expansion
+    /// (the state-caching repair rule).
+    std::uint64_t partialReexpansions = 0;
+  };
+  DporStats dpor;
+  /// Largest per-layer frontier footprint seen (bytes) — the explorer's
+  /// peak transient memory next to the visited set.
+  std::uint64_t peakFrontierBytes = 0;
 
   [[nodiscard]] bool anyRace() const { return !racedVars.empty(); }
 

@@ -67,6 +67,7 @@ class Machine {
       sharedCell_[c] = sharedVar_[ownerCell_[c].index()];
     Thread main;
     main.frames.push_back(Frame{&prog.body, 0, nullptr});
+    main.rootList = &prog.body;
     threads_.push_back(std::move(main));
   }
 
@@ -79,6 +80,29 @@ class Machine {
     std::size_t thread = 0;
     bool flush = false;
   };
+
+  /// Scheduler-visible thread state, for the explorer's partial-order
+  /// reduction (it must reason about *why* a thread is blocked to build
+  /// necessary-enabling sets). Mirrors the internal status machine.
+  enum class Status : std::uint8_t {
+    Runnable,
+    WaitLock,
+    WaitEvent,
+    BarrierWait,
+    Joining,
+    Done,
+    /// TSO only: the thread has executed its last statement but still
+    /// holds buffered stores; only its flush actions remain, and the
+    /// last one retires it to Done. A thread in this state no longer
+    /// blocks barriers, but its cobegin join waits for the drain —
+    /// other threads may observe memory before the leftover stores
+    /// land, exactly like a real core's buffer outliving its thread.
+    /// (Listed after Done so SC state hashes keep their pre-TSO values.)
+    Draining,
+  };
+
+  /// No thread holds the lock.
+  static constexpr std::size_t kNoThread = static_cast<std::size_t>(-1);
 
   /// A buffered (not yet globally visible) store: memory cell (index
   /// into the flat cell vector — for a scalar this equals the symbol
@@ -258,6 +282,141 @@ class Machine {
     return threads_[ti].heldLocks;
   }
 
+  // -- Scheduler introspection for the explorer's DPOR layer ---------------
+
+  [[nodiscard]] Status statusOf(std::size_t ti) const {
+    return threads_[ti].status;
+  }
+  /// The lock or event symbol a WaitLock/WaitEvent thread is blocked on.
+  [[nodiscard]] SymbolId waitSymOf(std::size_t ti) const {
+    return threads_[ti].waitSym;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& childrenOf(
+      std::size_t ti) const {
+    return threads_[ti].children;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& siblingsOf(
+      std::size_t ti) const {
+    return threads_[ti].siblings;
+  }
+  [[nodiscard]] std::uint64_t barrierEpochOf(std::size_t ti) const {
+    return threads_[ti].barrierEpoch;
+  }
+  /// Thread currently holding lock `m`, or kNoThread when free.
+  [[nodiscard]] std::size_t lockHolderOf(SymbolId m) const {
+    return lockHolder_[m.index()];
+  }
+  [[nodiscard]] bool eventIsSet(SymbolId e) const {
+    return eventSet_[e.index()];
+  }
+  /// The statement list thread `ti` was spawned to run (stable pointer
+  /// into the program; the main thread reports the program body).
+  [[nodiscard]] const ir::StmtList* rootListOf(std::size_t ti) const {
+    return threads_[ti].rootList;
+  }
+
+  /// Everything the DPOR dependence relation needs to know about one
+  /// enabled action, resolved against the current dynamic state:
+  ///
+  ///  - `global`: the action commutes with nothing (assert halts the
+  ///    whole machine; cobegin allocates thread indices, so two spawns
+  ///    produce hash-distinct states in either order).
+  ///  - `print`: appends to the observable output (print/print pairs are
+  ///    order-dependent; print/anything-else commutes).
+  ///  - `barrier`: a barrier arrive or release — dependent with barrier
+  ///    actions of the same sibling group (arrivals enable releases).
+  ///  - `sync`: the lock/event symbol a Lock/Unlock/Set/Wait action (or
+  ///    a blocked-acquire resume) touches; two sync actions are
+  ///    dependent iff they name the same symbol.
+  ///  - `acc`: the dynamically-resolved shared memory cells the step
+  ///    reads/writes (a flush action writes its front buffer cell).
+  ///  - `loopReads`/`anywhereRead`: symbol-level reads the step may
+  ///    additionally perform while unwinding frames — completing the
+  ///    last statement of a while body re-evaluates the loop condition,
+  ///    which reads memory beyond the pending statement's own accesses.
+  ///
+  /// Resumes of WaitEvent (events are never cleared) and Joining
+  /// (children never leave Done) touch nothing but their own thread
+  /// state and unwind reads.
+  struct ActionFacts {
+    bool global = false;
+    bool print = false;
+    bool barrier = false;
+    bool anywhereRead = false;  ///< unwind may read via a pointer deref
+    SymbolId sync;
+    PendingAccess acc;
+    std::vector<SymbolId> loopReads;  ///< shared symbols unwind may read
+  };
+
+  [[nodiscard]] ActionFacts actionFacts(Action a) const {
+    ActionFacts f;
+    const Thread& t = threads_[a.thread];
+    if (a.flush) {
+      const BufferedStore& st = t.storeBuf.front();
+      f.acc.writes.emplace_back(st.first, ownerCell_[st.first]);
+      return f;
+    }
+    // Any program step may unwind frames, re-evaluating enclosing
+    // while-loop conditions; collect their reads at symbol granularity
+    // (addresses inside a condition are re-evaluated in post-step
+    // memory, so cell-exactness is not available here).
+    for (const Frame& fr : t.frames) {
+      if (fr.loop == nullptr) continue;
+      ir::forEachExpr(*fr.loop->expr, [&](const ir::Expr& e) {
+        switch (e.kind) {
+          case ir::ExprKind::VarRef:
+          case ir::ExprKind::Index:
+            if (sharedVar_[e.var.index()]) f.loopReads.push_back(e.var);
+            break;
+          case ir::ExprKind::Deref:
+            f.anywhereRead = true;
+            break;
+          default:
+            break;
+        }
+      });
+    }
+    switch (t.status) {
+      case Status::WaitLock:
+        f.sync = t.waitSym;  // the resume acquires the lock
+        return f;
+      case Status::WaitEvent:
+      case Status::Joining:
+        return f;  // pure resume: no shared effect beyond the unwind
+      case Status::BarrierWait:
+        f.barrier = true;  // the resume releases past the barrier
+        return f;
+      default:
+        break;
+    }
+    const ir::Stmt* s = pendingStmt(a.thread);
+    if (s == nullptr) return f;
+    switch (s->kind) {
+      case ir::StmtKind::Assert:
+      case ir::StmtKind::Cobegin:
+        f.global = true;
+        return f;
+      case ir::StmtKind::Lock:
+      case ir::StmtKind::Unlock:
+      case ir::StmtKind::Set:
+      case ir::StmtKind::Wait:
+        f.sync = s->sync;
+        return f;
+      case ir::StmtKind::Barrier:
+        f.barrier = true;
+        return f;
+      case ir::StmtKind::Fence:
+        return f;  // gated on an empty own buffer; no shared effect
+      case ir::StmtKind::Print:
+        f.print = true;
+        break;  // the printed expression's reads still matter
+      default:
+        break;
+    }
+    f.acc = pendingAccesses(a.thread);
+    return f;
+  }
+
   /// Approximate dynamic-state footprint in bytes, for memory budgets.
   /// Counts the owned containers, not the shared (read-only) program.
   [[nodiscard]] std::uint64_t approxBytes() const {
@@ -369,26 +528,14 @@ class Machine {
     const ir::Stmt* loop = nullptr;
   };
 
-  enum class Status : std::uint8_t {
-    Runnable,
-    WaitLock,
-    WaitEvent,
-    BarrierWait,
-    Joining,
-    Done,
-    /// TSO only: the thread has executed its last statement but still
-    /// holds buffered stores; only its flush actions remain, and the
-    /// last one retires it to Done. A thread in this state no longer
-    /// blocks barriers, but its cobegin join waits for the drain —
-    /// other threads may observe memory before the leftover stores
-    /// land, exactly like a real core's buffer outliving its thread.
-    /// (Listed after Done so SC state hashes keep their pre-TSO values.)
-    Draining,
-  };
-
   struct Thread {
     std::vector<Frame> frames;
     Status status = Status::Runnable;
+    /// The statement list this thread was spawned to run (the program
+    /// body for the main thread, the cobegin arm's body otherwise).
+    /// Points into the shared read-only program; the explorer's DPOR
+    /// layer keys static whole-body footprints by it.
+    const ir::StmtList* rootList = nullptr;
     SymbolId waitSym;                   ///< lock/event blocked on
     std::vector<std::size_t> children;  ///< indices of spawned threads
     std::vector<SymbolId> heldLocks;
@@ -756,6 +903,7 @@ class Machine {
         std::vector<std::size_t> children;
         for (const ir::ThreadBody& tb : s.threads) {
           Thread child;
+          child.rootList = &tb.body;
           if (!tb.body.empty())
             child.frames.push_back(Frame{&tb.body, 0, nullptr});
           else

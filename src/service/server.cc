@@ -48,6 +48,8 @@ bool decodeOptions(const Json& options, driver::RunOptions& o,
   o.doVrange = options.getBool("vrange", false);
   o.doTso = options.getBool("tso", false);
   o.doPointsTo = options.getBool("pointsTo", false);
+  o.doExplore = options.getBool("explore", false);
+  o.dpor = options.getBool("dpor", true);
   const std::string model = options.getString("memoryModel", "sc");
   if (!support::parseMemoryModel(model, o.memoryModel)) {
     err = "unknown memory model '" + model + "' (expected sc or tso)";
@@ -128,6 +130,10 @@ Json Server::statsJson() {
       .set("vrange", counters_.methodVrange.value())
       .set("explore", counters_.methodExplore.value())
       .set("stats", counters_.methodStats.value());
+  Json dporJson = Json::object();
+  dporJson.set("statesPruned", counters_.dporStatesPruned.value())
+      .set("sleepSetHits", counters_.dporSleepHits.value())
+      .set("depQueries", counters_.dporDepQueries.value());
   Json stats = Json::object();
   stats.set("version", support::versionString())
       .set("build", support::buildFingerprint())
@@ -137,6 +143,7 @@ Json Server::statsJson() {
       .set("connections", counters_.connections.value())
       .set("workers", static_cast<std::int64_t>(pool_.workers()))
       .set("methods", std::move(methods))
+      .set("dpor", std::move(dporJson))
       .set("cache", std::move(cacheJson));
   return stats;
 }
@@ -262,6 +269,7 @@ Json Server::runExplore(const Json& request) {
       defaults.maxMemoryBytes);
   eo.detectRaces = options.getBool("detectRaces", false);
   eo.recordValues = options.getBool("recordValues", false);
+  eo.dpor = options.getBool("dpor", true);
 
   support::Fingerprinter fp;
   fp.mixBytes(support::buildFingerprint());
@@ -270,7 +278,11 @@ Json Server::runExplore(const Json& request) {
   fp.mix(eo.maxStates);
   fp.mix(eo.maxDepthPerRun);
   fp.mix(eo.maxMemoryBytes);
-  fp.mix((eo.detectRaces ? 1u : 0u) | (eo.recordValues ? 2u : 0u));
+  // The dpor bit is keyed even though the contract fields match either
+  // way: the reduction counters in the result differ, and equal keys
+  // must always mean byte-equal cached payloads.
+  fp.mix((eo.detectRaces ? 1u : 0u) | (eo.recordValues ? 2u : 0u) |
+         (eo.dpor ? 4u : 0u));
   fp.mixBytes(source);
   const support::Hash128 requestKey = fp.digest();
 
@@ -293,6 +305,11 @@ Json Server::runExplore(const Json& request) {
       return errorEnvelope(request.get("id"), "internal", "explore",
                            e.what());
     }
+    // Aggregate reduction counters feed the `stats` method — the fleet
+    // gateway sums them across workers to see how much pruning buys.
+    counters_.dporStatesPruned.inc(res.dpor.prunedSuccessors);
+    counters_.dporSleepHits.inc(res.dpor.sleepSetHits);
+    counters_.dporDepQueries.inc(res.dpor.depQueries);
     Json outputs = Json::array();
     for (const std::vector<long long>& seq : res.outputs) {
       Json one = Json::array();
@@ -320,6 +337,14 @@ Json Server::runExplore(const Json& request) {
         .set("outputs", std::move(outputs))
         .set("racedVars", std::move(raced))
         .set("observedRanges", std::move(ranges));
+    Json dpor = Json::object();
+    dpor.set("enabled", eo.dpor)
+        .set("prunedSuccessors", res.dpor.prunedSuccessors)
+        .set("sleepSetHits", res.dpor.sleepSetHits)
+        .set("depQueries", res.dpor.depQueries)
+        .set("partialReexpansions", res.dpor.partialReexpansions);
+    result.set("dpor", std::move(dpor))
+        .set("peakFrontierBytes", res.peakFrontierBytes);
     resultPayload = result.write();
     cache_.storeResponse(requestKey,
                          std::make_shared<const std::string>(resultPayload));

@@ -57,6 +57,14 @@ struct ServiceCounters {
   support::Counter methodVrange;     ///< vrange requests routed
   support::Counter methodExplore;    ///< explore requests routed
   support::Counter methodStats;      ///< stats requests routed
+  /// Partial-order-reduction totals summed over every explore request
+  /// (zero contributions when a request sets dpor:false). The gateway
+  /// aggregates these like the per-method counters: together with
+  /// statesExplored in each response they show how much of the state
+  /// space the fleet never had to visit.
+  support::Counter dporStatesPruned; ///< successors pruned by DPOR
+  support::Counter dporSleepHits;    ///< sleep-set suppressions
+  support::Counter dporDepQueries;   ///< dependence tests evaluated
 };
 
 class Server {

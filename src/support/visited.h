@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace cssame::support {
@@ -85,6 +86,64 @@ class ShardedVisited {
     std::unordered_set<Hash128, Hash128Hasher> set;
   };
   std::array<Shard, kShards> shards_;
+};
+
+/// Visited map for the DPOR-enabled explorer: each fingerprint carries
+/// the sleep mask the state was (last) expanded under. Sleep sets and
+/// state caching are unsound when combined naively — a state first
+/// reached with sleep set S1 only expanded its non-slept actions, so a
+/// later visit with sleep set S2 must re-expand whatever S1 suppressed
+/// that S2 would allow (Godefroid's state-caching rule). insertOrMerge
+/// implements exactly that: `missing` is the persistent-set actions the
+/// stored visit slept but the new one would run, and the stored mask
+/// shrinks to the intersection (the state is now covered for both).
+/// Each action of a state re-expands at most once: `missing` excludes
+/// everything outside the stored mask, and the stored mask loses every
+/// bit that `missing` returns — re-expansion terminates.
+///
+/// The shard layout mirrors ShardedVisited (same shardOf), so the
+/// explorer's in-order per-shard dedup scan keeps merge order — and with
+/// it every `missing` mask — independent of the worker count. With the
+/// reduction off, every call passes sleep == pmask == 0 and the class
+/// degenerates to ShardedVisited::insert bit-for-bit (approxBytes uses
+/// the same formula, keeping Memory-budget trip points identical).
+class ShardedVisitedMap {
+ public:
+  struct MergeResult {
+    bool fresh = false;          ///< key was not present before
+    std::uint64_t missing = 0;   ///< action keys to re-expand (dups only)
+  };
+
+  MergeResult insertOrMerge(const Hash128& h, std::uint64_t sleep,
+                            std::uint64_t pmask) {
+    Shard& s = shards_[ShardedVisited::shardOf(h)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto [it, inserted] = s.map.try_emplace(h, sleep);
+    if (inserted) return {true, 0};
+    const std::uint64_t stored = it->second;
+    it->second = stored & sleep;
+    return {false, pmask & stored & ~sleep};
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t approxBytes() const {
+    return static_cast<std::uint64_t>(size()) * 2 * sizeof(Hash128);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Hash128, std::uint64_t, Hash128Hasher> map;
+  };
+  std::array<Shard, ShardedVisited::kShards> shards_;
 };
 
 }  // namespace cssame::support

@@ -25,8 +25,18 @@ TEST(ExploreBudget, ExhaustionReportedNotFatal) {
     print(a + b);
   )");
   interp::ExploreResult r =
-      interp::exploreAllSchedules(prog, {.maxSteps = 500});
+      interp::exploreAllSchedules(prog, {.maxSteps = 500, .dpor = false});
   EXPECT_FALSE(r.complete);
+  // The two threads touch disjoint variables, so partial-order reduction
+  // collapses the interleaving product — 500 steps then complete the
+  // sweep. A budget below even the reduced sweep still trips.
+  interp::ExploreResult reduced =
+      interp::exploreAllSchedules(prog, {.maxSteps = 500});
+  EXPECT_TRUE(reduced.complete);
+  EXPECT_GT(reduced.dpor.prunedSuccessors, 0u);
+  interp::ExploreResult tiny =
+      interp::exploreAllSchedules(prog, {.maxSteps = 20});
+  EXPECT_FALSE(tiny.complete);
 }
 
 TEST(ExploreBudget, SpinLoopHasFiniteStateSpaceAndNoOutputs) {

@@ -433,6 +433,38 @@ TEST(ServiceCache, MemoryModelKeysDiverge) {
   EXPECT_EQ(second.getString("cached", "?"), "miss");
 }
 
+TEST(ServiceCache, DporKeysDiverge) {
+  // The dpor flag changes the reduction counters carried by explore
+  // results (and the --explore stats lines), so it is part of both the
+  // RunOptions cache key and the explore request fingerprint: a
+  // dpor-off request must never be served a dpor-on cached payload.
+  driver::RunOptions on, off;
+  off.dpor = false;
+  EXPECT_NE(on.cacheKey(), off.cacheKey());
+
+  service::Server server({});
+  service::Json reduced =
+      parseOk(server.handlePayload(makeRequest("explore", kRacySource)));
+  service::Json full = parseOk(server.handlePayload(makeRequest(
+      "explore", kRacySource, service::Json::object().set("dpor", false))));
+  ASSERT_TRUE(reduced.getBool("ok", false));
+  ASSERT_TRUE(full.getBool("ok", false));
+  EXPECT_EQ(reduced.getString("cached", "?"), "miss");
+  // Same source, dpor off: a fresh key, not a hit.
+  EXPECT_EQ(full.getString("cached", "?"), "miss");
+  // The exactness contract: reduced and unreduced agree on everything a
+  // client may act on; only the reduction metadata differs.
+  const service::Json& r = reduced.get("result");
+  const service::Json& f = full.get("result");
+  EXPECT_EQ(r.get("outputs").write(), f.get("outputs").write());
+  EXPECT_EQ(r.getBool("anyDeadlock", true), f.getBool("anyDeadlock", true));
+  EXPECT_TRUE(r.get("dpor").getBool("enabled", false));
+  EXPECT_FALSE(f.get("dpor").getBool("enabled", true));
+  EXPECT_EQ(f.get("dpor").getInt("depQueries", -1), 0);
+  // The daemon's aggregate counters saw only the reduced run's queries.
+  EXPECT_GE(server.counters().dporDepQueries.value(), 1u);
+}
+
 TEST(ServiceCache, RelatedRequestReusesLiveCompilation) {
   // analyze then csan on the same source: different response keys, same
   // source fingerprint — the second request must reuse the analyzed
