@@ -1,0 +1,479 @@
+// Experiment Repair-1 (ours): success rate, minimality and latency of
+// the synthesis-and-verify synchronization repair engine.
+//
+// Ground truth is *independent re-verification*: for every patched
+// program the engine returns, this harness re-runs the full analysis
+// chain and the schedule explorer from scratch — it does not trust the
+// engine's own verdict. A returned fix is UNVERIFIED (a hard failure,
+// nonzero exit) when any of the engine's contract clauses fails to
+// reproduce:
+//
+//   - a Fixed verdict but a target-class diagnostic remains, or the
+//     explorer still races a repaired variable;
+//   - any new diagnostic code the original program did not have;
+//   - a deadlock, lock misuse, or SC output the original could not
+//     produce;
+//   - minimality: any OverwideMutexBody / RedundantMutexBody /
+//     FenceRedundant lint on the patched program that the original did
+//     not have (the repair must not trade a race for a lint).
+//
+// The sweep covers the hand repair gallery (existing-lock, fresh-lock,
+// partial, no-safe-fix), the TSO protocol suite (Peterson converging to
+// its fenced variant, store buffering, redundant-fence removal), and a
+// generated racy corpus. Results go to BENCH_repair.json for trend
+// tracking; the no-safe-fix envelope is counted as a *correct* answer,
+// not a failure — only unverified fixes and lint regressions fail the
+// run.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/driver/pipeline.h"
+#include "src/interp/explore.h"
+#include "src/ir/printer.h"
+#include "src/parser/parser.h"
+#include "src/repair/repair.h"
+#include "src/sanalysis/csan.h"
+#include "src/sanalysis/tso.h"
+#include "src/support/diag.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+using namespace cssame;
+
+struct Tally {
+  std::size_t workloads = 0;
+  std::size_t withTargets = 0;   ///< programs the engine found fixable findings in
+  std::size_t fixed = 0;
+  std::size_t partial = 0;
+  std::size_t noSafeFix = 0;
+  std::size_t clean = 0;
+  std::size_t candidatesTried = 0;
+  std::size_t candidatesVerified = 0;
+  std::size_t candidatesRejected = 0;
+  std::size_t freshLockFallbacks = 0;
+  std::size_t unverifiedFixes = 0;  ///< independent recheck failed (must stay 0)
+  std::size_t lintRegressions = 0;  ///< new overwide/redundant/fence lints (0)
+  double totalLatencyMs = 0.0;
+  double maxLatencyMs = 0.0;
+
+  [[nodiscard]] double successRate() const {
+    return withTargets == 0
+               ? 1.0
+               : static_cast<double>(fixed) /
+                     static_cast<double>(withTargets);
+  }
+  [[nodiscard]] double meanLatencyMs() const {
+    return workloads == 0 ? 0.0 : totalLatencyMs /
+                                      static_cast<double>(workloads);
+  }
+};
+
+/// Everything the independent recheck needs about one program version.
+struct Facts {
+  bool ok = false;
+  std::map<DiagCode, std::size_t> diags;
+  std::set<SymbolId> raced;
+  std::set<std::string> racedNames;
+  bool deadlock = false;
+  bool complete = false;
+  std::set<std::vector<long long>> outputs;
+};
+
+Facts analyzeFromScratch(const std::string& source) {
+  Facts f;
+  parser::ParseResult pr = parser::parseChecked(source);
+  if (!pr.ok()) return f;
+  driver::Compilation comp = driver::analyze(pr.program);
+  DiagEngine tool;
+  (void)sanalysis::runCsan(comp, tool);
+  (void)sanalysis::runTso(comp, tool);
+  for (const Diagnostic& d : comp.diag().diagnostics()) ++f.diags[d.code];
+  for (const Diagnostic& d : tool.diagnostics()) ++f.diags[d.code];
+  interp::ExploreOptions opts;
+  opts.detectRaces = true;
+  opts.maxSteps = 1u << 18;
+  opts.maxStates = 1u << 16;
+  opts.workers = benchutil::exploreWorkers();
+  opts.dpor = benchutil::exploreDpor();
+  const interp::ExploreResult ex = interp::exploreAllSchedules(pr.program, opts);
+  f.raced = {ex.racedVars.begin(), ex.racedVars.end()};
+  for (SymbolId v : ex.racedVars)
+    f.racedNames.insert(pr.program.symbols.nameOf(v));
+  f.deadlock = ex.anyDeadlock || ex.anyLockError;
+  f.complete = ex.complete;
+  f.outputs = ex.outputs;
+  f.ok = true;
+  return f;
+}
+
+std::size_t countOf(const Facts& f, DiagCode code) {
+  const auto it = f.diags.find(code);
+  return it == f.diags.end() ? 0 : it->second;
+}
+
+/// The lints a *minimal* fix must never introduce.
+std::size_t lintCount(const Facts& f) {
+  return countOf(f, DiagCode::OverwideMutexBody) +
+         countOf(f, DiagCode::RedundantMutexBody) +
+         countOf(f, DiagCode::FenceRedundant);
+}
+
+std::size_t targetClassCount(const Facts& f) {
+  return countOf(f, DiagCode::PotentialDataRace) +
+         countOf(f, DiagCode::MayAliasRace) +
+         countOf(f, DiagCode::MutualExclusionNotJustifiedUnderTSO) +
+         countOf(f, DiagCode::FenceRedundant);
+}
+
+/// One workload end to end: run the engine, then re-derive every claim
+/// it made from scratch. Returns false (and bumps the failure counters)
+/// when a returned fix does not hold up.
+void repairAndRecheck(const std::string& source, repair::FixTarget target,
+                      Tally& tally) {
+  ++tally.workloads;
+  const auto start = std::chrono::steady_clock::now();
+  repair::RepairLimits limits;
+  limits.exploreWorkers = benchutil::exploreWorkers();
+  const repair::RepairResult r = repair::repairSource(source, target, limits);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  tally.totalLatencyMs += ms;
+  if (ms > tally.maxLatencyMs) tally.maxLatencyMs = ms;
+
+  tally.candidatesTried += r.stats.candidatesTried;
+  tally.candidatesVerified += r.stats.candidatesVerified;
+  tally.candidatesRejected += r.stats.candidatesRejected;
+  tally.freshLockFallbacks += r.stats.freshLockFallbacks;
+  switch (r.status) {
+    case repair::RepairStatus::Fixed: ++tally.fixed; ++tally.withTargets; break;
+    case repair::RepairStatus::Partial:
+      ++tally.partial;
+      ++tally.withTargets;
+      break;
+    case repair::RepairStatus::NoSafeFix:
+      ++tally.noSafeFix;
+      ++tally.withTargets;
+      break;
+    case repair::RepairStatus::Clean: ++tally.clean; break;
+    case repair::RepairStatus::Error: return;  // unparseable input: no claims
+  }
+  if (r.applied.empty()) return;  // nothing returned, nothing to verify
+
+  const Facts before = analyzeFromScratch(source);
+  const Facts after = analyzeFromScratch(r.patchedSource);
+  bool bad = false;
+  if (!before.ok || !after.ok) {
+    bad = true;  // a returned patch must re-analyze
+  } else {
+    // No new diagnostic of any code.
+    for (const auto& [code, count] : after.diags)
+      if (count > countOf(before, code)) bad = true;
+    // Minimality: no overwide/redundant/fence lint the input lacked.
+    if (lintCount(after) > lintCount(before)) {
+      bad = true;
+      ++tally.lintRegressions;
+    }
+    if (before.complete && after.complete) {
+      if (after.deadlock && !before.deadlock) bad = true;
+      for (const auto& seq : after.outputs)
+        if (!before.outputs.contains(seq)) bad = true;
+      for (const std::string& v : after.racedNames)
+        if (!before.racedNames.contains(v)) bad = true;
+      // A Fixed verdict is the strong claim: every target-class
+      // diagnostic gone and the explorer agrees nothing races.
+      if (r.status == repair::RepairStatus::Fixed &&
+          target == repair::FixTarget::All) {
+        if (targetClassCount(after) != 0) bad = true;
+        if (!after.raced.empty()) bad = true;
+      }
+    }
+  }
+  if (bad) ++tally.unverifiedFixes;
+}
+
+void handGallery(Tally& tally) {
+  // Existing-lock extension.
+  repairAndRecheck(R"(int n;
+lock L;
+cobegin {
+  thread A {
+    lock(L);
+    n = n + 1;
+    unlock(L);
+  }
+  thread B {
+    n = n + 1;
+  }
+}
+print(n);
+)", repair::FixTarget::All, tally);
+
+  // Fresh-lock fallback.
+  repairAndRecheck(R"(int total;
+cobegin {
+  thread A {
+    total = total + 2;
+  }
+  thread B {
+    total = total + 3;
+  }
+}
+print(total);
+)", repair::FixTarget::All, tally);
+
+  // Partial: data fixable, flag handshake not.
+  repairAndRecheck(R"(int data, flag;
+cobegin {
+  thread P {
+    data = 42;
+    flag = 1;
+  }
+  thread C {
+    while (flag == 0) { }
+    print(data);
+  }
+}
+)", repair::FixTarget::All, tally);
+
+  // No safe fix: the only race is the spin-wait condition.
+  repairAndRecheck(R"(int flag;
+cobegin {
+  thread P {
+    flag = 1;
+  }
+  thread C {
+    while (flag == 0) { }
+  }
+}
+print(flag);
+)", repair::FixTarget::All, tally);
+
+  // Already clean.
+  repairAndRecheck(R"(int n;
+lock L;
+cobegin {
+  thread A {
+    lock(L);
+    n = n + 1;
+    unlock(L);
+  }
+  thread B {
+    lock(L);
+    n = n + 2;
+    unlock(L);
+  }
+}
+print(n);
+)", repair::FixTarget::All, tally);
+}
+
+void tsoGallery(Tally& tally) {
+  // Peterson: converges only through the iterative multi-fence loop.
+  repairAndRecheck(R"(int flag0, flag1, turn, data;
+cobegin {
+  thread T0 {
+    flag0 = 1;
+    turn = 1;
+    while (flag1 == 1 && turn == 1) { }
+    data = data + 1;
+    flag0 = 0;
+  }
+  thread T1 {
+    flag1 = 1;
+    turn = 0;
+    while (flag0 == 1 && turn == 0) { }
+    data = data + 1;
+    flag1 = 0;
+  }
+}
+print(data);
+)", repair::FixTarget::Tso, tally);
+
+  // Store-buffering litmus: both threads need their store->load fence.
+  repairAndRecheck(R"(int x, y, r0, r1;
+cobegin {
+  thread T0 {
+    x = 1;
+    r0 = y;
+  }
+  thread T1 {
+    y = 1;
+    r1 = x;
+  }
+}
+print(r0);
+print(r1);
+)", repair::FixTarget::Tso, tally);
+
+  // Redundant-fence removal (behavior-preserving deletion).
+  repairAndRecheck(R"(int x, y;
+lock L;
+cobegin {
+  thread A {
+    fence;
+    lock(L);
+    x = 1;
+    unlock(L);
+  }
+  thread B {
+    lock(L);
+    y = x;
+    unlock(L);
+  }
+}
+print(y);
+)", repair::FixTarget::Fence, tally);
+}
+
+void generatedCorpus(Tally& tally) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    workload::GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = 2;
+    cfg.sharedVars = 2 + static_cast<int>(seed % 3);
+    cfg.locks = 1;
+    cfg.stmtsPerThread = 3 + static_cast<int>(seed % 2);
+    cfg.maxDepth = 0;
+    cfg.branchProb = 0.0;
+    cfg.loopProb = 0.0;
+    // Sweep the protection spectrum: fully unlocked, half, mostly.
+    cfg.lockedFraction = static_cast<double>(seed % 3) * 0.45;
+    cfg.determinate = false;
+    ir::Program p = workload::generateRandom(cfg);
+    repairAndRecheck(ir::printProgram(p), repair::FixTarget::All, tally);
+  }
+}
+
+Tally runSweep() {
+  Tally t;
+  handGallery(t);
+  tsoGallery(t);
+  generatedCorpus(t);
+  return t;
+}
+
+void writeJson(const Tally& t, const char* path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_repair: cannot write %s\n", path);
+    return;
+  }
+  out << "{\n"
+      << "  \"experiment\": \"synthesis-and-verify repair engine\",\n"
+      << "  \"workloads\": " << t.workloads << ",\n"
+      << "  \"with_targets\": " << t.withTargets << ",\n"
+      << "  \"fixed\": " << t.fixed << ",\n"
+      << "  \"partial\": " << t.partial << ",\n"
+      << "  \"no_safe_fix\": " << t.noSafeFix << ",\n"
+      << "  \"clean\": " << t.clean << ",\n"
+      << "  \"candidates_tried\": " << t.candidatesTried << ",\n"
+      << "  \"candidates_verified\": " << t.candidatesVerified << ",\n"
+      << "  \"candidates_rejected\": " << t.candidatesRejected << ",\n"
+      << "  \"fresh_lock_fallbacks\": " << t.freshLockFallbacks << ",\n"
+      << "  \"unverified_fixes\": " << t.unverifiedFixes << ",\n"
+      << "  \"lint_regressions\": " << t.lintRegressions << ",\n"
+      << "  \"success_rate\": " << t.successRate() << ",\n"
+      << "  \"mean_latency_ms\": " << t.meanLatencyMs() << ",\n"
+      << "  \"max_latency_ms\": " << t.maxLatencyMs << "\n"
+      << "}\n";
+}
+
+// Timing: one existing-lock repair end to end (parse, analyze, candidate
+// sweep, verify, explore) and the iterative Peterson fence convergence —
+// the cheapest and the most expensive shapes the engine handles.
+void BM_RepairExistingLock(benchmark::State& state) {
+  const std::string src = R"(int n;
+lock L;
+cobegin {
+  thread A {
+    lock(L);
+    n = n + 1;
+    unlock(L);
+  }
+  thread B {
+    n = n + 1;
+  }
+}
+print(n);
+)";
+  for (auto _ : state) {
+    repair::RepairResult r = repair::repairSource(src, repair::FixTarget::All);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_RepairExistingLock);
+
+void BM_RepairPetersonFences(benchmark::State& state) {
+  const std::string src = R"(int flag0, flag1, turn, data;
+cobegin {
+  thread T0 {
+    flag0 = 1;
+    turn = 1;
+    while (flag1 == 1 && turn == 1) { }
+    data = data + 1;
+    flag0 = 0;
+  }
+  thread T1 {
+    flag1 = 1;
+    turn = 0;
+    while (flag0 == 1 && turn == 0) { }
+    data = data + 1;
+    flag1 = 0;
+  }
+}
+print(data);
+)";
+  for (auto _ : state) {
+    repair::RepairResult r = repair::repairSource(src, repair::FixTarget::Tso);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_RepairPetersonFences);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cssame::benchutil;
+
+  tableHeader("Repair-1: synthesis-and-verify repair engine (ours)");
+  const Tally t = runSweep();
+  tableRow("workloads", ">= 25", static_cast<long long>(t.workloads),
+           t.workloads >= 25);
+  tableRow("with repairable findings", ">= 15",
+           static_cast<long long>(t.withTargets), t.withTargets >= 15);
+  tableRow("fixed (all targets repaired + verified)", ">= 10",
+           static_cast<long long>(t.fixed), t.fixed >= 10);
+  tableRow("partial (some targets unfixable)", "(some)",
+           static_cast<long long>(t.partial), true);
+  tableRow("no-safe-fix envelopes (honest refusals)", "(some)",
+           static_cast<long long>(t.noSafeFix), true);
+  tableRow("clean (nothing to fix)", ">= 1",
+           static_cast<long long>(t.clean), t.clean >= 1);
+  tableRow("candidates verified", ">= 15",
+           static_cast<long long>(t.candidatesVerified),
+           t.candidatesVerified >= 15);
+  tableRow("UNVERIFIED returned fixes", "0",
+           static_cast<long long>(t.unverifiedFixes), t.unverifiedFixes == 0);
+  tableRow("overwide/redundant lint regressions", "0",
+           static_cast<long long>(t.lintRegressions), t.lintRegressions == 0);
+  std::printf("  success rate %.3f over programs with findings; "
+              "latency mean %.1f ms, max %.1f ms\n",
+              t.successRate(), t.meanLatencyMs(), t.maxLatencyMs);
+  writeJson(t, "BENCH_repair.json");
+  std::printf("  wrote BENCH_repair.json\n\n");
+
+  // Hard gate: a single fix that fails independent re-verification (or
+  // trades a race for a lint) is a correctness bug, not a regression.
+  const bool sound = t.unverifiedFixes == 0 && t.lintRegressions == 0 &&
+                     t.workloads >= 25 && t.fixed >= 10;
+  const int benchRc = runBenchmarks(argc, argv);
+  return sound ? benchRc : 1;
+}

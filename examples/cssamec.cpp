@@ -23,6 +23,15 @@
 //   --no-dpor         disable dynamic partial-order reduction during
 //                     --explore (the unreduced sweep — slower, identical
 //                     verdicts; the equality oracle for the reduction)
+//   --fix[=TARGET]    synthesize and print a *verified* repair for the
+//                     analyses' findings: lock insertions for races,
+//                     fences/atomic upgrades for TSO violations, fence
+//                     deletions for FenceRedundant. TARGET is all
+//                     (default), race, may-alias, tso, fence, or the
+//                     corresponding diagnostic code name. Every returned
+//                     patch re-passed csan/tso and the schedule explorer
+//                     (docs/REPAIR.md); exit 1 when some finding has no
+//                     safe fix
 //   --memory-model=M  memory model for --run: sc (default) or tso (plain
 //                     stores buffer per thread and flush asynchronously)
 //   --sarif[=FILE]    emit all diagnostics as SARIF 2.1.0 (implies --csan);
@@ -67,6 +76,7 @@
 #include <vector>
 
 #include "src/driver/runner.h"
+#include "src/repair/candidates.h"
 #include "src/service/json.h"
 #include "src/service/protocol.h"
 #include "src/support/io.h"
@@ -96,7 +106,7 @@ void usage() {
                "usage: cssamec [--dump-pfg] [--dump-form] [--no-cssame] "
                "[--opt] [--run [seed]] [--races] [--stats] [--csan] "
                "[--vrange] [--tso] [--points-to] [--explore] [--no-dpor] "
-               "[--memory-model=sc|tso] "
+               "[--fix[=TARGET]] [--memory-model=sc|tso] "
                "[--sarif[=FILE]] [--json[=FILE]] [--jobs=N] "
                "[--connect=SOCK] [--timeout-ms=N] [--version] "
                "<file> [more files...]\n");
@@ -281,6 +291,9 @@ service::Json buildRequest(const std::string& file,
       .set("dpor", o.dpor)
       .set("memoryModel", support::memoryModelName(o.memoryModel))
       .set("seed", o.seed);
+  // Only present when requested: older daemons reject unknown keys, and
+  // an absent key keeps pre-fix requests byte-identical.
+  if (o.doFix) options.set("fix", o.fixTarget);
   service::Json request = service::Json::object();
   request.set("id", id)
       .set("method", "analyze")
@@ -313,6 +326,22 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--points-to") == 0) o.run.doPointsTo = true;
     else if (std::strcmp(arg, "--explore") == 0) o.run.doExplore = true;
     else if (std::strcmp(arg, "--no-dpor") == 0) o.run.dpor = false;
+    else if (std::strncmp(arg, "--fix", 5) == 0 &&
+             (arg[5] == '\0' || arg[5] == '=')) {
+      o.run.doFix = true;
+      if (arg[5] == '=') {
+        repair::FixTarget target;
+        if (!repair::parseFixTarget(arg + 6, target)) {
+          std::fprintf(stderr,
+                       "cssamec: unknown fix target '%s' (all, race, "
+                       "may-alias, tso, fence, or a diagnostic code "
+                       "name)\n",
+                       arg + 6);
+          return 2;
+        }
+        o.run.fixTarget = repair::fixTargetName(target);
+      }
+    }
     else if (std::strncmp(arg, "--memory-model=", 15) == 0) {
       if (!support::parseMemoryModel(arg + 15, o.run.memoryModel)) {
         std::fprintf(stderr,

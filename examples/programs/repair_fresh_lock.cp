@@ -1,0 +1,18 @@
+// Repair gallery: the fresh-lock fallback. No lock is declared
+// anywhere, so the candidate lattice falls through to its last rung —
+// declare a fresh lock (named `__fixN` for the first unused N) at
+// global scope and wrap both racing increments with it. The verifier
+// confirms the race is gone and that the only surviving outputs (2+3
+// in either order) were already possible before the patch.
+//
+//   cssamec --fix repair_fresh_lock.cp
+int total;
+cobegin {
+  thread A {
+    total = total + 2;
+  }
+  thread B {
+    total = total + 3;
+  }
+}
+print(total);

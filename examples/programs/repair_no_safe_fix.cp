@@ -1,0 +1,18 @@
+// Repair gallery: the structured "no safe fix" answer. The only race is
+// the spin-wait handshake on `flag`, and the consumer's side of it is
+// the while-loop condition — not a wrappable single-line statement, so
+// no candidate in the lattice can protect both ends. The engine returns
+// a no-safe-fix envelope (and exit code 1) rather than a mispatched
+// program: refusing to guess is part of the verification contract.
+//
+//   cssamec --fix repair_no_safe_fix.cp   (exit code 1)
+int flag;
+cobegin {
+  thread P {
+    flag = 1;
+  }
+  thread C {
+    while (flag == 0) { }
+  }
+}
+print(flag);

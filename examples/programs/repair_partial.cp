@@ -1,0 +1,19 @@
+// Repair gallery: a partial repair. The data race on `data` is fixable
+// (fresh lock around the write and the read), but the handshake race on
+// `flag` is not — the consumer's access sits in the while-loop
+// *condition*, which is not a single-line statement the patch model can
+// wrap. The engine fixes what it can, reports the rest as having no
+// safe fix, and exits 1: a partial repair is not a verified program.
+//
+//   cssamec --fix repair_partial.cp   (exit code 1)
+int data, flag;
+cobegin {
+  thread P {
+    data = 42;
+    flag = 1;
+  }
+  thread C {
+    while (flag == 0) { }
+    print(data);
+  }
+}

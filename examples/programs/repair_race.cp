@@ -1,0 +1,20 @@
+// Repair gallery: the existing-lock fix. Thread A follows the locking
+// protocol for the shared counter; thread B forgot. The repair engine's
+// first candidate extends A's protocol — wrap B's increment with the
+// same lock L, the narrowest scope that kills the race without tripping
+// the overwide/redundant lock lints.
+//
+//   cssamec --fix repair_race.cp      applies and verifies the patch
+int n;
+lock L;
+cobegin {
+  thread A {
+    lock(L);
+    n = n + 1;
+    unlock(L);
+  }
+  thread B {
+    n = n + 1;
+  }
+}
+print(n);

@@ -18,6 +18,7 @@
 #include "src/opt/optimize.h"
 #include "src/parser/parser.h"
 #include "src/pfg/dot.h"
+#include "src/repair/repair.h"
 #include "src/sanalysis/csan.h"
 #include "src/sanalysis/pointsto.h"
 #include "src/sanalysis/sarif.h"
@@ -314,6 +315,20 @@ RunOutput runSourceUnguarded(std::string_view source,
   driver::Compilation c = driver::analyze(prog, {.enableCssame = o.cssame});
   if (!renderCompiled(prog, c, fileName, o, r)) return r;
 
+  if (o.doFix) {
+    repair::FixTarget target = repair::FixTarget::All;
+    // Callers validated the name already; an unknown one (programmatic
+    // misuse) degrades to the default rather than crashing the run.
+    (void)repair::parseFixTarget(o.fixTarget, target);
+    const repair::RepairResult fix =
+        repair::repairSource(std::string(source), target);
+    out += repair::renderFixReport(fix, target);
+    if (o.doStats) out += repair::renderRepairStats(fix.stats);
+    if (fix.status == repair::RepairStatus::Partial ||
+        fix.status == repair::RepairStatus::NoSafeFix ||
+        fix.status == repair::RepairStatus::Error)
+      r.code = 1;
+  }
   if (o.doOpt) {
     opt::OptimizeReport report =
         opt::optimizeProgram(prog, {.cssame = o.cssame});
@@ -344,11 +359,18 @@ std::string RunOptions::cacheKey() const {
   // One char per flag in declaration order, then the seed. Bump the "v1"
   // tag if the rendering ever changes meaning — the key is persisted
   // inside disk-cache addresses.
-  std::string key = "v4:";
+  std::string key = "v5:";
   for (bool b : {dumpPfg, dumpForm, cssame, doOpt, doRun, doRaces, doStats,
                  doCsan, doSarif, doJson, doVrange, doTso, doPointsTo,
-                 doExplore, dpor})
+                 doExplore, dpor, doFix})
     key += b ? '1' : '0';
+  // The fix target selects which findings the repair engine attacks;
+  // keyed unconditionally (like the memory model) so a `fix` response
+  // can never collide with a read-method response or with a fix for a
+  // different target — the v5 bump makes every pre-repair cached key
+  // cold rather than ambiguous.
+  key += ":fix=";
+  key += fixTarget;
   // The memory model changes --run output and may grow new model-aware
   // modes; keying it unconditionally guarantees the service never serves
   // an SC-cached response to a TSO request (or vice versa).
@@ -366,11 +388,12 @@ RunOutput runCompiled(const ir::Program& prog, const Compilation& c,
                       const std::string& preErr,
                       const std::string& fileName, const RunOptions& opts) {
   RunOutput r;
-  if (opts.doOpt || opts.doRun) {
-    // These mutate or execute the program; a shared compilation cannot
-    // serve them. Callers (the service router) pre-screen, so reaching
-    // this is a programming error upstream — degrade, don't crash.
-    r.err = "cssamec: internal: runCompiled called with --opt/--run\n";
+  if (opts.doOpt || opts.doRun || opts.doFix) {
+    // These mutate, execute or repair the program; a shared compilation
+    // cannot serve them. Callers (the service router) pre-screen, so
+    // reaching this is a programming error upstream — degrade, don't
+    // crash.
+    r.err = "cssamec: internal: runCompiled called with --opt/--run/--fix\n";
     r.code = 1;
     return r;
   }

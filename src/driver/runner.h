@@ -50,6 +50,16 @@ struct RunOptions {
   /// default; off is the equality oracle (the unreduced sweep). Keyed in
   /// cacheKey() because it changes the stats lines --explore prints.
   bool dpor = true;
+  /// --fix[=TARGET]: run the synchronization repair engine
+  /// (src/repair/repair.h) after the analyses and print the verified
+  /// patched program plus a line diff. Mutates nothing in place (the
+  /// patched text is part of the output), but re-parses and re-explores
+  /// candidate programs, so like --opt/--run it is excluded from the
+  /// runCompiled fast path.
+  bool doFix = false;
+  /// Canonical target name for --fix ("all", "race", "may-alias", "tso",
+  /// "fence"); callers validate via repair::parseFixTarget before setting.
+  std::string fixTarget = "all";
   /// --memory-model=sc|tso: the model --run simulates. SC (default)
   /// preserves every pre-TSO seeded schedule bit-identically; TSO adds
   /// per-thread store buffers (buffered stores flush as separate
@@ -90,8 +100,9 @@ class Compilation;
 /// The cache-hit fast path: renders the same bytes runSource() would
 /// produce, from an already-analyzed compilation, skipping parse and the
 /// whole analysis chain. Only valid for read-only option sets —
-/// `opts.doOpt` and `opts.doRun` mutate or execute the program and must
-/// take the runSource() path (enforced: they yield an error output). The
+/// `opts.doOpt`, `opts.doRun` and `opts.doFix` mutate, execute or repair
+/// the program and must take the runSource() path (enforced: they yield
+/// an error output). The
 /// compilation is shared across concurrent callers, so everything here
 /// goes through its const, thread-safe accessors. `preErr` carries the
 /// rendered parse diagnostics of the parse that produced `prog` (empty

@@ -50,14 +50,6 @@ MutexStructures::MutexStructures(const pfg::Graph& graph,
           if (m != n && m != x && body.members.test(m.index()))
             body.wellFormed = false;
         }
-        if (!body.wellFormed && diag != nullptr) {
-          diag->warn(DiagCode::IllFormedMutexBody,
-                     graph.node(n).syncStmt->loc,
-                     "mutex body for lock '" +
-                         graph.program().symbols.nameOf(l) +
-                         "' contains nested lock/unlock of the same lock; "
-                         "it will not be used to reduce dependencies");
-        }
         structure.push_back(body.id);
         bodies_.push_back(std::move(body));
       }
@@ -65,6 +57,36 @@ MutexStructures::MutexStructures(const pfg::Graph& graph,
     if (!structure.empty()) {
       structures_[l] = std::move(structure);
       lockVars_.push_back(l);
+    }
+  }
+
+  // Ill-formed candidates are only worth a warning when one of their
+  // delimiters belongs to no well-formed body: two *sequential* regions
+  // of the same lock also produce an ill-formed cross pair (first lock,
+  // last unlock), but every delimiter still bounds a real body and the
+  // structure is fine. Genuine nesting leaves the outer lock/unlock
+  // unmatched, so it keeps warning here (and below as Unmatched*).
+  if (diag != nullptr) {
+    const auto delimitsWellFormed = [this](NodeId node, bool asLock) {
+      for (const MutexBody& b : bodies_) {
+        if (!b.wellFormed) continue;
+        if ((asLock && b.lockNode == node) ||
+            (!asLock && b.unlockNode == node))
+          return true;
+      }
+      return false;
+    };
+    for (const MutexBody& b : bodies_) {
+      if (b.wellFormed) continue;
+      if (delimitsWellFormed(b.lockNode, true) &&
+          delimitsWellFormed(b.unlockNode, false))
+        continue;
+      diag->warn(DiagCode::IllFormedMutexBody,
+                 graph.node(b.lockNode).syncStmt->loc,
+                 "mutex body for lock '" +
+                     graph.program().symbols.nameOf(b.lockVar) +
+                     "' contains nested lock/unlock of the same lock; "
+                     "it will not be used to reduce dependencies");
     }
   }
 

@@ -1,0 +1,122 @@
+// Candidate generation for the synchronization repair engine.
+//
+// A *repair target* is one concrete defect the analyses witnessed — a
+// PotentialDataRace / MayAliasRace site pair from csan, a reorderable
+// store/load pair from the TSO pass, or a redundant fence. Each target
+// carries an ordered *candidate lattice*: the cheapest, least intrusive
+// fixes first, escalating toward declaring fresh synchronization state.
+//
+//   races        1. wrap the unprotected site with a lock the *other*
+//                   site already holds (restores the existing protocol);
+//                 2. symmetrically, wrap the def site with a lock only
+//                    the other end holds;
+//                 3. wrap both sites with some declared lock neither
+//                    holds (reuses existing synchronization state);
+//                 4. declare a fresh lock and wrap both sites.
+//   TSO pairs    1. fence before the overtaking load (drains the whole
+//                    buffer — one fence fixes every pending store);
+//                 2. fence after the buffered store;
+//                 3. upgrade the store to atomic_store (commits past the
+//                    buffer).
+//   fences       delete the redundant fence line.
+//
+// Every candidate wraps the *minimal* statement range — exactly the
+// witnessed access statement, nothing else — so verified fixes cannot
+// trip the Overwide/Redundant mutex-body lints: a single-statement body
+// that csan accepts has no lock-independent prefix or suffix to shrink
+// (opt::LockIndependence is what those lints consume, and the
+// verification contract rejects any candidate that makes them fire).
+//
+// Candidates are *proposals*: generation is purely syntactic over the
+// witness facts and never guarantees correctness. The verification
+// contract (src/repair/verify.h) is the only acceptance path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/driver/pipeline.h"
+#include "src/repair/patch.h"
+#include "src/sanalysis/csan.h"
+#include "src/sanalysis/tso.h"
+
+namespace cssame::repair {
+
+/// What `--fix=TARGET` / the service `fix` param selects.
+enum class FixTarget : std::uint8_t {
+  All,       ///< every repairable diagnostic (default)
+  Race,      ///< PotentialDataRace pairs
+  MayAlias,  ///< MayAliasRace pairs
+  Tso,       ///< MutualExclusionNotJustifiedUnderTSO pairs
+  Fence,     ///< FenceRedundant removals
+};
+
+/// Parses a user-supplied target name. Accepts both the short form
+/// ("all", "race", "may-alias", "tso", "fence") and the diagnostic code
+/// name it selects ("PotentialDataRace", "MayAliasRace",
+/// "MutualExclusionNotJustifiedUnderTSO", "FenceRedundant"). Returns
+/// false for anything else, leaving `out` untouched.
+[[nodiscard]] bool parseFixTarget(std::string_view name, FixTarget& out);
+
+/// Canonical short name ("all", "race", ...), stable for cache keys.
+[[nodiscard]] const char* fixTargetName(FixTarget t);
+
+enum class FixAction : std::uint8_t {
+  WrapWithLock,      ///< lock()/unlock() around each wrapLines entry
+  WrapWithFreshLock, ///< same, plus a `lock NAME;` declaration at line 1
+  FenceBeforeLoad,   ///< insert `fence;` above anchorLine
+  FenceAfterStore,   ///< insert `fence;` below anchorLine
+  AtomicUpgrade,     ///< replace anchorLine with an atomic_store form
+  RemoveFence,       ///< delete anchorLine (a bare `fence;` line)
+};
+
+/// One concrete, applicable fix proposal.
+struct Candidate {
+  FixAction action = FixAction::WrapWithLock;
+  std::string lockName;  ///< WrapWith*: the lock used or declared
+  /// WrapWith*: 1-based source lines to wrap, each individually (the
+  /// minimal single-statement scope). Deduplicated, ascending.
+  std::vector<std::uint32_t> wrapLines;
+  std::uint32_t anchorLine = 0;  ///< fence/upgrade/delete anchor
+  std::string replacementText;   ///< AtomicUpgrade: new statement text
+  std::string description;       ///< human-readable, deterministic
+
+  /// Materializes the proposal as line edits against `source` (the text
+  /// the candidate was generated for). Inserted lines copy the wrapped
+  /// statement's indentation.
+  [[nodiscard]] std::vector<LineEdit> edits(const std::string& source) const;
+};
+
+enum class TargetKind : std::uint8_t { Race, MayAlias, Tso, Fence };
+
+/// One repairable finding plus its ordered candidate lattice.
+struct RepairTarget {
+  TargetKind kind = TargetKind::Race;
+  DiagCode code = DiagCode::PotentialDataRace;
+  std::string varName;  ///< raced var, or "store->load" pair for TSO
+  SourceLoc locA, locB; ///< the two witness sites (locB invalid for Fence)
+  std::string siteA, siteB;  ///< brief statement text at each site
+  /// Stable identity across repair iterations: built from the code, the
+  /// variable and the witness statement *text* (never line numbers, which
+  /// shift as fixes land), so a target that exhausted its candidates is
+  /// not retried after an unrelated fix renumbers the file.
+  std::string signature;
+  std::vector<Candidate> candidates;  ///< preference order, best first
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Collects every repair target the reports witness, filtered by
+/// `filter`, in deterministic source order (race pairs first, then TSO
+/// pairs, then redundant fences; each group in witness-emission order,
+/// which the analyses already make deterministic). `source` is consulted
+/// for applicability checks (e.g. a fence deletion requires the anchor
+/// line to hold nothing but `fence;`). At most `maxCandidates` proposals
+/// are kept per target.
+[[nodiscard]] std::vector<RepairTarget> collectTargets(
+    const driver::Compilation& comp, const sanalysis::CsanReport& csan,
+    const sanalysis::TsoReport& tso, FixTarget filter,
+    const std::string& source, std::size_t maxCandidates);
+
+}  // namespace cssame::repair

@@ -1,0 +1,137 @@
+#include "src/repair/patch.h"
+
+#include <algorithm>
+
+namespace cssame::repair {
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+std::string indentOf(const std::string& source, std::uint32_t line) {
+  const std::vector<std::string> lines = splitLines(source);
+  if (line == 0 || line > lines.size()) return "";
+  const std::string& l = lines[line - 1];
+  std::size_t i = 0;
+  while (i < l.size() && (l[i] == ' ' || l[i] == '\t')) ++i;
+  return l.substr(0, i);
+}
+
+std::string applyEdits(const std::string& source,
+                       std::vector<LineEdit> edits) {
+  std::vector<std::string> lines = splitLines(source);
+  if (lines.empty()) lines.emplace_back();
+  for (LineEdit& e : edits) {
+    if (e.line == 0) e.line = 1;
+    if (e.line > lines.size())
+      e.line = static_cast<std::uint32_t>(lines.size());
+  }
+  // Bottom-up keeps every remaining anchor valid. stable_sort preserves
+  // the recorded order of edits sharing an anchor; within one anchor the
+  // sweep applies them last-recorded-first, which re-establishes recorded
+  // order in the output for inserts on the same side.
+  std::stable_sort(edits.begin(), edits.end(),
+                   [](const LineEdit& a, const LineEdit& b) {
+                     return a.line < b.line;
+                   });
+  for (auto it = edits.rbegin(); it != edits.rend(); ++it) {
+    const std::size_t idx = it->line - 1;  // 0-based
+    switch (it->kind) {
+      case EditKind::InsertBefore:
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx),
+                     it->text);
+        break;
+      case EditKind::InsertAfter:
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                     it->text);
+        break;
+      case EditKind::ReplaceLine:
+        lines[idx] = it->text;
+        break;
+      case EditKind::DeleteLine:
+        lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(idx));
+        break;
+    }
+  }
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<DiffLine> diffLines(const std::string& before,
+                                const std::string& after) {
+  const std::vector<std::string> a = splitLines(before);
+  const std::vector<std::string> b = splitLines(after);
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<DiffLine> diff;
+
+  // Guard the O(n·m) table; repair inputs are source files, not logs.
+  constexpr std::size_t kMaxCells = 4u << 20;
+  if (n * m > kMaxCells || (n == 0 && m == 0)) {
+    for (std::size_t i = 0; i < n; ++i)
+      diff.push_back({'-', static_cast<std::uint32_t>(i + 1), 0, a[i]});
+    for (std::size_t j = 0; j < m; ++j)
+      diff.push_back({'+', 0, static_cast<std::uint32_t>(j + 1), b[j]});
+    return diff;
+  }
+
+  // LCS lengths; lcs[i][j] = longest common subsequence of a[i:], b[j:].
+  std::vector<std::uint32_t> lcs((n + 1) * (m + 1), 0);
+  auto at = [&](std::size_t i, std::size_t j) -> std::uint32_t& {
+    return lcs[i * (m + 1) + j];
+  };
+  for (std::size_t i = n; i-- > 0;)
+    for (std::size_t j = m; j-- > 0;)
+      at(i, j) = a[i] == b[j]
+                     ? at(i + 1, j + 1) + 1
+                     : std::max(at(i + 1, j), at(i, j + 1));
+
+  // Walk the table; prefer deletions on ties so removals print before the
+  // insertions that replace them.
+  std::size_t i = 0, j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (at(i + 1, j) >= at(i, j + 1)) {
+      diff.push_back({'-', static_cast<std::uint32_t>(i + 1), 0, a[i]});
+      ++i;
+    } else {
+      diff.push_back({'+', 0, static_cast<std::uint32_t>(j + 1), b[j]});
+      ++j;
+    }
+  }
+  for (; i < n; ++i)
+    diff.push_back({'-', static_cast<std::uint32_t>(i + 1), 0, a[i]});
+  for (; j < m; ++j)
+    diff.push_back({'+', 0, static_cast<std::uint32_t>(j + 1), b[j]});
+  return diff;
+}
+
+std::string renderDiff(const std::vector<DiffLine>& diff) {
+  std::string out;
+  for (const DiffLine& d : diff) {
+    out += d.op;
+    out += std::to_string(d.op == '-' ? d.oldLine : d.newLine);
+    out += ' ';
+    out += d.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cssame::repair

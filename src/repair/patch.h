@@ -1,0 +1,76 @@
+// Source-level patch model for the synchronization repair engine.
+//
+// Repair candidates are expressed as *line edits* against the original
+// source text — insert a line, replace a line, delete a line — rather
+// than as IR mutations that would have to be re-printed. Editing the
+// text keeps the user's file byte-for-byte intact everywhere the fix
+// does not touch (comments, spacing, layout), which is what makes the
+// returned line-level diff small and reviewable. The model never splits
+// a line: every edit operates on whole lines, so a structurally valid
+// insertion point can only produce parseable output or be rejected by
+// the verification contract (src/repair/verify.h) — malformed patches
+// are impossible to *return*, not merely unlikely.
+//
+// Line numbers are 1-based, matching SourceLoc. Edits are applied in one
+// bottom-up sweep so recorded line numbers always refer to the original
+// text; several inserts at the same anchor keep their recorded order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cssame::repair {
+
+enum class EditKind : std::uint8_t {
+  InsertBefore,  ///< new line placed above the anchor line
+  InsertAfter,   ///< new line placed below the anchor line
+  ReplaceLine,   ///< anchor line's text swapped (atomic upgrades)
+  DeleteLine,    ///< anchor line removed (redundant-fence removal)
+};
+
+struct LineEdit {
+  std::uint32_t line = 0;  ///< 1-based anchor in the *unedited* source
+  EditKind kind = EditKind::InsertBefore;
+  std::string text;  ///< new content (unused for DeleteLine)
+};
+
+/// Splits into lines without the terminators. A trailing newline does not
+/// produce an empty final element; a missing trailing newline keeps the
+/// last partial line.
+[[nodiscard]] std::vector<std::string> splitLines(const std::string& text);
+
+/// The leading whitespace of `line` (1-based) in `source`; empty when the
+/// line does not exist. Inserted statements copy the indentation of the
+/// statement they wrap so the patched file stays visually consistent.
+[[nodiscard]] std::string indentOf(const std::string& source,
+                                   std::uint32_t line);
+
+/// Applies the edits and returns the patched text. Anchors beyond the
+/// last line clamp to it. All anchors refer to the input `source`; the
+/// function orders the sweep internally, so callers can record edits in
+/// any order. Output always ends with exactly one trailing newline.
+[[nodiscard]] std::string applyEdits(const std::string& source,
+                                     std::vector<LineEdit> edits);
+
+/// One line of a structured diff between two texts.
+struct DiffLine {
+  char op = ' ';            ///< '+' added, '-' removed
+  std::uint32_t oldLine = 0;  ///< 1-based line in the old text ('-' ops)
+  std::uint32_t newLine = 0;  ///< 1-based line in the new text ('+' ops)
+  std::string text;
+};
+
+/// Minimal line diff (longest-common-subsequence) from `before` to
+/// `after`, deletions before insertions at each divergence point.
+/// Deterministic; for pathologically large inputs (beyond ~4M cell DP
+/// table) degrades to a full remove-all/add-all diff rather than
+/// allocating unbounded memory.
+[[nodiscard]] std::vector<DiffLine> diffLines(const std::string& before,
+                                              const std::string& after);
+
+/// Renders a diff as the fix report prints it: one line per entry,
+/// `-12 old text` / `+14 new text`.
+[[nodiscard]] std::string renderDiff(const std::vector<DiffLine>& diff);
+
+}  // namespace cssame::repair

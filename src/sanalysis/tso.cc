@@ -230,7 +230,8 @@ class Tso {
       report_.reorderedStores.insert(x);
       report_.overtakingLoads.insert(y);
       report_.witnesses.push_back(TsoWitness{x, y, store.node, n.id,
-                                             store.stmt->loc, loadStmt->loc});
+                                             store.stmt->loc, loadStmt->loc,
+                                             store.stmt, loadStmt});
 
       Diagnostic& d = diag_.warn(
           DiagCode::MutualExclusionNotJustifiedUnderTSO, loadStmt->loc,
@@ -277,6 +278,7 @@ class Tso {
       }
       if (ordersRacyStore) continue;
       ++report_.redundantFences;
+      report_.redundantFenceSites.push_back(locOf(n.syncStmt));
       diag_.warn(DiagCode::FenceRedundant, locOf(n.syncStmt),
                  in.empty()
                      ? "this fence has no buffered stores to order on any "

@@ -60,12 +60,20 @@ struct TsoWitness {
   NodeId loadNode;
   SourceLoc storeLoc;
   SourceLoc loadLoc;
+  /// The witness statements themselves (owned by the analyzed program).
+  /// The repair engine reads the store's rhs to synthesize an
+  /// atomic_store upgrade and the load's statement to anchor a fence.
+  const ir::Stmt* storeStmt = nullptr;
+  const ir::Stmt* loadStmt = nullptr;
 };
 
 struct TsoReport {
   std::size_t notJustified = 0;    ///< store/load pairs flagged
   std::size_t redundantFences = 0; ///< fences draining nothing racy
   std::vector<TsoWitness> witnesses;
+  /// Locations of the fences FenceRedundant flagged, in emission order —
+  /// the repair engine's deletion anchors.
+  std::vector<SourceLoc> redundantFenceSites;
   /// Variables appearing on either end of a flagged pair — the protocol
   /// variables whose plain-access justification TSO breaks.
   std::set<SymbolId> reorderedStores;

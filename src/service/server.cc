@@ -11,6 +11,7 @@
 #include "src/driver/runner.h"
 #include "src/interp/explore.h"
 #include "src/parser/parser.h"
+#include "src/repair/repair.h"
 #include "src/support/version.h"
 
 namespace cssame::service {
@@ -56,6 +57,25 @@ bool decodeOptions(const Json& options, driver::RunOptions& o,
     return false;
   }
   o.seed = static_cast<std::uint64_t>(options.getInt("seed", 1));
+  // The fix target mirrors the memory-model strictness: a present key
+  // must be a string naming a known target — an unknown target silently
+  // downgraded to "all" would cache a repair the client never asked for.
+  const Json& fixValue = options.get("fix");
+  if (!fixValue.isNull()) {
+    if (!fixValue.isString()) {
+      err = "option 'fix' must be a string fix target";
+      return false;
+    }
+    repair::FixTarget target;
+    if (!repair::parseFixTarget(fixValue.stringValue(), target)) {
+      err = "unknown fix target '" + fixValue.stringValue() +
+            "' (expected all, race, may-alias, tso, fence, or a "
+            "diagnostic code name)";
+      return false;
+    }
+    o.doFix = true;
+    o.fixTarget = repair::fixTargetName(target);
+  }
   // Mirror the CLI: --sarif/--json imply --csan.
   if (o.doSarif || o.doJson) o.doCsan = true;
   return true;
@@ -129,11 +149,19 @@ Json Server::statsJson() {
       .set("csan", counters_.methodCsan.value())
       .set("vrange", counters_.methodVrange.value())
       .set("explore", counters_.methodExplore.value())
+      .set("fix", counters_.methodFix.value())
       .set("stats", counters_.methodStats.value());
   Json dporJson = Json::object();
   dporJson.set("statesPruned", counters_.dporStatesPruned.value())
       .set("sleepSetHits", counters_.dporSleepHits.value())
       .set("depQueries", counters_.dporDepQueries.value());
+  Json repairJson = Json::object();
+  repairJson.set("targets", counters_.repairTargets.value())
+      .set("candidatesTried", counters_.repairTried.value())
+      .set("candidatesVerified", counters_.repairVerified.value())
+      .set("candidatesRejected", counters_.repairRejected.value())
+      .set("unverifiable", counters_.repairUnverifiable.value())
+      .set("freshLockFallbacks", counters_.repairFreshLocks.value());
   Json stats = Json::object();
   stats.set("version", support::versionString())
       .set("build", support::buildFingerprint())
@@ -144,6 +172,7 @@ Json Server::statsJson() {
       .set("workers", static_cast<std::int64_t>(pool_.workers()))
       .set("methods", std::move(methods))
       .set("dpor", std::move(dporJson))
+      .set("repair", std::move(repairJson))
       .set("cache", std::move(cacheJson));
   return stats;
 }
@@ -184,11 +213,11 @@ Json Server::runAnalysisMethod(const std::string& method,
     resultPayload = *cached;
   } else {
     // Read-only requests can reuse (and populate) the live-Compilation
-    // tier; --opt/--run mutate or execute the program and always take
-    // the self-contained path.
+    // tier; --opt/--run/--fix mutate, execute or repair the program and
+    // always take the self-contained path.
     driver::RunOutput out;
     bool produced = false;
-    if (!o.doOpt && !o.doRun) {
+    if (!o.doOpt && !o.doRun && !o.doFix) {
       support::Fingerprinter sfp;
       sfp.mixBytes(source);
       sfp.mix(o.cssame ? 1 : 0);
@@ -364,6 +393,141 @@ Json Server::runExplore(const Json& request) {
   return env;
 }
 
+Json Server::runFix(const Json& request) {
+  const Json& sourceValue = request.get("source");
+  if (!sourceValue.isString())
+    return errorEnvelope(request.get("id"), "invalid-request", "fix",
+                         "missing string field 'source'");
+  const std::string& source = sourceValue.stringValue();
+  const std::string fileName = request.getString("file", "<service>");
+
+  // Full option decoding (not just the fix key): the strict memoryModel
+  // and fix-target validation apply to this method too, and the decoded
+  // set feeds cacheKey() so a fix response's address reflects every
+  // option the client sent.
+  driver::RunOptions o;
+  if (std::string optErr;
+      !decodeOptions(request.get("options"), o, optErr))
+    return errorEnvelope(request.get("id"), "invalid-request", "fix",
+                         optErr);
+  o.doFix = true;  // the method implies it when options omit the key
+  repair::FixTarget target = repair::FixTarget::All;
+  (void)repair::parseFixTarget(o.fixTarget, target);
+
+  support::Fingerprinter fp;
+  fp.mixBytes(support::buildFingerprint());
+  fp.mixBytes("fix");
+  fp.mixBytes(o.cacheKey());
+  fp.mixBytes(fileName);
+  fp.mixBytes(source);
+  const support::Hash128 requestKey = fp.digest();
+
+  CacheTier tier = CacheTier::Miss;
+  std::shared_ptr<const std::string> cached =
+      cache_.lookupResponse(requestKey, tier);
+  std::string resultPayload;
+  if (cached) {
+    resultPayload = *cached;
+  } else {
+    cache_.counters().misses.inc();
+    repair::RepairResult res;
+    try {
+      res = repair::repairSource(source, target);
+    } catch (const std::exception& e) {
+      return errorEnvelope(request.get("id"), "internal", "fix", e.what());
+    }
+    if (res.status == repair::RepairStatus::Error)
+      return errorEnvelope(request.get("id"), "parse-error", "fix",
+                           res.error);
+    // Counters accumulate on genuine runs only — a cache hit repeats a
+    // result, not the work (same policy as the explore dpor counters).
+    counters_.repairTargets.inc(res.stats.targets);
+    counters_.repairTried.inc(res.stats.candidatesTried);
+    counters_.repairVerified.inc(res.stats.candidatesVerified);
+    counters_.repairRejected.inc(res.stats.candidatesRejected);
+    counters_.repairUnverifiable.inc(res.stats.unverifiable);
+    counters_.repairFreshLocks.inc(res.stats.freshLockFallbacks);
+
+    Json applied = Json::array();
+    for (const repair::AppliedFix& f : res.applied) {
+      Json one = Json::object();
+      one.set("target", f.target)
+          .set("candidate", f.candidate)
+          .set("candidateIndex",
+               static_cast<std::int64_t>(f.candidateIndex))
+          .set("candidateCount",
+               static_cast<std::int64_t>(f.candidateCount));
+      applied.push(std::move(one));
+    }
+    Json unfixed = Json::array();
+    for (const repair::UnfixedTarget& u : res.unfixed) {
+      Json one = Json::object();
+      one.set("target", u.target)
+          .set("reason", u.reason)
+          .set("candidatesTried",
+               static_cast<std::int64_t>(u.candidatesTried));
+      unfixed.push(std::move(one));
+    }
+    Json diff = Json::array();
+    for (const repair::DiffLine& d : res.diff) {
+      Json one = Json::object();
+      one.set("op", std::string(1, d.op))
+          .set("line", static_cast<std::int64_t>(d.op == '-' ? d.oldLine
+                                                             : d.newLine))
+          .set("text", d.text);
+      diff.push(std::move(one));
+    }
+    Json stats = Json::object();
+    stats.set("targets", static_cast<std::int64_t>(res.stats.targets))
+        .set("candidatesTried",
+             static_cast<std::int64_t>(res.stats.candidatesTried))
+        .set("candidatesVerified",
+             static_cast<std::int64_t>(res.stats.candidatesVerified))
+        .set("candidatesRejected",
+             static_cast<std::int64_t>(res.stats.candidatesRejected))
+        .set("unverifiable",
+             static_cast<std::int64_t>(res.stats.unverifiable))
+        .set("freshLockFallbacks",
+             static_cast<std::int64_t>(res.stats.freshLockFallbacks))
+        .set("iterations",
+             static_cast<std::int64_t>(res.stats.iterations));
+    const bool failed = res.status == repair::RepairStatus::Partial ||
+                        res.status == repair::RepairStatus::NoSafeFix;
+    Json result = Json::object();
+    result.set("status", repair::repairStatusName(res.status))
+        .set("applied", std::move(applied))
+        .set("unfixed", std::move(unfixed))
+        .set("patchedSource", res.patchedSource)
+        .set("diff", std::move(diff))
+        .set("raceFree", res.finalRaceFree)
+        .set("deadlockFree", res.finalDeadlockFree)
+        .set("exploreComplete", res.finalExploreComplete)
+        .set("tsoChecked", res.finalTsoChecked)
+        .set("tsoJustified", res.finalTsoJustified)
+        // The exact bytes `cssamec --fix` prints for this source, so
+        // clients can render the human report without re-deriving it.
+        .set("report", repair::renderFixReport(res, target))
+        .set("stats", std::move(stats))
+        .set("code", failed ? 1 : 0);
+    resultPayload = result.write();
+    cache_.storeResponse(requestKey,
+                         std::make_shared<const std::string>(resultPayload));
+  }
+
+  Expected<Json> result = parseJson(resultPayload);
+  if (!result)
+    return errorEnvelope(request.get("id"), "internal", "fix",
+                         "cached result payload unreadable: " +
+                             result.fault().message);
+  Json env = Json::object();
+  env.set("id", request.get("id"))
+      .set("ok", true)
+      .set("method", "fix")
+      .set("cached", cacheTierName(tier))
+      .set("result", std::move(*result));
+  return env;
+}
+
 Json Server::handleRequest(const Json& request) {
   if (!request.isObject())
     return errorEnvelope(Json(), "invalid-request", "router",
@@ -379,6 +543,10 @@ Json Server::handleRequest(const Json& request) {
   if (method == "explore") {
     counters_.methodExplore.inc();
     return runExplore(request);
+  }
+  if (method == "fix") {
+    counters_.methodFix.inc();
+    return runFix(request);
   }
   if (method == "stats") {
     counters_.methodStats.inc();

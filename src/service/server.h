@@ -56,7 +56,17 @@ struct ServiceCounters {
   support::Counter methodCsan;       ///< csan requests routed
   support::Counter methodVrange;     ///< vrange requests routed
   support::Counter methodExplore;    ///< explore requests routed
+  support::Counter methodFix;        ///< fix requests routed
   support::Counter methodStats;      ///< stats requests routed
+  /// Repair-engine totals summed over every uncached fix request — the
+  /// `repair.*` family in the stats JSON, aggregated across the fleet
+  /// like the per-method counters (docs/ANALYSIS.md, docs/REPAIR.md).
+  support::Counter repairTargets;        ///< repair targets attempted
+  support::Counter repairTried;          ///< candidates generated & tried
+  support::Counter repairVerified;       ///< candidates accepted
+  support::Counter repairRejected;       ///< candidates failing the contract
+  support::Counter repairUnverifiable;   ///< of rejected: budget tripped
+  support::Counter repairFreshLocks;     ///< fixes declaring a fresh lock
   /// Partial-order-reduction totals summed over every explore request
   /// (zero contributions when a request sets dpor:false). The gateway
   /// aggregates these like the per-method counters: together with
@@ -116,6 +126,12 @@ class Server {
   [[nodiscard]] Json runAnalysisMethod(const std::string& method,
                                        const Json& request);
   [[nodiscard]] Json runExplore(const Json& request);
+  /// The first *write* method: runs the synchronization repair engine
+  /// and returns the verified patched source, line diff and per-target
+  /// outcomes (docs/SERVICE.md). Cached under cacheKey v5 like any
+  /// analysis response — the doFix bit and fix target in the key keep
+  /// fix responses from ever colliding with read-method responses.
+  [[nodiscard]] Json runFix(const Json& request);
 
   ServerOptions opts_;
   support::ThreadPool pool_;

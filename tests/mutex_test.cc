@@ -78,11 +78,15 @@ TEST(MutexBodies, SequentialBodiesSameLock) {
   )");
   driver::Compilation c = compile(p);
   // Candidates: (l1,u1),(l1,u2),(l2,u2) by dominance; (l1,u2) is
-  // ill-formed (contains u1 and l2). Two well-formed bodies remain.
+  // ill-formed (contains u1 and l2). Two well-formed bodies remain —
+  // and because every delimiter still bounds a real body, the discarded
+  // cross pair is structure noise, not a warning: sequential regions of
+  // the same lock are a perfectly healthy shape (and the one every
+  // wrap-with-lock repair produces).
   std::size_t wellFormed = 0;
   for (const MutexBody& b : c.mutexes().bodies()) wellFormed += b.wellFormed;
   EXPECT_EQ(wellFormed, 2u);
-  EXPECT_GE(c.diag().countOf(DiagCode::IllFormedMutexBody), 1u);
+  EXPECT_EQ(c.diag().countOf(DiagCode::IllFormedMutexBody), 0u);
   // All lock/unlock nodes participate in SOME well-formed body: no
   // unmatched warnings.
   EXPECT_EQ(c.diag().countOf(DiagCode::UnmatchedLock), 0u);

@@ -1,0 +1,600 @@
+// The synchronization repair engine: the line-edit patch model, the
+// candidate lattice, and — the heart of the subsystem — the
+// repair-then-verify contract (src/repair/verify.h): every fix the
+// engine returns has already survived a full re-analysis (the target
+// diagnostic is gone, nothing new appeared) and a full re-exploration
+// (no race on the repaired variable, no deadlock, no behavior the
+// original program could not produce). The sweep here re-checks those
+// facts *independently* — it re-runs the analyses on the returned
+// patched source rather than trusting the engine's own verdict — over
+// hand litmus programs, the generated workload corpus, and a
+// fault-injection round-trip (delete the locks from a correct program,
+// repair it, confirm the explorer finds it race-free again).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/driver/pipeline.h"
+#include "src/driver/runner.h"
+#include "src/interp/explore.h"
+#include "src/ir/printer.h"
+#include "src/parser/parser.h"
+#include "src/repair/patch.h"
+#include "src/repair/repair.h"
+#include "src/sanalysis/csan.h"
+#include "src/sanalysis/tso.h"
+#include "src/workload/generator.h"
+
+namespace cssame::repair {
+namespace {
+
+// --- patch model -----------------------------------------------------
+
+TEST(Patch, SplitLinesHandlesTerminators) {
+  EXPECT_EQ(splitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(splitLines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(splitLines("").empty());
+}
+
+TEST(Patch, IndentOfCopiesLeadingWhitespace) {
+  const std::string src = "a;\n    b;\n\tc;\n";
+  EXPECT_EQ(indentOf(src, 1), "");
+  EXPECT_EQ(indentOf(src, 2), "    ");
+  EXPECT_EQ(indentOf(src, 3), "\t");
+  EXPECT_EQ(indentOf(src, 99), "");  // nonexistent line
+}
+
+TEST(Patch, ApplyEditsSweepsBottomUp) {
+  // Anchors all refer to the ORIGINAL text regardless of edit order.
+  const std::string src = "one\ntwo\nthree\n";
+  std::vector<LineEdit> edits;
+  edits.push_back({3, EditKind::InsertAfter, "after-three"});
+  edits.push_back({1, EditKind::InsertBefore, "before-one"});
+  edits.push_back({2, EditKind::ReplaceLine, "TWO"});
+  EXPECT_EQ(applyEdits(src, edits),
+            "before-one\none\nTWO\nthree\nafter-three\n");
+}
+
+TEST(Patch, ApplyEditsSameAnchorKeepsRecordedOrder) {
+  const std::string src = "x\n";
+  std::vector<LineEdit> edits;
+  edits.push_back({1, EditKind::InsertBefore, "first"});
+  edits.push_back({1, EditKind::InsertBefore, "second"});
+  EXPECT_EQ(applyEdits(src, edits), "first\nsecond\nx\n");
+}
+
+TEST(Patch, ApplyEditsDeleteAndClamp) {
+  const std::string src = "a\nb\n";
+  std::vector<LineEdit> del;
+  del.push_back({2, EditKind::DeleteLine, ""});
+  EXPECT_EQ(applyEdits(src, del), "a\n");
+  std::vector<LineEdit> far;
+  far.push_back({50, EditKind::InsertAfter, "tail"});  // clamps to last
+  EXPECT_EQ(applyEdits(src, far), "a\nb\ntail\n");
+}
+
+TEST(Patch, DiffLinesIsMinimalAndOrdered) {
+  const std::vector<DiffLine> d = diffLines("a\nb\nc\n", "a\nX\nc\nd\n");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].op, '-');
+  EXPECT_EQ(d[0].oldLine, 2u);
+  EXPECT_EQ(d[0].text, "b");
+  EXPECT_EQ(d[1].op, '+');
+  EXPECT_EQ(d[1].newLine, 2u);
+  EXPECT_EQ(d[1].text, "X");
+  EXPECT_EQ(d[2].op, '+');
+  EXPECT_EQ(d[2].newLine, 4u);
+  EXPECT_EQ(d[2].text, "d");
+  EXPECT_TRUE(diffLines("same\n", "same\n").empty());
+}
+
+TEST(Patch, DiffRoundTripsThroughApplyEdits) {
+  // A diff of source -> applyEdits(source, e) mentions exactly the
+  // inserted lines when the edits only insert.
+  const std::string src = "int x;\ncobegin {\n  thread A { x = 1; }\n}\n";
+  std::vector<LineEdit> edits;
+  edits.push_back({3, EditKind::InsertBefore, "  // guard"});
+  const std::string patched = applyEdits(src, edits);
+  const std::vector<DiffLine> d = diffLines(src, patched);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].op, '+');
+  EXPECT_EQ(d[0].text, "  // guard");
+}
+
+// --- target parsing --------------------------------------------------
+
+TEST(FixTargetParsing, AcceptsShortAndDiagCodeNames) {
+  FixTarget t = FixTarget::All;
+  EXPECT_TRUE(parseFixTarget("all", t));
+  EXPECT_EQ(t, FixTarget::All);
+  EXPECT_TRUE(parseFixTarget("race", t));
+  EXPECT_EQ(t, FixTarget::Race);
+  EXPECT_TRUE(parseFixTarget("PotentialDataRace", t));
+  EXPECT_EQ(t, FixTarget::Race);
+  EXPECT_TRUE(parseFixTarget("may-alias", t));
+  EXPECT_EQ(t, FixTarget::MayAlias);
+  EXPECT_TRUE(parseFixTarget("MayAliasRace", t));
+  EXPECT_EQ(t, FixTarget::MayAlias);
+  EXPECT_TRUE(parseFixTarget("tso", t));
+  EXPECT_EQ(t, FixTarget::Tso);
+  EXPECT_TRUE(parseFixTarget("MutualExclusionNotJustifiedUnderTSO", t));
+  EXPECT_EQ(t, FixTarget::Tso);
+  EXPECT_TRUE(parseFixTarget("fence", t));
+  EXPECT_EQ(t, FixTarget::Fence);
+  EXPECT_TRUE(parseFixTarget("FenceRedundant", t));
+  EXPECT_EQ(t, FixTarget::Fence);
+}
+
+TEST(FixTargetParsing, RejectsUnknownNames) {
+  FixTarget t = FixTarget::All;
+  EXPECT_FALSE(parseFixTarget("", t));
+  EXPECT_FALSE(parseFixTarget("races", t));
+  EXPECT_FALSE(parseFixTarget("ALL", t));
+  EXPECT_FALSE(parseFixTarget("deadlock", t));
+  EXPECT_FALSE(parseFixTarget("potential-data-race", t));  // kebab != code
+}
+
+// --- independent re-verification helpers -----------------------------
+
+/// Analyzes `source` and returns the rendered csan+tso diagnostics plus
+/// the count of errors/warnings per code — a from-scratch check that
+/// does NOT reuse anything the repair engine computed.
+struct Recheck {
+  bool ok = false;
+  std::size_t races = 0;       // PotentialDataRace + MayAliasRace
+  std::size_t tso = 0;         // MutualExclusionNotJustifiedUnderTSO
+  std::size_t fenceLints = 0;  // FenceRedundant
+  std::size_t lockLints = 0;   // Overwide/Redundant mutex lints
+  std::set<std::string> raced;  // explorer (SC) raced variable names
+  bool deadlock = false;
+  bool complete = false;
+  std::set<std::string> outputs;
+};
+
+Recheck recheck(const std::string& source) {
+  Recheck r;
+  parser::ParseResult pr = parser::parseChecked(source);
+  if (!pr.ok()) return r;
+  driver::Compilation comp = driver::analyze(pr.program);
+  DiagEngine tool;
+  (void)sanalysis::runCsan(comp, tool);
+  (void)sanalysis::runTso(comp, tool);
+  const auto count = [&](DiagCode code) {
+    std::size_t n = 0;
+    for (const Diagnostic& d : comp.diag().diagnostics())
+      if (d.code == code) ++n;
+    for (const Diagnostic& d : tool.diagnostics())
+      if (d.code == code) ++n;
+    return n;
+  };
+  r.races = count(DiagCode::PotentialDataRace) + count(DiagCode::MayAliasRace);
+  r.tso = count(DiagCode::MutualExclusionNotJustifiedUnderTSO);
+  r.fenceLints = count(DiagCode::FenceRedundant);
+  r.lockLints = count(DiagCode::OverwideMutexBody) +
+                count(DiagCode::RedundantMutexBody);
+  interp::ExploreOptions eo;
+  eo.maxSteps = 1u << 18;
+  eo.maxStates = 1u << 16;
+  eo.detectRaces = true;
+  eo.dpor = true;
+  const interp::ExploreResult ex = interp::exploreAllSchedules(pr.program, eo);
+  for (SymbolId v : ex.racedVars) r.raced.insert(pr.program.symbols.nameOf(v));
+  r.deadlock = ex.anyDeadlock || ex.anyLockError;
+  r.complete = ex.complete;
+  for (const auto& seq : ex.outputs) {
+    std::string joined;
+    for (const auto& v : seq) joined += std::to_string(v) + "\n";
+    r.outputs.insert(joined);
+  }
+  r.ok = true;
+  return r;
+}
+
+// --- hand litmus: repair-then-verify ---------------------------------
+
+TEST(Repair, ExtendsExistingLockProtocol) {
+  const std::string src = R"(int n;
+lock L;
+cobegin {
+  thread A {
+    lock(L);
+    n = n + 1;
+    unlock(L);
+  }
+  thread B {
+    n = n + 1;
+  }
+}
+print(n);
+)";
+  const RepairResult r = repairSource(src, FixTarget::All);
+  ASSERT_EQ(r.status, RepairStatus::Fixed) << renderFixReport(r, FixTarget::All);
+  ASSERT_EQ(r.applied.size(), 1u);
+  // The winning candidate reuses L, not a fresh lock.
+  EXPECT_NE(r.applied[0].candidate.find("existing lock 'L'"), std::string::npos)
+      << r.applied[0].candidate;
+  EXPECT_EQ(r.stats.freshLockFallbacks, 0u);
+  EXPECT_TRUE(r.finalRaceFree);
+  EXPECT_TRUE(r.finalDeadlockFree);
+
+  // Independent re-verification of the returned source.
+  const Recheck after = recheck(r.patchedSource);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.races, 0u);
+  EXPECT_EQ(after.lockLints, 0u);  // minimality: no overwide/redundant lint
+  EXPECT_TRUE(after.raced.empty());
+  EXPECT_FALSE(after.deadlock);
+  // The fix may only remove interleavings: the patched outputs must be a
+  // subset of the original's.
+  const Recheck before = recheck(src);
+  for (const std::string& o : after.outputs)
+    EXPECT_TRUE(before.outputs.count(o)) << "new output: " << o;
+}
+
+TEST(Repair, FallsBackToFreshLock) {
+  const std::string src = R"(int total;
+cobegin {
+  thread A {
+    total = total + 2;
+  }
+  thread B {
+    total = total + 3;
+  }
+}
+print(total);
+)";
+  const RepairResult r = repairSource(src, FixTarget::All);
+  ASSERT_EQ(r.status, RepairStatus::Fixed) << renderFixReport(r, FixTarget::All);
+  EXPECT_EQ(r.stats.freshLockFallbacks, 1u);
+  EXPECT_NE(r.patchedSource.find("lock __fix0;"), std::string::npos);
+  const Recheck after = recheck(r.patchedSource);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.races, 0u);
+  EXPECT_EQ(after.lockLints, 0u);
+  EXPECT_TRUE(after.raced.empty());
+  EXPECT_FALSE(after.deadlock);
+  // Both orders still reachable; the sum is always 5.
+  EXPECT_EQ(after.outputs.size(), 1u);
+  EXPECT_TRUE(after.outputs.count("5\n"));
+}
+
+TEST(Repair, ReportsNoSafeFixForLoopConditionAccess) {
+  // The consumer's access is the while condition: not a wrappable
+  // single-line statement, so the lattice is empty and the engine must
+  // answer "no safe fix" instead of guessing.
+  const std::string src = R"(int flag;
+cobegin {
+  thread P {
+    flag = 1;
+  }
+  thread C {
+    while (flag == 0) { }
+  }
+}
+print(flag);
+)";
+  const RepairResult r = repairSource(src, FixTarget::All);
+  EXPECT_EQ(r.status, RepairStatus::NoSafeFix);
+  EXPECT_TRUE(r.applied.empty());
+  ASSERT_EQ(r.unfixed.size(), 1u);
+  EXPECT_EQ(r.unfixed[0].candidatesTried, 0u);
+  // The source comes back untouched.
+  EXPECT_EQ(r.patchedSource, src);
+  EXPECT_TRUE(r.diff.empty());
+}
+
+TEST(Repair, PartialWhenOnlySomeTargetsAreFixable) {
+  const std::string src = R"(int data, flag;
+cobegin {
+  thread P {
+    data = 42;
+    flag = 1;
+  }
+  thread C {
+    while (flag == 0) { }
+    print(data);
+  }
+}
+)";
+  const RepairResult r = repairSource(src, FixTarget::All);
+  EXPECT_EQ(r.status, RepairStatus::Partial);
+  EXPECT_EQ(r.applied.size(), 1u);
+  EXPECT_EQ(r.unfixed.size(), 1u);
+  // The fixable race (data) is gone from the patched program; the
+  // handshake race (flag) remains.
+  const Recheck after = recheck(r.patchedSource);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.raced.count("data"), 0u);
+  EXPECT_EQ(after.raced.count("flag"), 1u);
+}
+
+TEST(Repair, CleanProgramNeedsNothing) {
+  const std::string src = R"(int n;
+lock L;
+cobegin {
+  thread A {
+    lock(L);
+    n = n + 1;
+    unlock(L);
+  }
+  thread B {
+    lock(L);
+    n = n + 2;
+    unlock(L);
+  }
+}
+print(n);
+)";
+  const RepairResult r = repairSource(src, FixTarget::All);
+  EXPECT_EQ(r.status, RepairStatus::Clean);
+  EXPECT_TRUE(r.applied.empty());
+  EXPECT_TRUE(r.unfixed.empty());
+  EXPECT_EQ(r.patchedSource, src);
+  EXPECT_EQ(r.stats.candidatesTried, 0u);
+}
+
+TEST(Repair, ParseErrorYieldsErrorStatus) {
+  const RepairResult r = repairSource("int x; cobegin {", FixTarget::All);
+  EXPECT_EQ(r.status, RepairStatus::Error);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Repair, TargetFilterRestrictsTheSweep) {
+  // A program with both a race and TSO witnesses: --fix=tso must leave
+  // the race alone.
+  const std::string src = R"(int a, b, data;
+cobegin {
+  thread T0 {
+    a = 1;
+    while (b == 1) { }
+    data = data + 1;
+  }
+  thread T1 {
+    b = 1;
+    while (a == 1) { }
+    data = data + 1;
+  }
+}
+print(data);
+)";
+  const RepairResult r = repairSource(src, FixTarget::Tso);
+  for (const AppliedFix& f : r.applied)
+    EXPECT_NE(f.target.find("mutual-exclusion-not-justified-under-tso"),
+              std::string::npos)
+        << f.target;
+  // The data race survives untouched under the tso filter.
+  if (!r.applied.empty()) {
+    const Recheck after = recheck(r.patchedSource);
+    ASSERT_TRUE(after.ok);
+    EXPECT_GT(after.races, 0u);
+  }
+}
+
+// --- weak memory: multi-fence convergence and fence removal ----------
+
+TEST(Repair, PetersonConvergesToFencedVariant) {
+  // Peterson needs one fence per thread: no single candidate restores
+  // TSO soundness, so this exercises the iterative monotone-progress
+  // loop end to end. The final program must be statically quiet and
+  // dynamically TSO-equivalent to SC.
+  const std::string src = R"(int flag0, flag1, turn, data;
+cobegin {
+  thread T0 {
+    flag0 = 1;
+    turn = 1;
+    while (flag1 == 1 && turn == 1) { }
+    data = data + 1;
+    flag0 = 0;
+  }
+  thread T1 {
+    flag1 = 1;
+    turn = 0;
+    while (flag0 == 1 && turn == 0) { }
+    data = data + 1;
+    flag1 = 0;
+  }
+}
+print(data);
+)";
+  const RepairResult r = repairSource(src, FixTarget::Tso);
+  ASSERT_EQ(r.status, RepairStatus::Fixed) << renderFixReport(r, FixTarget::Tso);
+  EXPECT_GE(r.applied.size(), 2u);  // at least one fence per thread
+  EXPECT_TRUE(r.finalTsoChecked);
+  EXPECT_TRUE(r.finalTsoJustified);
+  const Recheck after = recheck(r.patchedSource);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.tso, 0u);
+  EXPECT_EQ(after.fenceLints, 0u);  // minimality: no redundant fence added
+}
+
+TEST(Repair, RemovesRedundantFence) {
+  const std::string src = R"(int x, y;
+lock L;
+cobegin {
+  thread A {
+    fence;
+    lock(L);
+    x = 1;
+    unlock(L);
+  }
+  thread B {
+    lock(L);
+    y = x;
+    unlock(L);
+  }
+}
+print(y);
+)";
+  const RepairResult r = repairSource(src, FixTarget::Fence);
+  ASSERT_EQ(r.status, RepairStatus::Fixed)
+      << renderFixReport(r, FixTarget::Fence);
+  ASSERT_EQ(r.diff.size(), 1u);
+  EXPECT_EQ(r.diff[0].op, '-');
+  EXPECT_EQ(r.patchedSource.find("fence;"), std::string::npos);
+  const Recheck after = recheck(r.patchedSource);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.fenceLints, 0u);
+  // Removal is behavior-preserving: same outputs as the original.
+  const Recheck before = recheck(src);
+  EXPECT_EQ(after.outputs, before.outputs);
+}
+
+// --- generated corpus sweep ------------------------------------------
+
+TEST(Repair, GeneratedCorpusEveryReturnedFixReverifies) {
+  int fixed = 0, partial = 0, clean = 0, nofix = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    workload::GeneratorConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = 2;
+    cfg.sharedVars = 2 + static_cast<int>(seed % 2);
+    cfg.locks = 1;
+    cfg.stmtsPerThread = 3;
+    cfg.maxDepth = 0;
+    cfg.branchProb = 0.0;
+    cfg.loopProb = 0.0;
+    // Mostly-unlocked shared accesses: a racy corpus by construction.
+    cfg.lockedFraction = seed % 3 == 0 ? 0.5 : 0.0;
+    cfg.determinate = false;
+    ir::Program p = workload::generateRandom(cfg);
+    const std::string src = ir::printProgram(p);
+
+    RepairLimits limits;
+    limits.maxIterations = 8;
+    const RepairResult r = repairSource(src, FixTarget::All, limits);
+    ASSERT_NE(r.status, RepairStatus::Error)
+        << "seed " << seed << ": " << r.error << "\n" << src;
+    switch (r.status) {
+      case RepairStatus::Fixed: ++fixed; break;
+      case RepairStatus::Partial: ++partial; break;
+      case RepairStatus::Clean: ++clean; break;
+      default: ++nofix; break;
+    }
+    if (r.applied.empty()) continue;
+
+    // Independent re-verification of every returned patch: races the
+    // engine claims fixed must be gone, nothing new may appear, and the
+    // explorer must agree with the engine's own final verdict.
+    const Recheck before = recheck(src);
+    const Recheck after = recheck(r.patchedSource);
+    ASSERT_TRUE(after.ok) << "seed " << seed;
+    bool fixedARace = false;
+    for (const AppliedFix& f : r.applied)
+      if (f.target.find("-race]") != std::string::npos) fixedARace = true;
+    if (fixedARace) {
+      EXPECT_LT(after.races, before.races) << "seed " << seed;
+    } else {
+      EXPECT_LE(after.races, before.races) << "seed " << seed;
+    }
+    EXPECT_LE(after.lockLints, before.lockLints) << "seed " << seed;
+    EXPECT_FALSE(after.deadlock) << "seed " << seed;
+    if (before.complete && after.complete) {
+      for (const std::string& o : after.outputs)
+        EXPECT_TRUE(before.outputs.count(o))
+            << "seed " << seed << " new output: " << o;
+      if (r.status == RepairStatus::Fixed) {
+        EXPECT_TRUE(after.raced.empty())
+            << "seed " << seed << " still races after Fixed verdict";
+      }
+    }
+  }
+  // The corpus must actually exercise the engine, not degenerate into
+  // all-clean or all-unfixable.
+  EXPECT_GT(fixed + partial, 0);
+}
+
+// --- fault-injection round-trip --------------------------------------
+
+TEST(Repair, RestoresDeletedLockProtection) {
+  // Start from a correct locked program, textually delete the lock and
+  // unlock statements (the "fault"), repair, and confirm the explorer
+  // finds the result race-free again — the round trip that shows repair
+  // undoes exactly the class of damage the mutation introduced.
+  const std::string correct = R"(int n;
+lock L;
+cobegin {
+  thread A {
+    lock(L);
+    n = n + 1;
+    unlock(L);
+  }
+  thread B {
+    lock(L);
+    n = n + 2;
+    unlock(L);
+  }
+}
+print(n);
+)";
+  const Recheck healthy = recheck(correct);
+  ASSERT_TRUE(healthy.ok);
+  ASSERT_TRUE(healthy.raced.empty());
+
+  // Delete thread B's lock/unlock lines — a lost-protection fault.
+  std::vector<LineEdit> fault;
+  fault.push_back({10, EditKind::DeleteLine, ""});
+  fault.push_back({12, EditKind::DeleteLine, ""});
+  const std::string broken = applyEdits(correct, fault);
+  ASSERT_EQ(broken.find("unlock(L);", broken.find("thread B")),
+            std::string::npos)
+      << "fault injection failed to delete B's unlock:\n" << broken;
+  const Recheck sick = recheck(broken);
+  ASSERT_TRUE(sick.ok);
+  ASSERT_EQ(sick.raced.count("n"), 1u) << "fault did not introduce a race";
+
+  const RepairResult r = repairSource(broken, FixTarget::All);
+  ASSERT_EQ(r.status, RepairStatus::Fixed) << renderFixReport(r, FixTarget::All);
+  const Recheck repaired = recheck(r.patchedSource);
+  ASSERT_TRUE(repaired.ok);
+  EXPECT_TRUE(repaired.raced.empty());
+  EXPECT_EQ(repaired.races, 0u);
+  EXPECT_FALSE(repaired.deadlock);
+  // Same single output as the healthy original: the protocol is back.
+  EXPECT_EQ(repaired.outputs, healthy.outputs);
+}
+
+// --- driver integration ----------------------------------------------
+
+TEST(Repair, RunSourceWiresFixIntoTheSharedDriver) {
+  driver::RunOptions o;
+  o.doFix = true;
+  o.fixTarget = "all";
+  o.doStats = true;
+  const driver::RunOutput out = driver::runSource(
+      "int t;\ncobegin {\n  thread A {\n    t = 1;\n  }\n  thread B {\n"
+      "    t = 2;\n  }\n}\n",
+      "fix.cp", o);
+  EXPECT_EQ(out.code, 0) << out.err;
+  EXPECT_NE(out.out.find("fix: status: fixed"), std::string::npos) << out.out;
+  EXPECT_NE(out.out.find("fix: patched program:"), std::string::npos);
+  EXPECT_NE(out.out.find("repair:"), std::string::npos);  // --stats line
+}
+
+TEST(Repair, RunSourceNoSafeFixExitsNonzero) {
+  driver::RunOptions o;
+  o.doFix = true;
+  const driver::RunOutput out = driver::runSource(
+      "int f;\ncobegin {\n  thread P { f = 1; }\n  thread C { while (f == 0) "
+      "{ } }\n}\n",
+      "nofix.cp", o);
+  EXPECT_EQ(out.code, 1);
+  EXPECT_NE(out.out.find("fix: status: no-safe-fix"), std::string::npos)
+      << out.out;
+}
+
+TEST(Repair, CacheKeySeparatesFixRuns) {
+  driver::RunOptions a, b;
+  a.doFix = false;
+  b.doFix = true;
+  EXPECT_NE(a.cacheKey(), b.cacheKey());
+  driver::RunOptions c = b;
+  c.fixTarget = "race";
+  EXPECT_NE(b.cacheKey(), c.cacheKey());
+  // v5 keys: a fix run can never collide with any v4-era read key.
+  EXPECT_EQ(a.cacheKey().rfind("v5:", 0), 0u) << a.cacheKey();
+}
+
+}  // namespace
+}  // namespace cssame::repair

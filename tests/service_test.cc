@@ -712,6 +712,128 @@ TEST(ServiceServer, ExploreReturnsOutputsAndCaches) {
   EXPECT_EQ(warm.get("result").write(), result.write());
 }
 
+// A racy program whose statements sit on their own lines, so the repair
+// engine's wrap candidates apply (kRacySource's one-line thread bodies
+// share their line with the thread header and are deliberately
+// unfixable).
+constexpr const char* kFixableSource = R"(int a;
+cobegin {
+  thread T0 {
+    a = a + 1;
+  }
+  thread T1 {
+    a = a + 2;
+  }
+}
+print(a);
+)";
+
+TEST(ServiceServer, FixRepairsVerifiesAndCaches) {
+  service::Server server({});
+  service::Json resp =
+      parseOk(server.handlePayload(makeRequest("fix", kFixableSource)));
+  ASSERT_TRUE(resp.getBool("ok", false)) << resp.write();
+  EXPECT_EQ(resp.getString("method", "?"), "fix");
+  const service::Json& result = resp.get("result");
+  EXPECT_EQ(result.getString("status", "?"), "fixed");
+  EXPECT_EQ(result.getInt("code", -1), 0);
+  EXPECT_TRUE(result.getBool("raceFree", false));
+  EXPECT_TRUE(result.getBool("deadlockFree", false));
+  EXPECT_EQ(result.get("applied").items().size(), 1u);
+  EXPECT_TRUE(result.get("unfixed").items().empty());
+  // The patched source is real program text with the new protection.
+  const std::string patched = result.getString("patchedSource", "");
+  EXPECT_NE(patched.find("lock __fix0;"), std::string::npos) << patched;
+  EXPECT_FALSE(result.get("diff").items().empty());
+  // The embedded report is the exact bytes `cssamec --fix` prints.
+  driver::RunOptions o;
+  o.doFix = true;
+  const driver::RunOutput standalone =
+      driver::runSource(kFixableSource, "test.cp", o);
+  EXPECT_EQ(result.getString("report", "?"), standalone.out);
+
+  // Warm path: byte-identical response from the memory tier.
+  service::Json warm =
+      parseOk(server.handlePayload(makeRequest("fix", kFixableSource)));
+  EXPECT_EQ(warm.getString("cached", "?"), "memory");
+  EXPECT_EQ(warm.get("result").write(), result.write());
+
+  // The repair.* counter family reached the stats JSON (and was not
+  // double-counted by the cache hit).
+  service::Json stats =
+      parseOk(server.handlePayload(R"({"id":9,"method":"stats"})"));
+  const service::Json& s = stats.get("result");
+  EXPECT_EQ(s.get("methods").getInt("fix", -1), 2);
+  EXPECT_EQ(s.get("repair").getInt("targets", -1), 1);
+  EXPECT_EQ(s.get("repair").getInt("candidatesVerified", -1), 1);
+  EXPECT_GE(s.get("repair").getInt("candidatesTried", -1), 1);
+}
+
+TEST(ServiceServer, FixNoSafeFixIsAnOkEnvelopeWithExitCode) {
+  service::Server server({});
+  service::Json resp =
+      parseOk(server.handlePayload(makeRequest("fix", kRacySource)));
+  ASSERT_TRUE(resp.getBool("ok", false)) << resp.write();
+  const service::Json& result = resp.get("result");
+  EXPECT_EQ(result.getString("status", "?"), "no-safe-fix");
+  EXPECT_EQ(result.getInt("code", -1), 1);
+  EXPECT_TRUE(result.get("applied").items().empty());
+  EXPECT_FALSE(result.get("unfixed").items().empty());
+}
+
+TEST(ServiceServer, FixValidatesParamsLikeMemoryModel) {
+  service::Server server({});
+  // Non-string fix option.
+  service::Json bad = service::Json::object().set("fix", 7);
+  service::Json resp = parseOk(
+      server.handlePayload(makeRequest("fix", kFixableSource, bad)));
+  EXPECT_FALSE(resp.getBool("ok", true));
+  EXPECT_EQ(resp.get("error").getString("kind", "?"), "invalid-request");
+  // Unknown fix target, same error contract as a bad memoryModel.
+  service::Json bogus = service::Json::object().set("fix", "everything");
+  resp = parseOk(
+      server.handlePayload(makeRequest("fix", kFixableSource, bogus)));
+  EXPECT_FALSE(resp.getBool("ok", true));
+  EXPECT_EQ(resp.get("error").getString("kind", "?"), "invalid-request");
+  EXPECT_NE(resp.get("error").getString("message", "").find(
+                "unknown fix target"),
+            std::string::npos)
+      << resp.write();
+  // The same validation guards the analysis methods' options too.
+  resp = parseOk(
+      server.handlePayload(makeRequest("csan", kFixableSource, bogus)));
+  EXPECT_FALSE(resp.getBool("ok", true));
+  EXPECT_EQ(resp.get("error").getString("kind", "?"), "invalid-request");
+}
+
+TEST(ServiceCache, FixKeysDivergeFromReadMethods) {
+  // A fix response must never be served to a csan request (or any other
+  // read method) for the same source: doFix and the fix target are part
+  // of cacheKey() — v5 keys — so the request fingerprints differ.
+  driver::RunOptions read, fix;
+  fix.doFix = true;
+  EXPECT_NE(read.cacheKey(), fix.cacheKey());
+  driver::RunOptions fixRace = fix;
+  fixRace.fixTarget = "race";
+  EXPECT_NE(fix.cacheKey(), fixRace.cacheKey());
+
+  service::Server server({});
+  service::Json first =
+      parseOk(server.handlePayload(makeRequest("csan", kFixableSource)));
+  service::Json second =
+      parseOk(server.handlePayload(makeRequest("fix", kFixableSource)));
+  service::Json third = parseOk(server.handlePayload(makeRequest(
+      "fix", kFixableSource, service::Json::object().set("fix", "race"))));
+  ASSERT_TRUE(first.getBool("ok", false));
+  ASSERT_TRUE(second.getBool("ok", false));
+  ASSERT_TRUE(third.getBool("ok", false));
+  EXPECT_EQ(first.getString("cached", "?"), "miss");
+  // Same source: fresh keys, not hits against the csan entry.
+  EXPECT_EQ(second.getString("cached", "?"), "miss");
+  // Same source, same method, narrower target: a fresh key again.
+  EXPECT_EQ(third.getString("cached", "?"), "miss");
+}
+
 TEST(ServiceServer, VersionLineNamesToolAndBuild) {
   const std::string line = support::versionLine("cssamed");
   EXPECT_EQ(line.find("cssamed "), 0u);
